@@ -1,0 +1,9 @@
+"""Output helper shared by the benchmark harness."""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled block (visible with ``-s`` / in captured output)."""
+    print(f"\n=== {title} ===")
+    print(body)

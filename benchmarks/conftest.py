@@ -1,0 +1,12 @@
+"""Pytest configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+computes the quantity with ``benchmark(...)`` (so pytest-benchmark reports
+the cost of the computation) and prints rows comparable to the paper.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,98 @@
+"""Ablation: ALLTOALL strategies on LIGHTPATH vs the alternatives.
+
+Section 5 singles out all-to-all traffic as the hard case for circuit
+fabrics. This bench compares, for a 16-chip slice, three ways of running
+ALLTOALL and sweeps the slice size to show the scaling: the circuit-round
+variant pays (p-1) reconfigurations but moves each shard exactly once;
+the ring decomposition forwards shards (p/2)x more bytes; the electrical
+direct pattern congests the static torus.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.collectives.alltoall import (
+    alltoall_electrical_schedule,
+    alltoall_optical_cost,
+    alltoall_optical_schedule,
+    alltoall_ring_cost,
+    alltoall_ring_schedule,
+)
+from repro.collectives.cost_model import CostParameters
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+N_BYTES = 1 << 24
+
+
+def _compare():
+    rack = Torus((4, 4, 4))
+    slc = Slice(name="a2a", rack=rack, offset=(0, 0, 0), shape=(4, 4, 1))
+    optical = alltoall_optical_schedule(slc.chips(), N_BYTES)
+    ring = alltoall_ring_schedule(slc, N_BYTES)
+    electrical = alltoall_electrical_schedule(slc, N_BYTES)
+    sweep = [
+        (p, alltoall_optical_cost(p), alltoall_ring_cost(p))
+        for p in (4, 8, 16, 32)
+    ]
+    return optical, ring, electrical, sweep
+
+
+def test_ablation_alltoall(benchmark):
+    optical, ring, electrical, sweep = benchmark(_compare)
+    params = CostParameters()
+    emit(
+        "Ablation — ALLTOALL on a 16-chip slice (N = 16 MiB)",
+        render_table(
+            ["strategy", "phases", "bytes moved", "congestion-free", "reconfigs"],
+            [
+                [
+                    "optical circuit rounds",
+                    str(len(optical.phases)),
+                    f"{optical.total_bytes / (1 << 20):.0f} MiB",
+                    "yes" if optical.is_congestion_free else "NO",
+                    str(optical.reconfiguration_count),
+                ],
+                [
+                    "ring decomposition",
+                    str(len(ring.phases)),
+                    f"{ring.total_bytes / (1 << 20):.0f} MiB",
+                    "yes" if ring.is_congestion_free else "NO",
+                    "0",
+                ],
+                [
+                    "electrical direct",
+                    str(len(electrical.phases)),
+                    f"{electrical.total_bytes / (1 << 20):.0f} MiB",
+                    "yes" if electrical.is_congestion_free else "NO",
+                    "0",
+                ],
+            ],
+        ),
+    )
+    emit(
+        "Ablation — ALLTOALL beta factor vs chips (x N/B)",
+        render_table(
+            ["chips", "circuit rounds", "ring decomposition", "ring penalty"],
+            [
+                [
+                    str(p),
+                    f"{o.beta_factor:.3f}",
+                    f"{r.beta_factor:.3f}",
+                    f"{r.beta_factor / o.beta_factor:.1f}x",
+                ]
+                for p, o, r in sweep
+            ],
+        ),
+    )
+    # Circuit rounds: congestion-free, minimal bytes, p-1 reconfigs.
+    assert optical.is_congestion_free
+    assert optical.reconfiguration_count == 15
+    # The static torus congests under direct all-to-all.
+    assert not electrical.is_congestion_free
+    # Ring moves (p/2)x the bytes of circuit rounds.
+    assert ring.total_bytes / optical.total_bytes == pytest.approx(8.0)
+    for p, o, r in sweep:
+        assert r.beta_factor / o.beta_factor == pytest.approx(p / 2)
+        assert o.seconds(N_BYTES, params) < r.seconds(N_BYTES, params)

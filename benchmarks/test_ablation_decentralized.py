@@ -1,0 +1,87 @@
+"""Ablation: centralized vs decentralized circuit allocation (Section 5).
+
+MoE-style dynamic traffic needs circuits programmed at request time. A
+centralized controller with global waveguide state serializes requests —
+setup latency grows linearly with the batch — while the decentralized
+random-claim/backoff allocator stays flat at the cost of occasional retry
+rounds. The bench sweeps the offered batch size and reports both.
+"""
+
+import numpy as np
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.core.decentralized import (
+    CentralizedController,
+    DecentralizedAllocator,
+    mean_setup_latency,
+    success_rate,
+)
+from repro.core.wafer import LightpathWafer
+from repro.sim.traffic import MoeGatingWorkload
+
+BATCH_SIZES = [4, 8, 16, 32]
+
+
+def _requests(batch_size, seed):
+    chips = [(r, c) for r in range(4) for c in range(8)]
+    workload = MoeGatingWorkload(chips=chips, fanout=1, seed=seed)
+    batch = workload.next_batch()
+    return batch[:batch_size]
+
+
+def _sweep():
+    rows = []
+    for batch_size in BATCH_SIZES:
+        requests = _requests(batch_size, seed=batch_size)
+        central = CentralizedController(LightpathWafer()).allocate_batch(requests)
+        decentral = DecentralizedAllocator(
+            LightpathWafer(), rng=np.random.default_rng(batch_size)
+        ).allocate_batch(requests)
+        rows.append(
+            (
+                batch_size,
+                mean_setup_latency(central),
+                success_rate(central),
+                mean_setup_latency(decentral),
+                success_rate(decentral),
+            )
+        )
+    return rows
+
+
+def test_ablation_decentralized_allocation(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation — circuit setup latency, centralized controller vs "
+        "decentralized random-claim (MoE gating traffic)",
+        render_table(
+            [
+                "batch",
+                "central latency",
+                "central ok",
+                "decentral latency",
+                "decentral ok",
+            ],
+            [
+                [
+                    str(n),
+                    f"{c_lat * 1e6:.1f} us",
+                    f"{c_ok:.0%}",
+                    f"{d_lat * 1e6:.1f} us",
+                    f"{d_ok:.0%}",
+                ]
+                for n, c_lat, c_ok, d_lat, d_ok in rows
+            ],
+        ),
+    )
+    central_latencies = [r[1] for r in rows]
+    decentral_latencies = [r[3] for r in rows]
+    # Centralized latency grows with the batch; decentralized stays flat.
+    assert central_latencies == sorted(central_latencies)
+    assert central_latencies[-1] > 2 * central_latencies[0]
+    assert max(decentral_latencies) < 4 * min(decentral_latencies)
+    # At the largest batch, decentralized is faster on average.
+    assert decentral_latencies[-1] < central_latencies[-1]
+    # Both succeed on the uncontended wafer.
+    assert all(r[2] == 1.0 and r[4] == 1.0 for r in rows)

@@ -1,0 +1,57 @@
+"""Ablation: fault-tolerance coverage vs fiber budget (Section 5).
+
+"Fault-tolerant circuit pathfinding must intelligently manage the addition
+of fibers, aiming to minimize fiber usage while effectively managing
+faults." The bench evaluates every single-chip failure of the Figure 6a/7
+layout against a sweep of per-trunk fiber budgets, reporting the coverage
+curve and the minimum uniform budget that repairs everything.
+"""
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.core.fiber_planner import FiberPlanner
+
+LAYOUT = [
+    ("Slice-3", (4, 4, 1), (0, 0, 0)),
+    ("Slice-4", (4, 4, 2), (0, 0, 1)),
+    ("Slice-1", (4, 2, 1), (0, 0, 3)),
+]
+BUDGETS = [0, 1, 2, 4, 8]
+
+
+def _coverage():
+    planner = FiberPlanner(rack_shape=(4, 4, 4), layout=LAYOUT)
+    # Sample a representative subset: one failure per slice row.
+    scenarios = planner.all_single_failures()[::5]
+    curve = planner.coverage_curve(BUDGETS, scenarios)
+    minimum = planner.minimum_fibers(scenarios, upper_bound=16)
+    return curve, minimum, scenarios
+
+
+def test_ablation_fiber_budget(benchmark):
+    curve, minimum, scenarios = benchmark.pedantic(_coverage, rounds=1, iterations=1)
+    emit(
+        "Ablation — repair coverage vs fibers per inter-server trunk "
+        f"({len(scenarios)} single-failure scenarios)",
+        render_table(
+            ["fibers/trunk", "scenarios repaired", "coverage", "max fibers used"],
+            [
+                [
+                    str(p.fibers_per_trunk),
+                    f"{p.covered}/{p.total}",
+                    f"{p.coverage:.0%}",
+                    str(p.max_fibers_used),
+                ]
+                for p in curve
+            ],
+        ),
+    )
+    emit(
+        "Ablation — minimum uniform budget covering all scenarios",
+        f"{minimum} fibers per trunk",
+    )
+    coverages = [p.coverage for p in curve]
+    assert coverages == sorted(coverages), "more fibers never hurt"
+    assert curve[0].coverage < 1.0, "zero fibers cannot repair cross-server"
+    assert curve[-1].coverage == 1.0
+    assert 0 < minimum <= 8

@@ -1,0 +1,66 @@
+"""Ablation: job size vs bandwidth utilization and fabric setup time.
+
+Extends the Figure 5 story across the cluster: whole-rack and multi-rack
+jobs (OCS-spliced tori) reach 100 % electrical utilization but pay
+milliseconds of OCS reprogramming; sub-rack jobs set up for free yet
+strand 1/3–2/3 of their bandwidth — the gap only LIGHTPATH's microsecond
+steering closes. One table sweeps the job-size axis end to end.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.phy.constants import RECONFIG_LATENCY_S
+from repro.topology.jobs import provision_job
+from repro.topology.tpu import TpuCluster
+
+JOB_SIZES = [8, 16, 32, 64, 128, 256]
+
+
+def _sweep():
+    results = []
+    for chips in JOB_SIZES:
+        cluster = TpuCluster(rack_count=4)
+        job = provision_job(cluster, f"job{chips}", chips=chips)
+        results.append(job)
+    return results
+
+
+def test_ablation_job_provisioning(benchmark):
+    jobs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation — job size vs utilization and setup (TPUv4 cluster)",
+        render_table(
+            ["chips", "racks", "torus", "elec utilization",
+             "fabric setup", "steering alternative"],
+            [
+                [
+                    str(job.slc.chip_count),
+                    str(len(job.racks)),
+                    "x".join(map(str, job.torus.shape)),
+                    f"{job.electrical_utilization:.0%}",
+                    (
+                        f"{job.setup_latency_s * 1e3:.0f} ms (OCS)"
+                        if job.spans_racks
+                        else "0 (static)"
+                    ),
+                    (
+                        "n/a (already 100 %)"
+                        if job.electrical_utilization == 1.0
+                        else f"{RECONFIG_LATENCY_S * 1e6:.1f} us -> 100 %"
+                    ),
+                ]
+                for job in jobs
+            ],
+        ),
+    )
+    by_chips = {job.slc.chip_count: job for job in jobs}
+    # The Section 4.1 claim: full 3D utilization requires whole racks.
+    assert by_chips[8].electrical_utilization == pytest.approx(1 / 3)
+    assert by_chips[16].electrical_utilization == pytest.approx(2 / 3)
+    assert by_chips[64].electrical_utilization == 1.0
+    assert by_chips[128].electrical_utilization == 1.0
+    # Multi-rack setup is OCS-milliseconds, >1000x LIGHTPATH's r.
+    assert by_chips[128].setup_latency_s > 1000 * RECONFIG_LATENCY_S
+    assert by_chips[32].setup_latency_s == 0.0

@@ -1,0 +1,93 @@
+"""Ablation: when does paying the reconfiguration delay r pay off?
+
+Section 4.1's trade-off: steering buys a 3x beta reduction for Slice-1 but
+charges r before the ring starts. This bench sweeps buffer sizes across
+the crossover and sweeps r across technology classes (LIGHTPATH MZIs at
+3.7 us vs millisecond-class datacenter OCSes) to show why *server-scale*
+microsecond switching is the enabling property.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.collectives.cost_model import CostParameters
+from repro.collectives.primitives import Interconnect, reduce_scatter_cost
+from repro.core.reconfig import breakeven_buffer_bytes
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.topology.slices import SliceAllocator
+from repro.topology.torus import Torus
+
+BUFFERS = [1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 30]
+RECONFIG_SWEEP = [3.7e-6, 50e-6, 1e-3, 20e-3]
+
+
+def _sweep():
+    allocator = SliceAllocator(Torus((4, 4, 4)))
+    slice1 = allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+    electrical = reduce_scatter_cost(slice1, Interconnect.ELECTRICAL)
+    optical = reduce_scatter_cost(slice1, Interconnect.OPTICAL)
+    rows = []
+    for n_bytes in BUFFERS:
+        params = CostParameters()
+        rows.append(
+            (
+                n_bytes,
+                electrical.seconds(n_bytes, params),
+                optical.seconds(n_bytes, params),
+            )
+        )
+    breakeven = breakeven_buffer_bytes(
+        electrical.beta_factor - optical.beta_factor, CHIP_EGRESS_BYTES
+    )
+    r_rows = []
+    for r in RECONFIG_SWEEP:
+        r_rows.append(
+            (
+                r,
+                breakeven_buffer_bytes(
+                    electrical.beta_factor - optical.beta_factor,
+                    CHIP_EGRESS_BYTES,
+                    reconfig_s=r,
+                ),
+            )
+        )
+    return rows, breakeven, r_rows
+
+
+def test_ablation_reconfiguration_delay(benchmark):
+    rows, breakeven, r_rows = benchmark(_sweep)
+    emit(
+        "Ablation — Slice-1 REDUCESCATTER: static electrical vs steered "
+        "optics across buffer sizes",
+        render_table(
+            ["buffer", "electrical", "steered optics", "winner"],
+            [
+                [
+                    f"{n >> 10} KiB" if n < 1 << 20 else f"{n >> 20} MiB",
+                    f"{e * 1e6:.2f} us",
+                    f"{o * 1e6:.2f} us",
+                    "optics" if o < e else "electrical",
+                ]
+                for n, e, o in rows
+            ],
+        ),
+    )
+    emit(
+        "Ablation — breakeven buffer vs reconfiguration technology",
+        render_table(
+            ["reconfiguration delay", "breakeven buffer"],
+            [
+                [f"{r * 1e6:.1f} us", f"{int(n):,} bytes"]
+                for r, n in r_rows
+            ],
+        ),
+    )
+    # Crossover sits between 1 KiB and 4 MiB: tiny buffers prefer static
+    # links, every realistic gradient buffer prefers steering.
+    assert rows[0][1] < rows[0][2]  # 1 KiB: electrical wins
+    assert rows[-1][2] < rows[-1][1]  # 1 GiB: optics wins
+    assert 1 << 9 < breakeven < 1 << 22
+    # Millisecond OCS-class switching pushes the breakeven ~3 decades up —
+    # the case for microsecond server-scale reconfiguration.
+    assert r_rows[-1][1] / r_rows[0][1] == pytest.approx(20e-3 / 3.7e-6, rel=1e-9)

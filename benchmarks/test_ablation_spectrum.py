@@ -1,0 +1,134 @@
+"""Ablation: wavelength blocking under the continuity constraint.
+
+Part of Section 5's "exploding paths" challenge in its spectral form: a
+circuit needs one comb channel free on *every* boundary it crosses. This
+bench sweeps offered load on a wafer and compares assignment heuristics
+(first-fit / most-used / random) on blocking probability — the classic
+RWA result reproduced at on-wafer scale.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.core.spectrum import AssignmentPolicy, BlockingExperiment
+
+LOADS = [8, 32, 64, 128, 256]
+
+
+def _sweep():
+    experiment = BlockingExperiment(grid=(4, 8), channels=16, seed=5)
+    results = {}
+    for policy in AssignmentPolicy:
+        results[policy] = experiment.sweep(LOADS, policy)
+    return results
+
+
+def test_ablation_wavelength_blocking(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation — blocking probability vs offered circuits "
+        "(4x8 wafer, 16 channels/boundary)",
+        render_table(
+            ["offered"] + [p.value for p in AssignmentPolicy],
+            [
+                [str(load)]
+                + [
+                    f"{results[policy][i].blocking_probability:.1%}"
+                    for policy in AssignmentPolicy
+                ]
+                for i, load in enumerate(LOADS)
+            ],
+        ),
+    )
+    for policy in AssignmentPolicy:
+        probabilities = [p.blocking_probability for p in results[policy]]
+        # Light load never blocks; blocking grows with load.
+        assert probabilities[0] == 0.0
+        assert probabilities[-1] > 0.0
+        assert probabilities == sorted(probabilities)
+    # First-fit (spectrum packing) should not lose to random selection.
+    ff = results[AssignmentPolicy.FIRST_FIT][-1].blocking_probability
+    rnd = results[AssignmentPolicy.RANDOM][-1].blocking_probability
+    assert ff <= rnd + 0.05
+
+
+def test_ablation_energy_crossover(benchmark):
+    """Copper-vs-optics energy per bit across reach (the Section 1 case)."""
+    from repro.phy.energy import (
+        ElectricalLinkEnergy,
+        PhotonicLinkEnergy,
+        crossover_reach_m,
+    )
+
+    def sweep():
+        electrical = ElectricalLinkEnergy()
+        photonic = PhotonicLinkEnergy()
+        reaches = [0.01, 0.05, 0.1, 0.2, 0.5]
+        rows = [
+            (
+                reach,
+                electrical.energy_pj_per_bit(reach),
+                photonic.energy_pj_per_bit(reach),
+            )
+            for reach in reaches
+        ]
+        return rows, crossover_reach_m(electrical, photonic)
+
+    rows, crossover = benchmark(sweep)
+    emit(
+        "Ablation — link energy per bit vs reach (224 Gbps class)",
+        render_table(
+            ["reach", "copper", "photonic", "winner"],
+            [
+                [
+                    f"{reach * 100:.0f} cm",
+                    f"{copper:.2f} pJ/b",
+                    f"{optic:.2f} pJ/b",
+                    "optics" if optic < copper else "copper",
+                ]
+                for reach, copper, optic in rows
+            ],
+        ),
+    )
+    emit("Ablation — energy crossover reach", f"{crossover * 100:.1f} cm")
+    assert 0.0 < crossover < 0.3
+    # Server boards span tens of cm: optics wins at server scale.
+    assert rows[-1][2] < rows[-1][1]
+
+
+def test_ablation_wafer_power_budget(benchmark):
+    """Wafer power budget: where the watts go at varying activity."""
+    from repro.phy.thermal import TilePowerModel
+
+    def sweep():
+        model = TilePowerModel()
+        return [
+            (active, model.wafer_power(active_wavelengths=active))
+            for active in (0, 4, 8, 16)
+        ]
+
+    rows = benchmark(sweep)
+    emit(
+        "Ablation — wafer power vs lit wavelengths per tile (32 tiles)",
+        render_table(
+            ["active lambdas", "total", "lasers", "tuning+heaters", "pJ/bit"],
+            [
+                [
+                    str(active),
+                    f"{report.total_w:.1f} W",
+                    f"{report.per_tile.laser_w * report.tiles:.1f} W",
+                    f"{(report.per_tile.ring_tuning_w + report.per_tile.switch_heater_w) * report.tiles:.1f} W",
+                    "inf" if report.pj_per_bit == float("inf") else f"{report.pj_per_bit:.2f}",
+                ]
+                for active, report in rows
+            ],
+        ),
+    )
+    full = rows[-1][1]
+    idle = rows[0][1]
+    # Static tuning/heater power is the idle floor; lasers dominate at
+    # full activity; the full wafer lands in the ~1 pJ/bit class.
+    assert idle.total_w > 0.0
+    assert full.per_tile.laser_w > full.per_tile.ring_tuning_w
+    assert 0.1 < full.pj_per_bit < 5.0

@@ -1,0 +1,90 @@
+"""Ablation: the big-switch abstraction under incast (paper Section 1).
+
+The paper's first comparison point: switched electrical servers (NVSwitch
+class) promise contention-free any-to-any bandwidth, but "inter-accelerator
+bandwidth within modern servers is already massive... making it harder to
+stay true to the ideal switch abstraction. This has resulted in evidence
+of contention in switched server-scale interconnects [4, 42]." This bench
+drives the switched-server model with growing incast fan-in and shows the
+host-side throughput loss — versus LIGHTPATH circuits, whose dedicated
+end-to-end wavelengths cannot contend by construction.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.core.circuits import CircuitManager
+from repro.core.wafer import LightpathWafer
+from repro.phy.constants import CHIP_EGRESS_BYTES, WAVELENGTH_RATE_BYTES
+from repro.topology.switched import SwitchedServer
+
+FAN_INS = [1, 2, 4, 6, 8]
+
+
+def _sweep():
+    rows = []
+    for fanin in FAN_INS:
+        server = SwitchedServer(
+            accelerators=16,
+            port_bandwidth_bytes=CHIP_EGRESS_BYTES,
+            host_contention_per_flow=0.1,
+        )
+        for src in range(1, fanin + 1):
+            server.add_flow(src, 0, CHIP_EGRESS_BYTES)
+        rows.append(
+            (
+                fanin,
+                server.aggregate_throughput_bytes(),
+                server.ideal_throughput_bytes(),
+                server.contention_loss_fraction(),
+            )
+        )
+    return rows
+
+
+def test_ablation_switched_server_contention(benchmark):
+    rows = benchmark(_sweep)
+    emit(
+        "Ablation — switched server under incast (receiver port shared "
+        "by N senders, host contention 10 %/extra flow)",
+        render_table(
+            ["fan-in", "achieved", "ideal switch", "lost to host contention"],
+            [
+                [
+                    str(fanin),
+                    f"{achieved / 1e9:.0f} GB/s",
+                    f"{ideal / 1e9:.0f} GB/s",
+                    f"{loss:.0%}",
+                ]
+                for fanin, achieved, ideal, loss in rows
+            ],
+        ),
+    )
+    losses = [loss for _f, _a, _i, loss in rows]
+    # No contention at fan-in 1; loss grows with fan-in (the [4] evidence).
+    assert losses[0] == 0.0
+    assert losses == sorted(losses)
+    assert losses[-1] > 0.5
+
+    # LIGHTPATH's counterpart: the same incast as dedicated circuits —
+    # every wavelength lands on its own SerDes lane, no shared port.
+    wafer = LightpathWafer()
+    manager = CircuitManager(wafer=wafer)
+    receiver = (0, 0)
+    senders = [(0, c) for c in range(1, 5)] + [(1, c) for c in range(4)]
+    circuits = [manager.establish(src, receiver) for src in senders]
+    delivered = sum(c.rate_bytes for c in circuits)
+    emit(
+        "Ablation — the same 8-way incast on LIGHTPATH circuits",
+        render_table(
+            ["quantity", "value"],
+            [
+                ["circuits established", str(len(circuits))],
+                ["aggregate delivered", f"{delivered / 1e9:.0f} GB/s"],
+                ["contention", "none (dedicated wavelength + lane each)"],
+            ],
+        ),
+    )
+    assert delivered == pytest.approx(8 * WAVELENGTH_RATE_BYTES)
+    assert all(c.link_report.feasible for c in circuits)

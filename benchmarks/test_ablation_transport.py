@@ -1,0 +1,86 @@
+"""Ablation: host transport policies for circuit switching (Section 1).
+
+"New host networking software stacks optimized for circuit-switching"
+must decide when a 3.7 us circuit re-pointing is worth it. This bench
+drives one chip's egress with mixed-destination message traffic and
+compares the greedy scheduler against threshold batching across
+hysteresis values, reporting makespan, mean latency and the fraction of
+time burnt on reconfiguration.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.core.transport import (
+    CircuitTransport,
+    GreedyLongestQueue,
+    Message,
+    ThresholdBatching,
+)
+from repro.phy.constants import WAVELENGTH_RATE_BYTES
+
+MESSAGE_BYTES = 64 * 1024  # 64 KiB RPCs: transmission ~2.3 us vs r = 3.7 us
+DESTINATIONS = 8
+MESSAGES = 400
+
+
+def _workload(seed=0):
+    rng = np.random.default_rng(seed)
+    messages = []
+    t = 0.0
+    for _ in range(MESSAGES):
+        t += float(rng.exponential(1e-6))
+        dst = int(rng.integers(DESTINATIONS))
+        messages.append(Message(arrival_s=t, dst=dst, n_bytes=MESSAGE_BYTES))
+    return messages
+
+
+def _sweep():
+    messages = _workload()
+    policies = [
+        ("greedy", GreedyLongestQueue()),
+        ("batch x2", ThresholdBatching(hysteresis=2.0)),
+        ("batch x4", ThresholdBatching(hysteresis=4.0)),
+        ("batch x16", ThresholdBatching(hysteresis=16.0)),
+    ]
+    rows = []
+    for name, policy in policies:
+        stats = CircuitTransport(
+            policy, rate_bytes=WAVELENGTH_RATE_BYTES
+        ).run(messages)
+        rows.append((name, stats))
+    return rows
+
+
+def test_ablation_transport_policies(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation — circuit-switched host transport "
+        f"({MESSAGES} x {MESSAGE_BYTES >> 10} KiB to {DESTINATIONS} peers)",
+        render_table(
+            ["policy", "reconfigs", "reconfig overhead", "mean latency",
+             "p99 latency", "makespan"],
+            [
+                [
+                    name,
+                    str(stats.reconfigurations),
+                    f"{stats.reconfig_overhead:.1%}",
+                    f"{stats.mean_latency_s * 1e6:.1f} us",
+                    f"{stats.p99_latency_s * 1e6:.1f} us",
+                    f"{stats.makespan_s * 1e6:.1f} us",
+                ]
+                for name, stats in rows
+            ],
+        ),
+    )
+    stats = dict(rows)
+    # Batching cuts reconfiguration count monotonically with hysteresis.
+    reconfigs = [s.reconfigurations for _n, s in rows]
+    assert reconfigs == sorted(reconfigs, reverse=True)
+    # All policies deliver everything.
+    assert all(len(s.delivered) == MESSAGES for s in stats.values())
+    # Aggressive batching beats greedy on makespan when r ~ service time.
+    assert stats["batch x16"].makespan_s < stats["greedy"].makespan_s
+    assert stats["batch x16"].reconfig_overhead < stats["greedy"].reconfig_overhead

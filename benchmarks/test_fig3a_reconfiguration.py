@@ -1,0 +1,52 @@
+"""Figure 3a: Mach-Zehnder router switch time response.
+
+The paper drives an MZI on the LIGHTPATH testbed with a step, captures the
+normalized optical amplitude on an oscilloscope, fits an exponential, and
+reports a worst-case reconfiguration latency of 3.7 us. This bench
+regenerates that measurement from the thermo-optic device model: a noisy
+step-response trace, the exponential fit, and the settling-time numbers.
+"""
+
+import numpy as np
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.phy.constants import RECONFIG_LATENCY_S
+from repro.phy.mzi import MziSwitchDynamics
+
+
+def _measure_and_fit():
+    dynamics = MziSwitchDynamics(noise_rms=0.02, rng=np.random.default_rng(42))
+    trace = dynamics.measure_step(duration_s=12e-6, samples=4000)
+    fit = dynamics.fit_exponential(trace)
+    return dynamics, trace, fit
+
+
+def test_fig3a_switch_time_response(benchmark):
+    dynamics, trace, fit = benchmark(_measure_and_fit)
+    settle_fit = fit.settling_time(0.05)
+    settle_model = dynamics.reconfiguration_latency(0.05)
+    emit(
+        "Figure 3a — MZI switch time response",
+        render_table(
+            ["quantity", "measured (model)", "paper"],
+            [
+                ["fit form", "1 - A exp(-t/tau)", "A exp(-t/tau) overlay"],
+                ["fitted tau", f"{fit.tau_s * 1e6:.2f} us", "~1.2 us"],
+                ["fit residual (rms)", f"{fit.residual_rms:.3f}", "n/a"],
+                [
+                    "settling time (5 %)",
+                    f"{settle_fit * 1e6:.2f} us",
+                    "3.7 us",
+                ],
+                [
+                    "model analytic settle",
+                    f"{settle_model * 1e6:.2f} us",
+                    "3.7 us",
+                ],
+            ],
+        ),
+    )
+    assert settle_fit <= RECONFIG_LATENCY_S * 1.15
+    assert abs(settle_model - RECONFIG_LATENCY_S) / RECONFIG_LATENCY_S < 0.02
+    assert trace.amplitude.size == 4000

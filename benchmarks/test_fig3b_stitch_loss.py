@@ -1,0 +1,53 @@
+"""Figure 3b: distribution of reticle stitch loss.
+
+The paper measures the per-crossing signal loss across the prototype and
+plots its distribution; the low mean (0.25 dB) is the evidence that
+circuits can be routed within the same active silicon layer. This bench
+regenerates the histogram from the calibrated fabrication-variation model
+and checks the routing-feasibility conclusion via the link budget.
+"""
+
+import numpy as np
+
+from _helpers import emit
+from repro.analysis.tables import render_histogram, render_table
+from repro.phy.link_budget import LinkBudget
+from repro.phy.stitch_loss import StitchLossModel
+from repro.phy.waveguide import PathLoss, waveguide
+
+
+def _histogram():
+    model = StitchLossModel(rng=np.random.default_rng(42))
+    return model.histogram(samples=20000, bins=24)
+
+
+def test_fig3b_stitch_loss_distribution(benchmark):
+    hist = benchmark(_histogram)
+    emit(
+        "Figure 3b — reticle stitch loss distribution",
+        render_histogram(
+            list(hist.bin_edges_db), list(hist.counts), width=36, unit=" dB"
+        ),
+    )
+    emit(
+        "Figure 3b — statistics",
+        render_table(
+            ["quantity", "measured (model)", "paper"],
+            [
+                ["mean loss", f"{hist.mean_db:.3f} dB", "0.25 dB"],
+                ["median loss", f"{hist.median_db:.3f} dB", "~0.25 dB"],
+                ["p95 loss", f"{hist.p95_db:.3f} dB", "< 0.8 dB (axis)"],
+            ],
+        ),
+    )
+    assert abs(hist.mean_db - 0.25) < 0.02
+    assert hist.p95_db < 0.8
+
+    # The paper's conclusion: crossings are cheap enough to route in-layer.
+    budget = LinkBudget()
+    worst_case = PathLoss(
+        segments=[waveguide(0.5, crossings=10)],
+        mzi_hops=4,
+        crossing_loss_db=hist.p95_db,
+    )
+    assert budget.evaluate(worst_case).feasible

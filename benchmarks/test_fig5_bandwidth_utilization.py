@@ -1,0 +1,107 @@
+"""Figure 5b/5c: bandwidth under-utilization of sub-rack slices.
+
+The Figure 5b rack hosts four tenants; slices smaller than the rack cannot
+ring congestion-free in every torus dimension, stranding static electrical
+bandwidth — up to 66 % for Slice-1/2 (Figure 5c). LIGHTPATH's steering
+recovers 100 % for every slice. The bench prints the per-slice series the
+figure plots, the cross-tenant congestion evidence, and a concurrent
+discrete-event execution of all four tenants under both interconnects.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.congestion_report import analyze_rack_congestion
+from repro.analysis.tables import render_table
+from repro.analysis.utilization import figure5b_layout, rack_utilization
+from repro.collectives.primitives import Interconnect
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.sim.runner import run_concurrent_schedules
+from repro.sim.traffic import MultiTenantWorkload
+from repro.topology.torus import Torus
+
+N_BYTES = 1 << 24
+
+
+def _figure5():
+    allocator = figure5b_layout()
+    utilization = rack_utilization(allocator)
+    congestion = analyze_rack_congestion(allocator)
+    durations = {}
+    rack = Torus((4, 4, 4))
+    for interconnect in (Interconnect.ELECTRICAL, Interconnect.OPTICAL):
+        workload = MultiTenantWorkload(
+            slices=allocator.slices,
+            buffer_bytes=N_BYTES,
+            interconnect=interconnect,
+        )
+        fraction = 1.0 if interconnect is Interconnect.OPTICAL else 1 / 3
+        caps = {link: CHIP_EGRESS_BYTES * fraction for link in rack.links()}
+        durations[interconnect] = run_concurrent_schedules(
+            workload.schedules(), caps
+        )
+    return utilization, congestion, durations
+
+
+def test_fig5_bandwidth_utilization(benchmark):
+    utilization, congestion, durations = benchmark.pedantic(_figure5, rounds=1, iterations=1)
+    emit(
+        "Figure 5c — usable per-chip bandwidth by slice",
+        render_table(
+            ["slice", "shape", "elec usable", "optics usable", "elec loss"],
+            [
+                [
+                    u.name,
+                    "x".join(map(str, u.shape)),
+                    f"{u.electrical_fraction:.0%}",
+                    f"{u.optical_fraction:.0%}",
+                    f"{u.bandwidth_loss_percent:.0f} %",
+                ]
+                for u in utilization
+            ],
+        ),
+    )
+    emit(
+        "Figure 5b — links shared by naive (all-dimension) rings",
+        render_table(
+            ["quantity", "value"],
+            [
+                ["shared links", str(len(congestion.shared_links))],
+                ["worst multiplicity", str(congestion.worst_multiplicity)],
+                [
+                    "congested slices",
+                    ", ".join(sorted(congestion.per_slice_congested_dims)),
+                ],
+            ],
+        ),
+    )
+    emit(
+        "Figure 5 — concurrent 4-tenant REDUCESCATTER (measured)",
+        render_table(
+            ["tenant", "electrical", "optical (steered)"],
+            [
+                [
+                    e.name.split()[0] + f" #{i}",
+                    f"{e.duration_s * 1e6:.1f} us",
+                    f"{o.duration_s * 1e6:.1f} us",
+                ]
+                for i, (e, o) in enumerate(
+                    zip(
+                        durations[Interconnect.ELECTRICAL],
+                        durations[Interconnect.OPTICAL],
+                    )
+                )
+            ],
+        ),
+    )
+    by_name = {u.name: u for u in utilization}
+    assert by_name["Slice-1"].bandwidth_loss_percent == pytest.approx(66.7, abs=0.1)
+    assert by_name["Slice-2"].bandwidth_loss_percent == pytest.approx(66.7, abs=0.1)
+    assert by_name["Slice-3"].bandwidth_loss_percent == pytest.approx(33.3, abs=0.1)
+    assert by_name["Slice-4"].bandwidth_loss_percent == pytest.approx(33.3, abs=0.1)
+    assert not congestion.is_congestion_free
+    # Every tenant finishes faster with steered optics.
+    for e, o in zip(
+        durations[Interconnect.ELECTRICAL], durations[Interconnect.OPTICAL]
+    ):
+        assert o.duration_s < e.duration_s

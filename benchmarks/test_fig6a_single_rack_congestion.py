@@ -1,0 +1,62 @@
+"""Figure 6a: replacing a failed chip within a rack always congests.
+
+The rack hosts Slice-3 (z=0, the failed tenant), Slice-4 (z=1..2) and
+Slice-1 (z=3's first two rows); the remaining eight z=3 chips are free.
+Replacing the failed chip's ring roles over static electrical links
+requires paths from its X/Y ring neighbours to a free chip — and every
+such path crosses links already carrying some tenant's rings (Slice-4's
+Z-dimension wrap rings occupy every vertical column, exactly the "link
+between servers in the Z dimension" collision the paper describes). The
+bench enumerates all candidates exhaustively.
+"""
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.failures.recovery import ElectricalRecoveryAnalysis
+from repro.topology.slices import SliceAllocator
+from repro.topology.torus import Torus
+
+FAILED = (1, 2, 0)
+
+
+def _scenario():
+    rack = Torus((4, 4, 4))
+    allocator = SliceAllocator(rack)
+    slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
+    allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
+    allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+    return rack, allocator, slice3
+
+
+def _analyze():
+    rack, allocator, slice3 = _scenario()
+    analysis = ElectricalRecoveryAnalysis(rack, allocator, max_hops=5)
+    attempts = analysis.evaluate_all_free_chips(slice3, FAILED)
+    return analysis, attempts
+
+
+def test_fig6a_single_rack_replacement_congestion(benchmark):
+    analysis, attempts = benchmark.pedantic(_analyze, rounds=1, iterations=1)
+    emit(
+        "Figure 6a — electrical replacement attempts (failed chip "
+        f"{FAILED} in Slice-3)",
+        render_table(
+            ["free chip", "feasible w/o congestion", "best-path congested links"],
+            [
+                [
+                    str(a.free_chip),
+                    "yes" if a.feasible else "no",
+                    str(a.total_congested_links),
+                ]
+                for a in attempts
+            ],
+        ),
+    )
+    emit(
+        "Figure 6a — conclusion",
+        "no congestion-free electrical replacement exists (paper: "
+        "'doing the same from TPU 9 without congestion is impossible')",
+    )
+    assert attempts, "scenario must offer free chips"
+    assert all(not a.feasible for a in attempts)
+    assert all(a.total_congested_links >= 1 for a in attempts)

@@ -1,0 +1,71 @@
+"""Figure 6b: replacing a failed chip with a remote rack's chip congests.
+
+Two OCS-joined racks form a 4x4x8 torus. Rack 1 (z = 0..3) is fully
+allocated — Slice-2 (the failed tenant) plus filler tenants — so the only
+free chips live in rack 2 (z = 4..7), cornered behind Slice-1 and two
+smaller tenants. The failed chip's ring neighbours must cross into rack 2
+via the Z dimension (the OCS), and every onward X/Y hop lands on links
+already carrying Slice-1's (or another tenant's) rings — the purple-line
+collision of the paper's figure.
+"""
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.failures.recovery import ElectricalRecoveryAnalysis
+from repro.topology.slices import SliceAllocator
+from repro.topology.torus import Torus
+
+FAILED = (0, 0, 0)
+
+
+def _scenario():
+    torus = Torus((4, 4, 8))
+    allocator = SliceAllocator(torus)
+    slice2 = allocator.allocate("Slice-2", (4, 2, 1), (0, 0, 0))
+    allocator.allocate("rack1-B", (4, 2, 1), (0, 2, 0))
+    allocator.allocate("rack1-C", (4, 4, 1), (0, 0, 1))
+    allocator.allocate("rack1-D", (4, 4, 1), (0, 0, 2))
+    allocator.allocate("rack1-E", (4, 4, 1), (0, 0, 3))
+    allocator.allocate("Slice-1", (4, 4, 3), (0, 0, 4))
+    allocator.allocate("rack2-D", (4, 2, 1), (0, 0, 7))
+    allocator.allocate("rack2-E", (2, 2, 1), (0, 2, 7))
+    return torus, allocator, slice2
+
+
+def _analyze():
+    torus, allocator, slice2 = _scenario()
+    analysis = ElectricalRecoveryAnalysis(torus, allocator, max_hops=6)
+    attempts = analysis.evaluate_all_free_chips(slice2, FAILED)
+    return allocator, attempts
+
+
+def test_fig6b_multi_rack_replacement_congestion(benchmark):
+    allocator, attempts = benchmark.pedantic(_analyze, rounds=1, iterations=1)
+    free = allocator.free_chips()
+    emit(
+        "Figure 6b — two-rack scenario (rack 1 = z 0..3, rack 2 = z 4..7)",
+        render_table(
+            ["quantity", "value"],
+            [
+                ["free chips in rack 1", str(sum(1 for c in free if c[2] < 4))],
+                ["free chips in rack 2", str(sum(1 for c in free if c[2] >= 4))],
+            ],
+        ),
+    )
+    emit(
+        "Figure 6b — replacement attempts via the inter-rack OCS",
+        render_table(
+            ["free chip (rack 2)", "feasible", "best-path congested links"],
+            [
+                [
+                    str(a.free_chip),
+                    "yes" if a.feasible else "no",
+                    str(a.total_congested_links),
+                ]
+                for a in attempts
+            ],
+        ),
+    )
+    assert all(c[2] >= 4 for c in free), "rack 1 must be full"
+    assert attempts
+    assert all(not a.feasible for a in attempts)

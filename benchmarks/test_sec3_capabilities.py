@@ -1,0 +1,52 @@
+"""Section 3 scalars: the LIGHTPATH capability report.
+
+Regenerates the headline hardware numbers the paper reports for the
+prototype — 32 tiles, 16 lasers/tile, 224 Gbps per wavelength, >10,000
+waveguides per tile, 3.7 us reconfiguration, 0.25 dB crossings — from the
+wafer model, and verifies a full-wafer circuit closes its link budget.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.core.circuits import CircuitManager
+from repro.core.wafer import LightpathWafer
+from repro.phy.waveguide import tile_waveguide_capacity
+
+
+def _capabilities():
+    wafer = LightpathWafer()
+    manager = CircuitManager(wafer=wafer)
+    corner_to_corner = manager.establish((0, 0), (3, 7))
+    return wafer, corner_to_corner
+
+
+def test_sec3_capability_report(benchmark):
+    wafer, circuit = benchmark(_capabilities)
+    caps = wafer.capabilities()
+    emit(
+        "Section 3 — LIGHTPATH capability summary",
+        render_table(["capability", "value"], [list(r) for r in caps.rows()]),
+    )
+    emit(
+        "Section 3 — corner-to-corner circuit feasibility",
+        render_table(
+            ["quantity", "value"],
+            [
+                ["route crossings", str(circuit.route.boundary_crossings)],
+                ["MZI hops", str(circuit.route.mzi_hops)],
+                ["path loss", f"{circuit.link_report.path_loss_db:.2f} dB"],
+                ["link margin", f"{circuit.link_report.margin_db:.2f} dB"],
+                ["pre-FEC BER", f"{circuit.link_report.detection.ber:.2e}"],
+            ],
+        ),
+    )
+    assert caps.tiles == 32
+    assert caps.lasers_per_tile == 16
+    assert caps.wavelength_rate_bps == pytest.approx(224e9)
+    assert caps.reconfiguration_latency_s == pytest.approx(3.7e-6)
+    assert caps.waveguides_per_tile >= 10_000
+    # The 3 um pitch supports the > 10,000 waveguides claim on a 50 mm tile.
+    assert tile_waveguide_capacity(0.050) > 10_000
+    assert circuit.link_report.feasible

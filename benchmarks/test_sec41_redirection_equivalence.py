@@ -1,0 +1,88 @@
+"""Section 4.1: bandwidth redirection equals simultaneous buckets.
+
+The paper argues that steering all chip bandwidth into one ring per stage
+costs the same N/B transmission time as splitting the buffer into D parts
+and running D bucket passes simultaneously in rotated dimension orders
+([41]-style) — both fully utilize the chip's egress. The bench sweeps
+dimension counts and buffer sizes, comparing the two closed forms and a
+discrete-event execution of the simultaneous variant.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.collectives.bucket import simultaneous_bucket_schedules
+from repro.collectives.cost_model import (
+    bucket_reduce_scatter,
+    simultaneous_bucket_beta_factor,
+)
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.sim.runner import run_concurrent_schedules
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+SWEEP = [[4, 4], [4, 4, 4], [2, 4], [4, 2, 4], [8, 8]]
+
+
+def _sweep():
+    rows = []
+    for dims in SWEEP:
+        steered = bucket_reduce_scatter(dims, bandwidth_fraction=1.0).beta_factor
+        simultaneous = simultaneous_bucket_beta_factor(dims)
+        rows.append((dims, steered, simultaneous))
+    return rows
+
+
+def test_sec41_redirection_equivalence(benchmark):
+    rows = benchmark(_sweep)
+    emit(
+        "Section 4.1 — steered single pass vs simultaneous rotated buckets "
+        "(beta factors, x N/B)",
+        render_table(
+            ["dims", "steered single pass", "simultaneous buckets", "equal"],
+            [
+                [
+                    "x".join(map(str, dims)),
+                    f"{steered:.4f}",
+                    f"{simultaneous:.4f}",
+                    "yes" if abs(steered - simultaneous) < 1e-12 else "NO",
+                ]
+                for dims, steered, simultaneous in rows
+            ],
+        ),
+    )
+    for _dims, steered, simultaneous in rows:
+        assert steered == pytest.approx(simultaneous, rel=1e-12)
+
+
+def test_sec41_simultaneous_execution(benchmark):
+    """The D rotated parts, executed concurrently, share links cleanly."""
+    rack = Torus((4, 4, 4))
+    slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 4, 1))
+    n_bytes = 1 << 24
+
+    def run():
+        parts = simultaneous_bucket_schedules(slc, n_bytes)
+        caps = {link: CHIP_EGRESS_BYTES / 2 for link in rack.links()}
+        return run_concurrent_schedules(parts, caps, alpha_s=0.0, reconfig_s=0.0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    slowest = max(r.duration_s for r in results)
+    expected = (
+        bucket_reduce_scatter([4, 4], bandwidth_fraction=1.0).beta_factor
+        * n_bytes
+        / CHIP_EGRESS_BYTES
+    )
+    emit(
+        "Section 4.1 — simultaneous buckets executed on the simulator",
+        render_table(
+            ["quantity", "value"],
+            [
+                ["parts", str(len(results))],
+                ["slowest part", f"{slowest * 1e6:.1f} us"],
+                ["steered closed form", f"{expected * 1e6:.1f} us"],
+            ],
+        ),
+    )
+    assert slowest == pytest.approx(expected, rel=1e-6)

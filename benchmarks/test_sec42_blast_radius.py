@@ -1,0 +1,66 @@
+"""Section 4.2: blast radius — rack migration vs optical repair.
+
+A 90-day failure trace over the 4096-chip TPUv4-scale cluster, recovered
+under (a) the production rack-granularity migration policy [60] and (b)
+LIGHTPATH circuit repair. The paper's claim: optics shrinks the blast
+radius of one chip failure from a rack (64 chips) to the failed chip's
+server, and the recovery stall from a checkpoint restore to microseconds.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import render_table
+from repro.failures.blast_radius import compare_policies, improvement_factor
+from repro.failures.inject import FleetFailureModel
+from repro.topology.tpu import TpuCluster
+
+HORIZON_S = 90 * 24 * 3600.0
+
+
+def _trace_and_compare():
+    cluster = TpuCluster()  # 64 racks, 4096 chips
+    model = FleetFailureModel(cluster, seed=2024)
+    events = model.sample_failures(HORIZON_S)
+    rack_report, optical_report = compare_policies(events)
+    return events, rack_report, optical_report
+
+
+def test_sec42_blast_radius(benchmark):
+    events, rack_report, optical_report = benchmark.pedantic(
+        _trace_and_compare, rounds=1, iterations=1
+    )
+    emit(
+        "Section 4.2 — 90-day failure trace on the 4096-chip cluster",
+        render_table(
+            ["metric", rack_report.policy, optical_report.policy],
+            [
+                ["failures", str(rack_report.failures), str(optical_report.failures)],
+                [
+                    "blast radius (chips)",
+                    str(rack_report.blast_radius_chips),
+                    str(optical_report.blast_radius_chips),
+                ],
+                [
+                    "total chip impact",
+                    str(rack_report.total_chip_impact),
+                    str(optical_report.total_chip_impact),
+                ],
+                [
+                    "downtime per failure",
+                    "~10 min (checkpoint restore)",
+                    "3.7 us (circuit setup)",
+                ],
+                [
+                    "lost chip-seconds",
+                    f"{rack_report.lost_chip_seconds:.3g}",
+                    f"{optical_report.lost_chip_seconds:.3g}",
+                ],
+            ],
+        ),
+    )
+    assert events, "a 4096-chip cluster sees failures in 90 days"
+    assert rack_report.blast_radius_chips == 64
+    assert optical_report.blast_radius_chips == 4
+    assert improvement_factor(rack_report, optical_report) == pytest.approx(16.0)
+    assert optical_report.total_downtime_s < rack_report.total_downtime_s / 1e6

@@ -1,0 +1,94 @@
+"""Table 1: REDUCESCATTER alpha-beta costs of Slice-1 (4x2x1).
+
+Electrical interconnects pay 3x the beta cost because the slice can only
+use one of the torus's three dimensions congestion-free; LIGHTPATH steers
+all 16 wavelengths into one full ring over the 8 chips for the optimal
+N(p-1)/(pB), at the price of one 3.7 us reconfiguration. The bench prints
+the symbolic rows and cross-checks them against the discrete-event
+simulator.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import cost_row, render_table
+from repro.collectives.cost_model import CostParameters
+from repro.collectives.primitives import (
+    Interconnect,
+    build_reduce_scatter_schedule,
+    plan_reduce_scatter,
+    reduce_scatter_cost,
+)
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.sim.runner import run_schedule
+from repro.topology.slices import SliceAllocator
+from repro.topology.torus import Torus
+
+N_BYTES = 1 << 26  # 64 MiB gradient buffer
+
+
+def _slice1():
+    rack = Torus((4, 4, 4))
+    allocator = SliceAllocator(rack)
+    return rack, allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+
+
+def _table1():
+    rack, slice1 = _slice1()
+    electrical = reduce_scatter_cost(slice1, Interconnect.ELECTRICAL)
+    optical = reduce_scatter_cost(slice1, Interconnect.OPTICAL)
+    measured = {}
+    params = CostParameters()
+    for interconnect in (Interconnect.ELECTRICAL, Interconnect.OPTICAL):
+        strategy = plan_reduce_scatter(slice1, interconnect)
+        caps = {
+            link: CHIP_EGRESS_BYTES * strategy.bandwidth_fraction
+            for link in rack.links()
+        }
+        schedule = build_reduce_scatter_schedule(slice1, N_BYTES, interconnect)
+        measured[interconnect] = run_schedule(
+            schedule, caps, params.alpha_s, params.reconfig_s
+        )
+    return electrical, optical, measured
+
+
+def test_table1_reduce_scatter_costs(benchmark):
+    electrical, optical, measured = benchmark.pedantic(_table1, rounds=1, iterations=1)
+    params = CostParameters()
+    emit(
+        "Table 1 — REDUCESCATTER costs of Slice-1 (N = 64 MiB)",
+        render_table(
+            ["slice", "elec a", "optics a", "elec b", "optics b", "b ratio"],
+            [cost_row("Slice-1 (4x2x1)", electrical, optical)],
+        ),
+    )
+    emit(
+        "Table 1 — discrete-event cross-check",
+        render_table(
+            ["interconnect", "symbolic", "simulated"],
+            [
+                [
+                    "electrical",
+                    f"{electrical.seconds(N_BYTES, params) * 1e3:.3f} ms",
+                    f"{measured[Interconnect.ELECTRICAL].duration_s * 1e3:.3f} ms",
+                ],
+                [
+                    "optical",
+                    f"{optical.seconds(N_BYTES, params) * 1e3:.3f} ms",
+                    f"{measured[Interconnect.OPTICAL].duration_s * 1e3:.3f} ms",
+                ],
+            ],
+        ),
+    )
+    # The paper's row: elec 7a | N(7/8)(3/B); optics 7a + r | N(7/8)(1/B).
+    assert electrical.alpha_count == 7
+    assert optical.alpha_count == 7
+    assert optical.reconfig_count == 1
+    assert electrical.beta_factor / optical.beta_factor == pytest.approx(3.0)
+    for interconnect, symbolic in (
+        (Interconnect.ELECTRICAL, electrical),
+        (Interconnect.OPTICAL, optical),
+    ):
+        assert measured[interconnect].duration_s == pytest.approx(
+            symbolic.seconds(N_BYTES, params), rel=1e-6
+        )

@@ -1,0 +1,54 @@
+"""Table 2: staged REDUCESCATTER alpha-beta costs of Slice-3 (D = 2).
+
+Slice-3 (4x4x1) runs the bucket algorithm in two stages: X rings over the
+full buffer N, then Y rings over N/4. Electrically each stage's links
+carry the static B/3 share; LIGHTPATH steers the stranded Z bandwidth into
+X and Y (B/2 per dimension), making every electrical stage 1.5x more
+expensive in beta. Each optical stage charges one reconfiguration r.
+"""
+
+import pytest
+
+from _helpers import emit
+from repro.analysis.tables import cost_row, render_table
+from repro.collectives.primitives import (
+    Interconnect,
+    reduce_scatter_stage_costs,
+)
+from repro.topology.slices import SliceAllocator
+from repro.topology.torus import Torus
+
+
+def _table2():
+    allocator = SliceAllocator(Torus((4, 4, 4)))
+    slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
+    electrical = reduce_scatter_stage_costs(slice3, Interconnect.ELECTRICAL)
+    optical = reduce_scatter_stage_costs(slice3, Interconnect.OPTICAL)
+    return electrical, optical
+
+
+def test_table2_staged_costs(benchmark):
+    electrical, optical = benchmark(_table2)
+    rows = [
+        cost_row("stage 1: X rings (buffer N)", electrical[0], optical[0]),
+        cost_row("stage 2: Y rings (buffer N/4)", electrical[1], optical[1]),
+    ]
+    emit(
+        "Table 2 — REDUCESCATTER costs of Slice-3 (D=2, 4 rings of 4)",
+        render_table(
+            ["stage", "elec a", "optics a", "elec b", "optics b", "b ratio"],
+            rows,
+        ),
+    )
+    # Paper rows: each stage 3 x a (electrical), 3 x a + r (optics),
+    # electrical beta 1.5x the optical in both stages.
+    for stage_e, stage_o in zip(electrical, optical):
+        assert stage_e.alpha_count == 3
+        assert stage_o.alpha_count == 3
+        assert stage_e.reconfig_count == 0
+        assert stage_o.reconfig_count == 1
+        assert stage_e.beta_factor / stage_o.beta_factor == pytest.approx(1.5)
+    # Stage 2 operates on a quarter of the buffer.
+    assert electrical[0].beta_factor / electrical[1].beta_factor == (
+        pytest.approx(4.0)
+    )

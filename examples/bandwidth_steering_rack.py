@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Bandwidth steering on a multi-tenant rack (paper Section 4.1).
+
+Walks the Figure 5b scenario end to end: four tenants share a TPUv4 rack,
+each runs a REDUCESCATTER over its slice, and we measure — on the
+discrete-event simulator — how long every tenant takes with (a) static
+electrical links and (b) LIGHTPATH wavelength steering. Also prints each
+slice's steering plan (which wavelengths move where and what the 3.7 us
+reprogramming buys).
+
+Run:  python examples/bandwidth_steering_rack.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.analysis.utilization import figure5b_layout
+from repro.collectives.cost_model import CostParameters
+from repro.collectives.primitives import Interconnect
+from repro.core.steering import plan_steering
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.sim.runner import run_concurrent_schedules
+from repro.sim.traffic import MultiTenantWorkload
+from repro.topology.torus import Torus
+
+BUFFER_BYTES = 1 << 26  # 64 MiB per tenant
+
+
+def print_steering_plans(allocator) -> None:
+    rows = []
+    for slc in sorted(allocator.slices, key=lambda s: s.name):
+        plan = plan_steering(slc, Interconnect.OPTICAL)
+        fractions = ", ".join(
+            f"dim{d}: {f:.0%}" for d, f in sorted(plan.per_dimension_fraction.items())
+        )
+        rows.append(
+            [
+                slc.name,
+                fractions,
+                str(plan.switch_programs),
+                f"{plan.latency_s * 1e6:.1f} us",
+            ]
+        )
+    print(render_table(
+        ["slice", "steered bandwidth", "MZI programs", "settle"],
+        rows,
+        title="Steering plans (all 16 wavelengths per chip reassigned)",
+    ))
+
+
+def measure(allocator, interconnect: Interconnect) -> list:
+    rack = Torus((4, 4, 4))
+    fraction = 1.0 if interconnect is Interconnect.OPTICAL else 1 / 3
+    capacities = {
+        link: CHIP_EGRESS_BYTES * fraction for link in rack.links()
+    }
+    workload = MultiTenantWorkload(
+        slices=allocator.slices,
+        buffer_bytes=BUFFER_BYTES,
+        interconnect=interconnect,
+    )
+    params = CostParameters()
+    return run_concurrent_schedules(
+        workload.schedules(), capacities, params.alpha_s, params.reconfig_s
+    )
+
+
+def main() -> None:
+    allocator = figure5b_layout()
+    print_steering_plans(allocator)
+
+    electrical = measure(allocator, Interconnect.ELECTRICAL)
+    optical = measure(allocator, Interconnect.OPTICAL)
+
+    rows = []
+    for slc, e, o in zip(allocator.slices, electrical, optical):
+        rows.append(
+            [
+                slc.name,
+                "x".join(map(str, slc.shape)),
+                f"{e.duration_s * 1e3:.3f} ms",
+                f"{o.duration_s * 1e3:.3f} ms",
+                f"{e.duration_s / o.duration_s:.2f}x",
+            ]
+        )
+    print(render_table(
+        ["tenant", "shape", "electrical", "steered optics", "speedup"],
+        rows,
+        title=f"\nConcurrent REDUCESCATTER, {BUFFER_BYTES >> 20} MiB per tenant",
+    ))
+    print(
+        "\nSlice-1/2 recover the paper's 3x (one usable dimension -> full"
+        "\nsteered ring); Slice-3/4 recover 1.5x (two usable dimensions)."
+    )
+
+
+if __name__ == "__main__":
+    main()

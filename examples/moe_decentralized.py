@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Mixture-of-Experts dispatch over dynamic optical circuits (Section 5).
+
+MoE inference routes tokens to experts chosen at runtime by a gating
+function, so circuits cannot be planned ahead. This example generates
+gating batches over the 32 accelerators of a LIGHTPATH wafer and serves
+them with (a) a centralized controller that tracks every waveguide and
+(b) the decentralized random-claim allocator the paper calls for —
+printing per-batch setup latency, retry rounds and success rates.
+
+Run:  python examples/moe_decentralized.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.decentralized import (
+    CentralizedController,
+    DecentralizedAllocator,
+    mean_setup_latency,
+    success_rate,
+)
+from repro.core.wafer import LightpathWafer
+from repro.sim.traffic import MoeGatingWorkload
+
+BATCHES = 6
+FANOUT = 2
+
+
+def wafer_chips() -> list:
+    return [(r, c) for r in range(4) for c in range(8)]
+
+
+def serve(batches, make_allocator) -> list:
+    """Serve each batch on a fresh wafer; return per-batch stats."""
+    stats = []
+    for i, batch in enumerate(batches):
+        allocator = make_allocator(i)
+        outcomes = allocator.allocate_batch(batch)
+        attempts = max((o.attempts for o in outcomes), default=0)
+        stats.append(
+            (
+                len(batch),
+                mean_setup_latency(outcomes),
+                success_rate(outcomes),
+                attempts,
+            )
+        )
+    return stats
+
+
+def main() -> None:
+    workload = MoeGatingWorkload(chips=wafer_chips(), fanout=FANOUT, seed=11)
+    batches = workload.batches(BATCHES)
+    total = sum(len(b) for b in batches)
+    print(f"MoE gating: {BATCHES} batches, fanout {FANOUT}, "
+          f"{total} circuit requests over 32 experts\n")
+
+    central = serve(batches, lambda i: CentralizedController(LightpathWafer()))
+    decentral = serve(
+        batches,
+        lambda i: DecentralizedAllocator(
+            LightpathWafer(), rng=np.random.default_rng(100 + i)
+        ),
+    )
+
+    rows = []
+    for i, (c, d) in enumerate(zip(central, decentral)):
+        rows.append(
+            [
+                str(i),
+                str(c[0]),
+                f"{c[1] * 1e6:.1f} us",
+                f"{d[1] * 1e6:.1f} us",
+                str(d[3]),
+                f"{d[2]:.0%}",
+            ]
+        )
+    print(render_table(
+        ["batch", "requests", "central latency", "decentral latency",
+         "worst rounds", "decentral ok"],
+        rows,
+        title="Per-batch circuit setup",
+    ))
+
+    central_mean = np.mean([c[1] for c in central])
+    decentral_mean = np.mean([d[1] for d in decentral])
+    print(f"\nmean setup latency: centralized {central_mean * 1e6:.1f} us, "
+          f"decentralized {decentral_mean * 1e6:.1f} us")
+    print("The centralized controller serializes the gating burst; the "
+          "decentralized allocator programs the whole batch in a few "
+          "3.7 us rounds regardless of size — the Section 5 argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's story in five steps.
+
+Builds a LIGHTPATH wafer, establishes an optical circuit, reproduces the
+Figure 5c bandwidth-utilization numbers for the Figure 5b rack, prints
+Table 1, and repairs a failed TPU optically (Figure 7).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.tables import cost_row, render_table
+from repro.analysis.utilization import figure5b_layout, rack_utilization
+from repro.collectives.primitives import Interconnect, reduce_scatter_cost
+from repro.core.circuits import CircuitManager
+from repro.core.fabric import LightpathRackFabric
+from repro.core.repair import plan_optical_repair
+from repro.core.wafer import LightpathWafer
+from repro.topology.slices import SliceAllocator
+from repro.topology.tpu import TpuRack
+
+
+def step1_wafer() -> None:
+    """A 32-tile LIGHTPATH wafer with the paper's Section 3 capabilities."""
+    wafer = LightpathWafer()
+    print(render_table(
+        ["capability", "value"],
+        [list(r) for r in wafer.capabilities().rows()],
+        title="1) LIGHTPATH wafer",
+    ))
+
+
+def step2_circuit() -> None:
+    """An on-demand chip-to-chip optical circuit across the wafer."""
+    manager = CircuitManager(wafer=LightpathWafer())
+    circuit = manager.establish((0, 0), (3, 7))
+    print("\n2) corner-to-corner circuit:")
+    print(f"   route: {len(circuit.route.tiles)} tiles, "
+          f"{circuit.route.boundary_crossings} crossings, "
+          f"{circuit.route.mzi_hops} MZI hops")
+    print(f"   loss {circuit.link_report.path_loss_db:.2f} dB, "
+          f"margin {circuit.link_report.margin_db:.2f} dB, "
+          f"setup {circuit.setup_latency_s * 1e6:.1f} us")
+
+
+def step3_utilization() -> None:
+    """Figure 5c: what each tenant of the Figure 5b rack can actually use."""
+    rows = rack_utilization(figure5b_layout())
+    print(render_table(
+        ["slice", "shape", "electrical", "optical", "loss"],
+        [
+            [
+                u.name,
+                "x".join(map(str, u.shape)),
+                f"{u.electrical_fraction:.0%}",
+                f"{u.optical_fraction:.0%}",
+                f"{u.bandwidth_loss_percent:.0f} %",
+            ]
+            for u in rows
+        ],
+        title="\n3) Figure 5c — usable per-chip bandwidth",
+    ))
+
+
+def step4_table1() -> None:
+    """Table 1: REDUCESCATTER costs of Slice-1."""
+    allocator = SliceAllocator(TpuRack(0).torus)
+    slice1 = allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+    electrical = reduce_scatter_cost(slice1, Interconnect.ELECTRICAL)
+    optical = reduce_scatter_cost(slice1, Interconnect.OPTICAL)
+    print(render_table(
+        ["slice", "elec a", "optics a", "elec b", "optics b", "ratio"],
+        [cost_row("Slice-1", electrical, optical)],
+        title="\n4) Table 1 — REDUCESCATTER costs",
+    ))
+
+
+def step5_repair() -> None:
+    """Figure 7: splice a free TPU into the broken rings optically."""
+    rack = TpuRack(0)
+    fabric = LightpathRackFabric(rack)
+    allocator = SliceAllocator(rack.torus)
+    slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
+    allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
+    plan = plan_optical_repair(fabric, allocator, slice3, failed=(1, 2, 0))
+    print("\n5) Figure 7 — optical repair:")
+    print(f"   failed {plan.failed} -> replacement {plan.replacement}")
+    print(f"   {len(plan.circuits)} circuits, {plan.fibers_used} fibers, "
+          f"ready in {plan.setup_latency_s * 1e6:.1f} us, "
+          f"blast radius {plan.blast_radius_chips} chip")
+
+
+def main() -> None:
+    step1_wafer()
+    step2_circuit()
+    step3_utilization()
+    step4_table1()
+    step5_repair()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Topology engineering on a LIGHTPATH wafer (paper Section 6).
+
+Given a skewed traffic matrix over the wafer's 32 accelerators — a few
+elephant flows (pipeline-parallel stage traffic) over a mouse-level
+floor — engineer a wavelength-circuit topology that serves the elephants
+directly, and compare it with the port-equivalent static mesh. Then apply
+the engineered topology to the fabric as real circuits, demonstrating the
+whole path from traffic matrix to programmed MZIs.
+
+Run:  python examples/topology_engineering_demo.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.circuits import CircuitError, CircuitManager
+from repro.core.topology_engineering import (
+    engineer_topology,
+    evaluate_topology,
+    skewed_traffic,
+    uniform_mesh,
+)
+from repro.core.wafer import LightpathWafer
+
+PORTS = 8
+
+
+def wafer_nodes(wafer):
+    """Accelerator per tile, labelled by its tile coordinate."""
+    return sorted(wafer.tiles)
+
+
+def main() -> None:
+    wafer = LightpathWafer()
+    nodes = wafer_nodes(wafer)
+    traffic = skewed_traffic(
+        nodes, heavy_pairs=24, heavy_bytes=56e9, light_bytes=1e9
+    )
+    print(f"traffic: {len(traffic.demand)} pairs, "
+          f"{traffic.total_bytes_per_s() / 1e12:.2f} TB/s offered, "
+          f"24 elephant flows of 56 GB/s\n")
+
+    engineered = engineer_topology(traffic, ports_per_node=PORTS)
+    mesh = uniform_mesh(nodes, ports_per_node=PORTS)
+    engineered_score = evaluate_topology(engineered, traffic)
+    mesh_score = evaluate_topology(mesh, traffic)
+    print(render_table(
+        ["topology", "direct-served", "served TB/s"],
+        [
+            [
+                "engineered circuits",
+                f"{engineered_score.direct_fraction:.1%}",
+                f"{engineered_score.served_bytes_per_s / 1e12:.2f}",
+            ],
+            [
+                "static uniform mesh",
+                f"{mesh_score.direct_fraction:.1%}",
+                f"{mesh_score.served_bytes_per_s / 1e12:.2f}",
+            ],
+        ],
+        title=f"Engineered vs static ({PORTS} ports per accelerator)",
+    ))
+
+    # Program the engineered topology onto the wafer as actual circuits.
+    manager = CircuitManager(wafer=wafer)
+    established = 0
+    failed = 0
+    for (src, dst), count in sorted(engineered.circuits.items()):
+        for _ in range(count):
+            try:
+                manager.establish(src, dst)
+                established += 1
+            except CircuitError:
+                failed += 1
+    print(f"\nprogrammed {established} circuits onto the wafer "
+          f"({failed} rejected by resource limits); "
+          f"mean waveguide-bus utilization "
+          f"{manager.router.utilization():.2%}")
+    print(f"every circuit congestion-free with "
+          f"worst link margin {manager.worst_margin_db():.1f} dB")
+
+
+if __name__ == "__main__":
+    main()

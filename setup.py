@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``. This shim
+exists so environments without the ``wheel`` package (where pip's
+PEP 517 editable path cannot build) can still do an editable install via
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,35 @@
+"""repro — reproduction of "A case for server-scale photonic connectivity".
+
+A simulator and analysis library for the HotNets '24 paper by Vijaya
+Kumar, Devraj, Bunandar and Singh: the LIGHTPATH server-scale photonic
+interconnect (``repro.core``), its physical layer (``repro.phy``), the
+TPUv4-style cluster substrate it is evaluated against (``repro.topology``),
+collective-communication cost models and schedules (``repro.collectives``),
+a discrete-event fluid-flow simulator (``repro.sim``), and failure /
+blast-radius analysis (``repro.failures``). ``repro.analysis`` formats the
+paper's tables and figures.
+
+Quickstart::
+
+    from repro.analysis import figure5b_layout, rack_utilization
+
+    allocator = figure5b_layout()
+    for row in rack_utilization(allocator):
+        print(row.name, f"electrical {row.electrical_fraction:.0%}",
+              f"optical {row.optical_fraction:.0%}")
+"""
+
+from . import analysis, collectives, core, failures, phy, sim, topology
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "analysis",
+    "collectives",
+    "core",
+    "failures",
+    "phy",
+    "sim",
+    "topology",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — reproduce the paper's results from the shell."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

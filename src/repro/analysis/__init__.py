@@ -1,0 +1,39 @@
+"""Analysis and reporting: utilization, congestion and table rendering."""
+
+from .congestion_report import (
+    RackCongestionReport,
+    SharedLink,
+    analyze_rack_congestion,
+    congestion_multiplicity_histogram,
+)
+from .sweep import (
+    BufferSweepPoint,
+    ShapeSweepPoint,
+    buffer_size_sweep,
+    slice_shape_sweep,
+)
+from .tables import cost_row, render_histogram, render_table
+from .utilization import (
+    SliceUtilization,
+    figure5b_layout,
+    rack_utilization,
+    slice_utilization,
+)
+
+__all__ = [
+    "RackCongestionReport",
+    "SharedLink",
+    "analyze_rack_congestion",
+    "congestion_multiplicity_histogram",
+    "BufferSweepPoint",
+    "ShapeSweepPoint",
+    "buffer_size_sweep",
+    "slice_shape_sweep",
+    "cost_row",
+    "render_histogram",
+    "render_table",
+    "SliceUtilization",
+    "figure5b_layout",
+    "rack_utilization",
+    "slice_utilization",
+]

@@ -1,0 +1,118 @@
+"""Cross-tenant congestion analysis (paper Figure 5b, Section 4.1).
+
+The paper defines congestion as "multiple transfers occur[ring]
+simultaneously on the same link". A single tenant's rings are internally
+congestion-free; the trouble starts when several tenants' rings — or a
+tenant's wrap paths through foreign chips — land on the same physical
+links. This module takes the per-slice ring link sets and reports exactly
+which links are shared by whom.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..topology.slices import SliceAllocator
+from ..topology.torus import Link
+
+__all__ = ["SharedLink", "RackCongestionReport", "analyze_rack_congestion"]
+
+
+@dataclass(frozen=True)
+class SharedLink:
+    """One physical link carrying traffic of multiple ring instances.
+
+    Attributes:
+        link: the shared link.
+        users: labels of the (slice, dimension) rings using it.
+    """
+
+    link: Link
+    users: tuple[str, ...]
+
+    @property
+    def multiplicity(self) -> int:
+        """How many ring instances share the link."""
+        return len(self.users)
+
+
+@dataclass(frozen=True)
+class RackCongestionReport:
+    """Congestion summary of a multi-tenant rack.
+
+    Attributes:
+        shared_links: every link carrying more than one user.
+        per_slice_congested_dims: for each slice, the dimensions whose
+            rings hit at least one shared link.
+    """
+
+    shared_links: tuple[SharedLink, ...]
+    per_slice_congested_dims: dict[str, tuple[int, ...]]
+
+    @property
+    def is_congestion_free(self) -> bool:
+        """True when no link is shared."""
+        return not self.shared_links
+
+    @property
+    def worst_multiplicity(self) -> int:
+        """Largest number of users on one link (1 when congestion-free)."""
+        return max((s.multiplicity for s in self.shared_links), default=1)
+
+    def congested_dimensions(self, slice_name: str) -> tuple[int, ...]:
+        """Dimensions of ``slice_name`` whose rings are congested."""
+        return self.per_slice_congested_dims.get(slice_name, ())
+
+
+def analyze_rack_congestion(
+    allocator: SliceAllocator,
+    dims_per_slice: dict[str, list[int]] | None = None,
+) -> RackCongestionReport:
+    """Check which tenants' rings collide on physical links.
+
+    Args:
+        allocator: the rack's slice allocator.
+        dims_per_slice: the dimensions each slice attempts to ring over;
+            defaults to every slice's *active* dimensions — i.e. the
+            tenant naively runs the full bucket algorithm, the scenario of
+            Figure 5b where Z (and under-spanning Y) rings collide.
+    """
+    usage: dict[Link, list[str]] = {}
+    slice_dim_links: dict[tuple[str, int], set[Link]] = {}
+    for slc in allocator.slices:
+        dims = (
+            dims_per_slice.get(slc.name, slc.active_dimensions())
+            if dims_per_slice is not None
+            else slc.active_dimensions()
+        )
+        for dim in dims:
+            links = set(slc.ring_links(dim))
+            slice_dim_links[(slc.name, dim)] = links
+            label = f"{slc.name}/dim{dim}"
+            for link in links:
+                usage.setdefault(link, []).append(label)
+    shared = tuple(
+        SharedLink(link=link, users=tuple(sorted(users)))
+        for link, users in sorted(usage.items(), key=lambda kv: kv[0])
+        if len(users) > 1
+    )
+    shared_set = {s.link for s in shared}
+    per_slice: dict[str, list[int]] = {}
+    for (name, dim), links in slice_dim_links.items():
+        if links & shared_set:
+            per_slice.setdefault(name, []).append(dim)
+    return RackCongestionReport(
+        shared_links=shared,
+        per_slice_congested_dims={
+            name: tuple(sorted(dims)) for name, dims in per_slice.items()
+        },
+    )
+
+
+def congestion_multiplicity_histogram(
+    report: RackCongestionReport,
+) -> dict[int, int]:
+    """How many links are shared by exactly k users, for each k >= 2."""
+    counts = Counter(s.multiplicity for s in report.shared_links)
+    return dict(sorted(counts.items()))

@@ -1,0 +1,118 @@
+"""Parameter-sweep helpers producing figure-style series.
+
+The benches and examples repeatedly sweep the same axes — buffer size,
+slice shape, reconfiguration delay — and tabulate electrical-vs-optical
+outcomes. These helpers build those series once, with explicit dataclass
+rows, so the output of every sweep is self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.cost_model import CostParameters
+from ..collectives.primitives import Interconnect, reduce_scatter_cost
+from ..topology.slices import Slice, SliceAllocator
+from ..topology.torus import Torus
+
+__all__ = [
+    "BufferSweepPoint",
+    "buffer_size_sweep",
+    "ShapeSweepPoint",
+    "slice_shape_sweep",
+]
+
+
+@dataclass(frozen=True)
+class BufferSweepPoint:
+    """Electrical vs optical REDUCESCATTER time at one buffer size.
+
+    Attributes:
+        n_bytes: buffer size.
+        electrical_s: closed-form electrical time.
+        optical_s: closed-form steered-optics time (includes r).
+    """
+
+    n_bytes: int
+    electrical_s: float
+    optical_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Electrical over optical duration."""
+        return self.electrical_s / self.optical_s
+
+    @property
+    def optics_wins(self) -> bool:
+        """Whether steering beats static links at this size."""
+        return self.optical_s < self.electrical_s
+
+
+def buffer_size_sweep(
+    slc: Slice,
+    sizes: list[int],
+    params: CostParameters | None = None,
+) -> list[BufferSweepPoint]:
+    """REDUCESCATTER time vs buffer size for one slice, both interconnects.
+
+    Raises:
+        ValueError: on an empty or non-positive size list.
+    """
+    if not sizes or any(s <= 0 for s in sizes):
+        raise ValueError("sizes must be positive")
+    params = params or CostParameters()
+    electrical = reduce_scatter_cost(slc, Interconnect.ELECTRICAL)
+    optical = reduce_scatter_cost(slc, Interconnect.OPTICAL)
+    return [
+        BufferSweepPoint(
+            n_bytes=size,
+            electrical_s=electrical.seconds(size, params),
+            optical_s=optical.seconds(size, params),
+        )
+        for size in sizes
+    ]
+
+
+@dataclass(frozen=True)
+class ShapeSweepPoint:
+    """Utilization and cost advantage for one slice shape.
+
+    Attributes:
+        shape: the slice shape.
+        chips: chip count.
+        electrical_utilization: usable bandwidth fraction, static links.
+        beta_advantage: electrical-over-optical beta factor ratio.
+    """
+
+    shape: tuple[int, ...]
+    chips: int
+    electrical_utilization: float
+    beta_advantage: float
+
+
+def slice_shape_sweep(
+    shapes: list[tuple[int, ...]],
+    rack_shape: tuple[int, ...] = (4, 4, 4),
+) -> list[ShapeSweepPoint]:
+    """Sweep slice shapes on a fresh rack, reporting the optics advantage.
+
+    Shapes with a single chip are skipped (no collective to run).
+    """
+    rack = Torus(rack_shape)
+    points = []
+    for shape in shapes:
+        allocator = SliceAllocator(rack)
+        slc = allocator.allocate("sweep", shape, tuple(0 for _ in rack_shape))
+        if slc.chip_count < 2:
+            continue
+        electrical = reduce_scatter_cost(slc, Interconnect.ELECTRICAL)
+        optical = reduce_scatter_cost(slc, Interconnect.OPTICAL)
+        points.append(
+            ShapeSweepPoint(
+                shape=shape,
+                chips=slc.chip_count,
+                electrical_utilization=slc.electrical_utilization(),
+                beta_advantage=electrical.beta_factor / optical.beta_factor,
+            )
+        )
+    return points

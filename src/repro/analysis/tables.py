@@ -1,0 +1,79 @@
+"""Text-table formatters for the paper's tables and figures.
+
+The benchmark harness prints rows directly comparable to the paper; this
+module renders them. Everything returns plain strings so the benches work
+in any terminal and their output can be diffed.
+"""
+
+from __future__ import annotations
+
+from ..collectives.cost_model import CollectiveCost
+
+__all__ = ["render_table", "cost_row", "render_histogram"]
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table.
+
+    Raises:
+        ValueError: when a row's width disagrees with the header.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, header has {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: list[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def cost_row(label: str, electrical: CollectiveCost, optical: CollectiveCost) -> list[str]:
+    """One Tables-1/2-style row: alpha and beta terms for both sides."""
+    ratio = (
+        electrical.beta_factor / optical.beta_factor
+        if optical.beta_factor
+        else float("inf")
+    )
+    return [
+        label,
+        electrical.alpha_label(),
+        optical.alpha_label(),
+        electrical.beta_label(),
+        optical.beta_label(),
+        f"{ratio:.3g}x",
+    ]
+
+
+def render_histogram(
+    bin_edges: list[float],
+    counts: list[int],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII histogram (for Figures 3a/3b)."""
+    if len(bin_edges) != len(counts) + 1:
+        raise ValueError("need len(bin_edges) == len(counts) + 1")
+    peak = max(counts) if counts else 1
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * max(0, round(width * count / max(peak, 1)))
+        lines.append(
+            f"{bin_edges[i]:7.3f}-{bin_edges[i + 1]:7.3f}{unit} | "
+            f"{bar} {count}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Bandwidth-utilization analysis (paper Figure 5b/5c).
+
+Computes, for every slice of a rack layout, the per-chip bandwidth it can
+actually use under static electrical links versus steered LIGHTPATH
+optics — the series Figure 5c plots. Includes the canonical Figure 5b rack
+layout so benches and examples reproduce the exact scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.primitives import Interconnect
+from ..core.steering import effective_chip_bandwidth
+from ..phy.constants import CHIP_EGRESS_BYTES
+from ..topology.slices import Slice, SliceAllocator
+from ..topology.torus import Torus
+
+__all__ = [
+    "SliceUtilization",
+    "figure5b_layout",
+    "rack_utilization",
+]
+
+
+@dataclass(frozen=True)
+class SliceUtilization:
+    """Utilization of one slice under both interconnects.
+
+    Attributes:
+        name: slice label.
+        shape: slice shape.
+        chips: chip count.
+        usable_dims_electrical: dimensions with congestion-free rings.
+        electrical_fraction: usable fraction of chip bandwidth, electrical.
+        optical_fraction: usable fraction with LIGHTPATH steering.
+        electrical_bandwidth_bytes: absolute per-chip bandwidth, electrical.
+        optical_bandwidth_bytes: absolute per-chip bandwidth, optical.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    chips: int
+    usable_dims_electrical: tuple[int, ...]
+    electrical_fraction: float
+    optical_fraction: float
+    electrical_bandwidth_bytes: float
+    optical_bandwidth_bytes: float
+
+    @property
+    def bandwidth_loss_percent(self) -> float:
+        """Percent of chip bandwidth the electrical slice strands.
+
+        Slice-1's 66 % in Figure 5c.
+        """
+        return (1.0 - self.electrical_fraction) * 100.0
+
+    @property
+    def optical_gain_factor(self) -> float:
+        """Optical-to-electrical usable-bandwidth ratio."""
+        if self.electrical_fraction == 0:
+            return float("inf")
+        return self.optical_fraction / self.electrical_fraction
+
+
+def figure5b_layout(allocator: SliceAllocator | None = None) -> SliceAllocator:
+    """The multi-tenant rack layout of Figure 5b.
+
+    Four tenants fill a 4x4x4 rack: Slice-1 (4x2x1) and Slice-2 (4x2x1)
+    share the z=3 plane, Slice-3 (4x4x1) owns z=0, and Slice-4 (4x4x2)
+    owns z=1..2.
+    """
+    if allocator is None:
+        allocator = SliceAllocator(Torus((4, 4, 4)))
+    allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
+    allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
+    allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+    allocator.allocate("Slice-2", (4, 2, 1), (0, 2, 3))
+    return allocator
+
+
+def slice_utilization(
+    slc: Slice, chip_egress: float = CHIP_EGRESS_BYTES
+) -> SliceUtilization:
+    """Utilization summary of one slice."""
+    return SliceUtilization(
+        name=slc.name,
+        shape=slc.shape,
+        chips=slc.chip_count,
+        usable_dims_electrical=tuple(slc.usable_dimensions()),
+        electrical_fraction=slc.electrical_utilization(),
+        optical_fraction=slc.optical_utilization(),
+        electrical_bandwidth_bytes=effective_chip_bandwidth(
+            slc, Interconnect.ELECTRICAL, chip_egress
+        ),
+        optical_bandwidth_bytes=effective_chip_bandwidth(
+            slc, Interconnect.OPTICAL, chip_egress
+        ),
+    )
+
+
+def rack_utilization(
+    allocator: SliceAllocator, chip_egress: float = CHIP_EGRESS_BYTES
+) -> list[SliceUtilization]:
+    """Utilization summaries for every tenant of a rack, by name."""
+    return [
+        slice_utilization(slc, chip_egress)
+        for slc in sorted(allocator.slices, key=lambda s: s.name)
+    ]

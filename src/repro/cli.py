@@ -1,0 +1,260 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+Usage::
+
+    python -m repro capabilities          # Section 3 capability report
+    python -m repro figure3a              # MZI step response + fit
+    python -m repro figure3b              # stitch-loss histogram
+    python -m repro table1 [--buffer-mib 64]
+    python -m repro table2
+    python -m repro figure5               # per-slice utilization
+    python -m repro figure6a              # electrical replacement attempts
+    python -m repro figure7               # optical repair plan
+    python -m repro blast-radius [--days 90]
+
+Every subcommand prints the same tables the benchmark harness emits, so
+results can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from .analysis.tables import cost_row, render_histogram, render_table
+from .analysis.utilization import figure5b_layout, rack_utilization
+from .collectives.cost_model import CostParameters
+from .collectives.primitives import (
+    Interconnect,
+    reduce_scatter_cost,
+    reduce_scatter_stage_costs,
+)
+from .core.fabric import LightpathRackFabric
+from .core.repair import plan_optical_repair
+from .core.wafer import LightpathWafer
+from .failures.blast_radius import compare_policies, improvement_factor
+from .failures.inject import FleetFailureModel
+from .failures.recovery import ElectricalRecoveryAnalysis
+from .phy.mzi import MziSwitchDynamics
+from .phy.stitch_loss import StitchLossModel
+from .topology.slices import SliceAllocator
+from .topology.tpu import TpuCluster, TpuRack
+from .topology.torus import Torus
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_capabilities(_args: argparse.Namespace) -> int:
+    wafer = LightpathWafer()
+    print(render_table(
+        ["capability", "value"],
+        [list(r) for r in wafer.capabilities().rows()],
+        title="Section 3 — LIGHTPATH capabilities",
+    ))
+    return 0
+
+
+def _cmd_figure3a(args: argparse.Namespace) -> int:
+    dynamics = MziSwitchDynamics(rng=np.random.default_rng(args.seed))
+    trace = dynamics.measure_step(duration_s=12e-6, samples=4000)
+    fit = dynamics.fit_exponential(trace)
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["fitted tau", f"{fit.tau_s * 1e6:.2f} us"],
+            ["settling time (5 %)", f"{fit.settling_time(0.05) * 1e6:.2f} us"],
+            ["paper", "3.7 us"],
+        ],
+        title="Figure 3a — MZI switch time response",
+    ))
+    return 0
+
+
+def _cmd_figure3b(args: argparse.Namespace) -> int:
+    model = StitchLossModel(rng=np.random.default_rng(args.seed))
+    hist = model.histogram(samples=20000, bins=24)
+    print("Figure 3b — reticle stitch loss distribution")
+    print(render_histogram(list(hist.bin_edges_db), list(hist.counts), unit=" dB"))
+    print(f"\nmean {hist.mean_db:.3f} dB (paper: 0.25 dB), "
+          f"p95 {hist.p95_db:.3f} dB")
+    return 0
+
+
+def _slice(name: str, shape: tuple[int, ...], offset: tuple[int, ...]):
+    allocator = SliceAllocator(Torus((4, 4, 4)))
+    return allocator.allocate(name, shape, offset)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    slice1 = _slice("Slice-1", (4, 2, 1), (0, 0, 3))
+    electrical = reduce_scatter_cost(slice1, Interconnect.ELECTRICAL)
+    optical = reduce_scatter_cost(slice1, Interconnect.OPTICAL)
+    print(render_table(
+        ["slice", "elec a", "optics a", "elec b", "optics b", "ratio"],
+        [cost_row("Slice-1 (4x2x1)", electrical, optical)],
+        title="Table 1 — REDUCESCATTER costs of Slice-1",
+    ))
+    n_bytes = args.buffer_mib * (1 << 20)
+    params = CostParameters()
+    print(f"\nat N = {args.buffer_mib} MiB: electrical "
+          f"{electrical.seconds(n_bytes, params) * 1e3:.3f} ms, optical "
+          f"{optical.seconds(n_bytes, params) * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    slice3 = _slice("Slice-3", (4, 4, 1), (0, 0, 0))
+    electrical = reduce_scatter_stage_costs(slice3, Interconnect.ELECTRICAL)
+    optical = reduce_scatter_stage_costs(slice3, Interconnect.OPTICAL)
+    print(render_table(
+        ["stage", "elec a", "optics a", "elec b", "optics b", "ratio"],
+        [
+            cost_row("X rings (N)", electrical[0], optical[0]),
+            cost_row("Y rings (N/4)", electrical[1], optical[1]),
+        ],
+        title="Table 2 — REDUCESCATTER costs of Slice-3 (D=2)",
+    ))
+    return 0
+
+
+def _cmd_figure5(_args: argparse.Namespace) -> int:
+    rows = rack_utilization(figure5b_layout())
+    print(render_table(
+        ["slice", "shape", "electrical", "optical", "loss"],
+        [
+            [
+                u.name,
+                "x".join(map(str, u.shape)),
+                f"{u.electrical_fraction:.0%}",
+                f"{u.optical_fraction:.0%}",
+                f"{u.bandwidth_loss_percent:.0f} %",
+            ]
+            for u in rows
+        ],
+        title="Figure 5c — usable per-chip bandwidth",
+    ))
+    return 0
+
+
+def _figure6_scenario():
+    rack = TpuRack(0)
+    allocator = SliceAllocator(rack.torus)
+    slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
+    allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
+    allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+    return rack, allocator, slice3
+
+
+def _cmd_figure6a(args: argparse.Namespace) -> int:
+    rack, allocator, slice3 = _figure6_scenario()
+    failed = tuple(args.failed)
+    analysis = ElectricalRecoveryAnalysis(rack.torus, allocator, max_hops=5)
+    attempts = analysis.evaluate_all_free_chips(slice3, failed)
+    print(render_table(
+        ["free chip", "feasible", "congested links"],
+        [
+            [str(a.free_chip), "yes" if a.feasible else "no",
+             str(a.total_congested_links)]
+            for a in attempts
+        ],
+        title=f"Figure 6a — electrical replacement of {failed}",
+    ))
+    feasible = any(a.feasible for a in attempts)
+    print(f"\ncongestion-free replacement exists: {feasible}")
+    return 0 if not feasible else 1
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    rack, allocator, slice3 = _figure6_scenario()
+    fabric = LightpathRackFabric(rack)
+    plan = plan_optical_repair(fabric, allocator, slice3, tuple(args.failed))
+    print(render_table(
+        ["circuit", "server path", "fibers"],
+        [
+            [f"{c.src} -> {c.dst}", " -> ".join(map(str, c.server_path)),
+             str(c.fiber_hops)]
+            for c in plan.circuits
+        ],
+        title=f"Figure 7 — optical repair via {plan.replacement}",
+    ))
+    print(f"\nsetup {plan.setup_latency_s * 1e6:.1f} us, "
+          f"{plan.fibers_used} fibers, blast radius "
+          f"{plan.blast_radius_chips} chip")
+    return 0
+
+
+def _cmd_blast_radius(args: argparse.Namespace) -> int:
+    cluster = TpuCluster()
+    events = FleetFailureModel(cluster, seed=args.seed).sample_failures(
+        args.days * 24 * 3600.0
+    )
+    rack_report, optical_report = compare_policies(events)
+    print(render_table(
+        ["metric", rack_report.policy, optical_report.policy],
+        [
+            ["failures", str(rack_report.failures), str(optical_report.failures)],
+            ["blast radius", str(rack_report.blast_radius_chips),
+             str(optical_report.blast_radius_chips)],
+            ["chip impact", str(rack_report.total_chip_impact),
+             str(optical_report.total_chip_impact)],
+        ],
+        title=f"Section 4.2 — blast radius over {args.days} days",
+    ))
+    print(f"\nimprovement: {improvement_factor(rack_report, optical_report):.0f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce results from 'A case for server-scale "
+        "photonic connectivity' (HotNets '24).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("capabilities", help="Section 3 capability report")
+
+    p3a = sub.add_parser("figure3a", help="MZI step response + fit")
+    p3a.add_argument("--seed", type=int, default=42)
+
+    p3b = sub.add_parser("figure3b", help="stitch-loss histogram")
+    p3b.add_argument("--seed", type=int, default=42)
+
+    p_t1 = sub.add_parser("table1", help="Slice-1 REDUCESCATTER costs")
+    p_t1.add_argument("--buffer-mib", type=int, default=64)
+
+    sub.add_parser("table2", help="Slice-3 staged costs")
+    sub.add_parser("figure5", help="per-slice bandwidth utilization")
+
+    p6a = sub.add_parser("figure6a", help="electrical replacement attempts")
+    p6a.add_argument("--failed", type=int, nargs=3, default=[1, 2, 0])
+
+    p7 = sub.add_parser("figure7", help="optical repair plan")
+    p7.add_argument("--failed", type=int, nargs=3, default=[1, 2, 0])
+
+    pbr = sub.add_parser("blast-radius", help="fleet blast-radius comparison")
+    pbr.add_argument("--days", type=int, default=90)
+    pbr.add_argument("--seed", type=int, default=2024)
+
+    return parser
+
+
+_HANDLERS = {
+    "capabilities": _cmd_capabilities,
+    "figure3a": _cmd_figure3a,
+    "figure3b": _cmd_figure3b,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "figure5": _cmd_figure5,
+    "figure6a": _cmd_figure6a,
+    "figure7": _cmd_figure7,
+    "blast-radius": _cmd_blast_radius,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)

@@ -1,0 +1,100 @@
+"""Collective communication: cost models, schedules and strategies.
+
+Implements the paper's Section 4.1 machinery — the alpha-beta-r cost model,
+ring and multi-dimensional bucket algorithms, their concrete link-level
+schedules, and the per-slice strategy selection behind Tables 1 and 2.
+"""
+
+from .alltoall import (
+    alltoall_electrical_schedule,
+    alltoall_optical_cost,
+    alltoall_optical_schedule,
+    alltoall_ring_cost,
+    alltoall_ring_schedule,
+)
+from .bucket import (
+    bucket_all_gather_schedule,
+    bucket_all_reduce_schedule,
+    bucket_reduce_scatter_schedule,
+    simultaneous_bucket_schedules,
+)
+from .cost_model import (
+    CollectiveCost,
+    CostParameters,
+    bucket_all_gather,
+    bucket_all_reduce,
+    bucket_reduce_scatter,
+    bucket_stage_costs,
+    reduce_scatter_lower_bound,
+    ring_all_gather,
+    ring_reduce_scatter,
+    simultaneous_bucket_beta_factor,
+)
+from .primitives import (
+    Interconnect,
+    SliceStrategy,
+    StrategyKind,
+    build_reduce_scatter_schedule,
+    plan_reduce_scatter,
+    reduce_scatter_cost,
+    reduce_scatter_stage_costs,
+)
+from .ring import (
+    direct_path,
+    electrical_hop_path,
+    ring_all_gather_schedule,
+    ring_reduce_scatter_schedule,
+    snake_order,
+)
+from .schedule import CollectiveSchedule, Phase, Transfer
+from .validation import (
+    ReduceScatterState,
+    simulate_bucket_reduce_scatter,
+    simulate_ring_all_gather,
+    simulate_ring_reduce_scatter,
+    verify_all_gather,
+    verify_reduce_scatter,
+)
+
+__all__ = [
+    "alltoall_electrical_schedule",
+    "alltoall_optical_cost",
+    "alltoall_optical_schedule",
+    "alltoall_ring_cost",
+    "alltoall_ring_schedule",
+    "bucket_all_gather_schedule",
+    "bucket_all_reduce_schedule",
+    "bucket_reduce_scatter_schedule",
+    "simultaneous_bucket_schedules",
+    "CollectiveCost",
+    "CostParameters",
+    "bucket_all_gather",
+    "bucket_all_reduce",
+    "bucket_reduce_scatter",
+    "bucket_stage_costs",
+    "reduce_scatter_lower_bound",
+    "ring_all_gather",
+    "ring_reduce_scatter",
+    "simultaneous_bucket_beta_factor",
+    "Interconnect",
+    "SliceStrategy",
+    "StrategyKind",
+    "build_reduce_scatter_schedule",
+    "plan_reduce_scatter",
+    "reduce_scatter_cost",
+    "reduce_scatter_stage_costs",
+    "direct_path",
+    "electrical_hop_path",
+    "ring_all_gather_schedule",
+    "ring_reduce_scatter_schedule",
+    "snake_order",
+    "CollectiveSchedule",
+    "Phase",
+    "Transfer",
+    "ReduceScatterState",
+    "simulate_bucket_reduce_scatter",
+    "simulate_ring_all_gather",
+    "simulate_ring_reduce_scatter",
+    "verify_all_gather",
+    "verify_reduce_scatter",
+]

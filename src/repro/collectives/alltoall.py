@@ -1,0 +1,191 @@
+"""ALLTOALL schedules: the paper's hard case (Section 5).
+
+"While simple collective operations, such as those using ring ALLREDUCE
+where each accelerator communicates with only two others, are relatively
+straightforward, handling all-to-all traffic is much more complex."
+
+ALLTOALL makes every chip send a distinct shard to every other chip —
+the traffic of MoE token dispatch and of sharded embedding lookups. This
+module builds three executable strategies and their symbolic costs:
+
+* **Electrical direct**: each pair exchanges over the static torus,
+  forwarding along dimension-ordered routes; shared links congest.
+* **Optical circuit rounds**: the fabric walks ``p - 1`` permutation
+  rounds (round ``k`` connects ``i -> (i + k) mod p``); each round is a
+  perfect matching realized as dedicated circuits, so it is
+  congestion-free but charges one reconfiguration ``r`` per round.
+* **Ring decomposition**: all-to-all lowered onto the ring (each shard
+  forwarded hop-by-hop), the baseline a ring-only fabric would use.
+"""
+
+from __future__ import annotations
+
+from ..topology.slices import Slice
+from ..topology.torus import Coordinate
+from .cost_model import CollectiveCost
+from .ring import direct_path, snake_order
+from .schedule import CollectiveSchedule, Phase, Transfer
+
+__all__ = [
+    "alltoall_optical_cost",
+    "alltoall_ring_cost",
+    "alltoall_optical_schedule",
+    "alltoall_electrical_schedule",
+    "alltoall_ring_schedule",
+]
+
+
+def _check(p: int, n_bytes: float) -> None:
+    if p < 2:
+        raise ValueError("ALLTOALL needs at least two chips")
+    if n_bytes < 0:
+        raise ValueError("buffer size cannot be negative")
+
+
+def alltoall_optical_cost(p: int, bandwidth_fraction: float = 1.0) -> CollectiveCost:
+    """Symbolic cost of the circuit-round ALLTOALL over ``p`` chips.
+
+    ``p - 1`` rounds; each round moves one shard of ``N / p`` bytes per
+    chip at the per-circuit bandwidth and charges one ``r``.
+    """
+    _check(p, 0.0)
+    if not 0.0 < bandwidth_fraction <= 1.0:
+        raise ValueError("bandwidth fraction must be in (0, 1]")
+    return CollectiveCost(
+        alpha_count=p - 1,
+        beta_factor=(p - 1) / p / bandwidth_fraction,
+        reconfig_count=p - 1,
+    )
+
+
+def alltoall_ring_cost(p: int, bandwidth_fraction: float = 1.0) -> CollectiveCost:
+    """Symbolic cost of ring-lowered ALLTOALL over ``p`` chips.
+
+    On a unidirectional ring, each chip's shard to the chip at distance
+    ``d`` occupies ``d`` link-transmissions. Summing over destinations,
+    every link carries ``(N / p) * sum(d, d = 1..p-1) = N (p - 1) / 2``
+    bytes — quadratically worse than the circuit-round variant's
+    ``N (p - 1) / p``, which is the Section 5 point that all-to-all is
+    where ring fabrics stop being enough.
+    """
+    _check(p, 0.0)
+    if not 0.0 < bandwidth_fraction <= 1.0:
+        raise ValueError("bandwidth fraction must be in (0, 1]")
+    return CollectiveCost(
+        alpha_count=p - 1,
+        beta_factor=(p - 1) / 2.0 / bandwidth_fraction,
+    )
+
+
+def alltoall_optical_schedule(
+    chips: list[Coordinate], n_bytes: float, owner: str = ""
+) -> CollectiveSchedule:
+    """Circuit-round ALLTOALL: ``p - 1`` reconfigured perfect matchings.
+
+    Round ``k`` connects chip ``i`` to chip ``(i + k) mod p`` with a
+    dedicated circuit; every chip sends its ``N / p`` shard for that
+    destination. Congestion-free by construction.
+    """
+    p = len(chips)
+    _check(p, n_bytes)
+    if len(set(chips)) != p:
+        raise ValueError("chips must be distinct")
+    schedule = CollectiveSchedule(name=f"alltoall optical rounds p={p}")
+    shard = n_bytes / p
+    for k in range(1, p):
+        transfers = [
+            Transfer(
+                src=chips[i],
+                dst=chips[(i + k) % p],
+                n_bytes=shard,
+                path=direct_path(chips[i], chips[(i + k) % p]),
+                owner=owner,
+            )
+            for i in range(p)
+        ]
+        schedule.add_phase(
+            Phase(
+                transfers=transfers,
+                reconfigurations=1,
+                label=f"a2a round {k}/{p - 1}",
+            )
+        )
+    return schedule
+
+
+def alltoall_electrical_schedule(
+    slc: Slice, n_bytes: float, owner: str = ""
+) -> CollectiveSchedule:
+    """Direct ALLTOALL on the static torus, all pairs at once.
+
+    Every chip sends every shard simultaneously along the forward
+    dimension-ordered route; the resulting link sharing is the congestion
+    the paper predicts for all-to-all on direct-connect fabrics.
+    """
+    chips = slc.chips()
+    p = len(chips)
+    _check(p, n_bytes)
+    shard = n_bytes / p
+    transfers = []
+    for src in chips:
+        for dst in chips:
+            if src == dst:
+                continue
+            path = _dimension_ordered_torus_path(slc, src, dst)
+            transfers.append(
+                Transfer(src=src, dst=dst, n_bytes=shard, path=path, owner=owner)
+            )
+    schedule = CollectiveSchedule(name=f"alltoall electrical direct p={p}")
+    schedule.add_phase(Phase(transfers=transfers, label="a2a direct"))
+    return schedule
+
+
+def alltoall_ring_schedule(
+    slc: Slice, n_bytes: float, owner: str = ""
+) -> CollectiveSchedule:
+    """Ring-lowered ALLTOALL: ``p - 1`` forwarding steps on the snake ring.
+
+    At step ``k`` every chip forwards the bundle of shards still in
+    flight — ``(p - k)`` shards of ``N / p`` bytes — to its ring
+    successor, delivering one shard per step.
+    """
+    order = snake_order(slc)
+    p = len(order)
+    _check(p, n_bytes)
+    shard = n_bytes / p
+    schedule = CollectiveSchedule(name=f"alltoall ring p={p}")
+    for k in range(1, p):
+        in_flight = p - k
+        transfers = [
+            Transfer(
+                src=order[i],
+                dst=order[(i + 1) % p],
+                n_bytes=shard * in_flight,
+                path=direct_path(order[i], order[(i + 1) % p]),
+                owner=owner,
+            )
+            for i in range(p)
+        ]
+        schedule.add_phase(
+            Phase(transfers=transfers, label=f"a2a ring step {k}/{p - 1}")
+        )
+    return schedule
+
+
+def _dimension_ordered_torus_path(
+    slc: Slice, src: Coordinate, dst: Coordinate
+) -> tuple[Coordinate, ...]:
+    """Shortest dimension-ordered path on the rack torus."""
+    path = [src]
+    current = src
+    for dim in range(slc.rack.ndim):
+        extent = slc.rack.shape[dim]
+        forward = (dst[dim] - current[dim]) % extent
+        backward = extent - forward
+        steps, delta = (
+            (forward, 1) if forward <= backward else (backward, -1)
+        )
+        for _ in range(steps):
+            current = slc.rack.shift(current, dim, delta)
+            path.append(current)
+    return tuple(path)

@@ -1,0 +1,203 @@
+"""Multi-dimensional bucket algorithm schedules (paper Sections 2, 4.1).
+
+The TPUv4 software stack runs collectives with the multi-dimensional bucket
+algorithm [39]: one ring per torus dimension, executed sequentially, the
+live buffer shrinking by the ring size after each REDUCESCATTER stage (and
+growing during ALLGATHER). This module materializes those schedules over a
+slice, in both the electrical variant (per-dimension static links, wrap
+paths through foreign chips when the slice under-spans a dimension) and the
+optical variant (end-to-end circuits, a reconfiguration charge between
+stages), plus the simultaneous rotated-order variant the paper discusses
+([41]-style) used to prove the Section 4.1 equivalence.
+"""
+
+from __future__ import annotations
+
+from ..topology.slices import Slice
+from ..topology.torus import Coordinate
+from .ring import direct_path, electrical_hop_path
+from .schedule import CollectiveSchedule, Phase, Transfer
+
+__all__ = [
+    "bucket_reduce_scatter_schedule",
+    "bucket_all_gather_schedule",
+    "bucket_all_reduce_schedule",
+    "simultaneous_bucket_schedules",
+]
+
+
+def _stage_rings(slc: Slice, dim: int) -> list[list[Coordinate]]:
+    rings = slc.rings(dim)
+    if any(len(r) < 2 for r in rings):
+        raise ValueError(
+            f"dimension {dim} of slice {slc.name} has extent "
+            f"{slc.shape[dim]}; bucket stages need extent >= 2"
+        )
+    return rings
+
+
+def _stage_phases(
+    slc: Slice,
+    dim: int,
+    stage_bytes: float,
+    owner: str,
+    optical: bool,
+    stage_label: str,
+) -> list[Phase]:
+    """Phases of one bucket stage: all of the dimension's rings step in
+    lockstep, ``p - 1`` steps of ``stage_bytes / p`` each."""
+    rings = _stage_rings(slc, dim)
+    p = len(rings[0])
+    per_step = stage_bytes / p
+    phases = []
+    for step in range(p - 1):
+        transfers = []
+        for ring in rings:
+            for i in range(p):
+                src, dst = ring[i], ring[(i + 1) % p]
+                path = (
+                    direct_path(src, dst)
+                    if optical
+                    else electrical_hop_path(slc, src, dst)
+                )
+                transfers.append(
+                    Transfer(
+                        src=src, dst=dst, n_bytes=per_step, path=path, owner=owner
+                    )
+                )
+        reconfigs = 1 if (optical and step == 0) else 0
+        phases.append(
+            Phase(
+                transfers=transfers,
+                reconfigurations=reconfigs,
+                label=f"{stage_label} step {step + 1}/{p - 1}",
+            )
+        )
+    return phases
+
+
+def bucket_reduce_scatter_schedule(
+    slc: Slice,
+    n_bytes: float,
+    dims: list[int] | None = None,
+    owner: str = "",
+    optical: bool = False,
+) -> CollectiveSchedule:
+    """REDUCESCATTER via the multi-dimensional bucket algorithm.
+
+    Args:
+        slc: the slice executing the collective.
+        n_bytes: buffer size ``N``.
+        dims: dimension execution order; defaults to the slice's active
+            dimensions in index order (the standard "XYZ" order).
+        owner: label stamped on every transfer.
+        optical: build end-to-end-circuit paths and charge ``r`` before
+            each stage's first step.
+
+    The live buffer entering stage ``k`` is ``N / prod(earlier ring
+    sizes)`` — Table 2's "buffer size N ... then N/4".
+    """
+    if n_bytes < 0:
+        raise ValueError("buffer size cannot be negative")
+    order = list(dims) if dims is not None else slc.active_dimensions()
+    if not order:
+        raise ValueError(f"slice {slc.name} has no dimension with >= 2 chips")
+    schedule = CollectiveSchedule(
+        name=f"reduce-scatter bucket dims={order} ({'optical' if optical else 'electrical'})"
+    )
+    stage_bytes = float(n_bytes)
+    for dim in order:
+        label = f"rs dim{dim}"
+        for phase in _stage_phases(slc, dim, stage_bytes, owner, optical, label):
+            schedule.add_phase(phase)
+        stage_bytes /= slc.shape[dim]
+    return schedule
+
+
+def bucket_all_gather_schedule(
+    slc: Slice,
+    n_bytes: float,
+    dims: list[int] | None = None,
+    owner: str = "",
+    optical: bool = False,
+) -> CollectiveSchedule:
+    """ALLGATHER bucket pass — the REDUCESCATTER mirrored in reverse order.
+
+    The buffer *grows* through stages: the stage over the last reduce
+    dimension starts from ``N / prod(all ring sizes)`` shards upward.
+    """
+    if n_bytes < 0:
+        raise ValueError("buffer size cannot be negative")
+    order = list(dims) if dims is not None else slc.active_dimensions()
+    if not order:
+        raise ValueError(f"slice {slc.name} has no dimension with >= 2 chips")
+    schedule = CollectiveSchedule(
+        name=f"all-gather bucket dims={list(reversed(order))} "
+        f"({'optical' if optical else 'electrical'})"
+    )
+    total_shrink = 1
+    for dim in order:
+        total_shrink *= slc.shape[dim]
+    stage_bytes = float(n_bytes)
+    for dim in order:
+        stage_bytes /= slc.shape[dim]
+    # stage_bytes is now the per-chip shard; walk dims in reverse, growing.
+    for dim in reversed(order):
+        stage_bytes *= slc.shape[dim]
+        label = f"ag dim{dim}"
+        for phase in _stage_phases(slc, dim, stage_bytes, owner, optical, label):
+            schedule.add_phase(phase)
+    return schedule
+
+
+def bucket_all_reduce_schedule(
+    slc: Slice,
+    n_bytes: float,
+    dims: list[int] | None = None,
+    owner: str = "",
+    optical: bool = False,
+) -> CollectiveSchedule:
+    """ALLREDUCE = bucket REDUCESCATTER then bucket ALLGATHER (Section 4.1)."""
+    rs = bucket_reduce_scatter_schedule(slc, n_bytes, dims, owner, optical)
+    ag = bucket_all_gather_schedule(slc, n_bytes, dims, owner, optical)
+    combined = CollectiveSchedule(
+        name=f"all-reduce bucket ({'optical' if optical else 'electrical'})"
+    )
+    for phase in rs.phases + ag.phases:
+        combined.add_phase(phase)
+    return combined
+
+
+def _rotate(order: list[int], k: int) -> list[int]:
+    return order[k:] + order[:k]
+
+
+def simultaneous_bucket_schedules(
+    slc: Slice,
+    n_bytes: float,
+    owner: str = "",
+    optical: bool = False,
+) -> list[CollectiveSchedule]:
+    """The simultaneous rotated-order bucket variant (Section 4.1, [41]).
+
+    Splits the buffer into ``D`` equal parts and runs ``D`` bucket passes
+    concurrently, each in a rotated dimension order (XYZ, YZX, ZXY), so
+    every dimension is busy throughout the collective. Returns one
+    schedule per part; the parts execute in parallel, each dimension
+    carrying ``1 / D`` of the chip bandwidth.
+    """
+    dims = slc.active_dimensions()
+    if not dims:
+        raise ValueError(f"slice {slc.name} has no dimension with >= 2 chips")
+    d = len(dims)
+    part_bytes = n_bytes / d
+    return [
+        bucket_reduce_scatter_schedule(
+            slc,
+            part_bytes,
+            dims=_rotate(dims, k),
+            owner=f"{owner}/part{k}" if owner else f"part{k}",
+            optical=optical,
+        )
+        for k in range(d)
+    ]

@@ -1,0 +1,187 @@
+"""Ring construction and ring-algorithm schedules.
+
+Ring algorithms are the paper's workhorse: "ring-based algorithms require
+an accelerator to communicate with only two other accelerators at a given
+time, making communication in a ring on a direct-connect torus congestion
+free" (Section 4). This module builds ring orderings over slices — per-
+dimension rings for the bucket algorithm and the Hamiltonian "snake" ring a
+steered LIGHTPATH uses to run one full-bandwidth ring over every chip of a
+slice (Section 4.1, Slice-1) — and expands them into transfer schedules.
+"""
+
+from __future__ import annotations
+
+from ..topology.slices import Slice
+from ..topology.torus import Coordinate
+from .schedule import CollectiveSchedule, Phase, Transfer
+
+__all__ = [
+    "snake_order",
+    "ring_reduce_scatter_schedule",
+    "ring_all_gather_schedule",
+    "electrical_hop_path",
+    "direct_path",
+]
+
+
+def snake_order(slc: Slice) -> list[Coordinate]:
+    """Hamiltonian (boustrophedon) traversal of a slice's chips.
+
+    Walks the first active dimension back and forth while advancing the
+    remaining dimensions, producing an order in which consecutive chips are
+    torus neighbours — so a ring over the order uses each physical link at
+    most once. This is the "redirect all bandwidth along one ring" layout
+    of Section 4.1.
+    """
+    dims = [d for d, ext in enumerate(slc.shape) if ext > 1]
+    if not dims:
+        return slc.chips()
+    axes = [
+        [(slc.offset[d] + i) % slc.rack.shape[d] for i in range(slc.shape[d])]
+        for d in dims
+    ]
+
+    def snake(levels: list[list[int]]) -> list[tuple[int, ...]]:
+        if len(levels) == 1:
+            return [(v,) for v in levels[0]]
+        inner = snake(levels[1:])
+        out: list[tuple[int, ...]] = []
+        for i, v in enumerate(levels[0]):
+            block = inner if i % 2 == 0 else list(reversed(inner))
+            out.extend((v, *rest) for rest in block)
+        return out
+
+    order: list[Coordinate] = []
+    for combo in snake(axes):
+        coords = list(slc.offset)
+        for d, v in zip(dims, combo):
+            coords[d] = v
+        order.append(tuple(coords))
+    return order
+
+
+def direct_path(src: Coordinate, dst: Coordinate) -> tuple[Coordinate, ...]:
+    """A 2-node logical path — an optical circuit or a single hop."""
+    return (src, dst)
+
+
+def electrical_hop_path(
+    slc: Slice,
+    src: Coordinate,
+    dst: Coordinate,
+    prefer_short: bool = False,
+) -> tuple[Coordinate, ...]:
+    """Physical node path of an electrical hop between ring neighbours.
+
+    Ring neighbours that are torus-adjacent map to one link. By default the
+    path walks the *forward* (+1) direction of the dimension — the
+    unidirectional-ring semantics of the bucket algorithm — so the
+    ring-closing hop of a slice that does not span its dimension walks the
+    wrap path through foreign chips, which is where Figure 5b's congestion
+    comes from.
+
+    Args:
+        prefer_short: walk whichever direction is shorter instead. Used by
+            the Hamiltonian snake ring, whose alternating sweeps hop
+            backwards between adjacent chips.
+
+    Raises:
+        ValueError: if the chips differ in more than one dimension (ring
+            neighbours always share all-but-one coordinate).
+    """
+    diff_dims = [d for d in range(slc.rack.ndim) if src[d] != dst[d]]
+    if not diff_dims:
+        return (src, dst) if src != dst else (src, src)
+    if len(diff_dims) > 1:
+        raise ValueError(
+            f"{src} -> {dst} differ in {len(diff_dims)} dimensions; "
+            "electrical ring hops run along one dimension"
+        )
+    dim = diff_dims[0]
+    extent = slc.rack.shape[dim]
+    forward = (dst[dim] - src[dim]) % extent
+    if prefer_short and extent - forward < forward:
+        steps, delta = extent - forward, -1
+    else:
+        steps, delta = forward, 1
+    path = [src]
+    for _ in range(steps):
+        path.append(slc.rack.shift(path[-1], dim, delta))
+    return tuple(path)
+
+
+def _ring_step_phase(
+    ring: list[Coordinate],
+    step: int,
+    bytes_per_step: float,
+    owner: str,
+    slc: Slice | None,
+    optical: bool,
+    label: str,
+) -> Phase:
+    transfers = []
+    p = len(ring)
+    for i in range(p):
+        src, dst = ring[i], ring[(i + 1) % p]
+        if optical or slc is None:
+            path = direct_path(src, dst)
+        else:
+            # Snake rings hop backwards on alternating sweeps; take the
+            # short direction so adjacent chips map to one link.
+            path = electrical_hop_path(slc, src, dst, prefer_short=True)
+        transfers.append(
+            Transfer(src=src, dst=dst, n_bytes=bytes_per_step, path=path, owner=owner)
+        )
+    reconfigs = 1 if (optical and step == 0) else 0
+    return Phase(transfers=transfers, reconfigurations=reconfigs, label=label)
+
+
+def ring_reduce_scatter_schedule(
+    ring: list[Coordinate],
+    n_bytes: float,
+    owner: str = "",
+    slc: Slice | None = None,
+    optical: bool = False,
+) -> CollectiveSchedule:
+    """REDUCESCATTER over one ring: ``p - 1`` steps of ``N / p`` bytes.
+
+    Args:
+        ring: chips in send order.
+        n_bytes: total buffer size ``N``.
+        slc: slice providing physical-path expansion for electrical hops;
+            required when ``optical`` is False and the ring wraps.
+        optical: transfers ride end-to-end circuits (direct paths) and the
+            first step charges one reconfiguration ``r``.
+    """
+    p = len(ring)
+    if p < 1:
+        raise ValueError("ring cannot be empty")
+    schedule = CollectiveSchedule(name=f"reduce-scatter ring p={p}")
+    if p == 1:
+        return schedule
+    if len(set(ring)) != p:
+        raise ValueError("ring nodes must be distinct")
+    per_step = n_bytes / p
+    for step in range(p - 1):
+        schedule.add_phase(
+            _ring_step_phase(
+                ring, step, per_step, owner, slc, optical,
+                label=f"rs step {step + 1}/{p - 1}",
+            )
+        )
+    return schedule
+
+
+def ring_all_gather_schedule(
+    ring: list[Coordinate],
+    n_bytes: float,
+    owner: str = "",
+    slc: Slice | None = None,
+    optical: bool = False,
+) -> CollectiveSchedule:
+    """ALLGATHER over one ring — same traffic pattern as REDUCESCATTER."""
+    schedule = ring_reduce_scatter_schedule(ring, n_bytes, owner, slc, optical)
+    schedule.name = f"all-gather ring p={len(ring)}"
+    for i, phase in enumerate(schedule.phases):
+        phase.label = f"ag step {i + 1}/{len(schedule.phases)}"
+    return schedule

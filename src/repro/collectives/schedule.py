@@ -1,0 +1,179 @@
+"""Concrete collective schedules: phases of concurrent transfers.
+
+While :mod:`repro.collectives.cost_model` reasons symbolically, this module
+materializes collectives as *schedules* — ordered phases, each a set of
+transfers that run concurrently, each transfer pinned to the physical links
+it occupies. Schedules are what the congestion analysis inspects (Figures
+5b, 6) and what the discrete-event simulator executes to cross-check the
+closed-form costs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..topology.torus import Coordinate, Link
+
+__all__ = ["Transfer", "Phase", "CollectiveSchedule"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point transfer within a phase.
+
+    Attributes:
+        src: sending chip.
+        dst: receiving chip.
+        n_bytes: payload size, bytes.
+        path: node sequence the data physically traverses (includes both
+            endpoints). Multi-hop paths model electrical forwarding through
+            intermediate chips; optical circuits always have direct
+            (2-node) logical paths regardless of waveguide geometry.
+        owner: label of the job/slice issuing the transfer.
+    """
+
+    src: Coordinate
+    dst: Coordinate
+    n_bytes: float
+    path: tuple[Coordinate, ...]
+    owner: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_bytes < 0:
+            raise ValueError("transfer size cannot be negative")
+        if len(self.path) < 2:
+            raise ValueError("a transfer path needs at least two nodes")
+        if self.path[0] != self.src or self.path[-1] != self.dst:
+            raise ValueError("path endpoints must match src/dst")
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        """Directed links the transfer occupies."""
+        return tuple(Link(a, b) for a, b in zip(self.path, self.path[1:]))
+
+
+@dataclass
+class Phase:
+    """A set of transfers that run concurrently.
+
+    Attributes:
+        transfers: the concurrent transfers.
+        reconfigurations: optical reconfigurations charged before the phase
+            starts (each costs ``r`` seconds; they program in parallel so
+            one counts unless the caller says otherwise).
+        label: human-readable phase name ("ring X step 2").
+    """
+
+    transfers: list[Transfer]
+    reconfigurations: int = 0
+    label: str = ""
+
+    def link_load(self) -> Counter[Link]:
+        """How many transfers use each directed link in this phase."""
+        load: Counter[Link] = Counter()
+        for transfer in self.transfers:
+            for link in transfer.links:
+                load[link] += 1
+        return load
+
+    def congested_links(self) -> dict[Link, int]:
+        """Links carrying more than one transfer (the paper's congestion)."""
+        return {link: n for link, n in self.link_load().items() if n > 1}
+
+    @property
+    def is_congestion_free(self) -> bool:
+        """True when no link is shared within the phase."""
+        return not self.congested_links()
+
+    def duration_s(
+        self,
+        link_bandwidth_bytes: Callable[[Link], float],
+        alpha_s: float,
+        reconfig_s: float,
+    ) -> float:
+        """Wall-clock duration of the phase.
+
+        Transfers sharing a link split its bandwidth evenly; a transfer
+        finishes when its slowest link finishes; the phase ends when the
+        slowest transfer does (bulk-synchronous step, as in the bucket
+        algorithm). Alpha is charged once per phase, reconfigurations up
+        front.
+        """
+        load = self.link_load()
+        worst = 0.0
+        for transfer in self.transfers:
+            if transfer.n_bytes == 0:
+                continue
+            slowest = 0.0
+            for link in transfer.links:
+                bandwidth = link_bandwidth_bytes(link)
+                if bandwidth <= 0:
+                    raise ValueError(f"link {link} has no bandwidth")
+                share = bandwidth / load[link]
+                slowest = max(slowest, transfer.n_bytes / share)
+            worst = max(worst, slowest)
+        alpha = alpha_s if self.transfers else 0.0
+        return self.reconfigurations * reconfig_s + alpha + worst
+
+
+@dataclass
+class CollectiveSchedule:
+    """An ordered sequence of phases implementing a collective.
+
+    Attributes:
+        name: collective label ("reduce-scatter bucket XY").
+        phases: phases in execution order.
+    """
+
+    name: str
+    phases: list[Phase] = field(default_factory=list)
+
+    def add_phase(self, phase: Phase) -> None:
+        """Append ``phase`` to the schedule."""
+        self.phases.append(phase)
+
+    @property
+    def transfer_count(self) -> int:
+        """Total transfers across all phases."""
+        return sum(len(p.transfers) for p in self.phases)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total payload moved across all phases."""
+        return sum(t.n_bytes for p in self.phases for t in p.transfers)
+
+    @property
+    def reconfiguration_count(self) -> int:
+        """Total reconfiguration charges in the schedule."""
+        return sum(p.reconfigurations for p in self.phases)
+
+    def congested_phases(self) -> list[int]:
+        """Indices of phases containing intra-phase congestion."""
+        return [i for i, p in enumerate(self.phases) if not p.is_congestion_free]
+
+    @property
+    def is_congestion_free(self) -> bool:
+        """True when every phase is congestion-free."""
+        return not self.congested_phases()
+
+    def duration_s(
+        self,
+        link_bandwidth_bytes: Callable[[Link], float],
+        alpha_s: float,
+        reconfig_s: float,
+    ) -> float:
+        """Total wall-clock duration (phases are bulk-synchronous)."""
+        return sum(
+            p.duration_s(link_bandwidth_bytes, alpha_s, reconfig_s)
+            for p in self.phases
+        )
+
+    def all_links(self) -> set[Link]:
+        """Every link touched by the schedule."""
+        links: set[Link] = set()
+        for phase in self.phases:
+            for transfer in phase.transfers:
+                links.update(transfer.links)
+        return links

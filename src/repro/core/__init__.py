@@ -1,0 +1,141 @@
+"""The paper's primary contribution: the LIGHTPATH photonic fabric.
+
+Tiles (Tx/Rx + four 1x3 MZI switches), the 32-tile wafer with its bus
+waveguides and edge fibers, fault-aware waveguide routing, on-demand
+chip-to-chip circuits, wavelength/spectrum assignment (RWA continuity),
+reconfiguration scheduling, bandwidth steering (Section 4.1), rack and
+cluster fabrics (wafers cascaded by fiber trunks), optical failure repair
+(Section 4.2), the Section 5 challenge algorithms (decentralized
+allocation, fiber planning), demand-driven topology engineering
+(Section 6), a circuit-switched host transport (the Section 1 software
+challenge), and a fabric controller facade tying them together.
+"""
+
+from .circuits import CircuitError, CircuitManager, OpticalCircuit
+from .controller import FabricController, TenantState
+from .cluster_fabric import ClusterChip, ClusterCircuit, LightpathClusterFabric
+from .decentralized import (
+    AllocationOutcome,
+    CentralizedController,
+    CircuitRequest,
+    DecentralizedAllocator,
+    mean_setup_latency,
+    success_rate,
+)
+from .fabric import FiberTrunk, LightpathRackFabric, RackCircuit
+from .fiber_planner import CoveragePoint, FailureScenario, FiberPlanner
+from .reconfig import (
+    ReconfigurationPlan,
+    ReconfigurationScheduler,
+    SwitchProgram,
+    breakeven_buffer_bytes,
+)
+from .repair import (
+    BrokenRing,
+    RepairError,
+    RepairPlan,
+    broken_rings,
+    plan_optical_repair,
+)
+from .routing import RouteExhausted, WaferRouter, WaveguideRoute
+from .spectrum import (
+    AssignmentPolicy,
+    BlockingExperiment,
+    BlockingPoint,
+    SpectrumAssignment,
+    WavelengthAssigner,
+)
+from .transport import (
+    CircuitTransport,
+    DeliveredMessage,
+    GreedyLongestQueue,
+    Message,
+    ThresholdBatching,
+    TransportStats,
+)
+from .steering import (
+    SteeringPlan,
+    WavelengthAllocation,
+    effective_chip_bandwidth,
+    plan_steering,
+    static_allocation,
+    steered_allocation,
+)
+from .tile import Direction, LightpathTile, TileCoord, TileSwitch
+from .topology_engineering import (
+    EngineeredTopology,
+    TopologyScore,
+    TrafficMatrix,
+    engineer_topology,
+    evaluate_topology,
+    skewed_traffic,
+    uniform_mesh,
+)
+from .wafer import FiberPort, LightpathWafer, WaferCapabilities, WaveguideBus
+
+__all__ = [
+    "CircuitError",
+    "FabricController",
+    "TenantState",
+    "ClusterChip",
+    "ClusterCircuit",
+    "LightpathClusterFabric",
+    "AssignmentPolicy",
+    "BlockingExperiment",
+    "BlockingPoint",
+    "SpectrumAssignment",
+    "WavelengthAssigner",
+    "CircuitTransport",
+    "DeliveredMessage",
+    "GreedyLongestQueue",
+    "Message",
+    "ThresholdBatching",
+    "TransportStats",
+    "CircuitManager",
+    "OpticalCircuit",
+    "AllocationOutcome",
+    "CentralizedController",
+    "CircuitRequest",
+    "DecentralizedAllocator",
+    "mean_setup_latency",
+    "success_rate",
+    "FiberTrunk",
+    "LightpathRackFabric",
+    "RackCircuit",
+    "CoveragePoint",
+    "FailureScenario",
+    "FiberPlanner",
+    "ReconfigurationPlan",
+    "ReconfigurationScheduler",
+    "SwitchProgram",
+    "breakeven_buffer_bytes",
+    "BrokenRing",
+    "RepairError",
+    "RepairPlan",
+    "broken_rings",
+    "plan_optical_repair",
+    "RouteExhausted",
+    "WaferRouter",
+    "WaveguideRoute",
+    "SteeringPlan",
+    "WavelengthAllocation",
+    "effective_chip_bandwidth",
+    "plan_steering",
+    "static_allocation",
+    "steered_allocation",
+    "EngineeredTopology",
+    "TopologyScore",
+    "TrafficMatrix",
+    "engineer_topology",
+    "evaluate_topology",
+    "skewed_traffic",
+    "uniform_mesh",
+    "Direction",
+    "LightpathTile",
+    "TileCoord",
+    "TileSwitch",
+    "FiberPort",
+    "LightpathWafer",
+    "WaferCapabilities",
+    "WaveguideBus",
+]

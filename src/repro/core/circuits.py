@@ -1,0 +1,220 @@
+"""On-demand chip-to-chip optical circuits (paper Section 3).
+
+A circuit is the unit of LIGHTPATH connectivity: one wavelength from the
+source tile's laser bank, one SerDes lane at each endpoint, one waveguide
+track on every boundary of its route, and the MZI switch programming that
+steers the wavelength along the route. Establishing a circuit charges the
+3.7 us reconfiguration latency; by construction circuits never share
+waveguides, so they are contention-free end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..phy.constants import RECONFIG_LATENCY_S, WAVELENGTH_RATE_BYTES
+from ..phy.link_budget import LinkBudget, LinkReport
+from ..phy.serdes import SerdesExhausted
+from ..phy.waveguide import PathLoss, waveguide
+from .routing import RouteExhausted, WaferRouter, WaveguideRoute
+from .tile import TileCoord
+from .wafer import LightpathWafer
+
+__all__ = ["OpticalCircuit", "CircuitError", "CircuitManager"]
+
+
+class CircuitError(RuntimeError):
+    """Raised when a circuit cannot be established."""
+
+
+@dataclass(frozen=True)
+class OpticalCircuit:
+    """An established end-to-end optical circuit.
+
+    Attributes:
+        circuit_id: unique identity within its manager.
+        src: source tile coordinate.
+        dst: destination tile coordinate.
+        wavelength_index: laser channel carrying the circuit.
+        route: the waveguide route across the wafer.
+        rate_bytes: data rate of the circuit, bytes per second.
+        setup_latency_s: reconfiguration time charged at establishment.
+        link_report: physical-layer feasibility evaluation.
+    """
+
+    circuit_id: int
+    src: TileCoord
+    dst: TileCoord
+    wavelength_index: int
+    route: WaveguideRoute
+    rate_bytes: float
+    setup_latency_s: float
+    link_report: LinkReport
+
+
+@dataclass
+class CircuitManager:
+    """Establishes and tears down circuits on one wafer.
+
+    Attributes:
+        wafer: the wafer being managed.
+        router: waveguide router (defaults to one over ``wafer``).
+        budget: link-budget evaluator used as the admission check.
+        enforce_budget: refuse circuits whose link budget does not close.
+    """
+
+    wafer: LightpathWafer
+    router: WaferRouter = None  # type: ignore[assignment]
+    budget: LinkBudget = field(default_factory=LinkBudget)
+    enforce_budget: bool = True
+    _circuits: dict[int, OpticalCircuit] = field(default_factory=dict, repr=False)
+    _ids: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.router is None:
+            self.router = WaferRouter(self.wafer)
+
+    # -- establishment ---------------------------------------------------------------
+
+    def _path_loss(self, route: WaveguideRoute) -> PathLoss:
+        length = route.boundary_crossings * self.wafer.tile_edge_m()
+        return PathLoss(
+            segments=[waveguide(length, crossings=route.boundary_crossings)],
+            mzi_hops=route.mzi_hops,
+        )
+
+    def establish(self, src: TileCoord, dst: TileCoord) -> OpticalCircuit:
+        """Create a circuit from ``src`` to ``dst``.
+
+        Allocates a wavelength and SerDes lane at the source, a SerDes lane
+        at the destination, waveguide tracks along the route, evaluates the
+        link budget, and charges the MZI reconfiguration latency.
+
+        Raises:
+            CircuitError: when any resource is exhausted, the endpoints
+                are failed tiles, or the link budget does not close.
+        """
+        if src == dst:
+            raise CircuitError("a circuit needs two distinct tiles")
+        src_tile = self.wafer.tile(src)
+        dst_tile = self.wafer.tile(dst)
+        if not src_tile.working or not dst_tile.working:
+            raise CircuitError(f"endpoint tile failed: {src} or {dst}")
+        free = src_tile.free_wavelengths()
+        if not free:
+            raise CircuitError(f"tile {src} has no free wavelength")
+        circuit_id = next(self._ids)
+        try:
+            route = self.router.route(src, dst)
+        except RouteExhausted as exc:
+            raise CircuitError(str(exc)) from exc
+        report = self.budget.evaluate(
+            self._path_loss(route),
+            carrier_hz=src_tile.lasers.channel(free[0]).frequency_hz,
+        )
+        if self.enforce_budget and not report.feasible:
+            raise CircuitError(
+                f"link budget does not close: margin {report.margin_db:.2f} dB "
+                f"over {route.boundary_crossings} crossings"
+            )
+        wavelength = free[0]
+        token = ("circuit", circuit_id)
+        try:
+            src_lane = src_tile.serdes.lanes[wavelength]
+            if not src_lane.is_free:
+                raise CircuitError(f"source lane {wavelength} busy on {src}")
+            src_lane.bound_to = token
+            dst_tile.serdes.allocate(token)
+        except SerdesExhausted as exc:
+            src_tile.serdes.release(token)
+            raise CircuitError(str(exc)) from exc
+        try:
+            self.router.allocate(route, token)
+        except RouteExhausted as exc:
+            src_tile.serdes.release(token)
+            dst_tile.serdes.release(token)
+            raise CircuitError(str(exc)) from exc
+        circuit = OpticalCircuit(
+            circuit_id=circuit_id,
+            src=src,
+            dst=dst,
+            wavelength_index=wavelength,
+            route=route,
+            rate_bytes=WAVELENGTH_RATE_BYTES,
+            setup_latency_s=RECONFIG_LATENCY_S,
+            link_report=report,
+        )
+        self._circuits[circuit_id] = circuit
+        return circuit
+
+    def establish_many(
+        self, pairs: list[tuple[TileCoord, TileCoord]]
+    ) -> list[OpticalCircuit]:
+        """Establish several circuits atomically.
+
+        Either all circuits come up, or none do.
+
+        Raises:
+            CircuitError: on the first failure (after rollback).
+        """
+        created: list[OpticalCircuit] = []
+        try:
+            for src, dst in pairs:
+                created.append(self.establish(src, dst))
+        except CircuitError:
+            for circuit in created:
+                self.teardown(circuit.circuit_id)
+            raise
+        return created
+
+    # -- teardown & queries ------------------------------------------------------------
+
+    def teardown(self, circuit_id: int) -> None:
+        """Release every resource of the circuit.
+
+        Raises:
+            KeyError: for an unknown circuit id.
+        """
+        circuit = self._circuits.pop(circuit_id)
+        token = ("circuit", circuit_id)
+        self.wafer.tile(circuit.src).serdes.release(token)
+        self.wafer.tile(circuit.dst).serdes.release(token)
+        self.router.release(circuit.route, token)
+
+    def teardown_all(self) -> int:
+        """Tear down every circuit; returns how many were removed."""
+        ids = list(self._circuits)
+        for circuit_id in ids:
+            self.teardown(circuit_id)
+        return len(ids)
+
+    @property
+    def circuits(self) -> list[OpticalCircuit]:
+        """Active circuits (copy)."""
+        return list(self._circuits.values())
+
+    def circuits_between(
+        self, src: TileCoord, dst: TileCoord
+    ) -> list[OpticalCircuit]:
+        """Active circuits from ``src`` to ``dst``."""
+        return [c for c in self._circuits.values() if c.src == src and c.dst == dst]
+
+    def bandwidth_between(self, src: TileCoord, dst: TileCoord) -> float:
+        """Aggregate circuit bandwidth from ``src`` to ``dst``, bytes/s.
+
+        This is the quantity bandwidth steering grows by stacking extra
+        wavelengths between a pair of accelerators (Section 4.1).
+        """
+        return sum(c.rate_bytes for c in self.circuits_between(src, dst))
+
+    def total_loss_budget_ok(self) -> bool:
+        """Whether every active circuit still closes its link budget."""
+        return all(c.link_report.feasible for c in self._circuits.values())
+
+    def worst_margin_db(self) -> float:
+        """Smallest link margin across active circuits (inf when none)."""
+        return min(
+            (c.link_report.margin_db for c in self._circuits.values()),
+            default=float("inf"),
+        )

@@ -1,0 +1,252 @@
+"""Cluster-scale LIGHTPATH fabric: racks cascaded with fibers.
+
+Section 3: "With attached fibers, we can cascade several LIGHTPATH wafers
+to create a rack-scale photonic interconnect... Fibers can be attached
+vertically to the tiles to build 3D topologies." This module takes the
+next step the paper gestures at: several racks, each carrying a
+:class:`~repro.core.fabric.LightpathRackFabric`, joined by inter-rack
+fiber trunks — so the optical answer to Figure 6b exists too: a failed
+chip whose only spare lives in *another* rack gets dedicated cross-rack
+circuits, with no OCS-milliseconds and no congestion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..phy.constants import FIBERS_PER_EDGE_TILE, RECONFIG_LATENCY_S
+from ..topology.torus import Coordinate
+from ..topology.tpu import TpuRack
+from .circuits import CircuitError
+from .fabric import FiberTrunk, LightpathRackFabric, RackCircuit
+
+__all__ = ["ClusterChip", "ClusterCircuit", "LightpathClusterFabric"]
+
+ClusterChip = tuple[int, Coordinate]
+
+
+@dataclass(frozen=True)
+class ClusterCircuit:
+    """A chip-to-chip circuit possibly spanning racks.
+
+    Attributes:
+        circuit_id: identity within the cluster fabric.
+        src: (rack, coordinate) of the source chip.
+        dst: (rack, coordinate) of the destination chip.
+        rack_path: racks traversed, endpoints inclusive.
+        inter_rack_fibers: fiber index used on each rack-to-rack hop.
+        rack_segments: the intra-rack circuits at the endpoints.
+        setup_latency_s: switches program in parallel — one settle.
+    """
+
+    circuit_id: int
+    src: ClusterChip
+    dst: ClusterChip
+    rack_path: tuple[int, ...]
+    inter_rack_fibers: tuple[int, ...]
+    rack_segments: tuple[RackCircuit, ...]
+    setup_latency_s: float
+
+    @property
+    def crosses_racks(self) -> bool:
+        """Whether the circuit uses inter-rack fibers."""
+        return len(self.rack_path) > 1
+
+
+class LightpathClusterFabric:
+    """Several rack fabrics chained by inter-rack fiber trunks.
+
+    Racks are arranged on a logical line (the arrangement is irrelevant
+    to the congestion-freedom argument; any topology with enough trunks
+    works) with a fiber trunk between consecutive racks.
+
+    Attributes:
+        racks: the rack fabrics, by rack index.
+    """
+
+    def __init__(
+        self,
+        rack_count: int = 2,
+        fibers_per_trunk: int = FIBERS_PER_EDGE_TILE,
+        rack_shape: tuple[int, ...] = (4, 4, 4),
+    ):
+        if rack_count < 1:
+            raise ValueError("a cluster needs at least one rack")
+        self.racks: dict[int, LightpathRackFabric] = {
+            i: LightpathRackFabric(TpuRack(i, rack_shape))
+            for i in range(rack_count)
+        }
+        self._trunks: dict[tuple[int, int], FiberTrunk] = {}
+        for a in range(rack_count - 1):
+            self._trunks[(a, a + 1)] = FiberTrunk(
+                ends=((a,), (a + 1,)), capacity=fibers_per_trunk
+            )
+        self._ids = itertools.count()
+        self._circuits: dict[int, ClusterCircuit] = {}
+
+    # -- structure ------------------------------------------------------------------
+
+    @property
+    def rack_count(self) -> int:
+        """Racks in the cluster."""
+        return len(self.racks)
+
+    def trunk(self, a: int, b: int) -> FiberTrunk:
+        """The trunk between consecutive racks ``a`` and ``b``.
+
+        Raises:
+            KeyError: if the racks are not consecutive.
+        """
+        key = (min(a, b), max(a, b))
+        if key not in self._trunks or abs(a - b) != 1:
+            raise KeyError(f"no fiber trunk between racks {a} and {b}")
+        return self._trunks[key]
+
+    def rack(self, index: int) -> LightpathRackFabric:
+        """The rack fabric at ``index``.
+
+        Raises:
+            KeyError: on an unknown rack.
+        """
+        if index not in self.racks:
+            raise KeyError(f"no rack {index}")
+        return self.racks[index]
+
+    def free_inter_rack_fibers(self) -> int:
+        """Total unused fibers across all inter-rack trunks."""
+        return sum(t.free for t in self._trunks.values())
+
+    # -- circuits ---------------------------------------------------------------------
+
+    def establish(self, src: ClusterChip, dst: ClusterChip) -> ClusterCircuit:
+        """Create a dedicated circuit, crossing racks if needed.
+
+        Intra-rack requests delegate to the rack fabric. Cross-rack
+        requests allocate one fiber per rack-to-rack hop plus an
+        intra-rack segment at each endpoint connecting the chip to its
+        rack's fiber attach (modelled as a circuit to the rack's corner
+        chip's wafer).
+
+        Raises:
+            CircuitError: on unknown chips, failed chips, or exhausted
+                fibers.
+        """
+        src_rack, src_chip = src
+        dst_rack, dst_chip = dst
+        for rack_index in (src_rack, dst_rack):
+            if rack_index not in self.racks:
+                raise CircuitError(f"unknown rack {rack_index}")
+        circuit_id = next(self._ids)
+        token = ("cluster-circuit", circuit_id)
+        if src_rack == dst_rack:
+            inner = self.racks[src_rack].establish(src_chip, dst_chip)
+            circuit = ClusterCircuit(
+                circuit_id=circuit_id,
+                src=src,
+                dst=dst,
+                rack_path=(src_rack,),
+                inter_rack_fibers=(),
+                rack_segments=(inner,),
+                setup_latency_s=inner.setup_latency_s,
+            )
+            self._circuits[circuit_id] = circuit
+            return circuit
+        step = 1 if dst_rack > src_rack else -1
+        rack_path = tuple(range(src_rack, dst_rack + step, step))
+        fibers: list[int] = []
+        taken: list[FiberTrunk] = []
+        segments: list[RackCircuit] = []
+        try:
+            for a, b in zip(rack_path, rack_path[1:]):
+                trunk = self.trunk(a, b)
+                fibers.append(trunk.allocate(token))
+                taken.append(trunk)
+            segments.append(
+                self.racks[src_rack].establish(
+                    src_chip, self._attach_chip(src_rack, src_chip)
+                )
+            )
+            segments.append(
+                self.racks[dst_rack].establish(
+                    self._attach_chip(dst_rack, dst_chip), dst_chip
+                )
+            )
+        except (CircuitError, RuntimeError) as exc:
+            for trunk in taken:
+                trunk.release(token)
+            for segment in segments:
+                self._rack_of_segment(segment).teardown(segment.circuit_id)
+            raise CircuitError(str(exc)) from exc
+        circuit = ClusterCircuit(
+            circuit_id=circuit_id,
+            src=src,
+            dst=dst,
+            rack_path=rack_path,
+            inter_rack_fibers=tuple(fibers),
+            rack_segments=tuple(segments),
+            setup_latency_s=RECONFIG_LATENCY_S,
+        )
+        self._circuits[circuit_id] = circuit
+        return circuit
+
+    def _attach_chip(self, rack_index: int, avoid: Coordinate) -> Coordinate:
+        """A chip (distinct from ``avoid``) acting as the fiber attach."""
+        for chip in self.racks[rack_index].rack.torus.nodes():
+            if chip != avoid and not self.racks[rack_index].rack.is_failed(chip):
+                return chip
+        raise CircuitError(f"rack {rack_index} has no attach chip available")
+
+    def _rack_of_segment(self, segment: RackCircuit) -> LightpathRackFabric:
+        for fabric in self.racks.values():
+            if any(c is segment for c in fabric.circuits):
+                return fabric
+        raise KeyError("segment not found in any rack fabric")
+
+    def teardown(self, circuit_id: int) -> None:
+        """Release a cluster circuit's fibers and rack segments.
+
+        Raises:
+            KeyError: for an unknown id.
+        """
+        circuit = self._circuits.pop(circuit_id)
+        token = ("cluster-circuit", circuit_id)
+        for a, b in zip(circuit.rack_path, circuit.rack_path[1:]):
+            self.trunk(a, b).release(token)
+        for segment in circuit.rack_segments:
+            self._rack_of_segment(segment).teardown(segment.circuit_id)
+
+    @property
+    def circuits(self) -> list[ClusterCircuit]:
+        """Active cluster circuits (copy)."""
+        return list(self._circuits.values())
+
+    # -- cross-rack repair (the optical Figure 6b) -----------------------------------
+
+    def cross_rack_repair(
+        self,
+        failed: ClusterChip,
+        ring_neighbors: list[ClusterChip],
+        spare: ClusterChip,
+    ) -> list[ClusterCircuit]:
+        """Splice ``spare`` into rings broken by ``failed``, across racks.
+
+        The electrical version of this (Figure 6b) is impossible without
+        congestion; with dedicated fibers it is a handful of circuits.
+
+        Raises:
+            CircuitError: if any circuit cannot be established (already
+                established ones are torn down).
+        """
+        failed_rack, failed_chip = failed
+        self.racks[failed_rack].rack.fail_chip(failed_chip)
+        created: list[ClusterCircuit] = []
+        try:
+            for neighbor in ring_neighbors:
+                created.append(self.establish(neighbor, spare))
+                created.append(self.establish(spare, neighbor))
+        except CircuitError:
+            for circuit in created:
+                self.teardown(circuit.circuit_id)
+            raise
+        return created

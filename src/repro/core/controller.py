@@ -1,0 +1,198 @@
+"""A rack-level fabric controller: the software face of LIGHTPATH.
+
+Ties the pieces of this library into the control loop a deployment would
+actually run (the "new host networking software stacks" of Section 1):
+
+1. admit tenants (slice allocation),
+2. plan and apply bandwidth steering per tenant (Section 4.1),
+3. build the collective schedule the steering enables and predict its
+   cost,
+4. react to chip failures with optical repair (Section 4.2),
+5. report fabric state (steering, circuits, spares, repairs).
+
+The controller is deliberately a thin orchestration layer — every policy
+decision delegates to the module that owns it — so it doubles as a usage
+map of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..collectives.cost_model import CostParameters
+from ..collectives.primitives import (
+    Interconnect,
+    build_reduce_scatter_schedule,
+    reduce_scatter_cost,
+)
+from ..collectives.schedule import CollectiveSchedule
+from ..topology.slices import Slice, SliceAllocator
+from ..topology.torus import Coordinate
+from ..topology.tpu import TpuRack
+from .fabric import LightpathRackFabric
+from .repair import RepairError, RepairPlan, plan_optical_repair
+from .steering import SteeringPlan, plan_steering
+
+__all__ = ["TenantState", "FabricController"]
+
+
+@dataclass
+class TenantState:
+    """Controller-side state of one tenant.
+
+    Attributes:
+        slc: the tenant's slice.
+        steering: the steering plan currently applied.
+        repairs: repairs performed for this tenant, in order.
+    """
+
+    slc: Slice
+    steering: SteeringPlan
+    repairs: list[RepairPlan] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the tenant has never needed a repair."""
+        return not self.repairs
+
+
+class FabricController:
+    """Orchestrates slices, steering and repair on one rack.
+
+    Attributes:
+        rack: the TPU rack under control.
+        fabric: the rack's LIGHTPATH fabric.
+        allocator: slice allocator for tenant admission.
+        params: cost parameters used for predictions.
+    """
+
+    def __init__(self, rack: TpuRack | None = None, params: CostParameters | None = None):
+        self.rack = rack or TpuRack(0)
+        self.fabric = LightpathRackFabric(self.rack)
+        self.allocator = SliceAllocator(self.rack.torus)
+        self.params = params or CostParameters()
+        self._tenants: dict[str, TenantState] = {}
+
+    # -- admission -------------------------------------------------------------------
+
+    def admit(
+        self, name: str, shape: tuple[int, ...], offset: Coordinate
+    ) -> TenantState:
+        """Admit a tenant: allocate the slice and apply steering.
+
+        Raises:
+            repro.topology.slices.AllocationError: if the region is taken.
+            ValueError: on a duplicate tenant name.
+        """
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} already admitted")
+        slc = self.allocator.allocate(name, shape, offset)
+        steering = plan_steering(slc, Interconnect.OPTICAL)
+        state = TenantState(slc=slc, steering=steering)
+        self._tenants[name] = state
+        return state
+
+    def evict(self, name: str) -> None:
+        """Remove a tenant and free its chips.
+
+        Raises:
+            KeyError: for an unknown tenant.
+        """
+        del self._tenants[name]
+        self.allocator.release(name)
+
+    def tenant(self, name: str) -> TenantState:
+        """The state of tenant ``name``.
+
+        Raises:
+            KeyError: for an unknown tenant.
+        """
+        return self._tenants[name]
+
+    @property
+    def tenants(self) -> list[str]:
+        """Admitted tenant names, sorted."""
+        return sorted(self._tenants)
+
+    # -- collectives ------------------------------------------------------------------
+
+    def predict_reduce_scatter_s(self, name: str, n_bytes: float) -> float:
+        """Predicted steered REDUCESCATTER time for the tenant's slice."""
+        state = self.tenant(name)
+        cost = reduce_scatter_cost(state.slc, Interconnect.OPTICAL)
+        return cost.seconds(n_bytes, self.params)
+
+    def build_schedule(self, name: str, n_bytes: float) -> CollectiveSchedule:
+        """The steered REDUCESCATTER schedule for the tenant."""
+        state = self.tenant(name)
+        return build_reduce_scatter_schedule(
+            state.slc, n_bytes, Interconnect.OPTICAL
+        )
+
+    def steering_speedup(self, name: str) -> float:
+        """Predicted beta speedup of steering over static links."""
+        state = self.tenant(name)
+        electrical = reduce_scatter_cost(state.slc, Interconnect.ELECTRICAL)
+        optical = reduce_scatter_cost(state.slc, Interconnect.OPTICAL)
+        if optical.beta_factor == 0:
+            return 1.0
+        return electrical.beta_factor / optical.beta_factor
+
+    # -- failures ---------------------------------------------------------------------
+
+    def handle_failure(self, chip: Coordinate) -> RepairPlan | None:
+        """React to a chip failure.
+
+        A failure on a free chip just marks it failed (nothing to repair);
+        a failure inside a tenant triggers optical repair.
+
+        Returns:
+            The repair plan, or ``None`` when no tenant was affected.
+
+        Raises:
+            RepairError: when the affected tenant cannot be repaired (no
+                spare chips left).
+        """
+        owner = self.allocator.slice_of(chip)
+        if owner is None:
+            self.rack.fail_chip(chip)
+            return None
+        state = self._tenants[owner.name]
+        plan = plan_optical_repair(self.fabric, self.allocator, state.slc, chip)
+        state.repairs.append(plan)
+        # The replacement chip now belongs to the tenant's job: reserve it
+        # so later repairs and admissions cannot take it.
+        self.allocator.allocate(
+            f"{owner.name}/spare-{len(state.repairs)}",
+            tuple(1 for _ in self.rack.shape),
+            plan.replacement,
+        )
+        return plan
+
+    def spare_chips(self) -> list[Coordinate]:
+        """Free, working chips available as repair spares."""
+        return [
+            chip
+            for chip in self.allocator.free_chips()
+            if not self.rack.is_failed(chip)
+        ]
+
+    # -- reporting --------------------------------------------------------------------
+
+    def status(self) -> dict[str, object]:
+        """A snapshot of the fabric suitable for logging/inspection."""
+        return {
+            "tenants": {
+                name: {
+                    "shape": state.slc.shape,
+                    "chips": state.slc.chip_count,
+                    "steered_dims": list(state.steering.target_dims),
+                    "repairs": len(state.repairs),
+                }
+                for name, state in sorted(self._tenants.items())
+            },
+            "spare_chips": len(self.spare_chips()),
+            "failed_chips": len(self.rack.failed_chips()),
+            "active_circuits": len(self.fabric.circuits),
+            "fibers_in_use": self.fabric.fibers_in_use(),
+        }

@@ -1,0 +1,209 @@
+"""Decentralized optical circuit allocation (paper Section 5).
+
+Traffic outside known collectives — the paper's example is Mixture-of-
+Experts inference, whose runtime gating function decides destinations on
+the fly — needs circuits programmed dynamically. "A naive solution would
+rely on a centralized controller tracking the state of every waveguide...
+this approach does not scale well when dealing with hundreds of
+accelerators, highlighting the need for decentralized algorithms."
+
+This module implements both contenders so the ablation bench can show the
+crossover:
+
+* :class:`CentralizedController` — a serializing controller with perfect
+  global state: every request succeeds first try, but requests queue and
+  setup latency grows linearly with offered load.
+* :class:`DecentralizedAllocator` — each source tile claims waveguide
+  tracks locally at random and retries on conflict with exponential
+  backoff: constant expected latency at low conflict rates, no global
+  state, at the cost of occasional retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..phy.constants import RECONFIG_LATENCY_S
+from .routing import WaferRouter, WaveguideRoute
+from .tile import TileCoord
+from .wafer import LightpathWafer
+
+__all__ = [
+    "CircuitRequest",
+    "AllocationOutcome",
+    "CentralizedController",
+    "DecentralizedAllocator",
+]
+
+
+@dataclass(frozen=True)
+class CircuitRequest:
+    """A dynamic circuit request (e.g. one MoE token dispatch).
+
+    Attributes:
+        src: source tile.
+        dst: destination tile.
+    """
+
+    src: TileCoord
+    dst: TileCoord
+
+
+@dataclass(frozen=True)
+class AllocationOutcome:
+    """Result of allocating one request.
+
+    Attributes:
+        request: the request served.
+        success: whether a circuit was established.
+        setup_latency_s: time from request arrival to circuit ready.
+        attempts: allocation rounds used (1 = no conflicts).
+    """
+
+    request: CircuitRequest
+    success: bool
+    setup_latency_s: float
+    attempts: int
+
+
+@dataclass
+class CentralizedController:
+    """Serializing controller with global waveguide state.
+
+    Attributes:
+        wafer: the wafer whose circuits it manages.
+        service_time_s: time to process one request (state lookup +
+            computing a route + issuing switch programs).
+        reconfig_s: switch settling time charged per circuit.
+    """
+
+    wafer: LightpathWafer
+    service_time_s: float = 2e-6
+    reconfig_s: float = RECONFIG_LATENCY_S
+
+    def allocate_batch(self, requests: list[CircuitRequest]) -> list[AllocationOutcome]:
+        """Serve ``requests`` arriving simultaneously.
+
+        The controller serves them one at a time; request ``k`` waits for
+        ``k`` service times before its switches even start programming —
+        the scaling bottleneck the paper calls out.
+        """
+        router = WaferRouter(self.wafer)
+        outcomes = []
+        queue_delay = 0.0
+        for request in requests:
+            queue_delay += self.service_time_s
+            try:
+                route = router.route(request.src, request.dst)
+                router.allocate(route, owner=("central", id(request)))
+                success = True
+            except Exception:
+                success = False
+            outcomes.append(
+                AllocationOutcome(
+                    request=request,
+                    success=success,
+                    setup_latency_s=queue_delay + (self.reconfig_s if success else 0.0),
+                    attempts=1,
+                )
+            )
+        return outcomes
+
+
+@dataclass
+class DecentralizedAllocator:
+    """Random-track claiming with exponential backoff.
+
+    Each source computes its own dimension-ordered route and, per round,
+    picks a random track on every boundary. If any (boundary, track) pick
+    collides with another request's pick or an existing allocation, the
+    losing requests back off and retry. No global state is consulted.
+
+    Attributes:
+        wafer: the wafer being allocated.
+        max_rounds: give up after this many rounds.
+        round_time_s: time per round (claim exchange + switch settle).
+    """
+
+    wafer: LightpathWafer
+    max_rounds: int = 16
+    round_time_s: float = RECONFIG_LATENCY_S
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def allocate_batch(self, requests: list[CircuitRequest]) -> list[AllocationOutcome]:
+        """Serve ``requests`` arriving simultaneously.
+
+        Rounds proceed in lockstep; all requests that survive a round
+        finish together, so latency is ``rounds * round_time_s``
+        regardless of batch size — the scalability the paper asks for.
+        """
+        router = WaferRouter(self.wafer)
+        routes: list[WaveguideRoute] = [
+            router.dimension_order_route(r.src, r.dst) for r in requests
+        ]
+        taken: set[tuple[TileCoord, TileCoord, int]] = set()
+        for bus in self.wafer.buses():
+            for track in range(bus.capacity):
+                if bus.owner_of(track) is not None:
+                    taken.add((bus.src, bus.dst, track))
+        # Track requests by index: callers may legitimately submit
+        # duplicate (src, dst) requests, which compare equal.
+        pending = list(range(len(requests)))
+        attempts = [0] * len(requests)
+        done: dict[int, AllocationOutcome] = {}
+        for round_index in range(1, self.max_rounds + 1):
+            if not pending:
+                break
+            claims: dict[tuple[TileCoord, TileCoord, int], list[int]] = {}
+            proposal: dict[int, list[tuple[TileCoord, TileCoord, int]]] = {}
+            for index in pending:
+                attempts[index] += 1
+                picks = []
+                for a, b in routes[index].boundaries():
+                    capacity = self.wafer.bus(a, b).capacity
+                    track = int(self.rng.integers(0, capacity))
+                    picks.append((a, b, track))
+                    claims.setdefault((a, b, track), []).append(index)
+                proposal[index] = picks
+            for index in pending:
+                picks = proposal[index]
+                conflict = any(
+                    len(claims[pick]) > 1 or pick in taken for pick in picks
+                )
+                if conflict:
+                    continue
+                taken.update(picks)
+                done[index] = AllocationOutcome(
+                    request=requests[index],
+                    success=True,
+                    setup_latency_s=round_index * self.round_time_s,
+                    attempts=attempts[index],
+                )
+            pending = [i for i in pending if i not in done]
+        for index in pending:
+            done[index] = AllocationOutcome(
+                request=requests[index],
+                success=False,
+                setup_latency_s=self.max_rounds * self.round_time_s,
+                attempts=attempts[index],
+            )
+        return [done[i] for i in range(len(requests))]
+
+
+def mean_setup_latency(outcomes: list[AllocationOutcome]) -> float:
+    """Mean setup latency over successful outcomes (inf if none)."""
+    successes = [o.setup_latency_s for o in outcomes if o.success]
+    if not successes:
+        return float("inf")
+    return sum(successes) / len(successes)
+
+
+def success_rate(outcomes: list[AllocationOutcome]) -> float:
+    """Fraction of requests that got a circuit."""
+    if not outcomes:
+        return 1.0
+    return sum(1 for o in outcomes if o.success) / len(outcomes)

@@ -1,0 +1,328 @@
+"""Rack-scale LIGHTPATH fabric: per-server wafers cascaded with fibers.
+
+"With attached fibers, we can cascade several LIGHTPATH wafers to create a
+rack-scale photonic interconnect" (paper Section 3). In the TPUv4 mapping
+of Section 4, "the TPUs within a server are connected via waveguides and
+TPUs across the server are connected with fibers". This module builds that
+fabric for one rack: every server board carries a wafer with its four TPUs
+stacked on tiles; fiber trunks join servers that are torus-adjacent; and
+rack-wide chip-to-chip circuits are established by allocating a dedicated
+wavelength, waveguide tracks at the endpoint wafers, and one fiber per
+inter-server hop — so circuits never share a physical resource and are
+congestion-free end to end (the property Figure 7's repair relies on).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..phy.constants import FIBERS_PER_EDGE_TILE, RECONFIG_LATENCY_S
+from ..topology.torus import Coordinate, Torus
+from ..topology.tpu import TpuRack
+from .circuits import CircuitError, CircuitManager, OpticalCircuit
+from .tile import TileCoord
+from .wafer import LightpathWafer
+
+__all__ = ["FiberTrunk", "RackCircuit", "LightpathRackFabric"]
+
+ServerId = tuple[int, ...]
+
+
+@dataclass
+class FiberTrunk:
+    """The fiber bundle between two adjacent servers' wafers.
+
+    Attributes:
+        ends: the (unordered) pair of server ids the trunk joins.
+        capacity: fibers in the bundle.
+    """
+
+    ends: tuple[ServerId, ServerId]
+    capacity: int = FIBERS_PER_EDGE_TILE
+    _allocated: dict[int, object] = field(default_factory=dict, repr=False)
+
+    @property
+    def free(self) -> int:
+        """Fibers not carrying a circuit."""
+        return self.capacity - len(self._allocated)
+
+    def allocate(self, owner: object) -> int:
+        """Reserve one fiber; returns its index.
+
+        Raises:
+            RuntimeError: if the trunk is exhausted.
+        """
+        for index in range(self.capacity):
+            if index not in self._allocated:
+                self._allocated[index] = owner
+                return index
+        raise RuntimeError(f"fiber trunk {self.ends} exhausted ({self.capacity})")
+
+    def release(self, owner: object) -> int:
+        """Free every fiber held by ``owner``; returns fibers freed."""
+        mine = [i for i, o in self._allocated.items() if o == owner]
+        for i in mine:
+            del self._allocated[i]
+        return len(mine)
+
+
+@dataclass(frozen=True)
+class RackCircuit:
+    """A rack-wide chip-to-chip optical circuit.
+
+    Attributes:
+        circuit_id: unique identity within the fabric.
+        src: source chip (rack coordinate).
+        dst: destination chip (rack coordinate).
+        server_path: server boards traversed, endpoints inclusive.
+        fiber_indices: fiber used on each inter-server hop.
+        endpoint_circuits: the intra-wafer circuits at both ends (equal
+            when both chips share a server).
+        setup_latency_s: reconfiguration time charged.
+    """
+
+    circuit_id: int
+    src: Coordinate
+    dst: Coordinate
+    server_path: tuple[ServerId, ...]
+    fiber_indices: tuple[int, ...]
+    endpoint_circuits: tuple[OpticalCircuit, ...]
+    setup_latency_s: float
+
+    @property
+    def fiber_hops(self) -> int:
+        """Inter-server hops of the circuit."""
+        return len(self.fiber_indices)
+
+
+class LightpathRackFabric:
+    """A rack of TPUs interconnected by cascaded LIGHTPATH wafers.
+
+    Attributes:
+        rack: the TPUv4 rack whose chips the fabric serves.
+        wafers: circuit manager per server board.
+    """
+
+    #: Wafer grid used per server board (four tiles for four TPUs).
+    SERVER_WAFER_GRID = (2, 2)
+
+    def __init__(self, rack: TpuRack, fibers_per_trunk: int = FIBERS_PER_EDGE_TILE):
+        self.rack = rack
+        self.wafers: dict[ServerId, CircuitManager] = {}
+        self._chip_tile: dict[Coordinate, tuple[ServerId, TileCoord]] = {}
+        for server in rack.servers():
+            wafer = LightpathWafer(
+                grid=self.SERVER_WAFER_GRID, name=f"server{server}"
+            )
+            manager = CircuitManager(wafer=wafer)
+            self.wafers[server] = manager
+            chips = rack.server_chips(server)
+            tiles = sorted(wafer.tiles)
+            if len(chips) > len(tiles):
+                raise ValueError(
+                    f"server {server} has {len(chips)} chips but the wafer "
+                    f"has {len(tiles)} tiles"
+                )
+            for chip, tile in zip(chips, tiles):
+                wafer.stack_accelerator(tile, chip)
+                self._chip_tile[chip] = (server, tile)
+        self._trunks: dict[frozenset, FiberTrunk] = {}
+        self._server_torus = self._build_server_torus()
+        for a, b in self._server_adjacency():
+            key = frozenset((a, b))
+            if key not in self._trunks:
+                self._trunks[key] = FiberTrunk(
+                    ends=(a, b), capacity=fibers_per_trunk
+                )
+        self._ids = itertools.count()
+        self._circuits: dict[int, RackCircuit] = {}
+
+    # -- structure ------------------------------------------------------------------
+
+    def _build_server_torus(self) -> Torus:
+        shape = tuple(
+            (ext + b - 1) // b
+            for ext, b in zip(self.rack.shape, TpuRack.SERVER_BLOCK)
+        )
+        return Torus(shape)
+
+    def _server_adjacency(self) -> list[tuple[ServerId, ServerId]]:
+        pairs = []
+        for server in self._server_torus.nodes():
+            for neighbor in self._server_torus.neighbors(server):
+                pairs.append((server, neighbor))
+        return pairs
+
+    def server_of(self, chip: Coordinate) -> ServerId:
+        """Server board hosting ``chip``."""
+        return self._chip_tile[chip][0]
+
+    def tile_of(self, chip: Coordinate) -> TileCoord:
+        """Wafer tile hosting ``chip``."""
+        return self._chip_tile[chip][1]
+
+    def trunk(self, a: ServerId, b: ServerId) -> FiberTrunk:
+        """The fiber trunk between adjacent servers ``a`` and ``b``.
+
+        Raises:
+            KeyError: if the servers are not adjacent.
+        """
+        key = frozenset((a, b))
+        if key not in self._trunks:
+            raise KeyError(f"no fiber trunk between {a} and {b}")
+        return self._trunks[key]
+
+    def trunks(self) -> list[FiberTrunk]:
+        """All trunks in the fabric."""
+        return list(self._trunks.values())
+
+    # -- circuit establishment --------------------------------------------------------
+
+    def _server_path(self, src: ServerId, dst: ServerId) -> list[ServerId]:
+        path = self._server_torus.shortest_path(src, dst)
+        if path is None:
+            raise CircuitError(f"no server path {src} -> {dst}")
+        # Prefer hops whose trunks still have free fibers.
+        blocked = {
+            tuple(sorted(t.ends))
+            for t in self._trunks.values()
+            if t.free == 0
+        }
+        if any(
+            tuple(sorted((a, b))) in blocked for a, b in zip(path, path[1:])
+        ):
+            links = {
+                lnk
+                for t in self._trunks.values()
+                if t.free == 0
+                for lnk in (
+                    (t.ends[0], t.ends[1]),
+                    (t.ends[1], t.ends[0]),
+                )
+            }
+            from ..topology.torus import Link
+
+            path = self._server_torus.shortest_path(
+                src, dst, forbidden_links={Link(a, b) for a, b in links}
+            )
+            if path is None:
+                raise CircuitError(
+                    f"fiber trunks exhausted between {src} and {dst}"
+                )
+        return path
+
+    def establish(self, src: Coordinate, dst: Coordinate) -> RackCircuit:
+        """Create a dedicated rack-wide circuit from ``src`` to ``dst``.
+
+        Intra-server circuits ride waveguides only; inter-server circuits
+        additionally allocate one fiber per server hop. Resources are
+        exclusive, so every established circuit is congestion-free.
+
+        Raises:
+            CircuitError: when chips are unknown, identical, failed, or
+                resources are exhausted.
+        """
+        if src == dst:
+            raise CircuitError("a circuit needs two distinct chips")
+        for chip in (src, dst):
+            if chip not in self._chip_tile:
+                raise CircuitError(f"{chip} is not a chip of this rack")
+            if self.rack.is_failed(chip):
+                raise CircuitError(f"{chip} has failed")
+        src_server, src_tile = self._chip_tile[src]
+        dst_server, dst_tile = self._chip_tile[dst]
+        circuit_id = next(self._ids)
+        token = ("rack-circuit", circuit_id)
+        if src_server == dst_server:
+            inner = self.wafers[src_server].establish(src_tile, dst_tile)
+            circuit = RackCircuit(
+                circuit_id=circuit_id,
+                src=src,
+                dst=dst,
+                server_path=(src_server,),
+                fiber_indices=(),
+                endpoint_circuits=(inner,),
+                setup_latency_s=inner.setup_latency_s,
+            )
+            self._circuits[circuit_id] = circuit
+            return circuit
+        path = self._server_path(src_server, dst_server)
+        fibers: list[int] = []
+        taken: list[FiberTrunk] = []
+        endpoint_circuits: list[OpticalCircuit] = []
+        try:
+            for a, b in zip(path, path[1:]):
+                trunk = self.trunk(a, b)
+                fibers.append(trunk.allocate(token))
+                taken.append(trunk)
+            src_edge = self._edge_tile(src_server, src_tile)
+            dst_edge = self._edge_tile(dst_server, dst_tile)
+            endpoint_circuits.append(
+                self.wafers[src_server].establish(src_tile, src_edge)
+            )
+            endpoint_circuits.append(
+                self.wafers[dst_server].establish(dst_edge, dst_tile)
+            )
+        except (CircuitError, RuntimeError) as exc:
+            for trunk in taken:
+                trunk.release(token)
+            for inner in endpoint_circuits:
+                manager = self._manager_of_circuit(inner)
+                manager.teardown(inner.circuit_id)
+            raise CircuitError(str(exc)) from exc
+        circuit = RackCircuit(
+            circuit_id=circuit_id,
+            src=src,
+            dst=dst,
+            server_path=tuple(path),
+            fiber_indices=tuple(fibers),
+            endpoint_circuits=tuple(endpoint_circuits),
+            setup_latency_s=RECONFIG_LATENCY_S,
+        )
+        self._circuits[circuit_id] = circuit
+        return circuit
+
+    def _edge_tile(self, server: ServerId, avoid: TileCoord) -> TileCoord:
+        """A tile (distinct from ``avoid``) acting as the fiber attach."""
+        wafer = self.wafers[server].wafer
+        for tile in sorted(wafer.tiles):
+            if tile != avoid:
+                return tile
+        raise CircuitError(f"server {server} wafer has a single tile")
+
+    def _manager_of_circuit(self, circuit: OpticalCircuit) -> CircuitManager:
+        for manager in self.wafers.values():
+            if any(c is circuit for c in manager.circuits):
+                return manager
+        raise KeyError("circuit not found in any wafer manager")
+
+    def teardown(self, circuit_id: int) -> None:
+        """Release every resource of a rack circuit.
+
+        Raises:
+            KeyError: for an unknown id.
+        """
+        circuit = self._circuits.pop(circuit_id)
+        token = ("rack-circuit", circuit_id)
+        for a, b in zip(circuit.server_path, circuit.server_path[1:]):
+            self.trunk(a, b).release(token)
+        for inner in circuit.endpoint_circuits:
+            self._manager_of_circuit(inner).teardown(inner.circuit_id)
+
+    @property
+    def circuits(self) -> list[RackCircuit]:
+        """Active rack circuits (copy)."""
+        return list(self._circuits.values())
+
+    def fibers_in_use(self) -> int:
+        """Total fibers occupied across all trunks."""
+        return sum(t.capacity - t.free for t in self._trunks.values())
+
+    def is_congestion_free(self) -> bool:
+        """Always true by construction — every circuit owns its resources.
+
+        Provided so the benches can assert the property explicitly
+        alongside the electrical baselines' congestion reports.
+        """
+        return True

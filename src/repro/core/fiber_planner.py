@@ -1,0 +1,159 @@
+"""Fiber provisioning for fault tolerance (paper Section 5).
+
+"Fault-tolerant circuit pathfinding must intelligently manage the addition
+of fibers, aiming to minimize fiber usage while effectively managing
+faults." This module answers the provisioning question for a rack: how
+many fibers per inter-server trunk are needed so that *any* single-chip
+failure in a given slice layout can be repaired optically? It evaluates
+failure scenarios against candidate fiber budgets (binary search over a
+uniform per-trunk capacity) and reports coverage curves for the ablation
+bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology.slices import SliceAllocator
+from ..topology.torus import Coordinate
+from ..topology.tpu import TpuRack
+from .fabric import LightpathRackFabric
+from .repair import RepairError, plan_optical_repair
+
+__all__ = ["FailureScenario", "CoveragePoint", "FiberPlanner"]
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One single-chip failure to survive.
+
+    Attributes:
+        slice_name: the slice losing a chip.
+        failed: the failed chip.
+    """
+
+    slice_name: str
+    failed: Coordinate
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """Repair coverage achieved by one fiber budget.
+
+    Attributes:
+        fibers_per_trunk: the uniform per-trunk capacity evaluated.
+        covered: scenarios repaired successfully.
+        total: scenarios evaluated.
+        max_fibers_used: largest fiber count any single repair consumed.
+    """
+
+    fibers_per_trunk: int
+    covered: int
+    total: int
+    max_fibers_used: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of scenarios repaired."""
+        return self.covered / self.total if self.total else 1.0
+
+
+@dataclass
+class FiberPlanner:
+    """Sizes fiber trunks against a set of failure scenarios.
+
+    Attributes:
+        rack_shape: shape of the rack the layout lives on.
+        layout: (name, shape, offset) triples describing the slice layout;
+            re-applied onto a fresh rack for every evaluation so repairs
+            do not interfere.
+    """
+
+    rack_shape: tuple[int, ...]
+    layout: list[tuple[str, tuple[int, ...], tuple[int, ...]]]
+
+    def _fresh(self, fibers_per_trunk: int):
+        rack = TpuRack(index=0, shape=self.rack_shape)
+        fabric = LightpathRackFabric(rack, fibers_per_trunk=fibers_per_trunk)
+        allocator = SliceAllocator(rack.torus)
+        for name, shape, offset in self.layout:
+            allocator.allocate(name, shape, offset)
+        return fabric, allocator
+
+    def all_single_failures(self) -> list[FailureScenario]:
+        """Every (slice, chip) single-failure scenario in the layout."""
+        _fabric, allocator = self._fresh(fibers_per_trunk=1)
+        scenarios = []
+        for slc in allocator.slices:
+            for chip in slc.chips():
+                scenarios.append(FailureScenario(slice_name=slc.name, failed=chip))
+        return scenarios
+
+    def evaluate(
+        self, fibers_per_trunk: int, scenarios: list[FailureScenario] | None = None
+    ) -> CoveragePoint:
+        """Repair every scenario independently under the given budget."""
+        if fibers_per_trunk < 0:
+            raise ValueError("fiber budget cannot be negative")
+        if scenarios is None:
+            scenarios = self.all_single_failures()
+        covered = 0
+        max_used = 0
+        for scenario in scenarios:
+            fabric, allocator = self._fresh(fibers_per_trunk)
+            slc = next(
+                s for s in allocator.slices if s.name == scenario.slice_name
+            )
+            try:
+                plan = plan_optical_repair(fabric, allocator, slc, scenario.failed)
+            except RepairError:
+                continue
+            covered += 1
+            max_used = max(max_used, plan.fibers_used)
+        return CoveragePoint(
+            fibers_per_trunk=fibers_per_trunk,
+            covered=covered,
+            total=len(scenarios),
+            max_fibers_used=max_used,
+        )
+
+    def minimum_fibers(
+        self,
+        scenarios: list[FailureScenario] | None = None,
+        upper_bound: int = 64,
+    ) -> int:
+        """Smallest uniform per-trunk capacity covering every scenario.
+
+        Binary search over capacities; assumes coverage is monotone in the
+        budget (more fibers never hurt).
+
+        Raises:
+            RuntimeError: if even ``upper_bound`` fibers cannot cover all
+                scenarios (the layout has no free chips, for example).
+        """
+        if scenarios is None:
+            scenarios = self.all_single_failures()
+        top = self.evaluate(upper_bound, scenarios)
+        if top.coverage < 1.0:
+            raise RuntimeError(
+                f"{upper_bound} fibers/trunk cover only "
+                f"{top.covered}/{top.total} scenarios"
+            )
+        lo, hi = 0, upper_bound
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.evaluate(mid, scenarios).coverage >= 1.0:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def coverage_curve(
+        self,
+        budgets: list[int],
+        scenarios: list[FailureScenario] | None = None,
+    ) -> list[CoveragePoint]:
+        """Coverage at each fiber budget (the ablation bench's series)."""
+        if scenarios is None:
+            scenarios = self.all_single_failures()
+        return [self.evaluate(budget, scenarios) for budget in budgets]

@@ -1,0 +1,149 @@
+"""Reconfiguration scheduling and amortization analysis.
+
+Programming LIGHTPATH's MZI switches takes up to 3.7 us (paper Figure 3a).
+That cost is the ``r`` term of Section 4.1's alpha-beta-r model, and the
+paper names the resulting trade-off a key systems challenge: "new optical
+resource allocation algorithms will be needed to arrive at the appropriate
+trade-off between optical reconfiguration delay and end-to-end performance"
+(Section 1). This module models how switch-programming operations batch
+(parallel drive vs a serial JTAG-style chain, which is how the prototype is
+programmed through an Arduino in Figure 3) and answers the amortization
+question: for which buffer sizes does paying ``r`` win?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..phy.constants import RECONFIG_LATENCY_S
+from .tile import Direction, TileCoord
+
+__all__ = [
+    "SwitchProgram",
+    "ReconfigurationPlan",
+    "ReconfigurationScheduler",
+    "breakeven_buffer_bytes",
+]
+
+
+@dataclass(frozen=True)
+class SwitchProgram:
+    """One MZI-switch programming operation.
+
+    Attributes:
+        tile: tile whose switch is programmed.
+        facing: which of the tile's four switches.
+        wavelength_index: comb channel being steered.
+        towards: the new output direction.
+    """
+
+    tile: TileCoord
+    facing: Direction
+    wavelength_index: int
+    towards: Direction
+
+
+@dataclass
+class ReconfigurationPlan:
+    """A batch of switch programs applied together.
+
+    Attributes:
+        programs: the operations in the batch.
+        parallel: whether drivers program every switch concurrently
+            (production behaviour — the batch costs one settling time) or
+            serially over a shared control chain (the lab prototype's
+            JTAG path — the batch costs one settling time per operation).
+        settle_s: per-operation thermo-optic settling time.
+    """
+
+    programs: list[SwitchProgram] = field(default_factory=list)
+    parallel: bool = True
+    settle_s: float = RECONFIG_LATENCY_S
+
+    def add(self, program: SwitchProgram) -> None:
+        """Append an operation to the batch."""
+        self.programs.append(program)
+
+    @property
+    def operation_count(self) -> int:
+        """Operations in the batch."""
+        return len(self.programs)
+
+    def latency_s(self) -> float:
+        """Wall-clock time to apply the batch.
+
+        Parallel drivers overlap every settle; the serial chain pays one
+        settle per operation.
+        """
+        if not self.programs:
+            return 0.0
+        if self.parallel:
+            return self.settle_s
+        return self.operation_count * self.settle_s
+
+    def tiles_touched(self) -> set[TileCoord]:
+        """Tiles whose switches the batch reprograms."""
+        return {p.tile for p in self.programs}
+
+
+@dataclass
+class ReconfigurationScheduler:
+    """Accumulates reconfiguration batches and total time charged.
+
+    A collective that re-steers bandwidth between stages submits one plan
+    per stage; the scheduler tracks the running total so end-to-end
+    experiments can report how much of their time went to ``r``.
+    """
+
+    parallel: bool = True
+    settle_s: float = RECONFIG_LATENCY_S
+    _applied: list[ReconfigurationPlan] = field(default_factory=list, repr=False)
+
+    def new_plan(self) -> ReconfigurationPlan:
+        """A fresh plan bound to this scheduler's drive mode."""
+        return ReconfigurationPlan(parallel=self.parallel, settle_s=self.settle_s)
+
+    def apply(self, plan: ReconfigurationPlan) -> float:
+        """Apply ``plan`` and return its latency (also accumulated)."""
+        self._applied.append(plan)
+        return plan.latency_s()
+
+    @property
+    def total_latency_s(self) -> float:
+        """Total reconfiguration time charged so far."""
+        return sum(plan.latency_s() for plan in self._applied)
+
+    @property
+    def total_operations(self) -> int:
+        """Total switch programs applied so far."""
+        return sum(plan.operation_count for plan in self._applied)
+
+    @property
+    def batch_count(self) -> int:
+        """Plans applied so far."""
+        return len(self._applied)
+
+
+def breakeven_buffer_bytes(
+    speedup_beta_factor: float,
+    chip_bandwidth_bytes: float,
+    reconfig_s: float = RECONFIG_LATENCY_S,
+) -> float:
+    """Buffer size above which paying ``r`` wins.
+
+    Reconfiguring saves ``speedup_beta_factor * N / B`` seconds of
+    transmission but costs ``r``; the crossover is ``N* = r * B /
+    speedup``. For Table 1's Slice-1 the speedup factor is
+    ``2.625 - 0.875 = 1.75``, putting the breakeven in the kilobyte range —
+    the paper's observation that beta dominates for "large buffer sizes of
+    most modern ML models".
+
+    Raises:
+        ValueError: if the speedup factor is not positive (reconfiguring
+            never pays off).
+    """
+    if speedup_beta_factor <= 0:
+        raise ValueError("no transmission saving; reconfiguration cannot break even")
+    if chip_bandwidth_bytes <= 0:
+        raise ValueError("chip bandwidth must be positive")
+    return reconfig_s * chip_bandwidth_bytes / speedup_beta_factor

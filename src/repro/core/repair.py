@@ -1,0 +1,190 @@
+"""Optical failure repair (paper Section 4.2, Figure 7).
+
+When a TPU fails, the rings of its slice break: the Y-dimension ring of
+Figure 7 has no chip between 9 and 5, and the X ring has nothing connected
+to 8. The paper's proposal: program the rack's MZI switches to splice a
+*free* TPU into the broken rings with dedicated end-to-end optical
+circuits, placed "on separate waveguides and fibers to avoid congestion".
+The blast radius of the failure shrinks from the whole rack (TPUv4's
+migration policy) to the server holding the failed chip.
+
+This module computes the broken-ring neighbours, selects a spare, and
+establishes the repair circuits on a :class:`~repro.core.fabric.
+LightpathRackFabric`, returning a plan whose congestion-freedom is
+guaranteed by resource exclusivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology.slices import Slice, SliceAllocator
+from ..topology.torus import Coordinate
+from .fabric import LightpathRackFabric, RackCircuit
+
+__all__ = ["BrokenRing", "RepairPlan", "RepairError", "plan_optical_repair"]
+
+
+class RepairError(RuntimeError):
+    """Raised when no optical repair can be constructed."""
+
+
+@dataclass(frozen=True)
+class BrokenRing:
+    """One ring interrupted by the failed chip.
+
+    Attributes:
+        dim: torus dimension of the ring.
+        predecessor: chip that sent to the failed chip in the ring.
+        successor: chip the failed chip sent to.
+    """
+
+    dim: int
+    predecessor: Coordinate
+    successor: Coordinate
+
+
+def broken_rings(slc: Slice, failed: Coordinate) -> list[BrokenRing]:
+    """The rings of ``slc`` that traverse ``failed``.
+
+    One per active dimension of the slice: the failed chip participates in
+    exactly one ring per dimension (the ring through its cross-section).
+
+    Raises:
+        ValueError: if the failed chip is not in the slice.
+    """
+    if not slc.contains(failed):
+        raise ValueError(f"{failed} is not in slice {slc.name}")
+    result = []
+    for dim in slc.active_dimensions():
+        ring = slc.ring_nodes(dim, failed)
+        idx = ring.index(failed)
+        result.append(
+            BrokenRing(
+                dim=dim,
+                predecessor=ring[(idx - 1) % len(ring)],
+                successor=ring[(idx + 1) % len(ring)],
+            )
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """An executed optical repair.
+
+    Attributes:
+        failed: the failed chip.
+        replacement: the free chip spliced into the rings.
+        rings: the rings repaired.
+        circuits: circuits established (predecessor -> replacement and
+            replacement -> successor per broken ring, de-duplicated).
+        setup_latency_s: time to bring the repair up (switches program in
+            parallel, so the slowest circuit dominates).
+        fibers_used: fibers consumed across all repair circuits.
+    """
+
+    failed: Coordinate
+    replacement: Coordinate
+    rings: tuple[BrokenRing, ...]
+    circuits: tuple[RackCircuit, ...]
+    setup_latency_s: float
+    fibers_used: int
+
+    @property
+    def blast_radius_chips(self) -> int:
+        """Chips taken out of service by the failure after repair: one.
+
+        The repaired slice continues on the replacement chip; only the
+        failed chip itself is lost. Contrast with the rack-granularity
+        policy measured in :mod:`repro.failures.blast_radius`.
+        """
+        return 1
+
+
+def _required_endpoints(rings: list[BrokenRing], replacement: Coordinate):
+    """Ordered, de-duplicated circuit endpoints for the repair.
+
+    Each broken ring needs predecessor -> replacement and replacement ->
+    successor. A chip that is both some ring's predecessor and another's
+    successor still needs each direction once.
+    """
+    pairs: list[tuple[Coordinate, Coordinate]] = []
+    for ring in rings:
+        for pair in (
+            (ring.predecessor, replacement),
+            (replacement, ring.successor),
+        ):
+            if pair[0] != pair[1] and pair not in pairs:
+                pairs.append(pair)
+    return pairs
+
+
+def plan_optical_repair(
+    fabric: LightpathRackFabric,
+    allocator: SliceAllocator,
+    slc: Slice,
+    failed: Coordinate,
+    replacement: Coordinate | None = None,
+) -> RepairPlan:
+    """Splice a free chip into the rings broken by ``failed``.
+
+    Args:
+        fabric: the rack's LIGHTPATH fabric.
+        allocator: slice allocator (provides the free-chip pool).
+        slc: the slice that lost a chip.
+        failed: the failed chip coordinate.
+        replacement: override spare selection (must be free); by default
+            the nearest free chip (fewest server hops) is chosen to
+            minimize fiber usage — Section 5's "minimizing fiber
+            requirement for fault tolerance".
+
+    Raises:
+        RepairError: when no free chip exists or circuits cannot be built.
+    """
+    rings = broken_rings(slc, failed)
+    if not rings:
+        raise RepairError(f"slice {slc.name} has no rings to repair")
+    free = allocator.free_chips()
+    free = [c for c in free if not fabric.rack.is_failed(c)]
+    if replacement is not None:
+        if replacement not in free:
+            raise RepairError(f"{replacement} is not a free working chip")
+        spare = replacement
+    else:
+        if not free:
+            raise RepairError("no free chip available in the rack")
+        failed_server = fabric.server_of(failed)
+        spare = min(
+            free,
+            key=lambda chip: (
+                _server_distance(fabric, failed_server, fabric.server_of(chip)),
+                chip,
+            ),
+        )
+    fabric.rack.fail_chip(failed)
+    pairs = _required_endpoints(rings, spare)
+    circuits: list[RackCircuit] = []
+    try:
+        for src, dst in pairs:
+            circuits.append(fabric.establish(src, dst))
+    except Exception as exc:
+        for circuit in circuits:
+            fabric.teardown(circuit.circuit_id)
+        raise RepairError(f"could not establish repair circuits: {exc}") from exc
+    return RepairPlan(
+        failed=failed,
+        replacement=spare,
+        rings=tuple(rings),
+        circuits=tuple(circuits),
+        setup_latency_s=max(c.setup_latency_s for c in circuits),
+        fibers_used=sum(c.fiber_hops for c in circuits),
+    )
+
+
+def _server_distance(
+    fabric: LightpathRackFabric, a: tuple[int, ...], b: tuple[int, ...]
+) -> int:
+    """Hop distance between two servers on the fabric's server torus."""
+    path = fabric._server_torus.shortest_path(a, b)
+    return len(path) - 1 if path else 10**9

@@ -1,0 +1,220 @@
+"""Waveguide routing across the LIGHTPATH wafer grid.
+
+Circuits are built "by directing signals through a series of horizontal and
+vertical bus waveguides" (paper Figure 2c): a route is a tile path from the
+source tile to the destination tile; every boundary it crosses consumes one
+track of that boundary's waveguide bus, every turn consumes an MZI switch
+hop, and every tile boundary adds one reticle-stitch crossing of loss
+(Figure 3b). Dimension-ordered (XY) routing is the default; a BFS fallback
+finds detours when buses fill up — the "exploding paths" challenge of
+Section 5 in its simplest form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tile import TileCoord
+from .wafer import LightpathWafer
+
+__all__ = ["WaveguideRoute", "WaferRouter", "RouteExhausted"]
+
+
+class RouteExhausted(RuntimeError):
+    """Raised when no route with free waveguides exists."""
+
+
+@dataclass(frozen=True)
+class WaveguideRoute:
+    """A routed (but not yet allocated) circuit path across a wafer.
+
+    Attributes:
+        tiles: the tile sequence from source to destination inclusive.
+    """
+
+    tiles: tuple[TileCoord, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.tiles) < 1:
+            raise ValueError("a route visits at least one tile")
+        for a, b in zip(self.tiles, self.tiles[1:]):
+            if abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+                raise ValueError(f"route hop {a} -> {b} is not grid-adjacent")
+
+    @property
+    def boundary_crossings(self) -> int:
+        """Tile boundaries crossed (the Figure 3b stitch-loss count)."""
+        return len(self.tiles) - 1
+
+    @property
+    def turns(self) -> int:
+        """Direction changes along the route."""
+        count = 0
+        for a, b, c in zip(self.tiles, self.tiles[1:], self.tiles[2:]):
+            first = (b[0] - a[0], b[1] - a[1])
+            second = (c[0] - b[0], c[1] - b[1])
+            if first != second:
+                count += 1
+        return count
+
+    @property
+    def mzi_hops(self) -> int:
+        """MZI switch elements traversed.
+
+        One switch injects the signal from the Tx, one extracts it to the
+        Rx, and each turn routes through one intermediate switch.
+        """
+        if len(self.tiles) == 1:
+            return 0
+        return 2 + self.turns
+
+    def boundaries(self) -> list[tuple[TileCoord, TileCoord]]:
+        """The (src, dst) tile boundaries, in traversal order."""
+        return list(zip(self.tiles, self.tiles[1:]))
+
+
+class WaferRouter:
+    """Routes and allocates waveguide tracks on one wafer.
+
+    Attributes:
+        wafer: the wafer whose buses the router manages.
+    """
+
+    def __init__(self, wafer: LightpathWafer):
+        self.wafer = wafer
+
+    # -- path construction --------------------------------------------------------
+
+    def dimension_order_route(
+        self, src: TileCoord, dst: TileCoord, row_first: bool = True
+    ) -> WaveguideRoute:
+        """The XY (or YX) dimension-ordered route from ``src`` to ``dst``."""
+        self.wafer.tile(src)
+        self.wafer.tile(dst)
+        tiles = [src]
+        current = src
+
+        def advance(axis: int, target: int) -> None:
+            nonlocal current
+            while current[axis] != target:
+                step = 1 if target > current[axis] else -1
+                nxt = list(current)
+                nxt[axis] += step
+                current = (nxt[0], nxt[1])
+                tiles.append(current)
+
+        if row_first:
+            advance(0, dst[0])
+            advance(1, dst[1])
+        else:
+            advance(1, dst[1])
+            advance(0, dst[0])
+        return WaveguideRoute(tiles=tuple(tiles))
+
+    def hop_usable(self, src: TileCoord, dst: TileCoord) -> bool:
+        """Whether the photonic layer can carry a signal ``src -> dst``.
+
+        A *chip* failure does not block transit — the paper's premise is
+        that the interconnect layer lives under the stacked chips — but a
+        failed MZI switch at either end of the boundary does: the exit
+        switch on ``src`` and the entry switch on ``dst`` must both work.
+        """
+        direction = self.wafer.direction_between(src, dst)
+        if self.wafer.tile(src).switches[direction].failed:
+            return False
+        if self.wafer.tile(dst).switches[direction.opposite].failed:
+            return False
+        return True
+
+    def bfs_route(
+        self, src: TileCoord, dst: TileCoord, min_free: int = 1
+    ) -> WaveguideRoute:
+        """Shortest route over healthy switches with >= ``min_free`` free
+        tracks per boundary.
+
+        Raises:
+            RouteExhausted: when no such route exists.
+        """
+        self.wafer.tile(src)
+        self.wafer.tile(dst)
+        if src == dst:
+            return WaveguideRoute(tiles=(src,))
+        parents: dict[TileCoord, TileCoord] = {src: src}
+        frontier = [src]
+        while frontier:
+            nxt: list[TileCoord] = []
+            for tile in frontier:
+                for neighbor in self.wafer.neighbors(tile):
+                    if neighbor in parents:
+                        continue
+                    if self.wafer.bus(tile, neighbor).free < min_free:
+                        continue
+                    if not self.hop_usable(tile, neighbor):
+                        continue
+                    parents[neighbor] = tile
+                    if neighbor == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        return WaveguideRoute(tiles=tuple(path))
+                    nxt.append(neighbor)
+            frontier = nxt
+        raise RouteExhausted(
+            f"no waveguide route from {src} to {dst} with {min_free} free "
+            "track(s) per boundary"
+        )
+
+    def route(self, src: TileCoord, dst: TileCoord) -> WaveguideRoute:
+        """Best-effort route: dimension-ordered if its buses have room and
+        its switches are healthy, otherwise the BFS detour.
+
+        Raises:
+            RouteExhausted: when even the detour search fails.
+        """
+        preferred = self.dimension_order_route(src, dst)
+        if all(
+            self.wafer.bus(a, b).free > 0 and self.hop_usable(a, b)
+            for a, b in preferred.boundaries()
+        ):
+            return preferred
+        return self.bfs_route(src, dst)
+
+    # -- allocation ------------------------------------------------------------------
+
+    def allocate(self, route: WaveguideRoute, owner: object) -> list[int]:
+        """Reserve one waveguide track per boundary for ``owner``.
+
+        All-or-nothing: on failure every already-taken track is released.
+
+        Returns:
+            The track index used on each boundary, in traversal order.
+
+        Raises:
+            RouteExhausted: if some boundary has no free track.
+        """
+        tracks: list[int] = []
+        taken: list[tuple[TileCoord, TileCoord]] = []
+        try:
+            for a, b in route.boundaries():
+                tracks.append(self.wafer.bus(a, b).allocate(owner))
+                taken.append((a, b))
+        except RuntimeError as exc:
+            for a, b in taken:
+                self.wafer.bus(a, b).release(owner)
+            raise RouteExhausted(str(exc)) from exc
+        return tracks
+
+    def release(self, route: WaveguideRoute, owner: object) -> None:
+        """Free ``owner``'s tracks along ``route``."""
+        for a, b in route.boundaries():
+            self.wafer.bus(a, b).release(owner)
+
+    def utilization(self) -> float:
+        """Mean fraction of allocated tracks across all buses."""
+        buses = self.wafer.buses()
+        if not buses:
+            return 0.0
+        return sum(
+            (bus.capacity - bus.free) / bus.capacity for bus in buses
+        ) / len(buses)

@@ -1,0 +1,233 @@
+"""Wavelength assignment with the continuity constraint.
+
+A LIGHTPATH circuit rides one comb wavelength end to end: there is no
+wavelength conversion inside the fabric, so a circuit must find a channel
+that is simultaneously free at the source laser bank and on every
+waveguide bus it traverses — the classic routing-and-wavelength-assignment
+(RWA) continuity constraint of optical networking, which the paper's
+"exploding paths" challenge (Section 5) inherits at on-chip scale.
+
+This module layers per-wavelength occupancy onto the wafer's buses and
+implements the standard assignment heuristics (first-fit, most-used,
+random) plus a blocking-probability experiment used by the ablation
+benches: offered circuits vs the fraction rejected for lack of a
+continuous wavelength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..phy.constants import LASERS_PER_TILE
+from .routing import WaferRouter, WaveguideRoute
+from .tile import TileCoord
+from .wafer import LightpathWafer
+
+__all__ = [
+    "AssignmentPolicy",
+    "SpectrumAssignment",
+    "WavelengthAssigner",
+    "BlockingExperiment",
+    "BlockingPoint",
+]
+
+
+class AssignmentPolicy(str, Enum):
+    """Wavelength selection heuristics."""
+
+    FIRST_FIT = "first-fit"
+    MOST_USED = "most-used"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class SpectrumAssignment:
+    """A successfully assigned circuit.
+
+    Attributes:
+        route: the tile route of the circuit.
+        wavelength: the comb channel assigned end to end.
+    """
+
+    route: WaveguideRoute
+    wavelength: int
+
+
+class WavelengthAssigner:
+    """Tracks per-wavelength occupancy per waveguide boundary.
+
+    Unlike :class:`~repro.core.routing.WaferRouter`'s track pool (which
+    models the *spatial* waveguide dimension), this models the *spectral*
+    dimension: each boundary supports each comb channel once per
+    spatial track, and we conservatively give every circuit a dedicated
+    (boundary, wavelength) slot — the regime where spectral capacity,
+    not spatial capacity, binds.
+
+    Attributes:
+        wafer: the wafer whose boundaries are managed.
+        channels: comb channels available per boundary.
+        policy: the wavelength selection heuristic.
+    """
+
+    def __init__(
+        self,
+        wafer: LightpathWafer,
+        channels: int = LASERS_PER_TILE,
+        policy: AssignmentPolicy = AssignmentPolicy.FIRST_FIT,
+        rng: np.random.Generator | None = None,
+    ):
+        if channels < 1:
+            raise ValueError("need at least one wavelength channel")
+        self.wafer = wafer
+        self.channels = channels
+        self.policy = policy
+        self.rng = rng or np.random.default_rng(0)
+        self.router = WaferRouter(wafer)
+        # occupancy[(src, dst)][w] -> owner or absent
+        self._occupancy: dict[tuple[TileCoord, TileCoord], dict[int, object]] = {}
+        self._use_count: list[int] = [0] * channels
+
+    # -- queries ----------------------------------------------------------------
+
+    def _boundary_occupancy(
+        self, boundary: tuple[TileCoord, TileCoord]
+    ) -> dict[int, object]:
+        return self._occupancy.setdefault(boundary, {})
+
+    def free_wavelengths(self, route: WaveguideRoute) -> list[int]:
+        """Channels free on *every* boundary of ``route`` (continuity)."""
+        candidates = set(range(self.channels))
+        for boundary in route.boundaries():
+            taken = set(self._boundary_occupancy(boundary))
+            candidates &= set(range(self.channels)) - taken
+            if not candidates:
+                break
+        return sorted(candidates)
+
+    def utilization(self) -> float:
+        """Mean fraction of occupied (boundary, wavelength) slots."""
+        boundaries = [
+            (bus.src, bus.dst) for bus in self.wafer.buses()
+        ]
+        if not boundaries:
+            return 0.0
+        used = sum(
+            len(self._boundary_occupancy(boundary)) for boundary in boundaries
+        )
+        return used / (len(boundaries) * self.channels)
+
+    # -- assignment ---------------------------------------------------------------
+
+    def _pick(self, candidates: list[int]) -> int:
+        if self.policy is AssignmentPolicy.FIRST_FIT:
+            return candidates[0]
+        if self.policy is AssignmentPolicy.MOST_USED:
+            return max(candidates, key=lambda w: (self._use_count[w], -w))
+        return int(self.rng.choice(candidates))
+
+    def assign(
+        self, src: TileCoord, dst: TileCoord, owner: object
+    ) -> SpectrumAssignment | None:
+        """Route ``src -> dst`` and assign a continuous wavelength.
+
+        Returns ``None`` (blocked) when no channel is free on every
+        boundary of the route.
+        """
+        route = self.router.dimension_order_route(src, dst)
+        candidates = self.free_wavelengths(route)
+        if not candidates:
+            return None
+        wavelength = self._pick(candidates)
+        for boundary in route.boundaries():
+            self._boundary_occupancy(boundary)[wavelength] = owner
+        self._use_count[wavelength] += 1
+        return SpectrumAssignment(route=route, wavelength=wavelength)
+
+    def release(self, assignment: SpectrumAssignment, owner: object) -> None:
+        """Free the assignment's (boundary, wavelength) slots.
+
+        Raises:
+            KeyError: if a slot is not held by ``owner``.
+        """
+        for boundary in assignment.route.boundaries():
+            occupancy = self._boundary_occupancy(boundary)
+            holder = occupancy.get(assignment.wavelength)
+            if holder != owner:
+                raise KeyError(
+                    f"slot {boundary}/{assignment.wavelength} not held by "
+                    f"{owner!r}"
+                )
+            del occupancy[assignment.wavelength]
+
+
+@dataclass(frozen=True)
+class BlockingPoint:
+    """Blocking probability at one offered load.
+
+    Attributes:
+        offered: circuits offered.
+        accepted: circuits that found a continuous wavelength.
+        policy: the heuristic evaluated.
+    """
+
+    offered: int
+    accepted: int
+    policy: AssignmentPolicy
+
+    @property
+    def blocking_probability(self) -> float:
+        """Fraction of offered circuits rejected."""
+        if self.offered == 0:
+            return 0.0
+        return 1.0 - self.accepted / self.offered
+
+
+@dataclass
+class BlockingExperiment:
+    """Offered-load sweep measuring wavelength-blocking probability.
+
+    Attributes:
+        grid: wafer grid used for the experiment.
+        channels: comb channels per boundary.
+        seed: RNG seed for the random src/dst workload.
+    """
+
+    grid: tuple[int, int] = (4, 8)
+    channels: int = LASERS_PER_TILE
+    seed: int = 0
+
+    def _random_pairs(self, count: int, rng: np.random.Generator):
+        rows, cols = self.grid
+        pairs = []
+        while len(pairs) < count:
+            src = (int(rng.integers(rows)), int(rng.integers(cols)))
+            dst = (int(rng.integers(rows)), int(rng.integers(cols)))
+            if src != dst:
+                pairs.append((src, dst))
+        return pairs
+
+    def run(self, offered: int, policy: AssignmentPolicy) -> BlockingPoint:
+        """Offer ``offered`` random circuits under ``policy``."""
+        if offered < 0:
+            raise ValueError("offered load cannot be negative")
+        rng = np.random.default_rng(self.seed)
+        assigner = WavelengthAssigner(
+            LightpathWafer(grid=self.grid),
+            channels=self.channels,
+            policy=policy,
+            rng=np.random.default_rng(self.seed + 1),
+        )
+        accepted = 0
+        for i, (src, dst) in enumerate(self._random_pairs(offered, rng)):
+            if assigner.assign(src, dst, owner=("exp", i)) is not None:
+                accepted += 1
+        return BlockingPoint(offered=offered, accepted=accepted, policy=policy)
+
+    def sweep(
+        self, loads: list[int], policy: AssignmentPolicy
+    ) -> list[BlockingPoint]:
+        """Blocking probability at each offered load."""
+        return [self.run(load, policy) for load in loads]

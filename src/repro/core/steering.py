@@ -1,0 +1,196 @@
+"""Bandwidth steering: redirecting chip bandwidth between torus dimensions.
+
+The paper's first opportunity (Section 4.1): a chip's I/O "along different
+dimensions can be redirected to one dimension by dynamically programming
+the MZI switches", so a slice that can only ring congestion-free in a
+subset of dimensions still uses its *full* egress bandwidth. This module
+plans wavelength (re)allocations for a slice — which of the 16 per-tile
+wavelengths serve which torus dimension — together with the MZI programming
+batch and its 3.7 us charge, and computes the resulting per-dimension
+bandwidth fractions that feed the Tables 1/2 cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.primitives import (
+    Interconnect,
+    StrategyKind,
+    plan_reduce_scatter,
+)
+from ..phy.constants import CHIP_EGRESS_BYTES, LASERS_PER_TILE, RECONFIG_LATENCY_S
+from ..topology.slices import Slice
+
+__all__ = [
+    "WavelengthAllocation",
+    "SteeringPlan",
+    "static_allocation",
+    "steered_allocation",
+    "plan_steering",
+    "effective_chip_bandwidth",
+]
+
+
+@dataclass(frozen=True)
+class WavelengthAllocation:
+    """How one chip's wavelengths are divided among torus dimensions.
+
+    Attributes:
+        per_dimension: wavelengths assigned to each rack dimension index.
+        total: wavelengths available on the tile.
+    """
+
+    per_dimension: dict[int, int]
+    total: int = LASERS_PER_TILE
+
+    def __post_init__(self) -> None:
+        assigned = sum(self.per_dimension.values())
+        if assigned > self.total:
+            raise ValueError(
+                f"allocated {assigned} wavelengths but the tile has {self.total}"
+            )
+        if any(n < 0 for n in self.per_dimension.values()):
+            raise ValueError("wavelength counts cannot be negative")
+
+    def fraction(self, dim: int) -> float:
+        """Fraction of chip bandwidth serving ``dim``."""
+        return self.per_dimension.get(dim, 0) / self.total
+
+    def bandwidth_bytes(self, dim: int, chip_egress: float = CHIP_EGRESS_BYTES) -> float:
+        """Absolute bandwidth serving ``dim``, bytes per second."""
+        return self.fraction(dim) * chip_egress
+
+    @property
+    def stranded(self) -> int:
+        """Wavelengths not assigned to any dimension."""
+        return self.total - sum(self.per_dimension.values())
+
+
+def static_allocation(
+    rack_ndim: int, total: int = LASERS_PER_TILE
+) -> WavelengthAllocation:
+    """The electrical-equivalent fixed split across all rack dimensions.
+
+    Mirrors a direct-connect chip whose SerDes are hard-wired evenly to
+    the torus dimensions (remainder wavelengths round-robin onto the
+    lowest dimensions).
+    """
+    if rack_ndim < 1:
+        raise ValueError("need at least one dimension")
+    base, extra = divmod(total, rack_ndim)
+    return WavelengthAllocation(
+        per_dimension={d: base + (1 if d < extra else 0) for d in range(rack_ndim)},
+        total=total,
+    )
+
+
+def steered_allocation(
+    target_dims: list[int], total: int = LASERS_PER_TILE
+) -> WavelengthAllocation:
+    """All wavelengths redirected onto ``target_dims``, split evenly."""
+    if not target_dims:
+        raise ValueError("need at least one target dimension")
+    if len(set(target_dims)) != len(target_dims):
+        raise ValueError("target dimensions must be distinct")
+    base, extra = divmod(total, len(target_dims))
+    return WavelengthAllocation(
+        per_dimension={
+            d: base + (1 if i < extra else 0) for i, d in enumerate(target_dims)
+        },
+        total=total,
+    )
+
+
+@dataclass(frozen=True)
+class SteeringPlan:
+    """A slice-wide bandwidth-steering decision.
+
+    Attributes:
+        slice_name: the slice being steered.
+        allocation: the per-chip wavelength allocation after steering.
+        target_dims: dimensions receiving bandwidth (single-ring plans
+            steer everything into the ring, reported as one pseudo-dim).
+        switch_programs: MZI programming operations needed (one per
+            redirected wavelength per chip).
+        latency_s: time to apply the plan (parallel drivers: one settle).
+    """
+
+    slice_name: str
+    allocation: WavelengthAllocation
+    target_dims: tuple[int, ...]
+    switch_programs: int
+    latency_s: float
+
+    @property
+    def per_dimension_fraction(self) -> dict[int, float]:
+        """Bandwidth fraction each target dimension receives."""
+        return {d: self.allocation.fraction(d) for d in self.target_dims}
+
+
+def plan_steering(
+    slc: Slice,
+    interconnect: Interconnect = Interconnect.OPTICAL,
+    reconfig_s: float = RECONFIG_LATENCY_S,
+) -> SteeringPlan:
+    """Steering plan realizing the paper's strategy for ``slc``.
+
+    For a single-ring strategy (Slice-1) everything steers into the ring's
+    dimension sequence; for a steered bucket (Slice-3) the stranded
+    dimensions' wavelengths move into the active dimensions. Electrical
+    plans return the static allocation with zero programs — the baseline.
+    """
+    strategy = plan_reduce_scatter(slc, interconnect)
+    rack_ndim = slc.rack.ndim
+    if interconnect is Interconnect.ELECTRICAL:
+        return SteeringPlan(
+            slice_name=slc.name,
+            allocation=static_allocation(rack_ndim),
+            target_dims=tuple(range(rack_ndim)),
+            switch_programs=0,
+            latency_s=0.0,
+        )
+    if strategy.kind is StrategyKind.SINGLE_RING:
+        ring_dim = slc.active_dimensions()[0] if slc.active_dimensions() else 0
+        allocation = steered_allocation([ring_dim])
+        target = (ring_dim,)
+    else:
+        allocation = steered_allocation(list(strategy.dims))
+        target = strategy.dims
+    moved = _moved_wavelengths(static_allocation(rack_ndim), allocation)
+    return SteeringPlan(
+        slice_name=slc.name,
+        allocation=allocation,
+        target_dims=target,
+        switch_programs=moved * slc.chip_count,
+        latency_s=reconfig_s,
+    )
+
+
+def _moved_wavelengths(
+    before: WavelengthAllocation, after: WavelengthAllocation
+) -> int:
+    """Wavelengths per chip whose dimension assignment changes."""
+    dims = set(before.per_dimension) | set(after.per_dimension)
+    gained = 0
+    for d in dims:
+        delta = after.per_dimension.get(d, 0) - before.per_dimension.get(d, 0)
+        if delta > 0:
+            gained += delta
+    return gained
+
+
+def effective_chip_bandwidth(
+    slc: Slice,
+    interconnect: Interconnect,
+    chip_egress: float = CHIP_EGRESS_BYTES,
+) -> float:
+    """Usable per-chip bandwidth under the given interconnect, bytes/s.
+
+    The quantity plotted in Figure 5c: electrical slices keep only the
+    congestion-free dimensions' static shares; optical slices recover the
+    full egress by steering.
+    """
+    if interconnect is Interconnect.ELECTRICAL:
+        return slc.electrical_utilization() * chip_egress
+    return slc.optical_utilization() * chip_egress

@@ -1,0 +1,195 @@
+"""One LIGHTPATH tile (paper Figure 2a/2b).
+
+A tile is the unit of the wafer grid: an accelerator chip is 3D-stacked on
+it, and the tile provides the chip's entire optical interface — a Tx/Rx
+block (16 wavelength-multiplexed lasers, micro-ring modulators,
+photodetectors, SerDes) at the center, four 1x3 MZI optical switches at
+the corners, and attachment points for the bus waveguides that run across
+the tile to its four neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..phy.constants import (
+    LASERS_PER_TILE,
+    SWITCH_DEGREE,
+    SWITCHES_PER_TILE,
+)
+from ..phy.laser import LaserBank
+from ..phy.mzi import MziSwitch
+from ..phy.serdes import SerdesPool
+
+__all__ = ["TileCoord", "Direction", "TileSwitch", "LightpathTile"]
+
+TileCoord = tuple[int, int]
+
+
+class Direction(str, Enum):
+    """The four waveguide directions leaving a tile."""
+
+    NORTH = "north"
+    SOUTH = "south"
+    EAST = "east"
+    WEST = "west"
+
+    @property
+    def opposite(self) -> "Direction":
+        """The direction pointing back."""
+        return _OPPOSITE[self]
+
+    @property
+    def delta(self) -> tuple[int, int]:
+        """(row, col) step this direction takes on the wafer grid."""
+        return _DELTA[self]
+
+
+_OPPOSITE = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+_DELTA = {
+    Direction.NORTH: (-1, 0),
+    Direction.SOUTH: (1, 0),
+    Direction.EAST: (0, 1),
+    Direction.WEST: (0, -1),
+}
+
+
+@dataclass
+class TileSwitch:
+    """One of a tile's four 1x3 optical switches (paper Figure 2b).
+
+    Each switch faces one waveguide direction and can route an incoming
+    wavelength to any of the three other switches on the tile — hence
+    degree 1x3 — by programming its MZI elements.
+
+    Attributes:
+        facing: the waveguide direction the switch terminates.
+        mzis: the MZI elements implementing the 1x3 fan-out (two cascaded
+            2x2 elements realize three outputs).
+    """
+
+    facing: Direction
+    mzis: list[MziSwitch] = field(default_factory=lambda: [MziSwitch(), MziSwitch()])
+    _routes: dict[int, Direction] = field(default_factory=dict, repr=False)
+    failed: bool = False
+
+    @property
+    def degree(self) -> int:
+        """Output degree of the switch."""
+        return SWITCH_DEGREE
+
+    def route(self, wavelength_index: int, towards: Direction) -> None:
+        """Program the switch to steer ``wavelength_index`` to ``towards``.
+
+        Raises:
+            ValueError: if asked to route back out the facing direction
+                (the 1x3 switch only reaches the other three switches) or
+                if the switch has failed.
+        """
+        if self.failed:
+            raise ValueError(f"switch facing {self.facing.value} has failed")
+        if towards == self.facing:
+            raise ValueError(
+                f"1x3 switch facing {self.facing.value} cannot route back "
+                "out of its own direction"
+            )
+        self._routes[wavelength_index] = towards
+
+    def clear(self, wavelength_index: int) -> None:
+        """Remove the route for ``wavelength_index`` (no-op if unset)."""
+        self._routes.pop(wavelength_index, None)
+
+    def routed_towards(self, wavelength_index: int) -> Direction | None:
+        """Current output direction for ``wavelength_index``, if any."""
+        return self._routes.get(wavelength_index)
+
+    @property
+    def active_routes(self) -> int:
+        """Number of wavelengths currently routed through the switch."""
+        return len(self._routes)
+
+
+@dataclass
+class LightpathTile:
+    """A tile of the LIGHTPATH wafer with its stacked accelerator.
+
+    Attributes:
+        coord: (row, col) position on the wafer grid.
+        lasers: the tile's WDM laser bank (16 wavelengths).
+        serdes: SerDes lanes of the stacked chip — the hard limit on
+            simultaneous connections (paper Section 3).
+        switches: the four corner switches, keyed by facing direction.
+        accelerator: opaque identity of the stacked chip, if any.
+    """
+
+    coord: TileCoord
+    lasers: LaserBank = field(default_factory=LaserBank)
+    serdes: SerdesPool = field(default_factory=SerdesPool.for_chip)
+    switches: dict[Direction, TileSwitch] = field(default_factory=dict)
+    accelerator: object | None = None
+    failed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.switches:
+            self.switches = {d: TileSwitch(facing=d) for d in Direction}
+        if len(self.switches) != SWITCHES_PER_TILE:
+            raise ValueError(
+                f"a tile has {SWITCHES_PER_TILE} switches, got {len(self.switches)}"
+            )
+
+    @property
+    def working(self) -> bool:
+        """Whether the tile (and its stacked chip) is operational."""
+        return not self.failed
+
+    def fail(self) -> None:
+        """Fail the tile (models the failed-TPU scenarios of Section 4.2)."""
+        self.failed = True
+
+    def repair(self) -> None:
+        """Return the tile to service."""
+        self.failed = False
+
+    def free_wavelengths(self) -> list[int]:
+        """Laser indices that are working and not pinned to a connection.
+
+        A wavelength is busy when its index is bound in the SerDes pool
+        (the pool is sized one lane per laser, so indices align).
+        """
+        busy = {
+            lane.index for lane in self.serdes.lanes if not lane.is_free
+        }
+        return [
+            i
+            for i in range(self.lasers.channels)
+            if self.lasers.is_working(i) and i not in busy
+        ]
+
+    def egress_capacity(self) -> int:
+        """Connections the tile can still source (lasers AND lanes free)."""
+        return min(len(self.free_wavelengths()), self.serdes.free_lanes)
+
+    def validate_paper_geometry(self) -> None:
+        """Assert the tile matches the paper's Section 3 description.
+
+        Raises:
+            AssertionError: on any deviation.
+        """
+        if self.lasers.channels != LASERS_PER_TILE:
+            raise AssertionError(
+                f"{self.lasers.channels} lasers != {LASERS_PER_TILE}"
+            )
+        if len(self.switches) != SWITCHES_PER_TILE:
+            raise AssertionError(
+                f"{len(self.switches)} switches != {SWITCHES_PER_TILE}"
+            )
+        for switch in self.switches.values():
+            if switch.degree != SWITCH_DEGREE:
+                raise AssertionError(f"switch degree {switch.degree} != {SWITCH_DEGREE}")

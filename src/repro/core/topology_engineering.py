@@ -1,0 +1,266 @@
+"""Topology engineering: demand-driven circuit topologies (paper Section 6).
+
+The related work the paper builds on "focuses on slow and infrequent
+reconfiguration of the interconnect, called topology engineering": given a
+traffic matrix between accelerators, choose which chip pairs get direct
+optical circuits — and how many wavelengths each — so the heavy flows ride
+single hops while the fabric's degree limit (SerDes lanes per chip) is
+respected.
+
+The engineering pass is the classic greedy repeated-matching heuristic:
+sort demands, admit the largest demand whose endpoints still have free
+port capacity, one wavelength per admission, until ports or demands run
+out. The evaluator then scores the engineered topology against a static
+uniform mesh on achieved throughput and average hop count, with leftover
+traffic routed over the engineered circuits' shortest paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..phy.constants import SERDES_LANES_PER_CHIP, WAVELENGTH_RATE_BYTES
+
+__all__ = [
+    "TrafficMatrix",
+    "EngineeredTopology",
+    "engineer_topology",
+    "uniform_mesh",
+    "evaluate_topology",
+    "TopologyScore",
+    "skewed_traffic",
+]
+
+
+@dataclass
+class TrafficMatrix:
+    """Demand between accelerator pairs, bytes per second.
+
+    Attributes:
+        nodes: participating accelerators.
+        demand: directed demands; absent pairs are zero.
+    """
+
+    nodes: list
+    demand: dict[tuple, float]
+
+    def __post_init__(self) -> None:
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError("nodes must be distinct")
+        node_set = set(self.nodes)
+        for (src, dst), volume in self.demand.items():
+            if src not in node_set or dst not in node_set:
+                raise ValueError(f"demand endpoint {src}->{dst} unknown")
+            if src == dst:
+                raise ValueError("self-demand is meaningless")
+            if volume < 0:
+                raise ValueError("demand cannot be negative")
+
+    def total_bytes_per_s(self) -> float:
+        """Aggregate offered load."""
+        return sum(self.demand.values())
+
+    def sorted_demands(self) -> list[tuple[tuple, float]]:
+        """Demands sorted heaviest-first (deterministic tie-break)."""
+        return sorted(
+            self.demand.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+
+
+@dataclass
+class EngineeredTopology:
+    """A circuit topology: wavelengths assigned to directed pairs.
+
+    Attributes:
+        nodes: participating accelerators.
+        circuits: wavelengths per directed pair (each carries one
+            wavelength's bandwidth).
+        ports_per_node: the degree limit used during engineering.
+    """
+
+    nodes: list
+    circuits: dict[tuple, int]
+    ports_per_node: int
+
+    def capacity_bytes(self, src, dst) -> float:
+        """Direct capacity between ``src`` and ``dst``."""
+        return self.circuits.get((src, dst), 0) * WAVELENGTH_RATE_BYTES
+
+    def egress_used(self, node) -> int:
+        """Wavelengths ``node`` sources."""
+        return sum(n for (s, _d), n in self.circuits.items() if s == node)
+
+    def ingress_used(self, node) -> int:
+        """Wavelengths ``node`` terminates."""
+        return sum(n for (_s, d), n in self.circuits.items() if d == node)
+
+    def graph(self) -> "nx.DiGraph":
+        """The topology as a weighted digraph (capacity attribute)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.nodes)
+        for (src, dst), count in self.circuits.items():
+            if count > 0:
+                graph.add_edge(
+                    src, dst, capacity=count * WAVELENGTH_RATE_BYTES
+                )
+        return graph
+
+
+def engineer_topology(
+    matrix: TrafficMatrix,
+    ports_per_node: int = SERDES_LANES_PER_CHIP,
+) -> EngineeredTopology:
+    """Greedy repeated-matching topology engineering.
+
+    Repeatedly admit the heaviest unsatisfied demand whose endpoints have
+    free ports, one wavelength per admission (a demand larger than one
+    wavelength re-enters the queue with its residual), until nothing can
+    be admitted.
+
+    Raises:
+        ValueError: on a non-positive port budget.
+    """
+    if ports_per_node < 1:
+        raise ValueError("need at least one port per node")
+    residual = dict(matrix.sorted_demands())
+    egress = {node: 0 for node in matrix.nodes}
+    ingress = {node: 0 for node in matrix.nodes}
+    circuits: dict[tuple, int] = {}
+    progress = True
+    while progress:
+        progress = False
+        for (src, dst), volume in sorted(
+            residual.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        ):
+            if volume <= 0:
+                continue
+            if egress[src] >= ports_per_node or ingress[dst] >= ports_per_node:
+                continue
+            circuits[(src, dst)] = circuits.get((src, dst), 0) + 1
+            egress[src] += 1
+            ingress[dst] += 1
+            residual[(src, dst)] = max(0.0, volume - WAVELENGTH_RATE_BYTES)
+            progress = True
+            break
+    return EngineeredTopology(
+        nodes=list(matrix.nodes),
+        circuits=circuits,
+        ports_per_node=ports_per_node,
+    )
+
+
+def uniform_mesh(
+    nodes: list, ports_per_node: int = SERDES_LANES_PER_CHIP
+) -> EngineeredTopology:
+    """The static baseline: ports spread evenly over all peers.
+
+    With ``p`` nodes and ``k`` ports, each directed pair gets
+    ``k // (p - 1)`` wavelengths (round-robin for the remainder).
+    """
+    if len(nodes) < 2:
+        raise ValueError("a mesh needs at least two nodes")
+    peers = len(nodes) - 1
+    base, extra = divmod(ports_per_node, peers)
+    circuits: dict[tuple, int] = {}
+    for src in nodes:
+        others = [n for n in nodes if n != src]
+        for rank, dst in enumerate(others):
+            count = base + (1 if rank < extra else 0)
+            if count > 0:
+                circuits[(src, dst)] = count
+    return EngineeredTopology(
+        nodes=list(nodes), circuits=circuits, ports_per_node=ports_per_node
+    )
+
+
+@dataclass(frozen=True)
+class TopologyScore:
+    """Evaluation of one topology against a traffic matrix.
+
+    Attributes:
+        direct_fraction: offered load served on single-hop circuits
+            (capped by circuit capacity).
+        mean_hops: demand-weighted mean path length (unreachable demands
+            count as infinite and make this inf).
+        served_bytes_per_s: load served within direct-circuit capacity.
+    """
+
+    direct_fraction: float
+    mean_hops: float
+    served_bytes_per_s: float
+
+
+def evaluate_topology(
+    topology: EngineeredTopology, matrix: TrafficMatrix
+) -> TopologyScore:
+    """Score ``topology`` on ``matrix``.
+
+    Direct service = min(demand, direct capacity) per pair; remaining
+    demand routes over shortest paths in the circuit graph (hop count
+    only — multi-hop forwarding spends intermediate chips' bandwidth, so
+    fewer hops is strictly better, which is what topology engineering
+    optimizes).
+    """
+    graph = topology.graph()
+    total = matrix.total_bytes_per_s()
+    if total == 0:
+        return TopologyScore(
+            direct_fraction=1.0, mean_hops=0.0, served_bytes_per_s=0.0
+        )
+    direct = 0.0
+    weighted_hops = 0.0
+    for (src, dst), volume in matrix.demand.items():
+        capacity = topology.capacity_bytes(src, dst)
+        direct += min(volume, capacity)
+        try:
+            hops = nx.shortest_path_length(graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            hops = float("inf")
+        weighted_hops += volume * hops
+    return TopologyScore(
+        direct_fraction=direct / total,
+        mean_hops=weighted_hops / total,
+        served_bytes_per_s=direct,
+    )
+
+
+def skewed_traffic(
+    nodes: list,
+    heavy_pairs: int,
+    heavy_bytes: float,
+    light_bytes: float = 0.0,
+) -> TrafficMatrix:
+    """A skewed matrix: a few elephant pairs over a mouse-level baseline.
+
+    The workload class where topology engineering shines (and where a
+    uniform mesh wastes its ports on idle peers).
+    """
+    if heavy_pairs < 0:
+        raise ValueError("heavy_pairs cannot be negative")
+    pairs = [
+        (a, b) for a, b in itertools.permutations(nodes, 2)
+    ]
+    if heavy_pairs > len(pairs):
+        raise ValueError("more heavy pairs than node pairs")
+    demand: dict[tuple, float] = {}
+    if light_bytes > 0:
+        for pair in pairs:
+            demand[pair] = light_bytes
+    # Spread the elephants across distinct sources (an offset-permutation
+    # pattern, as in pipeline-parallel stage-to-stage traffic).
+    n = len(nodes)
+    placed = 0
+    offset = max(1, n // 2)
+    k = 0
+    while placed < heavy_pairs:
+        src = nodes[k % n]
+        dst = nodes[(k + offset + k // n) % n]
+        k += 1
+        if src == dst or demand.get((src, dst), 0.0) >= heavy_bytes:
+            continue
+        demand[(src, dst)] = heavy_bytes
+        placed += 1
+    return TrafficMatrix(nodes=list(nodes), demand=demand)

@@ -1,0 +1,256 @@
+"""A circuit-switched host transport (paper Section 1's challenge).
+
+"Server-scale optics will necessitate the development of new host
+networking software stacks optimized for circuit-switching as opposed to
+today's packetized data transmission." This module prototypes such a
+stack for one chip's egress:
+
+* messages are enqueued into **virtual output queues** (one per
+  destination tile);
+* a **circuit scheduler** decides when to point a wavelength at which
+  destination, trading the 3.7 us reconfiguration against queue depth —
+  the core trade-off the paper names;
+* two policies are provided: ``GreedyLongestQueue`` (serve the deepest
+  backlog, reconfigure whenever a different destination dominates) and
+  ``ThresholdBatching`` (stay on the current circuit until another queue
+  exceeds the in-service one by a hysteresis factor, amortizing ``r``).
+
+The simulation is time-stepped on message boundaries and reports per-
+destination latency and the fraction of time lost to reconfiguration, so
+the ablation bench can quantify policy choices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..phy.constants import RECONFIG_LATENCY_S, WAVELENGTH_RATE_BYTES
+
+__all__ = [
+    "Message",
+    "DeliveredMessage",
+    "TransportStats",
+    "GreedyLongestQueue",
+    "ThresholdBatching",
+    "CircuitTransport",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A host message awaiting transmission.
+
+    Attributes:
+        arrival_s: when the message entered the queue.
+        dst: destination tile/chip identifier.
+        n_bytes: payload size.
+    """
+
+    arrival_s: float
+    dst: object
+    n_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.n_bytes <= 0:
+            raise ValueError("messages must carry payload")
+        if self.arrival_s < 0:
+            raise ValueError("arrival time cannot be negative")
+
+
+@dataclass(frozen=True)
+class DeliveredMessage:
+    """A message after delivery.
+
+    Attributes:
+        message: the original message.
+        start_s: when its transmission began.
+        finish_s: when its last byte arrived.
+    """
+
+    message: Message
+    start_s: float
+    finish_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Queueing + transmission latency."""
+        return self.finish_s - self.message.arrival_s
+
+
+@dataclass(frozen=True)
+class TransportStats:
+    """Aggregate outcome of one transport run.
+
+    Attributes:
+        delivered: delivery records, completion-ordered.
+        reconfigurations: circuit re-pointings performed.
+        busy_s: time spent transmitting.
+        reconfig_s: time spent waiting on MZI settles.
+        makespan_s: time of the last delivery.
+    """
+
+    delivered: tuple[DeliveredMessage, ...]
+    reconfigurations: int
+    busy_s: float
+    reconfig_s: float
+    makespan_s: float
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean message latency (0 when nothing was delivered)."""
+        if not self.delivered:
+            return 0.0
+        return sum(d.latency_s for d in self.delivered) / len(self.delivered)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile message latency."""
+        if not self.delivered:
+            return 0.0
+        ordered = sorted(d.latency_s for d in self.delivered)
+        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def reconfig_overhead(self) -> float:
+        """Fraction of active time spent reconfiguring."""
+        active = self.busy_s + self.reconfig_s
+        return self.reconfig_s / active if active else 0.0
+
+
+class GreedyLongestQueue:
+    """Always serve the destination with the deepest backlog (in bytes).
+
+    Reconfigures whenever the deepest queue is not the in-service one —
+    responsive, but pays ``r`` often under mixed traffic.
+    """
+
+    def choose(
+        self, current: object | None, queues: dict[object, float]
+    ) -> object | None:
+        """Destination to serve next (None = idle)."""
+        backlogged = {dst: b for dst, b in queues.items() if b > 0}
+        if not backlogged:
+            return None
+        return max(backlogged.items(), key=lambda kv: (kv[1], str(kv[0])))[0]
+
+
+@dataclass
+class ThresholdBatching:
+    """Stay on the current circuit until another queue clearly dominates.
+
+    Attributes:
+        hysteresis: switch only when some other queue's backlog strictly
+            exceeds the in-service queue's by this factor. Even 1.0 is
+            stickier than greedy (ties stay put); larger values amortize
+            ``r`` over bigger batches.
+    """
+
+    hysteresis: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.hysteresis < 1.0:
+            raise ValueError("hysteresis must be >= 1.0")
+
+    def choose(
+        self, current: object | None, queues: dict[object, float]
+    ) -> object | None:
+        backlogged = {dst: b for dst, b in queues.items() if b > 0}
+        if not backlogged:
+            return None
+        best_dst, best_bytes = max(
+            backlogged.items(), key=lambda kv: (kv[1], str(kv[0]))
+        )
+        if current in backlogged:
+            if best_bytes > self.hysteresis * backlogged[current]:
+                return best_dst
+            return current
+        return best_dst
+
+
+class CircuitTransport:
+    """One chip's circuit-switched egress with virtual output queues.
+
+    Attributes:
+        policy: the circuit scheduling policy.
+        rate_bytes: circuit bandwidth (one wavelength by default).
+        reconfig_s: circuit re-pointing cost.
+    """
+
+    def __init__(
+        self,
+        policy,
+        rate_bytes: float = WAVELENGTH_RATE_BYTES,
+        reconfig_s: float = RECONFIG_LATENCY_S,
+    ):
+        if rate_bytes <= 0:
+            raise ValueError("circuit rate must be positive")
+        if reconfig_s < 0:
+            raise ValueError("reconfiguration cost cannot be negative")
+        self.policy = policy
+        self.rate_bytes = rate_bytes
+        self.reconfig_s = reconfig_s
+
+    def run(self, messages: list[Message]) -> TransportStats:
+        """Deliver ``messages`` and return the aggregate statistics.
+
+        Event-driven: the transmitter serves one message at a time on the
+        current circuit; on completion (or idleness) the policy picks the
+        next destination, charging ``reconfig_s`` whenever it changes.
+        """
+        pending = sorted(messages, key=lambda m: (m.arrival_s, str(m.dst)))
+        arrivals = deque(pending)
+        queues: dict[object, deque[Message]] = {}
+        backlog: dict[object, float] = {}
+        delivered: list[DeliveredMessage] = []
+        now = 0.0
+        current: object | None = None
+        reconfigurations = 0
+        busy_s = 0.0
+        reconfig_total = 0.0
+
+        def admit_until(t: float) -> None:
+            while arrivals and arrivals[0].arrival_s <= t:
+                msg = arrivals.popleft()
+                queues.setdefault(msg.dst, deque()).append(msg)
+                backlog[msg.dst] = backlog.get(msg.dst, 0.0) + msg.n_bytes
+
+        admit_until(now)
+        while arrivals or any(backlog.get(d, 0.0) > 0 for d in backlog):
+            if not any(b > 0 for b in backlog.values()):
+                # Idle until the next arrival.
+                now = max(now, arrivals[0].arrival_s)
+                admit_until(now)
+                continue
+            choice = self.policy.choose(current, dict(backlog))
+            if choice is None:
+                now = max(now, arrivals[0].arrival_s) if arrivals else now
+                admit_until(now)
+                continue
+            if choice != current:
+                now += self.reconfig_s
+                reconfig_total += self.reconfig_s
+                reconfigurations += 1
+                current = choice
+                admit_until(now)
+            queue = queues[current]
+            msg = queue.popleft()
+            start = now
+            duration = msg.n_bytes / self.rate_bytes
+            now += duration
+            busy_s += duration
+            backlog[current] -= msg.n_bytes
+            if backlog[current] < 1e-9:
+                backlog[current] = 0.0
+            delivered.append(
+                DeliveredMessage(message=msg, start_s=start, finish_s=now)
+            )
+            admit_until(now)
+        return TransportStats(
+            delivered=tuple(delivered),
+            reconfigurations=reconfigurations,
+            busy_s=busy_s,
+            reconfig_s=reconfig_total,
+            makespan_s=now,
+        )

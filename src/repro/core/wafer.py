@@ -1,0 +1,322 @@
+"""The LIGHTPATH wafer: a grid of tiles joined by bus waveguides.
+
+A wafer interconnects up to 32 accelerator chips, one stacked per tile
+(paper Section 3, Figure 2c). Waveguides form the edges of the tile grid;
+each tile boundary carries thousands of parallel bus waveguides (>10,000
+per tile at the 3 um pitch, Figure 4), tracked here as per-boundary
+capacity pools. Edge tiles additionally expose fiber ports for cascading
+wafers into rack-scale fabrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..phy.constants import (
+    FIBERS_PER_EDGE_TILE,
+    LASERS_PER_TILE,
+    RECONFIG_LATENCY_S,
+    TILES_PER_WAFER,
+    WAFER_EDGE_M,
+    WAFER_GRID,
+    WAVEGUIDES_PER_TILE,
+    WAVELENGTH_RATE_BPS,
+)
+from .tile import Direction, LightpathTile, TileCoord
+
+__all__ = ["WaveguideBus", "FiberPort", "LightpathWafer", "WaferCapabilities"]
+
+
+@dataclass
+class WaveguideBus:
+    """The bundle of parallel waveguides crossing one tile boundary.
+
+    Directed: the bus from tile A to tile B is distinct from B to A.
+
+    Attributes:
+        src: tile the bus leaves.
+        dst: tile the bus enters.
+        capacity: parallel waveguides available.
+    """
+
+    src: TileCoord
+    dst: TileCoord
+    capacity: int = WAVEGUIDES_PER_TILE
+    _allocated: dict[int, object] = field(default_factory=dict, repr=False)
+
+    @property
+    def free(self) -> int:
+        """Waveguides not carrying a circuit."""
+        return self.capacity - len(self._allocated)
+
+    def allocate(self, owner: object) -> int:
+        """Reserve one waveguide for ``owner``; returns its track index.
+
+        Raises:
+            RuntimeError: if the bus is full.
+        """
+        if self.free <= 0:
+            raise RuntimeError(
+                f"waveguide bus {self.src}->{self.dst} exhausted "
+                f"({self.capacity} tracks)"
+            )
+        for track in range(self.capacity):
+            if track not in self._allocated:
+                self._allocated[track] = owner
+                return track
+        raise RuntimeError("inconsistent bus allocation state")
+
+    def release(self, owner: object) -> int:
+        """Free every track held by ``owner``; returns tracks freed."""
+        mine = [t for t, o in self._allocated.items() if o == owner]
+        for t in mine:
+            del self._allocated[t]
+        return len(mine)
+
+    def owner_of(self, track: int) -> object | None:
+        """Owner of ``track``, or None when free."""
+        return self._allocated.get(track)
+
+
+@dataclass
+class FiberPort:
+    """One attached fiber at a wafer-edge tile.
+
+    Attributes:
+        tile: the edge tile the fiber attaches to.
+        direction: the outward-facing direction.
+        index: fiber index within the tile edge's bundle.
+        connected_to: remote (wafer, tile, direction, index) when patched.
+    """
+
+    tile: TileCoord
+    direction: Direction
+    index: int
+    connected_to: tuple | None = None
+    _owner: object | None = None
+
+    @property
+    def in_use(self) -> bool:
+        """Whether a circuit currently occupies the fiber."""
+        return self._owner is not None
+
+    def allocate(self, owner: object) -> None:
+        """Reserve the fiber for ``owner``.
+
+        Raises:
+            RuntimeError: if already in use.
+        """
+        if self._owner is not None:
+            raise RuntimeError(f"fiber {self.tile}/{self.direction.value}#{self.index} busy")
+        self._owner = owner
+
+    def release(self) -> None:
+        """Free the fiber."""
+        self._owner = None
+
+
+@dataclass(frozen=True)
+class WaferCapabilities:
+    """The Section 3 capability summary of one wafer.
+
+    Attributes mirror the scalars the paper reports.
+    """
+
+    tiles: int
+    max_accelerators: int
+    lasers_per_tile: int
+    wavelength_rate_bps: float
+    waveguides_per_tile: int
+    reconfiguration_latency_s: float
+    fibers_per_edge_tile: int
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(name, value) rows for the capability report bench."""
+        return [
+            ("tiles per wafer", str(self.tiles)),
+            ("max accelerators", str(self.max_accelerators)),
+            ("lasers per tile", str(self.lasers_per_tile)),
+            ("per-wavelength rate", f"{self.wavelength_rate_bps / 1e9:.0f} Gbps"),
+            ("waveguides per tile", f">{self.waveguides_per_tile:,}"),
+            (
+                "switch reconfiguration",
+                f"{self.reconfiguration_latency_s * 1e6:.1f} us",
+            ),
+            ("fibers per edge tile", str(self.fibers_per_edge_tile)),
+        ]
+
+
+class LightpathWafer:
+    """A LIGHTPATH wafer: tiles, waveguide buses, and edge fiber ports.
+
+    Attributes:
+        grid: (rows, cols) of the tile grid — (4, 8) for the 32-tile wafer.
+        tiles: tile objects keyed by coordinate.
+        name: label used in multi-wafer fabrics.
+    """
+
+    def __init__(
+        self,
+        grid: tuple[int, int] = WAFER_GRID,
+        bus_capacity: int = WAVEGUIDES_PER_TILE,
+        fibers_per_edge: int = FIBERS_PER_EDGE_TILE,
+        name: str = "wafer0",
+    ):
+        rows, cols = grid
+        if rows < 1 or cols < 1:
+            raise ValueError(f"invalid wafer grid {grid}")
+        self.grid = grid
+        self.name = name
+        self.tiles: dict[TileCoord, LightpathTile] = {
+            (r, c): LightpathTile(coord=(r, c))
+            for r, c in itertools.product(range(rows), range(cols))
+        }
+        self._buses: dict[tuple[TileCoord, TileCoord], WaveguideBus] = {}
+        for (r, c), tile in self.tiles.items():
+            for direction in Direction:
+                dr, dc = direction.delta
+                neighbor = (r + dr, c + dc)
+                if neighbor in self.tiles:
+                    self._buses[((r, c), neighbor)] = WaveguideBus(
+                        src=(r, c), dst=neighbor, capacity=bus_capacity
+                    )
+        self._fiber_ports: dict[tuple[TileCoord, Direction], list[FiberPort]] = {}
+        for (r, c) in self.tiles:
+            for direction in Direction:
+                dr, dc = direction.delta
+                if (r + dr, c + dc) not in self.tiles:
+                    self._fiber_ports[((r, c), direction)] = [
+                        FiberPort(tile=(r, c), direction=direction, index=i)
+                        for i in range(fibers_per_edge)
+                    ]
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def tile_count(self) -> int:
+        """Tiles on the wafer."""
+        return len(self.tiles)
+
+    def tile(self, coord: TileCoord) -> LightpathTile:
+        """The tile at ``coord``.
+
+        Raises:
+            KeyError: for a coordinate outside the grid.
+        """
+        if coord not in self.tiles:
+            raise KeyError(f"{coord} outside wafer grid {self.grid}")
+        return self.tiles[coord]
+
+    def bus(self, src: TileCoord, dst: TileCoord) -> WaveguideBus:
+        """The directed waveguide bus from ``src`` to ``dst``.
+
+        Raises:
+            KeyError: if the tiles are not grid-adjacent.
+        """
+        key = (src, dst)
+        if key not in self._buses:
+            raise KeyError(f"no waveguide bus {src} -> {dst}")
+        return self._buses[key]
+
+    def buses(self) -> list[WaveguideBus]:
+        """All directed buses on the wafer."""
+        return list(self._buses.values())
+
+    def neighbors(self, coord: TileCoord) -> list[TileCoord]:
+        """Grid-adjacent tiles of ``coord``."""
+        self.tile(coord)
+        result = []
+        for direction in Direction:
+            dr, dc = direction.delta
+            candidate = (coord[0] + dr, coord[1] + dc)
+            if candidate in self.tiles:
+                result.append(candidate)
+        return result
+
+    def direction_between(self, src: TileCoord, dst: TileCoord) -> Direction:
+        """The direction from ``src`` to its neighbour ``dst``.
+
+        Raises:
+            ValueError: if the tiles are not adjacent.
+        """
+        delta = (dst[0] - src[0], dst[1] - src[1])
+        for direction in Direction:
+            if direction.delta == delta:
+                return direction
+        raise ValueError(f"{src} and {dst} are not adjacent tiles")
+
+    # -- fibers -------------------------------------------------------------------
+
+    def fiber_ports(self, tile: TileCoord, direction: Direction) -> list[FiberPort]:
+        """Fiber ports on ``tile``'s ``direction`` edge (empty if interior)."""
+        return self._fiber_ports.get((tile, direction), [])
+
+    def edge_tiles(self) -> list[TileCoord]:
+        """Tiles with at least one fiber-bearing edge."""
+        return sorted({tile for (tile, _d) in self._fiber_ports})
+
+    def free_fiber_port(
+        self, tile: TileCoord, direction: Direction
+    ) -> FiberPort | None:
+        """First unused fiber on the given edge, or None."""
+        for port in self.fiber_ports(tile, direction):
+            if not port.in_use:
+                return port
+        return None
+
+    # -- accelerators -------------------------------------------------------------
+
+    def stack_accelerator(self, coord: TileCoord, accelerator: object) -> None:
+        """Stack ``accelerator`` onto the tile at ``coord``.
+
+        Raises:
+            RuntimeError: if the tile already hosts a chip.
+        """
+        tile = self.tile(coord)
+        if tile.accelerator is not None:
+            raise RuntimeError(f"tile {coord} already hosts {tile.accelerator!r}")
+        tile.accelerator = accelerator
+
+    def accelerator_tile(self, accelerator: object) -> LightpathTile:
+        """The tile hosting ``accelerator``.
+
+        Raises:
+            KeyError: if the accelerator is not stacked on this wafer.
+        """
+        for tile in self.tiles.values():
+            if tile.accelerator == accelerator:
+                return tile
+        raise KeyError(f"{accelerator!r} is not stacked on wafer {self.name}")
+
+    # -- capability report -----------------------------------------------------------
+
+    def capabilities(self) -> WaferCapabilities:
+        """Summary of the wafer's Section 3 capabilities."""
+        any_bus = next(iter(self._buses.values()), None)
+        fibers = next(iter(self._fiber_ports.values()), [])
+        return WaferCapabilities(
+            tiles=self.tile_count,
+            max_accelerators=self.tile_count,
+            lasers_per_tile=LASERS_PER_TILE,
+            wavelength_rate_bps=WAVELENGTH_RATE_BPS,
+            waveguides_per_tile=any_bus.capacity if any_bus else 0,
+            reconfiguration_latency_s=RECONFIG_LATENCY_S,
+            fibers_per_edge_tile=len(fibers),
+        )
+
+    def matches_paper(self) -> bool:
+        """Whether this wafer instance matches the paper's prototype."""
+        caps = self.capabilities()
+        return (
+            caps.tiles == TILES_PER_WAFER
+            and caps.lasers_per_tile == LASERS_PER_TILE
+            and caps.waveguides_per_tile >= WAVEGUIDES_PER_TILE
+        )
+
+    def tile_edge_m(self) -> float:
+        """Physical edge length of one tile, meters."""
+        return WAFER_EDGE_M / max(self.grid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LightpathWafer(name={self.name!r}, grid={self.grid})"

@@ -1,0 +1,39 @@
+"""Failure injection, recovery policies and blast-radius metrics.
+
+Implements both sides of the paper's Section 4.2 comparison: the
+electrical replacement analysis that always congests a neighbour (Figures
+6a/6b), the production rack-migration policy [60], and the metrics that
+quantify how much smaller the blast radius becomes with optical repair.
+"""
+
+from .availability import AvailabilityPoint, AvailabilityReport, replay_trace
+from .blast_radius import (
+    BlastRadiusReport,
+    OpticalRepairPolicy,
+    compare_policies,
+    improvement_factor,
+)
+from .inject import FailureEvent, FleetFailureModel, single_failure
+from .recovery import (
+    ElectricalRecoveryAnalysis,
+    RackMigrationPolicy,
+    ReplacementAttempt,
+    ReplacementPath,
+)
+
+__all__ = [
+    "AvailabilityPoint",
+    "AvailabilityReport",
+    "replay_trace",
+    "BlastRadiusReport",
+    "OpticalRepairPolicy",
+    "compare_policies",
+    "improvement_factor",
+    "FailureEvent",
+    "FleetFailureModel",
+    "single_failure",
+    "ElectricalRecoveryAnalysis",
+    "RackMigrationPolicy",
+    "ReplacementAttempt",
+    "ReplacementPath",
+]

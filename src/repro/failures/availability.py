@@ -1,0 +1,159 @@
+"""Cluster capacity availability under a failure trace (Section 4.2).
+
+Blast radius is a per-failure number; what an operator budgets for is
+*availability*: what fraction of the cluster's chip capacity is usable,
+integrated over time, as failures arrive and recoveries complete. This
+module replays a failure trace against a recovery policy — rack-migration
+(the failed rack's 64 chips are out for the checkpoint-restore duration)
+versus optical repair (the failed chip's server stalls for 3.7 us and
+only the dead chip stays out) — and reports the availability time series
+and its integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .blast_radius import OpticalRepairPolicy
+from .inject import FailureEvent
+from .recovery import RackMigrationPolicy
+
+__all__ = ["AvailabilityPoint", "AvailabilityReport", "replay_trace"]
+
+
+@dataclass(frozen=True)
+class AvailabilityPoint:
+    """Available capacity over one constant interval.
+
+    Attributes:
+        start_s: interval start.
+        end_s: interval end.
+        available_chips: chips in service during the interval.
+    """
+
+    start_s: float
+    end_s: float
+    available_chips: float
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Outcome of replaying a failure trace under one policy.
+
+    Attributes:
+        policy: policy label.
+        total_chips: cluster capacity before any failure.
+        horizon_s: replay horizon.
+        timeline: constant-capacity intervals covering the horizon.
+        lost_chip_seconds: capacity-time lost versus a failure-free run.
+    """
+
+    policy: str
+    total_chips: int
+    horizon_s: float
+    timeline: tuple[AvailabilityPoint, ...]
+    lost_chip_seconds: float
+
+    @property
+    def mean_availability(self) -> float:
+        """Time-averaged fraction of capacity in service."""
+        if self.total_chips == 0 or self.horizon_s == 0:
+            return 1.0
+        return 1.0 - self.lost_chip_seconds / (self.total_chips * self.horizon_s)
+
+
+def _replay(
+    events: list[FailureEvent],
+    total_chips: int,
+    horizon_s: float,
+    outage_chips: int,
+    outage_duration_s: float,
+    permanent_chips: int,
+    policy_name: str,
+) -> AvailabilityReport:
+    """Shared replay: each failure takes ``outage_chips`` out for
+    ``outage_duration_s``, after which ``permanent_chips`` stay out."""
+    # Build capacity deltas at event boundaries.
+    deltas: dict[float, float] = {}
+
+    def add(t: float, delta: float) -> None:
+        if t < horizon_s:
+            deltas[t] = deltas.get(t, 0.0) + delta
+
+    for event in sorted(events):
+        add(event.time_s, -float(outage_chips))
+        recover_t = event.time_s + outage_duration_s
+        add(recover_t, float(outage_chips - permanent_chips))
+    timeline: list[AvailabilityPoint] = []
+    capacity = float(total_chips)
+    lost = 0.0
+    previous = 0.0
+    for t in sorted(deltas):
+        if t > previous:
+            timeline.append(
+                AvailabilityPoint(
+                    start_s=previous, end_s=t, available_chips=capacity
+                )
+            )
+            lost += (total_chips - capacity) * (t - previous)
+        capacity += deltas[t]
+        previous = t
+    if previous < horizon_s:
+        timeline.append(
+            AvailabilityPoint(
+                start_s=previous, end_s=horizon_s, available_chips=capacity
+            )
+        )
+        lost += (total_chips - capacity) * (horizon_s - previous)
+    return AvailabilityReport(
+        policy=policy_name,
+        total_chips=total_chips,
+        horizon_s=horizon_s,
+        timeline=tuple(timeline),
+        lost_chip_seconds=lost,
+    )
+
+
+def replay_trace(
+    events: list[FailureEvent],
+    total_chips: int,
+    horizon_s: float,
+    migration: RackMigrationPolicy | None = None,
+    optical: OpticalRepairPolicy | None = None,
+) -> tuple[AvailabilityReport, AvailabilityReport]:
+    """Replay ``events`` under both recovery policies.
+
+    Under rack migration a failure parks the whole rack for the
+    checkpoint-restore time and leaves one chip permanently out; under
+    optical repair only the server stalls (microseconds) and one chip
+    stays out.
+
+    Returns:
+        (rack-migration report, optical-repair report).
+
+    Raises:
+        ValueError: on a non-positive horizon or capacity.
+    """
+    if horizon_s <= 0 or total_chips <= 0:
+        raise ValueError("horizon and capacity must be positive")
+    migration = migration or RackMigrationPolicy()
+    optical = optical or OpticalRepairPolicy()
+    rack_report = _replay(
+        events,
+        total_chips,
+        horizon_s,
+        outage_chips=migration.blast_radius_chips(),
+        outage_duration_s=migration.recovery_latency_s(),
+        permanent_chips=1,
+        policy_name="rack-migration [60]",
+    )
+    optical_report = _replay(
+        events,
+        total_chips,
+        horizon_s,
+        outage_chips=optical.blast_radius_chips(),
+        outage_duration_s=optical.recovery_latency_s(),
+        permanent_chips=1,
+        policy_name="lightpath-repair (Fig 7)",
+    )
+    return rack_report, optical_report

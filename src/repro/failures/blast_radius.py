@@ -1,0 +1,119 @@
+"""Blast-radius metrics: rack-granularity recovery vs optical repair.
+
+Section 4.2's quantitative claim: with server-scale photonics "the blast
+radius of a single chip failure [shrinks] to only the multi-accelerator
+server containing the failed chip", versus the rack-granularity policy of
+the production TPUv4 cluster [60]. This module turns that claim into
+metrics — impacted chips, recovery latency, and capacity lost over a
+failure trace — for the Section 4.2 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..phy.constants import CHIPS_PER_SERVER, RECONFIG_LATENCY_S
+from .inject import FailureEvent
+from .recovery import RackMigrationPolicy
+
+__all__ = ["BlastRadiusReport", "OpticalRepairPolicy", "compare_policies"]
+
+
+@dataclass(frozen=True)
+class OpticalRepairPolicy:
+    """Recovery with LIGHTPATH circuit repair (Section 4.2, Figure 7).
+
+    Attributes:
+        server_chips: chips sharing a board with the failed chip; the
+            paper's blast radius is this server.
+        circuit_setup_s: time to program the repair circuits (3.7 us,
+            switches program in parallel).
+        spare_required: free chips consumed per failure (one).
+    """
+
+    server_chips: int = CHIPS_PER_SERVER
+    circuit_setup_s: float = RECONFIG_LATENCY_S
+    spare_required: int = 1
+
+    def blast_radius_chips(self) -> int:
+        """Chips impacted by one failure: the failed chip's server."""
+        return self.server_chips
+
+    def recovery_latency_s(self) -> float:
+        """Job stall for one failure: the circuit setup time."""
+        return self.circuit_setup_s
+
+
+@dataclass(frozen=True)
+class BlastRadiusReport:
+    """Aggregate impact of a failure trace under one recovery policy.
+
+    Attributes:
+        policy: human-readable policy name.
+        failures: failures in the trace.
+        blast_radius_chips: chips impacted per failure.
+        total_chip_impact: failures x blast radius.
+        total_downtime_s: summed per-failure recovery latency.
+        lost_chip_seconds: capacity lost = impacted chips x downtime,
+            summed over failures.
+    """
+
+    policy: str
+    failures: int
+    blast_radius_chips: int
+    total_chip_impact: int
+    total_downtime_s: float
+    lost_chip_seconds: float
+
+
+def _report(
+    policy_name: str,
+    blast: int,
+    latency_s: float,
+    events: list[FailureEvent],
+) -> BlastRadiusReport:
+    n = len(events)
+    return BlastRadiusReport(
+        policy=policy_name,
+        failures=n,
+        blast_radius_chips=blast,
+        total_chip_impact=n * blast,
+        total_downtime_s=n * latency_s,
+        lost_chip_seconds=n * blast * latency_s,
+    )
+
+
+def compare_policies(
+    events: list[FailureEvent],
+    migration: RackMigrationPolicy | None = None,
+    optical: OpticalRepairPolicy | None = None,
+) -> tuple[BlastRadiusReport, BlastRadiusReport]:
+    """Evaluate a failure trace under both recovery policies.
+
+    Returns:
+        (rack-migration report, optical-repair report).
+    """
+    migration = migration or RackMigrationPolicy()
+    optical = optical or OpticalRepairPolicy()
+    rack_report = _report(
+        "rack-migration [60]",
+        migration.blast_radius_chips(),
+        migration.recovery_latency_s(),
+        events,
+    )
+    optical_report = _report(
+        "lightpath-repair (Fig 7)",
+        optical.blast_radius_chips(),
+        optical.recovery_latency_s(),
+        events,
+    )
+    return rack_report, optical_report
+
+
+def improvement_factor(
+    rack_report: BlastRadiusReport, optical_report: BlastRadiusReport
+) -> float:
+    """How many times smaller the optical policy's chip impact is."""
+    if optical_report.total_chip_impact == 0:
+        return float("inf")
+    return rack_report.total_chip_impact / optical_report.total_chip_impact

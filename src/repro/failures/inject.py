@@ -1,0 +1,90 @@
+"""Failure injection models.
+
+Drives the Section 4.2 analysis: single deterministic chip failures (the
+Figure 6/7 scenarios) and randomized fleet-scale injection (exponential
+time-to-failure per chip) for the blast-radius sweeps over the full
+TPUv4-scale cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..topology.torus import Coordinate
+from ..topology.tpu import GlobalChipId, TpuCluster
+
+__all__ = ["FailureEvent", "FleetFailureModel"]
+
+
+@dataclass(frozen=True, order=True)
+class FailureEvent:
+    """One chip failure.
+
+    Attributes:
+        time_s: when the chip fails.
+        chip: which chip fails.
+    """
+
+    time_s: float
+    chip: GlobalChipId
+
+
+@dataclass
+class FleetFailureModel:
+    """Random chip failures across a cluster.
+
+    Chips fail independently with exponential inter-failure times. The
+    default per-chip MTBF of five years puts a 4096-chip cluster at
+    roughly two failures per day — the "regular cadence" production
+    reports describe [60].
+
+    Attributes:
+        cluster: the cluster whose chips can fail.
+        mtbf_s: mean time between failures of one chip, seconds.
+        seed: RNG seed.
+    """
+
+    cluster: TpuCluster
+    mtbf_s: float = 5 * 365 * 24 * 3600.0
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    def sample_failures(self, horizon_s: float) -> list[FailureEvent]:
+        """Failures occurring within ``horizon_s`` seconds, time-ordered.
+
+        Each chip contributes at most one failure (chips are replaced
+        offline, not restored into the model).
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        events = []
+        for chip in self.cluster.chip_ids():
+            t = float(self._rng.exponential(self.mtbf_s))
+            if t <= horizon_s:
+                events.append(FailureEvent(time_s=t, chip=chip))
+        return sorted(events)
+
+    def inject(self, events: list[FailureEvent]) -> None:
+        """Mark every event's chip failed in the cluster."""
+        for event in events:
+            self.cluster.rack(event.chip.rack).fail_chip(event.chip.coord)
+
+    def expected_failures(self, horizon_s: float) -> float:
+        """Expected number of failures within the horizon."""
+        per_chip = 1.0 - np.exp(-horizon_s / self.mtbf_s)
+        return float(per_chip * self.cluster.chip_count)
+
+
+def single_failure(
+    cluster: TpuCluster, rack: int, chip: Coordinate, time_s: float = 0.0
+) -> FailureEvent:
+    """A deterministic single-chip failure (the Figure 6/7 scenarios)."""
+    cluster.rack(rack)  # validates the index
+    return FailureEvent(time_s=time_s, chip=GlobalChipId(rack=rack, coord=chip))

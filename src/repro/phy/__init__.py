@@ -1,0 +1,100 @@
+"""Physical layer of the LIGHTPATH photonic interconnect.
+
+Models the silicon-photonic devices described in Section 3 of the paper:
+MZI switches and their thermo-optic dynamics (Figure 3a), reticle
+stitch/crossing loss (Figure 3b), WDM laser combs, micro-ring modulators,
+photodetectors, waveguides/fibers, SerDes lane limits, and the end-to-end
+link budget that decides whether a candidate optical circuit closes.
+"""
+
+from .constants import (
+    CHIP_EGRESS_BYTES,
+    CROSSING_LOSS_DB,
+    LASERS_PER_TILE,
+    RECONFIG_LATENCY_S,
+    SERDES_LANES_PER_CHIP,
+    SWITCH_DEGREE,
+    SWITCHES_PER_TILE,
+    TILES_PER_WAFER,
+    WAFER_GRID,
+    WAVEGUIDES_PER_TILE,
+    WAVELENGTH_RATE_BPS,
+    WAVELENGTH_RATE_BYTES,
+)
+from .crosstalk import CrosstalkModel, CrosstalkReport
+from .energy import (
+    ElectricalLinkEnergy,
+    PhotonicLinkEnergy,
+    crossover_reach_m,
+)
+from .laser import LaserBank, WdmChannel
+from .link_budget import LinkBudget, LinkReport
+from .mrr import MicroRingModulator, ModulatedSignal
+from .mzi import (
+    ExponentialFit,
+    MziState,
+    MziSwitch,
+    MziSwitchDynamics,
+    StepResponse,
+)
+from .photodetector import DetectionResult, Photodetector
+from .serdes import SerdesExhausted, SerdesLane, SerdesPool
+from .stitch_loss import LossHistogram, StitchLossModel
+from .thermal import TilePowerModel, TilePowerReport, WaferPowerReport
+from .waveguide import (
+    MediumKind,
+    PathLoss,
+    Segment,
+    fiber,
+    paper_waveguide_claim_holds,
+    tile_waveguide_capacity,
+    waveguide,
+)
+
+__all__ = [
+    "CHIP_EGRESS_BYTES",
+    "CROSSING_LOSS_DB",
+    "LASERS_PER_TILE",
+    "RECONFIG_LATENCY_S",
+    "SERDES_LANES_PER_CHIP",
+    "SWITCH_DEGREE",
+    "SWITCHES_PER_TILE",
+    "TILES_PER_WAFER",
+    "WAFER_GRID",
+    "WAVEGUIDES_PER_TILE",
+    "WAVELENGTH_RATE_BPS",
+    "WAVELENGTH_RATE_BYTES",
+    "CrosstalkModel",
+    "CrosstalkReport",
+    "ElectricalLinkEnergy",
+    "PhotonicLinkEnergy",
+    "crossover_reach_m",
+    "LaserBank",
+    "WdmChannel",
+    "LinkBudget",
+    "LinkReport",
+    "MicroRingModulator",
+    "ModulatedSignal",
+    "ExponentialFit",
+    "MziState",
+    "MziSwitch",
+    "MziSwitchDynamics",
+    "StepResponse",
+    "DetectionResult",
+    "Photodetector",
+    "SerdesExhausted",
+    "SerdesLane",
+    "SerdesPool",
+    "LossHistogram",
+    "StitchLossModel",
+    "TilePowerModel",
+    "TilePowerReport",
+    "WaferPowerReport",
+    "MediumKind",
+    "PathLoss",
+    "Segment",
+    "fiber",
+    "paper_waveguide_claim_holds",
+    "tile_waveguide_capacity",
+    "waveguide",
+]

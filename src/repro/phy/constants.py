@@ -1,0 +1,168 @@
+"""Device constants for the LIGHTPATH photonic interconnect.
+
+Every scalar in this module is taken from, or derived from, the numbers
+reported in Section 3 of the paper ("Server-scale optical interconnects").
+They parameterise the physical-layer models in :mod:`repro.phy` and the
+fabric model in :mod:`repro.core`, so the downstream analytical results see
+exactly the hardware the paper measured.
+
+Units follow the repository convention (DESIGN.md §5): seconds, bytes,
+bytes/second, meters, watts, dB where noted.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Wafer geometry (Figure 1, Figure 2c)
+# --------------------------------------------------------------------------
+
+#: Number of tiles on one LIGHTPATH wafer; one accelerator stacks per tile.
+TILES_PER_WAFER = 32
+
+#: Default tile grid used for a full wafer (rows, cols). The paper shows a
+#: 2x4 excerpt of the grid (Figure 2c); a full 32-tile wafer is 4x8.
+WAFER_GRID = (4, 8)
+
+#: Physical wafer edge length (the prototype socket is 200 mm x 200 mm).
+WAFER_EDGE_M = 0.200
+
+# --------------------------------------------------------------------------
+# Optical sources and data rates (Section 3, "Light sources and waveguides")
+# --------------------------------------------------------------------------
+
+#: Wavelength-multiplexed lasers (and photodiodes) per tile.
+LASERS_PER_TILE = 16
+
+#: Peak data rate one wavelength can sustain, bits per second (224 Gbps).
+WAVELENGTH_RATE_BPS = 224e9
+
+#: Same rate expressed in bytes per second.
+WAVELENGTH_RATE_BYTES = WAVELENGTH_RATE_BPS / 8.0
+
+#: ITU-like grid spacing used by the WDM model (100 GHz).
+WDM_GRID_SPACING_HZ = 100e9
+
+#: Center frequency of the WDM comb (~193.1 THz, C-band).
+WDM_CENTER_HZ = 193.1e12
+
+# --------------------------------------------------------------------------
+# Switching (Section 3, "Optical switches" / "Microsecond reconfiguration")
+# --------------------------------------------------------------------------
+
+#: Optical switches per tile.
+SWITCHES_PER_TILE = 4
+
+#: Degree of each per-tile optical switch (1 input x 3 outputs).
+SWITCH_DEGREE = 3
+
+#: Worst-case MZI reconfiguration latency, seconds (3.7 us, Figure 3a).
+RECONFIG_LATENCY_S = 3.7e-6
+
+#: Thermo-optic time constant used by the step-response model. A first-order
+#: system settles to within 5 % of its final value after three time
+#: constants; tau = 3.7 us / 3 reproduces the measured settling time.
+MZI_TIME_CONSTANT_S = RECONFIG_LATENCY_S / 3.0
+
+# --------------------------------------------------------------------------
+# Waveguides and losses (Section 3, Figure 3b, Figure 4)
+# --------------------------------------------------------------------------
+
+#: Waveguide (and MZI) pitch on a tile, meters (3 um).
+WAVEGUIDE_PITCH_M = 3e-6
+
+#: Number of bus waveguides one tile can support ("over 10,000").
+WAVEGUIDES_PER_TILE = 10_000
+
+#: Mean loss of one reticle-stitch / waveguide crossing, dB (Figure 3b).
+CROSSING_LOSS_DB = 0.25
+
+#: Spread (standard deviation) of the stitch-loss distribution, dB. The
+#: histogram in Figure 3b spans roughly 0.0-0.8 dB around the 0.25 dB mean.
+CROSSING_LOSS_SIGMA_DB = 0.08
+
+#: Propagation loss of an on-wafer waveguide, dB per meter. Wafer-scale
+#: photonic interconnects require low-loss guides (~0.1 dB/cm) so that a
+#: full wafer traversal (~0.5 m of guide, 10 reticle crossings) still
+#: closes the link budget — the routing-feasibility point of Section 3.
+WAVEGUIDE_LOSS_DB_PER_M = 10.0
+
+#: Propagation loss of an off-wafer optical fiber, dB per meter.
+FIBER_LOSS_DB_PER_M = 0.0002
+
+#: Insertion loss of one MZI switch element, dB.
+MZI_INSERTION_LOSS_DB = 0.5
+
+#: Loss of the fiber attach (coupler) at a wafer edge, dB.
+FIBER_COUPLER_LOSS_DB = 1.0
+
+# --------------------------------------------------------------------------
+# Transceiver electro-optics (Section 3, "Modulators and Photodetectors")
+# --------------------------------------------------------------------------
+
+#: Laser output power per wavelength, dBm.
+LASER_POWER_DBM = 10.0
+
+#: Micro-ring modulator insertion loss, dB.
+MRR_INSERTION_LOSS_DB = 3.0
+
+#: Micro-ring modulator extinction ratio, dB.
+MRR_EXTINCTION_RATIO_DB = 6.0
+
+#: Photodetector responsivity, amperes per watt.
+PD_RESPONSIVITY_A_PER_W = 1.0
+
+#: Receiver sensitivity for the target BER at the 224 Gbps line rate, dBm.
+RX_SENSITIVITY_DBM = -11.0
+
+#: Target bit error rate before forward error correction.
+TARGET_BER = 1e-12
+
+# --------------------------------------------------------------------------
+# Electrical side (SerDes)
+# --------------------------------------------------------------------------
+
+#: SerDes lanes available on one stacked accelerator chip. This bounds how
+#: many simultaneous wavelength connections a tile can terminate (Section 3:
+#: "the number of connections ... is limited by the number of SerDes ports").
+SERDES_LANES_PER_CHIP = 16
+
+#: Line rate of one SerDes lane, bits per second (matched to one wavelength).
+SERDES_LANE_RATE_BPS = WAVELENGTH_RATE_BPS
+
+# --------------------------------------------------------------------------
+# Fibers between wafers (Section 3, "Fiber connectivity")
+# --------------------------------------------------------------------------
+
+#: Fibers attached per edge tile for wafer-to-wafer connectivity ("10s of
+#: fibers across servers", Section 4.2).
+FIBERS_PER_EDGE_TILE = 16
+
+# --------------------------------------------------------------------------
+# Collective cost model defaults (Section 4.1)
+# --------------------------------------------------------------------------
+
+#: Default per-message software overhead alpha, seconds. The paper notes
+#: beta is "several magnitudes of order higher than alpha" for large
+#: buffers; 1 us is representative of an on-board transport.
+DEFAULT_ALPHA_S = 1e-6
+
+#: Total egress bandwidth of one accelerator chip, bytes per second. TPUv4
+#: ICI is ~300 GB/s class per the paper's NVLink comparison; we expose all
+#: 16 wavelengths: 16 x 28 GB/s = 448 GB/s.
+CHIP_EGRESS_BYTES = LASERS_PER_TILE * WAVELENGTH_RATE_BYTES
+
+# --------------------------------------------------------------------------
+# TPUv4 substrate (Section 4, Figure 5a)
+# --------------------------------------------------------------------------
+
+#: Chips per TPUv4 cube/rack (4x4x4 torus).
+RACK_SHAPE = (4, 4, 4)
+
+#: Multi-accelerator servers per rack.
+SERVERS_PER_RACK = 16
+
+#: TPU chips per server board.
+CHIPS_PER_SERVER = 4
+
+#: Racks in the full TPUv4 cluster (4096 chips total).
+RACKS_PER_CLUSTER = 64

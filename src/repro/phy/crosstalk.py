@@ -1,0 +1,129 @@
+"""Optical crosstalk accumulation along switched circuits.
+
+Every MZI a circuit traverses leaks a small fraction of *other* circuits'
+light into it (finite extinction ratio), and every waveguide crossing
+couples a sliver of the crossing signal. Over the many hops of a
+server-scale route these leaks accumulate and erode the optical
+signal-to-noise ratio — a physical-layer limit on the paper's ">10,000
+waveguides per tile" density that the link budget alone does not capture.
+
+The model is the standard incoherent-crosstalk accumulation: each leak
+contributes interferer power ``P_signal - X`` dB (``X`` the isolation),
+summed linearly; the resulting signal-to-crosstalk ratio maps to a power
+penalty that :func:`penalized_margin_db` charges against the link budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .units import db_to_linear, linear_to_db
+
+__all__ = ["CrosstalkModel", "CrosstalkReport"]
+
+
+@dataclass(frozen=True)
+class CrosstalkReport:
+    """Accumulated crosstalk along one circuit.
+
+    Attributes:
+        leak_count: interfering leak contributions accumulated.
+        crosstalk_ratio_db: signal-to-crosstalk ratio (higher is better).
+        power_penalty_db: equivalent receiver power penalty.
+    """
+
+    leak_count: int
+    crosstalk_ratio_db: float
+    power_penalty_db: float
+
+    @property
+    def negligible(self) -> bool:
+        """Whether the penalty is below 0.1 dB."""
+        return self.power_penalty_db < 0.1
+
+
+@dataclass(frozen=True)
+class CrosstalkModel:
+    """Per-element isolation figures for a LIGHTPATH circuit.
+
+    Attributes:
+        mzi_isolation_db: extinction of an off-state MZI port.
+        crossing_isolation_db: coupling suppression at a waveguide
+            crossing (much better than a switch port).
+        occupancy: fraction of neighbouring ports/crossings actually
+            carrying an interfering signal (1.0 = worst case).
+    """
+
+    mzi_isolation_db: float = 35.0
+    crossing_isolation_db: float = 50.0
+    occupancy: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mzi_isolation_db <= 0 or self.crossing_isolation_db <= 0:
+            raise ValueError("isolation figures must be positive dB")
+        if not 0.0 <= self.occupancy <= 1.0:
+            raise ValueError("occupancy must be in [0, 1]")
+
+    def accumulate(self, mzi_hops: int, crossings: int) -> CrosstalkReport:
+        """Crosstalk of a circuit with the given hop counts.
+
+        Raises:
+            ValueError: on negative hop counts.
+        """
+        if mzi_hops < 0 or crossings < 0:
+            raise ValueError("hop counts cannot be negative")
+        mzi_leak = db_to_linear(-self.mzi_isolation_db)
+        crossing_leak = db_to_linear(-self.crossing_isolation_db)
+        total_leak = self.occupancy * (
+            mzi_hops * mzi_leak + crossings * crossing_leak
+        )
+        leak_count = mzi_hops + crossings
+        if total_leak <= 0.0:
+            return CrosstalkReport(
+                leak_count=leak_count,
+                crosstalk_ratio_db=math.inf,
+                power_penalty_db=0.0,
+            )
+        ratio_db = -linear_to_db(total_leak)
+        # Standard incoherent crosstalk penalty: -5 log10(1 - 4 * eps)
+        # diverges as eps -> 0.25; clamp the unusable regime.
+        eps = total_leak
+        if eps >= 0.25:
+            penalty = math.inf
+        else:
+            penalty = -5.0 * math.log10(1.0 - 4.0 * eps)
+        return CrosstalkReport(
+            leak_count=leak_count,
+            crosstalk_ratio_db=ratio_db,
+            power_penalty_db=penalty,
+        )
+
+    def penalized_margin_db(
+        self, base_margin_db: float, mzi_hops: int, crossings: int
+    ) -> float:
+        """Link margin after charging the crosstalk power penalty."""
+        report = self.accumulate(mzi_hops, crossings)
+        if math.isinf(report.power_penalty_db):
+            return -math.inf
+        return base_margin_db - report.power_penalty_db
+
+    def max_mzi_hops(self, budget_penalty_db: float = 1.0) -> int:
+        """Largest switch-hop count whose penalty stays within budget.
+
+        Quantifies how deep a circuit can thread through the switch
+        fabric before crosstalk (not loss) becomes the binding limit.
+
+        Raises:
+            ValueError: on a non-positive budget.
+        """
+        if budget_penalty_db <= 0:
+            raise ValueError("penalty budget must be positive")
+        hops = 0
+        while True:
+            report = self.accumulate(hops + 1, 0)
+            if report.power_penalty_db > budget_penalty_db:
+                return hops
+            hops += 1
+            if hops > 1_000_000:  # pragma: no cover - defensive bound
+                return hops

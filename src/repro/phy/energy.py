@@ -1,0 +1,116 @@
+"""Energy-per-bit model: electrical vs photonic chip-to-chip links.
+
+The paper's Section 1 motivation — copper loses to light at high rates and
+long reach — has an energy corollary the optics literature quantifies in
+picojoules per bit. This model lets the ablation benches compare the
+interconnect technologies the paper discusses:
+
+* an electrical SerDes link whose energy grows with channel loss (reach);
+* a LIGHTPATH-class photonic link whose wall-plug laser power is fixed
+  per wavelength (reach-independent up to the link budget) plus
+  modulator/receiver energy.
+
+Values are representative of the technology classes, not vendor
+datasheets; the crossover *shape* (optics wins beyond a few centimetres at
+200+ Gbps) is the result of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import WAVELENGTH_RATE_BPS
+from .units import dbm_to_watts
+
+__all__ = ["ElectricalLinkEnergy", "PhotonicLinkEnergy", "crossover_reach_m"]
+
+
+@dataclass(frozen=True)
+class ElectricalLinkEnergy:
+    """Energy model of a copper SerDes link.
+
+    Attributes:
+        base_pj_per_bit: TX+RX energy at negligible channel loss.
+        pj_per_bit_per_db: equalization/redriver energy per dB of channel
+            loss the link must overcome.
+        loss_db_per_m: channel loss per metre at the signalling rate
+            (copper at 100+ Gbps loses tens of dB per metre).
+    """
+
+    base_pj_per_bit: float = 1.0
+    pj_per_bit_per_db: float = 0.15
+    loss_db_per_m: float = 40.0
+
+    def energy_pj_per_bit(self, reach_m: float) -> float:
+        """Energy per bit at the given reach.
+
+        Raises:
+            ValueError: on negative reach.
+        """
+        if reach_m < 0:
+            raise ValueError("reach cannot be negative")
+        return (
+            self.base_pj_per_bit
+            + self.pj_per_bit_per_db * self.loss_db_per_m * reach_m
+        )
+
+
+@dataclass(frozen=True)
+class PhotonicLinkEnergy:
+    """Energy model of a LIGHTPATH-class photonic link.
+
+    Attributes:
+        laser_power_dbm: wall-plug-relevant optical launch power.
+        laser_efficiency: wall-plug efficiency of the laser.
+        modulator_pj_per_bit: micro-ring drive energy.
+        receiver_pj_per_bit: photodetector + TIA + CDR energy.
+        serdes_pj_per_bit: electrical lane in/out of the optics.
+        rate_bps: data rate carried per wavelength.
+    """
+
+    laser_power_dbm: float = 10.0
+    laser_efficiency: float = 0.20
+    modulator_pj_per_bit: float = 0.3
+    receiver_pj_per_bit: float = 0.5
+    serdes_pj_per_bit: float = 0.6
+    rate_bps: float = WAVELENGTH_RATE_BPS
+
+    def laser_pj_per_bit(self) -> float:
+        """Laser wall-plug energy amortized per bit."""
+        if not 0.0 < self.laser_efficiency <= 1.0:
+            raise ValueError("laser efficiency must be in (0, 1]")
+        wall_plug_w = dbm_to_watts(self.laser_power_dbm) / self.laser_efficiency
+        return wall_plug_w / self.rate_bps * 1e12
+
+    def energy_pj_per_bit(self, reach_m: float = 0.0) -> float:
+        """Energy per bit — independent of reach within the link budget.
+
+        Raises:
+            ValueError: on negative reach.
+        """
+        if reach_m < 0:
+            raise ValueError("reach cannot be negative")
+        return (
+            self.laser_pj_per_bit()
+            + self.modulator_pj_per_bit
+            + self.receiver_pj_per_bit
+            + self.serdes_pj_per_bit
+        )
+
+
+def crossover_reach_m(
+    electrical: ElectricalLinkEnergy, photonic: PhotonicLinkEnergy
+) -> float:
+    """Reach beyond which the photonic link is cheaper per bit.
+
+    Returns 0 when optics wins even at zero reach, ``inf`` when copper
+    always wins (a degenerate parameterization).
+    """
+    optical = photonic.energy_pj_per_bit()
+    at_zero = electrical.energy_pj_per_bit(0.0)
+    if optical <= at_zero:
+        return 0.0
+    slope = electrical.pj_per_bit_per_db * electrical.loss_db_per_m
+    if slope <= 0:
+        return float("inf")
+    return (optical - at_zero) / slope

@@ -1,0 +1,111 @@
+"""Laser comb and WDM wavelength-grid model.
+
+Each LIGHTPATH tile carries 16 wavelength-multiplexed lasers (paper
+Section 3). This module models the WDM comb those lasers emit: channel
+center frequencies on a fixed grid, per-channel launch power, and simple
+failure accounting (a dead laser removes one wavelength of egress from the
+tile, which :mod:`repro.core` translates into lost connection capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .constants import (
+    LASER_POWER_DBM,
+    LASERS_PER_TILE,
+    WAVELENGTH_RATE_BPS,
+    WDM_CENTER_HZ,
+    WDM_GRID_SPACING_HZ,
+)
+
+__all__ = ["WdmChannel", "LaserBank"]
+
+_SPEED_OF_LIGHT_M_PER_S = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class WdmChannel:
+    """One wavelength channel of the comb.
+
+    Attributes:
+        index: channel index on the tile (0-based).
+        frequency_hz: optical carrier frequency.
+        power_dbm: launch power.
+        rate_bps: data rate the channel sustains when modulated.
+    """
+
+    index: int
+    frequency_hz: float
+    power_dbm: float = LASER_POWER_DBM
+    rate_bps: float = WAVELENGTH_RATE_BPS
+
+    @property
+    def wavelength_m(self) -> float:
+        """Free-space wavelength of the carrier, meters."""
+        return _SPEED_OF_LIGHT_M_PER_S / self.frequency_hz
+
+
+@dataclass
+class LaserBank:
+    """The bank of wavelength-multiplexed lasers on one tile.
+
+    Attributes:
+        channels: number of lasers (paper: 16 per tile).
+        center_hz: comb center frequency.
+        spacing_hz: channel spacing.
+    """
+
+    channels: int = LASERS_PER_TILE
+    center_hz: float = WDM_CENTER_HZ
+    spacing_hz: float = WDM_GRID_SPACING_HZ
+    power_dbm: float = LASER_POWER_DBM
+    _failed: set[int] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError("a laser bank needs at least one channel")
+        if self.spacing_hz <= 0:
+            raise ValueError("channel spacing must be positive")
+
+    def channel(self, index: int) -> WdmChannel:
+        """The comb channel at ``index``.
+
+        Raises:
+            IndexError: if the index is outside the comb.
+        """
+        if not 0 <= index < self.channels:
+            raise IndexError(f"channel {index} outside comb of {self.channels}")
+        offset = index - (self.channels - 1) / 2.0
+        return WdmChannel(
+            index=index,
+            frequency_hz=self.center_hz + offset * self.spacing_hz,
+            power_dbm=self.power_dbm,
+        )
+
+    def comb(self) -> list[WdmChannel]:
+        """All channels of the comb, in index order."""
+        return [self.channel(i) for i in range(self.channels)]
+
+    def fail(self, index: int) -> None:
+        """Mark the laser at ``index`` as failed."""
+        if not 0 <= index < self.channels:
+            raise IndexError(f"channel {index} outside comb of {self.channels}")
+        self._failed.add(index)
+
+    def repair(self, index: int) -> None:
+        """Clear a failure on the laser at ``index``."""
+        self._failed.discard(index)
+
+    @property
+    def working_channels(self) -> int:
+        """Lasers currently operational."""
+        return self.channels - len(self._failed)
+
+    def is_working(self, index: int) -> bool:
+        """Whether the laser at ``index`` is operational."""
+        return index not in self._failed
+
+    def aggregate_rate_bps(self) -> float:
+        """Total egress rate the working comb can carry, bits per second."""
+        return self.working_channels * WAVELENGTH_RATE_BPS

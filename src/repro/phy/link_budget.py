@@ -1,0 +1,114 @@
+"""End-to-end optical link budget.
+
+Combines the transmitter (laser + micro-ring modulator), the passive path
+(waveguides, crossings, MZI hops, fibers) and the receiver (photodetector)
+into a single feasibility check: *does this candidate optical circuit close
+at the target BER?* The paper's Section 3 argues feasibility from the
+measured 0.25 dB crossing loss; this module generalizes that argument to
+arbitrary paths so the routing layer can reject circuits that would not
+physically work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .constants import (
+    LASER_POWER_DBM,
+    MZI_INSERTION_LOSS_DB,
+    RX_SENSITIVITY_DBM,
+    WAVELENGTH_RATE_BPS,
+)
+from .mrr import MicroRingModulator, ModulatedSignal
+from .photodetector import DetectionResult, Photodetector
+from .waveguide import PathLoss
+
+__all__ = ["LinkBudget", "LinkReport"]
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Result of evaluating one optical circuit's physical feasibility.
+
+    Attributes:
+        launch_power_dbm: power entering the path after the modulator.
+        path_loss_db: total passive loss along the path.
+        received_power_dbm: power arriving at the photodetector.
+        margin_db: received power minus the receiver sensitivity.
+        detection: noise-model detection result (BER, Q factor).
+        feasible: True when the link closes with non-negative margin *and*
+            the noise model meets the BER target.
+    """
+
+    launch_power_dbm: float
+    path_loss_db: float
+    received_power_dbm: float
+    margin_db: float
+    detection: DetectionResult
+    feasible: bool
+
+
+@dataclass
+class LinkBudget:
+    """Evaluator for end-to-end optical circuits.
+
+    Attributes:
+        laser_power_dbm: per-wavelength launch power before the modulator.
+        modulator: transmit-side micro-ring model.
+        detector: receive-side photodetector model.
+        sensitivity_dbm: datasheet receiver sensitivity used for margin.
+        mzi_insertion_loss_db: per-MZI-hop loss applied to paths.
+    """
+
+    laser_power_dbm: float = LASER_POWER_DBM
+    modulator: MicroRingModulator | None = None
+    detector: Photodetector = field(default_factory=Photodetector)
+    sensitivity_dbm: float = RX_SENSITIVITY_DBM
+    mzi_insertion_loss_db: float = MZI_INSERTION_LOSS_DB
+
+    def _signal(self, carrier_hz: float, rate_bps: float) -> ModulatedSignal:
+        modulator = self.modulator or MicroRingModulator(resonance_hz=carrier_hz)
+        return modulator.modulate(carrier_hz, self.laser_power_dbm, rate_bps)
+
+    def evaluate(
+        self,
+        path: PathLoss,
+        carrier_hz: float = 193.1e12,
+        rate_bps: float = WAVELENGTH_RATE_BPS,
+    ) -> LinkReport:
+        """Evaluate a circuit carried on ``carrier_hz`` over ``path``."""
+        signal = self._signal(carrier_hz, rate_bps)
+        loss_db = path.total_db(self.mzi_insertion_loss_db)
+        received_dbm = signal.carrier_power_dbm - loss_db
+        detection = self.detector.detect(signal, received_dbm)
+        margin = received_dbm - self.sensitivity_dbm
+        return LinkReport(
+            launch_power_dbm=signal.carrier_power_dbm,
+            path_loss_db=loss_db,
+            received_power_dbm=received_dbm,
+            margin_db=margin,
+            detection=detection,
+            feasible=margin >= 0.0 and detection.meets_target,
+        )
+
+    def max_crossings(
+        self,
+        base_path: PathLoss,
+        crossing_loss_db: float | None = None,
+        carrier_hz: float = 193.1e12,
+    ) -> int:
+        """Largest number of extra crossings the budget tolerates.
+
+        Quantifies the paper's routing-feasibility argument: with 0.25 dB
+        per crossing, how deep into the wafer can a circuit go before the
+        link stops closing?
+        """
+        per_crossing = (
+            base_path.crossing_loss_db if crossing_loss_db is None else crossing_loss_db
+        )
+        if per_crossing <= 0:
+            raise ValueError("per-crossing loss must be positive")
+        report = self.evaluate(base_path, carrier_hz=carrier_hz)
+        if not report.feasible:
+            return 0
+        return int(report.margin_db // per_crossing)

@@ -1,0 +1,113 @@
+"""Micro-ring modulator (MRR) model.
+
+LIGHTPATH transmitters modulate data onto a wavelength with micro-ring
+modulators (paper Section 3, "Modulators and Photodetectors"). For the
+system-level analysis the relevant behaviour is: each MRR targets one comb
+wavelength (ring resonance must align with the carrier), imposes an
+insertion loss, and produces an optical eye whose extinction ratio feeds
+the receiver-side BER estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .constants import (
+    MRR_EXTINCTION_RATIO_DB,
+    MRR_INSERTION_LOSS_DB,
+    WAVELENGTH_RATE_BPS,
+)
+from .units import db_to_linear
+
+__all__ = ["MicroRingModulator", "ModulatedSignal"]
+
+
+@dataclass(frozen=True)
+class ModulatedSignal:
+    """A carrier after modulation.
+
+    Attributes:
+        carrier_power_dbm: average optical power after the modulator, dBm.
+        extinction_ratio_db: ratio of the "1" level to the "0" level, dB.
+        rate_bps: modulation rate, bits per second.
+    """
+
+    carrier_power_dbm: float
+    extinction_ratio_db: float
+    rate_bps: float
+
+    @property
+    def one_level_factor(self) -> float:
+        """Linear multiplier mapping average power to the "1" level.
+
+        For extinction ratio ``ER`` (linear) and equiprobable bits, the
+        average power is ``(P1 + P0) / 2`` with ``P0 = P1 / ER``.
+        """
+        er = db_to_linear(self.extinction_ratio_db)
+        return 2.0 * er / (er + 1.0)
+
+    @property
+    def zero_level_factor(self) -> float:
+        """Linear multiplier mapping average power to the "0" level."""
+        er = db_to_linear(self.extinction_ratio_db)
+        return 2.0 / (er + 1.0)
+
+
+@dataclass
+class MicroRingModulator:
+    """An MRR bound to one comb wavelength.
+
+    Attributes:
+        resonance_hz: ring resonance frequency (must match the carrier to
+            within ``tuning_range_hz`` after thermal tuning).
+        insertion_loss_db: on-resonance excess loss, dB.
+        extinction_ratio_db: achievable eye extinction, dB.
+        tuning_range_hz: thermal tuning range of the resonance.
+        max_rate_bps: bandwidth limit of the modulator.
+    """
+
+    resonance_hz: float
+    insertion_loss_db: float = MRR_INSERTION_LOSS_DB
+    extinction_ratio_db: float = MRR_EXTINCTION_RATIO_DB
+    tuning_range_hz: float = 400e9
+    max_rate_bps: float = WAVELENGTH_RATE_BPS
+
+    def can_modulate(self, carrier_hz: float) -> bool:
+        """Whether the ring can be tuned onto ``carrier_hz``."""
+        return abs(carrier_hz - self.resonance_hz) <= self.tuning_range_hz
+
+    def modulate(
+        self, carrier_hz: float, launch_power_dbm: float, rate_bps: float
+    ) -> ModulatedSignal:
+        """Modulate data at ``rate_bps`` onto the carrier.
+
+        Raises:
+            ValueError: if the carrier is outside the tuning range or the
+                requested rate exceeds the modulator bandwidth.
+        """
+        if not self.can_modulate(carrier_hz):
+            raise ValueError(
+                f"carrier at {carrier_hz:.3e} Hz is outside the ring's "
+                f"tuning range around {self.resonance_hz:.3e} Hz"
+            )
+        if rate_bps <= 0 or rate_bps > self.max_rate_bps:
+            raise ValueError(
+                f"rate {rate_bps:.3e} bps outside (0, {self.max_rate_bps:.3e}]"
+            )
+        return ModulatedSignal(
+            carrier_power_dbm=launch_power_dbm - self.insertion_loss_db,
+            extinction_ratio_db=self.extinction_ratio_db,
+            rate_bps=rate_bps,
+        )
+
+    def detune_penalty_db(self, carrier_hz: float, linewidth_hz: float = 50e9) -> float:
+        """Excess loss from imperfect resonance alignment, dB.
+
+        Modelled as a Lorentzian rolloff of the ring response; zero when
+        perfectly aligned, growing quadratically for small detuning.
+        """
+        if linewidth_hz <= 0:
+            raise ValueError("linewidth must be positive")
+        detune = (carrier_hz - self.resonance_hz) / (linewidth_hz / 2.0)
+        return 10.0 * math.log10(1.0 + detune * detune)

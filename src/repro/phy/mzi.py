@@ -1,0 +1,252 @@
+"""Mach-Zehnder interferometer (MZI) switch models.
+
+LIGHTPATH routes wavelengths between tiles with 1x3 optical switches built
+from MZIs (paper Section 3, Figure 2b). Two aspects of the device matter for
+the system-level analysis:
+
+* the *static* transfer function — how a phase shift splits input power
+  between the bar and cross ports, which sets insertion loss and crosstalk;
+* the *dynamic* step response — how long the thermo-optic phase shifter
+  takes to settle after a reconfiguration command. The paper measures
+  3.7 us worst case (Figure 3a), which is the ``r`` term in every
+  alpha-beta-r collective cost in Section 4.
+
+Both are modelled here. :class:`MziSwitchDynamics` reproduces Figure 3a: it
+generates the (noisy) normalized-amplitude-vs-time trace of a switching MZI
+and fits a first-order exponential to recover the time constant, exactly the
+analysis overlaid on the measured oscilloscope trace in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .constants import (
+    MZI_INSERTION_LOSS_DB,
+    MZI_TIME_CONSTANT_S,
+    RECONFIG_LATENCY_S,
+)
+from .units import db_to_linear
+
+__all__ = [
+    "MziState",
+    "MziSwitch",
+    "StepResponse",
+    "ExponentialFit",
+    "MziSwitchDynamics",
+]
+
+
+class MziState:
+    """Named phase settings for a 2x2 MZI element."""
+
+    BAR = "bar"
+    CROSS = "cross"
+
+    #: Phase shift (radians) that realizes each state in a push-pull MZI.
+    PHASE = {BAR: 0.0, CROSS: math.pi}
+
+
+@dataclass
+class MziSwitch:
+    """A single 2x2 MZI element with a thermo-optic phase shifter.
+
+    The power transfer from the input port to the cross port is
+    ``sin^2(phi / 2)`` and to the bar port ``cos^2(phi / 2)``, scaled by the
+    element's insertion loss. ``phi`` is the differential phase between the
+    two interferometer arms.
+
+    Attributes:
+        insertion_loss_db: excess loss of the element in dB.
+        phase_rad: current differential phase in radians.
+    """
+
+    insertion_loss_db: float = MZI_INSERTION_LOSS_DB
+    phase_rad: float = 0.0
+
+    def set_state(self, state: str) -> None:
+        """Drive the phase shifter to a named state (``bar`` or ``cross``).
+
+        Raises:
+            ValueError: if ``state`` is not a recognized :class:`MziState`.
+        """
+        if state not in MziState.PHASE:
+            raise ValueError(f"unknown MZI state {state!r}")
+        self.phase_rad = MziState.PHASE[state]
+
+    @property
+    def transmissivity(self) -> float:
+        """Linear power transmission excluding the interferometric split."""
+        return db_to_linear(-self.insertion_loss_db)
+
+    def cross_power(self, input_power_w: float = 1.0) -> float:
+        """Optical power emerging from the cross port, watts."""
+        split = math.sin(self.phase_rad / 2.0) ** 2
+        return input_power_w * split * self.transmissivity
+
+    def bar_power(self, input_power_w: float = 1.0) -> float:
+        """Optical power emerging from the bar port, watts."""
+        split = math.cos(self.phase_rad / 2.0) ** 2
+        return input_power_w * split * self.transmissivity
+
+    def extinction_ratio_db(self) -> float:
+        """Ratio of the intended port's power to the leaked port's, in dB.
+
+        Returns ``inf`` for an ideally-set bar or cross state.
+        """
+        hi = max(self.cross_power(), self.bar_power())
+        lo = min(self.cross_power(), self.bar_power())
+        if lo == 0.0:
+            return math.inf
+        return 10.0 * math.log10(hi / lo)
+
+
+@dataclass
+class StepResponse:
+    """A sampled switch-transition trace (paper Figure 3a).
+
+    Attributes:
+        time_s: sample instants, seconds, starting at the drive edge.
+        amplitude: normalized optical amplitude at each instant (0 -> 1).
+    """
+
+    time_s: np.ndarray
+    amplitude: np.ndarray
+
+    def settling_time(self, tolerance: float = 0.05) -> float:
+        """Earliest time after which the trace stays within ``tolerance``
+        of its final value.
+
+        This is the quantity the paper reports as the 3.7 us
+        reconfiguration latency.
+
+        Raises:
+            ValueError: if the trace never settles within tolerance.
+        """
+        final = float(self.amplitude[-1])
+        deviation = np.abs(self.amplitude - final)
+        outside = np.nonzero(deviation > tolerance)[0]
+        if outside.size == 0:
+            return float(self.time_s[0])
+        last_outside = outside[-1]
+        if last_outside + 1 >= self.time_s.size:
+            raise ValueError("trace does not settle within tolerance")
+        return float(self.time_s[last_outside + 1])
+
+
+@dataclass
+class ExponentialFit:
+    """Least-squares fit of ``1 - A * exp(-t / tau)`` to a rising trace.
+
+    Attributes:
+        amplitude: fitted pre-exponential factor ``A``.
+        tau_s: fitted time constant, seconds.
+        residual_rms: root-mean-square residual of the fit.
+    """
+
+    amplitude: float
+    tau_s: float
+    residual_rms: float
+
+    def settling_time(self, tolerance: float = 0.05) -> float:
+        """Analytic settling time of the fitted exponential."""
+        if self.amplitude <= 0 or tolerance <= 0:
+            raise ValueError("amplitude and tolerance must be positive")
+        if tolerance >= self.amplitude:
+            return 0.0
+        return self.tau_s * math.log(self.amplitude / tolerance)
+
+
+@dataclass
+class MziSwitchDynamics:
+    """Thermo-optic switching dynamics of a LIGHTPATH MZI.
+
+    The phase shifter behaves as a first-order thermal system: after a step
+    drive at ``t = 0`` the normalized optical amplitude follows
+    ``1 - exp(-t / tau)``. With ``tau = 3.7 us / 3`` the device settles to
+    within 5 % after exactly the 3.7 us the paper measures.
+
+    Attributes:
+        tau_s: thermo-optic time constant, seconds.
+        noise_rms: RMS of additive measurement noise on the sampled trace
+            (models the oscilloscope/photodetector noise visible in
+            Figure 3a).
+    """
+
+    tau_s: float = MZI_TIME_CONSTANT_S
+    noise_rms: float = 0.02
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def ideal_amplitude(self, t_s: np.ndarray) -> np.ndarray:
+        """Noise-free normalized amplitude at times ``t_s`` (seconds)."""
+        t = np.asarray(t_s, dtype=float)
+        return np.where(t < 0.0, 0.0, 1.0 - np.exp(-np.maximum(t, 0.0) / self.tau_s))
+
+    def measure_step(
+        self, duration_s: float = 10e-6, samples: int = 2000
+    ) -> StepResponse:
+        """Sample a noisy switching transient, as captured in Figure 3a.
+
+        Args:
+            duration_s: capture window after the drive edge, seconds.
+            samples: number of evenly-spaced samples in the window.
+
+        Raises:
+            ValueError: if the capture window or sample count is not
+                positive.
+        """
+        if duration_s <= 0 or samples <= 1:
+            raise ValueError("need a positive window and at least 2 samples")
+        t = np.linspace(0.0, duration_s, samples)
+        clean = self.ideal_amplitude(t)
+        noisy = clean + self.rng.normal(0.0, self.noise_rms, size=samples)
+        return StepResponse(time_s=t, amplitude=noisy)
+
+    def fit_exponential(self, trace: StepResponse) -> ExponentialFit:
+        """Recover ``A`` and ``tau`` from a measured trace.
+
+        Uses the standard log-linearization of ``1 - y = A exp(-t/tau)``
+        restricted to samples safely above the noise floor, matching the
+        fit annotation in the paper's Figure 3a.
+        """
+        final = float(np.median(trace.amplitude[-max(1, trace.amplitude.size // 10):]))
+        residual = final - trace.amplitude
+        # Keep only early samples where the decaying residual dominates noise.
+        usable = residual > max(4.0 * self.noise_rms, 1e-6)
+        if np.count_nonzero(usable) < 2:
+            raise ValueError("trace too noisy or too short to fit")
+        t = trace.time_s[usable]
+        log_res = np.log(residual[usable])
+        slope, intercept = np.polyfit(t, log_res, 1)
+        if slope >= 0.0:
+            raise ValueError("trace is not a rising exponential")
+        tau = -1.0 / slope
+        amplitude = math.exp(intercept)
+        model = 1.0 - amplitude * np.exp(-trace.time_s / tau)
+        rms = float(np.sqrt(np.mean((model - trace.amplitude) ** 2)))
+        return ExponentialFit(amplitude=amplitude, tau_s=tau, residual_rms=rms)
+
+    def reconfiguration_latency(self, tolerance: float = 0.05) -> float:
+        """Analytic settling latency of the device model.
+
+        With default parameters this returns the paper's 3.7 us.
+        """
+        return self.tau_s * math.log(1.0 / tolerance)
+
+
+def assert_matches_paper() -> None:
+    """Sanity-check that the default dynamics reproduce the 3.7 us figure.
+
+    Raises:
+        AssertionError: if the model deviates more than 2 % from the paper.
+    """
+    latency = MziSwitchDynamics().reconfiguration_latency()
+    if not math.isclose(latency, RECONFIG_LATENCY_S, rel_tol=0.02):
+        raise AssertionError(
+            f"model latency {latency:.3e}s != paper {RECONFIG_LATENCY_S:.3e}s"
+        )

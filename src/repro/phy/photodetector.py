@@ -1,0 +1,123 @@
+"""Photodetector and receiver-front-end model.
+
+The LIGHTPATH receiver demultiplexes comb wavelengths and converts each to
+an electrical signal with a photodetector feeding the SerDes (paper
+Section 3). This module provides the noise-limited detection model used by
+:mod:`repro.phy.link_budget` to turn a received optical power into a bit
+error rate — the physical-layer feasibility check for every optical
+circuit the fabric establishes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .constants import PD_RESPONSIVITY_A_PER_W, RX_SENSITIVITY_DBM, TARGET_BER
+from .mrr import ModulatedSignal
+from .units import dbm_to_watts
+
+__all__ = ["Photodetector", "DetectionResult"]
+
+_ELECTRON_CHARGE_C = 1.602176634e-19
+_BOLTZMANN_J_PER_K = 1.380649e-23
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of detecting one modulated wavelength.
+
+    Attributes:
+        photocurrent_a: average photocurrent, amperes.
+        snr: electrical signal-to-noise ratio (linear Q^2 style metric).
+        q_factor: Gaussian Q factor of the eye.
+        ber: estimated bit error rate.
+    """
+
+    photocurrent_a: float
+    snr: float
+    q_factor: float
+    ber: float
+
+    @property
+    def meets_target(self) -> bool:
+        """Whether the detection meets the pre-FEC BER target."""
+        return self.ber <= TARGET_BER
+
+
+def _q_to_ber(q: float) -> float:
+    """BER of an OOK eye with Gaussian noise and Q factor ``q``."""
+    return 0.5 * math.erfc(q / math.sqrt(2.0))
+
+
+@dataclass
+class Photodetector:
+    """A PIN photodetector with a thermal-noise-limited TIA.
+
+    Attributes:
+        responsivity_a_per_w: photocurrent per watt of incident light.
+        temperature_k: receiver temperature (thermal noise).
+        load_ohm: effective TIA input resistance.
+        dark_current_a: detector dark current.
+    """
+
+    responsivity_a_per_w: float = PD_RESPONSIVITY_A_PER_W
+    temperature_k: float = 300.0
+    load_ohm: float = 50.0
+    dark_current_a: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.responsivity_a_per_w <= 0:
+            raise ValueError("responsivity must be positive")
+        if self.load_ohm <= 0 or self.temperature_k <= 0:
+            raise ValueError("load and temperature must be positive")
+
+    def detect(self, signal: ModulatedSignal, received_power_dbm: float) -> DetectionResult:
+        """Detect ``signal`` arriving with average power ``received_power_dbm``.
+
+        Noise model: shot noise on each eye level plus thermal noise over a
+        bandwidth of ``0.75 * rate`` (NRZ matched-filter approximation).
+        """
+        avg_w = dbm_to_watts(received_power_dbm)
+        p1 = avg_w * signal.one_level_factor
+        p0 = avg_w * signal.zero_level_factor
+        i1 = self.responsivity_a_per_w * p1 + self.dark_current_a
+        i0 = self.responsivity_a_per_w * p0 + self.dark_current_a
+        bandwidth_hz = 0.75 * signal.rate_bps
+        thermal_var = 4.0 * _BOLTZMANN_J_PER_K * self.temperature_k * bandwidth_hz / self.load_ohm
+        shot1 = 2.0 * _ELECTRON_CHARGE_C * i1 * bandwidth_hz
+        shot0 = 2.0 * _ELECTRON_CHARGE_C * i0 * bandwidth_hz
+        sigma1 = math.sqrt(thermal_var + shot1)
+        sigma0 = math.sqrt(thermal_var + shot0)
+        q = (i1 - i0) / (sigma1 + sigma0)
+        avg_current = self.responsivity_a_per_w * avg_w
+        return DetectionResult(
+            photocurrent_a=avg_current,
+            snr=q * q,
+            q_factor=q,
+            ber=_q_to_ber(q),
+        )
+
+    def sensitivity_dbm(self, signal: ModulatedSignal, target_ber: float = TARGET_BER) -> float:
+        """Minimum received power meeting ``target_ber``, via bisection.
+
+        Provides the model-derived counterpart of the
+        :data:`~repro.phy.constants.RX_SENSITIVITY_DBM` datasheet constant.
+        """
+        if not 0.0 < target_ber < 0.5:
+            raise ValueError("target BER must be in (0, 0.5)")
+        lo, hi = -40.0, 10.0
+        if self.detect(signal, hi).ber > target_ber:
+            raise ValueError("target BER unreachable even at +10 dBm")
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if self.detect(signal, mid).ber <= target_ber:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    @staticmethod
+    def datasheet_sensitivity_dbm() -> float:
+        """The datasheet sensitivity constant used by the link budget."""
+        return RX_SENSITIVITY_DBM

@@ -1,0 +1,108 @@
+"""SerDes (serializer/deserializer) port model.
+
+The paper notes that although a tile can physically carry >10,000
+waveguides, "the number of connections that can be made by one LIGHTPATH
+tile is limited by the number of SerDes ports available in the electrical
+chip" (Section 3). This module models that electrical bottleneck: a pool of
+lanes, each pinned to one active wavelength connection, with explicit
+allocation so the fabric layer can enforce the constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .constants import SERDES_LANE_RATE_BPS, SERDES_LANES_PER_CHIP
+
+__all__ = ["SerdesLane", "SerdesPool", "SerdesExhausted"]
+
+
+class SerdesExhausted(RuntimeError):
+    """Raised when a connection is requested but no SerDes lane is free."""
+
+
+@dataclass
+class SerdesLane:
+    """One electrical lane between the accelerator and its tile.
+
+    Attributes:
+        index: lane index on the chip.
+        rate_bps: line rate of the lane.
+        bound_to: opaque identifier of the connection using the lane, or
+            ``None`` when the lane is free.
+    """
+
+    index: int
+    rate_bps: float = SERDES_LANE_RATE_BPS
+    bound_to: object | None = None
+
+    @property
+    def is_free(self) -> bool:
+        """Whether the lane is unallocated."""
+        return self.bound_to is None
+
+
+@dataclass
+class SerdesPool:
+    """The full set of SerDes lanes on one accelerator chip.
+
+    Attributes:
+        lanes: lane objects, index-ordered.
+    """
+
+    lanes: list[SerdesLane] = field(default_factory=list)
+
+    @classmethod
+    def for_chip(cls, lane_count: int = SERDES_LANES_PER_CHIP) -> "SerdesPool":
+        """A fresh pool with ``lane_count`` free lanes."""
+        if lane_count < 1:
+            raise ValueError("a chip needs at least one SerDes lane")
+        return cls(lanes=[SerdesLane(index=i) for i in range(lane_count)])
+
+    @property
+    def capacity(self) -> int:
+        """Total lanes on the chip."""
+        return len(self.lanes)
+
+    @property
+    def free_lanes(self) -> int:
+        """Lanes currently unallocated."""
+        return sum(1 for lane in self.lanes if lane.is_free)
+
+    def allocate(self, connection: object) -> SerdesLane:
+        """Bind the lowest-index free lane to ``connection``.
+
+        Raises:
+            SerdesExhausted: if every lane is in use.
+        """
+        for lane in self.lanes:
+            if lane.is_free:
+                lane.bound_to = connection
+                return lane
+        raise SerdesExhausted(
+            f"all {self.capacity} SerDes lanes in use; cannot terminate "
+            f"another wavelength connection"
+        )
+
+    def release(self, connection: object) -> int:
+        """Free every lane bound to ``connection``; returns lanes freed."""
+        freed = 0
+        for lane in self.lanes:
+            if lane.bound_to is connection or lane.bound_to == connection:
+                lane.bound_to = None
+                freed += 1
+        return freed
+
+    def release_lane(self, index: int) -> None:
+        """Free the lane at ``index`` unconditionally."""
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"lane {index} outside pool of {self.capacity}")
+        self.lanes[index].bound_to = None
+
+    def aggregate_rate_bps(self) -> float:
+        """Total electrical bandwidth of the pool, bits per second."""
+        return sum(lane.rate_bps for lane in self.lanes)
+
+    def allocated_rate_bps(self) -> float:
+        """Electrical bandwidth currently bound to connections."""
+        return sum(lane.rate_bps for lane in self.lanes if not lane.is_free)

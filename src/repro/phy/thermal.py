@@ -1,0 +1,148 @@
+"""Wafer power budget: lasers, ring tuning, switch heaters, receivers.
+
+A server-scale photonic interconnect spends power on four device classes:
+the per-tile laser bank (wall-plug), thermal tuning that keeps every
+micro-ring on its comb wavelength, the thermo-optic MZI heaters holding
+switch states, and the receiver electronics. This module totals them per
+tile and per wafer so the energy ablation can report watts alongside the
+per-bit numbers of :mod:`repro.phy.energy` — the operating-cost face of
+the paper's Section 1 argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import (
+    LASER_POWER_DBM,
+    LASERS_PER_TILE,
+    SWITCHES_PER_TILE,
+    TILES_PER_WAFER,
+    WAVELENGTH_RATE_BPS,
+)
+from .units import dbm_to_watts
+
+__all__ = ["TilePowerModel", "TilePowerReport", "WaferPowerReport"]
+
+
+@dataclass(frozen=True)
+class TilePowerReport:
+    """Power drawn by one tile, watts.
+
+    Attributes:
+        laser_w: wall-plug laser power.
+        ring_tuning_w: thermal tuning of the micro-rings.
+        switch_heater_w: MZI heaters holding routes.
+        receiver_w: photodetector/TIA/CDR electronics.
+    """
+
+    laser_w: float
+    ring_tuning_w: float
+    switch_heater_w: float
+    receiver_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Total tile power."""
+        return (
+            self.laser_w + self.ring_tuning_w + self.switch_heater_w + self.receiver_w
+        )
+
+
+@dataclass(frozen=True)
+class WaferPowerReport:
+    """Power drawn by a wafer, with the efficiency headline.
+
+    Attributes:
+        per_tile: the per-tile breakdown.
+        tiles: tiles on the wafer.
+        aggregate_rate_bps: total bandwidth the wafer can move.
+    """
+
+    per_tile: TilePowerReport
+    tiles: int
+    aggregate_rate_bps: float
+
+    @property
+    def total_w(self) -> float:
+        """Total wafer power."""
+        return self.per_tile.total_w * self.tiles
+
+    @property
+    def pj_per_bit(self) -> float:
+        """Wafer-level energy efficiency at full utilization."""
+        if self.aggregate_rate_bps == 0:
+            return float("inf")
+        return self.total_w / self.aggregate_rate_bps * 1e12
+
+
+@dataclass(frozen=True)
+class TilePowerModel:
+    """Per-device power figures for a LIGHTPATH tile.
+
+    Attributes:
+        laser_efficiency: wall-plug efficiency of each laser.
+        ring_tuning_mw: mean thermal tuning power per micro-ring.
+        rings_per_tile: rings needing tuning (one per wavelength at Tx
+            and Rx).
+        switch_heater_mw: holding power per MZI heater.
+        mzis_per_switch: heater-bearing elements per 1x3 switch.
+        receiver_mw_per_lane: receive-electronics power per wavelength.
+    """
+
+    laser_efficiency: float = 0.20
+    ring_tuning_mw: float = 3.0
+    rings_per_tile: int = 2 * LASERS_PER_TILE
+    switch_heater_mw: float = 25.0
+    mzis_per_switch: int = 2
+    receiver_mw_per_lane: float = 150.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.laser_efficiency <= 1.0:
+            raise ValueError("laser efficiency must be in (0, 1]")
+        if min(
+            self.ring_tuning_mw, self.switch_heater_mw, self.receiver_mw_per_lane
+        ) < 0:
+            raise ValueError("power figures cannot be negative")
+
+    def tile_power(
+        self, active_wavelengths: int = LASERS_PER_TILE
+    ) -> TilePowerReport:
+        """Per-tile power with ``active_wavelengths`` lit.
+
+        Raises:
+            ValueError: if more wavelengths than lasers are requested.
+        """
+        if not 0 <= active_wavelengths <= LASERS_PER_TILE:
+            raise ValueError(
+                f"active wavelengths must be in [0, {LASERS_PER_TILE}]"
+            )
+        per_laser_w = dbm_to_watts(LASER_POWER_DBM) / self.laser_efficiency
+        return TilePowerReport(
+            laser_w=active_wavelengths * per_laser_w,
+            ring_tuning_w=self.rings_per_tile * self.ring_tuning_mw * 1e-3,
+            switch_heater_w=(
+                SWITCHES_PER_TILE * self.mzis_per_switch
+                * self.switch_heater_mw * 1e-3
+            ),
+            receiver_w=active_wavelengths * self.receiver_mw_per_lane * 1e-3,
+        )
+
+    def wafer_power(
+        self,
+        tiles: int = TILES_PER_WAFER,
+        active_wavelengths: int = LASERS_PER_TILE,
+    ) -> WaferPowerReport:
+        """Whole-wafer report at the given activity level.
+
+        Raises:
+            ValueError: on a non-positive tile count.
+        """
+        if tiles < 1:
+            raise ValueError("a wafer needs at least one tile")
+        per_tile = self.tile_power(active_wavelengths)
+        return WaferPowerReport(
+            per_tile=per_tile,
+            tiles=tiles,
+            aggregate_rate_bps=tiles * active_wavelengths * WAVELENGTH_RATE_BPS,
+        )

@@ -1,0 +1,91 @@
+"""Unit conversion helpers shared across the physical-layer models.
+
+Internally the repository works in SI units (seconds, bytes, bytes/second,
+watts). The optics literature mixes dB, dBm, Gbps and GB/s; these helpers
+keep every conversion in one audited place.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "gbps_to_bytes_per_s",
+    "bytes_per_s_to_gbps",
+    "gib",
+    "mib",
+    "kib",
+    "us",
+    "ns",
+]
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in decibels to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be positive, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert absolute power in dBm to watts."""
+    return 1e-3 * db_to_linear(dbm)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert absolute power in watts to dBm.
+
+    Raises:
+        ValueError: if ``watts`` is not strictly positive.
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive, got {watts!r}")
+    return linear_to_db(watts / 1e-3)
+
+
+def gbps_to_bytes_per_s(gbps: float) -> float:
+    """Convert gigabits per second to bytes per second."""
+    return gbps * 1e9 / 8.0
+
+
+def bytes_per_s_to_gbps(rate: float) -> float:
+    """Convert bytes per second to gigabits per second."""
+    return rate * 8.0 / 1e9
+
+
+def gib(n: float) -> int:
+    """``n`` gibibytes expressed in bytes."""
+    return int(n * 1024**3)
+
+
+def mib(n: float) -> int:
+    """``n`` mebibytes expressed in bytes."""
+    return int(n * 1024**2)
+
+
+def kib(n: float) -> int:
+    """``n`` kibibytes expressed in bytes."""
+    return int(n * 1024)
+
+
+def us(n: float) -> float:
+    """``n`` microseconds expressed in seconds."""
+    return n * 1e-6
+
+
+def ns(n: float) -> float:
+    """``n`` nanoseconds expressed in seconds."""
+    return n * 1e-9

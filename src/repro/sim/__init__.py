@@ -1,0 +1,32 @@
+"""Discrete-event fluid-flow simulator and workload generators.
+
+Cross-checks the paper's closed-form alpha-beta-r costs by executing
+collective schedules over capacity-limited links with max-min fair
+sharing, so congestion manifests as measured slowdown.
+"""
+
+from .engine import Event, EventEngine, SimulationError
+from .flows import Flow, max_min_rates
+from .network import FlowNetwork, FlowRecord
+from .runner import ScheduleResult, run_concurrent_schedules, run_schedule
+from .telemetry import InstrumentedNetwork, LinkSample, LinkTelemetry
+from .traffic import MoeGatingWorkload, MultiTenantWorkload, TrainingStepWorkload
+
+__all__ = [
+    "Event",
+    "EventEngine",
+    "SimulationError",
+    "Flow",
+    "max_min_rates",
+    "FlowNetwork",
+    "FlowRecord",
+    "ScheduleResult",
+    "InstrumentedNetwork",
+    "LinkSample",
+    "LinkTelemetry",
+    "run_concurrent_schedules",
+    "run_schedule",
+    "MoeGatingWorkload",
+    "MultiTenantWorkload",
+    "TrainingStepWorkload",
+]

@@ -1,0 +1,126 @@
+"""A minimal discrete-event simulation engine.
+
+The benches cross-check the paper's closed-form alpha-beta-r costs against
+an *executed* model: flows progressing over capacity-limited links, with
+congestion emerging from link sharing rather than being asserted. This
+engine provides the core primitives: a monotonic clock, a priority event
+queue, and cancellable scheduled callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventEngine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on clock violations or a runaway simulation."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time_s: absolute simulation time the event fires at.
+        sequence: tie-breaker preserving scheduling order at equal times.
+        action: the callback (ignored by the ordering).
+        cancelled: set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time_s: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing."""
+        self.cancelled = True
+
+
+class EventEngine:
+    """A time-ordered event loop.
+
+    Attributes:
+        now_s: current simulation time, seconds.
+    """
+
+    def __init__(self, max_events: int = 10_000_000):
+        self.now_s = 0.0
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._max_events = max_events
+        self._processed = 0
+
+    def schedule_at(self, time_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute time ``time_s``.
+
+        Raises:
+            SimulationError: if the time is in the past.
+        """
+        if time_s < self.now_s:
+            raise SimulationError(
+                f"cannot schedule at {time_s} before now ({self.now_s})"
+            )
+        event = Event(time_s=time_s, sequence=next(self._sequence), action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` ``delay_s`` seconds from now.
+
+        Raises:
+            SimulationError: on a negative delay.
+        """
+        if delay_s < 0:
+            raise SimulationError(f"negative delay {delay_s}")
+        return self.schedule_at(self.now_s + delay_s, action)
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now_s = event.time_s
+            self._processed += 1
+            if self._processed > self._max_events:
+                raise SimulationError(
+                    f"exceeded {self._max_events} events; runaway simulation?"
+                )
+            event.action()
+            return True
+        return False
+
+    def run(self, until_s: float | None = None) -> float:
+        """Run events (optionally only those at or before ``until_s``).
+
+        Returns:
+            The simulation time after the run.
+        """
+        while self._queue:
+            next_event = self._queue[0]
+            if next_event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until_s is not None and next_event.time_s > until_s:
+                self.now_s = until_s
+                return self.now_s
+            self.step()
+        if until_s is not None:
+            self.now_s = max(self.now_s, until_s)
+        return self.now_s

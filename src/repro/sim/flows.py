@@ -1,0 +1,123 @@
+"""Max-min fair flow rate allocation.
+
+When several transfers share an electrical link they contend; the standard
+model (and the one transport protocols approximate) is max-min fairness
+via progressive filling: repeatedly find the most-constrained link, give
+each flow crossing it an equal share, freeze those flows, reduce the
+remaining capacities, and continue. This is the rate model under which the
+discrete-event runner executes collective schedules, letting the paper's
+congestion (multiple transfers on one link) manifest as measured slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["Flow", "max_min_rates"]
+
+
+@dataclass
+class Flow:
+    """A flow traversing a set of links.
+
+    Attributes:
+        flow_id: caller-chosen identity.
+        links: the links (any hashable ids) the flow crosses.
+        remaining_bytes: bytes left to deliver.
+        demand_bytes_per_s: optional rate cap (e.g. a NIC limit).
+    """
+
+    flow_id: Hashable
+    links: tuple[Hashable, ...]
+    remaining_bytes: float
+    demand_bytes_per_s: float | None = None
+    rate_bytes_per_s: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("a flow must cross at least one link")
+        if self.remaining_bytes < 0:
+            raise ValueError("remaining bytes cannot be negative")
+
+
+def max_min_rates(
+    flows: list[Flow], capacity_bytes_per_s: dict[Hashable, float]
+) -> dict[Hashable, float]:
+    """Compute max-min fair rates for ``flows`` over shared links.
+
+    Args:
+        flows: active flows; each must only reference links present in
+            ``capacity_bytes_per_s``.
+        capacity_bytes_per_s: capacity of each link.
+
+    Returns:
+        Mapping from ``flow_id`` to allocated rate (bytes per second).
+        Flow objects also get their ``rate_bytes_per_s`` updated.
+
+    Raises:
+        KeyError: when a flow references an unknown link.
+        ValueError: on a non-positive link capacity.
+    """
+    for link, cap in capacity_bytes_per_s.items():
+        if cap <= 0:
+            raise ValueError(f"link {link!r} has non-positive capacity {cap}")
+    active = list(flows)
+    for flow in active:
+        for link in flow.links:
+            if link not in capacity_bytes_per_s:
+                raise KeyError(f"flow {flow.flow_id!r} uses unknown link {link!r}")
+    remaining_cap = dict(capacity_bytes_per_s)
+    unfrozen: set[Hashable] = {f.flow_id for f in active}
+    rates: dict[Hashable, float] = {f.flow_id: 0.0 for f in active}
+    by_id = {f.flow_id: f for f in active}
+
+    # Freeze demand-capped flows whose cap is below their fair share as we
+    # go; progressive filling terminates in at most len(flows) rounds.
+    for _ in range(len(active) + len(remaining_cap) + 1):
+        if not unfrozen:
+            break
+        # Share each link's remaining capacity among its unfrozen flows.
+        link_users: dict[Hashable, int] = {}
+        for fid in unfrozen:
+            for link in by_id[fid].links:
+                link_users[link] = link_users.get(link, 0) + 1
+        bottleneck_share = None
+        bottleneck_link = None
+        for link, users in link_users.items():
+            share = remaining_cap[link] / users
+            if bottleneck_share is None or share < bottleneck_share:
+                bottleneck_share = share
+                bottleneck_link = link
+        if bottleneck_share is None:
+            break
+        # Demand caps below the bottleneck share freeze first.
+        capped = [
+            fid
+            for fid in unfrozen
+            if by_id[fid].demand_bytes_per_s is not None
+            and by_id[fid].demand_bytes_per_s < bottleneck_share
+        ]
+        if capped:
+            for fid in capped:
+                flow = by_id[fid]
+                rates[fid] = float(flow.demand_bytes_per_s)
+                for link in flow.links:
+                    remaining_cap[link] -= rates[fid]
+                    remaining_cap[link] = max(remaining_cap[link], 0.0)
+                unfrozen.discard(fid)
+            continue
+        # Freeze every unfrozen flow crossing the bottleneck at the share.
+        frozen_now = [
+            fid for fid in unfrozen if bottleneck_link in by_id[fid].links
+        ]
+        for fid in frozen_now:
+            rates[fid] = bottleneck_share
+            flow = by_id[fid]
+            for link in flow.links:
+                remaining_cap[link] -= bottleneck_share
+                remaining_cap[link] = max(remaining_cap[link], 0.0)
+            unfrozen.discard(fid)
+    for flow in active:
+        flow.rate_bytes_per_s = rates[flow.flow_id]
+    return rates

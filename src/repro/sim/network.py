@@ -1,0 +1,166 @@
+"""Fluid network simulation: flows over capacity-limited links.
+
+Combines the event engine and the max-min rate model into a fluid-flow
+simulator: flows are injected with a byte count and a link set, rates are
+recomputed whenever the flow population changes, and completions fire in
+event order. This is the execution substrate for running collective
+schedules (``repro.sim.runner``) and failure-recovery traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from .engine import EventEngine, SimulationError
+from .flows import Flow, max_min_rates
+
+__all__ = ["FlowNetwork", "FlowRecord"]
+
+
+@dataclass
+class FlowRecord:
+    """Lifecycle record of one flow.
+
+    Attributes:
+        flow: the underlying flow object.
+        start_s: injection time.
+        finish_s: completion time (None while active).
+        on_complete: callback fired (once) at completion time.
+    """
+
+    flow: Flow
+    start_s: float
+    finish_s: float | None = None
+    on_complete: Callable[["FlowRecord"], None] | None = field(
+        default=None, repr=False
+    )
+
+    @property
+    def duration_s(self) -> float:
+        """Completion time minus start (raises while active)."""
+        if self.finish_s is None:
+            raise SimulationError(f"flow {self.flow.flow_id!r} still active")
+        return self.finish_s - self.start_s
+
+
+class FlowNetwork:
+    """Fluid flows over a static set of links.
+
+    Attributes:
+        engine: the event engine driving the simulation.
+        capacities: link capacities, bytes per second.
+    """
+
+    def __init__(self, engine: EventEngine, capacities: dict[Hashable, float]):
+        self.engine = engine
+        self.capacities = dict(capacities)
+        self._active: dict[Hashable, FlowRecord] = {}
+        self._records: list[FlowRecord] = []
+        self._completion_events: dict[Hashable, object] = {}
+        self._last_update_s = engine.now_s
+
+    # -- flow lifecycle -----------------------------------------------------------
+
+    def inject(
+        self,
+        flow: Flow,
+        on_complete: Callable[[FlowRecord], None] | None = None,
+    ) -> FlowRecord:
+        """Add ``flow`` to the network at the current time.
+
+        Args:
+            on_complete: called once, at the flow's completion time.
+
+        Raises:
+            SimulationError: on duplicate flow ids.
+        """
+        if flow.flow_id in self._active:
+            raise SimulationError(f"flow id {flow.flow_id!r} already active")
+        self._advance_progress()
+        record = FlowRecord(
+            flow=flow, start_s=self.engine.now_s, on_complete=on_complete
+        )
+        self._active[flow.flow_id] = record
+        self._records.append(record)
+        self._reschedule()
+        return record
+
+    def active_flow_count(self) -> int:
+        """Flows currently in the network."""
+        return len(self._active)
+
+    @property
+    def records(self) -> list[FlowRecord]:
+        """All flow records, injection-ordered (copy)."""
+        return list(self._records)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _advance_progress(self) -> None:
+        """Debit bytes transferred since the last rate change."""
+        elapsed = self.engine.now_s - self._last_update_s
+        if elapsed > 0:
+            for record in self._active.values():
+                sent = record.flow.rate_bytes_per_s * elapsed
+                record.flow.remaining_bytes = max(
+                    0.0, record.flow.remaining_bytes - sent
+                )
+        self._last_update_s = self.engine.now_s
+
+    def _reschedule(self) -> None:
+        """Recompute rates and (re)schedule every completion event."""
+        for event in self._completion_events.values():
+            event.cancel()
+        self._completion_events.clear()
+        flows = [r.flow for r in self._active.values()]
+        if not flows:
+            return
+        max_min_rates(flows, self.capacities)
+        for record in list(self._active.values()):
+            flow = record.flow
+            if flow.remaining_bytes <= 0:
+                self._complete(flow.flow_id)
+                continue
+            if flow.rate_bytes_per_s <= 0:
+                raise SimulationError(
+                    f"flow {flow.flow_id!r} starved (zero rate); "
+                    "check link capacities"
+                )
+            eta = flow.remaining_bytes / flow.rate_bytes_per_s
+            flow_id = flow.flow_id
+            self._completion_events[flow_id] = self.engine.schedule_after(
+                eta, lambda fid=flow_id: self._on_complete(fid)
+            )
+
+    def _on_complete(self, flow_id: Hashable) -> None:
+        self._advance_progress()
+        # Guard against float drift: the flow may have a sliver left.
+        record = self._active.get(flow_id)
+        if record is not None:
+            record.flow.remaining_bytes = 0.0
+            self._complete(flow_id)
+        self._reschedule()
+
+    def _complete(self, flow_id: Hashable) -> None:
+        record = self._active.pop(flow_id)
+        record.finish_s = self.engine.now_s
+        event = self._completion_events.pop(flow_id, None)
+        if event is not None:
+            event.cancel()
+        if record.on_complete is not None:
+            # Defer to a zero-delay event so callbacks (which may inject
+            # new flows) never re-enter a rate recomputation in progress.
+            callback = record.on_complete
+            self.engine.schedule_after(0.0, lambda: callback(record))
+
+    # -- convenience ------------------------------------------------------------------
+
+    def run_until_idle(self) -> float:
+        """Run the engine until every flow completes; returns the time."""
+        while self._active:
+            if not self.engine.step():
+                raise SimulationError(
+                    f"{len(self._active)} flows active but no events pending"
+                )
+        return self.engine.now_s

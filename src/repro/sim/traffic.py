@@ -1,0 +1,126 @@
+"""Workload traffic generators.
+
+Produces the traffic the paper's motivation names: data-parallel training
+steps dominated by ALLREDUCE (Section 2), multi-tenant racks running one
+collective per slice (Figure 5b), and Mixture-of-Experts inference whose
+"runtime gating function necessitat[es] dynamic programming of circuits"
+(Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..collectives.bucket import bucket_all_reduce_schedule
+from ..collectives.primitives import Interconnect, build_reduce_scatter_schedule
+from ..collectives.schedule import CollectiveSchedule
+from ..core.decentralized import CircuitRequest
+from ..topology.slices import Slice
+from ..topology.torus import Coordinate
+
+__all__ = [
+    "TrainingStepWorkload",
+    "MultiTenantWorkload",
+    "MoeGatingWorkload",
+]
+
+
+@dataclass
+class TrainingStepWorkload:
+    """One data-parallel training step: an ALLREDUCE over the gradients.
+
+    Attributes:
+        slc: the slice the job runs on.
+        gradient_bytes: gradient buffer size per step.
+        steps: number of training steps to generate.
+    """
+
+    slc: Slice
+    gradient_bytes: float
+    steps: int = 1
+
+    def schedules(self, optical: bool = False) -> list[CollectiveSchedule]:
+        """One ALLREDUCE schedule per training step."""
+        if self.steps < 1:
+            raise ValueError("need at least one step")
+        return [
+            bucket_all_reduce_schedule(
+                self.slc,
+                self.gradient_bytes,
+                owner=f"{self.slc.name}/step{i}",
+                optical=optical,
+            )
+            for i in range(self.steps)
+        ]
+
+
+@dataclass
+class MultiTenantWorkload:
+    """Concurrent collectives from every tenant of a rack (Figure 5b).
+
+    Attributes:
+        slices: the tenants' slices.
+        buffer_bytes: per-tenant collective buffer size.
+        interconnect: electrical baseline or steered optics.
+    """
+
+    slices: list[Slice]
+    buffer_bytes: float
+    interconnect: Interconnect = Interconnect.ELECTRICAL
+
+    def schedules(self) -> list[CollectiveSchedule]:
+        """One REDUCESCATTER schedule per tenant, to run concurrently."""
+        if not self.slices:
+            raise ValueError("need at least one tenant")
+        return [
+            build_reduce_scatter_schedule(
+                slc, self.buffer_bytes, self.interconnect
+            )
+            for slc in self.slices
+        ]
+
+
+@dataclass
+class MoeGatingWorkload:
+    """Mixture-of-Experts dispatch: tokens routed to experts at runtime.
+
+    Each batch, every chip hosts one expert; the gating function sends each
+    chip's tokens to ``fanout`` randomly chosen experts, generating circuit
+    requests that are only known at runtime (paper Section 5).
+
+    Attributes:
+        chips: participating chips, in tile order on the LIGHTPATH wafer.
+        fanout: experts each source dispatches to per batch (top-k gating).
+        seed: RNG seed for reproducible gating decisions.
+    """
+
+    chips: list[Coordinate]
+    fanout: int = 2
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.chips) < 2:
+            raise ValueError("MoE needs at least two chips")
+        if not 1 <= self.fanout < len(self.chips):
+            raise ValueError("fanout must be in [1, chips)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def next_batch(self) -> list[CircuitRequest]:
+        """Circuit requests for the next gating decision."""
+        requests = []
+        n = len(self.chips)
+        for i, src in enumerate(self.chips):
+            others = [j for j in range(n) if j != i]
+            picks = self._rng.choice(others, size=self.fanout, replace=False)
+            for j in picks:
+                requests.append(CircuitRequest(src=src, dst=self.chips[int(j)]))
+        return requests
+
+    def batches(self, count: int) -> list[list[CircuitRequest]]:
+        """``count`` consecutive gating decisions."""
+        if count < 1:
+            raise ValueError("need at least one batch")
+        return [self.next_batch() for _ in range(count)]

@@ -1,0 +1,51 @@
+"""Cluster substrate: tori, TPUv4 racks/clusters, slices and baselines.
+
+Implements the deployment the paper analyses in Section 4 — Google's TPUv4
+supercomputer (64 racks of 4x4x4 electrically-wired torus cubes joined by
+optical circuit switches) — plus the two electrical baselines the paper
+argues against: static direct-connect links and the NVSwitch-style big
+switch.
+"""
+
+from .electrical import CongestionReport, ElectricalInterconnect, TransferClaim
+from .jobs import ProvisionedJob, provision_job
+from .ocs import OpticalCircuitSwitch, PortBusy
+from .placement import (
+    PlacementOutcome,
+    PlacementRequest,
+    PlacementScore,
+    compactness_first_placement,
+    score_placement,
+    utilization_aware_placement,
+)
+from .slices import AllocationError, Slice, SliceAllocator
+from .switched import SwitchedServer, SwitchFlow
+from .torus import Coordinate, Link, Torus
+from .tpu import GlobalChipId, TpuCluster, TpuRack
+
+__all__ = [
+    "CongestionReport",
+    "ProvisionedJob",
+    "provision_job",
+    "ElectricalInterconnect",
+    "TransferClaim",
+    "OpticalCircuitSwitch",
+    "PlacementOutcome",
+    "PlacementRequest",
+    "PlacementScore",
+    "compactness_first_placement",
+    "score_placement",
+    "utilization_aware_placement",
+    "PortBusy",
+    "AllocationError",
+    "Slice",
+    "SliceAllocator",
+    "SwitchedServer",
+    "SwitchFlow",
+    "Coordinate",
+    "Link",
+    "Torus",
+    "GlobalChipId",
+    "TpuCluster",
+    "TpuRack",
+]

@@ -1,0 +1,169 @@
+"""Electrical direct-connect interconnect semantics.
+
+This is the baseline the paper argues against (Section 1, Section 4): each
+chip's egress bandwidth is *statically* divided among the torus dimensions'
+links, traffic between non-adjacent chips must be forwarded hop-by-hop
+(consuming the intermediate chips' bandwidth — there is no switching on
+chip), and simultaneous transfers sharing a link contend.
+
+The class tracks per-link occupancy so the congestion definition of
+Section 4.1 ("multiple transfers occur simultaneously on the same link")
+can be evaluated for any set of ring schedules and repair paths.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..phy.constants import CHIP_EGRESS_BYTES
+from .torus import Coordinate, Link, Torus
+
+__all__ = ["ElectricalInterconnect", "TransferClaim", "CongestionReport"]
+
+
+@dataclass(frozen=True)
+class TransferClaim:
+    """One logical transfer occupying a set of directed links.
+
+    Attributes:
+        owner: label of the job/slice/repair the transfer belongs to.
+        links: directed links the transfer occupies simultaneously.
+    """
+
+    owner: str
+    links: tuple[Link, ...]
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Summary of link sharing among the registered transfers.
+
+    Attributes:
+        congested_links: links carrying more than one transfer, with the
+            number of transfers on each.
+        max_multiplicity: worst-case transfers on one link (1 = none).
+    """
+
+    congested_links: dict[Link, int]
+    max_multiplicity: int
+
+    @property
+    def is_congestion_free(self) -> bool:
+        """True when no link carries more than one transfer."""
+        return not self.congested_links
+
+    @property
+    def congested_link_count(self) -> int:
+        """Number of links carrying more than one transfer."""
+        return len(self.congested_links)
+
+
+@dataclass
+class ElectricalInterconnect:
+    """Static electrical torus interconnect with per-link bandwidth.
+
+    Attributes:
+        torus: the underlying torus topology.
+        chip_egress_bytes: total egress bandwidth of one chip, bytes/s.
+    """
+
+    torus: Torus
+    chip_egress_bytes: float = CHIP_EGRESS_BYTES
+    _claims: list[TransferClaim] = field(default_factory=list, repr=False)
+
+    # -- static bandwidth partition -----------------------------------------------
+
+    @property
+    def wired_dimensions(self) -> int:
+        """Dimensions with physical links (extent > 1)."""
+        return sum(1 for s in self.torus.shape if s > 1)
+
+    def link_bandwidth_bytes(self) -> float:
+        """Bandwidth of one directed link, bytes per second.
+
+        The chip's egress is split evenly across wired dimensions; within a
+        dimension, the +/- directions are separate links each carrying the
+        dimension's share (full-duplex SerDes in both directions).
+        """
+        dims = self.wired_dimensions
+        if dims == 0:
+            raise ValueError("torus has no links")
+        return self.chip_egress_bytes / dims
+
+    def per_dimension_bandwidth_bytes(self) -> float:
+        """Egress bandwidth a chip can put into one dimension, bytes/s."""
+        return self.link_bandwidth_bytes()
+
+    # -- transfer registration -------------------------------------------------------
+
+    def claim(self, owner: str, links: list[Link]) -> TransferClaim:
+        """Register a transfer occupying ``links``.
+
+        Raises:
+            ValueError: if any link is not a link of the torus.
+        """
+        for link in links:
+            link.dimension(self.torus.shape)  # validates adjacency
+            if not (self.torus.contains(link.src) and self.torus.contains(link.dst)):
+                raise ValueError(f"{link} is outside the torus")
+        transfer = TransferClaim(owner=owner, links=tuple(links))
+        self._claims.append(transfer)
+        return transfer
+
+    def release(self, owner: str) -> int:
+        """Drop every claim registered under ``owner``; returns count."""
+        before = len(self._claims)
+        self._claims = [c for c in self._claims if c.owner != owner]
+        return before - len(self._claims)
+
+    def clear(self) -> None:
+        """Drop all claims."""
+        self._claims.clear()
+
+    @property
+    def claims(self) -> list[TransferClaim]:
+        """Registered transfers (copy)."""
+        return list(self._claims)
+
+    # -- congestion ---------------------------------------------------------------------
+
+    def congestion(self, extra: list[TransferClaim] | None = None) -> CongestionReport:
+        """Evaluate link sharing among registered (+ hypothetical) transfers.
+
+        Args:
+            extra: transfers to evaluate *in addition to* the registered
+                ones without committing them — used to test candidate
+                repair paths (Figure 6).
+        """
+        counts: Counter[Link] = Counter()
+        for claim in self._claims + list(extra or ()):
+            for link in claim.links:
+                counts[link] += 1
+        congested = {link: n for link, n in counts.items() if n > 1}
+        max_mult = max(counts.values(), default=1)
+        return CongestionReport(congested_links=congested, max_multiplicity=max_mult)
+
+    def link_share_bytes(self, link: Link) -> float:
+        """Fair-share bandwidth a transfer gets on ``link`` right now."""
+        users = sum(
+            1 for claim in self._claims for lnk in claim.links if lnk == link
+        )
+        return self.link_bandwidth_bytes() / max(users, 1)
+
+    # -- forwarding --------------------------------------------------------------------
+
+    def forwarding_chips(self, path: list[Coordinate]) -> list[Coordinate]:
+        """Intermediate chips that must forward traffic on ``path``.
+
+        The paper (Section 4.2) notes electrical chips have no on-chip
+        switching: traffic not destined for a chip is forwarded, consuming
+        its bandwidth. These are the chips paying that cost.
+        """
+        return list(path[1:-1])
+
+    def forwarding_cost_bytes(self, path: list[Coordinate], volume_bytes: float) -> float:
+        """Total chip bandwidth-seconds consumed by forwarding on ``path``."""
+        if volume_bytes < 0:
+            raise ValueError("volume cannot be negative")
+        return volume_bytes * len(self.forwarding_chips(path))

@@ -1,0 +1,164 @@
+"""Multi-rack job provisioning over the OCS fabric (paper Section 4.1).
+
+"A slice optimally utilizes the bandwidth only when it communicates on all
+three dimensions. Note that due to the design of a torus, this can only
+happen when a slice spans multiple racks." This module provisions jobs the
+TPUv4 way: a job large enough to take whole racks gets consecutive racks
+spliced into a longer torus through the per-dimension OCS plane (paying
+the OCS's millisecond reprogramming), and its slice then spans every
+dimension fully — 100 % electrical utilization. Jobs smaller than a rack
+are placed inside one rack and strand bandwidth exactly as Figure 5
+shows, which is the regime where LIGHTPATH's microsecond steering is the
+only fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .slices import Slice
+from .torus import Torus
+from .tpu import TpuCluster
+
+__all__ = ["ProvisionedJob", "provision_job"]
+
+
+@dataclass(frozen=True)
+class ProvisionedJob:
+    """A job placed on the cluster.
+
+    Attributes:
+        name: job label.
+        racks: rack indices the job occupies.
+        torus: the (possibly multi-rack) torus the job sees.
+        slc: the job's slice on that torus.
+        setup_latency_s: fabric reprogramming paid before the job starts
+            (OCS splicing for multi-rack jobs; zero inside one rack).
+    """
+
+    name: str
+    racks: tuple[int, ...]
+    torus: Torus
+    slc: Slice
+    setup_latency_s: float
+
+    @property
+    def spans_racks(self) -> bool:
+        """Whether the job's torus was spliced from several racks."""
+        return len(self.racks) > 1
+
+    @property
+    def electrical_utilization(self) -> float:
+        """Usable bandwidth fraction over static links (the paper rule)."""
+        return self.slc.electrical_utilization()
+
+
+def provision_job(
+    cluster: TpuCluster,
+    name: str,
+    chips: int,
+    first_rack: int = 0,
+    splice_dim: int = 2,
+) -> ProvisionedJob:
+    """Provision a ``chips``-chip job starting at ``first_rack``.
+
+    Jobs of one or more whole racks get consecutive racks OCS-spliced
+    along ``splice_dim`` into a combined torus their slice spans fully.
+    Smaller jobs are placed inside ``first_rack`` as the largest regular
+    shape (full-span dimensions first), stranding whatever the shape
+    cannot span.
+
+    Raises:
+        ValueError: when the request does not tile into the rack geometry
+            or exceeds the cluster.
+    """
+    rack_shape = cluster.rack_shape
+    rack_chips = 1
+    for s in rack_shape:
+        rack_chips *= s
+    if chips < 1:
+        raise ValueError("a job needs at least one chip")
+    if chips >= rack_chips:
+        if chips % rack_chips != 0:
+            raise ValueError(
+                f"multi-rack jobs must be whole racks ({rack_chips} chips); "
+                f"got {chips}"
+            )
+        rack_count = chips // rack_chips
+        if first_rack + rack_count > len(cluster.racks):
+            raise ValueError("not enough racks in the cluster")
+        racks = tuple(range(first_rack, first_rack + rack_count))
+        latency = 0.0
+        for a, b in zip(racks, racks[1:]):
+            latency = max(latency, cluster.join_racks(splice_dim, a, b))
+        if rack_count > 1:
+            # Close the combined torus back to the first rack.
+            latency = max(
+                latency, cluster.join_racks(splice_dim, racks[-1], racks[0])
+            )
+        combined_shape = list(rack_shape)
+        combined_shape[splice_dim] *= rack_count
+        torus = Torus(tuple(combined_shape))
+        slc = Slice(
+            name=name,
+            rack=torus,
+            offset=tuple(0 for _ in combined_shape),
+            shape=tuple(combined_shape),
+        )
+        return ProvisionedJob(
+            name=name,
+            racks=racks,
+            torus=torus,
+            slc=slc,
+            setup_latency_s=latency,
+        )
+    # Sub-rack job: the largest regular box, full-span dimensions first.
+    shape = _sub_rack_shape(chips, rack_shape)
+    torus = cluster.rack(first_rack).torus
+    slc = Slice(
+        name=name,
+        rack=torus,
+        offset=tuple(0 for _ in rack_shape),
+        shape=shape,
+    )
+    return ProvisionedJob(
+        name=name,
+        racks=(first_rack,),
+        torus=torus,
+        slc=slc,
+        setup_latency_s=0.0,
+    )
+
+
+def _sub_rack_shape(
+    chips: int, rack_shape: tuple[int, ...]
+) -> tuple[int, ...]:
+    """The best regular shape for ``chips`` inside one rack.
+
+    Prefers shapes whose non-trivial dimensions span the rack (usable
+    rings), then compactness.
+
+    Raises:
+        ValueError: when no axis-aligned box has exactly ``chips`` chips.
+    """
+    import itertools
+
+    candidates = []
+    for shape in itertools.product(*(range(1, ext + 1) for ext in rack_shape)):
+        volume = 1
+        for s in shape:
+            volume *= s
+        if volume == chips:
+            usable = sum(
+                1
+                for ext, rack_ext in zip(shape, rack_shape)
+                if ext > 1 and ext == rack_ext
+            )
+            candidates.append((-usable, max(shape) - min(shape), shape))
+    if not candidates:
+        raise ValueError(
+            f"{chips} chips do not tile into a regular shape within "
+            f"{rack_shape}"
+        )
+    candidates.sort()
+    return candidates[0][2]

@@ -1,0 +1,87 @@
+"""Optical circuit switch (OCS) model for inter-rack connectivity.
+
+In Google's TPUv4 deployment every face of a rack cube connects, through
+optical circuit switches, to the opposite face of (potentially) another
+rack, composing 4x4x4 cubes into larger tori (paper Section 4, Figure 5a).
+An OCS is a slow crossbar: any input port can be mapped to any output port,
+one-to-one; reprogramming takes milliseconds-to-seconds in deployed OCSes —
+orders of magnitude slower than LIGHTPATH's 3.7 us MZI switching, which is
+the comparison the paper draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["OpticalCircuitSwitch", "PortBusy"]
+
+
+class PortBusy(RuntimeError):
+    """Raised when mapping a port that already carries a circuit."""
+
+
+@dataclass
+class OpticalCircuitSwitch:
+    """A non-blocking one-to-one optical crossbar.
+
+    Ports are identified by arbitrary hashable labels (the TPU cluster uses
+    ``(rack, face, position)`` tuples). The switch keeps a bijective
+    mapping between connected ports.
+
+    Attributes:
+        name: label of the switch.
+        reconfigure_latency_s: time to (re)program one mapping. Deployed
+            datacenter OCSes take ~10s of milliseconds; the default models
+            that, in contrast with LIGHTPATH's microseconds.
+    """
+
+    name: str
+    reconfigure_latency_s: float = 20e-3
+    _mapping: dict[Hashable, Hashable] = field(default_factory=dict, repr=False)
+
+    def connect(self, a: Hashable, b: Hashable) -> None:
+        """Create a bidirectional circuit between ports ``a`` and ``b``.
+
+        Raises:
+            PortBusy: if either port is already mapped.
+            ValueError: if ``a`` and ``b`` are the same port.
+        """
+        if a == b:
+            raise ValueError("cannot map a port to itself")
+        for port in (a, b):
+            if port in self._mapping:
+                raise PortBusy(f"port {port!r} already carries a circuit")
+        self._mapping[a] = b
+        self._mapping[b] = a
+
+    def disconnect(self, port: Hashable) -> None:
+        """Tear down the circuit through ``port`` (no-op if unmapped)."""
+        peer = self._mapping.pop(port, None)
+        if peer is not None:
+            self._mapping.pop(peer, None)
+
+    def peer(self, port: Hashable) -> Hashable | None:
+        """The port currently circuit-connected to ``port``, if any."""
+        return self._mapping.get(port)
+
+    def is_connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether a circuit currently joins ``a`` and ``b``."""
+        return self._mapping.get(a) == b
+
+    @property
+    def circuit_count(self) -> int:
+        """Number of active circuits."""
+        return len(self._mapping) // 2
+
+    def reconfigure(self, a: Hashable, b: Hashable) -> float:
+        """Repoint ``a`` and ``b`` to each other, returning the latency.
+
+        Existing circuits through either port are torn down first. The
+        returned value is the programming latency the caller should charge
+        (seconds).
+        """
+        self.disconnect(a)
+        self.disconnect(b)
+        self.connect(a, b)
+        return self.reconfigure_latency_s

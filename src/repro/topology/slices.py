@@ -1,0 +1,270 @@
+"""Slice allocation over a torus rack (paper Section 4.1, Figure 5b).
+
+A *slice* is the subset of TPU chips leased to one tenant: a regular
+sub-torus of the rack, e.g. Slice-1 = 4x2x1. Tenants run the
+multi-dimensional bucket algorithm over the slice's torus dimensions. The
+paper's central observation is that a slice smaller than the rack cannot
+execute congestion-free rings in every dimension over *static electrical*
+links, stranding up to 66 % of each chip's bandwidth; this module encodes
+the slice geometry and the congestion-freedom rule that produces exactly
+those numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from .torus import Coordinate, Link, Torus
+
+__all__ = ["Slice", "SliceAllocator", "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when a slice cannot be placed on the requested rack region."""
+
+
+@dataclass(frozen=True)
+class Slice:
+    """A tenant slice: a regular sub-torus of a rack.
+
+    Attributes:
+        name: human-readable label ("Slice-1").
+        rack: the rack torus the slice lives in.
+        offset: coordinate of the slice's minimum corner.
+        shape: extent of the slice in each rack dimension.
+    """
+
+    name: str
+    rack: Torus
+    offset: Coordinate
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.offset) != self.rack.ndim or len(self.shape) != self.rack.ndim:
+            raise ValueError("offset/shape dimensionality must match the rack")
+        if any(s < 1 for s in self.shape):
+            raise ValueError("slice extents must be >= 1")
+        for off, ext, rack_ext in zip(self.offset, self.shape, self.rack.shape):
+            if not 0 <= off < rack_ext:
+                raise ValueError(f"offset {self.offset} outside rack")
+            if ext > rack_ext:
+                raise ValueError(
+                    f"slice extent {ext} exceeds rack extent {rack_ext}"
+                )
+
+    # -- membership ----------------------------------------------------------
+
+    def chips(self) -> list[Coordinate]:
+        """All chip coordinates of the slice (with wrap-around placement)."""
+        axes = [
+            [(off + i) % rack_ext for i in range(ext)]
+            for off, ext, rack_ext in zip(self.offset, self.shape, self.rack.shape)
+        ]
+        return [tuple(c) for c in itertools.product(*axes)]
+
+    def contains(self, chip: Coordinate) -> bool:
+        """Whether ``chip`` belongs to the slice."""
+        for c, off, ext, rack_ext in zip(
+            chip, self.offset, self.shape, self.rack.shape
+        ):
+            if (c - off) % rack_ext >= ext:
+                return False
+        return True
+
+    @property
+    def chip_count(self) -> int:
+        """Number of chips in the slice."""
+        count = 1
+        for s in self.shape:
+            count *= s
+        return count
+
+    # -- ring geometry ---------------------------------------------------------
+
+    def ring_nodes(self, dim: int, anchor: Coordinate) -> list[Coordinate]:
+        """Nodes of the slice ring along ``dim`` through ``anchor``.
+
+        The ring visits the slice's chips in coordinate order along the
+        dimension. Whether the *physical* links closing this ring are
+        internal to the slice is a separate question answered by
+        :meth:`dimension_is_congestion_free`.
+        """
+        if not self.contains(anchor):
+            raise ValueError(f"{anchor} is not in slice {self.name}")
+        rack_ext = self.rack.shape[dim]
+        off = self.offset[dim]
+        nodes = []
+        for i in range(self.shape[dim]):
+            coords = list(anchor)
+            coords[dim] = (off + i) % rack_ext
+            nodes.append(tuple(coords))
+        return nodes
+
+    def rings(self, dim: int) -> list[list[Coordinate]]:
+        """All slice rings along ``dim`` (one per cross-section chip)."""
+        if not 0 <= dim < self.rack.ndim:
+            raise ValueError(f"dimension {dim} out of range")
+        cross_axes = [
+            [(off + i) % rack_ext for i in range(ext)] if d != dim else [self.offset[d]]
+            for d, (off, ext, rack_ext) in enumerate(
+                zip(self.offset, self.shape, self.rack.shape)
+            )
+        ]
+        anchors = [tuple(c) for c in itertools.product(*cross_axes)]
+        return [self.ring_nodes(dim, anchor) for anchor in anchors]
+
+    def ring_links(self, dim: int) -> list[Link]:
+        """Directed physical links used by all slice rings along ``dim``.
+
+        A ring that does not span the full rack dimension is closed over
+        the *torus wrap path*, i.e. through chips outside the slice —
+        those foreign links are included, which is how the congestion in
+        Figure 5b arises.
+        """
+        links: list[Link] = []
+        for ring in self.rings(dim):
+            if len(ring) <= 1:
+                continue
+            for a, b in zip(ring, ring[1:]):
+                links.extend(self.physical_hop(a, b, dim))
+            links.extend(self.physical_hop(ring[-1], ring[0], dim))
+        return links
+
+    def physical_hop(self, a: Coordinate, b: Coordinate, dim: int) -> list[Link]:
+        """Physical links realizing the logical ring hop ``a -> b``.
+
+        Adjacent chips map to one link; the ring-closing hop of a slice
+        that does not span the dimension walks the wrap path node by node.
+        """
+        rack_ext = self.rack.shape[dim]
+        delta = (b[dim] - a[dim]) % rack_ext
+        if delta == 0:
+            return []
+        hops: list[Link] = []
+        current = a
+        for _ in range(delta):
+            nxt = self.rack.shift(current, dim, 1)
+            hops.append(Link(current, nxt))
+            current = nxt
+        return hops
+
+    # -- the paper's congestion-freedom rule -----------------------------------
+
+    def dimension_is_congestion_free(self, dim: int) -> bool:
+        """Whether the slice can ring over ``dim`` using only its own links.
+
+        True iff the slice spans the rack's full extent in that dimension
+        (so the wrap link is slice-internal). A dimension of extent 1 has
+        no ring and returns False: the chip bandwidth statically wired to
+        that dimension is stranded — the paper's under-utilization.
+        """
+        if not 0 <= dim < self.rack.ndim:
+            raise ValueError(f"dimension {dim} out of range")
+        if self.shape[dim] == 1:
+            return False
+        return self.shape[dim] == self.rack.shape[dim]
+
+    def usable_dimensions(self) -> list[int]:
+        """Dimensions over which congestion-free rings exist (electrical)."""
+        return [
+            d for d in range(self.rack.ndim) if self.dimension_is_congestion_free(d)
+        ]
+
+    def active_dimensions(self) -> list[int]:
+        """Dimensions with more than one chip (rings the tenant *wants*)."""
+        return [d for d, ext in enumerate(self.shape) if ext > 1]
+
+    def electrical_utilization(self) -> float:
+        """Fraction of per-chip bandwidth usable with static electrical links.
+
+        Each chip's bandwidth is statically split across the rack's
+        dimensions; only congestion-free dimensions contribute. Slice-1
+        (4x2x1 in a 4x4x4 rack) yields 1/3 — the 66 % loss of Figure 5c.
+        """
+        return len(self.usable_dimensions()) / self.rack.ndim
+
+    def optical_utilization(self) -> float:
+        """Fraction of per-chip bandwidth usable with LIGHTPATH steering.
+
+        Optics redirects the stranded dimensions' bandwidth into the
+        active ones (paper Section 4.1), recovering full utilization for
+        any slice that has at least one usable ring.
+        """
+        return 1.0 if self.usable_dimensions() else 0.0
+
+
+@dataclass
+class SliceAllocator:
+    """Places non-overlapping slices on a rack.
+
+    Attributes:
+        rack: the rack torus being partitioned.
+        slices: currently allocated slices, in allocation order.
+    """
+
+    rack: Torus
+    slices: list[Slice] = field(default_factory=list)
+
+    def _occupied(self) -> set[Coordinate]:
+        taken: set[Coordinate] = set()
+        for s in self.slices:
+            taken.update(s.chips())
+        return taken
+
+    def allocate(
+        self, name: str, shape: tuple[int, ...], offset: Coordinate
+    ) -> Slice:
+        """Place a slice of ``shape`` at ``offset``.
+
+        Raises:
+            AllocationError: if any requested chip is already allocated.
+        """
+        candidate = Slice(name=name, rack=self.rack, offset=offset, shape=shape)
+        taken = self._occupied()
+        overlap = [chip for chip in candidate.chips() if chip in taken]
+        if overlap:
+            raise AllocationError(
+                f"slice {name} overlaps {len(overlap)} allocated chips, "
+                f"e.g. {overlap[0]}"
+            )
+        self.slices.append(candidate)
+        return candidate
+
+    def allocate_first_fit(self, name: str, shape: tuple[int, ...]) -> Slice:
+        """Place a slice at the first lexicographic offset that fits.
+
+        Raises:
+            AllocationError: if no placement exists.
+        """
+        taken = self._occupied()
+        for offset in self.rack.nodes():
+            candidate = Slice(name=name, rack=self.rack, offset=offset, shape=shape)
+            if all(chip not in taken for chip in candidate.chips()):
+                self.slices.append(candidate)
+                return candidate
+        raise AllocationError(f"no placement for slice {name} of shape {shape}")
+
+    def release(self, name: str) -> None:
+        """Remove the slice called ``name``.
+
+        Raises:
+            KeyError: if no such slice is allocated.
+        """
+        for i, s in enumerate(self.slices):
+            if s.name == name:
+                del self.slices[i]
+                return
+        raise KeyError(f"no slice named {name!r}")
+
+    def slice_of(self, chip: Coordinate) -> Slice | None:
+        """The slice owning ``chip``, or ``None`` if the chip is free."""
+        for s in self.slices:
+            if s.contains(chip):
+                return s
+        return None
+
+    def free_chips(self) -> list[Coordinate]:
+        """Chips not owned by any slice."""
+        taken = self._occupied()
+        return [chip for chip in self.rack.nodes() if chip not in taken]

@@ -1,0 +1,132 @@
+"""Switched multi-accelerator server baseline (NVSwitch-style big switch).
+
+The paper's Section 1 contrasts LIGHTPATH with *switched* electrical
+servers that present a "big-switch" abstraction (e.g. Nvidia DGX with
+NVSwitch). The abstraction promises contention-free any-to-any bandwidth,
+but the paper cites evidence of host-side contention at modern per-chip
+rates (hundreds of GB/s) [4, 42]. This module models that: an ideal
+crossbar core plus a contention factor that grows with fan-in at a
+destination, so the effective bandwidth degrades exactly where the
+big-switch abstraction breaks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..phy.constants import CHIP_EGRESS_BYTES
+
+__all__ = ["SwitchedServer", "SwitchFlow"]
+
+
+@dataclass(frozen=True)
+class SwitchFlow:
+    """One active flow through the switch.
+
+    Attributes:
+        src: source accelerator index.
+        dst: destination accelerator index.
+        demand_bytes_per_s: offered rate of the flow.
+    """
+
+    src: int
+    dst: int
+    demand_bytes_per_s: float
+
+
+@dataclass
+class SwitchedServer:
+    """A multi-accelerator server built around a central switch.
+
+    Attributes:
+        accelerators: number of attached accelerators.
+        port_bandwidth_bytes: per-accelerator port bandwidth, bytes/s.
+        host_contention_per_flow: fractional per-extra-flow throughput loss
+            at a shared destination port, modelling the receiver-side host
+            congestion of [4]. Zero recovers the ideal big switch.
+    """
+
+    accelerators: int = 8
+    port_bandwidth_bytes: float = CHIP_EGRESS_BYTES
+    host_contention_per_flow: float = 0.1
+    _flows: list[SwitchFlow] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.accelerators < 2:
+            raise ValueError("a switched server needs at least two accelerators")
+        if not 0.0 <= self.host_contention_per_flow < 1.0:
+            raise ValueError("contention factor must be in [0, 1)")
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.accelerators:
+            raise ValueError(f"accelerator {port} outside server of {self.accelerators}")
+
+    def add_flow(self, src: int, dst: int, demand_bytes_per_s: float) -> SwitchFlow:
+        """Register a flow from ``src`` to ``dst``.
+
+        Raises:
+            ValueError: on an invalid port or a self-flow.
+        """
+        self._check_port(src)
+        self._check_port(dst)
+        if src == dst:
+            raise ValueError("flows must cross the switch")
+        if demand_bytes_per_s <= 0:
+            raise ValueError("demand must be positive")
+        flow = SwitchFlow(src, dst, demand_bytes_per_s)
+        self._flows.append(flow)
+        return flow
+
+    def clear(self) -> None:
+        """Remove all flows."""
+        self._flows.clear()
+
+    @property
+    def flows(self) -> list[SwitchFlow]:
+        """Registered flows (copy)."""
+        return list(self._flows)
+
+    def effective_rates(self) -> dict[SwitchFlow, float]:
+        """Achieved rate of every flow, bytes per second.
+
+        Each source port splits its bandwidth across its outgoing flows;
+        each destination port splits across incoming flows and additionally
+        loses ``host_contention_per_flow`` of throughput per extra
+        concurrent inbound flow (host receiver contention). A flow gets
+        the minimum of its demand and both port shares.
+        """
+        out_count = Counter(f.src for f in self._flows)
+        in_count = Counter(f.dst for f in self._flows)
+        rates: dict[SwitchFlow, float] = {}
+        for flow in self._flows:
+            src_share = self.port_bandwidth_bytes / out_count[flow.src]
+            dst_fanin = in_count[flow.dst]
+            contention = max(
+                0.0, 1.0 - self.host_contention_per_flow * (dst_fanin - 1)
+            )
+            dst_share = self.port_bandwidth_bytes / dst_fanin * contention
+            rates[flow] = min(flow.demand_bytes_per_s, src_share, dst_share)
+        return rates
+
+    def aggregate_throughput_bytes(self) -> float:
+        """Sum of achieved flow rates, bytes per second."""
+        return sum(self.effective_rates().values())
+
+    def ideal_throughput_bytes(self) -> float:
+        """Throughput of the same flows on an ideal contention-free switch."""
+        out_count = Counter(f.src for f in self._flows)
+        in_count = Counter(f.dst for f in self._flows)
+        total = 0.0
+        for flow in self._flows:
+            src_share = self.port_bandwidth_bytes / out_count[flow.src]
+            dst_share = self.port_bandwidth_bytes / in_count[flow.dst]
+            total += min(flow.demand_bytes_per_s, src_share, dst_share)
+        return total
+
+    def contention_loss_fraction(self) -> float:
+        """Fraction of ideal throughput lost to host contention."""
+        ideal = self.ideal_throughput_bytes()
+        if ideal == 0.0:
+            return 0.0
+        return 1.0 - self.aggregate_throughput_bytes() / ideal

@@ -1,0 +1,271 @@
+"""Generic N-dimensional torus topology.
+
+The TPUv4 substrate the paper analyses (Section 4, Figure 5a) is built from
+3D tori: each rack is a 4x4x4 torus of TPU chips, and optical circuit
+switches compose racks into larger tori. This module provides the
+dimension-agnostic torus machinery — coordinates, directed links, rings
+along a dimension, and path enumeration — on which the TPU cluster model,
+slice allocator and congestion analysis are built.
+
+Nodes are coordinate tuples; links are directed (a bidirectional cable is
+two links), matching how the collective algorithms consume bandwidth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["Coordinate", "Link", "Torus"]
+
+Coordinate = tuple[int, ...]
+
+
+@dataclass(frozen=True, order=True)
+class Link:
+    """A directed torus link from ``src`` to ``dst``.
+
+    Attributes:
+        src: transmitting node coordinate.
+        dst: receiving node coordinate.
+    """
+
+    src: Coordinate
+    dst: Coordinate
+
+    @property
+    def reverse(self) -> "Link":
+        """The link in the opposite direction."""
+        return Link(self.dst, self.src)
+
+    def dimension(self, shape: tuple[int, ...]) -> int:
+        """Index of the (single) dimension along which the link runs.
+
+        Raises:
+            ValueError: if the endpoints are not torus neighbours.
+        """
+        diffs = [
+            d
+            for d, (a, b) in enumerate(zip(self.src, self.dst))
+            if a != b
+        ]
+        if len(diffs) != 1:
+            raise ValueError(f"{self} does not run along a single dimension")
+        d = diffs[0]
+        delta = (self.dst[d] - self.src[d]) % shape[d]
+        if delta not in (1, shape[d] - 1):
+            raise ValueError(f"{self} endpoints are not neighbours")
+        return d
+
+
+class Torus:
+    """An N-dimensional wrap-around torus.
+
+    Attributes:
+        shape: extent of each dimension, e.g. ``(4, 4, 4)`` for a TPUv4 rack.
+    """
+
+    def __init__(self, shape: Iterable[int]):
+        shape = tuple(int(s) for s in shape)
+        if not shape:
+            raise ValueError("a torus needs at least one dimension")
+        if any(s < 1 for s in shape):
+            raise ValueError(f"all extents must be >= 1, got {shape}")
+        self.shape: tuple[int, ...] = shape
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes in the torus."""
+        count = 1
+        for s in self.shape:
+            count *= s
+        return count
+
+    def nodes(self) -> Iterator[Coordinate]:
+        """All node coordinates, in lexicographic order."""
+        return itertools.product(*(range(s) for s in self.shape))
+
+    def contains(self, node: Coordinate) -> bool:
+        """Whether ``node`` is a valid coordinate of this torus."""
+        return len(node) == self.ndim and all(
+            0 <= c < s for c, s in zip(node, self.shape)
+        )
+
+    def _require(self, node: Coordinate) -> None:
+        if not self.contains(node):
+            raise ValueError(f"{node} is not a node of torus {self.shape}")
+
+    # -- adjacency ----------------------------------------------------------
+
+    def shift(self, node: Coordinate, dim: int, delta: int) -> Coordinate:
+        """The node ``delta`` steps from ``node`` along ``dim`` (with wrap)."""
+        self._require(node)
+        if not 0 <= dim < self.ndim:
+            raise ValueError(f"dimension {dim} out of range")
+        coords = list(node)
+        coords[dim] = (coords[dim] + delta) % self.shape[dim]
+        return tuple(coords)
+
+    def neighbors(self, node: Coordinate) -> list[Coordinate]:
+        """Distinct neighbours of ``node`` across all dimensions."""
+        self._require(node)
+        result: list[Coordinate] = []
+        seen: set[Coordinate] = {node}
+        for dim in range(self.ndim):
+            if self.shape[dim] == 1:
+                continue
+            for delta in (1, -1):
+                other = self.shift(node, dim, delta)
+                if other not in seen:
+                    seen.add(other)
+                    result.append(other)
+        return result
+
+    def links(self) -> Iterator[Link]:
+        """Every directed link of the torus.
+
+        A dimension of extent 1 contributes no links; a dimension of extent
+        2 contributes one cable (two directed links) per node pair.
+        """
+        for node in self.nodes():
+            for dim in range(self.ndim):
+                extent = self.shape[dim]
+                if extent == 1:
+                    continue
+                if extent == 2 and node[dim] == 1:
+                    # The single cable of an extent-2 dimension was already
+                    # emitted (both directions) from the coord-0 endpoint.
+                    continue
+                succ = self.shift(node, dim, 1)
+                yield Link(node, succ)
+                yield Link(succ, node)
+
+    def link_count(self) -> int:
+        """Number of directed links."""
+        return sum(1 for _ in self.links())
+
+    # -- rings ---------------------------------------------------------------
+
+    def ring(self, dim: int, anchor: Coordinate) -> list[Coordinate]:
+        """The full torus ring along ``dim`` passing through ``anchor``.
+
+        Returns the nodes in send order starting at ``anchor``; the ring
+        closes from the last node back to ``anchor``.
+        """
+        self._require(anchor)
+        if not 0 <= dim < self.ndim:
+            raise ValueError(f"dimension {dim} out of range")
+        return [
+            self.shift(anchor, dim, step) for step in range(self.shape[dim])
+        ]
+
+    def ring_links(self, ring_nodes: list[Coordinate]) -> list[Link]:
+        """Directed links consumed by a unidirectional ring over the nodes.
+
+        A two-node ring uses the cable in both directions; a one-node ring
+        uses nothing.
+        """
+        if len(ring_nodes) <= 1:
+            return []
+        return [
+            Link(ring_nodes[i], ring_nodes[(i + 1) % len(ring_nodes)])
+            for i in range(len(ring_nodes))
+        ]
+
+    # -- paths ---------------------------------------------------------------
+
+    def shortest_path(
+        self,
+        src: Coordinate,
+        dst: Coordinate,
+        forbidden_nodes: set[Coordinate] | None = None,
+        forbidden_links: set[Link] | None = None,
+    ) -> list[Coordinate] | None:
+        """BFS shortest path from ``src`` to ``dst``.
+
+        Args:
+            forbidden_nodes: intermediate nodes the path may not traverse
+                (``src`` and ``dst`` are always allowed).
+            forbidden_links: directed links the path may not use.
+
+        Returns:
+            The node sequence including endpoints, or ``None`` when no path
+            exists under the constraints.
+        """
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            return [src]
+        blocked_nodes = set(forbidden_nodes or ())
+        blocked_links = set(forbidden_links or ())
+        frontier = [src]
+        parents: dict[Coordinate, Coordinate] = {src: src}
+        while frontier:
+            nxt: list[Coordinate] = []
+            for node in frontier:
+                for nb in self.neighbors(node):
+                    if nb in parents:
+                        continue
+                    if Link(node, nb) in blocked_links:
+                        continue
+                    if nb != dst and nb in blocked_nodes:
+                        continue
+                    parents[nb] = node
+                    if nb == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        return path
+                    nxt.append(nb)
+            frontier = nxt
+        return None
+
+    def all_paths(
+        self,
+        src: Coordinate,
+        dst: Coordinate,
+        max_hops: int,
+        forbidden_nodes: set[Coordinate] | None = None,
+    ) -> Iterator[list[Coordinate]]:
+        """Enumerate simple paths from ``src`` to ``dst`` up to ``max_hops``.
+
+        Used by the failure analysis (Figure 6a) to *exhaustively* show
+        that every replacement path congests a neighbouring slice.
+        """
+        self._require(src)
+        self._require(dst)
+        blocked = set(forbidden_nodes or ())
+
+        def extend(path: list[Coordinate]) -> Iterator[list[Coordinate]]:
+            tail = path[-1]
+            if tail == dst:
+                yield list(path)
+                return
+            if len(path) > max_hops:
+                return
+            for nb in self.neighbors(tail):
+                if nb in path:
+                    continue
+                if nb != dst and nb in blocked:
+                    continue
+                path.append(nb)
+                yield from extend(path)
+                path.pop()
+
+        yield from extend([src])
+
+    def path_links(self, path: list[Coordinate]) -> list[Link]:
+        """Directed links used by a node path."""
+        return [Link(a, b) for a, b in zip(path, path[1:])]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Torus(shape={self.shape})"

@@ -1,0 +1,270 @@
+"""TPUv4-style rack and cluster substrate (paper Section 4, Figure 5a).
+
+The paper grounds its analysis in Google's TPUv4 supercomputer: 64 racks,
+each a 4x4x4 electrical 3D torus of TPU chips grouped four-per-server, with
+optical circuit switches joining opposite rack faces so racks compose into
+larger tori. This module builds that structure:
+
+* :class:`TpuRack` — one 4x4x4 cube with server grouping,
+* :class:`TpuCluster` — racks plus per-dimension OCS planes and global chip
+  addressing,
+* wrap-around "face ports" through which inter-rack Z/Y/X circuits run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..phy.constants import (
+    CHIPS_PER_SERVER,
+    RACK_SHAPE,
+    RACKS_PER_CLUSTER,
+    SERVERS_PER_RACK,
+)
+from .ocs import OpticalCircuitSwitch
+from .torus import Coordinate, Torus
+
+__all__ = ["GlobalChipId", "TpuRack", "TpuCluster"]
+
+
+@dataclass(frozen=True, order=True)
+class GlobalChipId:
+    """Cluster-wide identity of one TPU chip.
+
+    Attributes:
+        rack: rack index in the cluster.
+        coord: chip coordinate within the rack torus.
+    """
+
+    rack: int
+    coord: Coordinate
+
+
+class TpuRack:
+    """One TPUv4 rack: a 4x4x4 torus of chips grouped into servers.
+
+    Server grouping follows the paper's description of 16 servers with 4
+    TPUs each: servers tile the cube in 2x2x1 blocks, so chips
+    ``(x, y, z)`` and ``(x', y', z)`` share a board iff they share
+    ``(x // 2, y // 2, z)``.
+
+    Attributes:
+        index: rack index within the cluster.
+        torus: the rack's electrical torus.
+    """
+
+    SERVER_BLOCK = (2, 2, 1)
+
+    def __init__(self, index: int, shape: tuple[int, ...] = RACK_SHAPE):
+        if index < 0:
+            raise ValueError("rack index cannot be negative")
+        self.index = index
+        self.torus = Torus(shape)
+        self._failed: set[Coordinate] = set()
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Extent of the rack torus."""
+        return self.torus.shape
+
+    @property
+    def chip_count(self) -> int:
+        """Chips in the rack."""
+        return self.torus.node_count
+
+    # -- server grouping -------------------------------------------------------
+
+    def server_of(self, chip: Coordinate) -> tuple[int, ...]:
+        """Identifier of the server board hosting ``chip``."""
+        if not self.torus.contains(chip):
+            raise ValueError(f"{chip} is not in rack {self.index}")
+        return tuple(c // b for c, b in zip(chip, self.SERVER_BLOCK))
+
+    def server_chips(self, server: tuple[int, ...]) -> list[Coordinate]:
+        """Chips on server board ``server``."""
+        axes = [
+            range(s * b, min((s + 1) * b, ext))
+            for s, b, ext in zip(server, self.SERVER_BLOCK, self.shape)
+        ]
+        chips = [tuple(c) for c in itertools.product(*axes)]
+        if not chips or any(not self.torus.contains(c) for c in chips):
+            raise ValueError(f"{server} is not a server of rack {self.index}")
+        return chips
+
+    def servers(self) -> list[tuple[int, ...]]:
+        """All server identifiers in the rack."""
+        axes = [
+            range((ext + b - 1) // b) for ext, b in zip(self.shape, self.SERVER_BLOCK)
+        ]
+        return [tuple(s) for s in itertools.product(*axes)]
+
+    def validate_paper_geometry(self) -> None:
+        """Assert the rack matches the paper's 16 servers x 4 chips.
+
+        Raises:
+            AssertionError: if the geometry deviates.
+        """
+        servers = self.servers()
+        if len(servers) != SERVERS_PER_RACK:
+            raise AssertionError(f"{len(servers)} servers != {SERVERS_PER_RACK}")
+        for server in servers:
+            chips = self.server_chips(server)
+            if len(chips) != CHIPS_PER_SERVER:
+                raise AssertionError(
+                    f"server {server} has {len(chips)} chips != {CHIPS_PER_SERVER}"
+                )
+
+    # -- failures ---------------------------------------------------------------
+
+    def fail_chip(self, chip: Coordinate) -> None:
+        """Mark ``chip`` failed."""
+        if not self.torus.contains(chip):
+            raise ValueError(f"{chip} is not in rack {self.index}")
+        self._failed.add(chip)
+
+    def repair_chip(self, chip: Coordinate) -> None:
+        """Clear the failure on ``chip``."""
+        self._failed.discard(chip)
+
+    def is_failed(self, chip: Coordinate) -> bool:
+        """Whether ``chip`` is currently failed."""
+        return chip in self._failed
+
+    def failed_chips(self) -> set[Coordinate]:
+        """All currently failed chips."""
+        return set(self._failed)
+
+    # -- face ports ---------------------------------------------------------------
+
+    def face_ports(self, dim: int) -> list[tuple[Coordinate, Coordinate]]:
+        """Pairs of opposite-face chips whose wrap link leaves the rack.
+
+        In TPUv4 the wrap-around links of each dimension are carried
+        optically through OCSes, which lets racks chain into longer tori.
+        Returns ``(low_face_chip, high_face_chip)`` pairs for ``dim``.
+        """
+        if not 0 <= dim < self.torus.ndim:
+            raise ValueError(f"dimension {dim} out of range")
+        cross = [
+            range(ext) if d != dim else [0]
+            for d, ext in enumerate(self.shape)
+        ]
+        pairs = []
+        for anchor in itertools.product(*cross):
+            low = tuple(anchor)
+            high = self.torus.shift(low, dim, self.shape[dim] - 1)
+            pairs.append((low, high))
+        return pairs
+
+
+@dataclass
+class TpuCluster:
+    """A TPUv4-style cluster: racks joined per-dimension by OCS planes.
+
+    The default builds the paper's 64-rack, 4096-chip deployment. Racks are
+    logically arranged on a line per dimension; an OCS plane per dimension
+    can splice consecutive racks' wrap links into longer tori (Figure 5a).
+
+    Attributes:
+        racks: the rack objects.
+        ocs_planes: one OCS per torus dimension.
+    """
+
+    rack_count: int = RACKS_PER_CLUSTER
+    rack_shape: tuple[int, ...] = RACK_SHAPE
+    racks: list[TpuRack] = field(default_factory=list)
+    ocs_planes: dict[int, OpticalCircuitSwitch] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rack_count < 1:
+            raise ValueError("a cluster needs at least one rack")
+        if not self.racks:
+            self.racks = [TpuRack(i, self.rack_shape) for i in range(self.rack_count)]
+        if not self.ocs_planes:
+            self.ocs_planes = {
+                d: OpticalCircuitSwitch(name=f"ocs-dim{d}")
+                for d in range(len(self.rack_shape))
+            }
+
+    @property
+    def chip_count(self) -> int:
+        """Total chips in the cluster."""
+        return sum(rack.chip_count for rack in self.racks)
+
+    def chip_ids(self) -> list[GlobalChipId]:
+        """Every chip in the cluster, rack-major order."""
+        return [
+            GlobalChipId(rack.index, coord)
+            for rack in self.racks
+            for coord in rack.torus.nodes()
+        ]
+
+    def rack(self, index: int) -> TpuRack:
+        """The rack at ``index``.
+
+        Raises:
+            IndexError: if the index is out of range.
+        """
+        if not 0 <= index < len(self.racks):
+            raise IndexError(f"rack {index} outside cluster of {len(self.racks)}")
+        return self.racks[index]
+
+    # -- inter-rack composition ----------------------------------------------------
+
+    def join_racks(self, dim: int, rack_a: int, rack_b: int) -> float:
+        """Splice racks ``a`` and ``b`` into a longer torus along ``dim``.
+
+        Programs the dimension's OCS so that rack A's high face connects to
+        rack B's low face, port-by-port (and B's high face back to A's low
+        face, closing the combined torus). Returns the OCS programming
+        latency charged.
+
+        Raises:
+            KeyError / IndexError: on unknown dimension or rack.
+        """
+        ocs = self.ocs_planes[dim]
+        a, b = self.rack(rack_a), self.rack(rack_b)
+        latency = 0.0
+        for (a_low, a_high), (b_low, b_high) in zip(
+            a.face_ports(dim), b.face_ports(dim)
+        ):
+            latency = max(
+                latency,
+                ocs.reconfigure((rack_a, dim, "high", a_high), (rack_b, dim, "low", b_low)),
+            )
+            latency = max(
+                latency,
+                ocs.reconfigure((rack_b, dim, "high", b_high), (rack_a, dim, "low", a_low)),
+            )
+        return latency
+
+    def racks_joined(self, dim: int, rack_a: int, rack_b: int) -> bool:
+        """Whether A's high face currently feeds B's low face along ``dim``."""
+        ocs = self.ocs_planes[dim]
+        a = self.rack(rack_a)
+        for a_low, a_high in a.face_ports(dim):
+            peer = ocs.peer((rack_a, dim, "high", a_high))
+            if peer is None or peer[0] != rack_b or peer[2] != "low":
+                return False
+        return True
+
+    def isolate_rack(self, dim: int, rack_index: int) -> None:
+        """Tear down every inter-rack circuit of ``rack_index`` along ``dim``.
+
+        With no external circuit, the rack's wrap links close internally —
+        the rack reverts to a standalone 4x4x4 torus.
+        """
+        ocs = self.ocs_planes[dim]
+        rack = self.rack(rack_index)
+        for low, high in rack.face_ports(dim):
+            ocs.disconnect((rack_index, dim, "high", high))
+            ocs.disconnect((rack_index, dim, "low", low))
+
+    def failed_chips(self) -> list[GlobalChipId]:
+        """All failed chips across the cluster."""
+        return [
+            GlobalChipId(rack.index, coord)
+            for rack in self.racks
+            for coord in sorted(rack.failed_chips())
+        ]

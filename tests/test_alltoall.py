@@ -1,0 +1,133 @@
+"""Tests for ALLTOALL strategies (paper Section 5)."""
+
+import pytest
+
+from repro.collectives.alltoall import (
+    alltoall_electrical_schedule,
+    alltoall_optical_cost,
+    alltoall_optical_schedule,
+    alltoall_ring_cost,
+    alltoall_ring_schedule,
+)
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def rack():
+    return Torus((4, 4, 4))
+
+
+def slice3(rack):
+    return Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 4, 1))
+
+
+class TestCosts:
+    def test_optical_cost_terms(self):
+        cost = alltoall_optical_cost(8)
+        assert cost.alpha_count == 7
+        assert cost.reconfig_count == 7
+        assert cost.beta_factor == pytest.approx(7 / 8)
+
+    def test_ring_cost_quadratically_worse(self):
+        optical = alltoall_optical_cost(16)
+        ring = alltoall_ring_cost(16)
+        assert ring.beta_factor / optical.beta_factor == pytest.approx(16 / 2)
+
+    def test_ring_cost_formula(self):
+        assert alltoall_ring_cost(8).beta_factor == pytest.approx(3.5)
+
+    def test_small_p_rejected(self):
+        with pytest.raises(ValueError):
+            alltoall_optical_cost(1)
+        with pytest.raises(ValueError):
+            alltoall_ring_cost(0)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            alltoall_optical_cost(4, 0.0)
+        with pytest.raises(ValueError):
+            alltoall_ring_cost(4, 2.0)
+
+
+class TestOpticalSchedule:
+    def chips(self):
+        return [(0, i, 0) for i in range(8)]
+
+    def test_round_count(self):
+        schedule = alltoall_optical_schedule(self.chips(), 800.0)
+        assert len(schedule.phases) == 7
+
+    def test_each_round_is_a_permutation(self):
+        schedule = alltoall_optical_schedule(self.chips(), 800.0)
+        for phase in schedule.phases:
+            sources = [t.src for t in phase.transfers]
+            destinations = [t.dst for t in phase.transfers]
+            assert len(set(sources)) == 8
+            assert len(set(destinations)) == 8
+
+    def test_every_pair_served_once(self):
+        chips = self.chips()
+        schedule = alltoall_optical_schedule(chips, 800.0)
+        pairs = {
+            (t.src, t.dst) for p in schedule.phases for t in p.transfers
+        }
+        assert len(pairs) == 8 * 7
+
+    def test_rounds_are_congestion_free(self):
+        schedule = alltoall_optical_schedule(self.chips(), 800.0)
+        assert schedule.is_congestion_free
+
+    def test_reconfig_per_round(self):
+        schedule = alltoall_optical_schedule(self.chips(), 800.0)
+        assert schedule.reconfiguration_count == 7
+
+    def test_shard_size(self):
+        schedule = alltoall_optical_schedule(self.chips(), 800.0)
+        assert schedule.phases[0].transfers[0].n_bytes == pytest.approx(100.0)
+
+    def test_duplicate_chips_rejected(self):
+        with pytest.raises(ValueError):
+            alltoall_optical_schedule([(0, 0, 0), (0, 0, 0)], 1.0)
+
+
+class TestElectricalSchedule:
+    def test_all_pairs_present(self, rack):
+        slc = slice3(rack)
+        schedule = alltoall_electrical_schedule(slc, 1600.0)
+        assert len(schedule.phases) == 1
+        assert len(schedule.phases[0].transfers) == 16 * 15
+
+    def test_direct_alltoall_congests(self, rack):
+        # The Section 5 claim: all-to-all on a static torus shares links.
+        slc = slice3(rack)
+        schedule = alltoall_electrical_schedule(slc, 1600.0)
+        assert not schedule.is_congestion_free
+
+    def test_paths_are_torus_walks(self, rack):
+        slc = slice3(rack)
+        schedule = alltoall_electrical_schedule(slc, 1600.0)
+        for transfer in schedule.phases[0].transfers:
+            for a, b in zip(transfer.path, transfer.path[1:]):
+                assert b in slc.rack.neighbors(a)
+
+
+class TestRingSchedule:
+    def test_step_count(self, rack):
+        schedule = alltoall_ring_schedule(slice3(rack), 1600.0)
+        assert len(schedule.phases) == 15
+
+    def test_in_flight_volume_shrinks(self, rack):
+        schedule = alltoall_ring_schedule(slice3(rack), 1600.0)
+        volumes = [p.transfers[0].n_bytes for p in schedule.phases]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_total_bytes_exceed_optical(self, rack):
+        slc = slice3(rack)
+        ring = alltoall_ring_schedule(slc, 1600.0)
+        optical = alltoall_optical_schedule(slc.chips(), 1600.0)
+        assert ring.total_bytes > optical.total_bytes
+
+    def test_congestion_free_on_dedicated_ring(self, rack):
+        schedule = alltoall_ring_schedule(slice3(rack), 1600.0)
+        assert schedule.is_congestion_free

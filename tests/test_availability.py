@@ -1,0 +1,72 @@
+"""Tests for the availability replay (Section 4.2 integrated view)."""
+
+import pytest
+
+from repro.failures.availability import replay_trace
+from repro.failures.inject import FailureEvent
+from repro.topology.tpu import GlobalChipId
+
+HOUR = 3600.0
+
+
+def event(t, rack=0, coord=(0, 0, 0)):
+    return FailureEvent(time_s=t, chip=GlobalChipId(rack, coord))
+
+
+class TestReplay:
+    def test_no_failures_full_availability(self):
+        rack_report, optical_report = replay_trace([], 4096, 24 * HOUR)
+        assert rack_report.mean_availability == 1.0
+        assert optical_report.mean_availability == 1.0
+
+    def test_single_failure_costs_rack_minutes(self):
+        rack_report, optical_report = replay_trace(
+            [event(HOUR)], 4096, 24 * HOUR
+        )
+        # Rack policy: 64 chips out for ~600 s, then 1 chip forever.
+        expected_rack = 64 * 600.02 + 1 * (23 * HOUR - 600.02)
+        assert rack_report.lost_chip_seconds == pytest.approx(
+            expected_rack, rel=1e-3
+        )
+        # Optical: 4 chips for 3.7 us, then 1 chip forever.
+        expected_optical = 4 * 3.7e-6 + 1 * (23 * HOUR - 3.7e-6)
+        assert optical_report.lost_chip_seconds == pytest.approx(
+            expected_optical, rel=1e-3
+        )
+
+    def test_optical_availability_strictly_better(self):
+        events = [event(i * HOUR, rack=i) for i in range(5)]
+        rack_report, optical_report = replay_trace(events, 4096, 24 * HOUR)
+        assert optical_report.mean_availability > rack_report.mean_availability
+
+    def test_timeline_covers_horizon(self):
+        events = [event(HOUR), event(5 * HOUR, rack=1)]
+        rack_report, _ = replay_trace(events, 4096, 24 * HOUR)
+        assert rack_report.timeline[0].start_s == 0.0
+        assert rack_report.timeline[-1].end_s == 24 * HOUR
+        for a, b in zip(rack_report.timeline, rack_report.timeline[1:]):
+            assert a.end_s == b.start_s
+
+    def test_capacity_never_exceeds_total(self):
+        events = [event(i * HOUR, rack=i) for i in range(8)]
+        rack_report, optical_report = replay_trace(events, 4096, 24 * HOUR)
+        for report in (rack_report, optical_report):
+            for point in report.timeline:
+                assert point.available_chips <= report.total_chips
+
+    def test_overlapping_outages_stack(self):
+        # Two failures 100 s apart: both racks out simultaneously.
+        events = [event(HOUR), event(HOUR + 100.0, rack=1)]
+        rack_report, _ = replay_trace(events, 4096, 24 * HOUR)
+        lowest = min(p.available_chips for p in rack_report.timeline)
+        assert lowest <= 4096 - 128
+
+    def test_failures_beyond_horizon_ignored(self):
+        rack_report, _ = replay_trace([event(48 * HOUR)], 4096, 24 * HOUR)
+        assert rack_report.lost_chip_seconds == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replay_trace([], 0, 10.0)
+        with pytest.raises(ValueError):
+            replay_trace([], 10, 0.0)

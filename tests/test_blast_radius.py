@@ -1,0 +1,68 @@
+"""Tests for blast-radius metrics (Section 4.2)."""
+
+import pytest
+
+from repro.failures.blast_radius import (
+    OpticalRepairPolicy,
+    compare_policies,
+    improvement_factor,
+)
+from repro.failures.inject import FleetFailureModel
+from repro.failures.recovery import RackMigrationPolicy
+from repro.topology.tpu import TpuCluster
+
+
+def sample_events(n_racks=8, seed=0):
+    cluster = TpuCluster(rack_count=n_racks)
+    return FleetFailureModel(cluster, seed=seed).sample_failures(90 * 24 * 3600.0)
+
+
+class TestPolicies:
+    def test_optical_blast_radius_is_server(self):
+        assert OpticalRepairPolicy().blast_radius_chips() == 4
+
+    def test_optical_recovery_is_microseconds(self):
+        assert OpticalRepairPolicy().recovery_latency_s() == pytest.approx(3.7e-6)
+
+    def test_rack_policy_is_64_chips(self):
+        assert RackMigrationPolicy().blast_radius_chips() == 64
+
+
+class TestComparison:
+    def test_reports_cover_same_failures(self):
+        events = sample_events()
+        rack_report, optical_report = compare_policies(events)
+        assert rack_report.failures == optical_report.failures == len(events)
+
+    def test_blast_radius_shrinks_16x(self):
+        events = sample_events()
+        rack_report, optical_report = compare_policies(events)
+        assert improvement_factor(rack_report, optical_report) == pytest.approx(
+            64 / 4
+        )
+
+    def test_chip_impact_scales_with_failures(self):
+        events = sample_events()
+        rack_report, _ = compare_policies(events)
+        assert rack_report.total_chip_impact == 64 * len(events)
+
+    def test_downtime_gap_is_enormous(self):
+        events = sample_events()
+        rack_report, optical_report = compare_policies(events)
+        if events:
+            assert rack_report.total_downtime_s / optical_report.total_downtime_s > 1e6
+
+    def test_lost_chip_seconds_consistent(self):
+        events = sample_events()
+        rack_report, optical_report = compare_policies(events)
+        assert rack_report.lost_chip_seconds == pytest.approx(
+            rack_report.total_chip_impact * RackMigrationPolicy().recovery_latency_s()
+        )
+        assert optical_report.lost_chip_seconds == pytest.approx(
+            optical_report.total_chip_impact * OpticalRepairPolicy().recovery_latency_s()
+        )
+
+    def test_empty_trace(self):
+        rack_report, optical_report = compare_policies([])
+        assert rack_report.failures == 0
+        assert improvement_factor(rack_report, optical_report) == float("inf")

@@ -1,0 +1,120 @@
+"""Tests for multi-dimensional bucket algorithm schedules."""
+
+import pytest
+
+from repro.collectives.bucket import (
+    bucket_all_gather_schedule,
+    bucket_all_reduce_schedule,
+    bucket_reduce_scatter_schedule,
+    simultaneous_bucket_schedules,
+)
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def rack():
+    return Torus((4, 4, 4))
+
+
+def slice3(rack):
+    return Slice(name="Slice-3", rack=rack, offset=(0, 0, 0), shape=(4, 4, 1))
+
+
+class TestReduceScatter:
+    def test_phase_count(self, rack):
+        schedule = bucket_reduce_scatter_schedule(slice3(rack), 1600.0)
+        # Two stages of (4 - 1) steps each.
+        assert len(schedule.phases) == 6
+
+    def test_stage_buffer_shrinkage(self, rack):
+        schedule = bucket_reduce_scatter_schedule(slice3(rack), 1600.0)
+        # Stage 1 steps move N/4 per ring hop; stage 2 moves (N/4)/4.
+        first_stage = schedule.phases[0].transfers[0].n_bytes
+        second_stage = schedule.phases[3].transfers[0].n_bytes
+        assert first_stage == pytest.approx(400.0)
+        assert second_stage == pytest.approx(100.0)
+
+    def test_all_rings_step_in_lockstep(self, rack):
+        schedule = bucket_reduce_scatter_schedule(slice3(rack), 1600.0)
+        # 4 rings x 4 chips per step in each stage.
+        assert len(schedule.phases[0].transfers) == 16
+
+    def test_full_span_stages_congestion_free(self, rack):
+        schedule = bucket_reduce_scatter_schedule(slice3(rack), 1600.0)
+        assert schedule.is_congestion_free
+
+    def test_explicit_dim_order(self, rack):
+        schedule = bucket_reduce_scatter_schedule(
+            slice3(rack), 1600.0, dims=[1, 0]
+        )
+        assert "dims=[1, 0]" in schedule.name
+
+    def test_optical_reconfig_per_stage(self, rack):
+        schedule = bucket_reduce_scatter_schedule(
+            slice3(rack), 1600.0, optical=True
+        )
+        assert schedule.reconfiguration_count == 2
+
+    def test_extent_one_dim_rejected(self, rack):
+        slc = slice3(rack)
+        with pytest.raises(ValueError):
+            bucket_reduce_scatter_schedule(slc, 100.0, dims=[2])
+
+    def test_no_active_dims_rejected(self, rack):
+        single = Slice(name="one", rack=rack, offset=(0, 0, 0), shape=(1, 1, 1))
+        with pytest.raises(ValueError):
+            bucket_reduce_scatter_schedule(single, 100.0)
+
+    def test_negative_buffer_rejected(self, rack):
+        with pytest.raises(ValueError):
+            bucket_reduce_scatter_schedule(slice3(rack), -1.0)
+
+
+class TestAllGather:
+    def test_reverse_stage_order_and_growth(self, rack):
+        schedule = bucket_all_gather_schedule(slice3(rack), 1600.0)
+        assert len(schedule.phases) == 6
+        # First AG stage handles the small shard, last the full buffer.
+        first = schedule.phases[0].transfers[0].n_bytes
+        last = schedule.phases[-1].transfers[0].n_bytes
+        assert first < last
+
+    def test_total_bytes_match_reduce_scatter(self, rack):
+        rs = bucket_reduce_scatter_schedule(slice3(rack), 1600.0)
+        ag = bucket_all_gather_schedule(slice3(rack), 1600.0)
+        assert ag.total_bytes == pytest.approx(rs.total_bytes)
+
+
+class TestAllReduce:
+    def test_concatenates_rs_and_ag(self, rack):
+        ar = bucket_all_reduce_schedule(slice3(rack), 1600.0)
+        assert len(ar.phases) == 12
+
+    def test_double_the_bytes(self, rack):
+        rs = bucket_reduce_scatter_schedule(slice3(rack), 1600.0)
+        ar = bucket_all_reduce_schedule(slice3(rack), 1600.0)
+        assert ar.total_bytes == pytest.approx(2 * rs.total_bytes)
+
+
+class TestSimultaneousBuckets:
+    def test_one_schedule_per_dimension(self, rack):
+        parts = simultaneous_bucket_schedules(slice3(rack), 1600.0)
+        assert len(parts) == 2
+
+    def test_parts_split_buffer(self, rack):
+        parts = simultaneous_bucket_schedules(slice3(rack), 1600.0)
+        # Each part's first stage moves (N/2)/4 per step.
+        assert parts[0].phases[0].transfers[0].n_bytes == pytest.approx(200.0)
+
+    def test_rotated_dimension_orders(self, rack):
+        parts = simultaneous_bucket_schedules(slice3(rack), 1600.0)
+        assert "dims=[0, 1]" in parts[0].name
+        assert "dims=[1, 0]" in parts[1].name
+
+    def test_parts_total_equals_full_pass(self, rack):
+        slc = slice3(rack)
+        parts = simultaneous_bucket_schedules(slc, 1600.0)
+        full = bucket_reduce_scatter_schedule(slc, 1600.0)
+        combined = sum(p.total_bytes for p in parts)
+        assert combined == pytest.approx(full.total_bytes)

@@ -1,0 +1,123 @@
+"""Tests for on-demand optical circuits and their resource accounting."""
+
+import pytest
+
+from repro.core.circuits import CircuitError, CircuitManager
+from repro.core.wafer import LightpathWafer
+
+
+@pytest.fixture
+def manager():
+    return CircuitManager(wafer=LightpathWafer())
+
+
+class TestEstablish:
+    def test_basic_circuit(self, manager):
+        circuit = manager.establish((0, 0), (0, 3))
+        assert circuit.src == (0, 0)
+        assert circuit.dst == (0, 3)
+        assert circuit.rate_bytes == pytest.approx(28e9)
+        assert circuit.setup_latency_s == pytest.approx(3.7e-6)
+        assert circuit.link_report.feasible
+
+    def test_self_circuit_rejected(self, manager):
+        with pytest.raises(CircuitError):
+            manager.establish((0, 0), (0, 0))
+
+    def test_failed_tile_rejected(self, manager):
+        manager.wafer.tile((0, 3)).fail()
+        with pytest.raises(CircuitError):
+            manager.establish((0, 0), (0, 3))
+
+    def test_circuit_consumes_wavelength_and_lanes(self, manager):
+        manager.establish((0, 0), (0, 3))
+        assert manager.wafer.tile((0, 0)).egress_capacity() == 15
+        assert manager.wafer.tile((0, 3)).serdes.free_lanes == 15
+
+    def test_circuit_consumes_waveguides(self, manager):
+        circuit = manager.establish((0, 0), (0, 3))
+        for a, b in circuit.route.boundaries():
+            assert manager.wafer.bus(a, b).free == 9999
+
+    def test_wavelengths_exhaust(self, manager):
+        for _ in range(16):
+            manager.establish((0, 0), (0, 1))
+        with pytest.raises(CircuitError):
+            manager.establish((0, 0), (0, 1))
+
+    def test_distinct_wavelengths_per_circuit(self, manager):
+        a = manager.establish((0, 0), (0, 1))
+        b = manager.establish((0, 0), (0, 2))
+        assert a.wavelength_index != b.wavelength_index
+
+    def test_budget_enforcement_optional(self):
+        wafer = LightpathWafer()
+        strict = CircuitManager(wafer=wafer)
+        # Degrade the budget by tearing the laser power down via a custom
+        # evaluator: easiest is a long synthetic wafer; here we just check
+        # the flag wiring with enforce_budget=False on a working path.
+        relaxed = CircuitManager(wafer=LightpathWafer(), enforce_budget=False)
+        assert relaxed.establish((0, 0), (3, 7)).link_report is not None
+        assert strict.establish((0, 0), (3, 7)).link_report.feasible
+
+
+class TestEstablishMany:
+    def test_all_or_nothing_success(self, manager):
+        circuits = manager.establish_many([((0, 0), (0, 1)), ((1, 0), (1, 1))])
+        assert len(circuits) == 2
+        assert len(manager.circuits) == 2
+
+    def test_all_or_nothing_rollback(self):
+        wafer = LightpathWafer(grid=(1, 2), bus_capacity=1)
+        manager = CircuitManager(wafer=wafer)
+        with pytest.raises(CircuitError):
+            manager.establish_many([((0, 0), (0, 1)), ((0, 0), (0, 1))])
+        assert not manager.circuits
+        assert wafer.bus((0, 0), (0, 1)).free == 1
+
+
+class TestTeardown:
+    def test_teardown_releases_everything(self, manager):
+        circuit = manager.establish((0, 0), (0, 3))
+        manager.teardown(circuit.circuit_id)
+        assert not manager.circuits
+        assert manager.wafer.tile((0, 0)).egress_capacity() == 16
+        assert manager.wafer.tile((0, 3)).serdes.free_lanes == 16
+        for a, b in circuit.route.boundaries():
+            assert manager.wafer.bus(a, b).free == 10_000
+
+    def test_teardown_unknown_raises(self, manager):
+        with pytest.raises(KeyError):
+            manager.teardown(99)
+
+    def test_teardown_all(self, manager):
+        manager.establish((0, 0), (0, 1))
+        manager.establish((1, 0), (1, 1))
+        assert manager.teardown_all() == 2
+        assert not manager.circuits
+
+    def test_wavelength_reusable_after_teardown(self, manager):
+        first = manager.establish((0, 0), (0, 1))
+        manager.teardown(first.circuit_id)
+        again = manager.establish((0, 0), (0, 1))
+        assert again.wavelength_index == first.wavelength_index
+
+
+class TestQueries:
+    def test_bandwidth_between_stacks_wavelengths(self, manager):
+        manager.establish((0, 0), (0, 1))
+        manager.establish((0, 0), (0, 1))
+        assert manager.bandwidth_between((0, 0), (0, 1)) == pytest.approx(2 * 28e9)
+
+    def test_circuits_between_filters(self, manager):
+        manager.establish((0, 0), (0, 1))
+        manager.establish((1, 0), (1, 1))
+        assert len(manager.circuits_between((0, 0), (0, 1))) == 1
+
+    def test_budget_health(self, manager):
+        manager.establish((0, 0), (0, 1))
+        assert manager.total_loss_budget_ok()
+        assert manager.worst_margin_db() > 0
+
+    def test_worst_margin_empty(self, manager):
+        assert manager.worst_margin_db() == float("inf")

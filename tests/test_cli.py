@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in (
+            ["capabilities"],
+            ["figure3a"],
+            ["figure3b", "--seed", "7"],
+            ["table1", "--buffer-mib", "16"],
+            ["table2"],
+            ["figure5"],
+            ["figure6a", "--failed", "1", "2", "0"],
+            ["figure7"],
+            ["blast-radius", "--days", "30"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+
+class TestCommands:
+    def test_capabilities_output(self, capsys):
+        assert main(["capabilities"]) == 0
+        out = capsys.readouterr().out
+        assert "224 Gbps" in out
+        assert "3.7 us" in out
+
+    def test_figure3a_output(self, capsys):
+        assert main(["figure3a"]) == 0
+        out = capsys.readouterr().out
+        assert "tau" in out
+
+    def test_figure3b_output(self, capsys):
+        assert main(["figure3b"]) == 0
+        out = capsys.readouterr().out
+        assert "0.25" in out
+
+    def test_table1_output(self, capsys):
+        assert main(["table1", "--buffer-mib", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "7 x a" in out
+        assert "3x" in out
+
+    def test_table2_output(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "1.5x" in out
+
+    def test_figure5_output(self, capsys):
+        assert main(["figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "Slice-1" in out and "67 %" in out
+
+    def test_figure6a_returns_success_when_infeasible(self, capsys):
+        assert main(["figure6a"]) == 0
+        out = capsys.readouterr().out
+        assert "exists: False" in out
+
+    def test_figure7_output(self, capsys):
+        assert main(["figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "blast radius" in out
+
+    def test_blast_radius_output(self, capsys):
+        assert main(["blast-radius", "--days", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement: 16x" in out

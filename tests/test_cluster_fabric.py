@@ -1,0 +1,113 @@
+"""Tests for the cluster-scale LIGHTPATH fabric (cross-rack circuits)."""
+
+import pytest
+
+from repro.core.circuits import CircuitError
+from repro.core.cluster_fabric import LightpathClusterFabric
+
+
+@pytest.fixture
+def cluster():
+    return LightpathClusterFabric(rack_count=3)
+
+
+class TestStructure:
+    def test_rack_count(self, cluster):
+        assert cluster.rack_count == 3
+
+    def test_trunks_join_consecutive_racks(self, cluster):
+        assert cluster.trunk(0, 1).free > 0
+        assert cluster.trunk(2, 1).free > 0
+        with pytest.raises(KeyError):
+            cluster.trunk(0, 2)
+
+    def test_unknown_rack(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.rack(9)
+
+    def test_single_rack_cluster(self):
+        single = LightpathClusterFabric(rack_count=1)
+        assert single.free_inter_rack_fibers() == 0
+
+    def test_invalid_rack_count(self):
+        with pytest.raises(ValueError):
+            LightpathClusterFabric(rack_count=0)
+
+
+class TestIntraRackCircuits:
+    def test_delegates_to_rack_fabric(self, cluster):
+        circuit = cluster.establish((0, (0, 0, 0)), (0, (3, 3, 3)))
+        assert not circuit.crosses_racks
+        assert circuit.rack_path == (0,)
+        assert len(cluster.rack(0).circuits) == 1
+
+    def test_no_inter_rack_fibers_consumed(self, cluster):
+        before = cluster.free_inter_rack_fibers()
+        cluster.establish((1, (0, 0, 0)), (1, (1, 1, 1)))
+        assert cluster.free_inter_rack_fibers() == before
+
+
+class TestCrossRackCircuits:
+    def test_adjacent_racks_one_fiber(self, cluster):
+        circuit = cluster.establish((0, (0, 0, 0)), (1, (0, 0, 0)))
+        assert circuit.crosses_racks
+        assert circuit.rack_path == (0, 1)
+        assert len(circuit.inter_rack_fibers) == 1
+        assert len(circuit.rack_segments) == 2
+
+    def test_distant_racks_chain_fibers(self, cluster):
+        circuit = cluster.establish((0, (0, 0, 0)), (2, (1, 1, 1)))
+        assert circuit.rack_path == (0, 1, 2)
+        assert len(circuit.inter_rack_fibers) == 2
+
+    def test_reverse_direction(self, cluster):
+        circuit = cluster.establish((2, (0, 0, 0)), (0, (0, 0, 0)))
+        assert circuit.rack_path == (2, 1, 0)
+
+    def test_setup_latency_is_one_settle(self, cluster):
+        circuit = cluster.establish((0, (0, 0, 0)), (1, (0, 0, 0)))
+        assert circuit.setup_latency_s == pytest.approx(3.7e-6)
+
+    def test_teardown_releases_fibers_and_segments(self, cluster):
+        before = cluster.free_inter_rack_fibers()
+        circuit = cluster.establish((0, (0, 0, 0)), (2, (0, 0, 0)))
+        cluster.teardown(circuit.circuit_id)
+        assert cluster.free_inter_rack_fibers() == before
+        assert not cluster.circuits
+        assert not cluster.rack(0).circuits
+
+    def test_failed_endpoint_rejected(self, cluster):
+        cluster.rack(1).rack.fail_chip((0, 0, 0))
+        with pytest.raises(CircuitError):
+            cluster.establish((0, (0, 0, 0)), (1, (0, 0, 0)))
+
+    def test_unknown_rack_rejected(self, cluster):
+        with pytest.raises(CircuitError):
+            cluster.establish((0, (0, 0, 0)), (7, (0, 0, 0)))
+
+    def test_fiber_exhaustion(self):
+        tight = LightpathClusterFabric(rack_count=2, fibers_per_trunk=1)
+        tight.establish((0, (0, 0, 0)), (1, (0, 0, 0)))
+        with pytest.raises(CircuitError):
+            tight.establish((0, (1, 0, 0)), (1, (1, 0, 0)))
+
+
+class TestCrossRackRepair:
+    def test_repair_builds_bidirectional_circuits(self, cluster):
+        failed = (0, (0, 0, 0))
+        neighbors = [(0, (1, 0, 0)), (0, (0, 1, 0))]
+        spare = (1, (0, 0, 0))
+        circuits = cluster.cross_rack_repair(failed, neighbors, spare)
+        assert len(circuits) == 4
+        assert cluster.rack(0).rack.is_failed((0, 0, 0))
+        assert all(c.crosses_racks for c in circuits)
+
+    def test_repair_rolls_back_on_failure(self):
+        tight = LightpathClusterFabric(rack_count=2, fibers_per_trunk=2)
+        failed = (0, (0, 0, 0))
+        neighbors = [(0, (1, 0, 0)), (0, (0, 1, 0))]
+        spare = (1, (0, 0, 0))
+        with pytest.raises(CircuitError):
+            tight.cross_rack_repair(failed, neighbors, spare)
+        assert not tight.circuits
+        assert tight.free_inter_rack_fibers() == 2

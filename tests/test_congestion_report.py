@@ -1,0 +1,66 @@
+"""Tests for the cross-tenant congestion report (Figure 5b)."""
+
+import pytest
+
+from repro.analysis.congestion_report import (
+    analyze_rack_congestion,
+    congestion_multiplicity_histogram,
+)
+from repro.analysis.utilization import figure5b_layout
+from repro.topology.slices import SliceAllocator
+from repro.topology.torus import Torus
+
+
+class TestFigure5bCongestion:
+    def test_naive_rings_collide(self):
+        report = analyze_rack_congestion(figure5b_layout())
+        assert not report.is_congestion_free
+        assert report.worst_multiplicity >= 2
+
+    def test_slice1_and_slice2_share_y_wraps(self):
+        report = analyze_rack_congestion(figure5b_layout())
+        assert 1 in report.congested_dimensions("Slice-1")
+        assert 1 in report.congested_dimensions("Slice-2")
+
+    def test_shared_links_name_both_users(self):
+        report = analyze_rack_congestion(figure5b_layout())
+        for shared in report.shared_links:
+            assert shared.multiplicity == len(shared.users)
+            assert shared.multiplicity >= 2
+
+    def test_restricting_to_usable_dims_removes_congestion(self):
+        allocator = figure5b_layout()
+        dims = {s.name: s.usable_dimensions() for s in allocator.slices}
+        report = analyze_rack_congestion(allocator, dims_per_slice=dims)
+        assert report.is_congestion_free
+
+    def test_single_tenant_rack_congestion_free(self):
+        allocator = SliceAllocator(Torus((4, 4, 4)))
+        allocator.allocate("full", (4, 4, 4), (0, 0, 0))
+        report = analyze_rack_congestion(allocator)
+        assert report.is_congestion_free
+
+    def test_unlisted_slice_defaults_to_active_dims(self):
+        allocator = figure5b_layout()
+        report = analyze_rack_congestion(
+            allocator, dims_per_slice={"Slice-1": [0]}
+        )
+        # Slice-1 restricted to X; the others still collide among
+        # themselves (Slice-2's Y wrap crosses Slice-1's unused Y links
+        # but no one else's -> check it still reports something for the
+        # remaining naive tenants).
+        assert "Slice-1" not in report.per_slice_congested_dims
+
+
+class TestHistogram:
+    def test_histogram_counts_match_report(self):
+        report = analyze_rack_congestion(figure5b_layout())
+        histogram = congestion_multiplicity_histogram(report)
+        assert sum(histogram.values()) == len(report.shared_links)
+        assert all(k >= 2 for k in histogram)
+
+    def test_empty_histogram_when_clean(self):
+        allocator = SliceAllocator(Torus((4, 4, 4)))
+        allocator.allocate("full", (4, 4, 4), (0, 0, 0))
+        report = analyze_rack_congestion(allocator)
+        assert congestion_multiplicity_histogram(report) == {}

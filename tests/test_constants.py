@@ -1,0 +1,74 @@
+"""Tests pinning the device constants to the paper's Section 3 numbers."""
+
+import pytest
+
+from repro.phy import constants
+
+
+class TestPaperScalars:
+    def test_thirty_two_tiles_per_wafer(self):
+        assert constants.TILES_PER_WAFER == 32
+
+    def test_wafer_grid_holds_all_tiles(self):
+        rows, cols = constants.WAFER_GRID
+        assert rows * cols == constants.TILES_PER_WAFER
+
+    def test_sixteen_lasers_per_tile(self):
+        assert constants.LASERS_PER_TILE == 16
+
+    def test_wavelength_rate_is_224_gbps(self):
+        assert constants.WAVELENGTH_RATE_BPS == pytest.approx(224e9)
+
+    def test_wavelength_rate_bytes(self):
+        assert constants.WAVELENGTH_RATE_BYTES == pytest.approx(28e9)
+
+    def test_reconfiguration_latency_is_3_7_us(self):
+        assert constants.RECONFIG_LATENCY_S == pytest.approx(3.7e-6)
+
+    def test_four_switches_of_degree_three(self):
+        assert constants.SWITCHES_PER_TILE == 4
+        assert constants.SWITCH_DEGREE == 3
+
+    def test_crossing_loss_quarter_db(self):
+        assert constants.CROSSING_LOSS_DB == pytest.approx(0.25)
+
+    def test_ten_thousand_waveguides(self):
+        assert constants.WAVEGUIDES_PER_TILE == 10_000
+
+    def test_waveguide_pitch_three_microns(self):
+        assert constants.WAVEGUIDE_PITCH_M == pytest.approx(3e-6)
+
+
+class TestDerivedQuantities:
+    def test_chip_egress_is_all_wavelengths(self):
+        assert constants.CHIP_EGRESS_BYTES == pytest.approx(
+            constants.LASERS_PER_TILE * constants.WAVELENGTH_RATE_BYTES
+        )
+
+    def test_chip_egress_exceeds_nvlink_reference(self):
+        # The paper cites >300 GB/s per direction for modern interconnects;
+        # 16 wavelengths at 28 GB/s give 448 GB/s.
+        assert constants.CHIP_EGRESS_BYTES > 300e9
+
+    def test_mzi_time_constant_settles_in_3_7_us(self):
+        import math
+
+        settle = constants.MZI_TIME_CONSTANT_S * math.log(1 / 0.05)
+        assert settle == pytest.approx(constants.RECONFIG_LATENCY_S, rel=0.02)
+
+    def test_serdes_matches_wavelengths(self):
+        assert constants.SERDES_LANES_PER_CHIP == constants.LASERS_PER_TILE
+
+
+class TestTpuSubstrateConstants:
+    def test_rack_is_4x4x4(self):
+        assert constants.RACK_SHAPE == (4, 4, 4)
+
+    def test_cluster_is_4096_chips(self):
+        chips = 1
+        for s in constants.RACK_SHAPE:
+            chips *= s
+        assert chips * constants.RACKS_PER_CLUSTER == 4096
+
+    def test_sixteen_servers_of_four_chips(self):
+        assert constants.SERVERS_PER_RACK * constants.CHIPS_PER_SERVER == 64

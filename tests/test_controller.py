@@ -1,0 +1,94 @@
+"""Tests for the rack fabric controller."""
+
+import pytest
+
+from repro.core.controller import FabricController
+from repro.core.repair import RepairError
+from repro.topology.slices import AllocationError
+
+
+@pytest.fixture
+def controller():
+    c = FabricController()
+    c.admit("Slice-3", (4, 4, 1), (0, 0, 0))
+    c.admit("Slice-4", (4, 4, 2), (0, 0, 1))
+    return c
+
+
+class TestAdmission:
+    def test_admit_allocates_and_steers(self, controller):
+        state = controller.tenant("Slice-3")
+        assert state.slc.chip_count == 16
+        assert state.steering.target_dims == (0, 1)
+        assert state.healthy
+
+    def test_duplicate_name_rejected(self, controller):
+        with pytest.raises(ValueError):
+            controller.admit("Slice-3", (1, 1, 1), (0, 0, 3))
+
+    def test_overlap_rejected(self, controller):
+        with pytest.raises(AllocationError):
+            controller.admit("overlap", (1, 1, 1), (0, 0, 0))
+
+    def test_evict_frees_chips(self, controller):
+        spare_before = len(controller.spare_chips())
+        controller.evict("Slice-3")
+        assert "Slice-3" not in controller.tenants
+        assert len(controller.spare_chips()) == spare_before + 16
+
+    def test_unknown_tenant(self, controller):
+        with pytest.raises(KeyError):
+            controller.tenant("ghost")
+
+    def test_tenants_sorted(self, controller):
+        assert controller.tenants == ["Slice-3", "Slice-4"]
+
+
+class TestCollectives:
+    def test_prediction_positive(self, controller):
+        assert controller.predict_reduce_scatter_s("Slice-3", 1 << 20) > 0
+
+    def test_schedule_matches_slice(self, controller):
+        schedule = controller.build_schedule("Slice-3", 1 << 20)
+        assert schedule.transfer_count > 0
+        assert schedule.is_congestion_free
+
+    def test_steering_speedups_match_tables(self, controller):
+        assert controller.steering_speedup("Slice-3") == pytest.approx(1.5)
+        assert controller.steering_speedup("Slice-4") == pytest.approx(3.0)
+
+
+class TestFailures:
+    def test_failure_in_tenant_triggers_repair(self, controller):
+        plan = controller.handle_failure((1, 2, 0))
+        assert plan is not None
+        assert controller.rack.torus.contains(plan.replacement)
+        state = controller.tenant("Slice-3")
+        assert not state.healthy
+        assert state.repairs == [plan]
+
+    def test_failure_on_free_chip_needs_no_repair(self, controller):
+        plan = controller.handle_failure((0, 0, 3))
+        assert plan is None
+        assert controller.rack.is_failed((0, 0, 3))
+
+    def test_spares_exclude_failed(self, controller):
+        before = len(controller.spare_chips())
+        controller.handle_failure((0, 0, 3))
+        assert len(controller.spare_chips()) == before - 1
+
+    def test_repair_exhaustion_raises(self):
+        c = FabricController()
+        c.admit("all", (4, 4, 4), (0, 0, 0))
+        with pytest.raises(RepairError):
+            c.handle_failure((0, 0, 0))
+
+
+class TestStatus:
+    def test_status_snapshot(self, controller):
+        controller.handle_failure((1, 2, 0))
+        status = controller.status()
+        assert status["tenants"]["Slice-3"]["repairs"] == 1
+        assert status["failed_chips"] == 1
+        assert status["active_circuits"] >= 2
+        assert status["spare_chips"] < 16

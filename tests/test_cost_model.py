@@ -1,0 +1,156 @@
+"""Tests for the alpha-beta-r cost model (paper Tables 1 and 2)."""
+
+import pytest
+
+from repro.collectives.cost_model import (
+    CollectiveCost,
+    CostParameters,
+    bucket_all_gather,
+    bucket_all_reduce,
+    bucket_reduce_scatter,
+    bucket_stage_costs,
+    reduce_scatter_lower_bound,
+    ring_all_gather,
+    ring_reduce_scatter,
+    simultaneous_bucket_beta_factor,
+)
+
+
+class TestRingCosts:
+    def test_single_ring_alpha(self):
+        assert ring_reduce_scatter(8).alpha_count == 7
+
+    def test_single_ring_beta(self):
+        assert ring_reduce_scatter(8).beta_factor == pytest.approx(7 / 8)
+
+    def test_fractional_bandwidth_scales_beta(self):
+        assert ring_reduce_scatter(8, 1 / 3).beta_factor == pytest.approx(
+            3 * 7 / 8
+        )
+
+    def test_one_chip_ring_free(self):
+        cost = ring_reduce_scatter(1)
+        assert cost.alpha_count == 0
+        assert cost.beta_factor == 0.0
+
+    def test_all_gather_mirrors_reduce_scatter(self):
+        assert ring_all_gather(8) == ring_reduce_scatter(8)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ring_reduce_scatter(4, 0.0)
+        with pytest.raises(ValueError):
+            ring_reduce_scatter(4, 1.5)
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError):
+            ring_reduce_scatter(0)
+
+
+class TestBucketCosts:
+    def test_two_stage_alpha(self):
+        assert bucket_reduce_scatter([4, 4]).alpha_count == 6
+
+    def test_two_stage_beta_with_shrinkage(self):
+        cost = bucket_reduce_scatter([4, 4])
+        assert cost.beta_factor == pytest.approx(3 / 4 + (1 / 4) * (3 / 4))
+
+    def test_stage_costs_match_table2_shape(self):
+        stages = bucket_stage_costs([4, 4], bandwidth_fraction=1 / 3)
+        assert len(stages) == 2
+        assert stages[0].beta_factor == pytest.approx(3 * 3 / 4)        # N stage
+        assert stages[1].beta_factor == pytest.approx(3 * 3 / 16)       # N/4 stage
+
+    def test_reconfig_per_stage(self):
+        cost = bucket_reduce_scatter([4, 4], reconfig_per_stage=True)
+        assert cost.reconfig_count == 2
+
+    def test_all_gather_reverses_order(self):
+        rs = bucket_reduce_scatter([4, 2])
+        ag = bucket_all_gather([4, 2])
+        # The AG beta equals the RS of the reversed dims.
+        assert ag.beta_factor == pytest.approx(
+            bucket_reduce_scatter([2, 4]).beta_factor
+        )
+        assert ag.alpha_count == rs.alpha_count
+
+    def test_all_reduce_is_rs_plus_ag(self):
+        ar = bucket_all_reduce([4, 4])
+        rs = bucket_reduce_scatter([4, 4])
+        ag = bucket_all_gather([4, 4])
+        assert ar.alpha_count == rs.alpha_count + ag.alpha_count
+        assert ar.beta_factor == pytest.approx(rs.beta_factor + ag.beta_factor)
+
+    def test_dims_validation(self):
+        with pytest.raises(ValueError):
+            bucket_reduce_scatter([])
+        with pytest.raises(ValueError):
+            bucket_reduce_scatter([4, 1])
+
+
+class TestPaperEquivalences:
+    def test_lower_bound(self):
+        assert reduce_scatter_lower_bound(8) == pytest.approx(7 / 8)
+        assert reduce_scatter_lower_bound(1) == 0.0
+
+    def test_full_bandwidth_single_ring_meets_lower_bound(self):
+        assert ring_reduce_scatter(8, 1.0).beta_factor == pytest.approx(
+            reduce_scatter_lower_bound(8)
+        )
+
+    def test_section41_redirection_equivalence(self):
+        # Splitting N across D simultaneous rotated buckets at B/D costs
+        # the same beta as one full-bandwidth bucket pass.
+        for dims in ([4, 4], [4, 4, 4], [2, 4]):
+            assert simultaneous_bucket_beta_factor(dims) == pytest.approx(
+                bucket_reduce_scatter(dims, 1.0).beta_factor
+            )
+
+    def test_table1_three_x_ratio(self):
+        electrical = ring_reduce_scatter(8, 1 / 3)
+        optical = ring_reduce_scatter(8, 1.0).with_reconfig()
+        assert electrical.beta_factor / optical.beta_factor == pytest.approx(3.0)
+        assert optical.reconfig_count == 1
+
+    def test_table2_one_point_five_ratio(self):
+        electrical = bucket_reduce_scatter([4, 4], 1 / 3)
+        optical = bucket_reduce_scatter([4, 4], 1 / 2, reconfig_per_stage=True)
+        assert electrical.beta_factor / optical.beta_factor == pytest.approx(1.5)
+
+
+class TestCostArithmetic:
+    def test_addition(self):
+        total = CollectiveCost(3, 0.5) + CollectiveCost(4, 0.25, 1)
+        assert total == CollectiveCost(7, 0.75, 1)
+
+    def test_with_reconfig(self):
+        assert CollectiveCost(1, 0.1).with_reconfig(2).reconfig_count == 2
+
+    def test_seconds_grounding(self):
+        params = CostParameters(
+            alpha_s=1e-6, chip_bandwidth_bytes=1e9, reconfig_s=4e-6
+        )
+        cost = CollectiveCost(alpha_count=3, beta_factor=0.5, reconfig_count=1)
+        assert cost.seconds(1e6, params) == pytest.approx(3e-6 + 4e-6 + 5e-4)
+
+    def test_negative_terms_rejected(self):
+        with pytest.raises(ValueError):
+            CollectiveCost(-1, 0.0)
+        with pytest.raises(ValueError):
+            CollectiveCost(0, -0.1)
+
+    def test_labels(self):
+        assert CollectiveCost(7, 0.875).alpha_label() == "7 x a"
+        assert CollectiveCost(7, 0.875, 1).alpha_label() == "7 x a + r"
+        assert CollectiveCost(3, 1.5, 2).alpha_label() == "3 x a + 2 x r"
+        assert "0.875" in CollectiveCost(7, 0.875).beta_label()
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            CollectiveCost(1, 1.0).beta_seconds(-1.0, CostParameters())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CostParameters(alpha_s=-1.0)
+        with pytest.raises(ValueError):
+            CostParameters(chip_bandwidth_bytes=0.0)

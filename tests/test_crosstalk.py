@@ -1,0 +1,88 @@
+"""Tests for the crosstalk accumulation model."""
+
+import math
+
+import pytest
+
+from repro.phy.crosstalk import CrosstalkModel
+
+
+class TestAccumulation:
+    def test_no_hops_no_crosstalk(self):
+        report = CrosstalkModel().accumulate(0, 0)
+        assert report.power_penalty_db == 0.0
+        assert report.crosstalk_ratio_db == math.inf
+
+    def test_penalty_grows_with_hops(self):
+        model = CrosstalkModel()
+        few = model.accumulate(2, 2).power_penalty_db
+        many = model.accumulate(20, 20).power_penalty_db
+        assert many > few
+
+    def test_short_circuit_negligible(self):
+        # The Figure 3a circuit: 2 crossings, a few switch hops.
+        report = CrosstalkModel().accumulate(3, 2)
+        assert report.negligible
+
+    def test_mzi_dominates_crossings(self):
+        model = CrosstalkModel()
+        switches = model.accumulate(10, 0).power_penalty_db
+        crossings = model.accumulate(0, 10).power_penalty_db
+        assert switches > crossings
+
+    def test_occupancy_scales_leakage(self):
+        quiet = CrosstalkModel(occupancy=0.1).accumulate(10, 10)
+        busy = CrosstalkModel(occupancy=1.0).accumulate(10, 10)
+        assert quiet.power_penalty_db < busy.power_penalty_db
+
+    def test_zero_occupancy_no_penalty(self):
+        report = CrosstalkModel(occupancy=0.0).accumulate(100, 100)
+        assert report.power_penalty_db == 0.0
+
+    def test_catastrophic_leak_is_infinite(self):
+        terrible = CrosstalkModel(mzi_isolation_db=5.0)
+        report = terrible.accumulate(100, 0)
+        assert math.isinf(report.power_penalty_db)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            CrosstalkModel().accumulate(-1, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrosstalkModel(mzi_isolation_db=0.0)
+        with pytest.raises(ValueError):
+            CrosstalkModel(occupancy=1.5)
+
+
+class TestPenalizedMargin:
+    def test_margin_reduced_by_penalty(self):
+        model = CrosstalkModel()
+        report = model.accumulate(10, 10)
+        margin = model.penalized_margin_db(10.0, 10, 10)
+        assert margin == pytest.approx(10.0 - report.power_penalty_db)
+
+    def test_catastrophic_margin_is_negative_infinity(self):
+        terrible = CrosstalkModel(mzi_isolation_db=3.0)
+        assert terrible.penalized_margin_db(100.0, 200, 0) == -math.inf
+
+
+class TestMaxHops:
+    def test_paper_scale_circuits_fit(self):
+        # A corner-to-corner wafer circuit uses ~3-13 switch hops; the
+        # 35 dB isolation budget must admit far more than that.
+        assert CrosstalkModel().max_mzi_hops(1.0) > 100
+
+    def test_tighter_budget_fewer_hops(self):
+        model = CrosstalkModel()
+        assert model.max_mzi_hops(0.1) < model.max_mzi_hops(1.0)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            CrosstalkModel().max_mzi_hops(0.0)
+
+    def test_boundary_consistency(self):
+        model = CrosstalkModel(mzi_isolation_db=20.0)
+        hops = model.max_mzi_hops(0.5)
+        assert model.accumulate(hops, 0).power_penalty_db <= 0.5
+        assert model.accumulate(hops + 1, 0).power_penalty_db > 0.5

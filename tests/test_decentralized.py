@@ -1,0 +1,124 @@
+"""Tests for centralized vs decentralized circuit allocation (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decentralized import (
+    CentralizedController,
+    CircuitRequest,
+    DecentralizedAllocator,
+    mean_setup_latency,
+    success_rate,
+)
+from repro.core.wafer import LightpathWafer
+
+
+def disjoint_requests(n):
+    return [CircuitRequest(src=(0, i), dst=(3, i)) for i in range(n)]
+
+
+class TestCentralized:
+    def test_all_succeed_with_capacity(self):
+        controller = CentralizedController(LightpathWafer())
+        outcomes = controller.allocate_batch(disjoint_requests(4))
+        assert success_rate(outcomes) == 1.0
+
+    def test_latency_grows_linearly_with_queue(self):
+        controller = CentralizedController(LightpathWafer())
+        outcomes = controller.allocate_batch(disjoint_requests(8))
+        latencies = [o.setup_latency_s for o in outcomes]
+        gaps = np.diff(latencies)
+        assert np.allclose(gaps, controller.service_time_s)
+
+    def test_last_request_waits_for_whole_queue(self):
+        controller = CentralizedController(LightpathWafer())
+        outcomes = controller.allocate_batch(disjoint_requests(8))
+        assert outcomes[-1].setup_latency_s == pytest.approx(
+            8 * controller.service_time_s + controller.reconfig_s
+        )
+
+    def test_failure_on_exhausted_wafer(self):
+        wafer = LightpathWafer(grid=(1, 2), bus_capacity=1)
+        controller = CentralizedController(wafer)
+        requests = [CircuitRequest((0, 0), (0, 1)), CircuitRequest((0, 0), (0, 1))]
+        outcomes = controller.allocate_batch(requests)
+        assert outcomes[0].success
+        assert not outcomes[1].success
+
+
+class TestDecentralized:
+    def test_disjoint_requests_finish_in_one_round(self):
+        allocator = DecentralizedAllocator(
+            LightpathWafer(), rng=np.random.default_rng(0)
+        )
+        outcomes = allocator.allocate_batch(disjoint_requests(8))
+        assert success_rate(outcomes) == 1.0
+        assert all(o.attempts == 1 for o in outcomes)
+
+    def test_latency_independent_of_batch_size(self):
+        small = DecentralizedAllocator(
+            LightpathWafer(), rng=np.random.default_rng(0)
+        ).allocate_batch(disjoint_requests(2))
+        large = DecentralizedAllocator(
+            LightpathWafer(), rng=np.random.default_rng(0)
+        ).allocate_batch(disjoint_requests(8))
+        assert mean_setup_latency(small) == pytest.approx(
+            mean_setup_latency(large)
+        )
+
+    def test_conflicts_force_retries(self):
+        # A 1-track bus shared by overlapping routes guarantees conflicts.
+        wafer = LightpathWafer(grid=(1, 3), bus_capacity=2)
+        allocator = DecentralizedAllocator(wafer, rng=np.random.default_rng(1))
+        requests = [
+            CircuitRequest((0, 0), (0, 2)),
+            CircuitRequest((0, 0), (0, 2)),
+        ]
+        outcomes = allocator.allocate_batch(requests)
+        assert success_rate(outcomes) == 1.0
+        assert max(o.attempts for o in outcomes) >= 1
+
+    def test_gives_up_after_max_rounds(self):
+        wafer = LightpathWafer(grid=(1, 2), bus_capacity=1)
+        allocator = DecentralizedAllocator(
+            wafer, max_rounds=4, rng=np.random.default_rng(0)
+        )
+        requests = [CircuitRequest((0, 0), (0, 1)) for _ in range(3)]
+        outcomes = allocator.allocate_batch(requests)
+        # Only one track exists; at most one request can ever win it.
+        assert sum(1 for o in outcomes if o.success) <= 1
+        failed = [o for o in outcomes if not o.success]
+        assert all(o.attempts == 4 for o in failed)
+
+    def test_respects_existing_allocations(self):
+        wafer = LightpathWafer(grid=(1, 2), bus_capacity=1)
+        wafer.bus((0, 0), (0, 1)).allocate("existing")
+        allocator = DecentralizedAllocator(
+            wafer, max_rounds=3, rng=np.random.default_rng(0)
+        )
+        outcomes = allocator.allocate_batch([CircuitRequest((0, 0), (0, 1))])
+        assert not outcomes[0].success
+
+
+class TestScalingComparison:
+    def test_decentralized_wins_at_scale(self):
+        # The Section 5 claim: the centralized controller's serialization
+        # dominates at large batch sizes; decentralized stays flat.
+        n = 24
+        central = CentralizedController(LightpathWafer(grid=(4, 8))).allocate_batch(
+            [CircuitRequest((0, i % 8), (3, (i * 3) % 8)) for i in range(n)]
+        )
+        decentral = DecentralizedAllocator(
+            LightpathWafer(grid=(4, 8)), rng=np.random.default_rng(2)
+        ).allocate_batch(
+            [CircuitRequest((0, i % 8), (3, (i * 3) % 8)) for i in range(n)]
+        )
+        assert mean_setup_latency(decentral) < mean_setup_latency(central)
+
+
+class TestHelpers:
+    def test_mean_latency_empty(self):
+        assert mean_setup_latency([]) == float("inf")
+
+    def test_success_rate_empty(self):
+        assert success_rate([]) == 1.0

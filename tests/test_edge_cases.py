@@ -1,0 +1,184 @@
+"""Targeted edge-case and error-path tests across modules."""
+
+import pytest
+
+from repro.core.circuits import CircuitError, CircuitManager
+from repro.core.fabric import LightpathRackFabric
+from repro.core.tile import Direction
+from repro.core.wafer import LightpathWafer
+from repro.topology.tpu import TpuRack
+
+
+class TestWaferEdges:
+    def test_fiber_port_exhaustion_returns_none(self):
+        wafer = LightpathWafer(grid=(1, 2), fibers_per_edge=1)
+        port = wafer.free_fiber_port((0, 0), Direction.NORTH)
+        port.allocate("x")
+        assert wafer.free_fiber_port((0, 0), Direction.NORTH) is None
+
+    def test_single_row_wafer_has_no_vertical_buses(self):
+        wafer = LightpathWafer(grid=(1, 4))
+        with pytest.raises(KeyError):
+            wafer.bus((0, 0), (1, 0))
+
+    def test_single_tile_wafer(self):
+        wafer = LightpathWafer(grid=(1, 1))
+        assert wafer.tile_count == 1
+        assert wafer.buses() == []
+        assert wafer.neighbors((0, 0)) == []
+
+    def test_capabilities_of_busless_wafer(self):
+        wafer = LightpathWafer(grid=(1, 1))
+        assert wafer.capabilities().waveguides_per_tile == 0
+
+
+class TestCircuitManagerEdges:
+    def test_circuit_on_single_tile_wafer_impossible(self):
+        manager = CircuitManager(wafer=LightpathWafer(grid=(1, 1)))
+        with pytest.raises(CircuitError):
+            manager.establish((0, 0), (0, 0))
+
+    def test_failed_source_tile_rejected(self):
+        manager = CircuitManager(wafer=LightpathWafer())
+        manager.wafer.tile((0, 0)).fail()
+        with pytest.raises(CircuitError):
+            manager.establish((0, 0), (0, 1))
+
+    def test_all_lasers_failed_rejected(self):
+        manager = CircuitManager(wafer=LightpathWafer())
+        for i in range(16):
+            manager.wafer.tile((0, 0)).lasers.fail(i)
+        with pytest.raises(CircuitError):
+            manager.establish((0, 0), (0, 1))
+
+    def test_destination_serdes_exhaustion(self):
+        manager = CircuitManager(wafer=LightpathWafer())
+        # Fill the destination's 16 lanes from 16 distinct sources.
+        sources = [(r, c) for r in range(4) for c in range(8)][:17]
+        dst = (3, 7)
+        established = 0
+        with pytest.raises(CircuitError):
+            for src in sources:
+                if src == dst:
+                    continue
+                manager.establish(src, dst)
+                established += 1
+        assert established == 16
+
+
+class TestRackFabricEdges:
+    def test_trunk_detour_when_direct_exhausted(self):
+        fabric = LightpathRackFabric(TpuRack(0), fibers_per_trunk=1)
+        # Two circuits between the same server pair: the second must take
+        # a longer server path (or a different trunk) since the direct
+        # trunk has one fiber.
+        first = fabric.establish((0, 0, 0), (0, 0, 1))
+        second = fabric.establish((1, 0, 0), (1, 0, 1))
+        assert first.fiber_hops >= 1
+        assert second.fiber_hops >= 1
+        paths = {first.server_path, second.server_path}
+        # Either a detour happened or the chips map to distinct trunks.
+        assert len(paths) == 2 or second.fiber_hops > first.fiber_hops
+
+    def test_teardown_unknown_circuit(self):
+        fabric = LightpathRackFabric(TpuRack(0))
+        with pytest.raises(KeyError):
+            fabric.teardown(1234)
+
+    def test_both_endpoints_failed(self):
+        fabric = LightpathRackFabric(TpuRack(0))
+        fabric.rack.fail_chip((0, 0, 0))
+        fabric.rack.fail_chip((3, 3, 3))
+        with pytest.raises(CircuitError):
+            fabric.establish((0, 0, 0), (3, 3, 3))
+
+
+class TestRunnerEdges:
+    def test_schedule_with_zero_byte_phase(self):
+        from repro.collectives.schedule import CollectiveSchedule, Phase, Transfer
+        from repro.sim.runner import run_schedule
+        from repro.topology.torus import Link
+
+        schedule = CollectiveSchedule(name="zeros")
+        schedule.add_phase(
+            Phase(
+                transfers=[
+                    Transfer(src=(0,), dst=(1,), n_bytes=0.0, path=((0,), (1,)))
+                ]
+            )
+        )
+        result = run_schedule(schedule, {Link((0,), (1,)): 1.0})
+        assert result.transfer_s == 0.0
+        assert result.phase_durations_s == (0.0,)
+
+    def test_empty_schedule(self):
+        from repro.collectives.schedule import CollectiveSchedule
+        from repro.sim.runner import run_schedule
+
+        result = run_schedule(CollectiveSchedule(name="empty"), {})
+        assert result.duration_s == 0.0
+
+    def test_missing_link_capacity_raises(self):
+        from repro.collectives.schedule import CollectiveSchedule, Phase, Transfer
+        from repro.sim.runner import run_schedule
+
+        schedule = CollectiveSchedule(name="bad")
+        schedule.add_phase(
+            Phase(
+                transfers=[
+                    Transfer(src=(0,), dst=(1,), n_bytes=1.0, path=((0,), (1,)))
+                ]
+            )
+        )
+        with pytest.raises(KeyError):
+            run_schedule(schedule, {})
+
+
+class TestAllToAllPathEdges:
+    def test_dimension_ordered_path_uses_wrap(self):
+        from repro.collectives.alltoall import _dimension_ordered_torus_path
+        from repro.topology.slices import Slice
+        from repro.topology.torus import Torus
+
+        rack = Torus((4, 4, 4))
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 4, 4))
+        path = _dimension_ordered_torus_path(slc, (0, 0, 0), (3, 0, 0))
+        # Wrap is shorter than walking forward three hops.
+        assert path == ((0, 0, 0), (3, 0, 0))
+
+    def test_dimension_ordered_path_multi_dim(self):
+        from repro.collectives.alltoall import _dimension_ordered_torus_path
+        from repro.topology.slices import Slice
+        from repro.topology.torus import Torus
+
+        rack = Torus((4, 4, 4))
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 4, 4))
+        path = _dimension_ordered_torus_path(slc, (0, 0, 0), (1, 1, 1))
+        assert len(path) == 4  # three single hops
+        assert path[0] == (0, 0, 0) and path[-1] == (1, 1, 1)
+
+
+class TestMziPaperAssertion:
+    def test_assert_matches_paper_detects_drift(self, monkeypatch):
+        import repro.phy.mzi as mzi_module
+
+        monkeypatch.setattr(
+            mzi_module, "RECONFIG_LATENCY_S", 1.0e-6, raising=True
+        )
+        with pytest.raises(AssertionError):
+            mzi_module.assert_matches_paper()
+
+
+class TestCliEdges:
+    def test_figure6a_custom_failed_chip(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure6a", "--failed", "2", "1", "0"]) == 0
+        assert "(2, 1, 0)" in capsys.readouterr().out
+
+    def test_figure7_custom_failed_chip(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure7", "--failed", "0", "1", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "3.7 us" in out

@@ -1,0 +1,105 @@
+"""Tests for the electrical direct-connect interconnect baseline."""
+
+import pytest
+
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.topology.electrical import ElectricalInterconnect, TransferClaim
+from repro.topology.torus import Link, Torus
+
+
+@pytest.fixture
+def fabric():
+    return ElectricalInterconnect(torus=Torus((4, 4, 4)))
+
+
+class TestBandwidthPartition:
+    def test_three_wired_dimensions(self, fabric):
+        assert fabric.wired_dimensions == 3
+
+    def test_link_gets_a_third(self, fabric):
+        assert fabric.link_bandwidth_bytes() == pytest.approx(CHIP_EGRESS_BYTES / 3)
+
+    def test_degenerate_dimension_excluded(self):
+        flat = ElectricalInterconnect(torus=Torus((4, 4, 1)))
+        assert flat.wired_dimensions == 2
+        assert flat.link_bandwidth_bytes() == pytest.approx(CHIP_EGRESS_BYTES / 2)
+
+    def test_no_links_rejected(self):
+        degenerate = ElectricalInterconnect(torus=Torus((1, 1)))
+        with pytest.raises(ValueError):
+            degenerate.link_bandwidth_bytes()
+
+
+class TestClaims:
+    def test_claim_and_release(self, fabric):
+        link = Link((0, 0, 0), (1, 0, 0))
+        fabric.claim("job-a", [link])
+        assert len(fabric.claims) == 1
+        assert fabric.release("job-a") == 1
+        assert not fabric.claims
+
+    def test_claim_validates_links(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.claim("bad", [Link((0, 0, 0), (2, 0, 0))])
+
+    def test_clear(self, fabric):
+        fabric.claim("a", [Link((0, 0, 0), (1, 0, 0))])
+        fabric.clear()
+        assert not fabric.claims
+
+
+class TestCongestion:
+    def test_disjoint_transfers_congestion_free(self, fabric):
+        fabric.claim("a", [Link((0, 0, 0), (1, 0, 0))])
+        fabric.claim("b", [Link((0, 1, 0), (1, 1, 0))])
+        report = fabric.congestion()
+        assert report.is_congestion_free
+        assert report.max_multiplicity == 1
+
+    def test_shared_link_detected(self, fabric):
+        shared = Link((0, 0, 0), (1, 0, 0))
+        fabric.claim("a", [shared])
+        fabric.claim("b", [shared])
+        report = fabric.congestion()
+        assert not report.is_congestion_free
+        assert report.congested_links[shared] == 2
+        assert report.congested_link_count == 1
+
+    def test_hypothetical_extra_claims(self, fabric):
+        shared = Link((0, 0, 0), (1, 0, 0))
+        fabric.claim("a", [shared])
+        extra = TransferClaim(owner="candidate", links=(shared,))
+        report = fabric.congestion(extra=[extra])
+        assert not report.is_congestion_free
+        # The hypothetical claim was not committed.
+        assert fabric.congestion().is_congestion_free
+
+    def test_opposite_directions_do_not_collide(self, fabric):
+        fabric.claim("a", [Link((0, 0, 0), (1, 0, 0))])
+        fabric.claim("b", [Link((1, 0, 0), (0, 0, 0))])
+        assert fabric.congestion().is_congestion_free
+
+    def test_fair_share_under_contention(self, fabric):
+        shared = Link((0, 0, 0), (1, 0, 0))
+        fabric.claim("a", [shared])
+        fabric.claim("b", [shared])
+        assert fabric.link_share_bytes(shared) == pytest.approx(
+            fabric.link_bandwidth_bytes() / 2
+        )
+
+
+class TestForwarding:
+    def test_forwarding_chips_are_interior(self, fabric):
+        path = [(0, 0, 0), (1, 0, 0), (2, 0, 0)]
+        assert fabric.forwarding_chips(path) == [(1, 0, 0)]
+
+    def test_forwarding_cost_scales_with_path(self, fabric):
+        path = [(0, 0, 0), (1, 0, 0), (2, 0, 0), (3, 0, 0)]
+        assert fabric.forwarding_cost_bytes(path, 100.0) == pytest.approx(200.0)
+
+    def test_direct_path_free(self, fabric):
+        assert fabric.forwarding_cost_bytes([(0, 0, 0), (1, 0, 0)], 100.0) == 0.0
+
+    def test_negative_volume_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.forwarding_cost_bytes([(0, 0, 0), (1, 0, 0)], -1.0)

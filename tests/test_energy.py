@@ -1,0 +1,89 @@
+"""Tests for the energy-per-bit link models."""
+
+import pytest
+
+from repro.phy.energy import (
+    ElectricalLinkEnergy,
+    PhotonicLinkEnergy,
+    crossover_reach_m,
+)
+
+
+class TestElectrical:
+    def test_energy_grows_with_reach(self):
+        link = ElectricalLinkEnergy()
+        assert link.energy_pj_per_bit(0.5) > link.energy_pj_per_bit(0.1)
+
+    def test_zero_reach_is_base(self):
+        link = ElectricalLinkEnergy(base_pj_per_bit=1.5)
+        assert link.energy_pj_per_bit(0.0) == pytest.approx(1.5)
+
+    def test_linear_in_reach(self):
+        link = ElectricalLinkEnergy()
+        delta = link.energy_pj_per_bit(0.2) - link.energy_pj_per_bit(0.1)
+        assert delta == pytest.approx(
+            link.pj_per_bit_per_db * link.loss_db_per_m * 0.1
+        )
+
+    def test_negative_reach_rejected(self):
+        with pytest.raises(ValueError):
+            ElectricalLinkEnergy().energy_pj_per_bit(-0.1)
+
+
+class TestPhotonic:
+    def test_reach_independent(self):
+        link = PhotonicLinkEnergy()
+        assert link.energy_pj_per_bit(0.0) == pytest.approx(
+            link.energy_pj_per_bit(2.0)
+        )
+
+    def test_components_add(self):
+        link = PhotonicLinkEnergy()
+        assert link.energy_pj_per_bit() == pytest.approx(
+            link.laser_pj_per_bit()
+            + link.modulator_pj_per_bit
+            + link.receiver_pj_per_bit
+            + link.serdes_pj_per_bit
+        )
+
+    def test_laser_energy_per_bit_reasonable(self):
+        # 10 dBm at 20 % wall-plug over 224 Gbps: ~0.22 pJ/bit.
+        link = PhotonicLinkEnergy()
+        assert 0.1 < link.laser_pj_per_bit() < 0.5
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            PhotonicLinkEnergy(laser_efficiency=0.0).laser_pj_per_bit()
+
+    def test_negative_reach_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicLinkEnergy().energy_pj_per_bit(-1.0)
+
+
+class TestCrossover:
+    def test_optics_wins_at_server_scale(self):
+        # A multi-accelerator server board spans tens of centimetres;
+        # the crossover must sit below that for the paper's case to hold.
+        reach = crossover_reach_m(ElectricalLinkEnergy(), PhotonicLinkEnergy())
+        assert reach < 0.3
+
+    def test_crossover_zero_when_optics_always_wins(self):
+        cheap_optics = PhotonicLinkEnergy(
+            modulator_pj_per_bit=0.0,
+            receiver_pj_per_bit=0.0,
+            serdes_pj_per_bit=0.0,
+        )
+        expensive_copper = ElectricalLinkEnergy(base_pj_per_bit=10.0)
+        assert crossover_reach_m(expensive_copper, cheap_optics) == 0.0
+
+    def test_crossover_infinite_when_copper_flat(self):
+        flat_copper = ElectricalLinkEnergy(pj_per_bit_per_db=0.0)
+        assert crossover_reach_m(flat_copper, PhotonicLinkEnergy()) == float("inf")
+
+    def test_energies_equal_at_crossover(self):
+        electrical = ElectricalLinkEnergy()
+        photonic = PhotonicLinkEnergy()
+        reach = crossover_reach_m(electrical, photonic)
+        assert electrical.energy_pj_per_bit(reach) == pytest.approx(
+            photonic.energy_pj_per_bit(reach)
+        )

@@ -1,0 +1,95 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventEngine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(2.0, lambda: fired.append("b"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.run()
+        assert fired == ["a", "b"]
+
+    def test_ties_preserve_scheduling_order(self):
+        engine = EventEngine()
+        fired = []
+        for name in "abc":
+            engine.schedule_at(1.0, lambda n=name: fired.append(n))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_after_uses_now(self):
+        engine = EventEngine()
+        times = []
+        engine.schedule_at(5.0, lambda: engine.schedule_after(2.0, lambda: times.append(engine.now_s)))
+        engine.run()
+        assert times == [7.0]
+
+    def test_past_scheduling_rejected(self):
+        engine = EventEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventEngine().schedule_after(-1.0, lambda: None)
+
+
+class TestExecution:
+    def test_step_returns_false_when_empty(self):
+        assert EventEngine().step() is False
+
+    def test_clock_advances(self):
+        engine = EventEngine()
+        engine.schedule_at(3.0, lambda: None)
+        engine.run()
+        assert engine.now_s == 3.0
+
+    def test_run_until_stops_early(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(10.0, lambda: fired.append(10))
+        engine.run(until_s=5.0)
+        assert fired == [1]
+        assert engine.now_s == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_cancelled_events_skipped(self):
+        engine = EventEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_processed_counter(self):
+        engine = EventEngine()
+        for i in range(5):
+            engine.schedule_at(float(i), lambda: None)
+        engine.run()
+        assert engine.processed == 5
+
+    def test_runaway_guard(self):
+        engine = EventEngine(max_events=10)
+
+        def reschedule():
+            engine.schedule_after(1.0, reschedule)
+
+        engine.schedule_after(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(until_s=100.0)
+
+    def test_events_scheduled_during_run_fire(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: engine.schedule_at(2.0, lambda: fired.append(2)))
+        engine.run()
+        assert fired == [2]

@@ -1,0 +1,109 @@
+"""Tests for the rack-scale LIGHTPATH fabric."""
+
+import pytest
+
+from repro.core.circuits import CircuitError
+from repro.core.fabric import LightpathRackFabric
+from repro.topology.tpu import TpuRack
+
+
+@pytest.fixture
+def fabric():
+    return LightpathRackFabric(TpuRack(0))
+
+
+class TestStructure:
+    def test_one_wafer_per_server(self, fabric):
+        assert len(fabric.wafers) == 16
+
+    def test_every_chip_mapped_to_a_tile(self, fabric):
+        for chip in fabric.rack.torus.nodes():
+            server = fabric.server_of(chip)
+            tile = fabric.tile_of(chip)
+            wafer = fabric.wafers[server].wafer
+            assert wafer.tile(tile).accelerator == chip
+
+    def test_chips_on_same_server_share_wafer(self, fabric):
+        server = fabric.rack.servers()[0]
+        chips = fabric.rack.server_chips(server)
+        assert {fabric.server_of(c) for c in chips} == {server}
+
+    def test_trunks_join_adjacent_servers(self, fabric):
+        # Server torus is 2x2x4: dims with extent 2 give 1 cable per pair,
+        # extent 4 gives per-hop cables.
+        assert len(fabric.trunks()) > 0
+        for trunk in fabric.trunks():
+            a, b = trunk.ends
+            assert a != b
+
+    def test_trunk_lookup_rejects_non_adjacent(self, fabric):
+        with pytest.raises(KeyError):
+            fabric.trunk((0, 0, 0), (1, 1, 2))
+
+
+class TestIntraServerCircuits:
+    def test_same_server_uses_waveguides_only(self, fabric):
+        server = fabric.rack.servers()[0]
+        a, b = fabric.rack.server_chips(server)[:2]
+        circuit = fabric.establish(a, b)
+        assert circuit.fiber_hops == 0
+        assert circuit.server_path == (server,)
+        assert fabric.fibers_in_use() == 0
+
+    def test_setup_latency_is_reconfiguration(self, fabric):
+        server = fabric.rack.servers()[0]
+        a, b = fabric.rack.server_chips(server)[:2]
+        assert fabric.establish(a, b).setup_latency_s == pytest.approx(3.7e-6)
+
+
+class TestInterServerCircuits:
+    def test_cross_server_uses_fibers(self, fabric):
+        circuit = fabric.establish((0, 0, 0), (0, 0, 3))
+        assert circuit.fiber_hops >= 1
+        assert fabric.fibers_in_use() == circuit.fiber_hops
+
+    def test_far_corner_circuit(self, fabric):
+        circuit = fabric.establish((0, 0, 0), (3, 3, 3))
+        assert circuit.fiber_hops == len(circuit.server_path) - 1
+        assert len(circuit.endpoint_circuits) == 2
+
+    def test_teardown_releases_fibers(self, fabric):
+        circuit = fabric.establish((0, 0, 0), (0, 0, 3))
+        fabric.teardown(circuit.circuit_id)
+        assert fabric.fibers_in_use() == 0
+        assert not fabric.circuits
+
+    def test_failed_chip_rejected(self, fabric):
+        fabric.rack.fail_chip((0, 0, 0))
+        with pytest.raises(CircuitError):
+            fabric.establish((0, 0, 0), (1, 1, 1))
+
+    def test_unknown_chip_rejected(self, fabric):
+        with pytest.raises(CircuitError):
+            fabric.establish((9, 9, 9), (0, 0, 0))
+
+    def test_self_circuit_rejected(self, fabric):
+        with pytest.raises(CircuitError):
+            fabric.establish((0, 0, 0), (0, 0, 0))
+
+
+class TestResourceExclusivity:
+    def test_circuits_never_share_fibers(self, fabric):
+        circuits = [
+            fabric.establish((0, 0, 0), (0, 0, 2)),
+            fabric.establish((1, 0, 0), (1, 0, 2)),
+            fabric.establish((0, 1, 0), (0, 1, 2)),
+        ]
+        total = sum(c.fiber_hops for c in circuits)
+        assert fabric.fibers_in_use() == total
+        assert fabric.is_congestion_free()
+
+    def test_trunk_exhaustion_detours_or_fails(self):
+        fabric = LightpathRackFabric(TpuRack(0), fibers_per_trunk=1)
+        # Saturate circuits between the same server pair until the direct
+        # trunk is gone; further circuits must detour (longer path) or fail.
+        first = fabric.establish((0, 0, 0), (0, 0, 2))
+        second = fabric.establish((1, 1, 0), (1, 1, 2))
+        assert second.server_path != first.server_path or (
+            second.fiber_indices != first.fiber_indices
+        )

@@ -1,0 +1,67 @@
+"""Tests for fiber provisioning against failure scenarios (Section 5)."""
+
+import pytest
+
+from repro.core.fiber_planner import FailureScenario, FiberPlanner
+
+FIG7_LAYOUT = [
+    ("Slice-3", (4, 4, 1), (0, 0, 0)),
+    ("Slice-4", (4, 4, 2), (0, 0, 1)),
+]
+
+
+@pytest.fixture
+def planner():
+    return FiberPlanner(rack_shape=(4, 4, 4), layout=FIG7_LAYOUT)
+
+
+class TestScenarios:
+    def test_one_scenario_per_allocated_chip(self, planner):
+        scenarios = planner.all_single_failures()
+        assert len(scenarios) == 16 + 32
+
+    def test_scenarios_name_their_slice(self, planner):
+        scenarios = planner.all_single_failures()
+        names = {s.slice_name for s in scenarios}
+        assert names == {"Slice-3", "Slice-4"}
+
+
+class TestEvaluation:
+    def test_generous_budget_covers_all(self, planner):
+        subset = planner.all_single_failures()[:8]
+        point = planner.evaluate(16, subset)
+        assert point.coverage == 1.0
+        assert point.max_fibers_used > 0
+
+    def test_zero_budget_fails_cross_server_repairs(self, planner):
+        subset = planner.all_single_failures()[:8]
+        point = planner.evaluate(0, subset)
+        assert point.coverage < 1.0
+
+    def test_coverage_monotone_in_budget(self, planner):
+        subset = planner.all_single_failures()[:6]
+        curve = planner.coverage_curve([0, 2, 8], subset)
+        coverages = [p.coverage for p in curve]
+        assert coverages == sorted(coverages)
+
+    def test_negative_budget_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.evaluate(-1)
+
+
+class TestMinimumFibers:
+    def test_minimum_covers_all(self, planner):
+        subset = planner.all_single_failures()[:6]
+        minimum = planner.minimum_fibers(subset, upper_bound=16)
+        assert planner.evaluate(minimum, subset).coverage == 1.0
+        if minimum > 0:
+            assert planner.evaluate(minimum - 1, subset).coverage < 1.0
+
+    def test_uncoverable_layout_raises(self):
+        # No free chips at all: repairs can never succeed.
+        full = FiberPlanner(
+            rack_shape=(4, 4, 4), layout=[("all", (4, 4, 4), (0, 0, 0))]
+        )
+        scenarios = [FailureScenario(slice_name="all", failed=(0, 0, 0))]
+        with pytest.raises(RuntimeError):
+            full.minimum_fibers(scenarios, upper_bound=4)

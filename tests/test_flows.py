@@ -1,0 +1,108 @@
+"""Tests for max-min fair rate allocation."""
+
+import pytest
+
+from repro.sim.flows import Flow, max_min_rates
+
+
+def flow(fid, links, remaining=100.0, demand=None):
+    return Flow(
+        flow_id=fid,
+        links=tuple(links),
+        remaining_bytes=remaining,
+        demand_bytes_per_s=demand,
+    )
+
+
+class TestBasicFairness:
+    def test_single_flow_gets_capacity(self):
+        rates = max_min_rates([flow("a", ["l1"])], {"l1": 10.0})
+        assert rates["a"] == pytest.approx(10.0)
+
+    def test_two_flows_split_link(self):
+        rates = max_min_rates(
+            [flow("a", ["l1"]), flow("b", ["l1"])], {"l1": 10.0}
+        )
+        assert rates["a"] == pytest.approx(5.0)
+        assert rates["b"] == pytest.approx(5.0)
+
+    def test_bottleneck_governs_multihop(self):
+        rates = max_min_rates(
+            [flow("a", ["wide", "narrow"])], {"wide": 100.0, "narrow": 10.0}
+        )
+        assert rates["a"] == pytest.approx(10.0)
+
+    def test_classic_three_flow_maxmin(self):
+        # a: l1+l2, b: l1, c: l2 with capacities 10, 20.
+        rates = max_min_rates(
+            [flow("a", ["l1", "l2"]), flow("b", ["l1"]), flow("c", ["l2"])],
+            {"l1": 10.0, "l2": 20.0},
+        )
+        assert rates["a"] == pytest.approx(5.0)
+        assert rates["b"] == pytest.approx(5.0)
+        assert rates["c"] == pytest.approx(15.0)
+
+    def test_rates_written_back_to_flows(self):
+        flows = [flow("a", ["l1"])]
+        max_min_rates(flows, {"l1": 7.0})
+        assert flows[0].rate_bytes_per_s == pytest.approx(7.0)
+
+
+class TestDemandCaps:
+    def test_demand_cap_respected(self):
+        rates = max_min_rates(
+            [flow("a", ["l1"], demand=3.0), flow("b", ["l1"])], {"l1": 10.0}
+        )
+        assert rates["a"] == pytest.approx(3.0)
+        assert rates["b"] == pytest.approx(7.0)
+
+    def test_all_capped(self):
+        rates = max_min_rates(
+            [flow("a", ["l1"], demand=2.0), flow("b", ["l1"], demand=3.0)],
+            {"l1": 100.0},
+        )
+        assert rates["a"] == pytest.approx(2.0)
+        assert rates["b"] == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            max_min_rates([flow("a", ["ghost"])], {"l1": 1.0})
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_rates([flow("a", ["l1"])], {"l1": 0.0})
+
+    def test_empty_links_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(flow_id="a", links=(), remaining_bytes=1.0)
+
+    def test_negative_remaining_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(flow_id="a", links=("l",), remaining_bytes=-1.0)
+
+    def test_no_flows_is_fine(self):
+        assert max_min_rates([], {"l1": 1.0}) == {}
+
+
+class TestConservation:
+    def test_no_link_oversubscribed(self):
+        flows = [
+            flow("a", ["l1", "l2"]),
+            flow("b", ["l2", "l3"]),
+            flow("c", ["l1", "l3"]),
+            flow("d", ["l2"]),
+        ]
+        caps = {"l1": 10.0, "l2": 6.0, "l3": 8.0}
+        rates = max_min_rates(flows, caps)
+        for link, cap in caps.items():
+            load = sum(
+                rates[f.flow_id] for f in flows if link in f.links
+            )
+            assert load <= cap + 1e-9
+
+    def test_work_conserving_on_bottleneck(self):
+        flows = [flow("a", ["l1"]), flow("b", ["l1"])]
+        rates = max_min_rates(flows, {"l1": 10.0})
+        assert sum(rates.values()) == pytest.approx(10.0)

@@ -1,0 +1,71 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.failures.inject import FleetFailureModel, single_failure
+from repro.topology.tpu import GlobalChipId, TpuCluster
+
+
+class TestSingleFailure:
+    def test_event_carries_identity(self):
+        cluster = TpuCluster(rack_count=2)
+        event = single_failure(cluster, rack=1, chip=(0, 0, 0), time_s=5.0)
+        assert event.chip == GlobalChipId(1, (0, 0, 0))
+        assert event.time_s == 5.0
+
+    def test_invalid_rack_rejected(self):
+        cluster = TpuCluster(rack_count=2)
+        with pytest.raises(IndexError):
+            single_failure(cluster, rack=5, chip=(0, 0, 0))
+
+
+class TestFleetModel:
+    def test_events_time_ordered(self):
+        cluster = TpuCluster(rack_count=4)
+        model = FleetFailureModel(cluster, seed=1)
+        events = model.sample_failures(horizon_s=30 * 24 * 3600)
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+
+    def test_events_within_horizon(self):
+        cluster = TpuCluster(rack_count=4)
+        model = FleetFailureModel(cluster, seed=1)
+        horizon = 7 * 24 * 3600.0
+        events = model.sample_failures(horizon)
+        assert all(e.time_s <= horizon for e in events)
+
+    def test_seed_reproducibility(self):
+        cluster = TpuCluster(rack_count=2)
+        a = FleetFailureModel(cluster, seed=3).sample_failures(1e6)
+        b = FleetFailureModel(cluster, seed=3).sample_failures(1e6)
+        assert a == b
+
+    def test_expected_failures_scale_with_horizon(self):
+        cluster = TpuCluster(rack_count=4)
+        model = FleetFailureModel(cluster)
+        short = model.expected_failures(24 * 3600.0)
+        long = model.expected_failures(30 * 24 * 3600.0)
+        assert long > short > 0
+
+    def test_empirical_count_near_expectation(self):
+        cluster = TpuCluster(rack_count=16)
+        model = FleetFailureModel(cluster, seed=0)
+        horizon = 30 * 24 * 3600.0
+        events = model.sample_failures(horizon)
+        expected = model.expected_failures(horizon)
+        assert len(events) == pytest.approx(expected, rel=0.4)
+
+    def test_inject_marks_chips(self):
+        cluster = TpuCluster(rack_count=2)
+        model = FleetFailureModel(cluster, seed=2)
+        events = model.sample_failures(1e8)[:3]
+        model.inject(events)
+        for event in events:
+            assert cluster.rack(event.chip.rack).is_failed(event.chip.coord)
+
+    def test_invalid_parameters(self):
+        cluster = TpuCluster(rack_count=1)
+        with pytest.raises(ValueError):
+            FleetFailureModel(cluster, mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            FleetFailureModel(cluster).sample_failures(0.0)

@@ -1,0 +1,58 @@
+"""Integration at the paper's full scale: the 4096-chip TPUv4 cluster."""
+
+import pytest
+
+from repro.failures.availability import replay_trace
+from repro.failures.blast_radius import compare_policies
+from repro.failures.inject import FleetFailureModel
+from repro.topology.jobs import provision_job
+from repro.topology.tpu import TpuCluster
+
+
+class TestFullClusterScale:
+    def test_cluster_instantiates_at_paper_scale(self):
+        cluster = TpuCluster()
+        assert cluster.chip_count == 4096
+        assert len(cluster.racks) == 64
+        for rack in cluster.racks[:4]:
+            rack.validate_paper_geometry()
+
+    def test_sixteen_rack_job_provisions(self):
+        cluster = TpuCluster()
+        job = provision_job(cluster, "supercomputer-slice", chips=1024)
+        assert job.torus.shape == (4, 4, 64)
+        assert job.electrical_utilization == 1.0
+        assert len(job.racks) == 16
+
+    def test_many_jobs_coexist(self):
+        cluster = TpuCluster()
+        jobs = []
+        for i in range(8):
+            jobs.append(
+                provision_job(
+                    cluster, f"job{i}", chips=128, first_rack=2 * i
+                )
+            )
+        used = {rack for job in jobs for rack in job.racks}
+        assert len(used) == 16
+
+    def test_end_to_end_failure_pipeline(self):
+        cluster = TpuCluster()
+        model = FleetFailureModel(cluster, seed=99)
+        horizon = 30 * 24 * 3600.0
+        events = model.sample_failures(horizon)
+        assert 20 < len(events) < 200  # ~2/day at 5-year MTBF
+        model.inject(events)
+        assert len(cluster.failed_chips()) == len(events)
+        rack_report, optical_report = compare_policies(events)
+        availability = replay_trace(events, cluster.chip_count, horizon)
+        assert rack_report.total_chip_impact == 64 * len(events)
+        assert optical_report.total_chip_impact == 4 * len(events)
+        assert availability[1].mean_availability > availability[0].mean_availability
+        assert availability[0].mean_availability > 0.99
+
+    def test_ocs_planes_scale(self):
+        cluster = TpuCluster()
+        latency = cluster.join_racks(2, 0, 1)
+        assert latency == pytest.approx(20e-3)
+        assert cluster.ocs_planes[2].circuit_count == 32  # 16 columns x 2

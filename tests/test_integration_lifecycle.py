@@ -1,0 +1,96 @@
+"""Integration: a full fabric lifecycle through the controller.
+
+Admits the Figure 5b tenants, runs steered collectives on the simulator
+with telemetry, injects failures, repairs them optically, and checks the
+fabric's books balance at every step — the end-to-end path a deployment
+would exercise.
+"""
+
+import pytest
+
+from repro.collectives.cost_model import CostParameters
+from repro.core.controller import FabricController
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.sim.engine import EventEngine
+from repro.sim.flows import Flow
+from repro.sim.telemetry import InstrumentedNetwork
+
+
+@pytest.fixture
+def controller():
+    c = FabricController()
+    c.admit("Slice-3", (4, 4, 1), (0, 0, 0))
+    c.admit("Slice-4", (4, 4, 2), (0, 0, 1))
+    c.admit("Slice-1", (4, 2, 1), (0, 0, 3))
+    return c
+
+
+class TestLifecycle:
+    def test_admission_leaves_spares(self, controller):
+        assert len(controller.spare_chips()) == 8
+
+    def test_predicted_vs_executed_schedule(self, controller):
+        n_bytes = 1 << 22
+        schedule = controller.build_schedule("Slice-3", n_bytes)
+        predicted = controller.predict_reduce_scatter_s("Slice-3", n_bytes)
+        # Execute on an instrumented network at the steered rate.
+        engine = EventEngine()
+        links = {
+            link: CHIP_EGRESS_BYTES / 2
+            for link in controller.rack.torus.links()
+        }
+        network = InstrumentedNetwork(engine, links)
+        params = CostParameters()
+        elapsed = 0.0
+        for phase in schedule.phases:
+            elapsed += phase.reconfigurations * params.reconfig_s
+            if not phase.transfers:
+                continue
+            elapsed += params.alpha_s
+            start = engine.now_s
+            for i, transfer in enumerate(phase.transfers):
+                network.inject(
+                    Flow((id(phase), i), transfer.links, transfer.n_bytes)
+                )
+            network.run_until_idle()
+            elapsed += engine.now_s - start
+        assert elapsed == pytest.approx(predicted, rel=1e-6)
+        # Telemetry saw traffic only on the steered dimensions.
+        assert network.telemetry.busiest_links(1)[0][1] > 0
+
+    def test_failure_repair_failure_again(self, controller):
+        first = controller.handle_failure((1, 2, 0))
+        assert first is not None
+        spares_after_first = len(controller.spare_chips())
+        second = controller.handle_failure((3, 3, 0))
+        assert second is not None
+        assert second.replacement != first.replacement
+        assert len(controller.spare_chips()) == spares_after_first - 1
+        state = controller.tenant("Slice-3")
+        assert len(state.repairs) == 2
+        assert controller.fabric.fibers_in_use() == (
+            first.fibers_used + second.fibers_used
+        )
+
+    def test_spare_not_reused_across_tenants(self, controller):
+        plan3 = controller.handle_failure((1, 2, 0))
+        plan4 = controller.handle_failure((1, 2, 1))
+        assert plan3.replacement != plan4.replacement
+
+    def test_eviction_returns_capacity_but_keeps_failures(self, controller):
+        controller.handle_failure((1, 2, 0))
+        controller.evict("Slice-4")
+        assert "Slice-4" not in controller.tenants
+        # Failed chip stays failed; freed chips become spares.
+        assert controller.rack.is_failed((1, 2, 0))
+        assert len(controller.spare_chips()) >= 32
+
+    def test_status_consistent_after_everything(self, controller):
+        controller.handle_failure((1, 2, 0))
+        controller.evict("Slice-1")
+        status = controller.status()
+        # Spare reservations live in the allocator, not the tenant table.
+        assert set(status["tenants"]) == {"Slice-3", "Slice-4"}
+        assert status["tenants"]["Slice-3"]["repairs"] == 1
+        assert status["failed_chips"] == 1
+        assert status["active_circuits"] >= 2

@@ -1,0 +1,169 @@
+"""End-to-end integration tests reproducing the paper's headline results.
+
+Each test corresponds to a table or figure; the benchmark harness prints
+the same quantities, these tests pin them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.congestion_report import analyze_rack_congestion
+from repro.analysis.utilization import figure5b_layout, rack_utilization
+from repro.collectives.cost_model import CostParameters
+from repro.collectives.primitives import (
+    Interconnect,
+    build_reduce_scatter_schedule,
+    plan_reduce_scatter,
+    reduce_scatter_cost,
+)
+from repro.core.fabric import LightpathRackFabric
+from repro.core.repair import plan_optical_repair
+from repro.core.wafer import LightpathWafer
+from repro.failures.blast_radius import compare_policies, improvement_factor
+from repro.failures.inject import FleetFailureModel
+from repro.failures.recovery import ElectricalRecoveryAnalysis
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.phy.mzi import MziSwitchDynamics
+from repro.phy.stitch_loss import StitchLossModel
+from repro.sim.runner import run_schedule
+from repro.topology.slices import SliceAllocator
+from repro.topology.tpu import TpuCluster, TpuRack
+from repro.topology.torus import Torus
+
+
+class TestSection3Hardware:
+    def test_fig3a_reconfiguration_under_3_7us(self):
+        dynamics = MziSwitchDynamics(noise_rms=0.01, rng=np.random.default_rng(0))
+        trace = dynamics.measure_step(duration_s=12e-6, samples=4000)
+        fit = dynamics.fit_exponential(trace)
+        assert fit.settling_time(0.05) <= 3.7e-6 * 1.1
+
+    def test_fig3b_stitch_loss_low_enough_to_route(self):
+        model = StitchLossModel(rng=np.random.default_rng(0))
+        hist = model.histogram(samples=10000)
+        assert hist.mean_db == pytest.approx(0.25, abs=0.02)
+        # Full-wafer traversal (10 crossings) loses ~2.5 dB — well inside
+        # the >20 dB budget, hence "routing within the same active layer".
+        assert 10 * hist.mean_db < 5.0
+
+    def test_wafer_capability_summary(self):
+        wafer = LightpathWafer()
+        assert wafer.matches_paper()
+        caps = wafer.capabilities()
+        assert caps.tiles == 32
+        assert caps.lasers_per_tile == 16
+        assert caps.wavelength_rate_bps == pytest.approx(224e9)
+        assert caps.reconfiguration_latency_s == pytest.approx(3.7e-6)
+
+
+class TestTables1And2:
+    def test_table1_reproduced(self):
+        rack = Torus((4, 4, 4))
+        allocator = SliceAllocator(rack)
+        slice1 = allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+        electrical = reduce_scatter_cost(slice1, Interconnect.ELECTRICAL)
+        optical = reduce_scatter_cost(slice1, Interconnect.OPTICAL)
+        # Elec: 7 x a | N(7/8)(3/B).  Optics: 7 x a + r | N(7/8)(1/B).
+        assert (electrical.alpha_count, optical.alpha_count) == (7, 7)
+        assert optical.reconfig_count == 1
+        assert electrical.beta_factor / optical.beta_factor == pytest.approx(3.0)
+
+    def test_table2_reproduced(self):
+        from repro.collectives.primitives import reduce_scatter_stage_costs
+
+        rack = Torus((4, 4, 4))
+        allocator = SliceAllocator(rack)
+        slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
+        electrical = reduce_scatter_stage_costs(slice3, Interconnect.ELECTRICAL)
+        optical = reduce_scatter_stage_costs(slice3, Interconnect.OPTICAL)
+        # Two stages (X rings on N, then Y rings on N/4), each 3 x a, the
+        # optical rows +r, betas 1.5x apart.
+        assert [c.alpha_count for c in electrical] == [3, 3]
+        assert [c.reconfig_count for c in optical] == [1, 1]
+        for e, o in zip(electrical, optical):
+            assert e.beta_factor / o.beta_factor == pytest.approx(1.5)
+        assert electrical[0].beta_factor / electrical[1].beta_factor == (
+            pytest.approx(4.0)
+        )
+
+    def test_simulated_execution_confirms_table1(self):
+        rack = Torus((4, 4, 4))
+        allocator = SliceAllocator(rack)
+        slice1 = allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+        n_bytes = 1 << 26
+        params = CostParameters()
+        durations = {}
+        for interconnect in (Interconnect.ELECTRICAL, Interconnect.OPTICAL):
+            strategy = plan_reduce_scatter(slice1, interconnect)
+            caps = {
+                link: CHIP_EGRESS_BYTES * strategy.bandwidth_fraction
+                for link in rack.links()
+            }
+            schedule = build_reduce_scatter_schedule(slice1, n_bytes, interconnect)
+            durations[interconnect] = run_schedule(
+                schedule, caps, params.alpha_s, params.reconfig_s
+            )
+        ratio = (
+            durations[Interconnect.ELECTRICAL].transfer_s
+            / durations[Interconnect.OPTICAL].transfer_s
+        )
+        assert ratio == pytest.approx(3.0, rel=1e-6)
+
+
+class TestFigure5:
+    def test_bandwidth_loss_series(self):
+        rows = {u.name: u for u in rack_utilization(figure5b_layout())}
+        assert rows["Slice-1"].bandwidth_loss_percent == pytest.approx(66.7, abs=0.1)
+        assert rows["Slice-2"].bandwidth_loss_percent == pytest.approx(66.7, abs=0.1)
+        assert rows["Slice-3"].bandwidth_loss_percent == pytest.approx(33.3, abs=0.1)
+        assert rows["Slice-4"].bandwidth_loss_percent == pytest.approx(33.3, abs=0.1)
+        assert all(u.optical_fraction == 1.0 for u in rows.values())
+
+    def test_naive_rings_congest_electrically(self):
+        report = analyze_rack_congestion(figure5b_layout())
+        assert not report.is_congestion_free
+
+
+class TestFigure6And7:
+    def _scenario(self):
+        rack = TpuRack(0)
+        allocator = SliceAllocator(rack.torus)
+        slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
+        allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
+        allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+        return rack, allocator, slice3
+
+    def test_fig6a_electrical_repair_always_congests(self):
+        rack, allocator, slice3 = self._scenario()
+        analysis = ElectricalRecoveryAnalysis(rack.torus, allocator, max_hops=5)
+        assert not analysis.congestion_free_replacement_exists(slice3, (1, 2, 0))
+
+    def test_fig7_optical_repair_is_congestion_free(self):
+        rack, allocator, slice3 = self._scenario()
+        fabric = LightpathRackFabric(rack)
+        plan = plan_optical_repair(fabric, allocator, slice3, (1, 2, 0))
+        assert plan.setup_latency_s == pytest.approx(3.7e-6)
+        assert fabric.is_congestion_free()
+        assert plan.blast_radius_chips == 1
+
+    def test_same_failure_electrical_blocked_optical_repaired(self):
+        rack, allocator, slice3 = self._scenario()
+        failed = (2, 1, 0)
+        analysis = ElectricalRecoveryAnalysis(rack.torus, allocator, max_hops=5)
+        assert not analysis.congestion_free_replacement_exists(slice3, failed)
+        fabric = LightpathRackFabric(rack)
+        plan = plan_optical_repair(fabric, allocator, slice3, failed)
+        assert plan.circuits
+
+
+class TestSection42BlastRadius:
+    def test_blast_radius_shrinks_rack_to_server(self):
+        cluster = TpuCluster(rack_count=16)
+        events = FleetFailureModel(cluster, seed=7).sample_failures(
+            90 * 24 * 3600.0
+        )
+        assert events, "expected some failures in a 1024-chip quarter"
+        rack_report, optical_report = compare_policies(events)
+        assert rack_report.blast_radius_chips == 64
+        assert optical_report.blast_radius_chips == 4
+        assert improvement_factor(rack_report, optical_report) == pytest.approx(16.0)

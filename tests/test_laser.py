@@ -1,0 +1,79 @@
+"""Tests for the WDM laser bank."""
+
+import pytest
+
+from repro.phy.constants import WAVELENGTH_RATE_BPS
+from repro.phy.laser import LaserBank
+
+
+class TestComb:
+    def test_default_has_sixteen_channels(self):
+        assert LaserBank().channels == 16
+
+    def test_comb_length(self):
+        assert len(LaserBank().comb()) == 16
+
+    def test_channels_evenly_spaced(self):
+        bank = LaserBank()
+        comb = bank.comb()
+        gaps = [
+            comb[i + 1].frequency_hz - comb[i].frequency_hz
+            for i in range(len(comb) - 1)
+        ]
+        assert all(g == pytest.approx(bank.spacing_hz) for g in gaps)
+
+    def test_comb_centered(self):
+        bank = LaserBank()
+        comb = bank.comb()
+        mid = (comb[0].frequency_hz + comb[-1].frequency_hz) / 2
+        assert mid == pytest.approx(bank.center_hz)
+
+    def test_channel_out_of_range(self):
+        with pytest.raises(IndexError):
+            LaserBank().channel(16)
+        with pytest.raises(IndexError):
+            LaserBank().channel(-1)
+
+    def test_wavelength_in_c_band(self):
+        wl = LaserBank().channel(8).wavelength_m
+        assert 1.5e-6 < wl < 1.6e-6
+
+    def test_needs_at_least_one_channel(self):
+        with pytest.raises(ValueError):
+            LaserBank(channels=0)
+
+    def test_positive_spacing_required(self):
+        with pytest.raises(ValueError):
+            LaserBank(spacing_hz=0.0)
+
+
+class TestFailures:
+    def test_fail_reduces_working_channels(self):
+        bank = LaserBank()
+        bank.fail(3)
+        assert bank.working_channels == 15
+        assert not bank.is_working(3)
+
+    def test_fail_idempotent(self):
+        bank = LaserBank()
+        bank.fail(3)
+        bank.fail(3)
+        assert bank.working_channels == 15
+
+    def test_repair_restores(self):
+        bank = LaserBank()
+        bank.fail(3)
+        bank.repair(3)
+        assert bank.working_channels == 16
+        assert bank.is_working(3)
+
+    def test_fail_out_of_range(self):
+        with pytest.raises(IndexError):
+            LaserBank().fail(99)
+
+    def test_aggregate_rate_tracks_failures(self):
+        bank = LaserBank()
+        assert bank.aggregate_rate_bps() == pytest.approx(16 * WAVELENGTH_RATE_BPS)
+        bank.fail(0)
+        bank.fail(1)
+        assert bank.aggregate_rate_bps() == pytest.approx(14 * WAVELENGTH_RATE_BPS)

@@ -1,0 +1,89 @@
+"""Tests for the end-to-end optical link budget."""
+
+import pytest
+
+from repro.phy.link_budget import LinkBudget
+from repro.phy.waveguide import PathLoss, fiber, waveguide
+
+
+def short_path(crossings=2):
+    return PathLoss(
+        segments=[waveguide(0.05, crossings=crossings)], mzi_hops=2
+    )
+
+
+class TestEvaluation:
+    def test_short_path_feasible(self):
+        report = LinkBudget().evaluate(short_path())
+        assert report.feasible
+        assert report.margin_db > 0
+
+    def test_loss_accounts_crossings_and_mzis(self):
+        report = LinkBudget().evaluate(short_path(crossings=4))
+        expected = 0.05 * 10.0 + 4 * 0.25 + 2 * 0.5
+        assert report.path_loss_db == pytest.approx(expected)
+
+    def test_received_power_is_launch_minus_loss(self):
+        budget = LinkBudget()
+        report = budget.evaluate(short_path())
+        assert report.received_power_dbm == pytest.approx(
+            report.launch_power_dbm - report.path_loss_db
+        )
+
+    def test_launch_power_is_laser_minus_mrr(self):
+        report = LinkBudget(laser_power_dbm=10.0).evaluate(short_path())
+        assert report.launch_power_dbm == pytest.approx(10.0 - 3.0)
+
+    def test_margin_is_received_minus_sensitivity(self):
+        budget = LinkBudget(sensitivity_dbm=-11.0)
+        report = budget.evaluate(short_path())
+        assert report.margin_db == pytest.approx(report.received_power_dbm + 11.0)
+
+    def test_very_lossy_path_infeasible(self):
+        lossy = PathLoss(
+            segments=[waveguide(2.0, crossings=40)], mzi_hops=10
+        )
+        report = LinkBudget().evaluate(lossy)
+        assert not report.feasible
+        assert report.margin_db < 0
+
+    def test_fiber_path_feasible(self):
+        # Rack-scale circuit: short waveguides at both ends + 3 m fiber.
+        path = PathLoss(
+            segments=[waveguide(0.05, crossings=1), fiber(3.0), waveguide(0.05, crossings=1)],
+            mzi_hops=4,
+        )
+        assert LinkBudget().evaluate(path).feasible
+
+    def test_detection_result_attached(self):
+        report = LinkBudget().evaluate(short_path())
+        assert 0.0 <= report.detection.ber <= 0.5
+
+
+class TestMaxCrossings:
+    def test_max_crossings_positive_for_short_path(self):
+        budget = LinkBudget()
+        assert budget.max_crossings(short_path(crossings=0), 0.25) > 10
+
+    def test_max_crossings_zero_for_infeasible_base(self):
+        lossy = PathLoss(segments=[waveguide(5.0)], mzi_hops=0)
+        assert LinkBudget().max_crossings(lossy, 0.25) == 0
+
+    def test_max_crossings_consistent_with_margin(self):
+        budget = LinkBudget()
+        base = short_path(crossings=0)
+        n = budget.max_crossings(base, 0.25)
+        report = budget.evaluate(base)
+        assert n == int(report.margin_db // 0.25)
+
+    def test_invalid_crossing_loss_rejected(self):
+        with pytest.raises(ValueError):
+            LinkBudget().max_crossings(short_path(), 0.0)
+
+    def test_paper_routing_feasibility(self):
+        # Section 3's point: at 0.25 dB/crossing a full-wafer traversal
+        # (10 boundaries on a 4x8 grid) still closes the budget.
+        wafer_diameter = PathLoss(
+            segments=[waveguide(0.5, crossings=10)], mzi_hops=3
+        )
+        assert LinkBudget().evaluate(wafer_diameter).feasible

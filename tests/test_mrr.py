@@ -1,0 +1,85 @@
+"""Tests for the micro-ring modulator model."""
+
+import pytest
+
+from repro.phy.constants import WAVELENGTH_RATE_BPS
+from repro.phy.mrr import MicroRingModulator
+
+CARRIER = 193.1e12
+
+
+class TestModulation:
+    def test_modulate_applies_insertion_loss(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER, insertion_loss_db=3.0)
+        signal = mrr.modulate(CARRIER, launch_power_dbm=10.0, rate_bps=100e9)
+        assert signal.carrier_power_dbm == pytest.approx(7.0)
+
+    def test_modulate_at_full_rate(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER)
+        signal = mrr.modulate(CARRIER, 10.0, WAVELENGTH_RATE_BPS)
+        assert signal.rate_bps == pytest.approx(224e9)
+
+    def test_rate_above_limit_rejected(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER)
+        with pytest.raises(ValueError):
+            mrr.modulate(CARRIER, 10.0, WAVELENGTH_RATE_BPS * 1.01)
+
+    def test_zero_rate_rejected(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER)
+        with pytest.raises(ValueError):
+            mrr.modulate(CARRIER, 10.0, 0.0)
+
+    def test_carrier_outside_tuning_range_rejected(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER, tuning_range_hz=100e9)
+        with pytest.raises(ValueError):
+            mrr.modulate(CARRIER + 200e9, 10.0, 100e9)
+
+    def test_can_modulate_respects_range(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER, tuning_range_hz=100e9)
+        assert mrr.can_modulate(CARRIER + 50e9)
+        assert not mrr.can_modulate(CARRIER + 150e9)
+
+
+class TestEyeLevels:
+    def test_levels_bracket_average(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER)
+        signal = mrr.modulate(CARRIER, 10.0, 100e9)
+        assert signal.one_level_factor > 1.0
+        assert signal.zero_level_factor < 1.0
+
+    def test_levels_average_to_one(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER)
+        signal = mrr.modulate(CARRIER, 10.0, 100e9)
+        avg = (signal.one_level_factor + signal.zero_level_factor) / 2
+        assert avg == pytest.approx(1.0)
+
+    def test_level_ratio_equals_extinction(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER, extinction_ratio_db=6.0)
+        signal = mrr.modulate(CARRIER, 10.0, 100e9)
+        ratio_db = 10 * __import__("math").log10(
+            signal.one_level_factor / signal.zero_level_factor
+        )
+        assert ratio_db == pytest.approx(6.0)
+
+
+class TestDetunePenalty:
+    def test_zero_at_perfect_alignment(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER)
+        assert mrr.detune_penalty_db(CARRIER) == pytest.approx(0.0)
+
+    def test_three_db_at_half_linewidth(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER)
+        assert mrr.detune_penalty_db(CARRIER + 25e9, linewidth_hz=50e9) == (
+            pytest.approx(3.0103, rel=1e-3)
+        )
+
+    def test_penalty_grows_with_detuning(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER)
+        small = mrr.detune_penalty_db(CARRIER + 10e9)
+        large = mrr.detune_penalty_db(CARRIER + 40e9)
+        assert large > small
+
+    def test_invalid_linewidth_rejected(self):
+        mrr = MicroRingModulator(resonance_hz=CARRIER)
+        with pytest.raises(ValueError):
+            mrr.detune_penalty_db(CARRIER, linewidth_hz=0.0)

@@ -1,0 +1,146 @@
+"""Tests for the MZI switch models (paper Figure 3a)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy.constants import RECONFIG_LATENCY_S
+from repro.phy.mzi import (
+    MziState,
+    MziSwitch,
+    MziSwitchDynamics,
+    StepResponse,
+    assert_matches_paper,
+)
+
+
+class TestStaticTransfer:
+    def test_bar_state_routes_to_bar_port(self):
+        switch = MziSwitch(insertion_loss_db=0.0)
+        switch.set_state(MziState.BAR)
+        assert switch.bar_power(1.0) == pytest.approx(1.0)
+        assert switch.cross_power(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cross_state_routes_to_cross_port(self):
+        switch = MziSwitch(insertion_loss_db=0.0)
+        switch.set_state(MziState.CROSS)
+        assert switch.cross_power(1.0) == pytest.approx(1.0)
+        assert switch.bar_power(1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_insertion_loss_scales_output(self):
+        switch = MziSwitch(insertion_loss_db=3.0)
+        switch.set_state(MziState.CROSS)
+        assert switch.cross_power(1.0) == pytest.approx(10 ** (-0.3), rel=1e-6)
+
+    def test_power_conserved_up_to_loss(self):
+        switch = MziSwitch(insertion_loss_db=0.5)
+        for phase in np.linspace(0, math.pi, 7):
+            switch.phase_rad = float(phase)
+            total = switch.bar_power(1.0) + switch.cross_power(1.0)
+            assert total == pytest.approx(switch.transmissivity)
+
+    def test_intermediate_phase_splits_power(self):
+        switch = MziSwitch(insertion_loss_db=0.0, phase_rad=math.pi / 2)
+        assert switch.bar_power(1.0) == pytest.approx(0.5)
+        assert switch.cross_power(1.0) == pytest.approx(0.5)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            MziSwitch().set_state("diagonal")
+
+    def test_extinction_ratio_infinite_at_ideal_state(self):
+        switch = MziSwitch()
+        switch.set_state(MziState.BAR)
+        assert switch.extinction_ratio_db() == math.inf
+
+    def test_extinction_ratio_finite_off_ideal(self):
+        switch = MziSwitch(phase_rad=0.1)
+        assert 0.0 < switch.extinction_ratio_db() < math.inf
+
+
+class TestDynamics:
+    def test_default_latency_matches_paper(self):
+        dynamics = MziSwitchDynamics()
+        assert dynamics.reconfiguration_latency() == pytest.approx(
+            RECONFIG_LATENCY_S, rel=0.02
+        )
+
+    def test_assert_matches_paper_passes(self):
+        assert_matches_paper()
+
+    def test_ideal_amplitude_starts_at_zero(self):
+        dynamics = MziSwitchDynamics()
+        assert dynamics.ideal_amplitude(np.array([0.0]))[0] == pytest.approx(0.0)
+
+    def test_ideal_amplitude_is_zero_before_edge(self):
+        dynamics = MziSwitchDynamics()
+        assert dynamics.ideal_amplitude(np.array([-1e-6]))[0] == 0.0
+
+    def test_ideal_amplitude_saturates(self):
+        dynamics = MziSwitchDynamics()
+        assert dynamics.ideal_amplitude(np.array([50e-6]))[0] == pytest.approx(1.0)
+
+    def test_ideal_amplitude_monotone(self):
+        dynamics = MziSwitchDynamics()
+        t = np.linspace(0, 10e-6, 100)
+        values = dynamics.ideal_amplitude(t)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_measured_trace_shape(self):
+        trace = MziSwitchDynamics().measure_step(duration_s=10e-6, samples=500)
+        assert trace.time_s.shape == (500,)
+        assert trace.amplitude.shape == (500,)
+
+    def test_measurement_requires_valid_window(self):
+        with pytest.raises(ValueError):
+            MziSwitchDynamics().measure_step(duration_s=-1.0)
+        with pytest.raises(ValueError):
+            MziSwitchDynamics().measure_step(samples=1)
+
+    def test_fit_recovers_time_constant(self):
+        dynamics = MziSwitchDynamics(noise_rms=0.01, rng=np.random.default_rng(7))
+        trace = dynamics.measure_step(duration_s=12e-6, samples=4000)
+        fit = dynamics.fit_exponential(trace)
+        assert fit.tau_s == pytest.approx(dynamics.tau_s, rel=0.1)
+
+    def test_fit_settling_time_near_paper(self):
+        dynamics = MziSwitchDynamics(noise_rms=0.01, rng=np.random.default_rng(3))
+        trace = dynamics.measure_step(duration_s=12e-6, samples=4000)
+        fit = dynamics.fit_exponential(trace)
+        assert fit.settling_time(0.05) == pytest.approx(RECONFIG_LATENCY_S, rel=0.15)
+
+    def test_fit_rejects_flat_trace(self):
+        dynamics = MziSwitchDynamics()
+        flat = StepResponse(
+            time_s=np.linspace(0, 1e-5, 100), amplitude=np.ones(100)
+        )
+        with pytest.raises(ValueError):
+            dynamics.fit_exponential(flat)
+
+    def test_noise_is_reproducible_by_seed(self):
+        a = MziSwitchDynamics(rng=np.random.default_rng(5)).measure_step()
+        b = MziSwitchDynamics(rng=np.random.default_rng(5)).measure_step()
+        assert np.allclose(a.amplitude, b.amplitude)
+
+
+class TestStepResponseSettling:
+    def test_settling_time_of_clean_exponential(self):
+        dynamics = MziSwitchDynamics(noise_rms=0.0)
+        t = np.linspace(0, 12e-6, 6000)
+        trace = StepResponse(time_s=t, amplitude=dynamics.ideal_amplitude(t))
+        assert trace.settling_time(0.05) == pytest.approx(
+            RECONFIG_LATENCY_S, rel=0.05
+        )
+
+    def test_settled_from_start(self):
+        trace = StepResponse(
+            time_s=np.linspace(0, 1e-6, 10), amplitude=np.ones(10)
+        )
+        assert trace.settling_time(0.05) == 0.0
+
+    def test_oscillating_trace_settles_only_at_the_end(self):
+        t = np.linspace(0, 1e-6, 10)
+        amplitude = np.array([0, 1, 0, 1, 0, 1, 0, 1, 0, 1], dtype=float)
+        trace = StepResponse(time_s=t, amplitude=amplitude)
+        assert trace.settling_time(0.05) == pytest.approx(t[-1])

@@ -1,0 +1,117 @@
+"""Tests for the fluid flow network."""
+
+import pytest
+
+from repro.sim.engine import EventEngine, SimulationError
+from repro.sim.flows import Flow
+from repro.sim.network import FlowNetwork
+
+
+def make(caps=None):
+    engine = EventEngine()
+    return engine, FlowNetwork(engine, caps or {"l1": 10.0, "l2": 10.0})
+
+
+class TestSingleFlow:
+    def test_completion_time(self):
+        engine, network = make()
+        network.inject(Flow("a", ("l1",), remaining_bytes=100.0))
+        finish = network.run_until_idle()
+        assert finish == pytest.approx(10.0)
+
+    def test_record_duration(self):
+        engine, network = make()
+        record = network.inject(Flow("a", ("l1",), 50.0))
+        network.run_until_idle()
+        assert record.duration_s == pytest.approx(5.0)
+
+    def test_duration_before_finish_raises(self):
+        engine, network = make()
+        record = network.inject(Flow("a", ("l1",), 50.0))
+        with pytest.raises(SimulationError):
+            _ = record.duration_s
+
+
+class TestSharing:
+    def test_two_flows_share_then_speed_up(self):
+        engine, network = make()
+        network.inject(Flow("a", ("l1",), 100.0))
+        network.inject(Flow("b", ("l1",), 50.0))
+        network.run_until_idle()
+        records = {r.flow.flow_id: r for r in network.records}
+        # b finishes at t=10 (5 B/s each); a then gets 10 B/s for its
+        # remaining 50 bytes -> t=15.
+        assert records["b"].finish_s == pytest.approx(10.0)
+        assert records["a"].finish_s == pytest.approx(15.0)
+
+    def test_late_arrival_slows_existing_flow(self):
+        engine, network = make()
+        network.inject(Flow("a", ("l1",), 100.0))
+        engine.schedule_at(
+            5.0, lambda: network.inject(Flow("b", ("l1",), 25.0))
+        )
+        network.run_until_idle()
+        records = {r.flow.flow_id: r for r in network.records}
+        # a does 50 bytes alone by t=5, then shares: b's 25 bytes at 5 B/s
+        # end at t=10; a's remaining 25 run at 5 B/s until t=10 then full
+        # rate: finishes at 12.5.
+        assert records["b"].finish_s == pytest.approx(10.0)
+        assert records["a"].finish_s == pytest.approx(12.5)
+
+    def test_disjoint_flows_independent(self):
+        engine, network = make()
+        network.inject(Flow("a", ("l1",), 100.0))
+        network.inject(Flow("b", ("l2",), 40.0))
+        network.run_until_idle()
+        records = {r.flow.flow_id: r for r in network.records}
+        assert records["a"].finish_s == pytest.approx(10.0)
+        assert records["b"].finish_s == pytest.approx(4.0)
+
+
+class TestCallbacks:
+    def test_on_complete_fires_once_at_finish(self):
+        engine, network = make()
+        calls = []
+        network.inject(
+            Flow("a", ("l1",), 100.0),
+            on_complete=lambda record: calls.append(engine.now_s),
+        )
+        network.run_until_idle()
+        engine.run()
+        assert calls == [pytest.approx(10.0)]
+
+    def test_callback_can_inject_next_flow(self):
+        engine, network = make()
+        finishes = []
+
+        def chain(record):
+            finishes.append(engine.now_s)
+            if len(finishes) < 3:
+                network.inject(
+                    Flow(f"f{len(finishes)}", ("l1",), 10.0), on_complete=chain
+                )
+
+        network.inject(Flow("f0", ("l1",), 10.0), on_complete=chain)
+        engine.run()
+        assert finishes == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+
+class TestValidation:
+    def test_duplicate_id_rejected(self):
+        engine, network = make()
+        network.inject(Flow("a", ("l1",), 1.0))
+        with pytest.raises(SimulationError):
+            network.inject(Flow("a", ("l1",), 1.0))
+
+    def test_zero_byte_flow_completes_immediately(self):
+        engine, network = make()
+        network.inject(Flow("a", ("l1",), 0.0))
+        network.run_until_idle()
+        assert network.records[0].finish_s == pytest.approx(0.0)
+
+    def test_active_count(self):
+        engine, network = make()
+        network.inject(Flow("a", ("l1",), 100.0))
+        assert network.active_flow_count() == 1
+        network.run_until_idle()
+        assert network.active_flow_count() == 0

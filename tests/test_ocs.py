@@ -1,0 +1,66 @@
+"""Tests for the optical circuit switch model."""
+
+import pytest
+
+from repro.topology.ocs import OpticalCircuitSwitch, PortBusy
+
+
+class TestConnections:
+    def test_connect_and_peer(self):
+        ocs = OpticalCircuitSwitch("t")
+        ocs.connect("a", "b")
+        assert ocs.peer("a") == "b"
+        assert ocs.peer("b") == "a"
+        assert ocs.is_connected("a", "b")
+
+    def test_circuit_count(self):
+        ocs = OpticalCircuitSwitch("t")
+        ocs.connect("a", "b")
+        ocs.connect("c", "d")
+        assert ocs.circuit_count == 2
+
+    def test_busy_port_rejected(self):
+        ocs = OpticalCircuitSwitch("t")
+        ocs.connect("a", "b")
+        with pytest.raises(PortBusy):
+            ocs.connect("a", "c")
+        with pytest.raises(PortBusy):
+            ocs.connect("c", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalCircuitSwitch("t").connect("a", "a")
+
+    def test_unmapped_peer_is_none(self):
+        assert OpticalCircuitSwitch("t").peer("ghost") is None
+
+
+class TestDisconnect:
+    def test_disconnect_clears_both_sides(self):
+        ocs = OpticalCircuitSwitch("t")
+        ocs.connect("a", "b")
+        ocs.disconnect("a")
+        assert ocs.peer("a") is None
+        assert ocs.peer("b") is None
+        assert ocs.circuit_count == 0
+
+    def test_disconnect_unmapped_noop(self):
+        OpticalCircuitSwitch("t").disconnect("ghost")
+
+
+class TestReconfigure:
+    def test_reconfigure_repoints(self):
+        ocs = OpticalCircuitSwitch("t")
+        ocs.connect("a", "b")
+        latency = ocs.reconfigure("a", "c")
+        assert latency == ocs.reconfigure_latency_s
+        assert ocs.is_connected("a", "c")
+        assert ocs.peer("b") is None
+
+    def test_reconfigure_fresh_ports(self):
+        ocs = OpticalCircuitSwitch("t")
+        ocs.reconfigure("x", "y")
+        assert ocs.is_connected("x", "y")
+
+    def test_default_latency_is_milliseconds(self):
+        assert OpticalCircuitSwitch("t").reconfigure_latency_s >= 1e-3

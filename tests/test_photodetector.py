@@ -1,0 +1,78 @@
+"""Tests for the photodetector / receiver noise model."""
+
+import pytest
+
+from repro.phy.mrr import MicroRingModulator
+from repro.phy.photodetector import Photodetector
+
+CARRIER = 193.1e12
+
+
+def make_signal(rate_bps=100e9):
+    mrr = MicroRingModulator(resonance_hz=CARRIER)
+    return mrr.modulate(CARRIER, launch_power_dbm=10.0, rate_bps=rate_bps)
+
+
+class TestDetection:
+    def test_strong_signal_meets_target(self):
+        detection = Photodetector().detect(make_signal(), received_power_dbm=0.0)
+        assert detection.meets_target
+        assert detection.ber < 1e-12
+
+    def test_weak_signal_fails_target(self):
+        detection = Photodetector().detect(make_signal(), received_power_dbm=-35.0)
+        assert not detection.meets_target
+
+    def test_ber_monotone_in_power(self):
+        pd = Photodetector()
+        signal = make_signal()
+        bers = [pd.detect(signal, p).ber for p in (-30.0, -20.0, -10.0, 0.0)]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_q_factor_positive(self):
+        detection = Photodetector().detect(make_signal(), -15.0)
+        assert detection.q_factor > 0
+
+    def test_photocurrent_scales_with_power(self):
+        pd = Photodetector()
+        signal = make_signal()
+        weak = pd.detect(signal, -20.0).photocurrent_a
+        strong = pd.detect(signal, -10.0).photocurrent_a
+        assert strong == pytest.approx(weak * 10.0, rel=1e-6)
+
+    def test_higher_rate_needs_more_power(self):
+        pd = Photodetector()
+        slow = pd.detect(make_signal(rate_bps=25e9), -20.0).ber
+        fast = pd.detect(make_signal(rate_bps=200e9), -20.0).ber
+        assert fast > slow
+
+
+class TestSensitivity:
+    def test_model_sensitivity_is_plausible(self):
+        pd = Photodetector()
+        sens = pd.sensitivity_dbm(make_signal(rate_bps=224e9))
+        assert -30.0 < sens < 0.0
+
+    def test_sensitivity_bisection_consistent(self):
+        pd = Photodetector()
+        signal = make_signal()
+        sens = pd.sensitivity_dbm(signal, target_ber=1e-12)
+        assert pd.detect(signal, sens).ber <= 1e-12
+        assert pd.detect(signal, sens - 0.5).ber > 1e-12
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            Photodetector().sensitivity_dbm(make_signal(), target_ber=0.0)
+
+    def test_datasheet_constant_exposed(self):
+        assert Photodetector.datasheet_sensitivity_dbm() == pytest.approx(-11.0)
+
+
+class TestValidation:
+    def test_nonpositive_responsivity_rejected(self):
+        with pytest.raises(ValueError):
+            Photodetector(responsivity_a_per_w=0.0)
+
+    def test_nonpositive_load_rejected(self):
+        with pytest.raises(ValueError):
+            Photodetector(load_ohm=0.0)

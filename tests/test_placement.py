@@ -1,0 +1,96 @@
+"""Tests for slice placement policies."""
+
+import pytest
+
+from repro.topology.placement import (
+    PlacementRequest,
+    compactness_first_placement,
+    score_placement,
+    utilization_aware_placement,
+)
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def rack():
+    return Torus((4, 4, 4))
+
+
+WORKLOAD = [
+    PlacementRequest("a", 8),
+    PlacementRequest("b", 8),
+    PlacementRequest("c", 16),
+    PlacementRequest("d", 32),
+]
+
+
+class TestRequests:
+    def test_positive_chips_required(self):
+        with pytest.raises(ValueError):
+            PlacementRequest("x", 0)
+
+
+class TestCompactnessFirst:
+    def test_places_whole_workload(self, rack):
+        outcome = compactness_first_placement(rack, WORKLOAD)
+        assert set(outcome.placed) == {"a", "b", "c", "d"}
+        assert not outcome.rejected
+
+    def test_prefers_cubic_shapes(self, rack):
+        outcome = compactness_first_placement(rack, [PlacementRequest("a", 8)])
+        assert outcome.allocator.slices[0].shape == (2, 2, 2)
+
+    def test_cubic_shapes_strand_everything(self, rack):
+        outcome = compactness_first_placement(rack, [PlacementRequest("a", 8)])
+        assert outcome.allocator.slices[0].electrical_utilization() == 0.0
+
+    def test_rejects_when_full(self, rack):
+        requests = [PlacementRequest("big", 64), PlacementRequest("late", 4)]
+        outcome = compactness_first_placement(rack, requests)
+        assert "late" in outcome.rejected
+
+
+class TestUtilizationAware:
+    def test_places_whole_workload(self, rack):
+        outcome = utilization_aware_placement(rack, WORKLOAD)
+        assert set(outcome.placed) == {"a", "b", "c", "d"}
+
+    def test_prefers_full_span_shapes(self, rack):
+        outcome = utilization_aware_placement(rack, [PlacementRequest("c", 16)])
+        slc = outcome.allocator.slices[0]
+        # A 16-chip slice can span two full dimensions (4x4x1 family).
+        assert slc.electrical_utilization() == pytest.approx(2 / 3)
+
+    def test_larger_requests_placed_first(self, rack):
+        outcome = utilization_aware_placement(rack, WORKLOAD)
+        assert outcome.allocator.slices[0].name == "d"
+
+    def test_beats_compactness_on_utilization(self, rack):
+        compact = score_placement(compactness_first_placement(rack, WORKLOAD))
+        aware = score_placement(utilization_aware_placement(rack, WORKLOAD))
+        assert aware.weighted_utilization > compact.weighted_utilization
+
+    def test_even_smart_placement_strands_bandwidth(self, rack):
+        # The paper's point: placement alone cannot reach 100 % — only
+        # optics can; a 4x2x1-class tenant always strands 2/3.
+        aware = score_placement(utilization_aware_placement(rack, WORKLOAD))
+        assert aware.weighted_utilization < 1.0
+
+
+class TestScore:
+    def test_empty_outcome_scores_one(self, rack):
+        outcome = utilization_aware_placement(rack, [])
+        assert score_placement(outcome).weighted_utilization == 1.0
+        assert score_placement(outcome).stranded_fraction == 0.0
+
+    def test_weighting_by_chips(self, rack):
+        outcome = utilization_aware_placement(
+            rack, [PlacementRequest("d", 32), PlacementRequest("a", 8)]
+        )
+        score = score_placement(outcome)
+        assert score.total_chips == 40
+        expected = sum(
+            s.chip_count * s.electrical_utilization()
+            for s in outcome.allocator.slices
+        ) / 40
+        assert score.weighted_utilization == pytest.approx(expected)

@@ -1,0 +1,133 @@
+"""Tests for slice-level strategy selection (the Tables 1/2 logic)."""
+
+import pytest
+
+from repro.collectives.primitives import (
+    Interconnect,
+    StrategyKind,
+    build_reduce_scatter_schedule,
+    plan_reduce_scatter,
+    reduce_scatter_cost,
+    reduce_scatter_stage_costs,
+)
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def rack():
+    return Torus((4, 4, 4))
+
+
+def make(rack, shape, name="s"):
+    return Slice(name=name, rack=rack, offset=(0, 0, 0), shape=shape)
+
+
+class TestStrategySelection:
+    def test_slice1_electrical_single_ring(self, rack):
+        strategy = plan_reduce_scatter(make(rack, (4, 2, 1)), Interconnect.ELECTRICAL)
+        assert strategy.kind is StrategyKind.SINGLE_RING
+        assert strategy.bandwidth_fraction == pytest.approx(1 / 3)
+        assert not strategy.reconfig_per_stage
+
+    def test_slice1_optical_steered_ring(self, rack):
+        strategy = plan_reduce_scatter(make(rack, (4, 2, 1)), Interconnect.OPTICAL)
+        assert strategy.kind is StrategyKind.SINGLE_RING
+        assert strategy.bandwidth_fraction == 1.0
+        assert strategy.reconfig_per_stage
+
+    def test_slice3_electrical_bucket(self, rack):
+        strategy = plan_reduce_scatter(make(rack, (4, 4, 1)), Interconnect.ELECTRICAL)
+        assert strategy.kind is StrategyKind.BUCKET
+        assert strategy.dims == (0, 1)
+        assert strategy.bandwidth_fraction == pytest.approx(1 / 3)
+
+    def test_slice3_optical_steered_bucket(self, rack):
+        strategy = plan_reduce_scatter(make(rack, (4, 4, 1)), Interconnect.OPTICAL)
+        assert strategy.kind is StrategyKind.BUCKET
+        assert strategy.bandwidth_fraction == pytest.approx(1 / 2)
+        assert strategy.reconfig_per_stage
+
+    def test_full_rack_electrical_bucket_all_dims(self, rack):
+        strategy = plan_reduce_scatter(make(rack, (4, 4, 4)), Interconnect.ELECTRICAL)
+        assert strategy.kind is StrategyKind.BUCKET
+        assert strategy.dims == (0, 1, 2)
+
+    def test_single_chip_rejected(self, rack):
+        with pytest.raises(ValueError):
+            plan_reduce_scatter(make(rack, (1, 1, 1)), Interconnect.ELECTRICAL)
+
+    def test_describe_mentions_interconnect(self, rack):
+        text = plan_reduce_scatter(make(rack, (4, 2, 1)), Interconnect.OPTICAL).describe()
+        assert "optical" in text
+
+
+class TestTable1:
+    def test_electrical_row(self, rack):
+        cost = reduce_scatter_cost(make(rack, (4, 2, 1)), Interconnect.ELECTRICAL)
+        assert cost.alpha_count == 7
+        assert cost.beta_factor == pytest.approx(3 * 7 / 8)
+        assert cost.reconfig_count == 0
+
+    def test_optical_row(self, rack):
+        cost = reduce_scatter_cost(make(rack, (4, 2, 1)), Interconnect.OPTICAL)
+        assert cost.alpha_count == 7
+        assert cost.beta_factor == pytest.approx(7 / 8)
+        assert cost.reconfig_count == 1
+
+    def test_three_x_beta_ratio(self, rack):
+        slc = make(rack, (4, 2, 1))
+        electrical = reduce_scatter_cost(slc, Interconnect.ELECTRICAL)
+        optical = reduce_scatter_cost(slc, Interconnect.OPTICAL)
+        assert electrical.beta_factor / optical.beta_factor == pytest.approx(3.0)
+
+
+class TestTable2:
+    def test_two_stage_rows(self, rack):
+        slc = make(rack, (4, 4, 1))
+        electrical = reduce_scatter_stage_costs(slc, Interconnect.ELECTRICAL)
+        optical = reduce_scatter_stage_costs(slc, Interconnect.OPTICAL)
+        assert len(electrical) == len(optical) == 2
+        for e, o in zip(electrical, optical):
+            assert e.alpha_count == 3
+            assert o.alpha_count == 3
+            assert o.reconfig_count == 1
+            assert e.beta_factor / o.beta_factor == pytest.approx(1.5)
+
+    def test_stage_buffer_shrinkage(self, rack):
+        slc = make(rack, (4, 4, 1))
+        stages = reduce_scatter_stage_costs(slc, Interconnect.ELECTRICAL)
+        assert stages[0].beta_factor / stages[1].beta_factor == pytest.approx(4.0)
+
+    def test_single_ring_strategy_has_one_stage(self, rack):
+        slc = make(rack, (4, 2, 1))
+        assert len(reduce_scatter_stage_costs(slc, Interconnect.ELECTRICAL)) == 1
+
+
+class TestScheduleConsistency:
+    @pytest.mark.parametrize("shape", [(4, 2, 1), (4, 4, 1), (4, 4, 4), (4, 4, 2)])
+    @pytest.mark.parametrize(
+        "interconnect", [Interconnect.ELECTRICAL, Interconnect.OPTICAL]
+    )
+    def test_schedule_duration_matches_symbolic(self, rack, shape, interconnect):
+        from repro.collectives.cost_model import CostParameters
+        from repro.phy.constants import CHIP_EGRESS_BYTES
+
+        slc = make(rack, shape)
+        n_bytes = 1 << 26
+        strategy = plan_reduce_scatter(slc, interconnect)
+        schedule = build_reduce_scatter_schedule(slc, n_bytes, interconnect)
+        params = CostParameters()
+        link_bw = CHIP_EGRESS_BYTES * strategy.bandwidth_fraction
+        measured = schedule.duration_s(
+            lambda link: link_bw, params.alpha_s, params.reconfig_s
+        )
+        symbolic = reduce_scatter_cost(slc, interconnect).seconds(n_bytes, params)
+        assert measured == pytest.approx(symbolic, rel=1e-9)
+
+    def test_schedules_congestion_free_in_isolation(self, rack):
+        for shape in [(4, 2, 1), (4, 4, 1), (4, 4, 4)]:
+            for interconnect in (Interconnect.ELECTRICAL, Interconnect.OPTICAL):
+                slc = make(rack, shape)
+                schedule = build_reduce_scatter_schedule(slc, 1024.0, interconnect)
+                assert schedule.is_congestion_free

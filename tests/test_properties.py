@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.cost_model import (
+    bucket_reduce_scatter,
+    reduce_scatter_lower_bound,
+    ring_reduce_scatter,
+    simultaneous_bucket_beta_factor,
+)
+from repro.collectives.ring import snake_order
+from repro.phy.units import db_to_linear, linear_to_db
+from repro.sim.flows import Flow, max_min_rates
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+# -- strategies --------------------------------------------------------------
+
+torus_shapes = st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4)
+
+even_extents = st.sampled_from([2, 4])
+
+
+@st.composite
+def slices_with_rack(draw):
+    """An even-extent 3D rack with a valid slice inside it."""
+    rack_shape = tuple(draw(even_extents) for _ in range(3))
+    rack = Torus(rack_shape)
+    shape = tuple(
+        draw(st.integers(min_value=1, max_value=ext)) for ext in rack_shape
+    )
+    offset = tuple(
+        draw(st.integers(min_value=0, max_value=ext - 1)) for ext in rack_shape
+    )
+    return Slice(name="p", rack=rack, offset=offset, shape=shape)
+
+
+# -- torus invariants ----------------------------------------------------------
+
+
+class TestTorusProperties:
+    @given(torus_shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_link_count_formula(self, shape):
+        torus = Torus(shape)
+        expected = 0
+        for d, ext in enumerate(shape):
+            if ext == 1:
+                continue
+            cables = torus.node_count if ext > 2 else torus.node_count // 2
+            expected += 2 * cables
+        assert torus.link_count() == expected
+
+    @given(torus_shapes)
+    @settings(max_examples=40, deadline=None)
+    def test_neighbor_relation_symmetric(self, shape):
+        torus = Torus(shape)
+        nodes = list(torus.nodes())[:16]
+        for node in nodes:
+            for neighbor in torus.neighbors(node):
+                assert node in torus.neighbors(neighbor)
+
+    @given(torus_shapes, st.integers(0, 10), st.integers(-10, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_roundtrip(self, shape, node_index, delta):
+        torus = Torus(shape)
+        nodes = list(torus.nodes())
+        node = nodes[node_index % len(nodes)]
+        dim = node_index % torus.ndim
+        there = torus.shift(node, dim, delta)
+        back = torus.shift(there, dim, -delta)
+        assert back == node
+
+
+# -- slice invariants ------------------------------------------------------------
+
+
+class TestSliceProperties:
+    @given(slices_with_rack())
+    @settings(max_examples=60, deadline=None)
+    def test_chip_count_matches_enumeration(self, slc):
+        chips = slc.chips()
+        assert len(chips) == slc.chip_count
+        assert len(set(chips)) == slc.chip_count
+
+    @given(slices_with_rack())
+    @settings(max_examples=60, deadline=None)
+    def test_membership_consistent(self, slc):
+        member_set = set(slc.chips())
+        for node in slc.rack.nodes():
+            assert slc.contains(node) == (node in member_set)
+
+    @given(slices_with_rack())
+    @settings(max_examples=60, deadline=None)
+    def test_usable_dims_subset_of_active(self, slc):
+        assert set(slc.usable_dimensions()) <= set(slc.active_dimensions())
+
+    @given(slices_with_rack())
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_ordering(self, slc):
+        assert 0.0 <= slc.electrical_utilization() <= slc.optical_utilization() <= 1.0
+
+    @given(slices_with_rack())
+    @settings(max_examples=60, deadline=None)
+    def test_snake_order_is_hamiltonian(self, slc):
+        order = snake_order(slc)
+        assert len(order) == slc.chip_count
+        assert set(order) == set(slc.chips())
+        # Consecutive chips (and the closing pair, for even-extent first
+        # dims) are torus neighbours.
+        for a, b in zip(order, order[1:]):
+            distance = sum(
+                min((x - y) % ext, (y - x) % ext)
+                for x, y, ext in zip(a, b, slc.rack.shape)
+            )
+            assert distance == 1
+
+
+# -- cost model invariants ----------------------------------------------------------
+
+
+class TestCostProperties:
+    @given(st.integers(2, 64), st.floats(0.05, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_ring_beta_at_least_lower_bound(self, p, fraction):
+        cost = ring_reduce_scatter(p, fraction)
+        assert cost.beta_factor >= reduce_scatter_lower_bound(p) - 1e-12
+
+    @given(st.lists(st.integers(2, 8), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_simultaneous_equivalence(self, dims):
+        assert math.isclose(
+            simultaneous_bucket_beta_factor(dims),
+            bucket_reduce_scatter(dims, 1.0).beta_factor,
+            rel_tol=1e-9,
+        )
+
+    @given(st.lists(st.integers(2, 8), min_size=1, max_size=4), st.floats(0.1, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_beta_scales_inversely_with_fraction(self, dims, fraction):
+        full = bucket_reduce_scatter(dims, 1.0).beta_factor
+        scaled = bucket_reduce_scatter(dims, fraction).beta_factor
+        assert math.isclose(scaled, full / fraction, rel_tol=1e-9)
+
+    @given(st.integers(2, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_is_ring_steps(self, p):
+        assert ring_reduce_scatter(p).alpha_count == p - 1
+
+
+# -- unit conversions ---------------------------------------------------------------
+
+
+class TestUnitProperties:
+    @given(st.floats(-60.0, 60.0))
+    @settings(max_examples=60, deadline=None)
+    def test_db_roundtrip(self, db):
+        assert math.isclose(linear_to_db(db_to_linear(db)), db, abs_tol=1e-9)
+
+
+# -- max-min fairness ----------------------------------------------------------------
+
+
+class TestFairnessProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(0, 4), min_size=1, max_size=3, unique=True),
+                st.floats(1.0, 1000.0),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.lists(st.floats(1.0, 100.0), min_size=5, max_size=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_no_link_oversubscribed_and_no_starvation(self, flow_specs, caps):
+        capacities = {i: c for i, c in enumerate(caps)}
+        flows = [
+            Flow(flow_id=i, links=tuple(links), remaining_bytes=volume)
+            for i, (links, volume) in enumerate(flow_specs)
+        ]
+        rates = max_min_rates(flows, capacities)
+        for link, cap in capacities.items():
+            load = sum(rates[f.flow_id] for f in flows if link in f.links)
+            assert load <= cap * (1 + 1e-9)
+        for f in flows:
+            assert rates[f.flow_id] > 0.0

@@ -1,0 +1,150 @@
+"""Property-based tests for the extension subsystems."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.alltoall import (
+    alltoall_optical_cost,
+    alltoall_optical_schedule,
+    alltoall_ring_cost,
+)
+from repro.collectives.validation import (
+    simulate_bucket_reduce_scatter,
+    simulate_ring_all_gather,
+    simulate_ring_reduce_scatter,
+    verify_all_gather,
+    verify_reduce_scatter,
+)
+from repro.core.transport import (
+    CircuitTransport,
+    GreedyLongestQueue,
+    Message,
+    ThresholdBatching,
+)
+from repro.phy.crosstalk import CrosstalkModel
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+class TestCollectiveSemantics:
+    @given(st.integers(1, 24))
+    @settings(max_examples=24, deadline=None)
+    def test_ring_reduce_scatter_always_correct(self, p):
+        ring = [(i,) for i in range(p)]
+        assert verify_reduce_scatter(simulate_ring_reduce_scatter(ring))
+
+    @given(st.integers(1, 24))
+    @settings(max_examples=24, deadline=None)
+    def test_ring_all_gather_always_correct(self, p):
+        ring = [(i,) for i in range(p)]
+        assert verify_all_gather(simulate_ring_all_gather(ring))
+
+    @given(
+        st.tuples(
+            st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)
+        ).filter(lambda s: max(s) > 1)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bucket_reduce_scatter_always_correct(self, shape):
+        rack = Torus((4, 4, 4))
+        slc = Slice(name="p", rack=rack, offset=(0, 0, 0), shape=shape)
+        assert verify_reduce_scatter(simulate_bucket_reduce_scatter(slc))
+
+
+class TestAllToAllProperties:
+    @given(st.integers(2, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_optical_rounds_cover_all_pairs_exactly_once(self, p):
+        chips = [(0, i) for i in range(p)]
+        schedule = alltoall_optical_schedule(chips, float(p * p))
+        pairs = [
+            (t.src, t.dst) for phase in schedule.phases for t in phase.transfers
+        ]
+        assert len(pairs) == p * (p - 1)
+        assert len(set(pairs)) == p * (p - 1)
+
+    @given(st.integers(2, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_ring_penalty_is_p_over_two(self, p):
+        ratio = alltoall_ring_cost(p).beta_factor / alltoall_optical_cost(p).beta_factor
+        assert math.isclose(ratio, p / 2)
+
+    @given(st.integers(2, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_optical_rounds_congestion_free(self, p):
+        chips = [(0, i) for i in range(p)]
+        schedule = alltoall_optical_schedule(chips, 100.0)
+        assert schedule.is_congestion_free
+
+
+class TestTransportProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 1e-3),
+                st.integers(0, 3),
+                st.floats(1.0, 1e6),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.sampled_from(["greedy", "batch"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_monotone_time(self, specs, policy_name):
+        messages = [
+            Message(arrival_s=t, dst=d, n_bytes=b) for t, d, b in specs
+        ]
+        policy = (
+            GreedyLongestQueue() if policy_name == "greedy" else ThresholdBatching()
+        )
+        stats = CircuitTransport(policy, rate_bytes=1e6, reconfig_s=1e-5).run(
+            messages
+        )
+        # Every message delivered exactly once.
+        assert len(stats.delivered) == len(messages)
+        # No delivery starts before its arrival; finishes are ordered.
+        for record in stats.delivered:
+            assert record.start_s >= record.message.arrival_s - 1e-12
+            assert record.finish_s > record.start_s
+        finishes = [r.finish_s for r in stats.delivered]
+        assert finishes == sorted(finishes)
+        # Busy time equals total bytes over rate.
+        total_bytes = sum(m.n_bytes for m in messages)
+        assert stats.busy_s == pytest.approx(total_bytes / 1e6)
+
+
+class TestCrosstalkProperties:
+    @given(st.integers(0, 60), st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_penalty_monotone_in_hops(self, mzi, crossings):
+        model = CrosstalkModel()
+        base = model.accumulate(mzi, crossings).power_penalty_db
+        more = model.accumulate(mzi + 1, crossings).power_penalty_db
+        assert more >= base
+
+    @given(st.floats(10.0, 60.0))
+    @settings(max_examples=40, deadline=None)
+    def test_better_isolation_lower_penalty(self, isolation):
+        worse = CrosstalkModel(mzi_isolation_db=isolation)
+        better = CrosstalkModel(mzi_isolation_db=isolation + 5.0)
+        assert (
+            better.accumulate(20, 0).power_penalty_db
+            <= worse.accumulate(20, 0).power_penalty_db
+        )
+
+
+class TestSpectrumProperties:
+    @given(st.integers(1, 12), st.integers(0, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_accepted_never_exceeds_offered(self, channels, offered):
+        from repro.core.spectrum import AssignmentPolicy, BlockingExperiment
+
+        experiment = BlockingExperiment(grid=(2, 4), channels=channels, seed=7)
+        point = experiment.run(offered, AssignmentPolicy.FIRST_FIT)
+        assert 0 <= point.accepted <= point.offered
+        assert 0.0 <= point.blocking_probability <= 1.0

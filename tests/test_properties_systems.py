@@ -1,0 +1,129 @@
+"""Property-based tests for the systems-level extension modules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.jobs import provision_job
+from repro.topology.placement import (
+    PlacementRequest,
+    compactness_first_placement,
+    score_placement,
+    utilization_aware_placement,
+)
+from repro.topology.torus import Torus
+from repro.topology.tpu import TpuCluster
+
+
+class TestPlacementProperties:
+    @given(
+        st.lists(
+            st.sampled_from([1, 2, 4, 8, 16, 32]), min_size=1, max_size=5
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_policies_never_overlap_slices(self, sizes):
+        rack = Torus((4, 4, 4))
+        requests = [
+            PlacementRequest(f"t{i}", chips) for i, chips in enumerate(sizes)
+        ]
+        for policy in (compactness_first_placement, utilization_aware_placement):
+            outcome = policy(Torus((4, 4, 4)), requests)
+            seen = set()
+            for slc in outcome.allocator.slices:
+                for chip in slc.chips():
+                    assert chip not in seen
+                    seen.add(chip)
+            assert set(outcome.placed) | set(outcome.rejected) == {
+                r.name for r in requests
+            }
+
+    @given(
+        st.lists(
+            st.sampled_from([2, 4, 8, 16]), min_size=1, max_size=4
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_aware_never_worse_than_compact(self, sizes):
+        requests = [
+            PlacementRequest(f"t{i}", chips) for i, chips in enumerate(sizes)
+        ]
+        compact = compactness_first_placement(Torus((4, 4, 4)), requests)
+        aware = utilization_aware_placement(Torus((4, 4, 4)), requests)
+        if set(compact.placed) == set(aware.placed):
+            assert (
+                score_placement(aware).weighted_utilization
+                >= score_placement(compact).weighted_utilization - 1e-12
+            )
+
+
+class TestJobProvisioningProperties:
+    @given(st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 192, 256]))
+    @settings(max_examples=20, deadline=None)
+    def test_chip_count_preserved(self, chips):
+        cluster = TpuCluster(rack_count=4)
+        job = provision_job(cluster, "p", chips=chips)
+        assert job.slc.chip_count == chips
+
+    @given(st.sampled_from([64, 128, 192, 256]))
+    @settings(max_examples=10, deadline=None)
+    def test_whole_rack_jobs_fully_utilized(self, chips):
+        cluster = TpuCluster(rack_count=4)
+        job = provision_job(cluster, "p", chips=chips)
+        assert job.electrical_utilization == 1.0
+
+    @given(st.sampled_from([2, 4, 8, 16, 32]))
+    @settings(max_examples=10, deadline=None)
+    def test_sub_rack_jobs_never_fully_utilized(self, chips):
+        cluster = TpuCluster(rack_count=1)
+        job = provision_job(cluster, "p", chips=chips)
+        assert job.electrical_utilization < 1.0
+        assert job.setup_latency_s == 0.0
+
+
+class TestTopologyEngineeringProperties:
+    @given(
+        st.integers(2, 16),
+        st.integers(1, 8),
+        st.integers(0, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_port_limits_always_respected(self, nodes, ports, heavy):
+        from repro.core.topology_engineering import (
+            engineer_topology,
+            skewed_traffic,
+        )
+
+        labels = [f"n{i}" for i in range(nodes)]
+        heavy = min(heavy, nodes * (nodes - 1))
+        traffic = skewed_traffic(
+            labels, heavy_pairs=heavy, heavy_bytes=56e9, light_bytes=1e6
+        )
+        topology = engineer_topology(traffic, ports_per_node=ports)
+        for node in labels:
+            assert topology.egress_used(node) <= ports
+            assert topology.ingress_used(node) <= ports
+
+
+class TestAvailabilityProperties:
+    @given(st.lists(st.floats(0.0, 86400.0 * 10), min_size=0, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_optical_never_worse(self, times):
+        from repro.failures.availability import replay_trace
+        from repro.failures.inject import FailureEvent
+        from repro.topology.tpu import GlobalChipId
+
+        events = [
+            FailureEvent(time_s=t, chip=GlobalChipId(i % 4, (0, 0, 0)))
+            for i, t in enumerate(times)
+        ]
+        rack_report, optical_report = replay_trace(
+            events, 4096, 86400.0 * 10
+        )
+        assert (
+            optical_report.lost_chip_seconds
+            <= rack_report.lost_chip_seconds + 1e-6
+        )
+        for report in (rack_report, optical_report):
+            covered = sum(p.end_s - p.start_s for p in report.timeline)
+            assert covered == pytest.approx(report.horizon_s)

@@ -1,0 +1,90 @@
+"""Tests for reconfiguration scheduling and the r-amortization analysis."""
+
+import pytest
+
+from repro.core.reconfig import (
+    ReconfigurationPlan,
+    ReconfigurationScheduler,
+    SwitchProgram,
+    breakeven_buffer_bytes,
+)
+from repro.core.tile import Direction
+
+
+def program(tile=(0, 0), wavelength=0):
+    return SwitchProgram(
+        tile=tile,
+        facing=Direction.NORTH,
+        wavelength_index=wavelength,
+        towards=Direction.EAST,
+    )
+
+
+class TestPlanLatency:
+    def test_empty_plan_free(self):
+        assert ReconfigurationPlan().latency_s() == 0.0
+
+    def test_parallel_batch_costs_one_settle(self):
+        plan = ReconfigurationPlan(parallel=True)
+        for i in range(10):
+            plan.add(program(wavelength=i))
+        assert plan.latency_s() == pytest.approx(3.7e-6)
+
+    def test_serial_chain_costs_per_operation(self):
+        plan = ReconfigurationPlan(parallel=False)
+        for i in range(10):
+            plan.add(program(wavelength=i))
+        assert plan.latency_s() == pytest.approx(37e-6)
+
+    def test_tiles_touched(self):
+        plan = ReconfigurationPlan()
+        plan.add(program(tile=(0, 0)))
+        plan.add(program(tile=(0, 0), wavelength=1))
+        plan.add(program(tile=(1, 1)))
+        assert plan.tiles_touched() == {(0, 0), (1, 1)}
+
+
+class TestScheduler:
+    def test_accumulates_latency_and_ops(self):
+        scheduler = ReconfigurationScheduler()
+        plan = scheduler.new_plan()
+        plan.add(program())
+        plan.add(program(wavelength=1))
+        assert scheduler.apply(plan) == pytest.approx(3.7e-6)
+        assert scheduler.total_latency_s == pytest.approx(3.7e-6)
+        assert scheduler.total_operations == 2
+        assert scheduler.batch_count == 1
+
+    def test_scheduler_mode_propagates(self):
+        scheduler = ReconfigurationScheduler(parallel=False)
+        plan = scheduler.new_plan()
+        assert plan.parallel is False
+
+
+class TestBreakeven:
+    def test_table1_breakeven_is_small(self):
+        # Slice-1 saves 2.625 - 0.875 = 1.75 beta-factor units; at 448 GB/s
+        # the breakeven buffer is under 1 MiB — reconfiguration pays off for
+        # any realistic ML gradient buffer.
+        n_star = breakeven_buffer_bytes(
+            speedup_beta_factor=1.75, chip_bandwidth_bytes=448e9
+        )
+        assert n_star < 1 << 20
+
+    def test_breakeven_scales_with_r(self):
+        slow = breakeven_buffer_bytes(1.0, 448e9, reconfig_s=1e-3)
+        fast = breakeven_buffer_bytes(1.0, 448e9, reconfig_s=3.7e-6)
+        assert slow / fast == pytest.approx(1e-3 / 3.7e-6)
+
+    def test_breakeven_formula(self):
+        assert breakeven_buffer_bytes(2.0, 100.0, reconfig_s=1.0) == pytest.approx(
+            50.0
+        )
+
+    def test_no_speedup_rejected(self):
+        with pytest.raises(ValueError):
+            breakeven_buffer_bytes(0.0, 448e9)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            breakeven_buffer_bytes(1.0, 0.0)

@@ -1,0 +1,122 @@
+"""Tests for electrical recovery analysis (Figures 6a/6b) and migration."""
+
+import pytest
+
+from repro.failures.recovery import (
+    ElectricalRecoveryAnalysis,
+    RackMigrationPolicy,
+)
+from repro.topology.slices import SliceAllocator
+from repro.topology.torus import Torus
+
+
+def figure6a_scenario():
+    """Single rack: Slice-3 fails, only Slice-2's old region is free."""
+    rack = Torus((4, 4, 4))
+    allocator = SliceAllocator(rack)
+    slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
+    allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
+    allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
+    return rack, allocator, slice3
+
+
+def figure6b_scenario():
+    """Two OCS-joined racks as a 4x4x8 torus; free chips only in rack 2."""
+    torus = Torus((4, 4, 8))
+    allocator = SliceAllocator(torus)
+    slice2 = allocator.allocate("Slice-2", (4, 2, 1), (0, 0, 0))
+    allocator.allocate("rack1-B", (4, 2, 1), (0, 2, 0))
+    allocator.allocate("rack1-C", (4, 4, 1), (0, 0, 1))
+    allocator.allocate("rack1-D", (4, 4, 1), (0, 0, 2))
+    allocator.allocate("rack1-E", (4, 4, 1), (0, 0, 3))
+    allocator.allocate("Slice-1", (4, 4, 3), (0, 0, 4))
+    allocator.allocate("rack2-D", (4, 2, 1), (0, 0, 7))
+    allocator.allocate("rack2-E", (2, 2, 1), (0, 2, 7))
+    return torus, allocator, slice2
+
+
+class TestFigure6a:
+    def test_no_congestion_free_replacement_exists(self):
+        rack, allocator, slice3 = figure6a_scenario()
+        analysis = ElectricalRecoveryAnalysis(rack, allocator, max_hops=5)
+        assert not analysis.congestion_free_replacement_exists(slice3, (1, 2, 0))
+
+    def test_every_candidate_congests(self):
+        rack, allocator, slice3 = figure6a_scenario()
+        analysis = ElectricalRecoveryAnalysis(rack, allocator, max_hops=5)
+        attempts = analysis.evaluate_all_free_chips(slice3, (1, 2, 0))
+        assert len(attempts) == 8
+        for attempt in attempts:
+            assert not attempt.feasible
+            assert attempt.total_congested_links >= 1
+
+    def test_endpoints_flank_failed_chip(self):
+        rack, allocator, slice3 = figure6a_scenario()
+        analysis = ElectricalRecoveryAnalysis(rack, allocator)
+        endpoints = analysis.required_endpoints(slice3, (1, 2, 0))
+        assert set(endpoints) == {(0, 2, 0), (2, 2, 0), (1, 1, 0), (1, 3, 0)}
+
+    def test_busy_links_are_bidirectional(self):
+        rack, allocator, slice3 = figure6a_scenario()
+        analysis = ElectricalRecoveryAnalysis(rack, allocator)
+        busy = analysis.busy_links()
+        assert all(link.reverse in busy for link in busy)
+
+    def test_feasible_when_rack_is_empty(self):
+        rack = Torus((4, 4, 4))
+        allocator = SliceAllocator(rack)
+        slc = allocator.allocate("only", (4, 4, 1), (0, 0, 0))
+        analysis = ElectricalRecoveryAnalysis(rack, allocator, max_hops=4)
+        # With the rest of the rack idle, an adjacent free chip in the
+        # next plane is reachable congestion-free.
+        assert analysis.congestion_free_replacement_exists(slc, (1, 2, 0))
+
+    def test_dims_override_restricts_busy_set(self):
+        rack, allocator, slice3 = figure6a_scenario()
+        quiet = ElectricalRecoveryAnalysis(
+            rack,
+            allocator,
+            dims_per_slice={"Slice-4": [], "Slice-1": [], "Slice-3": [0, 1]},
+        )
+        # With neighbouring tenants silenced, Z columns are free.
+        assert quiet.congestion_free_replacement_exists(slice3, (1, 2, 0))
+
+
+class TestFigure6b:
+    def test_no_congestion_free_replacement_across_racks(self):
+        torus, allocator, slice2 = figure6b_scenario()
+        analysis = ElectricalRecoveryAnalysis(torus, allocator, max_hops=5)
+        assert not analysis.congestion_free_replacement_exists(slice2, (0, 0, 0))
+
+    def test_free_chips_are_in_rack2_only(self):
+        _torus, allocator, _slice2 = figure6b_scenario()
+        free = allocator.free_chips()
+        assert free
+        assert all(chip[2] >= 4 for chip in free)
+
+    def test_candidate_paths_forced_through_z(self):
+        torus, allocator, slice2 = figure6b_scenario()
+        analysis = ElectricalRecoveryAnalysis(torus, allocator, max_hops=6)
+        attempt = analysis.evaluate_free_chip(
+            slice2, (0, 0, 0), allocator.free_chips()[0]
+        )
+        for best in attempt.best_paths:
+            if len(best.path) > 1:
+                dims = {
+                    torus.path_links(list(best.path))[0].dimension(torus.shape)
+                }
+                assert 2 in dims or best.congested_links
+
+
+class TestRackMigrationPolicy:
+    def test_blast_radius_is_whole_rack(self):
+        assert RackMigrationPolicy().blast_radius_chips() == 64
+
+    def test_recovery_latency_dominated_by_checkpoint(self):
+        policy = RackMigrationPolicy()
+        assert policy.recovery_latency_s() > 0.9 * policy.checkpoint_restore_s
+
+    def test_spare_racks(self):
+        assert RackMigrationPolicy().spare_racks_needed(3) == 3
+        with pytest.raises(ValueError):
+            RackMigrationPolicy().spare_racks_needed(-1)

@@ -1,0 +1,115 @@
+"""Tests for optical failure repair (paper Figure 7)."""
+
+import pytest
+
+from repro.core.fabric import LightpathRackFabric
+from repro.core.repair import (
+    RepairError,
+    broken_rings,
+    plan_optical_repair,
+)
+from repro.topology.slices import Slice, SliceAllocator
+from repro.topology.tpu import TpuRack
+
+
+@pytest.fixture
+def scenario():
+    """Figure 6a/7-style rack: Slice-3 (z=0), Slice-4 (z=1..2), free z=3."""
+    rack = TpuRack(0)
+    fabric = LightpathRackFabric(rack)
+    allocator = SliceAllocator(rack.torus)
+    slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
+    allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
+    return fabric, allocator, slice3
+
+
+class TestBrokenRings:
+    def test_one_ring_per_active_dimension(self, scenario):
+        _fabric, _allocator, slice3 = scenario
+        rings = broken_rings(slice3, (1, 2, 0))
+        assert {r.dim for r in rings} == {0, 1}
+
+    def test_neighbours_flank_failed_chip(self, scenario):
+        _fabric, _allocator, slice3 = scenario
+        rings = broken_rings(slice3, (1, 2, 0))
+        x_ring = next(r for r in rings if r.dim == 0)
+        assert x_ring.predecessor == (0, 2, 0)
+        assert x_ring.successor == (2, 2, 0)
+
+    def test_failed_chip_must_be_member(self, scenario):
+        _fabric, _allocator, slice3 = scenario
+        with pytest.raises(ValueError):
+            broken_rings(slice3, (0, 0, 3))
+
+
+class TestOpticalRepair:
+    def test_repair_succeeds(self, scenario):
+        fabric, allocator, slice3 = scenario
+        plan = plan_optical_repair(fabric, allocator, slice3, (1, 2, 0))
+        assert plan.failed == (1, 2, 0)
+        assert plan.replacement in allocator.free_chips()
+        assert plan.setup_latency_s == pytest.approx(3.7e-6)
+
+    def test_repair_builds_circuits_for_each_broken_ring(self, scenario):
+        fabric, allocator, slice3 = scenario
+        plan = plan_optical_repair(fabric, allocator, slice3, (1, 2, 0))
+        # Two broken rings -> up to 4 endpoint pairs (deduplicated).
+        assert 2 <= len(plan.circuits) <= 4
+        endpoints = {(c.src, c.dst) for c in plan.circuits}
+        assert all(
+            plan.replacement in pair for pair in endpoints
+        )
+
+    def test_blast_radius_is_one_chip(self, scenario):
+        fabric, allocator, slice3 = scenario
+        plan = plan_optical_repair(fabric, allocator, slice3, (1, 2, 0))
+        assert plan.blast_radius_chips == 1
+
+    def test_failed_chip_marked_in_rack(self, scenario):
+        fabric, allocator, slice3 = scenario
+        plan_optical_repair(fabric, allocator, slice3, (1, 2, 0))
+        assert fabric.rack.is_failed((1, 2, 0))
+
+    def test_explicit_replacement(self, scenario):
+        fabric, allocator, slice3 = scenario
+        plan = plan_optical_repair(
+            fabric, allocator, slice3, (1, 2, 0), replacement=(0, 0, 3)
+        )
+        assert plan.replacement == (0, 0, 3)
+
+    def test_allocated_replacement_rejected(self, scenario):
+        fabric, allocator, slice3 = scenario
+        with pytest.raises(RepairError):
+            plan_optical_repair(
+                fabric, allocator, slice3, (1, 2, 0), replacement=(0, 0, 1)
+            )
+
+    def test_no_free_chip_fails(self):
+        rack = TpuRack(0)
+        fabric = LightpathRackFabric(rack)
+        allocator = SliceAllocator(rack.torus)
+        slc = allocator.allocate("everything", (4, 4, 4), (0, 0, 0))
+        with pytest.raises(RepairError):
+            plan_optical_repair(fabric, allocator, slc, (0, 0, 0))
+
+    def test_nearest_spare_minimizes_fibers(self, scenario):
+        fabric, allocator, slice3 = scenario
+        plan = plan_optical_repair(fabric, allocator, slice3, (1, 2, 0))
+        # The chosen spare's server should be as close as any free chip's.
+        from repro.core.repair import _server_distance
+
+        failed_server = fabric.server_of((1, 2, 0))
+        best = min(
+            _server_distance(fabric, failed_server, fabric.server_of(c))
+            for c in allocator.free_chips()
+        )
+        chosen = _server_distance(
+            fabric, failed_server, fabric.server_of(plan.replacement)
+        )
+        assert chosen == best
+
+    def test_circuits_are_resource_disjoint(self, scenario):
+        fabric, allocator, slice3 = scenario
+        plan = plan_optical_repair(fabric, allocator, slice3, (1, 2, 0))
+        assert fabric.fibers_in_use() == plan.fibers_used
+        assert fabric.is_congestion_free()

@@ -1,0 +1,141 @@
+"""Tests for ring construction and ring-algorithm schedules."""
+
+import pytest
+
+from repro.collectives.ring import (
+    electrical_hop_path,
+    ring_all_gather_schedule,
+    ring_reduce_scatter_schedule,
+    snake_order,
+)
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def rack():
+    return Torus((4, 4, 4))
+
+
+def slice1(rack):
+    return Slice(name="Slice-1", rack=rack, offset=(0, 0, 0), shape=(4, 2, 1))
+
+
+class TestSnakeOrder:
+    def test_visits_every_chip_once(self, rack):
+        slc = slice1(rack)
+        order = snake_order(slc)
+        assert len(order) == 8
+        assert set(order) == set(slc.chips())
+
+    def test_consecutive_chips_adjacent(self, rack):
+        slc = slice1(rack)
+        order = snake_order(slc)
+        for a, b in zip(order, order[1:]):
+            distance = sum(
+                min((x - y) % 4, (y - x) % 4) for x, y in zip(a, b)
+            )
+            assert distance == 1
+
+    def test_ring_closes_adjacent(self, rack):
+        order = snake_order(slice1(rack))
+        a, b = order[-1], order[0]
+        distance = sum(min((x - y) % 4, (y - x) % 4) for x, y in zip(a, b))
+        assert distance == 1
+
+    def test_snake_over_3d_slice(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 2, 2))
+        order = snake_order(slc)
+        assert len(order) == 16
+        assert len(set(order)) == 16
+
+    def test_single_chip_slice(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(1, 1, 1), shape=(1, 1, 1))
+        assert snake_order(slc) == [(1, 1, 1)]
+
+
+class TestElectricalHopPath:
+    def test_adjacent_forward(self, rack):
+        slc = slice1(rack)
+        assert electrical_hop_path(slc, (0, 0, 0), (1, 0, 0)) == (
+            (0, 0, 0),
+            (1, 0, 0),
+        )
+
+    def test_wrap_walks_forward_by_default(self, rack):
+        slc = slice1(rack)
+        path = electrical_hop_path(slc, (0, 1, 0), (0, 0, 0))
+        assert path == ((0, 1, 0), (0, 2, 0), (0, 3, 0), (0, 0, 0))
+
+    def test_prefer_short_takes_reverse(self, rack):
+        slc = slice1(rack)
+        path = electrical_hop_path(slc, (0, 1, 0), (0, 0, 0), prefer_short=True)
+        assert path == ((0, 1, 0), (0, 0, 0))
+
+    def test_multi_dimension_hop_rejected(self, rack):
+        slc = slice1(rack)
+        with pytest.raises(ValueError):
+            electrical_hop_path(slc, (0, 0, 0), (1, 1, 0))
+
+
+class TestRingSchedules:
+    def test_reduce_scatter_step_count(self, rack):
+        slc = slice1(rack)
+        schedule = ring_reduce_scatter_schedule(
+            snake_order(slc), 800.0, slc=slc
+        )
+        assert len(schedule.phases) == 7  # p - 1
+
+    def test_each_step_moves_n_over_p(self, rack):
+        slc = slice1(rack)
+        schedule = ring_reduce_scatter_schedule(snake_order(slc), 800.0, slc=slc)
+        for phase in schedule.phases:
+            for transfer in phase.transfers:
+                assert transfer.n_bytes == pytest.approx(100.0)
+
+    def test_total_bytes(self, rack):
+        slc = slice1(rack)
+        schedule = ring_reduce_scatter_schedule(snake_order(slc), 800.0, slc=slc)
+        # p transfers per step, p-1 steps, N/p each: N * (p-1).
+        assert schedule.total_bytes == pytest.approx(800.0 * 7)
+
+    def test_electrical_snake_is_congestion_free(self, rack):
+        slc = slice1(rack)
+        schedule = ring_reduce_scatter_schedule(snake_order(slc), 800.0, slc=slc)
+        assert schedule.is_congestion_free
+
+    def test_optical_ring_uses_direct_paths(self, rack):
+        slc = slice1(rack)
+        schedule = ring_reduce_scatter_schedule(
+            snake_order(slc), 800.0, slc=slc, optical=True
+        )
+        for phase in schedule.phases:
+            for transfer in phase.transfers:
+                assert len(transfer.path) == 2
+
+    def test_optical_first_step_charges_reconfig(self, rack):
+        slc = slice1(rack)
+        schedule = ring_reduce_scatter_schedule(
+            snake_order(slc), 800.0, slc=slc, optical=True
+        )
+        assert schedule.phases[0].reconfigurations == 1
+        assert all(p.reconfigurations == 0 for p in schedule.phases[1:])
+
+    def test_single_chip_ring_empty(self):
+        schedule = ring_reduce_scatter_schedule([(0, 0, 0)], 100.0)
+        assert not schedule.phases
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ring_reduce_scatter_schedule([(0,), (0,)], 100.0)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            ring_reduce_scatter_schedule([], 100.0)
+
+    def test_all_gather_mirrors(self, rack):
+        slc = slice1(rack)
+        ag = ring_all_gather_schedule(snake_order(slc), 800.0, slc=slc)
+        rs = ring_reduce_scatter_schedule(snake_order(slc), 800.0, slc=slc)
+        assert len(ag.phases) == len(rs.phases)
+        assert ag.total_bytes == pytest.approx(rs.total_bytes)

@@ -1,0 +1,162 @@
+"""Tests for waveguide routing across the wafer grid."""
+
+import pytest
+
+from repro.core.routing import RouteExhausted, WaferRouter, WaveguideRoute
+from repro.core.wafer import LightpathWafer
+
+
+@pytest.fixture
+def router():
+    return WaferRouter(LightpathWafer())
+
+
+class TestWaveguideRoute:
+    def test_crossings_count(self):
+        route = WaveguideRoute(tiles=((0, 0), (0, 1), (0, 2)))
+        assert route.boundary_crossings == 2
+
+    def test_straight_route_no_turns(self):
+        route = WaveguideRoute(tiles=((0, 0), (0, 1), (0, 2)))
+        assert route.turns == 0
+        assert route.mzi_hops == 2  # inject + extract
+
+    def test_l_route_one_turn(self):
+        route = WaveguideRoute(tiles=((0, 0), (0, 1), (1, 1)))
+        assert route.turns == 1
+        assert route.mzi_hops == 3
+
+    def test_single_tile_route(self):
+        route = WaveguideRoute(tiles=((0, 0),))
+        assert route.boundary_crossings == 0
+        assert route.mzi_hops == 0
+
+    def test_non_adjacent_hops_rejected(self):
+        with pytest.raises(ValueError):
+            WaveguideRoute(tiles=((0, 0), (1, 1)))
+
+    def test_boundaries(self):
+        route = WaveguideRoute(tiles=((0, 0), (0, 1)))
+        assert route.boundaries() == [((0, 0), (0, 1))]
+
+
+class TestDimensionOrderRouting:
+    def test_row_first(self, router):
+        route = router.dimension_order_route((0, 0), (2, 3))
+        assert route.tiles[0] == (0, 0)
+        assert route.tiles[-1] == (2, 3)
+        assert route.tiles[1] == (1, 0)  # rows first
+
+    def test_col_first(self, router):
+        route = router.dimension_order_route((0, 0), (2, 3), row_first=False)
+        assert route.tiles[1] == (0, 1)
+
+    def test_route_length_is_manhattan(self, router):
+        route = router.dimension_order_route((0, 0), (3, 7))
+        assert route.boundary_crossings == 10
+
+    def test_same_tile(self, router):
+        route = router.dimension_order_route((1, 1), (1, 1))
+        assert route.tiles == ((1, 1),)
+
+
+class TestBfsRouting:
+    def test_bfs_matches_manhattan_when_free(self, router):
+        route = router.bfs_route((0, 0), (3, 7))
+        assert route.boundary_crossings == 10
+
+    def test_bfs_detours_around_full_bus(self):
+        wafer = LightpathWafer(grid=(2, 3), bus_capacity=1)
+        router = WaferRouter(wafer)
+        wafer.bus((0, 0), (0, 1)).allocate("blocker")
+        route = router.bfs_route((0, 0), (0, 2))
+        assert route.tiles[1] == (1, 0)  # detours through the second row
+        assert route.boundary_crossings == 4
+
+    def test_bfs_exhaustion(self):
+        wafer = LightpathWafer(grid=(1, 3), bus_capacity=1)
+        router = WaferRouter(wafer)
+        wafer.bus((0, 0), (0, 1)).allocate("blocker")
+        with pytest.raises(RouteExhausted):
+            router.bfs_route((0, 0), (0, 2))
+
+    def test_route_prefers_dimension_order(self, router):
+        route = router.route((0, 0), (2, 2))
+        assert route.tiles == router.dimension_order_route((0, 0), (2, 2)).tiles
+
+
+class TestAllocation:
+    def test_allocate_claims_every_boundary(self, router):
+        route = router.route((0, 0), (0, 3))
+        tracks = router.allocate(route, "c1")
+        assert len(tracks) == 3
+        for a, b in route.boundaries():
+            assert router.wafer.bus(a, b).free == 9999
+
+    def test_release_returns_tracks(self, router):
+        route = router.route((0, 0), (0, 3))
+        router.allocate(route, "c1")
+        router.release(route, "c1")
+        for a, b in route.boundaries():
+            assert router.wafer.bus(a, b).free == 10_000
+
+    def test_allocation_rolls_back_on_failure(self):
+        wafer = LightpathWafer(grid=(1, 3), bus_capacity=1)
+        router = WaferRouter(wafer)
+        wafer.bus((0, 1), (0, 2)).allocate("blocker")
+        route = router.dimension_order_route((0, 0), (0, 2))
+        with pytest.raises(RouteExhausted):
+            router.allocate(route, "c1")
+        assert wafer.bus((0, 0), (0, 1)).free == 1  # rolled back
+
+    def test_utilization(self, router):
+        assert router.utilization() == 0.0
+        route = router.route((0, 0), (0, 1))
+        router.allocate(route, "c")
+        assert router.utilization() > 0.0
+
+
+class TestPhotonicFaultAwareness:
+    def test_chip_failure_does_not_block_transit(self):
+        # The interconnect layer lives under the stacked chips: a dead
+        # TPU's tile still routes transit light (the Section 4.2 premise).
+        wafer = LightpathWafer()
+        wafer.tile((0, 1)).fail()
+        router = WaferRouter(wafer)
+        route = router.route((0, 0), (0, 2))
+        assert route.tiles == ((0, 0), (0, 1), (0, 2))
+
+    def test_failed_exit_switch_blocks_hop(self):
+        from repro.core.tile import Direction
+
+        wafer = LightpathWafer()
+        wafer.tile((0, 0)).switches[Direction.EAST].failed = True
+        router = WaferRouter(wafer)
+        assert not router.hop_usable((0, 0), (0, 1))
+        # Route detours through the second row.
+        route = router.route((0, 0), (0, 2))
+        assert (0, 1) not in route.tiles or route.tiles[1] != (0, 1)
+        assert route.tiles[1] == (1, 0)
+
+    def test_failed_entry_switch_blocks_whole_boundary(self):
+        from repro.core.tile import Direction
+
+        wafer = LightpathWafer()
+        wafer.tile((0, 1)).switches[Direction.WEST].failed = True
+        router = WaferRouter(wafer)
+        # The west-facing switch terminates that boundary in both
+        # directions; the tile's other boundaries stay usable.
+        assert not router.hop_usable((0, 0), (0, 1))
+        assert not router.hop_usable((0, 1), (0, 0))
+        assert router.hop_usable((0, 1), (0, 2))
+        assert router.hop_usable((0, 1), (1, 1))
+
+    def test_fully_cut_wafer_exhausts(self):
+        from repro.core.tile import Direction
+
+        wafer = LightpathWafer(grid=(1, 3))
+        wafer.tile((0, 1)).switches[Direction.WEST].failed = True
+        wafer.tile((0, 1)).switches[Direction.EAST].failed = True
+        router = WaferRouter(wafer)
+        with pytest.raises(RouteExhausted):
+            router.route((0, 0), (0, 2))

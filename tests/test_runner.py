@@ -1,0 +1,103 @@
+"""Tests for executing collective schedules on the fluid simulator."""
+
+import pytest
+
+from repro.collectives.cost_model import CostParameters
+from repro.collectives.primitives import (
+    Interconnect,
+    build_reduce_scatter_schedule,
+    plan_reduce_scatter,
+    reduce_scatter_cost,
+)
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.sim.runner import run_concurrent_schedules, run_schedule
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def rack():
+    return Torus((4, 4, 4))
+
+
+def capacities(rack, per_link):
+    return {link: per_link for link in rack.links()}
+
+
+class TestSingleSchedule:
+    @pytest.mark.parametrize("shape", [(4, 2, 1), (4, 4, 1)])
+    @pytest.mark.parametrize(
+        "interconnect", [Interconnect.ELECTRICAL, Interconnect.OPTICAL]
+    )
+    def test_measured_matches_closed_form(self, rack, shape, interconnect):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=shape)
+        n_bytes = 1 << 24
+        strategy = plan_reduce_scatter(slc, interconnect)
+        schedule = build_reduce_scatter_schedule(slc, n_bytes, interconnect)
+        caps = capacities(rack, CHIP_EGRESS_BYTES * strategy.bandwidth_fraction)
+        params = CostParameters()
+        result = run_schedule(schedule, caps, params.alpha_s, params.reconfig_s)
+        symbolic = reduce_scatter_cost(slc, interconnect).seconds(n_bytes, params)
+        assert result.duration_s == pytest.approx(symbolic, rel=1e-6)
+
+    def test_components_add_up(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 2, 1))
+        schedule = build_reduce_scatter_schedule(slc, 1 << 20, Interconnect.OPTICAL)
+        caps = capacities(rack, CHIP_EGRESS_BYTES)
+        result = run_schedule(schedule, caps)
+        assert result.duration_s == pytest.approx(
+            result.transfer_s + result.alpha_s + result.reconfig_s
+        )
+        assert result.reconfig_s == pytest.approx(3.7e-6)
+
+    def test_phase_durations_recorded(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 2, 1))
+        schedule = build_reduce_scatter_schedule(slc, 1 << 20, Interconnect.OPTICAL)
+        result = run_schedule(schedule, capacities(rack, CHIP_EGRESS_BYTES))
+        assert len(result.phase_durations_s) == len(schedule.phases)
+        assert all(d > 0 for d in result.phase_durations_s)
+
+
+class TestConcurrentSchedules:
+    def test_disjoint_tenants_unaffected(self, rack):
+        a = Slice(name="a", rack=rack, offset=(0, 0, 0), shape=(4, 1, 1))
+        b = Slice(name="b", rack=rack, offset=(0, 2, 2), shape=(4, 1, 1))
+        n = 1 << 22
+        caps = capacities(rack, CHIP_EGRESS_BYTES / 3)
+        schedules = [
+            build_reduce_scatter_schedule(a, n, Interconnect.ELECTRICAL),
+            build_reduce_scatter_schedule(b, n, Interconnect.ELECTRICAL),
+        ]
+        results = run_concurrent_schedules(schedules, caps)
+        solo = run_schedule(schedules[0], caps)
+        for result in results:
+            assert result.duration_s == pytest.approx(solo.duration_s, rel=1e-6)
+
+    def test_contending_tenants_slow_down(self, rack):
+        # Two tenants deliberately ringing over the same X column links.
+        a = Slice(name="a", rack=rack, offset=(0, 0, 0), shape=(4, 2, 1))
+        b = Slice(name="b", rack=rack, offset=(0, 2, 0), shape=(4, 2, 1))
+        n = 1 << 22
+        caps = capacities(rack, CHIP_EGRESS_BYTES / 3)
+        # Force both to bucket over Y: their wrap paths collide.
+        from repro.collectives.bucket import bucket_reduce_scatter_schedule
+
+        schedules = [
+            bucket_reduce_scatter_schedule(a, n, dims=[1], owner="a"),
+            bucket_reduce_scatter_schedule(b, n, dims=[1], owner="b"),
+        ]
+        contended = run_concurrent_schedules(schedules, caps)
+        solo = run_schedule(schedules[0], caps)
+        assert contended[0].duration_s > solo.duration_s * 1.2
+
+    def test_result_order_matches_input(self, rack):
+        a = Slice(name="a", rack=rack, offset=(0, 0, 0), shape=(4, 1, 1))
+        b = Slice(name="b", rack=rack, offset=(0, 2, 2), shape=(2, 1, 1))
+        caps = capacities(rack, CHIP_EGRESS_BYTES / 3)
+        schedules = [
+            build_reduce_scatter_schedule(a, 1 << 20, Interconnect.ELECTRICAL),
+            build_reduce_scatter_schedule(b, 1 << 20, Interconnect.ELECTRICAL),
+        ]
+        results = run_concurrent_schedules(schedules, caps)
+        assert results[0].name == schedules[0].name
+        assert results[1].name == schedules[1].name

@@ -1,0 +1,101 @@
+"""Tests for collective schedules, phases and transfers."""
+
+import pytest
+
+from repro.collectives.schedule import CollectiveSchedule, Phase, Transfer
+from repro.topology.torus import Link
+
+
+def t(src, dst, n=100.0, path=None, owner=""):
+    return Transfer(src=src, dst=dst, n_bytes=n, path=path or (src, dst), owner=owner)
+
+
+class TestTransfer:
+    def test_links_follow_path(self):
+        transfer = t((0,), (2,), path=((0,), (1,), (2,)))
+        assert transfer.links == (Link((0,), (1,)), Link((1,), (2,)))
+
+    def test_path_endpoint_validation(self):
+        with pytest.raises(ValueError):
+            Transfer(src=(0,), dst=(1,), n_bytes=1, path=((0,), (2,)))
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ValueError):
+            Transfer(src=(0,), dst=(0,), n_bytes=1, path=((0,),))
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            t((0,), (1,), n=-1)
+
+
+class TestPhase:
+    def test_link_load_counts_users(self):
+        phase = Phase(transfers=[t((0,), (1,)), t((0,), (1,))])
+        assert phase.link_load()[Link((0,), (1,))] == 2
+
+    def test_congestion_detection(self):
+        phase = Phase(transfers=[t((0,), (1,)), t((0,), (1,))])
+        assert not phase.is_congestion_free
+        assert phase.congested_links()[Link((0,), (1,))] == 2
+
+    def test_disjoint_phase_congestion_free(self):
+        phase = Phase(transfers=[t((0,), (1,)), t((2,), (3,))])
+        assert phase.is_congestion_free
+
+    def test_duration_single_transfer(self):
+        phase = Phase(transfers=[t((0,), (1,), n=100.0)])
+        duration = phase.duration_s(lambda link: 10.0, alpha_s=1.0, reconfig_s=0.0)
+        assert duration == pytest.approx(1.0 + 10.0)
+
+    def test_duration_shares_bandwidth(self):
+        phase = Phase(transfers=[t((0,), (1,), n=100.0), t((0,), (1,), n=100.0)])
+        duration = phase.duration_s(lambda link: 10.0, alpha_s=0.0, reconfig_s=0.0)
+        assert duration == pytest.approx(20.0)  # each gets 5 B/s
+
+    def test_duration_charges_reconfig(self):
+        phase = Phase(transfers=[t((0,), (1,), n=0.0)], reconfigurations=2)
+        duration = phase.duration_s(lambda link: 1.0, alpha_s=0.5, reconfig_s=3.0)
+        assert duration == pytest.approx(6.0 + 0.5)
+
+    def test_duration_slowest_link_governs(self):
+        transfer = t((0,), (2,), n=100.0, path=((0,), (1,), (2,)))
+        bw = {Link((0,), (1,)): 100.0, Link((1,), (2,)): 10.0}
+        phase = Phase(transfers=[transfer])
+        assert phase.duration_s(lambda l: bw[l], 0.0, 0.0) == pytest.approx(10.0)
+
+    def test_zero_bandwidth_rejected(self):
+        phase = Phase(transfers=[t((0,), (1,), n=1.0)])
+        with pytest.raises(ValueError):
+            phase.duration_s(lambda link: 0.0, 0.0, 0.0)
+
+    def test_empty_phase_costs_nothing(self):
+        phase = Phase(transfers=[])
+        assert phase.duration_s(lambda link: 1.0, 5.0, 5.0) == 0.0
+
+
+class TestSchedule:
+    def test_accumulates_phases(self):
+        schedule = CollectiveSchedule(name="s")
+        schedule.add_phase(Phase(transfers=[t((0,), (1,))]))
+        schedule.add_phase(Phase(transfers=[t((1,), (0,))], reconfigurations=1))
+        assert schedule.transfer_count == 2
+        assert schedule.reconfiguration_count == 1
+        assert schedule.total_bytes == pytest.approx(200.0)
+
+    def test_congested_phases_indices(self):
+        schedule = CollectiveSchedule(name="s")
+        schedule.add_phase(Phase(transfers=[t((0,), (1,))]))
+        schedule.add_phase(Phase(transfers=[t((0,), (1,)), t((0,), (1,))]))
+        assert schedule.congested_phases() == [1]
+        assert not schedule.is_congestion_free
+
+    def test_duration_sums_phases(self):
+        schedule = CollectiveSchedule(name="s")
+        schedule.add_phase(Phase(transfers=[t((0,), (1,), n=10.0)]))
+        schedule.add_phase(Phase(transfers=[t((0,), (1,), n=10.0)]))
+        assert schedule.duration_s(lambda l: 1.0, 0.0, 0.0) == pytest.approx(20.0)
+
+    def test_all_links(self):
+        schedule = CollectiveSchedule(name="s")
+        schedule.add_phase(Phase(transfers=[t((0,), (1,)), t((1,), (2,))]))
+        assert schedule.all_links() == {Link((0,), (1,)), Link((1,), (2,))}

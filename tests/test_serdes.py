@@ -1,0 +1,84 @@
+"""Tests for the SerDes lane pool — the tile's connection limit."""
+
+import pytest
+
+from repro.phy.serdes import SerdesExhausted, SerdesPool
+
+
+class TestAllocation:
+    def test_fresh_pool_all_free(self):
+        pool = SerdesPool.for_chip(8)
+        assert pool.capacity == 8
+        assert pool.free_lanes == 8
+
+    def test_default_matches_paper(self):
+        assert SerdesPool.for_chip().capacity == 16
+
+    def test_allocate_lowest_index_first(self):
+        pool = SerdesPool.for_chip(4)
+        lane = pool.allocate("conn-a")
+        assert lane.index == 0
+        assert pool.free_lanes == 3
+
+    def test_allocation_exhausts(self):
+        pool = SerdesPool.for_chip(2)
+        pool.allocate("a")
+        pool.allocate("b")
+        with pytest.raises(SerdesExhausted):
+            pool.allocate("c")
+
+    def test_connection_limit_is_the_paper_constraint(self):
+        # Section 3: connections per tile are limited by SerDes ports,
+        # not by the >10,000 waveguides.
+        pool = SerdesPool.for_chip()
+        for i in range(16):
+            pool.allocate(f"conn-{i}")
+        with pytest.raises(SerdesExhausted):
+            pool.allocate("one-too-many")
+
+    def test_zero_lane_pool_rejected(self):
+        with pytest.raises(ValueError):
+            SerdesPool.for_chip(0)
+
+
+class TestRelease:
+    def test_release_frees_lanes(self):
+        pool = SerdesPool.for_chip(4)
+        pool.allocate("x")
+        pool.allocate("x")
+        assert pool.release("x") == 2
+        assert pool.free_lanes == 4
+
+    def test_release_unknown_owner_noop(self):
+        pool = SerdesPool.for_chip(2)
+        assert pool.release("ghost") == 0
+
+    def test_release_lane_by_index(self):
+        pool = SerdesPool.for_chip(2)
+        pool.allocate("x")
+        pool.release_lane(0)
+        assert pool.free_lanes == 2
+
+    def test_release_lane_index_bounds(self):
+        with pytest.raises(IndexError):
+            SerdesPool.for_chip(2).release_lane(5)
+
+    def test_reallocation_after_release(self):
+        pool = SerdesPool.for_chip(1)
+        pool.allocate("a")
+        pool.release("a")
+        lane = pool.allocate("b")
+        assert lane.bound_to == "b"
+
+
+class TestRates:
+    def test_aggregate_rate(self):
+        pool = SerdesPool.for_chip(16)
+        assert pool.aggregate_rate_bps() == pytest.approx(16 * 224e9)
+
+    def test_allocated_rate_tracks_use(self):
+        pool = SerdesPool.for_chip(4)
+        assert pool.allocated_rate_bps() == 0.0
+        pool.allocate("a")
+        pool.allocate("a")
+        assert pool.allocated_rate_bps() == pytest.approx(2 * 224e9)

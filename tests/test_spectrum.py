@@ -1,0 +1,117 @@
+"""Tests for wavelength assignment with the continuity constraint."""
+
+import numpy as np
+import pytest
+
+from repro.core.spectrum import (
+    AssignmentPolicy,
+    BlockingExperiment,
+    WavelengthAssigner,
+)
+from repro.core.wafer import LightpathWafer
+
+
+def assigner(channels=4, policy=AssignmentPolicy.FIRST_FIT, grid=(1, 4)):
+    return WavelengthAssigner(
+        LightpathWafer(grid=grid), channels=channels, policy=policy,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestAssignment:
+    def test_first_fit_picks_lowest(self):
+        a = assigner()
+        result = a.assign((0, 0), (0, 3), owner="x")
+        assert result is not None
+        assert result.wavelength == 0
+
+    def test_continuity_enforced(self):
+        a = assigner(channels=2)
+        # Occupy wavelength 0 on the middle boundary only.
+        route = a.router.dimension_order_route((0, 1), (0, 2))
+        for boundary in route.boundaries():
+            a._boundary_occupancy(boundary)[0] = "blocker"
+        result = a.assign((0, 0), (0, 3), owner="x")
+        # Wavelength 0 is broken mid-path; the whole circuit must use 1.
+        assert result.wavelength == 1
+
+    def test_blocking_when_spectrum_full(self):
+        a = assigner(channels=1)
+        assert a.assign((0, 0), (0, 3), owner="a") is not None
+        assert a.assign((0, 1), (0, 2), owner="b") is None
+
+    def test_disjoint_routes_reuse_wavelengths(self):
+        a = assigner(channels=1, grid=(2, 4))
+        first = a.assign((0, 0), (0, 1), owner="a")
+        second = a.assign((1, 0), (1, 1), owner="b")
+        assert first.wavelength == second.wavelength == 0
+
+    def test_release_restores_capacity(self):
+        a = assigner(channels=1)
+        result = a.assign((0, 0), (0, 3), owner="a")
+        a.release(result, owner="a")
+        assert a.assign((0, 0), (0, 3), owner="b") is not None
+
+    def test_release_wrong_owner_rejected(self):
+        a = assigner()
+        result = a.assign((0, 0), (0, 3), owner="a")
+        with pytest.raises(KeyError):
+            a.release(result, owner="imposter")
+
+    def test_utilization_tracks_assignments(self):
+        a = assigner(channels=2, grid=(1, 2))
+        assert a.utilization() == 0.0
+        a.assign((0, 0), (0, 1), owner="a")
+        assert a.utilization() == pytest.approx(1 / 4)  # 1 of 2x2 slots
+
+    def test_channels_validation(self):
+        with pytest.raises(ValueError):
+            WavelengthAssigner(LightpathWafer(grid=(1, 2)), channels=0)
+
+
+class TestPolicies:
+    def test_most_used_packs_wavelengths(self):
+        a = assigner(channels=4, policy=AssignmentPolicy.MOST_USED, grid=(2, 4))
+        a.assign((0, 0), (0, 1), owner="a")
+        # A disjoint route should re-pick the already-used wavelength.
+        second = a.assign((1, 0), (1, 1), owner="b")
+        assert second.wavelength == 0
+
+    def test_random_policy_seeded(self):
+        a1 = assigner(channels=8, policy=AssignmentPolicy.RANDOM)
+        a2 = assigner(channels=8, policy=AssignmentPolicy.RANDOM)
+        r1 = a1.assign((0, 0), (0, 3), owner="x")
+        r2 = a2.assign((0, 0), (0, 3), owner="x")
+        assert r1.wavelength == r2.wavelength
+
+
+class TestBlockingExperiment:
+    def test_no_blocking_at_light_load(self):
+        experiment = BlockingExperiment(grid=(4, 8), channels=16, seed=1)
+        point = experiment.run(8, AssignmentPolicy.FIRST_FIT)
+        assert point.blocking_probability == 0.0
+
+    def test_blocking_grows_with_load(self):
+        experiment = BlockingExperiment(grid=(2, 4), channels=4, seed=1)
+        sweep = experiment.sweep([4, 32, 128], AssignmentPolicy.FIRST_FIT)
+        probabilities = [p.blocking_probability for p in sweep]
+        assert probabilities[-1] > probabilities[0]
+
+    def test_heavy_load_blocks(self):
+        experiment = BlockingExperiment(grid=(2, 4), channels=2, seed=3)
+        point = experiment.run(200, AssignmentPolicy.FIRST_FIT)
+        assert point.blocking_probability > 0.5
+
+    def test_point_accounting(self):
+        experiment = BlockingExperiment(grid=(2, 4), channels=2, seed=0)
+        point = experiment.run(50, AssignmentPolicy.RANDOM)
+        assert 0 <= point.accepted <= point.offered == 50
+
+    def test_zero_offered(self):
+        experiment = BlockingExperiment()
+        point = experiment.run(0, AssignmentPolicy.FIRST_FIT)
+        assert point.blocking_probability == 0.0
+
+    def test_negative_offered_rejected(self):
+        with pytest.raises(ValueError):
+            BlockingExperiment().run(-1, AssignmentPolicy.FIRST_FIT)

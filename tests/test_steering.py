@@ -1,0 +1,114 @@
+"""Tests for bandwidth steering (paper Section 4.1)."""
+
+import pytest
+
+from repro.collectives.primitives import Interconnect
+from repro.core.steering import (
+    effective_chip_bandwidth,
+    plan_steering,
+    static_allocation,
+    steered_allocation,
+)
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def rack():
+    return Torus((4, 4, 4))
+
+
+def make(rack, shape, name="s"):
+    return Slice(name=name, rack=rack, offset=(0, 0, 0), shape=shape)
+
+
+class TestAllocations:
+    def test_static_splits_evenly(self):
+        alloc = static_allocation(rack_ndim=4, total=16)
+        assert alloc.per_dimension == {0: 4, 1: 4, 2: 4, 3: 4}
+        assert alloc.stranded == 0
+
+    def test_static_rounds_remainder(self):
+        alloc = static_allocation(rack_ndim=3, total=16)
+        assert sum(alloc.per_dimension.values()) == 16
+        assert sorted(alloc.per_dimension.values()) == [5, 5, 6]
+
+    def test_steered_single_dim_takes_all(self):
+        alloc = steered_allocation([0], total=16)
+        assert alloc.per_dimension == {0: 16}
+        assert alloc.fraction(0) == 1.0
+
+    def test_steered_two_dims_half_each(self):
+        alloc = steered_allocation([0, 1], total=16)
+        assert alloc.fraction(0) == pytest.approx(0.5)
+        assert alloc.fraction(1) == pytest.approx(0.5)
+
+    def test_overallocation_rejected(self):
+        from repro.core.steering import WavelengthAllocation
+
+        with pytest.raises(ValueError):
+            WavelengthAllocation(per_dimension={0: 17}, total=16)
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ValueError):
+            steered_allocation([0, 0])
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            steered_allocation([])
+
+    def test_bandwidth_bytes(self):
+        alloc = steered_allocation([2], total=16)
+        assert alloc.bandwidth_bytes(2) == pytest.approx(CHIP_EGRESS_BYTES)
+        assert alloc.bandwidth_bytes(0) == 0.0
+
+
+class TestSteeringPlans:
+    def test_slice1_steers_everything_into_x(self, rack):
+        plan = plan_steering(make(rack, (4, 2, 1), "Slice-1"))
+        assert plan.target_dims == (0,)
+        assert plan.per_dimension_fraction[0] == 1.0
+        assert plan.latency_s == pytest.approx(3.7e-6)
+
+    def test_slice3_steers_z_into_xy(self, rack):
+        plan = plan_steering(make(rack, (4, 4, 1), "Slice-3"))
+        assert plan.target_dims == (0, 1)
+        assert plan.per_dimension_fraction == {0: 0.5, 1: 0.5}
+
+    def test_electrical_plan_is_static(self, rack):
+        plan = plan_steering(
+            make(rack, (4, 2, 1)), interconnect=Interconnect.ELECTRICAL
+        )
+        assert plan.switch_programs == 0
+        assert plan.latency_s == 0.0
+        assert plan.allocation.per_dimension == static_allocation(3).per_dimension
+
+    def test_switch_programs_scale_with_slice(self, rack):
+        small = plan_steering(make(rack, (4, 2, 1)))
+        large = plan_steering(make(rack, (4, 4, 2)))
+        assert small.switch_programs > 0
+        # The larger slice has 4x the chips; with different steering
+        # targets, the counts need not be proportional, just larger.
+        assert large.switch_programs > small.switch_programs
+
+
+class TestEffectiveBandwidth:
+    def test_figure5c_slice1(self, rack):
+        slc = make(rack, (4, 2, 1), "Slice-1")
+        electrical = effective_chip_bandwidth(slc, Interconnect.ELECTRICAL)
+        optical = effective_chip_bandwidth(slc, Interconnect.OPTICAL)
+        assert electrical == pytest.approx(CHIP_EGRESS_BYTES / 3)
+        assert optical == pytest.approx(CHIP_EGRESS_BYTES)
+
+    def test_figure5c_slice3(self, rack):
+        slc = make(rack, (4, 4, 1), "Slice-3")
+        assert effective_chip_bandwidth(slc, Interconnect.ELECTRICAL) == (
+            pytest.approx(2 * CHIP_EGRESS_BYTES / 3)
+        )
+
+    def test_custom_egress(self, rack):
+        slc = make(rack, (4, 2, 1))
+        assert effective_chip_bandwidth(
+            slc, Interconnect.ELECTRICAL, chip_egress=300.0
+        ) == pytest.approx(100.0)

@@ -1,0 +1,90 @@
+"""Tests for the reticle stitch-loss model (paper Figure 3b)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.stitch_loss import StitchLossModel
+
+
+class TestSampling:
+    def test_samples_are_nonnegative(self):
+        model = StitchLossModel(rng=np.random.default_rng(1))
+        assert np.all(model.sample(5000) >= 0.0)
+
+    def test_sample_count(self):
+        assert StitchLossModel().sample(17).shape == (17,)
+
+    def test_sample_rejects_zero(self):
+        with pytest.raises(ValueError):
+            StitchLossModel().sample(0)
+
+    def test_mean_matches_paper(self):
+        model = StitchLossModel(rng=np.random.default_rng(2))
+        draws = model.sample(20000)
+        assert float(np.mean(draws)) == pytest.approx(0.25, abs=0.01)
+
+    def test_seed_reproducibility(self):
+        a = StitchLossModel(rng=np.random.default_rng(9)).sample(100)
+        b = StitchLossModel(rng=np.random.default_rng(9)).sample(100)
+        assert np.array_equal(a, b)
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            StitchLossModel(mean_db=-0.1)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            StitchLossModel(sigma_db=-0.1)
+
+    def test_zero_sigma_is_deterministic(self):
+        model = StitchLossModel(sigma_db=0.0)
+        assert np.allclose(model.sample(10), 0.25)
+
+
+class TestPathLoss:
+    def test_zero_crossings_zero_loss(self):
+        assert StitchLossModel().path_loss_db(0) == 0.0
+
+    def test_negative_crossings_rejected(self):
+        with pytest.raises(ValueError):
+            StitchLossModel().path_loss_db(-1)
+        with pytest.raises(ValueError):
+            StitchLossModel().expected_path_loss_db(-1)
+
+    def test_expected_loss_linear_in_crossings(self):
+        model = StitchLossModel()
+        assert model.expected_path_loss_db(2) == pytest.approx(0.5)
+        assert model.expected_path_loss_db(10) == pytest.approx(2.5)
+
+    def test_sampled_path_loss_near_expected(self):
+        model = StitchLossModel(rng=np.random.default_rng(4))
+        losses = [model.path_loss_db(100) for _ in range(50)]
+        assert float(np.mean(losses)) == pytest.approx(25.0, rel=0.05)
+
+    def test_figure3a_circuit_two_boundaries(self):
+        # The A->B circuit of Figure 3a crosses two tile boundaries; its
+        # expected stitch loss is 0.5 dB — low enough to route in-layer.
+        assert StitchLossModel().expected_path_loss_db(2) < 1.0
+
+
+class TestHistogram:
+    def test_histogram_counts_sum_to_samples(self):
+        hist = StitchLossModel(rng=np.random.default_rng(3)).histogram(samples=4000)
+        assert int(np.sum(hist.counts)) == 4000
+
+    def test_histogram_statistics(self):
+        hist = StitchLossModel(rng=np.random.default_rng(3)).histogram(samples=20000)
+        assert hist.mean_db == pytest.approx(0.25, abs=0.01)
+        assert hist.median_db == pytest.approx(0.25, abs=0.02)
+        assert hist.p95_db > hist.median_db
+
+    def test_histogram_spans_figure_range(self):
+        hist = StitchLossModel(rng=np.random.default_rng(3)).histogram(samples=20000)
+        assert hist.bin_edges_db[0] >= 0.0
+        assert hist.bin_edges_db[-1] <= 0.8  # the Figure 3b axis range
+
+    def test_histogram_rows_align_with_bins(self):
+        hist = StitchLossModel().histogram(samples=100, bins=8)
+        rows = hist.rows()
+        assert len(rows) == 8
+        assert sum(count for _lo, _hi, count in rows) == 100

@@ -1,0 +1,61 @@
+"""Tests for the parameter-sweep helpers."""
+
+import pytest
+
+from repro.analysis.sweep import buffer_size_sweep, slice_shape_sweep
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+def slice1():
+    return Slice(
+        name="Slice-1", rack=Torus((4, 4, 4)), offset=(0, 0, 0), shape=(4, 2, 1)
+    )
+
+
+class TestBufferSweep:
+    def test_point_per_size(self):
+        points = buffer_size_sweep(slice1(), [1 << 10, 1 << 20, 1 << 30])
+        assert len(points) == 3
+        assert [p.n_bytes for p in points] == [1 << 10, 1 << 20, 1 << 30]
+
+    def test_crossover_present(self):
+        points = buffer_size_sweep(slice1(), [1 << 10, 1 << 30])
+        assert not points[0].optics_wins
+        assert points[-1].optics_wins
+
+    def test_speedup_approaches_three(self):
+        point = buffer_size_sweep(slice1(), [1 << 34])[0]
+        assert point.speedup == pytest.approx(3.0, rel=0.01)
+
+    def test_times_monotone_in_size(self):
+        points = buffer_size_sweep(slice1(), [1 << 10, 1 << 20, 1 << 30])
+        electrical = [p.electrical_s for p in points]
+        assert electrical == sorted(electrical)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            buffer_size_sweep(slice1(), [])
+        with pytest.raises(ValueError):
+            buffer_size_sweep(slice1(), [0])
+
+
+class TestShapeSweep:
+    def test_known_advantages(self):
+        points = slice_shape_sweep([(4, 2, 1), (4, 4, 1), (4, 4, 4)])
+        by_shape = {p.shape: p for p in points}
+        assert by_shape[(4, 2, 1)].beta_advantage == pytest.approx(3.0)
+        assert by_shape[(4, 4, 1)].beta_advantage == pytest.approx(1.5)
+        assert by_shape[(4, 4, 4)].beta_advantage == pytest.approx(1.0)
+
+    def test_utilization_matches_slice_rule(self):
+        points = slice_shape_sweep([(4, 2, 1)])
+        assert points[0].electrical_utilization == pytest.approx(1 / 3)
+
+    def test_single_chip_shapes_skipped(self):
+        points = slice_shape_sweep([(1, 1, 1), (4, 1, 1)])
+        assert [p.shape for p in points] == [(4, 1, 1)]
+
+    def test_chip_counts(self):
+        points = slice_shape_sweep([(4, 4, 2)])
+        assert points[0].chips == 32

@@ -1,0 +1,94 @@
+"""Tests for the switched (big-switch) server baseline."""
+
+import pytest
+
+from repro.topology.switched import SwitchedServer
+
+
+class TestFlows:
+    def test_add_flow(self):
+        server = SwitchedServer(accelerators=4, port_bandwidth_bytes=100.0)
+        flow = server.add_flow(0, 1, 50.0)
+        assert server.flows == [flow]
+
+    def test_invalid_ports_rejected(self):
+        server = SwitchedServer(accelerators=4)
+        with pytest.raises(ValueError):
+            server.add_flow(0, 4, 1.0)
+        with pytest.raises(ValueError):
+            server.add_flow(0, 0, 1.0)
+        with pytest.raises(ValueError):
+            server.add_flow(0, 1, 0.0)
+
+    def test_clear(self):
+        server = SwitchedServer(accelerators=4)
+        server.add_flow(0, 1, 1.0)
+        server.clear()
+        assert not server.flows
+
+    def test_two_accelerators_minimum(self):
+        with pytest.raises(ValueError):
+            SwitchedServer(accelerators=1)
+
+
+class TestIdealBehaviour:
+    def test_single_flow_gets_demand(self):
+        server = SwitchedServer(
+            accelerators=4, port_bandwidth_bytes=100.0, host_contention_per_flow=0.0
+        )
+        flow = server.add_flow(0, 1, 40.0)
+        assert server.effective_rates()[flow] == pytest.approx(40.0)
+
+    def test_source_port_splits(self):
+        server = SwitchedServer(
+            accelerators=4, port_bandwidth_bytes=100.0, host_contention_per_flow=0.0
+        )
+        a = server.add_flow(0, 1, 1000.0)
+        b = server.add_flow(0, 2, 1000.0)
+        rates = server.effective_rates()
+        assert rates[a] == pytest.approx(50.0)
+        assert rates[b] == pytest.approx(50.0)
+
+    def test_permutation_traffic_full_rate(self):
+        server = SwitchedServer(
+            accelerators=4, port_bandwidth_bytes=100.0, host_contention_per_flow=0.0
+        )
+        for src in range(4):
+            server.add_flow(src, (src + 1) % 4, 1000.0)
+        assert server.aggregate_throughput_bytes() == pytest.approx(400.0)
+
+
+class TestHostContention:
+    def test_fanin_degrades_throughput(self):
+        # The paper's citation of [4]: the big-switch abstraction breaks
+        # under receiver-side contention at high per-chip rates.
+        server = SwitchedServer(
+            accelerators=8, port_bandwidth_bytes=100.0, host_contention_per_flow=0.1
+        )
+        for src in (1, 2, 3, 4):
+            server.add_flow(src, 0, 1000.0)
+        assert server.contention_loss_fraction() == pytest.approx(0.3)
+
+    def test_no_contention_without_fanin(self):
+        server = SwitchedServer(
+            accelerators=4, port_bandwidth_bytes=100.0, host_contention_per_flow=0.1
+        )
+        server.add_flow(0, 1, 1000.0)
+        server.add_flow(2, 3, 1000.0)
+        assert server.contention_loss_fraction() == pytest.approx(0.0)
+
+    def test_contention_clamped_at_zero_rate(self):
+        server = SwitchedServer(
+            accelerators=16, port_bandwidth_bytes=100.0, host_contention_per_flow=0.1
+        )
+        for src in range(1, 13):
+            server.add_flow(src, 0, 1000.0)
+        rates = server.effective_rates()
+        assert all(rate >= 0.0 for rate in rates.values())
+
+    def test_invalid_contention_factor(self):
+        with pytest.raises(ValueError):
+            SwitchedServer(host_contention_per_flow=1.0)
+
+    def test_empty_server_no_loss(self):
+        assert SwitchedServer().contention_loss_fraction() == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the text-table / histogram renderers."""
+
+import pytest
+
+from repro.analysis.tables import cost_row, render_histogram, render_table
+from repro.collectives.cost_model import CollectiveCost
+
+
+class TestRenderTable:
+    def test_includes_headers_and_rows(self):
+        text = render_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "1" in lines[2]
+        assert "4" in lines[3]
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [["1"]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_column_alignment(self):
+        text = render_table(["name", "v"], [["long-name-here", "1"]])
+        header, rule, row = text.splitlines()
+        assert header.index("|") == row.index("|")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestCostRow:
+    def test_row_shape(self):
+        electrical = CollectiveCost(7, 2.625)
+        optical = CollectiveCost(7, 0.875, 1)
+        row = cost_row("Slice-1", electrical, optical)
+        assert row[0] == "Slice-1"
+        assert row[1] == "7 x a"
+        assert row[2] == "7 x a + r"
+        assert row[5] == "3x"
+
+    def test_infinite_ratio(self):
+        row = cost_row("z", CollectiveCost(1, 1.0), CollectiveCost(0, 0.0))
+        assert row[5] == "infx"
+
+
+class TestHistogram:
+    def test_bar_lengths_scale(self):
+        text = render_histogram([0.0, 0.5, 1.0], [10, 5], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_counts_shown(self):
+        text = render_histogram([0.0, 1.0], [42])
+        assert "42" in text
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram([0.0, 1.0], [1, 2])

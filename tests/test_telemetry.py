@@ -1,0 +1,87 @@
+"""Tests for link-utilization telemetry."""
+
+import pytest
+
+from repro.sim.engine import EventEngine
+from repro.sim.flows import Flow
+from repro.sim.telemetry import InstrumentedNetwork, LinkTelemetry
+
+
+class TestLinkTelemetry:
+    def test_record_and_carried_bytes(self):
+        telemetry = LinkTelemetry(capacities={"l1": 10.0})
+        telemetry.record(0.0, 2.0, {"l1": 5.0})
+        assert telemetry.carried_bytes("l1") == pytest.approx(10.0)
+
+    def test_zero_length_interval_ignored(self):
+        telemetry = LinkTelemetry(capacities={"l1": 10.0})
+        telemetry.record(1.0, 1.0, {"l1": 5.0})
+        assert telemetry.carried_bytes("l1") == 0.0
+
+    def test_negative_interval_rejected(self):
+        telemetry = LinkTelemetry(capacities={"l1": 10.0})
+        with pytest.raises(ValueError):
+            telemetry.record(2.0, 1.0, {"l1": 5.0})
+
+    def test_utilization(self):
+        telemetry = LinkTelemetry(capacities={"l1": 10.0})
+        telemetry.record(0.0, 5.0, {"l1": 5.0})
+        assert telemetry.utilization("l1", horizon_s=10.0) == pytest.approx(0.25)
+
+    def test_utilization_validation(self):
+        telemetry = LinkTelemetry(capacities={"l1": 10.0})
+        with pytest.raises(ValueError):
+            telemetry.utilization("l1", horizon_s=0.0)
+        with pytest.raises(KeyError):
+            telemetry.utilization("ghost", horizon_s=1.0)
+
+    def test_busiest_and_idle_links(self):
+        telemetry = LinkTelemetry(capacities={"a": 10.0, "b": 10.0, "c": 10.0})
+        telemetry.record(0.0, 1.0, {"a": 9.0, "b": 1.0})
+        busiest = telemetry.busiest_links(top=2)
+        assert busiest[0][0] == "a"
+        assert telemetry.idle_links() == ["c"]
+
+    def test_mean_utilization(self):
+        telemetry = LinkTelemetry(capacities={"a": 10.0, "b": 10.0})
+        telemetry.record(0.0, 1.0, {"a": 10.0})
+        assert telemetry.mean_utilization(horizon_s=1.0) == pytest.approx(0.5)
+
+
+class TestInstrumentedNetwork:
+    def test_single_flow_fully_accounted(self):
+        engine = EventEngine()
+        network = InstrumentedNetwork(engine, {"l1": 10.0})
+        network.inject(Flow("a", ("l1",), remaining_bytes=100.0))
+        network.run_until_idle()
+        assert network.telemetry.carried_bytes("l1") == pytest.approx(100.0)
+
+    def test_shared_link_accounts_both_flows(self):
+        engine = EventEngine()
+        network = InstrumentedNetwork(engine, {"l1": 10.0})
+        network.inject(Flow("a", ("l1",), 60.0))
+        network.inject(Flow("b", ("l1",), 40.0))
+        network.run_until_idle()
+        assert network.telemetry.carried_bytes("l1") == pytest.approx(100.0)
+
+    def test_bottleneck_runs_at_full_utilization(self):
+        engine = EventEngine()
+        network = InstrumentedNetwork(engine, {"l1": 10.0})
+        network.inject(Flow("a", ("l1",), 50.0))
+        horizon = network.run_until_idle()
+        assert network.telemetry.utilization("l1", horizon) == pytest.approx(1.0)
+
+    def test_idle_links_detected(self):
+        engine = EventEngine()
+        network = InstrumentedNetwork(engine, {"l1": 10.0, "l2": 10.0})
+        network.inject(Flow("a", ("l1",), 50.0))
+        network.run_until_idle()
+        assert network.telemetry.idle_links() == ["l2"]
+
+    def test_multihop_flow_counts_on_every_link(self):
+        engine = EventEngine()
+        network = InstrumentedNetwork(engine, {"l1": 10.0, "l2": 20.0})
+        network.inject(Flow("a", ("l1", "l2"), 100.0))
+        network.run_until_idle()
+        assert network.telemetry.carried_bytes("l1") == pytest.approx(100.0)
+        assert network.telemetry.carried_bytes("l2") == pytest.approx(100.0)

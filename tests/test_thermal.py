@@ -1,0 +1,72 @@
+"""Tests for the wafer power-budget model."""
+
+import pytest
+
+from repro.phy.thermal import TilePowerModel
+
+
+class TestTilePower:
+    def test_components_sum(self):
+        report = TilePowerModel().tile_power()
+        assert report.total_w == pytest.approx(
+            report.laser_w
+            + report.ring_tuning_w
+            + report.switch_heater_w
+            + report.receiver_w
+        )
+
+    def test_laser_power_dominates_at_low_efficiency(self):
+        report = TilePowerModel(laser_efficiency=0.05).tile_power()
+        assert report.laser_w > report.ring_tuning_w
+        assert report.laser_w > report.receiver_w
+
+    def test_dark_tile_keeps_heaters_and_tuning(self):
+        report = TilePowerModel().tile_power(active_wavelengths=0)
+        assert report.laser_w == 0.0
+        assert report.receiver_w == 0.0
+        assert report.ring_tuning_w > 0.0
+        assert report.switch_heater_w > 0.0
+
+    def test_power_scales_with_activity(self):
+        model = TilePowerModel()
+        half = model.tile_power(active_wavelengths=8)
+        full = model.tile_power(active_wavelengths=16)
+        assert full.laser_w == pytest.approx(2 * half.laser_w)
+
+    def test_activity_bounds(self):
+        with pytest.raises(ValueError):
+            TilePowerModel().tile_power(active_wavelengths=17)
+        with pytest.raises(ValueError):
+            TilePowerModel().tile_power(active_wavelengths=-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TilePowerModel(laser_efficiency=0.0)
+        with pytest.raises(ValueError):
+            TilePowerModel(ring_tuning_mw=-1.0)
+
+
+class TestWaferPower:
+    def test_wafer_scales_tiles(self):
+        model = TilePowerModel()
+        wafer = model.wafer_power()
+        assert wafer.total_w == pytest.approx(32 * model.tile_power().total_w)
+
+    def test_aggregate_rate(self):
+        wafer = TilePowerModel().wafer_power()
+        assert wafer.aggregate_rate_bps == pytest.approx(32 * 16 * 224e9)
+
+    def test_pj_per_bit_is_sub_picojoule_class(self):
+        # A full wafer moves ~115 Tbps; total power is tens of watts, so
+        # the fabric-level figure lands around a pJ/bit — the class of
+        # efficiency the photonics literature targets.
+        wafer = TilePowerModel().wafer_power()
+        assert 0.1 < wafer.pj_per_bit < 5.0
+
+    def test_idle_wafer_infinite_pj_per_bit(self):
+        wafer = TilePowerModel().wafer_power(active_wavelengths=0)
+        assert wafer.pj_per_bit == float("inf")
+
+    def test_tile_count_validation(self):
+        with pytest.raises(ValueError):
+            TilePowerModel().wafer_power(tiles=0)

@@ -1,0 +1,79 @@
+"""Tests for the LIGHTPATH tile."""
+
+import pytest
+
+from repro.core.tile import Direction, LightpathTile, TileSwitch
+
+
+class TestDirections:
+    def test_opposites(self):
+        assert Direction.NORTH.opposite is Direction.SOUTH
+        assert Direction.EAST.opposite is Direction.WEST
+
+    def test_deltas_cancel(self):
+        for d in Direction:
+            dr, dc = d.delta
+            odr, odc = d.opposite.delta
+            assert (dr + odr, dc + odc) == (0, 0)
+
+
+class TestTileSwitch:
+    def test_route_and_query(self):
+        switch = TileSwitch(facing=Direction.NORTH)
+        switch.route(3, Direction.EAST)
+        assert switch.routed_towards(3) is Direction.EAST
+        assert switch.active_routes == 1
+
+    def test_cannot_route_back_out_facing(self):
+        switch = TileSwitch(facing=Direction.NORTH)
+        with pytest.raises(ValueError):
+            switch.route(0, Direction.NORTH)
+
+    def test_degree_is_three(self):
+        assert TileSwitch(facing=Direction.EAST).degree == 3
+
+    def test_clear_route(self):
+        switch = TileSwitch(facing=Direction.NORTH)
+        switch.route(1, Direction.SOUTH)
+        switch.clear(1)
+        assert switch.routed_towards(1) is None
+        switch.clear(1)  # idempotent
+
+    def test_failed_switch_rejects_routes(self):
+        switch = TileSwitch(facing=Direction.NORTH, failed=True)
+        with pytest.raises(ValueError):
+            switch.route(0, Direction.EAST)
+
+
+class TestTile:
+    def test_default_tile_matches_paper(self):
+        tile = LightpathTile(coord=(0, 0))
+        tile.validate_paper_geometry()
+
+    def test_four_switches_one_per_direction(self):
+        tile = LightpathTile(coord=(0, 0))
+        assert set(tile.switches) == set(Direction)
+
+    def test_free_wavelengths_initially_all(self):
+        tile = LightpathTile(coord=(0, 0))
+        assert len(tile.free_wavelengths()) == 16
+        assert tile.egress_capacity() == 16
+
+    def test_serdes_binding_consumes_wavelength(self):
+        tile = LightpathTile(coord=(0, 0))
+        tile.serdes.lanes[0].bound_to = "conn"
+        assert 0 not in tile.free_wavelengths()
+        assert tile.egress_capacity() == 15
+
+    def test_laser_failure_consumes_wavelength(self):
+        tile = LightpathTile(coord=(0, 0))
+        tile.lasers.fail(5)
+        assert 5 not in tile.free_wavelengths()
+
+    def test_fail_and_repair(self):
+        tile = LightpathTile(coord=(0, 0))
+        assert tile.working
+        tile.fail()
+        assert not tile.working
+        tile.repair()
+        assert tile.working

@@ -1,0 +1,141 @@
+"""Tests for demand-driven topology engineering (paper Section 6)."""
+
+import pytest
+
+from repro.core.topology_engineering import (
+    TrafficMatrix,
+    engineer_topology,
+    evaluate_topology,
+    skewed_traffic,
+    uniform_mesh,
+)
+from repro.phy.constants import WAVELENGTH_RATE_BYTES
+
+NODES = [f"g{i}" for i in range(8)]
+
+
+def matrix(demand):
+    return TrafficMatrix(nodes=NODES, demand=demand)
+
+
+class TestTrafficMatrix:
+    def test_total(self):
+        m = matrix({("g0", "g1"): 10.0, ("g1", "g2"): 5.0})
+        assert m.total_bytes_per_s() == 15.0
+
+    def test_sorted_heaviest_first(self):
+        m = matrix({("g0", "g1"): 10.0, ("g1", "g2"): 50.0})
+        assert m.sorted_demands()[0][0] == ("g1", "g2")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matrix({("g0", "ghost"): 1.0})
+        with pytest.raises(ValueError):
+            matrix({("g0", "g0"): 1.0})
+        with pytest.raises(ValueError):
+            matrix({("g0", "g1"): -1.0})
+        with pytest.raises(ValueError):
+            TrafficMatrix(nodes=["a", "a"], demand={})
+
+
+class TestEngineering:
+    def test_respects_port_limits(self):
+        m = skewed_traffic(NODES, heavy_pairs=16, heavy_bytes=1e12)
+        topology = engineer_topology(m, ports_per_node=3)
+        for node in NODES:
+            assert topology.egress_used(node) <= 3
+            assert topology.ingress_used(node) <= 3
+
+    def test_heavy_demand_gets_multiple_wavelengths(self):
+        m = matrix({("g0", "g1"): 3 * WAVELENGTH_RATE_BYTES})
+        topology = engineer_topology(m, ports_per_node=8)
+        assert topology.circuits[("g0", "g1")] == 3
+
+    def test_small_demand_gets_one_wavelength(self):
+        m = matrix({("g0", "g1"): 1.0})
+        topology = engineer_topology(m, ports_per_node=8)
+        assert topology.circuits[("g0", "g1")] == 1
+
+    def test_heaviest_admitted_first_under_scarcity(self):
+        m = matrix({("g0", "g1"): 100.0, ("g2", "g1"): 50.0})
+        # Destination g1 has a single ingress port.
+        topology = engineer_topology(m, ports_per_node=1)
+        assert ("g0", "g1") in topology.circuits
+        assert ("g2", "g1") not in topology.circuits
+
+    def test_invalid_ports_rejected(self):
+        with pytest.raises(ValueError):
+            engineer_topology(matrix({}), ports_per_node=0)
+
+
+class TestUniformMesh:
+    def test_ports_spread_over_peers(self):
+        mesh = uniform_mesh(NODES, ports_per_node=7)
+        for node in NODES:
+            assert mesh.egress_used(node) == 7
+        assert all(count == 1 for count in mesh.circuits.values())
+
+    def test_fewer_ports_than_peers(self):
+        mesh = uniform_mesh(NODES, ports_per_node=3)
+        for node in NODES:
+            assert mesh.egress_used(node) == 3
+
+    def test_two_nodes_minimum(self):
+        with pytest.raises(ValueError):
+            uniform_mesh(["solo"])
+
+
+class TestEvaluation:
+    def test_engineered_beats_mesh_on_skewed_traffic(self):
+        m = skewed_traffic(NODES, heavy_pairs=8, heavy_bytes=100e9, light_bytes=1e9)
+        engineered = evaluate_topology(engineer_topology(m, 4), m)
+        static = evaluate_topology(uniform_mesh(NODES, 4), m)
+        assert engineered.direct_fraction > static.direct_fraction
+
+    def test_uniform_traffic_suits_the_mesh(self):
+        demand = {
+            (a, b): 1e9 for a in NODES for b in NODES if a != b
+        }
+        m = matrix(demand)
+        static = evaluate_topology(uniform_mesh(NODES, 7), m)
+        assert static.direct_fraction == pytest.approx(1.0)
+        assert static.mean_hops == pytest.approx(1.0)
+
+    def test_direct_fraction_capped_by_capacity(self):
+        m = matrix({("g0", "g1"): 10 * WAVELENGTH_RATE_BYTES})
+        topology = engineer_topology(m, ports_per_node=2)
+        score = evaluate_topology(topology, m)
+        assert score.direct_fraction == pytest.approx(0.2)
+
+    def test_empty_matrix(self):
+        score = evaluate_topology(uniform_mesh(NODES, 4), matrix({}))
+        assert score.direct_fraction == 1.0
+        assert score.served_bytes_per_s == 0.0
+
+    def test_unreachable_demand_infinite_hops(self):
+        m = matrix({("g0", "g1"): 1.0, ("g5", "g6"): 1.0})
+        topology = engineer_topology(
+            matrix({("g0", "g1"): 1.0}), ports_per_node=1
+        )
+        score = evaluate_topology(topology, m)
+        assert score.mean_hops == float("inf")
+
+
+class TestSkewedTraffic:
+    def test_heavy_pair_count(self):
+        m = skewed_traffic(NODES, heavy_pairs=5, heavy_bytes=7e9)
+        heavy = [v for v in m.demand.values() if v == 7e9]
+        assert len(heavy) == 5
+
+    def test_light_floor_present(self):
+        m = skewed_traffic(NODES, heavy_pairs=2, heavy_bytes=7e9, light_bytes=1e3)
+        assert len(m.demand) == len(NODES) * (len(NODES) - 1)
+
+    def test_elephants_spread_across_sources(self):
+        m = skewed_traffic(NODES, heavy_pairs=8, heavy_bytes=7e9)
+        sources = {src for (src, _dst), v in m.demand.items() if v == 7e9}
+        assert len(sources) >= 4
+
+    def test_too_many_heavy_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            skewed_traffic(NODES, heavy_pairs=100, heavy_bytes=1.0)

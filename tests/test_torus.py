@@ -1,0 +1,168 @@
+"""Tests for the generic N-dimensional torus."""
+
+import pytest
+
+from repro.topology.torus import Link, Torus
+
+
+class TestConstruction:
+    def test_node_count(self):
+        assert Torus((4, 4, 4)).node_count == 64
+
+    def test_nodes_enumeration(self):
+        nodes = list(Torus((2, 3)).nodes())
+        assert len(nodes) == 6
+        assert nodes[0] == (0, 0)
+        assert nodes[-1] == (1, 2)
+
+    def test_contains(self):
+        t = Torus((4, 4))
+        assert t.contains((3, 3))
+        assert not t.contains((4, 0))
+        assert not t.contains((0,))
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Torus(())
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Torus((4, 0)).node_count
+
+
+class TestAdjacency:
+    def test_shift_wraps(self):
+        t = Torus((4, 4))
+        assert t.shift((3, 0), 0, 1) == (0, 0)
+        assert t.shift((0, 0), 0, -1) == (3, 0)
+
+    def test_shift_invalid_dim(self):
+        with pytest.raises(ValueError):
+            Torus((4,)).shift((0,), 1, 1)
+
+    def test_neighbors_in_3d(self):
+        t = Torus((4, 4, 4))
+        assert len(t.neighbors((0, 0, 0))) == 6
+
+    def test_neighbors_dedup_extent_two(self):
+        t = Torus((2, 4))
+        # +1 and -1 along the extent-2 dim reach the same node.
+        assert len(t.neighbors((0, 0))) == 3
+
+    def test_neighbors_skip_extent_one(self):
+        t = Torus((4, 1))
+        assert len(t.neighbors((0, 0))) == 2
+
+    def test_link_count_4x4x4(self):
+        # 64 nodes x 3 dims x 2 directions.
+        assert Torus((4, 4, 4)).link_count() == 384
+
+    def test_link_count_extent_two(self):
+        # 2x3: dim0 has 3 cables (x2 dir) = 6; dim1 has 2 rows x 3 links x 2 = 12.
+        assert Torus((2, 3)).link_count() == 18
+
+    def test_links_are_unique(self):
+        links = list(Torus((3, 3)).links())
+        assert len(links) == len(set(links))
+
+    def test_links_are_valid_neighbor_pairs(self):
+        t = Torus((3, 4))
+        for link in t.links():
+            assert link.dst in t.neighbors(link.src)
+
+
+class TestLink:
+    def test_reverse(self):
+        link = Link((0, 0), (0, 1))
+        assert link.reverse == Link((0, 1), (0, 0))
+
+    def test_dimension_of_plain_hop(self):
+        assert Link((0, 0), (0, 1)).dimension((4, 4)) == 1
+
+    def test_dimension_of_wrap_hop(self):
+        assert Link((3, 0), (0, 0)).dimension((4, 4)) == 0
+
+    def test_dimension_rejects_diagonal(self):
+        with pytest.raises(ValueError):
+            Link((0, 0), (1, 1)).dimension((4, 4))
+
+    def test_dimension_rejects_long_jump(self):
+        with pytest.raises(ValueError):
+            Link((0, 0), (2, 0)).dimension((5, 5))
+
+
+class TestRings:
+    def test_ring_visits_full_dimension(self):
+        t = Torus((4, 4))
+        ring = t.ring(0, (1, 2))
+        assert len(ring) == 4
+        assert ring[0] == (1, 2)
+        assert {n[1] for n in ring} == {2}
+
+    def test_ring_links_close_the_loop(self):
+        t = Torus((4,))
+        ring = t.ring(0, (0,))
+        links = t.ring_links(ring)
+        assert len(links) == 4
+        assert links[-1] == Link((3,), (0,))
+
+    def test_two_node_ring_uses_both_directions(self):
+        t = Torus((2,))
+        links = t.ring_links(t.ring(0, (0,)))
+        assert set(links) == {Link((0,), (1,)), Link((1,), (0,))}
+
+    def test_single_node_ring_no_links(self):
+        t = Torus((1, 4))
+        assert t.ring_links(t.ring(0, (0, 0))) == []
+
+
+class TestPaths:
+    def test_shortest_path_trivial(self):
+        t = Torus((4, 4))
+        assert t.shortest_path((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_shortest_path_length(self):
+        t = Torus((4, 4, 4))
+        path = t.shortest_path((0, 0, 0), (2, 2, 0))
+        assert len(path) == 5  # 4 hops
+
+    def test_shortest_path_uses_wrap(self):
+        t = Torus((4,))
+        path = t.shortest_path((0,), (3,))
+        assert len(path) == 2  # wrap link, 1 hop
+
+    def test_forbidden_nodes_respected(self):
+        t = Torus((4, 1))
+        path = t.shortest_path((0, 0), (2, 0), forbidden_nodes={(1, 0)})
+        assert path == [(0, 0), (3, 0), (2, 0)]
+
+    def test_forbidden_links_respected(self):
+        t = Torus((4,))
+        path = t.shortest_path(
+            (0,), (1,), forbidden_links={Link((0,), (1,))}
+        )
+        assert path == [(0,), (3,), (2,), (1,)]
+
+    def test_unreachable_returns_none(self):
+        t = Torus((4, 1))
+        blocked = {(1, 0), (3, 0)}
+        assert t.shortest_path((0, 0), (2, 0), forbidden_nodes=blocked) is None
+
+    def test_all_paths_within_budget(self):
+        t = Torus((3, 3))
+        paths = list(t.all_paths((0, 0), (1, 1), max_hops=2))
+        assert len(paths) == 2
+        for path in paths:
+            assert path[0] == (0, 0) and path[-1] == (1, 1)
+
+    def test_all_paths_simple(self):
+        t = Torus((3, 3))
+        for path in t.all_paths((0, 0), (2, 2), max_hops=4):
+            assert len(path) == len(set(path))
+
+    def test_path_links(self):
+        t = Torus((4,))
+        assert t.path_links([(0,), (1,), (2,)]) == [
+            Link((0,), (1,)),
+            Link((1,), (2,)),
+        ]

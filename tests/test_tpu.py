@@ -1,0 +1,128 @@
+"""Tests for the TPUv4 rack/cluster substrate."""
+
+import pytest
+
+from repro.topology.tpu import GlobalChipId, TpuCluster, TpuRack
+
+
+class TestRack:
+    def test_rack_is_4x4x4(self):
+        assert TpuRack(0).shape == (4, 4, 4)
+        assert TpuRack(0).chip_count == 64
+
+    def test_paper_geometry_validates(self):
+        TpuRack(0).validate_paper_geometry()
+
+    def test_sixteen_servers(self):
+        assert len(TpuRack(0).servers()) == 16
+
+    def test_server_has_four_chips(self):
+        rack = TpuRack(0)
+        for server in rack.servers():
+            assert len(rack.server_chips(server)) == 4
+
+    def test_server_grouping_partitions_chips(self):
+        rack = TpuRack(0)
+        seen = set()
+        for server in rack.servers():
+            for chip in rack.server_chips(server):
+                assert chip not in seen
+                seen.add(chip)
+        assert len(seen) == 64
+
+    def test_server_of_consistency(self):
+        rack = TpuRack(0)
+        for server in rack.servers():
+            for chip in rack.server_chips(server):
+                assert rack.server_of(chip) == server
+
+    def test_server_of_out_of_rack(self):
+        with pytest.raises(ValueError):
+            TpuRack(0).server_of((9, 0, 0))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            TpuRack(-1)
+
+
+class TestRackFailures:
+    def test_fail_and_repair(self):
+        rack = TpuRack(0)
+        rack.fail_chip((1, 2, 3))
+        assert rack.is_failed((1, 2, 3))
+        assert rack.failed_chips() == {(1, 2, 3)}
+        rack.repair_chip((1, 2, 3))
+        assert not rack.is_failed((1, 2, 3))
+
+    def test_fail_unknown_chip(self):
+        with pytest.raises(ValueError):
+            TpuRack(0).fail_chip((4, 0, 0))
+
+
+class TestFacePorts:
+    def test_face_port_count(self):
+        rack = TpuRack(0)
+        assert len(rack.face_ports(2)) == 16  # one per (x, y) column
+
+    def test_face_ports_are_opposite(self):
+        rack = TpuRack(0)
+        for low, high in rack.face_ports(0):
+            assert low[0] == 0
+            assert high[0] == 3
+            assert low[1:] == high[1:]
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            TpuRack(0).face_ports(3)
+
+
+class TestCluster:
+    def test_default_cluster_is_4096_chips(self):
+        assert TpuCluster().chip_count == 4096
+
+    def test_small_cluster(self):
+        cluster = TpuCluster(rack_count=2)
+        assert cluster.chip_count == 128
+        assert len(cluster.chip_ids()) == 128
+
+    def test_rack_access(self):
+        cluster = TpuCluster(rack_count=2)
+        assert cluster.rack(1).index == 1
+        with pytest.raises(IndexError):
+            cluster.rack(2)
+
+    def test_join_racks_connects_faces(self):
+        cluster = TpuCluster(rack_count=2)
+        latency = cluster.join_racks(2, 0, 1)
+        assert latency > 0
+        assert cluster.racks_joined(2, 0, 1)
+        assert cluster.racks_joined(2, 1, 0)
+
+    def test_join_is_per_dimension(self):
+        cluster = TpuCluster(rack_count=2)
+        cluster.join_racks(2, 0, 1)
+        assert not cluster.racks_joined(0, 0, 1)
+
+    def test_isolate_rack(self):
+        cluster = TpuCluster(rack_count=2)
+        cluster.join_racks(2, 0, 1)
+        cluster.isolate_rack(2, 0)
+        assert not cluster.racks_joined(2, 0, 1)
+
+    def test_ocs_latency_much_slower_than_lightpath(self):
+        # The comparison the paper draws: OCS milliseconds vs MZI 3.7 us.
+        cluster = TpuCluster(rack_count=2)
+        assert cluster.ocs_planes[0].reconfigure_latency_s > 1000 * 3.7e-6
+
+    def test_failed_chips_across_cluster(self):
+        cluster = TpuCluster(rack_count=2)
+        cluster.rack(0).fail_chip((0, 0, 0))
+        cluster.rack(1).fail_chip((1, 1, 1))
+        failed = cluster.failed_chips()
+        assert GlobalChipId(0, (0, 0, 0)) in failed
+        assert GlobalChipId(1, (1, 1, 1)) in failed
+        assert len(failed) == 2
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            TpuCluster(rack_count=0)

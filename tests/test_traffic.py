@@ -1,0 +1,116 @@
+"""Tests for workload traffic generators."""
+
+import pytest
+
+from repro.collectives.primitives import Interconnect
+from repro.sim.traffic import (
+    MoeGatingWorkload,
+    MultiTenantWorkload,
+    TrainingStepWorkload,
+)
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def rack():
+    return Torus((4, 4, 4))
+
+
+def slice3(rack):
+    return Slice(name="Slice-3", rack=rack, offset=(0, 0, 0), shape=(4, 4, 1))
+
+
+class TestTrainingStep:
+    def test_one_schedule_per_step(self, rack):
+        workload = TrainingStepWorkload(slc=slice3(rack), gradient_bytes=1024, steps=3)
+        schedules = workload.schedules()
+        assert len(schedules) == 3
+
+    def test_each_step_is_an_allreduce(self, rack):
+        workload = TrainingStepWorkload(slc=slice3(rack), gradient_bytes=1024)
+        schedule = workload.schedules()[0]
+        assert "all-reduce" in schedule.name
+
+    def test_owners_distinguish_steps(self, rack):
+        workload = TrainingStepWorkload(slc=slice3(rack), gradient_bytes=1024, steps=2)
+        owners = {
+            t.owner
+            for s in workload.schedules()
+            for p in s.phases
+            for t in p.transfers
+        }
+        assert owners == {"Slice-3/step0", "Slice-3/step1"}
+
+    def test_zero_steps_rejected(self, rack):
+        with pytest.raises(ValueError):
+            TrainingStepWorkload(slc=slice3(rack), gradient_bytes=1, steps=0).schedules()
+
+
+class TestMultiTenant:
+    def test_one_schedule_per_tenant(self, rack):
+        from repro.analysis.utilization import figure5b_layout
+        from repro.topology.slices import SliceAllocator
+
+        allocator = figure5b_layout(SliceAllocator(rack))
+        workload = MultiTenantWorkload(
+            slices=allocator.slices, buffer_bytes=4096
+        )
+        assert len(workload.schedules()) == 4
+
+    def test_interconnect_propagates(self, rack):
+        workload = MultiTenantWorkload(
+            slices=[slice3(rack)],
+            buffer_bytes=4096,
+            interconnect=Interconnect.OPTICAL,
+        )
+        schedule = workload.schedules()[0]
+        assert schedule.reconfiguration_count > 0
+
+    def test_empty_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTenantWorkload(slices=[], buffer_bytes=1).schedules()
+
+
+class TestMoeGating:
+    def chips(self):
+        return [(0, i) for i in range(8)]
+
+    def test_fanout_requests_per_chip(self):
+        workload = MoeGatingWorkload(chips=self.chips(), fanout=2)
+        batch = workload.next_batch()
+        assert len(batch) == 16
+
+    def test_no_self_dispatch(self):
+        workload = MoeGatingWorkload(chips=self.chips(), fanout=3)
+        for request in workload.next_batch():
+            assert request.src != request.dst
+
+    def test_destinations_distinct_per_source(self):
+        workload = MoeGatingWorkload(chips=self.chips(), fanout=4)
+        batch = workload.next_batch()
+        by_source = {}
+        for request in batch:
+            by_source.setdefault(request.src, []).append(request.dst)
+        for dsts in by_source.values():
+            assert len(dsts) == len(set(dsts))
+
+    def test_seed_reproducibility(self):
+        a = MoeGatingWorkload(chips=self.chips(), seed=5).next_batch()
+        b = MoeGatingWorkload(chips=self.chips(), seed=5).next_batch()
+        assert a == b
+
+    def test_batches_vary(self):
+        workload = MoeGatingWorkload(chips=self.chips(), seed=0)
+        batches = workload.batches(2)
+        assert batches[0] != batches[1]
+
+    def test_fanout_bounds(self):
+        with pytest.raises(ValueError):
+            MoeGatingWorkload(chips=self.chips(), fanout=0)
+        with pytest.raises(ValueError):
+            MoeGatingWorkload(chips=self.chips(), fanout=8)
+
+    def test_needs_two_chips(self):
+        with pytest.raises(ValueError):
+            MoeGatingWorkload(chips=[(0, 0)])

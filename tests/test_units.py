@@ -1,0 +1,82 @@
+"""Tests for repro.phy.units conversions."""
+
+import math
+
+import pytest
+
+from repro.phy import units
+
+
+class TestDbConversions:
+    def test_db_to_linear_zero_is_unity(self):
+        assert units.db_to_linear(0.0) == 1.0
+
+    def test_db_to_linear_ten_db(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_db_to_linear_negative(self):
+        assert units.db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_linear_to_db_roundtrip(self):
+        for db in (-20.0, -3.0, 0.0, 0.25, 12.5):
+            assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_roundtrip(self):
+        for dbm in (-30.0, -11.0, 0.0, 10.0):
+            assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+
+class TestRateConversions:
+    def test_gbps_to_bytes(self):
+        assert units.gbps_to_bytes_per_s(8.0) == pytest.approx(1e9)
+
+    def test_paper_wavelength_rate(self):
+        assert units.gbps_to_bytes_per_s(224.0) == pytest.approx(28e9)
+
+    def test_bytes_to_gbps_roundtrip(self):
+        assert units.bytes_per_s_to_gbps(
+            units.gbps_to_bytes_per_s(123.4)
+        ) == pytest.approx(123.4)
+
+
+class TestSizeAndTimeHelpers:
+    def test_gib(self):
+        assert units.gib(1) == 1024**3
+
+    def test_mib(self):
+        assert units.mib(2) == 2 * 1024**2
+
+    def test_kib(self):
+        assert units.kib(3) == 3 * 1024
+
+    def test_fractional_gib(self):
+        assert units.gib(0.5) == 512 * 1024**2
+
+    def test_us(self):
+        assert units.us(3.7) == pytest.approx(3.7e-6)
+
+    def test_ns(self):
+        assert units.ns(250) == pytest.approx(2.5e-7)
+
+    def test_time_helpers_are_seconds(self):
+        assert math.isclose(units.us(1000), 1e-3)

@@ -1,0 +1,84 @@
+"""Tests for the Figure 5b/5c utilization analysis."""
+
+import pytest
+
+from repro.analysis.utilization import (
+    figure5b_layout,
+    rack_utilization,
+    slice_utilization,
+)
+from repro.topology.slices import Slice, SliceAllocator
+from repro.topology.torus import Torus
+
+
+class TestFigure5bLayout:
+    def test_four_tenants_fill_the_rack(self):
+        allocator = figure5b_layout()
+        assert len(allocator.slices) == 4
+        assert not allocator.free_chips()
+
+    def test_shapes_match_figure(self):
+        allocator = figure5b_layout()
+        shapes = {s.name: s.shape for s in allocator.slices}
+        assert shapes["Slice-1"] == (4, 2, 1)
+        assert shapes["Slice-2"] == (4, 2, 1)
+        assert shapes["Slice-3"] == (4, 4, 1)
+        assert shapes["Slice-4"] == (4, 4, 2)
+
+    def test_layout_on_custom_allocator(self):
+        allocator = SliceAllocator(Torus((4, 4, 4)))
+        assert figure5b_layout(allocator) is allocator
+
+
+class TestSliceUtilization:
+    def test_slice1_loses_two_thirds(self):
+        allocator = figure5b_layout()
+        rows = {u.name: u for u in rack_utilization(allocator)}
+        slice1 = rows["Slice-1"]
+        assert slice1.electrical_fraction == pytest.approx(1 / 3)
+        assert slice1.bandwidth_loss_percent == pytest.approx(100 * 2 / 3)
+        assert slice1.optical_fraction == 1.0
+
+    def test_slice3_loses_one_third(self):
+        allocator = figure5b_layout()
+        rows = {u.name: u for u in rack_utilization(allocator)}
+        assert rows["Slice-3"].bandwidth_loss_percent == pytest.approx(100 / 3)
+
+    def test_figure5c_max_loss_is_66_percent(self):
+        allocator = figure5b_layout()
+        worst = max(u.bandwidth_loss_percent for u in rack_utilization(allocator))
+        assert worst == pytest.approx(66.7, abs=0.1)
+
+    def test_optical_gain_factors(self):
+        allocator = figure5b_layout()
+        rows = {u.name: u for u in rack_utilization(allocator)}
+        assert rows["Slice-1"].optical_gain_factor == pytest.approx(3.0)
+        assert rows["Slice-4"].optical_gain_factor == pytest.approx(1.5)
+
+    def test_absolute_bandwidths(self):
+        allocator = figure5b_layout()
+        rows = {u.name: u for u in rack_utilization(allocator)}
+        slice1 = rows["Slice-1"]
+        assert slice1.optical_bandwidth_bytes == pytest.approx(
+            3 * slice1.electrical_bandwidth_bytes
+        )
+
+    def test_rows_sorted_by_name(self):
+        allocator = figure5b_layout()
+        names = [u.name for u in rack_utilization(allocator)]
+        assert names == sorted(names)
+
+    def test_isolated_slice_summary(self):
+        rack = Torus((4, 4, 4))
+        slc = Slice(name="solo", rack=rack, offset=(0, 0, 0), shape=(4, 4, 4))
+        row = slice_utilization(slc)
+        assert row.electrical_fraction == 1.0
+        assert row.bandwidth_loss_percent == 0.0
+        assert row.usable_dims_electrical == (0, 1, 2)
+
+    def test_custom_chip_egress(self):
+        rack = Torus((4, 4, 4))
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 2, 1))
+        row = slice_utilization(slc, chip_egress=300.0)
+        assert row.electrical_bandwidth_bytes == pytest.approx(100.0)
+        assert row.optical_bandwidth_bytes == pytest.approx(300.0)

@@ -1,0 +1,96 @@
+"""Tests for the semantic collective validators."""
+
+import pytest
+
+from repro.collectives.ring import snake_order
+from repro.collectives.validation import (
+    ReduceScatterState,
+    simulate_bucket_reduce_scatter,
+    simulate_ring_all_gather,
+    simulate_ring_reduce_scatter,
+    verify_all_gather,
+    verify_reduce_scatter,
+)
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+
+@pytest.fixture
+def rack():
+    return Torus((4, 4, 4))
+
+
+def chips(n):
+    return [(i,) for i in range(n)]
+
+
+class TestRingReduceScatter:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8, 16])
+    def test_correct_for_all_sizes(self, p):
+        state = simulate_ring_reduce_scatter(chips(p))
+        assert verify_reduce_scatter(state)
+
+    def test_snake_ring_over_slice_is_correct(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 2, 1))
+        state = simulate_ring_reduce_scatter(snake_order(slc))
+        assert verify_reduce_scatter(state)
+
+    def test_duplicate_ring_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_ring_reduce_scatter([(0,), (0,)])
+
+    def test_incomplete_reduction_detected(self):
+        # Drop one step's effect by hand: verification must fail.
+        state = ReduceScatterState.initial(chips(4))
+        for chip in state.members:
+            state.restrict(chip, {chip})
+        assert not verify_reduce_scatter(state)
+
+    def test_wrong_ownership_detected(self):
+        state = simulate_ring_reduce_scatter(chips(4))
+        # Corrupt: give chip 0 an extra shard.
+        state.holdings[(0,)][(1,)] = frozenset({(0,)})
+        assert not verify_reduce_scatter(state)
+
+
+class TestBucketReduceScatter:
+    @pytest.mark.parametrize(
+        "shape", [(4, 2, 1), (4, 4, 1), (4, 4, 4), (2, 2, 2), (4, 4, 2)]
+    )
+    def test_correct_over_slice_shapes(self, rack, shape):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=shape)
+        state = simulate_bucket_reduce_scatter(slc)
+        assert verify_reduce_scatter(state)
+
+    def test_correct_for_any_dim_order(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 4, 2))
+        for order in ([0, 1, 2], [2, 1, 0], [1, 0, 2]):
+            state = simulate_bucket_reduce_scatter(slc, dims=order)
+            assert verify_reduce_scatter(state)
+
+    def test_offset_slice_correct(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(1, 2, 3), shape=(2, 2, 1))
+        state = simulate_bucket_reduce_scatter(slc)
+        assert verify_reduce_scatter(state)
+
+    def test_no_dims_rejected(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(1, 1, 1))
+        with pytest.raises(ValueError):
+            simulate_bucket_reduce_scatter(slc)
+
+
+class TestRingAllGather:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8, 16])
+    def test_correct_for_all_sizes(self, p):
+        held = simulate_ring_all_gather(chips(p))
+        assert verify_all_gather(held)
+
+    def test_snake_ring_all_gather(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 4, 1))
+        held = simulate_ring_all_gather(snake_order(slc))
+        assert verify_all_gather(held)
+
+    def test_missing_shard_detected(self):
+        held = simulate_ring_all_gather(chips(4))
+        held[(0,)].discard((2,))
+        assert not verify_all_gather(held)

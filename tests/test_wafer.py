@@ -1,0 +1,123 @@
+"""Tests for the LIGHTPATH wafer."""
+
+import pytest
+
+from repro.core.tile import Direction
+from repro.core.wafer import LightpathWafer
+
+
+@pytest.fixture
+def wafer():
+    return LightpathWafer()
+
+
+class TestStructure:
+    def test_default_has_32_tiles(self, wafer):
+        assert wafer.tile_count == 32
+        assert wafer.matches_paper()
+
+    def test_tile_lookup(self, wafer):
+        assert wafer.tile((0, 0)).coord == (0, 0)
+        with pytest.raises(KeyError):
+            wafer.tile((9, 9))
+
+    def test_neighbors_interior(self, wafer):
+        assert len(wafer.neighbors((1, 1))) == 4
+
+    def test_neighbors_corner(self, wafer):
+        assert len(wafer.neighbors((0, 0))) == 2
+
+    def test_direction_between(self, wafer):
+        assert wafer.direction_between((0, 0), (0, 1)) is Direction.EAST
+        assert wafer.direction_between((1, 0), (0, 0)) is Direction.NORTH
+        with pytest.raises(ValueError):
+            wafer.direction_between((0, 0), (2, 2))
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            LightpathWafer(grid=(0, 4))
+
+    def test_tile_edge_length(self, wafer):
+        assert wafer.tile_edge_m() == pytest.approx(0.200 / 8)
+
+
+class TestBuses:
+    def test_bus_per_adjacent_pair_per_direction(self, wafer):
+        # 4x8 grid: horizontal cables 4*7, vertical 3*8 -> 52 * 2 directions.
+        assert len(wafer.buses()) == 104
+
+    def test_bus_lookup(self, wafer):
+        bus = wafer.bus((0, 0), (0, 1))
+        assert bus.src == (0, 0) and bus.dst == (0, 1)
+        with pytest.raises(KeyError):
+            wafer.bus((0, 0), (2, 2))
+
+    def test_bus_capacity_matches_paper(self, wafer):
+        assert wafer.bus((0, 0), (0, 1)).capacity == 10_000
+
+    def test_bus_allocate_release(self, wafer):
+        bus = wafer.bus((0, 0), (0, 1))
+        track = bus.allocate("c1")
+        assert bus.free == bus.capacity - 1
+        assert bus.owner_of(track) == "c1"
+        assert bus.release("c1") == 1
+        assert bus.free == bus.capacity
+
+    def test_bus_exhaustion(self):
+        wafer = LightpathWafer(grid=(1, 2), bus_capacity=1)
+        bus = wafer.bus((0, 0), (0, 1))
+        bus.allocate("a")
+        with pytest.raises(RuntimeError):
+            bus.allocate("b")
+
+
+class TestFibers:
+    def test_edge_tiles_have_fiber_ports(self, wafer):
+        ports = wafer.fiber_ports((0, 0), Direction.NORTH)
+        assert len(ports) == 16
+
+    def test_interior_edges_have_none(self, wafer):
+        assert wafer.fiber_ports((1, 1), Direction.NORTH) == []
+
+    def test_every_tile_on_boundary_is_edge_tile(self, wafer):
+        edge = set(wafer.edge_tiles())
+        for (r, c) in wafer.tiles:
+            on_boundary = r in (0, 3) or c in (0, 7)
+            assert ((r, c) in edge) == on_boundary
+
+    def test_free_fiber_port_allocation(self, wafer):
+        port = wafer.free_fiber_port((0, 0), Direction.NORTH)
+        port.allocate("circuit")
+        assert port.in_use
+        with pytest.raises(RuntimeError):
+            port.allocate("other")
+        next_port = wafer.free_fiber_port((0, 0), Direction.NORTH)
+        assert next_port is not port
+        port.release()
+        assert not port.in_use
+
+
+class TestAccelerators:
+    def test_stack_and_lookup(self, wafer):
+        wafer.stack_accelerator((2, 3), "gpu-7")
+        assert wafer.accelerator_tile("gpu-7").coord == (2, 3)
+
+    def test_double_stack_rejected(self, wafer):
+        wafer.stack_accelerator((2, 3), "gpu-7")
+        with pytest.raises(RuntimeError):
+            wafer.stack_accelerator((2, 3), "gpu-8")
+
+    def test_unknown_accelerator(self, wafer):
+        with pytest.raises(KeyError):
+            wafer.accelerator_tile("ghost")
+
+
+class TestCapabilities:
+    def test_capability_rows(self, wafer):
+        rows = dict(wafer.capabilities().rows())
+        assert rows["tiles per wafer"] == "32"
+        assert rows["per-wavelength rate"] == "224 Gbps"
+        assert rows["switch reconfiguration"] == "3.7 us"
+
+    def test_small_wafer_does_not_match_paper(self):
+        assert not LightpathWafer(grid=(2, 2)).matches_paper()

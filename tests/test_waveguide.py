@@ -1,0 +1,92 @@
+"""Tests for waveguide/fiber segments and path loss accumulation."""
+
+import pytest
+
+from repro.phy.waveguide import (
+    MediumKind,
+    PathLoss,
+    Segment,
+    fiber,
+    paper_waveguide_claim_holds,
+    tile_waveguide_capacity,
+    waveguide,
+)
+
+
+class TestSegments:
+    def test_waveguide_constructor(self):
+        seg = waveguide(0.05, crossings=3)
+        assert seg.kind is MediumKind.WAVEGUIDE
+        assert seg.crossings == 3
+        assert seg.couplers == 0
+
+    def test_fiber_constructor_has_two_couplers(self):
+        seg = fiber(2.0)
+        assert seg.kind is MediumKind.FIBER
+        assert seg.couplers == 2
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(MediumKind.WAVEGUIDE, -1.0)
+
+    def test_negative_crossings_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(MediumKind.WAVEGUIDE, 1.0, crossings=-1)
+
+    def test_waveguide_propagation_loss(self):
+        seg = waveguide(0.10)
+        assert seg.propagation_loss_db == pytest.approx(1.0)  # 10 dB/m
+
+    def test_fiber_propagation_loss_negligible(self):
+        seg = fiber(10.0)
+        assert seg.propagation_loss_db == pytest.approx(0.002)
+
+    def test_segment_loss_includes_crossings(self):
+        seg = waveguide(0.0, crossings=4)
+        assert seg.loss_db(crossing_loss_db=0.25) == pytest.approx(1.0)
+
+    def test_fiber_loss_includes_couplers(self):
+        seg = fiber(0.0)
+        assert seg.loss_db(crossing_loss_db=0.25) == pytest.approx(2.0)
+
+
+class TestPathLoss:
+    def test_total_accumulates_all_terms(self):
+        path = PathLoss(
+            segments=[waveguide(0.10, crossings=2), fiber(1.0)],
+            mzi_hops=3,
+            crossing_loss_db=0.25,
+        )
+        expected = 1.0 + 0.5 + 0.0002 + 2.0 + 1.5
+        assert path.total_db(mzi_insertion_loss_db=0.5) == pytest.approx(expected)
+
+    def test_crossings_aggregate_over_segments(self):
+        path = PathLoss(
+            segments=[waveguide(0.0, crossings=2), waveguide(0.0, crossings=5)]
+        )
+        assert path.crossings == 7
+
+    def test_negative_mzi_hops_rejected(self):
+        with pytest.raises(ValueError):
+            PathLoss(segments=[], mzi_hops=-1)
+
+    def test_empty_path_is_lossless(self):
+        assert PathLoss(segments=[]).total_db() == 0.0
+
+
+class TestWaveguideDensityClaim:
+    def test_fifty_mm_tile_fits_over_ten_thousand(self):
+        assert tile_waveguide_capacity(0.050) > 10_000
+
+    def test_capacity_scales_with_edge(self):
+        assert tile_waveguide_capacity(0.006) == 2000
+
+    def test_zero_edge_rejected(self):
+        with pytest.raises(ValueError):
+            tile_waveguide_capacity(0.0)
+
+    def test_paper_claim_holds_for_prototype_geometry(self):
+        assert paper_waveguide_claim_holds()
+
+    def test_paper_claim_fails_for_tiny_tile(self):
+        assert not paper_waveguide_claim_holds(tile_edge_m=0.001)
