@@ -3,30 +3,34 @@
 
 Walks the Figure 5b scenario end to end: four tenants share a TPUv4 rack,
 each runs a REDUCESCATTER over its slice, and we measure — on the
-discrete-event simulator — how long every tenant takes with (a) static
-electrical links and (b) LIGHTPATH wavelength steering. Also prints each
-slice's steering plan (which wavelengths move where and what the 3.7 us
-reprogramming buys).
+discrete-event simulator, via the experiment API's ``sim`` mode — how
+long every tenant takes with (a) static electrical links and (b)
+LIGHTPATH wavelength steering. Also prints each slice's steering plan
+(which wavelengths move where and what the 3.7 us reprogramming buys).
 
 Run:  python examples/bandwidth_steering_rack.py
 """
 
 from repro.analysis.tables import render_table
-from repro.analysis.utilization import figure5b_layout
-from repro.collectives.cost_model import CostParameters
+from repro.api import FabricSession, ScenarioSpec, figure5b_slices
 from repro.collectives.primitives import Interconnect
 from repro.core.steering import plan_steering
-from repro.phy.constants import CHIP_EGRESS_BYTES
-from repro.sim.runner import run_concurrent_schedules
-from repro.sim.traffic import MultiTenantWorkload
-from repro.topology.torus import Torus
 
 BUFFER_BYTES = 1 << 26  # 64 MiB per tenant
 
+SESSION = FabricSession()
 
-def print_steering_plans(allocator) -> None:
+SPEC = ScenarioSpec(
+    slices=figure5b_slices(),
+    buffer_bytes=BUFFER_BYTES,
+    mode="sim",
+    outputs=("telemetry",),
+)
+
+
+def print_steering_plans() -> None:
     rows = []
-    for slc in sorted(allocator.slices, key=lambda s: s.name):
+    for slc in SESSION.slices(SPEC):
         plan = plan_steering(slc, Interconnect.OPTICAL)
         fractions = ", ".join(
             f"dim{d}: {f:.0%}" for d, f in sorted(plan.per_dimension_fraction.items())
@@ -46,36 +50,19 @@ def print_steering_plans(allocator) -> None:
     ))
 
 
-def measure(allocator, interconnect: Interconnect) -> list:
-    rack = Torus((4, 4, 4))
-    fraction = 1.0 if interconnect is Interconnect.OPTICAL else 1 / 3
-    capacities = {
-        link: CHIP_EGRESS_BYTES * fraction for link in rack.links()
-    }
-    workload = MultiTenantWorkload(
-        slices=allocator.slices,
-        buffer_bytes=BUFFER_BYTES,
-        interconnect=interconnect,
-    )
-    params = CostParameters()
-    return run_concurrent_schedules(
-        workload.schedules(), capacities, params.alpha_s, params.reconfig_s
-    )
-
-
 def main() -> None:
-    allocator = figure5b_layout()
-    print_steering_plans(allocator)
+    print_steering_plans()
 
-    electrical = measure(allocator, Interconnect.ELECTRICAL)
-    optical = measure(allocator, Interconnect.OPTICAL)
+    results = SESSION.compare(SPEC, fabrics=("electrical", "photonic"))
+    electrical = results["electrical"].telemetry.schedules
+    optical = results["photonic"].telemetry.schedules
 
     rows = []
-    for slc, e, o in zip(allocator.slices, electrical, optical):
+    for entry, e, o in zip(SPEC.slices, electrical, optical):
         rows.append(
             [
-                slc.name,
-                "x".join(map(str, slc.shape)),
+                entry.name,
+                "x".join(map(str, entry.shape)),
                 f"{e.duration_s * 1e3:.3f} ms",
                 f"{o.duration_s * 1e3:.3f} ms",
                 f"{e.duration_s / o.duration_s:.2f}x",

@@ -1,57 +1,44 @@
 #!/usr/bin/env python3
 """Failure recovery: electrical congestion vs optical repair (Section 4.2).
 
-Reproduces the paper's Figures 6a and 7 on one rack: a TPU of Slice-3
-fails; the exhaustive electrical analysis shows every replacement path
-congests a neighbouring tenant, while the LIGHTPATH fabric splices a free
-chip into the broken rings with dedicated circuits in 3.7 us. Finishes
-with the fleet-scale blast-radius comparison of Section 4.2.
+Reproduces the paper's Figures 6a and 7 on one rack through the
+experiment API: the same :class:`repro.api.ScenarioSpec` (one failed TPU
+in Slice-3) is evaluated by the electrical backend — whose exhaustive
+replacement analysis shows every path congests a neighbouring tenant —
+and by the photonic backend, which splices a free chip into the broken
+rings with dedicated circuits in 3.7 us. Finishes with the fleet-scale
+blast-radius comparison of Section 4.2.
 
 Run:  python examples/failure_repair.py
 """
 
 from repro.analysis.tables import render_table
-from repro.core.fabric import LightpathRackFabric
-from repro.core.repair import plan_optical_repair
-from repro.failures.blast_radius import compare_policies, improvement_factor
-from repro.failures.inject import FleetFailureModel
-from repro.failures.recovery import ElectricalRecoveryAnalysis
-from repro.topology.slices import SliceAllocator
-from repro.topology.tpu import TpuCluster, TpuRack
+from repro.api import FailurePlan, ScenarioSpec, compare, figure6_slices, run
 
 FAILED = (1, 2, 0)
 
-
-def build_scenario():
-    """The Figure 6a/7 rack: Slice-3 + Slice-4 + Slice-1, 8 free chips."""
-    rack = TpuRack(0)
-    allocator = SliceAllocator(rack.torus)
-    slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
-    allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
-    allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
-    return rack, allocator, slice3
+SPEC = ScenarioSpec(
+    slices=figure6_slices(),
+    outputs=("repair",),
+    failures=FailurePlan(failed_chips=(FAILED,)),
+)
 
 
-def electrical_attempt(rack, allocator, slice3) -> None:
-    analysis = ElectricalRecoveryAnalysis(rack.torus, allocator, max_hops=5)
-    attempts = analysis.evaluate_all_free_chips(slice3, FAILED)
+def electrical_attempt(repair) -> None:
     print(render_table(
         ["candidate free chip", "congestion-free?", "congested links (best path)"],
         [
             [str(a.free_chip), "yes" if a.feasible else "no",
-             str(a.total_congested_links)]
-            for a in attempts
+             str(a.congested_links)]
+            for a in repair.attempts
         ],
         title=f"Figure 6a — electrical replacement of failed TPU {FAILED}",
     ))
-    feasible = any(a.feasible for a in attempts)
-    print(f"\n  congestion-free electrical replacement exists: {feasible}")
-    assert not feasible
+    print(f"\n  congestion-free electrical replacement exists: {repair.feasible}")
+    assert not repair.feasible
 
 
-def optical_repair(rack, allocator, slice3) -> None:
-    fabric = LightpathRackFabric(rack)
-    plan = plan_optical_repair(fabric, allocator, slice3, FAILED)
+def optical_repair(repair) -> None:
     print(render_table(
         ["circuit", "server path", "fibers"],
         [
@@ -60,39 +47,43 @@ def optical_repair(rack, allocator, slice3) -> None:
                 " -> ".join(map(str, c.server_path)),
                 str(c.fiber_hops),
             ]
-            for c in plan.circuits
+            for c in repair.circuits
         ],
-        title=f"\nFigure 7 — optical repair via free TPU {plan.replacement}",
+        title=f"\nFigure 7 — optical repair via free TPU {repair.replacement}",
     ))
-    print(f"\n  setup: {plan.setup_latency_s * 1e6:.1f} us, "
-          f"fibers used: {plan.fibers_used}, congestion: none, "
-          f"blast radius: {plan.blast_radius_chips} chip")
+    print(f"\n  setup: {repair.setup_latency_s * 1e6:.1f} us, "
+          f"fibers used: {repair.fibers_used}, congestion: none, "
+          f"blast radius: {repair.blast_radius_chips} chip")
 
 
 def fleet_blast_radius() -> None:
-    cluster = TpuCluster()
-    events = FleetFailureModel(cluster, seed=7).sample_failures(90 * 24 * 3600.0)
-    rack_report, optical_report = compare_policies(events)
+    result = run(ScenarioSpec(
+        fabric="photonic",
+        outputs=("blast_radius",),
+        failures=FailurePlan(fleet_days=90, seed=7),
+    ))
+    rack = result.blast_radius.rack_policy
+    optical = result.blast_radius.optical_policy
     print(render_table(
-        ["metric", rack_report.policy, optical_report.policy],
+        ["metric", rack.policy, optical.policy],
         [
             ["failures (90 days, 4096 chips)",
-             str(rack_report.failures), str(optical_report.failures)],
-            ["blast radius", f"{rack_report.blast_radius_chips} chips (rack)",
-             f"{optical_report.blast_radius_chips} chips (server)"],
-            ["total chip impact", str(rack_report.total_chip_impact),
-             str(optical_report.total_chip_impact)],
+             str(rack.failures), str(optical.failures)],
+            ["blast radius", f"{rack.blast_radius_chips} chips (rack)",
+             f"{optical.blast_radius_chips} chips (server)"],
+            ["total chip impact", str(rack.total_chip_impact),
+             str(optical.total_chip_impact)],
         ],
         title="\nSection 4.2 — fleet-scale blast radius",
     ))
-    print(f"\n  improvement: {improvement_factor(rack_report, optical_report):.0f}x "
+    print(f"\n  improvement: {result.blast_radius.improvement_factor:.0f}x "
           "smaller blast radius")
 
 
 def main() -> None:
-    rack, allocator, slice3 = build_scenario()
-    electrical_attempt(rack, allocator, slice3)
-    optical_repair(rack, allocator, slice3)
+    results = compare(SPEC, fabrics=("electrical", "photonic"))
+    electrical_attempt(results["electrical"].repair)
+    optical_repair(results["photonic"].repair)
     fleet_blast_radius()
 
 

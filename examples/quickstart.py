@@ -1,22 +1,20 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's story in five steps.
+"""Quickstart: the paper's story in five steps, through the experiment API.
 
-Builds a LIGHTPATH wafer, establishes an optical circuit, reproduces the
-Figure 5c bandwidth-utilization numbers for the Figure 5b rack, prints
-Table 1, and repairs a failed TPU optically (Figure 7).
+Builds a LIGHTPATH wafer, establishes an optical circuit, then describes
+the remaining experiments as :class:`repro.api.ScenarioSpec` values and
+evaluates them with :func:`repro.api.run`: the Figure 5c bandwidth
+utilization of the Figure 5b rack, Table 1, and the Figure 7 optical
+repair of a failed TPU.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.analysis.tables import cost_row, render_table
-from repro.analysis.utilization import figure5b_layout, rack_utilization
-from repro.collectives.primitives import Interconnect, reduce_scatter_cost
+from repro.api import FailurePlan, ScenarioSpec, SliceSpec, compare, run
+from repro.api import figure5b_slices, table1_slices
 from repro.core.circuits import CircuitManager
-from repro.core.fabric import LightpathRackFabric
-from repro.core.repair import plan_optical_repair
 from repro.core.wafer import LightpathWafer
-from repro.topology.slices import SliceAllocator
-from repro.topology.tpu import TpuRack
 
 
 def step1_wafer() -> None:
@@ -44,7 +42,9 @@ def step2_circuit() -> None:
 
 def step3_utilization() -> None:
     """Figure 5c: what each tenant of the Figure 5b rack can actually use."""
-    rows = rack_utilization(figure5b_layout())
+    result = run(ScenarioSpec(
+        slices=figure5b_slices(), outputs=("utilization",),
+    ))
     print(render_table(
         ["slice", "shape", "electrical", "optical", "loss"],
         [
@@ -55,18 +55,17 @@ def step3_utilization() -> None:
                 f"{u.optical_fraction:.0%}",
                 f"{u.bandwidth_loss_percent:.0f} %",
             ]
-            for u in rows
+            for u in result.utilization
         ],
         title="\n3) Figure 5c — usable per-chip bandwidth",
     ))
 
 
 def step4_table1() -> None:
-    """Table 1: REDUCESCATTER costs of Slice-1."""
-    allocator = SliceAllocator(TpuRack(0).torus)
-    slice1 = allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
-    electrical = reduce_scatter_cost(slice1, Interconnect.ELECTRICAL)
-    optical = reduce_scatter_cost(slice1, Interconnect.OPTICAL)
+    """Table 1: REDUCESCATTER costs of Slice-1, electrical vs photonic."""
+    results = compare(ScenarioSpec(slices=table1_slices(), outputs=("costs",)))
+    electrical = results["electrical"].costs.by_name("Slice-1").cost
+    optical = results["photonic"].costs.by_name("Slice-1").cost
     print(render_table(
         ["slice", "elec a", "optics a", "elec b", "optics b", "ratio"],
         [cost_row("Slice-1", electrical, optical)],
@@ -76,17 +75,21 @@ def step4_table1() -> None:
 
 def step5_repair() -> None:
     """Figure 7: splice a free TPU into the broken rings optically."""
-    rack = TpuRack(0)
-    fabric = LightpathRackFabric(rack)
-    allocator = SliceAllocator(rack.torus)
-    slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
-    allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
-    plan = plan_optical_repair(fabric, allocator, slice3, failed=(1, 2, 0))
+    result = run(ScenarioSpec(
+        fabric="photonic",
+        slices=(
+            SliceSpec("Slice-3", (4, 4, 1), (0, 0, 0)),
+            SliceSpec("Slice-4", (4, 4, 2), (0, 0, 1)),
+        ),
+        outputs=("repair",),
+        failures=FailurePlan(failed_chips=((1, 2, 0),)),
+    ))
+    repair = result.repair
     print("\n5) Figure 7 — optical repair:")
-    print(f"   failed {plan.failed} -> replacement {plan.replacement}")
-    print(f"   {len(plan.circuits)} circuits, {plan.fibers_used} fibers, "
-          f"ready in {plan.setup_latency_s * 1e6:.1f} us, "
-          f"blast radius {plan.blast_radius_chips} chip")
+    print(f"   failed {repair.failed} -> replacement {repair.replacement}")
+    print(f"   {len(repair.circuits)} circuits, {repair.fibers_used} fibers, "
+          f"ready in {repair.setup_latency_s * 1e6:.1f} us, "
+          f"blast radius {repair.blast_radius_chips} chip")
 
 
 def main() -> None:

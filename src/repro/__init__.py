@@ -9,22 +9,31 @@ a discrete-event fluid-flow simulator (``repro.sim``), and failure /
 blast-radius analysis (``repro.failures``). ``repro.analysis`` formats the
 paper's tables and figures.
 
+The experiment API (``repro.api``) is the single entry point tying the
+layers together: a frozen :class:`~repro.api.ScenarioSpec` is evaluated by
+a pluggable fabric backend through a memoizing
+:class:`~repro.api.FabricSession`, returning a typed
+:class:`~repro.api.RunResult`.
+
 Quickstart::
 
-    from repro.analysis import figure5b_layout, rack_utilization
+    from repro.api import ScenarioSpec, figure5b_slices, run
 
-    allocator = figure5b_layout()
-    for row in rack_utilization(allocator):
+    result = run(ScenarioSpec(
+        slices=figure5b_slices(), outputs=("utilization",),
+    ))
+    for row in result.utilization:
         print(row.name, f"electrical {row.electrical_fraction:.0%}",
               f"optical {row.optical_fraction:.0%}")
 """
 
-from . import analysis, collectives, core, failures, phy, sim, topology
+from . import analysis, api, collectives, core, failures, phy, sim, topology
 
 __version__ = "0.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "collectives",
     "core",
     "failures",

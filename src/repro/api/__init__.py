@@ -1,0 +1,94 @@
+"""The experiment API: ScenarioSpec -> FabricSession -> RunResult.
+
+One surface over the whole stack: describe an experiment as a frozen
+:class:`ScenarioSpec`, evaluate it with :func:`run` (or an explicit
+:class:`FabricSession` for artifact reuse across sweeps), and get a typed,
+JSON-round-trippable :class:`RunResult`. Fabrics are pluggable: the
+built-in ``electrical``, ``photonic`` and ``switched`` backends wrap the
+existing models, and third parties add their own with
+:func:`register_backend` — selected by ``ScenarioSpec.fabric`` with no
+caller changes.
+"""
+
+from .backends import (
+    ElectricalBackend,
+    FabricBackend,
+    PhotonicBackend,
+    SwitchedBackend,
+    UnsupportedOutput,
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from .result import (
+    AttemptLine,
+    BlastRadiusSummary,
+    CircuitLine,
+    CongestionSummary,
+    CostReport,
+    DeviceReport,
+    PolicyLine,
+    RepairReport,
+    RunResult,
+    SharedLinkLine,
+    SliceCost,
+    TelemetryLine,
+    TelemetryReport,
+    UtilizationRow,
+)
+from .session import FabricSession, compare, default_session, run
+from .spec import (
+    KNOWN_OUTPUTS,
+    DeviceSpec,
+    FailurePlan,
+    ScenarioSpec,
+    SliceSpec,
+    figure5b_slices,
+    figure6_slices,
+    table1_slices,
+    table2_slices,
+)
+
+__all__ = [
+    # spec
+    "ScenarioSpec",
+    "SliceSpec",
+    "FailurePlan",
+    "DeviceSpec",
+    "KNOWN_OUTPUTS",
+    "figure5b_slices",
+    "figure6_slices",
+    "table1_slices",
+    "table2_slices",
+    # session
+    "FabricSession",
+    "run",
+    "compare",
+    "default_session",
+    # backends
+    "FabricBackend",
+    "ElectricalBackend",
+    "PhotonicBackend",
+    "SwitchedBackend",
+    "UnsupportedOutput",
+    "register_backend",
+    "unregister_backend",
+    "create_backend",
+    "available_backends",
+    # results
+    "RunResult",
+    "CostReport",
+    "SliceCost",
+    "UtilizationRow",
+    "CongestionSummary",
+    "SharedLinkLine",
+    "TelemetryReport",
+    "TelemetryLine",
+    "RepairReport",
+    "CircuitLine",
+    "AttemptLine",
+    "BlastRadiusSummary",
+    "PolicyLine",
+    "DeviceReport",
+]

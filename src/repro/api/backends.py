@@ -1,0 +1,570 @@
+"""Fabric backends: one interface over the repo's interconnect models.
+
+A :class:`FabricBackend` turns a :class:`~repro.api.spec.ScenarioSpec`
+into the typed result sections of :class:`~repro.api.result.RunResult`.
+Three implementations wrap the existing models:
+
+* :class:`ElectricalBackend` — the static direct-connect torus baseline
+  (:mod:`repro.topology.electrical`, :mod:`repro.failures.recovery`).
+* :class:`PhotonicBackend` — the LIGHTPATH fabric with wavelength steering
+  and circuit repair (:mod:`repro.core.fabric`, :mod:`repro.core.steering`,
+  :mod:`repro.core.repair`).
+* :class:`SwitchedBackend` — the NVSwitch-style big-switch server with
+  host-side contention (:mod:`repro.topology.switched`).
+
+New fabrics register by name via :func:`register_backend` and are selected
+with ``ScenarioSpec.fabric`` — no caller changes needed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..collectives.cost_model import CostParameters, ring_reduce_scatter
+from ..collectives.primitives import (
+    Interconnect,
+    reduce_scatter_cost,
+    reduce_scatter_stage_costs,
+)
+from ..core.fabric import LightpathRackFabric
+from ..core.repair import RepairError, plan_optical_repair
+from ..core.wafer import LightpathWafer
+from ..failures.blast_radius import compare_policies, improvement_factor
+from ..failures.inject import FleetFailureModel
+from ..failures.recovery import ElectricalRecoveryAnalysis
+from ..phy.constants import CHIP_EGRESS_BYTES
+from ..phy.mzi import MziSwitchDynamics
+from ..phy.stitch_loss import StitchLossModel
+from ..sim.runner import run_concurrent_schedules
+from ..sim.traffic import MultiTenantWorkload
+from ..topology.switched import SwitchedServer
+from ..topology.tpu import TpuCluster, TpuRack
+from .result import (
+    AttemptLine,
+    BlastRadiusSummary,
+    CircuitLine,
+    CongestionSummary,
+    CostReport,
+    DeviceReport,
+    PolicyLine,
+    RepairReport,
+    SharedLinkLine,
+    SliceCost,
+    TelemetryLine,
+    TelemetryReport,
+)
+from .spec import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .session import FabricSession
+
+__all__ = [
+    "UnsupportedOutput",
+    "FabricBackend",
+    "ElectricalBackend",
+    "PhotonicBackend",
+    "SwitchedBackend",
+    "register_backend",
+    "unregister_backend",
+    "create_backend",
+    "available_backends",
+]
+
+
+class UnsupportedOutput(RuntimeError):
+    """A backend cannot produce a requested result section."""
+
+
+@runtime_checkable
+class FabricBackend(Protocol):
+    """What a fabric must provide to serve the experiment API.
+
+    Each method computes one ``RunResult`` section for a spec, reading
+    memoized topology artifacts from the session. Methods may raise
+    :class:`UnsupportedOutput` for sections that make no sense on the
+    fabric (e.g. optical repair on a switched server).
+    """
+
+    name: str
+
+    def capability_rows(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> tuple[tuple[str, str], ...]:
+        """(name, value) rows describing the fabric hardware."""
+        ...
+
+    def cost_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> CostReport:
+        """Closed-form per-slice collective costs (Tables 1/2)."""
+        ...
+
+    def congestion(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> CongestionSummary:
+        """Resource-sharing analysis of the scenario's tenants."""
+        ...
+
+    def telemetry(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> TelemetryReport:
+        """Measured execution on the fabric's performance model."""
+        ...
+
+    def repair(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> RepairReport:
+        """Repair the spec's failed chip (Figures 6a/7)."""
+        ...
+
+    def device_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> DeviceReport:
+        """Physical-layer device characterization (Figures 3a/3b)."""
+        ...
+
+    def blast_radius(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> BlastRadiusSummary:
+        """Fleet-scale recovery-policy comparison (Section 4.2)."""
+        ...
+
+
+class _TorusBackendBase:
+    """Shared logic for backends that run collectives on the rack torus."""
+
+    name: str = ""
+    interconnect: Interconnect
+
+    # -- costs -------------------------------------------------------------------
+
+    def cost_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> CostReport:
+        params = CostParameters()
+        lines = []
+        for slc in session.slices(spec):
+            cost = reduce_scatter_cost(slc, self.interconnect)
+            stages = reduce_scatter_stage_costs(slc, self.interconnect)
+            lines.append(
+                SliceCost(
+                    slice_name=slc.name,
+                    shape=slc.shape,
+                    chips=slc.chip_count,
+                    cost=cost,
+                    stages=tuple(stages),
+                    seconds=cost.seconds(spec.buffer_bytes, params),
+                )
+            )
+        return CostReport(
+            interconnect=self.interconnect.value,
+            buffer_bytes=spec.buffer_bytes,
+            slices=tuple(lines),
+        )
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def link_capacity_bytes(self, spec: ScenarioSpec) -> float:
+        """Per-link capacity the simulator charges for this fabric."""
+        raise NotImplementedError
+
+    def telemetry(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> TelemetryReport:
+        torus = session.torus(spec.rack_shape)
+        capacity = self.link_capacity_bytes(spec)
+        capacities = {link: capacity for link in torus.links()}
+        workload = MultiTenantWorkload(
+            slices=session.slices(spec),
+            buffer_bytes=spec.buffer_bytes,
+            interconnect=self.interconnect,
+        )
+        params = CostParameters()
+        results = run_concurrent_schedules(
+            workload.schedules(), capacities, params.alpha_s, params.reconfig_s
+        )
+        return TelemetryReport(
+            schedules=tuple(
+                TelemetryLine(
+                    name=r.name,
+                    duration_s=r.duration_s,
+                    transfer_s=r.transfer_s,
+                    alpha_s=r.alpha_s,
+                    reconfig_s=r.reconfig_s,
+                    phase_durations_s=r.phase_durations_s,
+                )
+                for r in results
+            )
+        )
+
+    # -- fleet blast radius -------------------------------------------------------
+
+    def blast_radius(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> BlastRadiusSummary:
+        plan = spec.failures
+        if plan.fleet_days <= 0:
+            raise UnsupportedOutput(
+                "blast_radius needs failures.fleet_days > 0"
+            )
+        events = FleetFailureModel(TpuCluster(), seed=plan.seed).sample_failures(
+            plan.fleet_days * 24 * 3600.0
+        )
+        rack_report, optical_report = compare_policies(events)
+
+        def line(report) -> PolicyLine:
+            return PolicyLine(
+                policy=report.policy,
+                failures=report.failures,
+                blast_radius_chips=report.blast_radius_chips,
+                total_chip_impact=report.total_chip_impact,
+                total_downtime_s=report.total_downtime_s,
+                lost_chip_seconds=report.lost_chip_seconds,
+            )
+
+        return BlastRadiusSummary(
+            days=plan.fleet_days,
+            rack_policy=line(rack_report),
+            optical_policy=line(optical_report),
+            improvement_factor=improvement_factor(rack_report, optical_report),
+        )
+
+    # -- unsupported defaults ------------------------------------------------------
+
+    def device_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> DeviceReport:
+        raise UnsupportedOutput(
+            f"the {self.name} fabric has no photonic device models"
+        )
+
+
+def _first_failure(spec: ScenarioSpec) -> tuple[int, ...]:
+    if not spec.failures.failed_chips:
+        raise UnsupportedOutput('the "repair" output needs failures.failed_chips')
+    return spec.failures.failed_chips[0]
+
+
+class ElectricalBackend(_TorusBackendBase):
+    """Static direct-connect electrical torus (the paper's baseline)."""
+
+    name = "electrical"
+    interconnect = Interconnect.ELECTRICAL
+
+    def capability_rows(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> tuple[tuple[str, str], ...]:
+        electrical = session.electrical(spec.rack_shape)
+        return (
+            ("chip egress", f"{electrical.chip_egress_bytes / 1e9:.0f} GB/s"),
+            ("wired dimensions", str(electrical.wired_dimensions)),
+            (
+                "per-link bandwidth",
+                f"{electrical.link_bandwidth_bytes() / 1e9:.0f} GB/s",
+            ),
+            ("switching", "none (hop-by-hop forwarding)"),
+        )
+
+    def link_capacity_bytes(self, spec: ScenarioSpec) -> float:
+        dims = sum(1 for s in spec.rack_shape if s > 1)
+        return CHIP_EGRESS_BYTES / max(dims, 1)
+
+    def congestion(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> CongestionSummary:
+        report = session.rack_congestion(spec)
+        return CongestionSummary(
+            congestion_free=report.is_congestion_free,
+            shared_links=tuple(
+                SharedLinkLine(
+                    src=s.link.src, dst=s.link.dst, users=s.users
+                )
+                for s in report.shared_links
+            ),
+            worst_multiplicity=report.worst_multiplicity,
+            per_slice_congested_dims=dict(report.per_slice_congested_dims),
+        )
+
+    def repair(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> RepairReport:
+        failed = _first_failure(spec)
+        torus = session.torus(spec.rack_shape)
+        allocator = session.allocator(spec)
+        slc = session.slice_of_chip(spec, failed)
+        analysis = ElectricalRecoveryAnalysis(
+            torus, allocator, max_hops=spec.failures.max_hops
+        )
+        attempts = analysis.evaluate_all_free_chips(slc, failed)
+        return RepairReport(
+            kind="electrical",
+            failed=failed,
+            feasible=any(a.feasible for a in attempts),
+            attempts=tuple(
+                AttemptLine(
+                    free_chip=a.free_chip,
+                    feasible=a.feasible,
+                    congested_links=a.total_congested_links,
+                )
+                for a in attempts
+            ),
+        )
+
+
+class PhotonicBackend(_TorusBackendBase):
+    """The LIGHTPATH server-scale photonic fabric."""
+
+    name = "photonic"
+    interconnect = Interconnect.OPTICAL
+
+    def capability_rows(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> tuple[tuple[str, str], ...]:
+        return tuple(LightpathWafer().capabilities().rows())
+
+    def link_capacity_bytes(self, spec: ScenarioSpec) -> float:
+        # Steering concentrates the full chip egress onto the active rings.
+        return CHIP_EGRESS_BYTES
+
+    def congestion(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> CongestionSummary:
+        # Circuits own their wavelength, waveguide tracks and fibers, so
+        # the fabric is congestion-free by construction (Section 3).
+        return CongestionSummary(congestion_free=True)
+
+    def repair(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> RepairReport:
+        failed = _first_failure(spec)
+        allocator = session.allocator(spec)
+        slc = session.slice_of_chip(spec, failed)
+        # The fabric and rack are built fresh: repair fails the chip and
+        # allocates circuits, so a memoized instance would leak state
+        # between runs.
+        rack = TpuRack(0, shape=spec.rack_shape)
+        fabric = LightpathRackFabric(rack)
+        try:
+            plan = plan_optical_repair(
+                fabric, allocator, slc, failed,
+                replacement=spec.failures.replacement,
+            )
+        except RepairError:
+            return RepairReport(kind="optical", failed=failed, feasible=False)
+        return RepairReport(
+            kind="optical",
+            failed=failed,
+            feasible=True,
+            replacement=plan.replacement,
+            circuits=tuple(
+                CircuitLine(
+                    src=c.src,
+                    dst=c.dst,
+                    server_path=c.server_path,
+                    fiber_hops=c.fiber_hops,
+                )
+                for c in plan.circuits
+            ),
+            setup_latency_s=plan.setup_latency_s,
+            fibers_used=plan.fibers_used,
+            blast_radius_chips=plan.blast_radius_chips,
+        )
+
+    def device_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> DeviceReport:
+        device = spec.device
+        dynamics = MziSwitchDynamics(rng=np.random.default_rng(spec.seed))
+        trace = dynamics.measure_step(
+            duration_s=device.mzi_duration_s, samples=device.mzi_samples
+        )
+        fit = dynamics.fit_exponential(trace)
+        model = StitchLossModel(rng=np.random.default_rng(spec.seed))
+        hist = model.histogram(
+            samples=device.stitch_samples, bins=device.stitch_bins
+        )
+        return DeviceReport(
+            mzi_tau_s=fit.tau_s,
+            mzi_settling_s=fit.settling_time(0.05),
+            stitch_bin_edges_db=tuple(hist.bin_edges_db),
+            stitch_counts=tuple(int(c) for c in hist.counts),
+            stitch_mean_db=hist.mean_db,
+            stitch_p95_db=hist.p95_db,
+        )
+
+
+class SwitchedBackend:
+    """NVSwitch-style big-switch server with host-side contention."""
+
+    name = "switched"
+
+    def __init__(self, host_contention_per_flow: float = 0.1, fanin: int = 4):
+        self.host_contention_per_flow = host_contention_per_flow
+        self.fanin = fanin
+
+    def capability_rows(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> tuple[tuple[str, str], ...]:
+        return (
+            ("port bandwidth", f"{CHIP_EGRESS_BYTES / 1e9:.0f} GB/s"),
+            ("switching", "central crossbar (big-switch abstraction)"),
+            (
+                "host contention",
+                f"{self.host_contention_per_flow:.0%} per extra inbound flow",
+            ),
+        )
+
+    def _server(self, spec: ScenarioSpec) -> SwitchedServer:
+        chips = 1
+        for extent in spec.rack_shape:
+            chips *= extent
+        return SwitchedServer(
+            accelerators=chips,
+            host_contention_per_flow=self.host_contention_per_flow,
+        )
+
+    def _shuffle(self, spec: ScenarioSpec) -> SwitchedServer:
+        """A ``fanin``-way shuffle: each port receives from ``fanin`` peers.
+
+        This is the moderate-fan-in regime where the cited host-side
+        contention bites without saturating the contention model.
+        """
+        server = self._server(spec)
+        ports = server.accelerators
+        k = min(self.fanin, ports - 1)
+        demand = server.port_bandwidth_bytes / k
+        for src in range(ports):
+            for step in range(1, k + 1):
+                server.add_flow(src, (src + step) % ports, demand)
+        return server
+
+    def cost_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> CostReport:
+        # The big switch promises full-bandwidth rings regardless of slice
+        # geometry; the broken promise shows up in congestion/telemetry.
+        params = CostParameters()
+        lines = []
+        for slc in session.slices(spec):
+            cost = ring_reduce_scatter(slc.chip_count, 1.0)
+            lines.append(
+                SliceCost(
+                    slice_name=slc.name,
+                    shape=slc.shape,
+                    chips=slc.chip_count,
+                    cost=cost,
+                    stages=(cost,),
+                    seconds=cost.seconds(spec.buffer_bytes, params),
+                )
+            )
+        return CostReport(
+            interconnect="switched",
+            buffer_bytes=spec.buffer_bytes,
+            slices=tuple(lines),
+        )
+
+    def congestion(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> CongestionSummary:
+        server = self._shuffle(spec)
+        loss = server.contention_loss_fraction()
+        return CongestionSummary(
+            congestion_free=loss == 0.0,
+            contention_loss_fraction=loss,
+        )
+
+    def telemetry(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> TelemetryReport:
+        server = self._shuffle(spec)
+        return TelemetryReport(
+            aggregate_throughput_bytes=server.aggregate_throughput_bytes(),
+            ideal_throughput_bytes=server.ideal_throughput_bytes(),
+        )
+
+    def repair(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> RepairReport:
+        raise UnsupportedOutput(
+            "the switched fabric models a single server; chip repair is a "
+            "host maintenance event, not a fabric operation"
+        )
+
+    def device_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> DeviceReport:
+        raise UnsupportedOutput(
+            "the switched fabric has no photonic device models"
+        )
+
+    def blast_radius(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> BlastRadiusSummary:
+        raise UnsupportedOutput(
+            "blast-radius policies compare torus recovery strategies"
+        )
+
+
+# -- registry --------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[], FabricBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], FabricBackend], replace: bool = False
+) -> None:
+    """Register a fabric backend under ``name``.
+
+    Args:
+        name: the name specs select the backend by.
+        factory: zero-argument callable producing a backend instance.
+        replace: allow overwriting an existing registration.
+
+    Raises:
+        ValueError: when the name is taken and ``replace`` is false.
+    """
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True "
+            "to overwrite it"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registration (primarily for tests).
+
+    Raises:
+        KeyError: for an unknown name.
+    """
+    del _REGISTRY[name]
+
+
+def create_backend(name: str) -> FabricBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises:
+        KeyError: for an unknown name, listing what is available.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no fabric backend named {name!r}; available: "
+            f"{available_backends()}"
+        ) from None
+    return factory()
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+register_backend("electrical", ElectricalBackend)
+register_backend("photonic", PhotonicBackend)
+register_backend("switched", SwitchedBackend)
+# The paper (and the cost model) call the LIGHTPATH side "optical".
+register_backend("optical", PhotonicBackend)

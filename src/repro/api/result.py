@@ -1,0 +1,581 @@
+"""Typed run results — the output side of the experiment API.
+
+A :class:`RunResult` packages everything one :class:`~repro.api.spec.
+ScenarioSpec` evaluation produced: symbolic collective costs grounded in
+seconds, congestion analysis, simulator telemetry, repair plans, fleet
+blast-radius comparisons, bandwidth-utilization rows, and device-level
+physical reports. Every section is an optional typed dataclass, and the
+whole result round-trips through JSON via ``to_dict``/``from_dict`` so
+runs can be archived and compared across backends and code versions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from ..collectives.cost_model import CollectiveCost
+from .spec import ScenarioSpec
+
+__all__ = [
+    "SliceCost",
+    "CostReport",
+    "UtilizationRow",
+    "SharedLinkLine",
+    "CongestionSummary",
+    "TelemetryLine",
+    "TelemetryReport",
+    "CircuitLine",
+    "AttemptLine",
+    "RepairReport",
+    "PolicyLine",
+    "BlastRadiusSummary",
+    "DeviceReport",
+    "RunResult",
+]
+
+
+def _cost_to_dict(cost: CollectiveCost) -> dict[str, Any]:
+    return {
+        "alpha_count": cost.alpha_count,
+        "beta_factor": cost.beta_factor,
+        "reconfig_count": cost.reconfig_count,
+    }
+
+
+def _cost_from_dict(data: dict[str, Any]) -> CollectiveCost:
+    return CollectiveCost(
+        alpha_count=data["alpha_count"],
+        beta_factor=data["beta_factor"],
+        reconfig_count=data.get("reconfig_count", 0),
+    )
+
+
+@dataclass(frozen=True)
+class SliceCost:
+    """Collective cost of one tenant under the spec's backend.
+
+    Attributes:
+        slice_name: tenant label.
+        shape: slice shape.
+        chips: chip count.
+        cost: total symbolic alpha-beta-r cost.
+        stages: per-stage costs (one entry for single-ring strategies,
+            one per bucket dimension otherwise) — the rows of Table 2.
+        seconds: total cost grounded at the spec's ``buffer_bytes``.
+    """
+
+    slice_name: str
+    shape: tuple[int, ...]
+    chips: int
+    cost: CollectiveCost
+    stages: tuple[CollectiveCost, ...]
+    seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "slice_name": self.slice_name,
+            "shape": list(self.shape),
+            "chips": self.chips,
+            "cost": _cost_to_dict(self.cost),
+            "stages": [_cost_to_dict(s) for s in self.stages],
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SliceCost":
+        return cls(
+            slice_name=data["slice_name"],
+            shape=tuple(data["shape"]),
+            chips=data["chips"],
+            cost=_cost_from_dict(data["cost"]),
+            stages=tuple(_cost_from_dict(s) for s in data["stages"]),
+            seconds=data["seconds"],
+        )
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Per-slice collective costs for one backend."""
+
+    interconnect: str
+    buffer_bytes: int
+    slices: tuple[SliceCost, ...]
+
+    def by_name(self, slice_name: str) -> SliceCost:
+        """The cost line of ``slice_name``.
+
+        Raises:
+            KeyError: when the slice is not in the report.
+        """
+        for line in self.slices:
+            if line.slice_name == slice_name:
+                return line
+        raise KeyError(slice_name)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "interconnect": self.interconnect,
+            "buffer_bytes": self.buffer_bytes,
+            "slices": [s.to_dict() for s in self.slices],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CostReport":
+        return cls(
+            interconnect=data["interconnect"],
+            buffer_bytes=data["buffer_bytes"],
+            slices=tuple(SliceCost.from_dict(s) for s in data["slices"]),
+        )
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    """Usable per-chip bandwidth of one slice (Figure 5c series)."""
+
+    name: str
+    shape: tuple[int, ...]
+    chips: int
+    electrical_fraction: float
+    optical_fraction: float
+    electrical_bandwidth_bytes: float
+    optical_bandwidth_bytes: float
+
+    @property
+    def bandwidth_loss_percent(self) -> float:
+        """Percent of chip bandwidth the electrical slice strands."""
+        return (1.0 - self.electrical_fraction) * 100.0
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["shape"] = list(self.shape)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "UtilizationRow":
+        return cls(
+            name=data["name"],
+            shape=tuple(data["shape"]),
+            chips=data["chips"],
+            electrical_fraction=data["electrical_fraction"],
+            optical_fraction=data["optical_fraction"],
+            electrical_bandwidth_bytes=data["electrical_bandwidth_bytes"],
+            optical_bandwidth_bytes=data["optical_bandwidth_bytes"],
+        )
+
+
+@dataclass(frozen=True)
+class SharedLinkLine:
+    """One physical link shared by multiple tenants' rings."""
+
+    src: tuple[int, ...]
+    dst: tuple[int, ...]
+    users: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"src": list(self.src), "dst": list(self.dst),
+                "users": list(self.users)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SharedLinkLine":
+        return cls(
+            src=tuple(data["src"]),
+            dst=tuple(data["dst"]),
+            users=tuple(data["users"]),
+        )
+
+
+@dataclass(frozen=True)
+class CongestionSummary:
+    """Link-sharing (or switch-contention) analysis of the scenario.
+
+    Attributes:
+        congestion_free: whether no physical resource is shared.
+        shared_links: links carrying multiple tenants (torus fabrics).
+        worst_multiplicity: most users on one link (1 = none).
+        per_slice_congested_dims: dimensions whose rings are congested.
+        contention_loss_fraction: throughput lost to host contention
+            (switched fabrics; ``None`` for torus fabrics).
+    """
+
+    congestion_free: bool
+    shared_links: tuple[SharedLinkLine, ...] = ()
+    worst_multiplicity: int = 1
+    per_slice_congested_dims: dict[str, tuple[int, ...]] | None = None
+    contention_loss_fraction: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "congestion_free": self.congestion_free,
+            "shared_links": [s.to_dict() for s in self.shared_links],
+            "worst_multiplicity": self.worst_multiplicity,
+            "per_slice_congested_dims": (
+                {k: list(v) for k, v in self.per_slice_congested_dims.items()}
+                if self.per_slice_congested_dims is not None
+                else None
+            ),
+            "contention_loss_fraction": self.contention_loss_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CongestionSummary":
+        dims = data.get("per_slice_congested_dims")
+        return cls(
+            congestion_free=data["congestion_free"],
+            shared_links=tuple(
+                SharedLinkLine.from_dict(s) for s in data.get("shared_links", ())
+            ),
+            worst_multiplicity=data.get("worst_multiplicity", 1),
+            per_slice_congested_dims=(
+                {k: tuple(v) for k, v in dims.items()} if dims is not None else None
+            ),
+            contention_loss_fraction=data.get("contention_loss_fraction"),
+        )
+
+
+@dataclass(frozen=True)
+class TelemetryLine:
+    """Measured execution of one tenant's collective on the simulator."""
+
+    name: str
+    duration_s: float
+    transfer_s: float
+    alpha_s: float
+    reconfig_s: float
+    phase_durations_s: tuple[float, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["phase_durations_s"] = list(self.phase_durations_s)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetryLine":
+        return cls(
+            name=data["name"],
+            duration_s=data["duration_s"],
+            transfer_s=data["transfer_s"],
+            alpha_s=data["alpha_s"],
+            reconfig_s=data["reconfig_s"],
+            phase_durations_s=tuple(data["phase_durations_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class TelemetryReport:
+    """Simulator measurements for the whole scenario.
+
+    Attributes:
+        schedules: per-tenant measured runs (torus fabrics).
+        aggregate_throughput_bytes: achieved switch throughput under the
+            all-to-all pattern (switched fabrics; ``None`` otherwise).
+        ideal_throughput_bytes: contention-free switch throughput.
+    """
+
+    schedules: tuple[TelemetryLine, ...] = ()
+    aggregate_throughput_bytes: float | None = None
+    ideal_throughput_bytes: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schedules": [s.to_dict() for s in self.schedules],
+            "aggregate_throughput_bytes": self.aggregate_throughput_bytes,
+            "ideal_throughput_bytes": self.ideal_throughput_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetryReport":
+        return cls(
+            schedules=tuple(
+                TelemetryLine.from_dict(s) for s in data.get("schedules", ())
+            ),
+            aggregate_throughput_bytes=data.get("aggregate_throughput_bytes"),
+            ideal_throughput_bytes=data.get("ideal_throughput_bytes"),
+        )
+
+
+@dataclass(frozen=True)
+class CircuitLine:
+    """One established repair circuit (optical repair, Figure 7)."""
+
+    src: tuple[int, ...]
+    dst: tuple[int, ...]
+    server_path: tuple[tuple[int, ...], ...]
+    fiber_hops: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "src": list(self.src),
+            "dst": list(self.dst),
+            "server_path": [list(s) for s in self.server_path],
+            "fiber_hops": self.fiber_hops,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CircuitLine":
+        return cls(
+            src=tuple(data["src"]),
+            dst=tuple(data["dst"]),
+            server_path=tuple(tuple(s) for s in data["server_path"]),
+            fiber_hops=data["fiber_hops"],
+        )
+
+
+@dataclass(frozen=True)
+class AttemptLine:
+    """One candidate free chip evaluated as an electrical replacement."""
+
+    free_chip: tuple[int, ...]
+    feasible: bool
+    congested_links: int
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["free_chip"] = list(self.free_chip)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AttemptLine":
+        return cls(
+            free_chip=tuple(data["free_chip"]),
+            feasible=data["feasible"],
+            congested_links=data["congested_links"],
+        )
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of repairing the spec's failed chip on this fabric.
+
+    Attributes:
+        kind: ``"optical"`` (circuit splice, Figure 7) or
+            ``"electrical"`` (replacement-path analysis, Figure 6a).
+        failed: the failed chip.
+        feasible: whether a congestion-free repair exists.
+        replacement: the spare spliced in (optical; best effort for
+            electrical reports it stays ``None``).
+        circuits: established circuits (optical).
+        setup_latency_s: time to bring the repair up (optical).
+        fibers_used: fibers consumed (optical).
+        blast_radius_chips: chips lost after repair (optical).
+        attempts: per-free-chip evaluations (electrical).
+    """
+
+    kind: str
+    failed: tuple[int, ...]
+    feasible: bool
+    replacement: tuple[int, ...] | None = None
+    circuits: tuple[CircuitLine, ...] = ()
+    setup_latency_s: float = 0.0
+    fibers_used: int = 0
+    blast_radius_chips: int = 0
+    attempts: tuple[AttemptLine, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "failed": list(self.failed),
+            "feasible": self.feasible,
+            "replacement": (
+                list(self.replacement) if self.replacement is not None else None
+            ),
+            "circuits": [c.to_dict() for c in self.circuits],
+            "setup_latency_s": self.setup_latency_s,
+            "fibers_used": self.fibers_used,
+            "blast_radius_chips": self.blast_radius_chips,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RepairReport":
+        return cls(
+            kind=data["kind"],
+            failed=tuple(data["failed"]),
+            feasible=data["feasible"],
+            replacement=(
+                tuple(data["replacement"])
+                if data.get("replacement") is not None
+                else None
+            ),
+            circuits=tuple(
+                CircuitLine.from_dict(c) for c in data.get("circuits", ())
+            ),
+            setup_latency_s=data.get("setup_latency_s", 0.0),
+            fibers_used=data.get("fibers_used", 0),
+            blast_radius_chips=data.get("blast_radius_chips", 0),
+            attempts=tuple(
+                AttemptLine.from_dict(a) for a in data.get("attempts", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PolicyLine:
+    """Blast-radius metrics of one recovery policy over a failure trace."""
+
+    policy: str
+    failures: int
+    blast_radius_chips: int
+    total_chip_impact: int
+    total_downtime_s: float
+    lost_chip_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PolicyLine":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class BlastRadiusSummary:
+    """Rack-migration vs optical-repair comparison (Section 4.2)."""
+
+    days: float
+    rack_policy: PolicyLine
+    optical_policy: PolicyLine
+    improvement_factor: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "days": self.days,
+            "rack_policy": self.rack_policy.to_dict(),
+            "optical_policy": self.optical_policy.to_dict(),
+            "improvement_factor": self.improvement_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BlastRadiusSummary":
+        return cls(
+            days=data["days"],
+            rack_policy=PolicyLine.from_dict(data["rack_policy"]),
+            optical_policy=PolicyLine.from_dict(data["optical_policy"]),
+            improvement_factor=data["improvement_factor"],
+        )
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """Physical-layer device characterization (Figures 3a/3b)."""
+
+    mzi_tau_s: float
+    mzi_settling_s: float
+    stitch_bin_edges_db: tuple[float, ...]
+    stitch_counts: tuple[int, ...]
+    stitch_mean_db: float
+    stitch_p95_db: float
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["stitch_bin_edges_db"] = list(self.stitch_bin_edges_db)
+        data["stitch_counts"] = list(self.stitch_counts)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DeviceReport":
+        return cls(
+            mzi_tau_s=data["mzi_tau_s"],
+            mzi_settling_s=data["mzi_settling_s"],
+            stitch_bin_edges_db=tuple(data["stitch_bin_edges_db"]),
+            stitch_counts=tuple(data["stitch_counts"]),
+            stitch_mean_db=data["stitch_mean_db"],
+            stitch_p95_db=data["stitch_p95_db"],
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one spec evaluation produced; sections not requested
+    by ``spec.outputs`` are ``None``.
+    """
+
+    spec: ScenarioSpec
+    fabric: str
+    capabilities: tuple[tuple[str, str], ...] | None = None
+    costs: CostReport | None = None
+    utilization: tuple[UtilizationRow, ...] | None = None
+    congestion: CongestionSummary | None = None
+    telemetry: TelemetryReport | None = None
+    repair: RepairReport | None = None
+    blast_radius: BlastRadiusSummary | None = None
+    device: DeviceReport | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; inverse of :meth:`from_dict`."""
+        return {
+            "spec": self.spec.to_dict(),
+            "fabric": self.fabric,
+            "capabilities": (
+                [list(r) for r in self.capabilities]
+                if self.capabilities is not None
+                else None
+            ),
+            "costs": self.costs.to_dict() if self.costs else None,
+            "utilization": (
+                [u.to_dict() for u in self.utilization]
+                if self.utilization is not None
+                else None
+            ),
+            "congestion": self.congestion.to_dict() if self.congestion else None,
+            "telemetry": self.telemetry.to_dict() if self.telemetry else None,
+            "repair": self.repair.to_dict() if self.repair else None,
+            "blast_radius": (
+                self.blast_radius.to_dict() if self.blast_radius else None
+            ),
+            "device": self.device.to_dict() if self.device else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunResult":
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            fabric=data["fabric"],
+            capabilities=(
+                tuple(tuple(r) for r in data["capabilities"])
+                if data.get("capabilities") is not None
+                else None
+            ),
+            costs=(
+                CostReport.from_dict(data["costs"]) if data.get("costs") else None
+            ),
+            utilization=(
+                tuple(UtilizationRow.from_dict(u) for u in data["utilization"])
+                if data.get("utilization") is not None
+                else None
+            ),
+            congestion=(
+                CongestionSummary.from_dict(data["congestion"])
+                if data.get("congestion")
+                else None
+            ),
+            telemetry=(
+                TelemetryReport.from_dict(data["telemetry"])
+                if data.get("telemetry")
+                else None
+            ),
+            repair=(
+                RepairReport.from_dict(data["repair"])
+                if data.get("repair")
+                else None
+            ),
+            blast_radius=(
+                BlastRadiusSummary.from_dict(data["blast_radius"])
+                if data.get("blast_radius")
+                else None
+            ),
+            device=(
+                DeviceReport.from_dict(data["device"])
+                if data.get("device")
+                else None
+            ),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,216 @@
+"""FabricSession: memoized artifact construction and spec execution.
+
+The session is the single place topology artifacts are built: tori,
+slice allocators, electrical interconnects, and full run results are
+memoized per spec (specs are frozen and hashable), so sweeps that share a
+geometry pay construction once. Mutable artifacts that a run would dirty
+(the LIGHTPATH rack fabric during a repair) are deliberately *not*
+memoized — backends build those fresh per run.
+
+Usage::
+
+    from repro.api import ScenarioSpec, run, figure5b_slices
+
+    spec = ScenarioSpec(
+        fabric="photonic", slices=figure5b_slices(),
+        outputs=("costs", "utilization"),
+    )
+    result = run(spec)
+    print(result.costs.by_name("Slice-1").seconds)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..analysis.congestion_report import (
+    RackCongestionReport,
+    analyze_rack_congestion,
+)
+from ..analysis.utilization import slice_utilization
+from ..topology.electrical import ElectricalInterconnect
+from ..topology.slices import Slice, SliceAllocator
+from ..topology.torus import Torus
+from .backends import FabricBackend, UnsupportedOutput, create_backend
+from .result import RunResult, UtilizationRow
+from .spec import ScenarioSpec
+
+__all__ = ["FabricSession", "run", "compare", "default_session"]
+
+
+class FabricSession:
+    """Builds and caches the artifacts one or many specs need.
+
+    Attributes:
+        runs_executed: specs actually evaluated (cache misses) — lets
+            callers verify memoization in sweeps.
+    """
+
+    def __init__(self) -> None:
+        self._backends: dict[str, FabricBackend] = {}
+        self._tori: dict[tuple[int, ...], Torus] = {}
+        self._allocators: dict[tuple, SliceAllocator] = {}
+        self._electrical: dict[tuple[int, ...], ElectricalInterconnect] = {}
+        self._congestion: dict[tuple, RackCongestionReport] = {}
+        self._results: dict[ScenarioSpec, RunResult] = {}
+        self.runs_executed = 0
+
+    # -- memoized artifacts --------------------------------------------------------
+
+    def backend(self, name: str) -> FabricBackend:
+        """The backend registered under ``name`` (one instance per session)."""
+        if name not in self._backends:
+            self._backends[name] = create_backend(name)
+        return self._backends[name]
+
+    def torus(self, rack_shape: tuple[int, ...]) -> Torus:
+        """The rack torus for ``rack_shape``."""
+        if rack_shape not in self._tori:
+            self._tori[rack_shape] = Torus(rack_shape)
+        return self._tori[rack_shape]
+
+    def electrical(self, rack_shape: tuple[int, ...]) -> ElectricalInterconnect:
+        """The electrical interconnect model over the rack torus."""
+        if rack_shape not in self._electrical:
+            self._electrical[rack_shape] = ElectricalInterconnect(
+                self.torus(rack_shape)
+            )
+        return self._electrical[rack_shape]
+
+    @staticmethod
+    def _layout_key(spec: ScenarioSpec) -> tuple:
+        return (spec.rack_shape, spec.slices)
+
+    def allocator(self, spec: ScenarioSpec) -> SliceAllocator:
+        """The slice allocator with the spec's tenants allocated.
+
+        Memoized per (rack shape, slices); backends must treat it as
+        read-only.
+
+        Raises:
+            ValueError: when the spec has no slices (nothing to allocate).
+        """
+        if not spec.slices:
+            raise ValueError(f"spec for {spec.fabric!r} declares no slices")
+        key = self._layout_key(spec)
+        if key not in self._allocators:
+            allocator = SliceAllocator(self.torus(spec.rack_shape))
+            for entry in spec.slices:
+                allocator.allocate(entry.name, entry.shape, entry.offset)
+            self._allocators[key] = allocator
+        return self._allocators[key]
+
+    def slices(self, spec: ScenarioSpec) -> list[Slice]:
+        """The spec's slices in allocation order."""
+        allocator = self.allocator(spec)
+        by_name = {slc.name: slc for slc in allocator.slices}
+        return [by_name[entry.name] for entry in spec.slices]
+
+    def slice_of_chip(self, spec: ScenarioSpec, chip: tuple[int, ...]) -> Slice:
+        """The tenant slice containing ``chip``.
+
+        Raises:
+            ValueError: when no slice contains the chip.
+        """
+        for slc in self.allocator(spec).slices:
+            if slc.contains(chip):
+                return slc
+        raise ValueError(f"no slice of the spec contains chip {chip}")
+
+    def rack_congestion(self, spec: ScenarioSpec) -> RackCongestionReport:
+        """Cross-tenant ring congestion for the spec's layout (memoized)."""
+        key = self._layout_key(spec)
+        if key not in self._congestion:
+            self._congestion[key] = analyze_rack_congestion(self.allocator(spec))
+        return self._congestion[key]
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, spec: ScenarioSpec) -> RunResult:
+        """Evaluate ``spec``, returning the memoized result on a repeat.
+
+        Raises:
+            KeyError: for an unregistered fabric name.
+            UnsupportedOutput: when the backend cannot produce a section.
+        """
+        if spec in self._results:
+            return self._results[spec]
+        backend = self.backend(spec.fabric)
+        methods = {
+            "capabilities": "capability_rows",
+            "costs": "cost_report",
+            "congestion": "congestion",
+            "telemetry": "telemetry",
+            "repair": "repair",
+            "blast_radius": "blast_radius",
+            "device": "device_report",
+        }
+        sections: dict[str, object] = {}
+        for output in spec.outputs:
+            if output == "utilization":
+                sections["utilization"] = self._utilization(spec)
+                continue
+            method = getattr(backend, methods[output], None)
+            if method is None:
+                raise UnsupportedOutput(
+                    f"backend {spec.fabric!r} does not implement the"
+                    f" {output!r} output"
+                )
+            sections[output] = method(self, spec)
+        result = RunResult(spec=spec, fabric=backend.name, **sections)
+        self._results[spec] = result
+        self.runs_executed += 1
+        return result
+
+    def _utilization(self, spec: ScenarioSpec) -> tuple[UtilizationRow, ...]:
+        """Figure 5c rows: both interconnects side by side, sorted by name."""
+        rows = []
+        for slc in sorted(self.allocator(spec).slices, key=lambda s: s.name):
+            u = slice_utilization(slc)
+            rows.append(
+                UtilizationRow(
+                    name=u.name,
+                    shape=u.shape,
+                    chips=u.chips,
+                    electrical_fraction=u.electrical_fraction,
+                    optical_fraction=u.optical_fraction,
+                    electrical_bandwidth_bytes=u.electrical_bandwidth_bytes,
+                    optical_bandwidth_bytes=u.optical_bandwidth_bytes,
+                )
+            )
+        return tuple(rows)
+
+    def compare(
+        self,
+        spec: ScenarioSpec,
+        fabrics: Iterable[str] = ("electrical", "photonic"),
+    ) -> dict[str, RunResult]:
+        """Evaluate the same scenario on several backends.
+
+        Topology artifacts are shared through the session caches, so a
+        comparison costs one topology build plus one evaluation per
+        fabric.
+        """
+        return {fabric: self.run(spec.with_fabric(fabric)) for fabric in fabrics}
+
+
+_DEFAULT_SESSION = FabricSession()
+
+
+def default_session() -> FabricSession:
+    """The process-wide session behind :func:`run` and :func:`compare`."""
+    return _DEFAULT_SESSION
+
+
+def run(spec: ScenarioSpec, session: FabricSession | None = None) -> RunResult:
+    """Evaluate ``spec`` on the default (or a provided) session."""
+    return (session or _DEFAULT_SESSION).run(spec)
+
+
+def compare(
+    spec: ScenarioSpec,
+    fabrics: Iterable[str] = ("electrical", "photonic"),
+    session: FabricSession | None = None,
+) -> dict[str, RunResult]:
+    """Evaluate the same scenario on several backends (default session)."""
+    return (session or _DEFAULT_SESSION).compare(spec, fabrics)

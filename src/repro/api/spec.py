@@ -1,0 +1,274 @@
+"""Frozen experiment specifications — the input side of the experiment API.
+
+A :class:`ScenarioSpec` is a complete, hashable description of one
+experiment: which fabric backend evaluates it, the rack geometry, the
+tenant slices, the collective and buffer size, whether costs are derived
+closed-form or measured on the discrete-event simulator, and an optional
+failure plan. Because the spec is frozen and built from tuples it can key
+the :class:`~repro.api.session.FabricSession` memoization caches, and its
+``to_dict``/``from_dict`` pair round-trips through JSON so specs can be
+stored, diffed, and replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any
+
+__all__ = [
+    "SliceSpec",
+    "FailurePlan",
+    "DeviceSpec",
+    "ScenarioSpec",
+    "KNOWN_OUTPUTS",
+    "figure5b_slices",
+    "figure6_slices",
+    "table1_slices",
+    "table2_slices",
+]
+
+#: Result sections a spec may request; see ``RunResult`` for their shapes.
+KNOWN_OUTPUTS = (
+    "capabilities",
+    "costs",
+    "utilization",
+    "congestion",
+    "telemetry",
+    "repair",
+    "blast_radius",
+    "device",
+)
+
+_MODES = ("closed_form", "sim")
+
+
+def _int_tuple(values: Any) -> tuple[int, ...]:
+    return tuple(int(v) for v in values)
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """One tenant slice of the rack torus.
+
+    Attributes:
+        name: tenant label (e.g. ``"Slice-1"``).
+        shape: slice extent per torus dimension.
+        offset: slice origin within the rack.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    offset: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", _int_tuple(self.shape))
+        object.__setattr__(self, "offset", _int_tuple(self.offset))
+        if len(self.shape) != len(self.offset):
+            raise ValueError(
+                f"slice {self.name}: shape {self.shape} and offset "
+                f"{self.offset} disagree on dimensionality"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SliceSpec":
+        return cls(
+            name=data["name"],
+            shape=_int_tuple(data["shape"]),
+            offset=_int_tuple(data["offset"]),
+        )
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """What fails and how the recovery is evaluated.
+
+    Attributes:
+        failed_chips: chip coordinates that fail (today the repair path
+            evaluates the first entry; the tuple keeps the spec extensible
+            to correlated failures).
+        max_hops: path-length bound for the exhaustive electrical
+            replacement search (Figure 6a).
+        replacement: override the spare chip chosen by the optical repair.
+        fleet_days: when positive, sample a fleet-scale failure trace over
+            this horizon and compare blast-radius policies (Section 4.2).
+        seed: RNG seed for the fleet failure trace.
+    """
+
+    failed_chips: tuple[tuple[int, ...], ...] = ()
+    max_hops: int = 5
+    replacement: tuple[int, ...] | None = None
+    fleet_days: float = 0.0
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "failed_chips", tuple(_int_tuple(c) for c in self.failed_chips)
+        )
+        if self.replacement is not None:
+            object.__setattr__(self, "replacement", _int_tuple(self.replacement))
+        if self.fleet_days < 0:
+            raise ValueError("fleet_days cannot be negative")
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FailurePlan":
+        return cls(
+            failed_chips=tuple(tuple(c) for c in data.get("failed_chips", ())),
+            max_hops=data.get("max_hops", 5),
+            replacement=(
+                tuple(data["replacement"])
+                if data.get("replacement") is not None
+                else None
+            ),
+            fleet_days=data.get("fleet_days", 0.0),
+            seed=data.get("seed", 2024),
+        )
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Sampling parameters for the physical-layer device reports.
+
+    Defaults reproduce the paper's Figure 3a (MZI step response) and
+    Figure 3b (reticle stitch loss) measurements.
+    """
+
+    mzi_duration_s: float = 12e-6
+    mzi_samples: int = 4000
+    stitch_samples: int = 20000
+    stitch_bins: int = 24
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DeviceSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, frozen description of one fabric experiment.
+
+    Attributes:
+        fabric: registered backend name (``"electrical"``, ``"photonic"``,
+            ``"switched"``, or any third-party registration).
+        rack_shape: extent of the rack torus.
+        slices: tenant slices, in allocation order.
+        collective: collective the tenants run (``"reduce_scatter"``).
+        buffer_bytes: per-tenant collective buffer size ``N``.
+        mode: ``"closed_form"`` for symbolic alpha-beta-r costs,
+            ``"sim"`` to measure on the discrete-event simulator
+            (required for the ``"telemetry"`` output).
+        outputs: result sections to compute (subset of
+            :data:`KNOWN_OUTPUTS`).
+        failures: the failure plan, when repair/blast-radius is requested.
+        device: device-model sampling parameters for ``"device"``.
+        seed: RNG seed for seeded device models.
+    """
+
+    fabric: str = "photonic"
+    rack_shape: tuple[int, ...] = (4, 4, 4)
+    slices: tuple[SliceSpec, ...] = ()
+    collective: str = "reduce_scatter"
+    buffer_bytes: int = 1 << 26
+    mode: str = "closed_form"
+    outputs: tuple[str, ...] = ("costs",)
+    failures: FailurePlan = field(default_factory=FailurePlan)
+    device: DeviceSpec = field(default_factory=DeviceSpec)
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rack_shape", _int_tuple(self.rack_shape))
+        object.__setattr__(self, "slices", tuple(self.slices))
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        unknown = [o for o in self.outputs if o not in KNOWN_OUTPUTS]
+        if unknown:
+            raise ValueError(
+                f"unknown outputs {unknown}; known outputs: {list(KNOWN_OUTPUTS)}"
+            )
+        if "telemetry" in self.outputs and self.mode != "sim":
+            raise ValueError('the "telemetry" output requires mode="sim"')
+        if self.buffer_bytes < 0:
+            raise ValueError("buffer_bytes cannot be negative")
+        for chip in self.failures.failed_chips:
+            if len(chip) != len(self.rack_shape) or any(
+                not 0 <= c < d for c, d in zip(chip, self.rack_shape)
+            ):
+                raise ValueError(
+                    f"failed chip {chip} is outside the rack {self.rack_shape}"
+                )
+
+    # -- derived ----------------------------------------------------------------
+
+    def with_fabric(self, fabric: str) -> "ScenarioSpec":
+        """The same scenario evaluated by a different backend."""
+        return replace(self, fabric=fabric)
+
+    def with_outputs(self, *outputs: str) -> "ScenarioSpec":
+        """The same scenario computing different result sections."""
+        return replace(self, outputs=tuple(outputs))
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; inverse of :meth:`from_dict`."""
+        data = asdict(self)
+        data["rack_shape"] = list(self.rack_shape)
+        data["slices"] = [asdict(s) for s in self.slices]
+        data["outputs"] = list(self.outputs)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        return cls(
+            fabric=data.get("fabric", "photonic"),
+            rack_shape=_int_tuple(data.get("rack_shape", (4, 4, 4))),
+            slices=tuple(SliceSpec.from_dict(s) for s in data.get("slices", ())),
+            collective=data.get("collective", "reduce_scatter"),
+            buffer_bytes=data.get("buffer_bytes", 1 << 26),
+            mode=data.get("mode", "closed_form"),
+            outputs=tuple(data.get("outputs", ("costs",))),
+            failures=FailurePlan.from_dict(data.get("failures", {})),
+            device=DeviceSpec.from_dict(data.get("device", {})),
+            seed=data.get("seed", 42),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# -- canonical paper scenarios ---------------------------------------------------
+
+
+def figure5b_slices() -> tuple[SliceSpec, ...]:
+    """The four tenants of the paper's Figure 5b rack layout."""
+    return (
+        SliceSpec("Slice-3", (4, 4, 1), (0, 0, 0)),
+        SliceSpec("Slice-4", (4, 4, 2), (0, 0, 1)),
+        SliceSpec("Slice-1", (4, 2, 1), (0, 0, 3)),
+        SliceSpec("Slice-2", (4, 2, 1), (0, 2, 3)),
+    )
+
+
+def figure6_slices() -> tuple[SliceSpec, ...]:
+    """The Figure 6a/7 rack: three tenants, eight free chips."""
+    return (
+        SliceSpec("Slice-3", (4, 4, 1), (0, 0, 0)),
+        SliceSpec("Slice-4", (4, 4, 2), (0, 0, 1)),
+        SliceSpec("Slice-1", (4, 2, 1), (0, 0, 3)),
+    )
+
+
+def table1_slices() -> tuple[SliceSpec, ...]:
+    """Table 1's Slice-1 alone on a fresh rack."""
+    return (SliceSpec("Slice-1", (4, 2, 1), (0, 0, 3)),)
+
+
+def table2_slices() -> tuple[SliceSpec, ...]:
+    """Table 2's Slice-3 alone on a fresh rack."""
+    return (SliceSpec("Slice-3", (4, 4, 1), (0, 0, 0)),)

@@ -11,59 +11,64 @@ Usage::
     python -m repro figure6a              # electrical replacement attempts
     python -m repro figure7               # optical repair plan
     python -m repro blast-radius [--days 90]
+    python -m repro congestion            # cross-tenant link sharing
+    python -m repro simulate [--fabric photonic]
 
-Every subcommand prints the same tables the benchmark harness emits, so
-results can be regenerated without pytest.
+Every subcommand builds a :class:`repro.api.ScenarioSpec` and routes
+through :func:`repro.api.run`, so the CLI, the benches and the examples
+all exercise the same experiment surface. ``simulate`` (and
+``congestion``) accept ``--fabric`` with *any* registered backend name,
+so a third-party fabric registered via
+:func:`repro.api.register_backend` is reachable without touching this
+module.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
-import numpy as np
-
+from . import api
 from .analysis.tables import cost_row, render_histogram, render_table
-from .analysis.utilization import figure5b_layout, rack_utilization
-from .collectives.cost_model import CostParameters
-from .collectives.primitives import (
-    Interconnect,
-    reduce_scatter_cost,
-    reduce_scatter_stage_costs,
-)
-from .core.fabric import LightpathRackFabric
-from .core.repair import plan_optical_repair
-from .core.wafer import LightpathWafer
-from .failures.blast_radius import compare_policies, improvement_factor
-from .failures.inject import FleetFailureModel
-from .failures.recovery import ElectricalRecoveryAnalysis
-from .phy.mzi import MziSwitchDynamics
-from .phy.stitch_loss import StitchLossModel
-from .topology.slices import SliceAllocator
-from .topology.tpu import TpuCluster, TpuRack
-from .topology.torus import Torus
 
 __all__ = ["main", "build_parser"]
 
 
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
+
+
 def _cmd_capabilities(_args: argparse.Namespace) -> int:
-    wafer = LightpathWafer()
+    result = api.run(api.ScenarioSpec(fabric="photonic", outputs=("capabilities",)))
     print(render_table(
         ["capability", "value"],
-        [list(r) for r in wafer.capabilities().rows()],
+        [list(r) for r in result.capabilities],
         title="Section 3 — LIGHTPATH capabilities",
     ))
     return 0
 
 
+def _device_result(seed: int) -> api.RunResult:
+    return api.run(
+        api.ScenarioSpec(fabric="photonic", outputs=("device",), seed=seed)
+    )
+
+
 def _cmd_figure3a(args: argparse.Namespace) -> int:
-    dynamics = MziSwitchDynamics(rng=np.random.default_rng(args.seed))
-    trace = dynamics.measure_step(duration_s=12e-6, samples=4000)
-    fit = dynamics.fit_exponential(trace)
+    device = _device_result(args.seed).device
     print(render_table(
         ["quantity", "value"],
         [
-            ["fitted tau", f"{fit.tau_s * 1e6:.2f} us"],
-            ["settling time (5 %)", f"{fit.settling_time(0.05) * 1e6:.2f} us"],
+            ["fitted tau", f"{device.mzi_tau_s * 1e6:.2f} us"],
+            ["settling time (5 %)", f"{device.mzi_settling_s * 1e6:.2f} us"],
             ["paper", "3.7 us"],
         ],
         title="Figure 3a — MZI switch time response",
@@ -72,41 +77,41 @@ def _cmd_figure3a(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure3b(args: argparse.Namespace) -> int:
-    model = StitchLossModel(rng=np.random.default_rng(args.seed))
-    hist = model.histogram(samples=20000, bins=24)
+    device = _device_result(args.seed).device
     print("Figure 3b — reticle stitch loss distribution")
-    print(render_histogram(list(hist.bin_edges_db), list(hist.counts), unit=" dB"))
-    print(f"\nmean {hist.mean_db:.3f} dB (paper: 0.25 dB), "
-          f"p95 {hist.p95_db:.3f} dB")
+    print(render_histogram(
+        list(device.stitch_bin_edges_db), list(device.stitch_counts), unit=" dB"
+    ))
+    print(f"\nmean {device.stitch_mean_db:.3f} dB (paper: 0.25 dB), "
+          f"p95 {device.stitch_p95_db:.3f} dB")
     return 0
 
 
-def _slice(name: str, shape: tuple[int, ...], offset: tuple[int, ...]):
-    allocator = SliceAllocator(Torus((4, 4, 4)))
-    return allocator.allocate(name, shape, offset)
-
-
 def _cmd_table1(args: argparse.Namespace) -> int:
-    slice1 = _slice("Slice-1", (4, 2, 1), (0, 0, 3))
-    electrical = reduce_scatter_cost(slice1, Interconnect.ELECTRICAL)
-    optical = reduce_scatter_cost(slice1, Interconnect.OPTICAL)
+    spec = api.ScenarioSpec(
+        slices=api.table1_slices(),
+        buffer_bytes=args.buffer_mib * (1 << 20),
+        outputs=("costs",),
+    )
+    results = api.compare(spec)
+    electrical = results["electrical"].costs.by_name("Slice-1")
+    optical = results["photonic"].costs.by_name("Slice-1")
     print(render_table(
         ["slice", "elec a", "optics a", "elec b", "optics b", "ratio"],
-        [cost_row("Slice-1 (4x2x1)", electrical, optical)],
+        [cost_row("Slice-1 (4x2x1)", electrical.cost, optical.cost)],
         title="Table 1 — REDUCESCATTER costs of Slice-1",
     ))
-    n_bytes = args.buffer_mib * (1 << 20)
-    params = CostParameters()
     print(f"\nat N = {args.buffer_mib} MiB: electrical "
-          f"{electrical.seconds(n_bytes, params) * 1e3:.3f} ms, optical "
-          f"{optical.seconds(n_bytes, params) * 1e3:.3f} ms")
+          f"{electrical.seconds * 1e3:.3f} ms, optical "
+          f"{optical.seconds * 1e3:.3f} ms")
     return 0
 
 
 def _cmd_table2(_args: argparse.Namespace) -> int:
-    slice3 = _slice("Slice-3", (4, 4, 1), (0, 0, 0))
-    electrical = reduce_scatter_stage_costs(slice3, Interconnect.ELECTRICAL)
-    optical = reduce_scatter_stage_costs(slice3, Interconnect.OPTICAL)
+    spec = api.ScenarioSpec(slices=api.table2_slices(), outputs=("costs",))
+    results = api.compare(spec)
+    electrical = results["electrical"].costs.by_name("Slice-3").stages
+    optical = results["photonic"].costs.by_name("Slice-3").stages
     print(render_table(
         ["stage", "elec a", "optics a", "elec b", "optics b", "ratio"],
         [
@@ -119,7 +124,9 @@ def _cmd_table2(_args: argparse.Namespace) -> int:
 
 
 def _cmd_figure5(_args: argparse.Namespace) -> int:
-    rows = rack_utilization(figure5b_layout())
+    result = api.run(
+        api.ScenarioSpec(slices=api.figure5b_slices(), outputs=("utilization",))
+    )
     print(render_table(
         ["slice", "shape", "electrical", "optical", "loss"],
         [
@@ -130,78 +137,148 @@ def _cmd_figure5(_args: argparse.Namespace) -> int:
                 f"{u.optical_fraction:.0%}",
                 f"{u.bandwidth_loss_percent:.0f} %",
             ]
-            for u in rows
+            for u in result.utilization
         ],
         title="Figure 5c — usable per-chip bandwidth",
     ))
     return 0
 
 
-def _figure6_scenario():
-    rack = TpuRack(0)
-    allocator = SliceAllocator(rack.torus)
-    slice3 = allocator.allocate("Slice-3", (4, 4, 1), (0, 0, 0))
-    allocator.allocate("Slice-4", (4, 4, 2), (0, 0, 1))
-    allocator.allocate("Slice-1", (4, 2, 1), (0, 0, 3))
-    return rack, allocator, slice3
+def _repair_spec(fabric: str, failed: tuple[int, ...]) -> api.ScenarioSpec:
+    return api.ScenarioSpec(
+        fabric=fabric,
+        slices=api.figure6_slices(),
+        outputs=("repair",),
+        failures=api.FailurePlan(failed_chips=(failed,)),
+    )
 
 
 def _cmd_figure6a(args: argparse.Namespace) -> int:
-    rack, allocator, slice3 = _figure6_scenario()
     failed = tuple(args.failed)
-    analysis = ElectricalRecoveryAnalysis(rack.torus, allocator, max_hops=5)
-    attempts = analysis.evaluate_all_free_chips(slice3, failed)
+    repair = api.run(_repair_spec("electrical", failed)).repair
     print(render_table(
         ["free chip", "feasible", "congested links"],
         [
             [str(a.free_chip), "yes" if a.feasible else "no",
-             str(a.total_congested_links)]
-            for a in attempts
+             str(a.congested_links)]
+            for a in repair.attempts
         ],
         title=f"Figure 6a — electrical replacement of {failed}",
     ))
-    feasible = any(a.feasible for a in attempts)
-    print(f"\ncongestion-free replacement exists: {feasible}")
-    return 0 if not feasible else 1
+    print(f"\ncongestion-free replacement exists: {repair.feasible}")
+    return 0 if not repair.feasible else 1
 
 
 def _cmd_figure7(args: argparse.Namespace) -> int:
-    rack, allocator, slice3 = _figure6_scenario()
-    fabric = LightpathRackFabric(rack)
-    plan = plan_optical_repair(fabric, allocator, slice3, tuple(args.failed))
+    repair = api.run(_repair_spec("photonic", tuple(args.failed))).repair
     print(render_table(
         ["circuit", "server path", "fibers"],
         [
             [f"{c.src} -> {c.dst}", " -> ".join(map(str, c.server_path)),
              str(c.fiber_hops)]
-            for c in plan.circuits
+            for c in repair.circuits
         ],
-        title=f"Figure 7 — optical repair via {plan.replacement}",
+        title=f"Figure 7 — optical repair via {repair.replacement}",
     ))
-    print(f"\nsetup {plan.setup_latency_s * 1e6:.1f} us, "
-          f"{plan.fibers_used} fibers, blast radius "
-          f"{plan.blast_radius_chips} chip")
+    print(f"\nsetup {repair.setup_latency_s * 1e6:.1f} us, "
+          f"{repair.fibers_used} fibers, blast radius "
+          f"{repair.blast_radius_chips} chip")
     return 0
 
 
 def _cmd_blast_radius(args: argparse.Namespace) -> int:
-    cluster = TpuCluster()
-    events = FleetFailureModel(cluster, seed=args.seed).sample_failures(
-        args.days * 24 * 3600.0
-    )
-    rack_report, optical_report = compare_policies(events)
+    result = api.run(api.ScenarioSpec(
+        fabric="photonic",
+        outputs=("blast_radius",),
+        failures=api.FailurePlan(fleet_days=args.days, seed=args.seed),
+    ))
+    rack, optical = result.blast_radius.rack_policy, result.blast_radius.optical_policy
     print(render_table(
-        ["metric", rack_report.policy, optical_report.policy],
+        ["metric", rack.policy, optical.policy],
         [
-            ["failures", str(rack_report.failures), str(optical_report.failures)],
-            ["blast radius", str(rack_report.blast_radius_chips),
-             str(optical_report.blast_radius_chips)],
-            ["chip impact", str(rack_report.total_chip_impact),
-             str(optical_report.total_chip_impact)],
+            ["failures", str(rack.failures), str(optical.failures)],
+            ["blast radius", str(rack.blast_radius_chips),
+             str(optical.blast_radius_chips)],
+            ["chip impact", str(rack.total_chip_impact),
+             str(optical.total_chip_impact)],
         ],
         title=f"Section 4.2 — blast radius over {args.days} days",
     ))
-    print(f"\nimprovement: {improvement_factor(rack_report, optical_report):.0f}x")
+    print(f"\nimprovement: {result.blast_radius.improvement_factor:.0f}x")
+    return 0
+
+
+def _cmd_congestion(args: argparse.Namespace) -> int:
+    result = api.run(api.ScenarioSpec(
+        fabric=args.fabric,
+        slices=api.figure5b_slices(),
+        outputs=("congestion",),
+    ))
+    congestion = result.congestion
+    title = f"Congestion — {result.fabric} fabric, Figure 5b layout"
+    if congestion.contention_loss_fraction is not None:
+        print(render_table(
+            ["metric", "value"],
+            [
+                ["congestion free", "yes" if congestion.congestion_free else "no"],
+                ["host contention loss",
+                 f"{congestion.contention_loss_fraction:.0%}"],
+            ],
+            title=title,
+        ))
+        return 0
+    rows = [
+        [f"{s.src} -> {s.dst}", ", ".join(s.users)]
+        for s in congestion.shared_links
+    ]
+    print(render_table(
+        ["shared link", "users"],
+        rows or [["(none)", "-"]],
+        title=title,
+    ))
+    print(f"\ncongestion free: {congestion.congestion_free}, "
+          f"worst multiplicity: {congestion.worst_multiplicity}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = api.ScenarioSpec(
+        fabric=args.fabric,
+        slices=api.figure5b_slices(),
+        buffer_bytes=args.buffer_mib * (1 << 20),
+        mode="sim",
+        outputs=("telemetry",),
+    )
+    result = api.run(spec)
+    telemetry = result.telemetry
+    title = (f"Simulated REDUCESCATTER — {result.fabric} fabric, "
+             f"{args.buffer_mib} MiB per tenant")
+    if telemetry.aggregate_throughput_bytes is not None:
+        print(render_table(
+            ["metric", "value"],
+            [
+                ["aggregate throughput",
+                 f"{telemetry.aggregate_throughput_bytes / 1e12:.2f} TB/s"],
+                ["ideal throughput",
+                 f"{telemetry.ideal_throughput_bytes / 1e12:.2f} TB/s"],
+            ],
+            title=title,
+        ))
+        return 0
+    print(render_table(
+        ["tenant", "duration", "transfer", "alpha", "reconfig"],
+        [
+            [
+                entry.name,
+                f"{line.duration_s * 1e3:.3f} ms",
+                f"{line.transfer_s * 1e3:.3f} ms",
+                f"{line.alpha_s * 1e6:.1f} us",
+                f"{line.reconfig_s * 1e6:.1f} us",
+            ]
+            for entry, line in zip(spec.slices, telemetry.schedules)
+        ],
+        title=title,
+    ))
     return 0
 
 
@@ -211,6 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce results from 'A case for server-scale "
         "photonic connectivity' (HotNets '24).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -238,6 +318,13 @@ def build_parser() -> argparse.ArgumentParser:
     pbr.add_argument("--days", type=int, default=90)
     pbr.add_argument("--seed", type=int, default=2024)
 
+    pcg = sub.add_parser("congestion", help="cross-tenant link sharing")
+    pcg.add_argument("--fabric", default="electrical")
+
+    psim = sub.add_parser("simulate", help="measured collective durations")
+    psim.add_argument("--fabric", default="photonic")
+    psim.add_argument("--buffer-mib", type=int, default=64)
+
     return parser
 
 
@@ -251,10 +338,18 @@ _HANDLERS = {
     "figure6a": _cmd_figure6a,
     "figure7": _cmd_figure7,
     "blast-radius": _cmd_blast_radius,
+    "congestion": _cmd_congestion,
+    "simulate": _cmd_simulate,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except (KeyError, ValueError, api.UnsupportedOutput) as exc:
+        # Unknown --fabric name, invalid spec (e.g. a failed chip outside
+        # the rack), or an output the backend cannot produce.
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2

@@ -118,8 +118,6 @@ def simulate_bucket_reduce_scatter(
     state = ReduceScatterState.initial(members)
     for d in order:
         for ring in slc.rings(d):
-            q = len(ring)
-            index_of = {chip: i for i, chip in enumerate(ring)}
             live_shards = [
                 shard
                 for shard in state.holdings[ring[0]]

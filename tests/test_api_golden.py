@@ -1,0 +1,115 @@
+"""Golden-equivalence tests for the experiment-API refactor.
+
+Two guarantees:
+
+1. Every pre-refactor CLI command emits byte-identical output to the
+   golden transcripts captured from the seed tree (``tests/golden/``).
+2. ``repro.api.run(spec)`` reproduces the same Table 1 / Figure 5 /
+   Figure 7 numbers as wiring the underlying layers together by hand,
+   the way the pre-refactor CLI did.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.utilization import figure5b_layout, rack_utilization
+from repro.api import (
+    FabricSession,
+    FailurePlan,
+    ScenarioSpec,
+    figure5b_slices,
+    figure6_slices,
+    run,
+    table1_slices,
+)
+from repro.cli import main
+from repro.collectives.primitives import Interconnect, reduce_scatter_cost
+from repro.core.fabric import LightpathRackFabric
+from repro.core.repair import plan_optical_repair
+from repro.topology.slices import SliceAllocator
+from repro.topology.torus import Torus
+from repro.topology.tpu import TpuRack
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# (golden file, argv, expected exit code) for every pre-refactor command.
+GOLDEN_COMMANDS = [
+    ("capabilities", ["capabilities"], 0),
+    ("figure3a", ["figure3a"], 0),
+    ("figure3b", ["figure3b"], 0),
+    ("table1", ["table1"], 0),
+    ("table2", ["table2"], 0),
+    ("figure5", ["figure5"], 0),
+    ("figure6a", ["figure6a"], 0),
+    ("figure7", ["figure7"], 0),
+    ("blast-radius", ["blast-radius"], 0),
+]
+
+
+class TestCliGolden:
+    @pytest.mark.parametrize(
+        "name,argv,code", GOLDEN_COMMANDS, ids=[c[0] for c in GOLDEN_COMMANDS]
+    )
+    def test_output_is_byte_identical_to_seed(self, capsys, name, argv, code):
+        golden = (GOLDEN_DIR / f"{name}.txt").read_text()
+        assert main(argv) == code
+        assert capsys.readouterr().out == golden
+
+
+class TestApiEquivalence:
+    def test_table1_costs_match_direct_cost_model(self):
+        session = FabricSession()
+        spec = ScenarioSpec(slices=table1_slices(), outputs=("costs",))
+        results = session.compare(spec, fabrics=("electrical", "photonic"))
+
+        slc = next(
+            s for s in session.allocator(spec).slices if s.name == "Slice-1"
+        )
+        for fabric, interconnect in (
+            ("electrical", Interconnect.ELECTRICAL),
+            ("photonic", Interconnect.OPTICAL),
+        ):
+            expected = reduce_scatter_cost(slc, interconnect)
+            got = results[fabric].costs.by_name("Slice-1").cost
+            assert got == expected
+
+    def test_figure5_utilization_matches_direct_layout(self):
+        result = run(ScenarioSpec(
+            slices=figure5b_slices(), outputs=("utilization",),
+        ))
+        expected = rack_utilization(figure5b_layout())
+        assert len(result.utilization) == len(expected)
+        for got, want in zip(result.utilization, expected):
+            assert got.name == want.name
+            assert got.shape == want.shape
+            assert got.electrical_fraction == want.electrical_fraction
+            assert got.optical_fraction == want.optical_fraction
+
+    def test_figure7_repair_matches_direct_planner(self):
+        failed = (1, 2, 0)
+        result = run(ScenarioSpec(
+            fabric="photonic",
+            slices=figure6_slices(),
+            outputs=("repair",),
+            failures=FailurePlan(failed_chips=(failed,)),
+        ))
+
+        rack = TpuRack(0, shape=(4, 4, 4))
+        fabric = LightpathRackFabric(rack)
+        allocator = SliceAllocator(Torus((4, 4, 4)))
+        for entry in figure6_slices():
+            allocator.allocate(entry.name, entry.shape, entry.offset)
+        rack.fail_chip(failed)
+        plan = plan_optical_repair(
+            fabric, allocator, allocator.slice_of(failed), failed
+        )
+
+        repair = result.repair
+        assert repair.feasible
+        assert repair.replacement == plan.replacement
+        assert repair.fibers_used == plan.fibers_used
+        assert repair.setup_latency_s == plan.setup_latency_s
+        assert len(repair.circuits) == len(plan.circuits)
+        for got, circuit in zip(repair.circuits, plan.circuits):
+            assert (got.src, got.dst) == (circuit.src, circuit.dst)

@@ -78,3 +78,52 @@ class TestCommands:
         assert main(["blast-radius", "--days", "30", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "improvement: 16x" in out
+
+
+class TestVersion:
+    def test_version_flag_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.strip().split()[-1].count(".") == 2
+
+    def test_version_matches_package_metadata(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_new_commands_parse(self):
+        parser = build_parser()
+        for command in (
+            ["congestion"],
+            ["congestion", "--fabric", "switched"],
+            ["simulate"],
+            ["simulate", "--fabric", "electrical", "--buffer-mib", "8"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+    def test_congestion_default_is_electrical(self, capsys):
+        assert main(["congestion"]) == 0
+        out = capsys.readouterr().out
+        assert "shared" in out.lower()
+
+    def test_congestion_switched_reports_contention(self, capsys):
+        assert main(["congestion", "--fabric", "switched"]) == 0
+        assert "contention" in capsys.readouterr().out.lower()
+
+    def test_simulate_photonic(self, capsys):
+        assert main(["simulate", "--buffer-mib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Slice-1" in out
+
+    def test_unknown_fabric_is_a_clean_error(self, capsys):
+        assert main(["congestion", "--fabric", "warpdrive"]) != 0
+        err = capsys.readouterr().err
+        assert "warpdrive" in err

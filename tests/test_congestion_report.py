@@ -1,7 +1,5 @@
 """Tests for the cross-tenant congestion report (Figure 5b)."""
 
-import pytest
-
 from repro.analysis.congestion_report import (
     analyze_rack_congestion,
     congestion_multiplicity_histogram,

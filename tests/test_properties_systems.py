@@ -23,7 +23,6 @@ class TestPlacementProperties:
     )
     @settings(max_examples=40, deadline=None)
     def test_policies_never_overlap_slices(self, sizes):
-        rack = Torus((4, 4, 4))
         requests = [
             PlacementRequest(f"t{i}", chips) for i, chips in enumerate(sizes)
         ]

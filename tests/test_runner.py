@@ -101,3 +101,49 @@ class TestConcurrentSchedules:
         results = run_concurrent_schedules(schedules, caps)
         assert results[0].name == schedules[0].name
         assert results[1].name == schedules[1].name
+
+
+class TestConcurrentEdgeCases:
+    def test_empty_schedule_list_returns_empty(self, rack):
+        caps = capacities(rack, CHIP_EGRESS_BYTES)
+        assert run_concurrent_schedules([], caps) == []
+
+    def test_empty_schedule_list_ignores_capacities(self):
+        assert run_concurrent_schedules([], {}) == []
+
+    def test_single_zero_byte_phase(self, rack):
+        # A phase whose only transfer carries zero bytes moves no data but
+        # still charges the per-step alpha overhead.
+        from repro.collectives.schedule import CollectiveSchedule, Phase, Transfer
+
+        alpha = 1e-6
+        transfer = Transfer(
+            src=(0, 0, 0),
+            dst=(1, 0, 0),
+            n_bytes=0.0,
+            path=((0, 0, 0), (1, 0, 0)),
+            owner="idle",
+        )
+        schedule = CollectiveSchedule("zero", [Phase([transfer], label="z0")])
+        caps = capacities(rack, CHIP_EGRESS_BYTES)
+        [result] = run_concurrent_schedules([schedule], caps, alpha_s=alpha)
+        assert result.transfer_s == pytest.approx(0.0)
+        assert tuple(result.phase_durations_s) == (pytest.approx(0.0),)
+        assert result.alpha_s == pytest.approx(alpha)
+        assert result.duration_s == pytest.approx(alpha)
+
+    def test_zero_byte_phase_does_not_delay_other_tenant(self, rack):
+        from repro.collectives.schedule import CollectiveSchedule, Phase, Transfer
+
+        zero = CollectiveSchedule(
+            "zero",
+            [Phase([Transfer((0, 0, 0), (1, 0, 0), 0.0,
+                             ((0, 0, 0), (1, 0, 0)))])],
+        )
+        slc = Slice(name="b", rack=rack, offset=(0, 2, 2), shape=(4, 1, 1))
+        busy = build_reduce_scatter_schedule(slc, 1 << 20, Interconnect.ELECTRICAL)
+        caps = capacities(rack, CHIP_EGRESS_BYTES / 3)
+        solo = run_schedule(busy, caps)
+        zero_result, busy_result = run_concurrent_schedules([zero, busy], caps)
+        assert busy_result.duration_s == pytest.approx(solo.duration_s, rel=1e-6)
+        assert zero_result.transfer_s == pytest.approx(0.0)

@@ -61,7 +61,7 @@ class TestPhase:
         transfer = t((0,), (2,), n=100.0, path=((0,), (1,), (2,)))
         bw = {Link((0,), (1,)): 100.0, Link((1,), (2,)): 10.0}
         phase = Phase(transfers=[transfer])
-        assert phase.duration_s(lambda l: bw[l], 0.0, 0.0) == pytest.approx(10.0)
+        assert phase.duration_s(lambda link: bw[link], 0.0, 0.0) == pytest.approx(10.0)
 
     def test_zero_bandwidth_rejected(self):
         phase = Phase(transfers=[t((0,), (1,), n=1.0)])
@@ -93,7 +93,7 @@ class TestSchedule:
         schedule = CollectiveSchedule(name="s")
         schedule.add_phase(Phase(transfers=[t((0,), (1,), n=10.0)]))
         schedule.add_phase(Phase(transfers=[t((0,), (1,), n=10.0)]))
-        assert schedule.duration_s(lambda l: 1.0, 0.0, 0.0) == pytest.approx(20.0)
+        assert schedule.duration_s(lambda link: 1.0, 0.0, 0.0) == pytest.approx(20.0)
 
     def test_all_links(self):
         schedule = CollectiveSchedule(name="s")

@@ -75,7 +75,7 @@ class TestRings:
         links = slc.ring_links(1)
         # 1 internal hop + 3-link wrap back through y=2,3.
         assert len(links) == 4
-        foreign = [l for l in links if not slc.contains(l.dst)]
+        foreign = [link for link in links if not slc.contains(link.dst)]
         assert foreign  # the Figure 5b congestion mechanism
 
     def test_physical_hop_adjacent(self, rack):
