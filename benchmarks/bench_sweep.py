@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Measure the sweep engine and record the numbers to BENCH_sweep.json.
+
+Runs the same >=32-spec repair grid three ways — serially, with
+``--jobs`` worker processes, and again from a warm persistent cache — and
+writes wall-clock times, speedups and the cache hit rate (plus the
+hardware context needed to interpret them) to ``BENCH_sweep.json`` at the
+repository root. Also verifies the engine's byte-identical contract
+across all three runs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_sweep.py [--jobs 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import FailurePlan, ScenarioSpec, figure6_slices, run_many
+
+
+def build_grid(placements: int) -> list[ScenarioSpec]:
+    """Failed-chip placements in Slice-3 x both fabrics, repair output."""
+    chips = [(x, y, 0) for x in range(4) for y in range(4)][:placements]
+    return [
+        ScenarioSpec(
+            fabric=fabric,
+            slices=figure6_slices(),
+            outputs=("repair",),
+            failures=FailurePlan(failed_chips=(chip,)),
+        )
+        for fabric in ("electrical", "photonic")
+        for chip in chips
+    ]
+
+
+def canonical(sweep) -> str:
+    return json.dumps(sweep.to_dict(include_timing=False), sort_keys=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--placements", type=int, default=16)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_sweep.json"),
+    )
+    args = parser.parse_args(argv)
+
+    specs = build_grid(args.placements)
+    print(f"grid: {len(specs)} repair specs, jobs={args.jobs}", flush=True)
+
+    serial = run_many(specs, no_cache=True)
+    print(f"serial:     {serial.wall_clock_s:.2f} s", flush=True)
+
+    parallel = run_many(specs, jobs=args.jobs, no_cache=True)
+    print(f"parallel:   {parallel.wall_clock_s:.2f} s "
+          f"({serial.wall_clock_s / parallel.wall_clock_s:.2f}x)", flush=True)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cold = run_many(specs, jobs=args.jobs, cache_dir=cache_dir)
+        warm = run_many(specs, cache_dir=cache_dir)
+    print(f"warm cache: {warm.wall_clock_s:.3f} s "
+          f"({serial.wall_clock_s / max(warm.wall_clock_s, 1e-9):.0f}x, "
+          f"hit rate {warm.cache_stats.hit_rate:.0%})", flush=True)
+
+    byte_identical = (
+        canonical(serial) == canonical(parallel) == canonical(cold)
+        == canonical(warm)
+    )
+    if not byte_identical:
+        print("ERROR: outputs differ between execution modes", file=sys.stderr)
+        return 1
+
+    payload = {
+        "grid": {
+            "specs": len(specs),
+            "unique_specs": serial.unique_specs,
+            "placements": args.placements,
+            "fabrics": ["electrical", "photonic"],
+            "outputs": ["repair"],
+        },
+        "serial_s": round(serial.wall_clock_s, 4),
+        "parallel_s": round(parallel.wall_clock_s, 4),
+        "warm_cache_s": round(warm.wall_clock_s, 4),
+        "jobs": args.jobs,
+        "parallel_speedup": round(
+            serial.wall_clock_s / parallel.wall_clock_s, 3
+        ),
+        "warm_cache_speedup": round(
+            serial.wall_clock_s / max(warm.wall_clock_s, 1e-9), 1
+        ),
+        "warm_cache_hit_rate": warm.cache_stats.hit_rate,
+        "byte_identical": byte_identical,
+        "environment": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+        },
+    }
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

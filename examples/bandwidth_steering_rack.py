@@ -3,7 +3,7 @@
 
 Walks the Figure 5b scenario end to end: four tenants share a TPUv4 rack,
 each runs a REDUCESCATTER over its slice, and we measure — on the
-discrete-event simulator, via the experiment API's ``sim`` mode — how
+discrete-event simulator, via the batch engine's ``sim`` specs — how
 long every tenant takes with (a) static electrical links and (b)
 LIGHTPATH wavelength steering. Also prints each slice's steering plan
 (which wavelengths move where and what the 3.7 us reprogramming buys).
@@ -12,7 +12,7 @@ Run:  python examples/bandwidth_steering_rack.py
 """
 
 from repro.analysis.tables import render_table
-from repro.api import FabricSession, ScenarioSpec, figure5b_slices
+from repro.api import FabricSession, ScenarioSpec, figure5b_slices, run_many
 from repro.collectives.primitives import Interconnect
 from repro.core.steering import plan_steering
 
@@ -53,9 +53,14 @@ def print_steering_plans() -> None:
 def main() -> None:
     print_steering_plans()
 
-    results = SESSION.compare(SPEC, fabrics=("electrical", "photonic"))
-    electrical = results["electrical"].telemetry.schedules
-    optical = results["photonic"].telemetry.schedules
+    # Both fabrics in one batch; the shared session keeps the steering
+    # plans above and the simulated runs on the same topology artifacts.
+    sweep = run_many(
+        [SPEC.with_fabric("electrical"), SPEC.with_fabric("photonic")],
+        session=SESSION,
+    )
+    electrical = sweep.results[0].telemetry.schedules
+    optical = sweep.results[1].telemetry.schedules
 
     rows = []
     for entry, e, o in zip(SPEC.slices, electrical, optical):

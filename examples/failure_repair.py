@@ -3,8 +3,9 @@
 
 Reproduces the paper's Figures 6a and 7 on one rack through the
 experiment API: the same :class:`repro.api.ScenarioSpec` (one failed TPU
-in Slice-3) is evaluated by the electrical backend — whose exhaustive
-replacement analysis shows every path congests a neighbouring tenant —
+in Slice-3) is evaluated — in a single :func:`repro.api.run_many`
+batch — by the electrical backend, whose exhaustive
+replacement analysis shows every path congests a neighbouring tenant,
 and by the photonic backend, which splices a free chip into the broken
 rings with dedicated circuits in 3.7 us. Finishes with the fleet-scale
 blast-radius comparison of Section 4.2.
@@ -13,7 +14,7 @@ Run:  python examples/failure_repair.py
 """
 
 from repro.analysis.tables import render_table
-from repro.api import FailurePlan, ScenarioSpec, compare, figure6_slices, run
+from repro.api import FailurePlan, ScenarioSpec, figure6_slices, run_many
 
 FAILED = (1, 2, 0)
 
@@ -56,12 +57,14 @@ def optical_repair(repair) -> None:
           f"blast radius: {repair.blast_radius_chips} chip")
 
 
-def fleet_blast_radius() -> None:
-    result = run(ScenarioSpec(
-        fabric="photonic",
-        outputs=("blast_radius",),
-        failures=FailurePlan(fleet_days=90, seed=7),
-    ))
+BLAST_RADIUS_SPEC = ScenarioSpec(
+    fabric="photonic",
+    outputs=("blast_radius",),
+    failures=FailurePlan(fleet_days=90, seed=7),
+)
+
+
+def fleet_blast_radius(result) -> None:
     rack = result.blast_radius.rack_policy
     optical = result.blast_radius.optical_policy
     print(render_table(
@@ -81,10 +84,16 @@ def fleet_blast_radius() -> None:
 
 
 def main() -> None:
-    results = compare(SPEC, fabrics=("electrical", "photonic"))
-    electrical_attempt(results["electrical"].repair)
-    optical_repair(results["photonic"].repair)
-    fleet_blast_radius()
+    # All three experiments go through one batch call; independent specs
+    # like these are exactly what run_many(jobs=N) parallelizes.
+    sweep = run_many([
+        SPEC.with_fabric("electrical"),
+        SPEC.with_fabric("photonic"),
+        BLAST_RADIUS_SPEC,
+    ])
+    electrical_attempt(sweep.results[0].repair)
+    optical_repair(sweep.results[1].repair)
+    fleet_blast_radius(sweep.results[2])
 
 
 if __name__ == "__main__":

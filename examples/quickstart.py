@@ -3,15 +3,18 @@
 
 Builds a LIGHTPATH wafer, establishes an optical circuit, then describes
 the remaining experiments as :class:`repro.api.ScenarioSpec` values and
-evaluates them with :func:`repro.api.run`: the Figure 5c bandwidth
-utilization of the Figure 5b rack, Table 1, and the Figure 7 optical
-repair of a failed TPU.
+evaluates them all with one :func:`repro.api.run_many` batch: the
+Figure 5c bandwidth utilization of the Figure 5b rack, Table 1 on both
+fabrics, and the Figure 7 optical repair of a failed TPU. The batch
+engine deduplicates the specs and can fan them across worker processes
+(``jobs=4``) or a persistent cache (``cache_dir=...``) without touching
+this script.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.analysis.tables import cost_row, render_table
-from repro.api import FailurePlan, ScenarioSpec, SliceSpec, compare, run
+from repro.api import FailurePlan, RunResult, ScenarioSpec, SliceSpec, run_many
 from repro.api import figure5b_slices, table1_slices
 from repro.core.circuits import CircuitManager
 from repro.core.wafer import LightpathWafer
@@ -40,11 +43,25 @@ def step2_circuit() -> None:
           f"setup {circuit.setup_latency_s * 1e6:.1f} us")
 
 
-def step3_utilization() -> None:
+UTILIZATION_SPEC = ScenarioSpec(
+    slices=figure5b_slices(), outputs=("utilization",),
+)
+
+TABLE1_SPEC = ScenarioSpec(slices=table1_slices(), outputs=("costs",))
+
+REPAIR_SPEC = ScenarioSpec(
+    fabric="photonic",
+    slices=(
+        SliceSpec("Slice-3", (4, 4, 1), (0, 0, 0)),
+        SliceSpec("Slice-4", (4, 4, 2), (0, 0, 1)),
+    ),
+    outputs=("repair",),
+    failures=FailurePlan(failed_chips=((1, 2, 0),)),
+)
+
+
+def step3_utilization(result: RunResult) -> None:
     """Figure 5c: what each tenant of the Figure 5b rack can actually use."""
-    result = run(ScenarioSpec(
-        slices=figure5b_slices(), outputs=("utilization",),
-    ))
     print(render_table(
         ["slice", "shape", "electrical", "optical", "loss"],
         [
@@ -61,11 +78,10 @@ def step3_utilization() -> None:
     ))
 
 
-def step4_table1() -> None:
+def step4_table1(electrical_result: RunResult, optical_result: RunResult) -> None:
     """Table 1: REDUCESCATTER costs of Slice-1, electrical vs photonic."""
-    results = compare(ScenarioSpec(slices=table1_slices(), outputs=("costs",)))
-    electrical = results["electrical"].costs.by_name("Slice-1").cost
-    optical = results["photonic"].costs.by_name("Slice-1").cost
+    electrical = electrical_result.costs.by_name("Slice-1").cost
+    optical = optical_result.costs.by_name("Slice-1").cost
     print(render_table(
         ["slice", "elec a", "optics a", "elec b", "optics b", "ratio"],
         [cost_row("Slice-1", electrical, optical)],
@@ -73,17 +89,8 @@ def step4_table1() -> None:
     ))
 
 
-def step5_repair() -> None:
+def step5_repair(result: RunResult) -> None:
     """Figure 7: splice a free TPU into the broken rings optically."""
-    result = run(ScenarioSpec(
-        fabric="photonic",
-        slices=(
-            SliceSpec("Slice-3", (4, 4, 1), (0, 0, 0)),
-            SliceSpec("Slice-4", (4, 4, 2), (0, 0, 1)),
-        ),
-        outputs=("repair",),
-        failures=FailurePlan(failed_chips=((1, 2, 0),)),
-    ))
     repair = result.repair
     print("\n5) Figure 7 — optical repair:")
     print(f"   failed {repair.failed} -> replacement {repair.replacement}")
@@ -95,9 +102,18 @@ def step5_repair() -> None:
 def main() -> None:
     step1_wafer()
     step2_circuit()
-    step3_utilization()
-    step4_table1()
-    step5_repair()
+    # Steps 3-5 are one batch: run_many dedupes the specs and evaluates
+    # them on a shared session (pass jobs=4 to fan out over processes).
+    sweep = run_many([
+        UTILIZATION_SPEC,
+        TABLE1_SPEC.with_fabric("electrical"),
+        TABLE1_SPEC.with_fabric("photonic"),
+        REPAIR_SPEC,
+    ])
+    utilization, table1_elec, table1_opt, repair = sweep.results
+    step3_utilization(utilization)
+    step4_table1(table1_elec, table1_opt)
+    step5_repair(repair)
 
 
 if __name__ == "__main__":

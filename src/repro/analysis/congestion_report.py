@@ -92,9 +92,15 @@ def analyze_rack_congestion(
             label = f"{slc.name}/dim{dim}"
             for link in links:
                 usage.setdefault(link, []).append(label)
+    # Sort on the coordinate tuples directly: same order as Link's
+    # field-wise dataclass ordering, but compared in C instead of through
+    # thousands of generated __lt__ calls (this sort is on the sweep hot
+    # path).
     shared = tuple(
         SharedLink(link=link, users=tuple(sorted(users)))
-        for link, users in sorted(usage.items(), key=lambda kv: kv[0])
+        for link, users in sorted(
+            usage.items(), key=lambda kv: (kv[0].src, kv[0].dst)
+        )
         if len(users) > 1
     )
     shared_set = {s.link for s in shared}

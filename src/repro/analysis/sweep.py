@@ -4,16 +4,28 @@ The benches and examples repeatedly sweep the same axes — buffer size,
 slice shape, reconfiguration delay — and tabulate electrical-vs-optical
 outcomes. These helpers build those series once, with explicit dataclass
 rows, so the output of every sweep is self-describing.
+
+Both sweeps are routed through the batch execution engine
+(:func:`repro.api.run_many`): each grid point becomes a frozen
+:class:`~repro.api.spec.ScenarioSpec` evaluated by the electrical and
+photonic backends, so sweeps dedupe repeated points, can fan out over
+worker processes, and hit the persistent result cache. Passing a custom
+:class:`~repro.collectives.cost_model.CostParameters` falls back to the
+direct closed-form evaluation (the API backends ground costs at the
+default parameters).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..collectives.cost_model import CostParameters
 from ..collectives.primitives import Interconnect, reduce_scatter_cost
-from ..topology.slices import Slice, SliceAllocator
-from ..topology.torus import Torus
+from ..topology.slices import Slice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api.session import FabricSession
 
 __all__ = [
     "BufferSweepPoint",
@@ -52,25 +64,68 @@ def buffer_size_sweep(
     slc: Slice,
     sizes: list[int],
     params: CostParameters | None = None,
+    *,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    no_cache: bool = False,
+    session: FabricSession | None = None,
 ) -> list[BufferSweepPoint]:
     """REDUCESCATTER time vs buffer size for one slice, both interconnects.
+
+    With default cost parameters the sweep runs on the batch engine: one
+    spec per (size, fabric) grid point through :func:`repro.api.run_many`,
+    honoring ``jobs``/``cache_dir``/``no_cache``. A custom ``params``
+    evaluates the closed-form costs directly instead.
 
     Raises:
         ValueError: on an empty or non-positive size list.
     """
     if not sizes or any(s <= 0 for s in sizes):
         raise ValueError("sizes must be positive")
-    params = params or CostParameters()
-    electrical = reduce_scatter_cost(slc, Interconnect.ELECTRICAL)
-    optical = reduce_scatter_cost(slc, Interconnect.OPTICAL)
-    return [
-        BufferSweepPoint(
-            n_bytes=size,
-            electrical_s=electrical.seconds(size, params),
-            optical_s=optical.seconds(size, params),
+    if params is not None:
+        electrical = reduce_scatter_cost(slc, Interconnect.ELECTRICAL)
+        optical = reduce_scatter_cost(slc, Interconnect.OPTICAL)
+        return [
+            BufferSweepPoint(
+                n_bytes=size,
+                electrical_s=electrical.seconds(size, params),
+                optical_s=optical.seconds(size, params),
+            )
+            for size in sizes
+        ]
+    # Imported lazily: repro.api.session imports repro.analysis, so a
+    # module-level import here would close an import cycle.
+    from ..api.batch import run_many
+    from ..api.spec import ScenarioSpec, SliceSpec
+
+    tenant = SliceSpec(name=slc.name, shape=slc.shape, offset=slc.offset)
+    specs = [
+        ScenarioSpec(
+            fabric=fabric,
+            rack_shape=slc.rack.shape,
+            slices=(tenant,),
+            buffer_bytes=size,
+            outputs=("costs",),
         )
         for size in sizes
+        for fabric in ("electrical", "photonic")
     ]
+    sweep = run_many(
+        specs, jobs=jobs, cache_dir=cache_dir, no_cache=no_cache, session=session
+    )
+    results = sweep.results
+    points = []
+    for i, size in enumerate(sizes):
+        electrical_line = results[2 * i].costs.by_name(slc.name)
+        optical_line = results[2 * i + 1].costs.by_name(slc.name)
+        points.append(
+            BufferSweepPoint(
+                n_bytes=size,
+                electrical_s=electrical_line.seconds,
+                optical_s=optical_line.seconds,
+            )
+        )
+    return points
 
 
 @dataclass(frozen=True)
@@ -82,37 +137,99 @@ class ShapeSweepPoint:
         chips: chip count.
         electrical_utilization: usable bandwidth fraction, static links.
         beta_advantage: electrical-over-optical beta factor ratio.
+        skipped: reason the shape was not evaluated (``None`` for a
+            normal row); skipped rows carry zero utilization/advantage.
     """
 
     shape: tuple[int, ...]
     chips: int
     electrical_utilization: float
     beta_advantage: float
+    skipped: str | None = None
 
 
 def slice_shape_sweep(
     shapes: list[tuple[int, ...]],
     rack_shape: tuple[int, ...] = (4, 4, 4),
+    *,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    no_cache: bool = False,
+    session: FabricSession | None = None,
 ) -> list[ShapeSweepPoint]:
     """Sweep slice shapes on a fresh rack, reporting the optics advantage.
 
-    Shapes with a single chip are skipped (no collective to run).
+    Every requested shape yields exactly one row, in input order. Shapes
+    with a single chip have no collective to run; instead of silently
+    dropping them the row is returned with ``skipped`` set to the reason
+    (an earlier version dropped such rows, which made a sweep's output
+    misaligned with its input grid).
+
+    Raises:
+        ValueError: if *every* requested shape is skipped (the sweep
+            would carry no data), or on an empty shape list.
     """
-    rack = Torus(rack_shape)
+    if not shapes:
+        raise ValueError("shapes must be non-empty")
+    origin = tuple(0 for _ in rack_shape)
+    evaluated = [
+        shape for shape in shapes if _chip_count(shape) >= 2
+    ]
+    if not evaluated:
+        raise ValueError(
+            f"all {len(shapes)} requested shapes are single-chip; "
+            "nothing to sweep"
+        )
+    from ..api.batch import run_many
+    from ..api.spec import ScenarioSpec, SliceSpec
+
+    specs = [
+        ScenarioSpec(
+            fabric=fabric,
+            rack_shape=rack_shape,
+            slices=(SliceSpec("sweep", shape, origin),),
+            outputs=("costs", "utilization"),
+        )
+        for shape in evaluated
+        for fabric in ("electrical", "photonic")
+    ]
+    sweep = run_many(
+        specs, jobs=jobs, cache_dir=cache_dir, no_cache=no_cache, session=session
+    )
+    results = sweep.results
+    by_shape: dict[tuple[int, ...], ShapeSweepPoint] = {}
+    for i, shape in enumerate(evaluated):
+        electrical = results[2 * i]
+        optical = results[2 * i + 1]
+        electrical_cost = electrical.costs.by_name("sweep").cost
+        optical_cost = optical.costs.by_name("sweep").cost
+        row = electrical.utilization[0]
+        by_shape[tuple(shape)] = ShapeSweepPoint(
+            shape=tuple(shape),
+            chips=row.chips,
+            electrical_utilization=row.electrical_fraction,
+            beta_advantage=electrical_cost.beta_factor / optical_cost.beta_factor,
+        )
     points = []
     for shape in shapes:
-        allocator = SliceAllocator(rack)
-        slc = allocator.allocate("sweep", shape, tuple(0 for _ in rack_shape))
-        if slc.chip_count < 2:
-            continue
-        electrical = reduce_scatter_cost(slc, Interconnect.ELECTRICAL)
-        optical = reduce_scatter_cost(slc, Interconnect.OPTICAL)
-        points.append(
-            ShapeSweepPoint(
-                shape=shape,
-                chips=slc.chip_count,
-                electrical_utilization=slc.electrical_utilization(),
-                beta_advantage=electrical.beta_factor / optical.beta_factor,
+        shape = tuple(shape)
+        if shape in by_shape:
+            points.append(by_shape[shape])
+        else:
+            points.append(
+                ShapeSweepPoint(
+                    shape=shape,
+                    chips=1,
+                    electrical_utilization=0.0,
+                    beta_advantage=0.0,
+                    skipped="single-chip slice: no collective to run",
+                )
             )
-        )
     return points
+
+
+def _chip_count(shape: tuple[int, ...]) -> int:
+    count = 1
+    for ext in shape:
+        count *= int(ext)
+    return count

@@ -8,6 +8,11 @@ built-in ``electrical``, ``photonic`` and ``switched`` backends wrap the
 existing models, and third parties add their own with
 :func:`register_backend` — selected by ``ScenarioSpec.fabric`` with no
 caller changes.
+
+Sweeps scale out through the batch layer: :func:`run_many` fans a list
+of specs (or a :class:`SweepPlan` grid) across worker processes and a
+persistent content-addressed :class:`DiskResultCache`, so repeated
+sweeps hit disk instead of recomputing.
 """
 
 from .backends import (
@@ -20,6 +25,17 @@ from .backends import (
     create_backend,
     register_backend,
     unregister_backend,
+)
+from .batch import SpecRun, SweepPlan, SweepResult, run_many
+from .cache import (
+    CacheStats,
+    DiskResultCache,
+    MemoryResultCache,
+    NullResultCache,
+    ResultCache,
+    code_fingerprint,
+    default_cache_dir,
+    spec_key,
 )
 from .result import (
     AttemptLine,
@@ -66,6 +82,20 @@ __all__ = [
     "run",
     "compare",
     "default_session",
+    # batch execution
+    "SweepPlan",
+    "SpecRun",
+    "SweepResult",
+    "run_many",
+    # caching
+    "CacheStats",
+    "ResultCache",
+    "MemoryResultCache",
+    "DiskResultCache",
+    "NullResultCache",
+    "spec_key",
+    "code_fingerprint",
+    "default_cache_dir",
     # backends
     "FabricBackend",
     "ElectricalBackend",

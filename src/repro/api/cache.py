@@ -1,0 +1,225 @@
+"""Result caches: content-addressed storage for evaluated scenarios.
+
+A :class:`~repro.api.spec.ScenarioSpec` is frozen and JSON-serializable,
+so its canonical JSON form yields a *stable, layout-independent content
+key* (:func:`spec_key`): two structurally equal specs map to the same
+key no matter how they were built, in which process, or under which
+``PYTHONHASHSEED``. The session memoization and the persistent on-disk
+cache both store results under this key, which is what lets a sweep
+started in one process be finished from another's cache.
+
+Backends implement the tiny :class:`ResultCache` protocol:
+
+* :class:`MemoryResultCache` — a per-process dict; the default session
+  backend (PR 1's memoization, now keyed consistently).
+* :class:`DiskResultCache` — a persistent content-addressed store under
+  ``~/.cache/repro`` (or any directory), namespaced by a code/version
+  fingerprint so stale entries are never served across releases. Writes
+  are atomic (temp file + ``os.replace``), so concurrent sweep workers
+  sharing a cache directory cannot corrupt entries; corrupt or truncated
+  files read as misses and are rewritten.
+* :class:`NullResultCache` — bypasses both reads and writes
+  (``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from .result import RunResult
+from .spec import ScenarioSpec
+
+__all__ = [
+    "spec_key",
+    "code_fingerprint",
+    "default_cache_dir",
+    "CacheStats",
+    "ResultCache",
+    "MemoryResultCache",
+    "DiskResultCache",
+    "NullResultCache",
+]
+
+
+@lru_cache(maxsize=65536)
+def _spec_key_cached(spec: ScenarioSpec) -> str:
+    canonical = json.dumps(
+        spec.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def spec_key(spec: ScenarioSpec) -> str:
+    """Stable content hash of a spec (hex sha256 of its canonical JSON).
+
+    The key depends only on the spec's *contents*, not on object identity,
+    dict ordering, or the process that computes it — the property the
+    on-disk cache and cross-process sweep workers rely on. Memoized on the
+    (frozen, hashable) spec: two structurally equal spec objects share one
+    cache slot, and repeated session lookups skip re-serialization.
+    """
+    return _spec_key_cached(spec)
+
+
+def code_fingerprint() -> str:
+    """Fingerprint of the code that produced a cached result.
+
+    Cached results are only valid for the code that computed them; the
+    fingerprint namespaces the disk cache so a version bump invalidates
+    every old entry without touching the filesystem. Reads the package
+    version lazily so tests (and editable installs) see updates.
+    """
+    import repro
+
+    raw = f"repro-{repro.__version__}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def default_cache_dir() -> Path:
+    """The persistent cache location: ``$REPRO_CACHE_DIR``, else
+    ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro"
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters and evaluation time of one session or sweep.
+
+    Attributes:
+        hits: results served from the cache.
+        misses: results that had to be evaluated.
+        eval_seconds: wall-clock seconds spent evaluating misses.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    eval_seconds: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "eval_seconds": self.eval_seconds,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@runtime_checkable
+class ResultCache(Protocol):
+    """Where a session stores evaluated results, keyed by :func:`spec_key`."""
+
+    def get(self, key: str) -> RunResult | None:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        ...
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key``."""
+        ...
+
+
+class MemoryResultCache:
+    """Per-process dict cache; preserves result object identity on hits."""
+
+    def __init__(self) -> None:
+        self._results: dict[str, RunResult] = {}
+
+    def get(self, key: str) -> RunResult | None:
+        return self._results.get(key)
+
+    def put(self, key: str, result: RunResult) -> None:
+        self._results[key] = result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+class NullResultCache:
+    """A cache that never stores anything (``--no-cache``)."""
+
+    def get(self, key: str) -> RunResult | None:
+        return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        pass
+
+
+class DiskResultCache:
+    """Persistent content-addressed result store.
+
+    Entries live at ``root/<fingerprint>/<key[:2]>/<key>.json`` where the
+    fingerprint is :func:`code_fingerprint` — results computed by one
+    package version are invisible to another. The payload is the
+    ``RunResult`` JSON that already round-trips losslessly, so a disk hit
+    reproduces the evaluated result byte-for-byte when re-serialized.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / code_fingerprint() / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> RunResult | None:
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+            return RunResult.from_json(text)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt or truncated entry (interrupted writer, disk fault):
+            # treat as a miss and drop it so the next put rewrites it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-to-temp + atomic rename: concurrent workers computing the
+        # same spec each produce a complete file; the last rename wins and
+        # readers never observe a partial entry.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(result.to_json())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        fingerprint_dir = self.root / code_fingerprint()
+        if not fingerprint_dir.is_dir():
+            return 0
+        return sum(1 for _ in fingerprint_dir.glob("*/*.json"))

@@ -21,6 +21,7 @@ Usage::
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 from ..analysis.congestion_report import (
@@ -32,6 +33,7 @@ from ..topology.electrical import ElectricalInterconnect
 from ..topology.slices import Slice, SliceAllocator
 from ..topology.torus import Torus
 from .backends import FabricBackend, UnsupportedOutput, create_backend
+from .cache import CacheStats, MemoryResultCache, ResultCache, spec_key
 from .result import RunResult, UtilizationRow
 from .spec import ScenarioSpec
 
@@ -41,18 +43,31 @@ __all__ = ["FabricSession", "run", "compare", "default_session"]
 class FabricSession:
     """Builds and caches the artifacts one or many specs need.
 
+    Evaluated results are stored in a pluggable :class:`ResultCache`
+    under the layout-independent content key of the spec
+    (:func:`~repro.api.cache.spec_key`), so the in-memory default and a
+    persistent :class:`~repro.api.cache.DiskResultCache` agree on what a
+    "repeat" is — including across processes and runs.
+
     Attributes:
+        result_cache: where evaluated results are stored; defaults to a
+            per-process :class:`~repro.api.cache.MemoryResultCache`.
         runs_executed: specs actually evaluated (cache misses) — lets
             callers verify memoization in sweeps.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, result_cache: ResultCache | None = None) -> None:
         self._backends: dict[str, FabricBackend] = {}
         self._tori: dict[tuple[int, ...], Torus] = {}
         self._allocators: dict[tuple, SliceAllocator] = {}
         self._electrical: dict[tuple[int, ...], ElectricalInterconnect] = {}
         self._congestion: dict[tuple, RackCongestionReport] = {}
-        self._results: dict[ScenarioSpec, RunResult] = {}
+        self.result_cache: ResultCache = (
+            result_cache if result_cache is not None else MemoryResultCache()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._eval_seconds = 0.0
         self.runs_executed = 0
 
     # -- memoized artifacts --------------------------------------------------------
@@ -127,14 +142,17 @@ class FabricSession:
     # -- execution ---------------------------------------------------------------
 
     def run(self, spec: ScenarioSpec) -> RunResult:
-        """Evaluate ``spec``, returning the memoized result on a repeat.
+        """Evaluate ``spec``, returning the cached result on a repeat.
 
         Raises:
             KeyError: for an unregistered fabric name.
             UnsupportedOutput: when the backend cannot produce a section.
         """
-        if spec in self._results:
-            return self._results[spec]
+        key = spec_key(spec)
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
         backend = self.backend(spec.fabric)
         methods = {
             "capabilities": "capability_rows",
@@ -145,6 +163,7 @@ class FabricSession:
             "blast_radius": "blast_radius",
             "device": "device_report",
         }
+        started = time.perf_counter()
         sections: dict[str, object] = {}
         for output in spec.outputs:
             if output == "utilization":
@@ -158,9 +177,19 @@ class FabricSession:
                 )
             sections[output] = method(self, spec)
         result = RunResult(spec=spec, fabric=backend.name, **sections)
-        self._results[spec] = result
+        self._eval_seconds += time.perf_counter() - started
+        self._misses += 1
         self.runs_executed += 1
+        self.result_cache.put(key, result)
         return result
+
+    def cache_stats(self) -> CacheStats:
+        """Result-cache hit/miss counters and evaluation seconds so far."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            eval_seconds=self._eval_seconds,
+        )
 
     def _utilization(self, spec: ScenarioSpec) -> tuple[UtilizationRow, ...]:
         """Figure 5c rows: both interconnects side by side, sorted by name."""

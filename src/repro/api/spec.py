@@ -13,7 +13,7 @@ stored, diffed, and replayed.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 __all__ = [
@@ -211,12 +211,48 @@ class ScenarioSpec:
     # -- serialization -----------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe representation; inverse of :meth:`from_dict`."""
-        data = asdict(self)
-        data["rack_shape"] = list(self.rack_shape)
-        data["slices"] = [asdict(s) for s in self.slices]
-        data["outputs"] = list(self.outputs)
-        return data
+        """JSON-safe representation; inverse of :meth:`from_dict`.
+
+        Built by hand rather than through :func:`dataclasses.asdict`:
+        the deep-copying generic walk dominated sweep profiles (every
+        cache lookup serializes the spec to compute its content key).
+        """
+        failures = self.failures
+        device = self.device
+        return {
+            "fabric": self.fabric,
+            "rack_shape": list(self.rack_shape),
+            "slices": [
+                {
+                    "name": s.name,
+                    "shape": list(s.shape),
+                    "offset": list(s.offset),
+                }
+                for s in self.slices
+            ],
+            "collective": self.collective,
+            "buffer_bytes": self.buffer_bytes,
+            "mode": self.mode,
+            "outputs": list(self.outputs),
+            "failures": {
+                "failed_chips": [list(c) for c in failures.failed_chips],
+                "max_hops": failures.max_hops,
+                "replacement": (
+                    list(failures.replacement)
+                    if failures.replacement is not None
+                    else None
+                ),
+                "fleet_days": failures.fleet_days,
+                "seed": failures.seed,
+            },
+            "device": {
+                "mzi_duration_s": device.mzi_duration_s,
+                "mzi_samples": device.mzi_samples,
+                "stitch_samples": device.stitch_samples,
+                "stitch_bins": device.stitch_bins,
+            },
+            "seed": self.seed,
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":

@@ -13,6 +13,7 @@ Usage::
     python -m repro blast-radius [--days 90]
     python -m repro congestion            # cross-tenant link sharing
     python -m repro simulate [--fabric photonic]
+    python -m repro sweep [--jobs 4] [--no-cache] [--cache-dir DIR]
 
 Every subcommand builds a :class:`repro.api.ScenarioSpec` and routes
 through :func:`repro.api.run`, so the CLI, the benches and the examples
@@ -26,6 +27,7 @@ module.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import api
@@ -282,6 +284,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shape(text: str) -> tuple[int, ...]:
+    """Parse an ``AxBxC`` extent string into an int tuple."""
+    try:
+        shape = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a shape like 4x2x1, got {text!r}"
+        ) from None
+    if not shape or any(s < 1 for s in shape):
+        raise argparse.ArgumentTypeError(
+            f"shape extents must be positive, got {text!r}"
+        )
+    return shape
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a scenario grid on the batch engine, printing deterministic JSON.
+
+    Stdout carries only the plan and the per-spec results — no timing, no
+    cache counters — so the output is byte-identical whether the sweep ran
+    serially, on ``--jobs N`` workers, or entirely from a warm cache (CI
+    diffs serial vs parallel output to hold the engine to this). Timing
+    and cache statistics go to stderr.
+    """
+    plan_kwargs = {}
+    if args.fabrics:
+        plan_kwargs["fabrics"] = tuple(args.fabrics)
+    if args.slice_shapes:
+        plan_kwargs["slice_shapes"] = tuple(args.slice_shapes)
+    if args.buffer_mib:
+        plan_kwargs["buffer_bytes"] = tuple(
+            mib * (1 << 20) for mib in args.buffer_mib
+        )
+    plan = api.SweepPlan(
+        rack_shape=args.rack_shape,
+        outputs=tuple(args.outputs) if args.outputs else ("costs",),
+        **plan_kwargs,
+    )
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = api.default_cache_dir()
+    sweep = api.run_many(
+        plan.specs(),
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        no_cache=args.no_cache,
+    )
+    payload = {"plan": plan.to_dict(), **sweep.to_dict(include_timing=False)}
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    stats = sweep.cache_stats
+    print(
+        f"swept {plan.size} specs ({sweep.unique_specs} unique) in "
+        f"{sweep.wall_clock_s:.3f} s with {sweep.jobs} job(s); "
+        f"cache: {stats.hits} hits, {stats.misses} misses",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -325,6 +389,44 @@ def build_parser() -> argparse.ArgumentParser:
     psim.add_argument("--fabric", default="photonic")
     psim.add_argument("--buffer-mib", type=int, default=64)
 
+    psw = sub.add_parser(
+        "sweep",
+        help="grid sweep (fabrics x slice shapes x buffer sizes), "
+        "parallel and cached",
+    )
+    psw.add_argument(
+        "--fabric", action="append", dest="fabrics", metavar="NAME",
+        help="backend to sweep (repeatable; default: electrical, photonic)",
+    )
+    psw.add_argument(
+        "--slice-shape", action="append", dest="slice_shapes",
+        type=_parse_shape, metavar="AxBxC",
+        help="slice shape to sweep (repeatable; default: 4x2x1 4x4x1 4x4x2)",
+    )
+    psw.add_argument(
+        "--buffer-mib", action="append", type=int, metavar="MIB",
+        help="buffer size in MiB (repeatable; default: 64)",
+    )
+    psw.add_argument(
+        "--rack-shape", type=_parse_shape, default=(4, 4, 4), metavar="AxBxC"
+    )
+    psw.add_argument(
+        "--outputs", action="append", choices=api.KNOWN_OUTPUTS,
+        help="result section to compute (repeatable; default: costs)",
+    )
+    psw.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (0 = all CPUs; default: 1, serial)",
+    )
+    psw.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache (reads and writes)",
+    )
+    psw.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache location (default: ~/.cache/repro)",
+    )
+
     return parser
 
 
@@ -340,6 +442,7 @@ _HANDLERS = {
     "blast-radius": _cmd_blast_radius,
     "congestion": _cmd_congestion,
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
 }
 
 

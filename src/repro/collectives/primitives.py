@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 from ..topology.slices import Slice
 from .bucket import bucket_reduce_scatter_schedule
@@ -147,20 +148,53 @@ def plan_reduce_scatter(
     )
 
 
+@lru_cache(maxsize=4096)
+def _stage_costs_for_geometry(
+    slice_shape: tuple[int, ...],
+    rack_shape: tuple[int, ...],
+    chip_count: int,
+    interconnect: Interconnect,
+    wired_dims: int | None,
+) -> tuple[CollectiveCost, ...]:
+    """Memoized per-stage costs for one slice geometry.
+
+    The strategy (and hence the cost) is a pure function of the slice
+    shape, the rack shape, and the interconnect, so sweeps that rebuild
+    allocators per spec — or per worker process — still pay strategy
+    selection once per distinct geometry. ``CollectiveCost`` is frozen,
+    making the shared values safe.
+    """
+    # A throwaway Slice at the origin reproduces the geometry: strategy
+    # selection only reads shape-derived dimension sets, never offsets.
+    from ..topology.torus import Torus
+
+    slc = Slice(
+        name="_cost",
+        rack=Torus(rack_shape),
+        offset=tuple(0 for _ in rack_shape),
+        shape=slice_shape,
+    )
+    strategy = plan_reduce_scatter(slc, interconnect, wired_dims)
+    if strategy.kind is StrategyKind.SINGLE_RING:
+        cost = ring_reduce_scatter(chip_count, strategy.bandwidth_fraction)
+        if strategy.reconfig_per_stage:
+            cost = cost.with_reconfig()
+        return (cost,)
+    stage_sizes = [slice_shape[d] for d in strategy.dims]
+    return tuple(
+        bucket_stage_costs(
+            stage_sizes, strategy.bandwidth_fraction, strategy.reconfig_per_stage
+        )
+    )
+
+
 def reduce_scatter_cost(
     slc: Slice, interconnect: Interconnect, wired_dims: int | None = None
 ) -> CollectiveCost:
     """Symbolic REDUCESCATTER cost of the chosen strategy (Tables 1-2)."""
-    strategy = plan_reduce_scatter(slc, interconnect, wired_dims)
-    if strategy.kind is StrategyKind.SINGLE_RING:
-        cost = ring_reduce_scatter(slc.chip_count, strategy.bandwidth_fraction)
-        if strategy.reconfig_per_stage:
-            cost = cost.with_reconfig()
-        return cost
-    stage_sizes = [slc.shape[d] for d in strategy.dims]
     total = CollectiveCost(0, 0.0)
-    for stage in bucket_stage_costs(
-        stage_sizes, strategy.bandwidth_fraction, strategy.reconfig_per_stage
+    for stage in _stage_costs_for_geometry(
+        slc.shape, slc.rack.shape, slc.chip_count, interconnect, wired_dims
     ):
         total = total + stage
     return total
@@ -173,12 +207,10 @@ def reduce_scatter_stage_costs(
 
     A single-ring strategy is one stage.
     """
-    strategy = plan_reduce_scatter(slc, interconnect, wired_dims)
-    if strategy.kind is StrategyKind.SINGLE_RING:
-        return [reduce_scatter_cost(slc, interconnect, wired_dims)]
-    stage_sizes = [slc.shape[d] for d in strategy.dims]
-    return bucket_stage_costs(
-        stage_sizes, strategy.bandwidth_fraction, strategy.reconfig_per_stage
+    return list(
+        _stage_costs_for_geometry(
+            slc.shape, slc.rack.shape, slc.chip_count, interconnect, wired_dims
+        )
     )
 
 

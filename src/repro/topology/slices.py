@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from .torus import Coordinate, Link, Torus
 
@@ -121,15 +122,21 @@ class Slice:
         the *torus wrap path*, i.e. through chips outside the slice —
         those foreign links are included, which is how the congestion in
         Figure 5b arises.
+
+        A slice ring with >= 2 chips always traverses the *entire* torus
+        circle of its dimension — the in-slice hops cover the slice
+        extent and the closing wrap path covers the rest — so the links
+        are generated arithmetically (and memoized per geometry) instead
+        of walking ``physical_hop`` chip by chip. This is the hot path of
+        the rack congestion analysis.
         """
-        links: list[Link] = []
-        for ring in self.rings(dim):
-            if len(ring) <= 1:
-                continue
-            for a, b in zip(ring, ring[1:]):
-                links.extend(self.physical_hop(a, b, dim))
-            links.extend(self.physical_hop(ring[-1], ring[0], dim))
-        return links
+        if not 0 <= dim < self.rack.ndim:
+            raise ValueError(f"dimension {dim} out of range")
+        return list(
+            _ring_links_for_geometry(
+                self.rack.shape, self.offset, self.shape, dim
+            )
+        )
 
     def physical_hop(self, a: Coordinate, b: Coordinate, dim: int) -> list[Link]:
         """Physical links realizing the logical ring hop ``a -> b``.
@@ -192,6 +199,39 @@ class Slice:
         any slice that has at least one usable ring.
         """
         return 1.0 if self.usable_dimensions() else 0.0
+
+
+@lru_cache(maxsize=4096)
+def _ring_links_for_geometry(
+    rack_shape: tuple[int, ...],
+    offset: Coordinate,
+    shape: tuple[int, ...],
+    dim: int,
+) -> tuple[Link, ...]:
+    """Memoized link set of all slice rings along ``dim``.
+
+    Pure function of the slice geometry, so it persists across the fresh
+    ``Slice``/``SliceAllocator`` instances every session (and sweep
+    worker) rebuilds. Order matches the original hop-by-hop walk: the
+    circle is traversed starting from the slice's offset.
+    """
+    ext = shape[dim]
+    if ext <= 1:
+        return ()
+    rack_ext = rack_shape[dim]
+    off = offset[dim]
+    positions = [(off + i) % rack_ext for i in range(rack_ext)]
+    positions.append(off)  # close the circle
+    cross_axes = [
+        [(o + i) % r for i in range(e)] if d != dim else [offset[d]]
+        for d, (o, e, r) in enumerate(zip(offset, shape, rack_shape))
+    ]
+    links: list[Link] = []
+    for anchor in itertools.product(*cross_axes):
+        head, tail = anchor[:dim], anchor[dim + 1:]
+        nodes = [head + (p,) + tail for p in positions]
+        links.extend(Link(a, b) for a, b in zip(nodes, nodes[1:]))
+    return tuple(links)
 
 
 @dataclass

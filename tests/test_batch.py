@@ -1,0 +1,145 @@
+"""Tests for the batch execution engine (SweepPlan / run_many)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    FabricSession,
+    ScenarioSpec,
+    SliceSpec,
+    SweepPlan,
+    run_many,
+)
+
+
+def grid(fabrics=("electrical", "photonic"), buffers=(1 << 20, 1 << 26)):
+    return [
+        ScenarioSpec(
+            fabric=fabric,
+            slices=(SliceSpec("sweep", (4, 2, 1), (0, 0, 0)),),
+            buffer_bytes=buffer,
+            outputs=("costs",),
+        )
+        for fabric in fabrics
+        for buffer in buffers
+    ]
+
+
+class TestSweepPlan:
+    def test_size_and_expansion_order(self):
+        plan = SweepPlan(
+            fabrics=("electrical", "photonic"),
+            slice_shapes=((4, 2, 1), (4, 4, 1)),
+            buffer_bytes=(1, 2),
+        )
+        specs = plan.specs()
+        assert plan.size == len(specs) == 8
+        # Fabric-major, then shape, then buffer.
+        assert [s.fabric for s in specs[:4]] == ["electrical"] * 4
+        assert specs[0].buffer_bytes == 1
+        assert specs[1].buffer_bytes == 2
+        assert specs[0].slices[0].shape == (4, 2, 1)
+        assert specs[2].slices[0].shape == (4, 4, 1)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            SweepPlan(fabrics=())
+        with pytest.raises(ValueError):
+            SweepPlan(buffer_bytes=())
+
+    def test_single_chip_shape_rejected(self):
+        with pytest.raises(ValueError, match="single chip"):
+            SweepPlan(slice_shapes=((1, 1, 1),))
+
+    def test_to_dict_is_json_safe(self):
+        plan = SweepPlan()
+        json.dumps(plan.to_dict())
+
+
+class TestRunMany:
+    def test_rows_in_input_order(self):
+        specs = grid()
+        sweep = run_many(specs)
+        assert [row.spec for row in sweep.runs] == specs
+        assert sweep.unique_specs == len(specs)
+        assert sweep.jobs == 1
+
+    def test_duplicates_deduplicated(self):
+        specs = grid()
+        duplicated = specs + specs[:2]
+        sweep = run_many(duplicated)
+        assert len(sweep.runs) == len(duplicated)
+        assert sweep.unique_specs == len(specs)
+        # The folded duplicates carry their first occurrence's result.
+        assert sweep.runs[-2].result is sweep.runs[0].result
+        assert sweep.runs[-2].from_cache
+        assert sweep.runs[-2].elapsed_s == 0.0
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        specs = grid()
+        serial = run_many(specs, no_cache=True)
+        parallel = run_many(specs, jobs=2, no_cache=True)
+        assert parallel.jobs == 2
+        serial_json = json.dumps(
+            serial.to_dict(include_timing=False), sort_keys=True
+        )
+        parallel_json = json.dumps(
+            parallel.to_dict(include_timing=False), sort_keys=True
+        )
+        assert serial_json == parallel_json
+
+    def test_warm_cache_matches_serial_byte_for_byte(self, tmp_path):
+        specs = grid()
+        cold = run_many(specs, cache_dir=tmp_path)
+        assert cold.cache_stats.misses == len(specs)
+        warm = run_many(specs, cache_dir=tmp_path)
+        assert warm.cache_stats.hits == len(specs)
+        assert warm.cache_stats.misses == 0
+        assert json.dumps(warm.to_dict(include_timing=False)) == json.dumps(
+            cold.to_dict(include_timing=False)
+        )
+
+    def test_shared_session_is_serial_only(self):
+        session = FabricSession()
+        with pytest.raises(ValueError, match="session"):
+            run_many(grid(), jobs=2, session=session)
+
+    def test_shared_session_reuses_memoization(self):
+        session = FabricSession()
+        specs = grid()
+        run_many(specs, session=session)
+        rerun = run_many(specs, session=session)
+        assert rerun.cache_stats.hits == len(specs)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_many(grid(), jobs=-1)
+
+    def test_empty_spec_list(self):
+        sweep = run_many([])
+        assert sweep.runs == ()
+        assert sweep.unique_specs == 0
+
+    def test_worker_errors_propagate(self):
+        bad = ScenarioSpec(
+            fabric="no-such-fabric",
+            slices=(SliceSpec("sweep", (4, 2, 1), (0, 0, 0)),),
+            outputs=("costs",),
+        )
+        with pytest.raises(Exception):
+            run_many([bad], jobs=2)
+
+    def test_timing_fields_populated(self):
+        sweep = run_many(grid())
+        assert sweep.wall_clock_s > 0
+        assert all(row.elapsed_s >= 0 for row in sweep.runs)
+        fresh = [row for row in sweep.runs if not row.from_cache]
+        assert fresh  # a cold sweep actually evaluated something
+
+    def test_plan_through_engine(self, tmp_path):
+        plan = SweepPlan(buffer_bytes=(1 << 20, 1 << 26))
+        sweep = run_many(plan.specs(), cache_dir=tmp_path)
+        assert len(sweep.runs) == plan.size
+        for row in sweep.runs:
+            assert row.result.costs is not None

@@ -1,0 +1,234 @@
+"""Tests for the content-addressed result caches."""
+
+import json
+import threading
+
+import pytest
+
+import repro
+from repro.api import (
+    DiskResultCache,
+    FabricSession,
+    MemoryResultCache,
+    NullResultCache,
+    ScenarioSpec,
+    SliceSpec,
+    code_fingerprint,
+    default_cache_dir,
+    run_many,
+    spec_key,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        fabric="electrical",
+        slices=(SliceSpec("Slice-1", (4, 2, 1), (0, 0, 3)),),
+        outputs=("costs",),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestSpecKey:
+    def test_equal_specs_share_a_key(self):
+        assert spec_key(small_spec()) == spec_key(small_spec())
+
+    def test_key_depends_on_contents(self):
+        assert spec_key(small_spec()) != spec_key(
+            small_spec(buffer_bytes=1 << 20)
+        )
+        assert spec_key(small_spec()) != spec_key(small_spec(fabric="photonic"))
+
+    def test_key_is_stable_across_processes(self):
+        # The documented contract: the key is a pure content hash, so it
+        # must match a freshly serialized recomputation (no id()/hash()
+        # randomness can leak in).
+        import hashlib
+
+        spec = small_spec()
+        canonical = json.dumps(
+            spec.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        expected = hashlib.sha256(canonical.encode()).hexdigest()
+        assert spec_key(spec) == expected
+
+    def test_round_tripped_spec_keeps_its_key(self):
+        spec = small_spec()
+        assert spec_key(ScenarioSpec.from_json(spec.to_json())) == spec_key(spec)
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro"
+
+
+class TestDiskResultCache:
+    def evaluated(self):
+        session = FabricSession()
+        spec = small_spec()
+        return spec, session.run(spec)
+
+    def test_round_trip(self, tmp_path):
+        spec, result = self.evaluated()
+        cache = DiskResultCache(tmp_path)
+        key = spec_key(spec)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        restored = cache.get(key)
+        assert restored is not None
+        assert restored.to_json() == result.to_json()
+
+    def test_corrupt_entry_is_a_miss_and_rewritten(self, tmp_path):
+        spec, result = self.evaluated()
+        cache = DiskResultCache(tmp_path)
+        key = spec_key(spec)
+        cache.put(key, result)
+        path = cache._path(key)
+        path.write_text("{ not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not path.exists()  # dropped so the next put rewrites it
+        cache.put(key, result)
+        assert cache.get(key).to_json() == result.to_json()
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        spec, result = self.evaluated()
+        cache = DiskResultCache(tmp_path)
+        key = spec_key(spec)
+        cache.put(key, result)
+        path = cache._path(key)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_entries_namespaced_by_version(self, tmp_path, monkeypatch):
+        spec, result = self.evaluated()
+        cache = DiskResultCache(tmp_path)
+        key = spec_key(spec)
+        cache.put(key, result)
+        assert cache.get(key) is not None
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        # Same key, new code fingerprint: the old entry is invisible.
+        assert cache.get(key) is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        spec, result = self.evaluated()
+        cache = DiskResultCache(tmp_path)
+        for _ in range(3):
+            cache.put(spec_key(spec), result)
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_concurrent_writers_are_safe(self, tmp_path):
+        spec, result = self.evaluated()
+        cache = DiskResultCache(tmp_path)
+        key = spec_key(spec)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(20):
+                    cache.put(key, result)
+                    got = cache.get(key)
+                    if got is not None and got.to_json() != result.to_json():
+                        errors.append("torn read")
+            except Exception as exc:  # pragma: no cover
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.get(key).to_json() == result.to_json()
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_len_counts_entries(self, tmp_path):
+        spec, result = self.evaluated()
+        cache = DiskResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(spec_key(spec), result)
+        assert len(cache) == 1
+
+
+class TestSessionCacheStats:
+    def test_hits_and_misses_counted(self):
+        session = FabricSession()
+        spec = small_spec()
+        session.run(spec)
+        stats = session.cache_stats()
+        assert (stats.hits, stats.misses) == (0, 1)
+        assert stats.eval_seconds > 0
+        session.run(spec)
+        stats = session.cache_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_memoization_is_layout_independent(self):
+        # Two structurally equal but distinct spec objects share one
+        # cache slot (satellite of PR 2: key by content, not identity).
+        session = FabricSession()
+        first = session.run(small_spec())
+        second = session.run(small_spec())
+        assert first is second
+        assert session.cache_stats().hits == 1
+
+    def test_null_cache_disables_memoization(self):
+        session = FabricSession(result_cache=NullResultCache())
+        spec = small_spec()
+        assert session.run(spec) is not session.run(spec)
+        assert session.cache_stats().hits == 0
+        assert session.cache_stats().misses == 2
+
+    def test_disk_backed_session_persists_across_sessions(self, tmp_path):
+        spec = small_spec()
+        warm = FabricSession(result_cache=DiskResultCache(tmp_path))
+        warm.run(spec)
+        assert warm.cache_stats().misses == 1
+        cold = FabricSession(result_cache=DiskResultCache(tmp_path))
+        cold.run(spec)
+        assert cold.cache_stats().hits == 1
+        assert cold.cache_stats().misses == 0
+
+
+class TestNoCacheBypass:
+    def test_no_cache_never_touches_the_directory(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        sweep = run_many(
+            [small_spec()], cache_dir=cache_dir, no_cache=True
+        )
+        assert sweep.cache_stats.misses == 1
+        assert not cache_dir.exists()
+
+    def test_no_cache_ignores_warm_entries(self, tmp_path):
+        spec = small_spec()
+        run_many([spec], cache_dir=tmp_path)
+        assert len(DiskResultCache(tmp_path)) == 1
+        rerun = run_many([spec], cache_dir=tmp_path, no_cache=True)
+        assert rerun.cache_stats.hits == 0
+        assert rerun.cache_stats.misses == 1
+
+
+class TestMemoryResultCache:
+    def test_identity_preserved(self):
+        cache = MemoryResultCache()
+        session = FabricSession(result_cache=cache)
+        result = session.run(small_spec())
+        assert cache.get(spec_key(small_spec())) is result
+        assert len(cache) == 1
+
+
+class TestCodeFingerprint:
+    def test_tracks_version(self, monkeypatch):
+        before = code_fingerprint()
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        after = code_fingerprint()
+        assert before != after
+        assert len(after) == 16

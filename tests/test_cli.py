@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -127,3 +129,59 @@ class TestNewCommands:
         assert main(["congestion", "--fabric", "warpdrive"]) != 0
         err = capsys.readouterr().err
         assert "warpdrive" in err
+
+
+class TestSweepCommand:
+    def args(self, *extra):
+        return [
+            "sweep", "--slice-shape", "4x2x1", "--buffer-mib", "1",
+            "--no-cache", *extra,
+        ]
+
+    def test_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "--fabric", "photonic", "--slice-shape", "4x4x2",
+             "--buffer-mib", "16", "--jobs", "4", "--cache-dir", "/tmp/x"]
+        )
+        assert args.command == "sweep"
+        assert args.fabrics == ["photonic"]
+        assert args.slice_shapes == [(4, 4, 2)]
+        assert args.jobs == 4
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--slice-shape", "4xbad"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--slice-shape", "0x2x1"])
+
+    def test_json_output(self, capsys):
+        assert main(self.args()) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["spec_count"] == len(payload["runs"]) == 2
+        assert payload["plan"]["slice_shapes"] == [[4, 2, 1]]
+        # Timing goes to stderr, never into the JSON payload.
+        assert "wall_clock_s" not in payload
+        assert "swept 2 specs" in captured.err
+
+    def test_serial_and_parallel_output_identical(self, capsys):
+        assert main(self.args("--jobs", "1")) == 0
+        serial = capsys.readouterr().out
+        assert main(self.args("--jobs", "2")) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_cache_dir_round_trip(self, capsys, tmp_path):
+        base = ["sweep", "--slice-shape", "4x2x1", "--buffer-mib", "1",
+                "--cache-dir", str(tmp_path)]
+        assert main(base) == 0
+        cold = capsys.readouterr()
+        assert "2 misses" in cold.err
+        assert main(base) == 0
+        warm = capsys.readouterr()
+        assert "2 hits" in warm.err
+        assert warm.out == cold.out
+
+    def test_single_chip_grid_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--slice-shape", "1x1x1", "--no-cache"]) == 2
+        assert "single chip" in capsys.readouterr().err

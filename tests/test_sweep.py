@@ -52,9 +52,19 @@ class TestShapeSweep:
         points = slice_shape_sweep([(4, 2, 1)])
         assert points[0].electrical_utilization == pytest.approx(1 / 3)
 
-    def test_single_chip_shapes_skipped(self):
+    def test_single_chip_shapes_reported_as_skipped_rows(self):
         points = slice_shape_sweep([(1, 1, 1), (4, 1, 1)])
-        assert [p.shape for p in points] == [(4, 1, 1)]
+        assert [p.shape for p in points] == [(1, 1, 1), (4, 1, 1)]
+        assert points[0].skipped is not None
+        assert "single-chip" in points[0].skipped
+        assert points[0].chips == 1
+        assert points[1].skipped is None
+
+    def test_all_skipped_sweep_raises(self):
+        with pytest.raises(ValueError, match="single-chip"):
+            slice_shape_sweep([(1, 1, 1)])
+        with pytest.raises(ValueError):
+            slice_shape_sweep([])
 
     def test_chip_counts(self):
         points = slice_shape_sweep([(4, 4, 2)])
