@@ -14,7 +14,11 @@ from .sweep import (
 )
 from .tables import cost_row, render_histogram, render_table
 from .utilization import (
+    DimensionUtilization,
+    FabricUtilizationComparison,
     SliceUtilization,
+    compare_link_utilization,
+    dimension_utilization,
     figure5b_layout,
     rack_utilization,
     slice_utilization,
@@ -33,6 +37,10 @@ __all__ = [
     "render_histogram",
     "render_table",
     "SliceUtilization",
+    "DimensionUtilization",
+    "FabricUtilizationComparison",
+    "compare_link_utilization",
+    "dimension_utilization",
     "figure5b_layout",
     "rack_utilization",
     "slice_utilization",

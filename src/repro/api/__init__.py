@@ -44,6 +44,8 @@ from .result import (
     CongestionSummary,
     CostReport,
     DeviceReport,
+    LinkLoadLine,
+    LinkUtilizationReport,
     PolicyLine,
     RepairReport,
     RunResult,
@@ -115,6 +117,8 @@ __all__ = [
     "SharedLinkLine",
     "TelemetryReport",
     "TelemetryLine",
+    "LinkUtilizationReport",
+    "LinkLoadLine",
     "RepairReport",
     "CircuitLine",
     "AttemptLine",

@@ -48,6 +48,8 @@ from .result import (
     CongestionSummary,
     CostReport,
     DeviceReport,
+    LinkLoadLine,
+    LinkUtilizationReport,
     PolicyLine,
     RepairReport,
     SharedLinkLine,
@@ -111,6 +113,12 @@ class FabricBackend(Protocol):
         self, session: "FabricSession", spec: ScenarioSpec
     ) -> TelemetryReport:
         """Measured execution on the fabric's performance model."""
+        ...
+
+    def link_utilization(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> LinkUtilizationReport:
+        """Measured per-link load — the stranded-bandwidth evidence."""
         ...
 
     def repair(
@@ -197,6 +205,59 @@ class _TorusBackendBase:
                 )
                 for r in results
             )
+        )
+
+    def link_utilization(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> LinkUtilizationReport:
+        """Run the scenario instrumented and report per-link load.
+
+        The horizon is the last tenant's finish time — utilizations are
+        fractions of what every link *could* have carried while anyone
+        was still running, so links of an unused dimension show up as
+        stranded capacity rather than being excluded.
+        """
+        torus = session.torus(spec.rack_shape)
+        capacity = self.link_capacity_bytes(spec)
+        capacities = {link: capacity for link in torus.links()}
+        workload = MultiTenantWorkload(
+            slices=session.slices(spec),
+            buffer_bytes=spec.buffer_bytes,
+            interconnect=self.interconnect,
+        )
+        params = CostParameters()
+        results, telemetry = run_concurrent_schedules(
+            workload.schedules(),
+            capacities,
+            params.alpha_s,
+            params.reconfig_s,
+            telemetry=True,
+        )
+        horizon = max((r.duration_s for r in results), default=0.0)
+        lines = []
+        for link in sorted(capacities, key=lambda li: (li.src, li.dst)):
+            carried = telemetry.carried_bytes(link)
+            lines.append(
+                LinkLoadLine(
+                    src=link.src,
+                    dst=link.dst,
+                    dimension=link.dimension(spec.rack_shape),
+                    carried_bytes=carried,
+                    mean_utilization=(
+                        telemetry.utilization(link, horizon)
+                        if horizon > 0
+                        else 0.0
+                    ),
+                    peak_utilization=telemetry.peak_utilization(link),
+                )
+            )
+        return LinkUtilizationReport(
+            horizon_s=horizon,
+            link_capacity_bytes_per_s=capacity,
+            mean_utilization=(
+                telemetry.mean_utilization(horizon) if horizon > 0 else 0.0
+            ),
+            links=tuple(lines),
         )
 
     # -- fleet blast radius -------------------------------------------------------
@@ -482,6 +543,14 @@ class SwitchedBackend:
         return TelemetryReport(
             aggregate_throughput_bytes=server.aggregate_throughput_bytes(),
             ideal_throughput_bytes=server.ideal_throughput_bytes(),
+        )
+
+    def link_utilization(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> LinkUtilizationReport:
+        raise UnsupportedOutput(
+            "the switched fabric has no per-link torus topology; its "
+            'contention story lives in the "telemetry" output'
         )
 
     def repair(

@@ -26,6 +26,8 @@ __all__ = [
     "CongestionSummary",
     "TelemetryLine",
     "TelemetryReport",
+    "LinkLoadLine",
+    "LinkUtilizationReport",
     "CircuitLine",
     "AttemptLine",
     "RepairReport",
@@ -296,6 +298,163 @@ class TelemetryReport:
 
 
 @dataclass(frozen=True)
+class LinkLoadLine:
+    """Measured load on one torus link over the run horizon.
+
+    Attributes:
+        src: link source chip.
+        dst: link destination chip.
+        dimension: torus dimension the link runs along.
+        carried_bytes: bytes the link actually moved.
+        mean_utilization: carried bytes over capacity x horizon.
+        peak_utilization: highest instantaneous rate over capacity.
+    """
+
+    src: tuple[int, ...]
+    dst: tuple[int, ...]
+    dimension: int
+    carried_bytes: float
+    mean_utilization: float
+    peak_utilization: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "src": list(self.src),
+            "dst": list(self.dst),
+            "dimension": self.dimension,
+            "carried_bytes": self.carried_bytes,
+            "mean_utilization": self.mean_utilization,
+            "peak_utilization": self.peak_utilization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LinkLoadLine":
+        return cls(
+            src=tuple(data["src"]),
+            dst=tuple(data["dst"]),
+            dimension=data["dimension"],
+            carried_bytes=data["carried_bytes"],
+            mean_utilization=data["mean_utilization"],
+            peak_utilization=data["peak_utilization"],
+        )
+
+
+#: Relative carried-bytes slack under which a link counts as idle; mirrors
+#: ``repro.sim.telemetry.IDLE_TOLERANCE`` (summed float integrals are never
+#: compared against exact zero).
+_IDLE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class LinkUtilizationReport:
+    """Measured per-link load for the whole scenario — the stranded-
+    bandwidth story (Figure 5c) told from the simulator rather than
+    closed form.
+
+    Attributes:
+        horizon_s: time span the utilizations are normalized over (the
+            last tenant's finish time).
+        link_capacity_bytes_per_s: the uniform per-link capacity the
+            fabric charges.
+        mean_utilization: capacity-weighted mean over every rack link.
+        links: per-link load lines, deterministically ordered by
+            (src, dst).
+    """
+
+    horizon_s: float
+    link_capacity_bytes_per_s: float
+    mean_utilization: float
+    links: tuple[LinkLoadLine, ...]
+
+    def idle_links(
+        self, tolerance: float = _IDLE_TOLERANCE
+    ) -> tuple[LinkLoadLine, ...]:
+        """Links that carried ~nothing — the stranded bandwidth.
+
+        A link is idle when its carried bytes are at most ``tolerance``
+        times the busiest link's.
+        """
+        threshold = tolerance * max(
+            (line.carried_bytes for line in self.links), default=0.0
+        )
+        return tuple(
+            line for line in self.links if line.carried_bytes <= threshold
+        )
+
+    @property
+    def stranded_fraction(self) -> float:
+        """Fraction of rack links (uniform capacity) that sat idle."""
+        if not self.links:
+            return 0.0
+        return len(self.idle_links()) / len(self.links)
+
+    def busiest(self, top: int = 5) -> tuple[LinkLoadLine, ...]:
+        """The ``top`` links by carried bytes, descending."""
+        ranked = sorted(
+            self.links,
+            key=lambda line: (-line.carried_bytes, line.src, line.dst),
+        )
+        return tuple(ranked[:top])
+
+    def mean_utilization_by_dimension(self) -> dict[int, float]:
+        """Mean link utilization grouped by torus dimension."""
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for line in self.links:
+            sums[line.dimension] = sums.get(line.dimension, 0.0) + (
+                line.mean_utilization
+            )
+            counts[line.dimension] = counts.get(line.dimension, 0) + 1
+        return {d: sums[d] / counts[d] for d in sorted(sums)}
+
+    def idle_fraction_by_dimension(
+        self, tolerance: float = _IDLE_TOLERANCE
+    ) -> dict[int, float]:
+        """Fraction of each dimension's links that sat idle."""
+        idle = set()
+        for line in self.idle_links(tolerance):
+            idle.add((line.src, line.dst))
+        totals: dict[int, int] = {}
+        idles: dict[int, int] = {}
+        for line in self.links:
+            totals[line.dimension] = totals.get(line.dimension, 0) + 1
+            if (line.src, line.dst) in idle:
+                idles[line.dimension] = idles.get(line.dimension, 0) + 1
+        return {
+            d: idles.get(d, 0) / totals[d] for d in sorted(totals)
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; inverse of :meth:`from_dict`.
+
+        Derived views (idle links, stranded fraction, busiest-5) are
+        included for human consumption but recomputed — not read back —
+        by ``from_dict``, so the round-trip stays exact.
+        """
+        return {
+            "horizon_s": self.horizon_s,
+            "link_capacity_bytes_per_s": self.link_capacity_bytes_per_s,
+            "mean_utilization": self.mean_utilization,
+            "links": [line.to_dict() for line in self.links],
+            "idle_links": [
+                {"src": list(line.src), "dst": list(line.dst)}
+                for line in self.idle_links()
+            ],
+            "stranded_fraction": self.stranded_fraction,
+            "busiest": [line.to_dict() for line in self.busiest()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LinkUtilizationReport":
+        return cls(
+            horizon_s=data["horizon_s"],
+            link_capacity_bytes_per_s=data["link_capacity_bytes_per_s"],
+            mean_utilization=data["mean_utilization"],
+            links=tuple(LinkLoadLine.from_dict(li) for li in data["links"]),
+        )
+
+
+@dataclass(frozen=True)
 class CircuitLine:
     """One established repair circuit (optical repair, Figure 7)."""
 
@@ -498,6 +657,7 @@ class RunResult:
     utilization: tuple[UtilizationRow, ...] | None = None
     congestion: CongestionSummary | None = None
     telemetry: TelemetryReport | None = None
+    link_utilization: LinkUtilizationReport | None = None
     repair: RepairReport | None = None
     blast_radius: BlastRadiusSummary | None = None
     device: DeviceReport | None = None
@@ -520,6 +680,11 @@ class RunResult:
             ),
             "congestion": self.congestion.to_dict() if self.congestion else None,
             "telemetry": self.telemetry.to_dict() if self.telemetry else None,
+            "link_utilization": (
+                self.link_utilization.to_dict()
+                if self.link_utilization
+                else None
+            ),
             "repair": self.repair.to_dict() if self.repair else None,
             "blast_radius": (
                 self.blast_radius.to_dict() if self.blast_radius else None
@@ -553,6 +718,11 @@ class RunResult:
             telemetry=(
                 TelemetryReport.from_dict(data["telemetry"])
                 if data.get("telemetry")
+                else None
+            ),
+            link_utilization=(
+                LinkUtilizationReport.from_dict(data["link_utilization"])
+                if data.get("link_utilization")
                 else None
             ),
             repair=(

@@ -159,6 +159,7 @@ class FabricSession:
             "costs": "cost_report",
             "congestion": "congestion",
             "telemetry": "telemetry",
+            "link_utilization": "link_utilization",
             "repair": "repair",
             "blast_radius": "blast_radius",
             "device": "device_report",

@@ -35,6 +35,7 @@ KNOWN_OUTPUTS = (
     "utilization",
     "congestion",
     "telemetry",
+    "link_utilization",
     "repair",
     "blast_radius",
     "device",
@@ -156,7 +157,8 @@ class ScenarioSpec:
         buffer_bytes: per-tenant collective buffer size ``N``.
         mode: ``"closed_form"`` for symbolic alpha-beta-r costs,
             ``"sim"`` to measure on the discrete-event simulator
-            (required for the ``"telemetry"`` output).
+            (required for the ``"telemetry"`` and ``"link_utilization"``
+            outputs).
         outputs: result sections to compute (subset of
             :data:`KNOWN_OUTPUTS`).
         failures: the failure plan, when repair/blast-radius is requested.
@@ -188,6 +190,11 @@ class ScenarioSpec:
             )
         if "telemetry" in self.outputs and self.mode != "sim":
             raise ValueError('the "telemetry" output requires mode="sim"')
+        if "link_utilization" in self.outputs and self.mode != "sim":
+            raise ValueError(
+                'the "link_utilization" output requires mode="sim" '
+                "(per-link load is measured, not derived)"
+            )
         if self.buffer_bytes < 0:
             raise ValueError("buffer_bytes cannot be negative")
         for chip in self.failures.failed_chips:

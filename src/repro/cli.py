@@ -12,8 +12,9 @@ Usage::
     python -m repro figure7               # optical repair plan
     python -m repro blast-radius [--days 90]
     python -m repro congestion            # cross-tenant link sharing
-    python -m repro simulate [--fabric photonic]
-    python -m repro sweep [--jobs 4] [--no-cache] [--cache-dir DIR]
+    python -m repro simulate [--fabric photonic] [--telemetry]
+    python -m repro sweep [--jobs 4] [--no-cache] [--cache-dir DIR] [--telemetry]
+    python -m repro utilization           # measured stranded bandwidth (Fig. 5c)
 
 Every subcommand builds a :class:`repro.api.ScenarioSpec` and routes
 through :func:`repro.api.run`, so the CLI, the benches and the examples
@@ -32,6 +33,7 @@ import sys
 
 from . import api
 from .analysis.tables import cost_row, render_histogram, render_table
+from .analysis.utilization import compare_link_utilization, dimension_utilization
 
 __all__ = ["main", "build_parser"]
 
@@ -244,14 +246,22 @@ def _cmd_congestion(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    outputs = ("telemetry",)
+    if args.telemetry:
+        outputs = ("telemetry", "link_utilization")
     spec = api.ScenarioSpec(
         fabric=args.fabric,
         slices=api.figure5b_slices(),
         buffer_bytes=args.buffer_mib * (1 << 20),
         mode="sim",
-        outputs=("telemetry",),
+        outputs=outputs,
     )
     result = api.run(spec)
+    if args.telemetry:
+        # Per-link observability is machine-facing: deterministic JSON
+        # (sorted keys, no timing) instead of the human table.
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
     telemetry = result.telemetry
     title = (f"Simulated REDUCESCATTER — {result.fabric} fabric, "
              f"{args.buffer_mib} MiB per tenant")
@@ -281,6 +291,72 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ],
         title=title,
     ))
+    return 0
+
+
+_UTILIZATION_LAYOUTS = {
+    "table1": "table1_slices",
+    "figure5b": "figure5b_slices",
+}
+
+
+def _cmd_utilization(args: argparse.Namespace) -> int:
+    """Measured stranded bandwidth: electrical vs photonic, Figure 5c.
+
+    Runs the same workload instrumented on both torus fabrics and prints
+    deterministic JSON: per-dimension mean utilization and idle-link
+    fractions (the electrical slice's unusable dimensions sit near 0 %
+    while steering recovers them), plus the measured bandwidth-loss
+    fraction — the paper's 66 % headline for Slice-1, measured rather
+    than asserted.
+    """
+    slices = getattr(api, _UTILIZATION_LAYOUTS[args.layout])()
+    spec = api.ScenarioSpec(
+        slices=slices,
+        buffer_bytes=args.buffer_mib * (1 << 20),
+        mode="sim",
+        outputs=("link_utilization",),
+    )
+    results = api.compare(spec, fabrics=("electrical", "photonic"))
+    electrical = results["electrical"].link_utilization
+    photonic = results["photonic"].link_utilization
+    comparison = compare_link_utilization(electrical, photonic)
+
+    def fabric_payload(report: api.LinkUtilizationReport) -> dict:
+        return {
+            "horizon_s": report.horizon_s,
+            "link_capacity_bytes_per_s": report.link_capacity_bytes_per_s,
+            "mean_utilization": report.mean_utilization,
+            "stranded_link_fraction": report.stranded_fraction,
+            "busiest": [line.to_dict() for line in report.busiest()],
+            "dimensions": [
+                {
+                    "dimension": d.dimension,
+                    "links": d.links,
+                    "mean_utilization": d.mean_utilization,
+                    "idle_fraction": d.idle_fraction,
+                }
+                for d in dimension_utilization(report)
+            ],
+        }
+
+    payload = {
+        "layout": args.layout,
+        "buffer_mib": args.buffer_mib,
+        "electrical": fabric_payload(electrical),
+        "photonic": fabric_payload(photonic),
+        "comparison": {
+            "speedup": comparison.speedup,
+            "bandwidth_loss_fraction": comparison.bandwidth_loss_fraction,
+            "electrical_idle_link_fraction": (
+                comparison.electrical_idle_link_fraction
+            ),
+            "photonic_idle_link_fraction": (
+                comparison.photonic_idle_link_fraction
+            ),
+        },
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -317,9 +393,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         plan_kwargs["buffer_bytes"] = tuple(
             mib * (1 << 20) for mib in args.buffer_mib
         )
+    outputs = tuple(args.outputs) if args.outputs else ("costs",)
+    mode = "closed_form"
+    if args.telemetry:
+        outputs = tuple(
+            dict.fromkeys(outputs + ("telemetry", "link_utilization"))
+        )
+        mode = "sim"
     plan = api.SweepPlan(
         rack_shape=args.rack_shape,
-        outputs=tuple(args.outputs) if args.outputs else ("costs",),
+        outputs=outputs,
+        mode=mode,
         **plan_kwargs,
     )
     if args.no_cache:
@@ -388,6 +472,23 @@ def build_parser() -> argparse.ArgumentParser:
     psim = sub.add_parser("simulate", help="measured collective durations")
     psim.add_argument("--fabric", default="photonic")
     psim.add_argument("--buffer-mib", type=int, default=64)
+    psim.add_argument(
+        "--telemetry", action="store_true",
+        help="also measure per-link utilization and print the full result "
+        "as deterministic JSON (torus fabrics only)",
+    )
+
+    put = sub.add_parser(
+        "utilization",
+        help="measured stranded bandwidth, electrical vs photonic "
+        "(Figure 5c from the simulator)",
+    )
+    put.add_argument(
+        "--layout", choices=sorted(_UTILIZATION_LAYOUTS), default="table1",
+        help="tenant layout: table1 = Slice-1 alone (the 66 %% story), "
+        "figure5b = the four-tenant rack",
+    )
+    put.add_argument("--buffer-mib", type=int, default=64)
 
     psw = sub.add_parser(
         "sweep",
@@ -426,6 +527,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="persistent result cache location (default: ~/.cache/repro)",
     )
+    psw.add_argument(
+        "--telemetry", action="store_true",
+        help="run on the simulator and add the telemetry + link_utilization "
+        "sections to every spec",
+    )
 
     return parser
 
@@ -443,6 +549,7 @@ _HANDLERS = {
     "congestion": _cmd_congestion,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "utilization": _cmd_utilization,
 }
 
 

@@ -85,6 +85,16 @@ class EventEngine:
         """Events still queued (including cancelled ones not yet popped)."""
         return len(self._queue)
 
+    def next_event_time(self) -> float | None:
+        """Fire time of the next live event, or None when none remain.
+
+        Cancelled events at the head of the queue are discarded as a side
+        effect, so a ``None`` answer means :meth:`step` would return False.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time_s if self._queue else None
+
     @property
     def processed(self) -> int:
         """Events executed so far."""

@@ -39,6 +39,12 @@ class Flow:
             raise ValueError("a flow must cross at least one link")
         if self.remaining_bytes < 0:
             raise ValueError("remaining bytes cannot be negative")
+        if self.demand_bytes_per_s is not None and self.demand_bytes_per_s <= 0:
+            raise ValueError(
+                f"flow {self.flow_id!r} has a non-positive demand cap "
+                f"({self.demand_bytes_per_s}); a capped flow must still be "
+                "able to make progress (omit the cap instead of zeroing it)"
+            )
 
 
 def max_min_rates(
@@ -57,7 +63,10 @@ def max_min_rates(
 
     Raises:
         KeyError: when a flow references an unknown link.
-        ValueError: on a non-positive link capacity.
+        ValueError: on a non-positive link capacity, or a non-positive
+            demand cap (which would starve the flow forever and — if
+            negative — credit capacity back to the link, oversubscribing
+            it for everyone else).
     """
     for link, cap in capacity_bytes_per_s.items():
         if cap <= 0:
@@ -67,6 +76,17 @@ def max_min_rates(
         for link in flow.links:
             if link not in capacity_bytes_per_s:
                 raise KeyError(f"flow {flow.flow_id!r} uses unknown link {link!r}")
+        # Flows are mutable (rates are written back), so a cap zeroed after
+        # construction bypasses Flow's own validation. Catch it here with
+        # an accurate diagnosis instead of letting progressive filling
+        # freeze the flow at a zero rate and blame the link capacities.
+        demand = flow.demand_bytes_per_s
+        if demand is not None and demand <= 0:
+            raise ValueError(
+                f"flow {flow.flow_id!r} has a non-positive demand cap "
+                f"({demand}) and can never make progress; the link "
+                "capacities are not at fault"
+            )
     remaining_cap = dict(capacity_bytes_per_s)
     unfrozen: set[Hashable] = {f.flow_id for f in active}
     rates: dict[Hashable, float] = {f.flow_id: 0.0 for f in active}
@@ -99,6 +119,12 @@ def max_min_rates(
             and by_id[fid].demand_bytes_per_s < bottleneck_share
         ]
         if capped:
+            # Every capped demand is strictly below the bottleneck share,
+            # which is itself at most remaining/users on every link the
+            # flow crosses — so freezing them cannot oversubscribe any
+            # link. The clamp below only absorbs float dust from the
+            # subtractions; it must never hide a real deficit (positive
+            # caps are enforced above, so it cannot).
             for fid in capped:
                 flow = by_id[fid]
                 rates[fid] = float(flow.demand_bytes_per_s)

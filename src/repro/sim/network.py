@@ -123,9 +123,13 @@ class FlowNetwork:
                 self._complete(flow.flow_id)
                 continue
             if flow.rate_bytes_per_s <= 0:
+                cause = (
+                    f"its demand cap is {flow.demand_bytes_per_s}"
+                    if flow.demand_bytes_per_s is not None
+                    else "check link capacities"
+                )
                 raise SimulationError(
-                    f"flow {flow.flow_id!r} starved (zero rate); "
-                    "check link capacities"
+                    f"flow {flow.flow_id!r} starved (zero rate); {cause}"
                 )
             eta = flow.remaining_bytes / flow.rate_bytes_per_s
             flow_id = flow.flow_id
@@ -157,10 +161,23 @@ class FlowNetwork:
     # -- convenience ------------------------------------------------------------------
 
     def run_until_idle(self) -> float:
-        """Run the engine until every flow completes; returns the time."""
-        while self._active:
-            if not self.engine.step():
-                raise SimulationError(
-                    f"{len(self._active)} flows active but no events pending"
-                )
-        return self.engine.now_s
+        """Run the engine until every flow completes; returns the time.
+
+        Completion callbacks are delivered before returning: ``_complete``
+        defers ``on_complete`` to a zero-delay event, so when the last
+        flow finishes those events are still queued at the current time.
+        They are drained here (and may inject follow-up flows, which are
+        then run to completion too) rather than silently dropped.
+        """
+        while True:
+            if self._active:
+                if not self.engine.step():
+                    raise SimulationError(
+                        f"{len(self._active)} flows active but no events pending"
+                    )
+                continue
+            next_time = self.engine.next_event_time()
+            if next_time is not None and next_time <= self.engine.now_s:
+                self.engine.step()
+                continue
+            return self.engine.now_s

@@ -19,6 +19,7 @@ from ..topology.torus import Link
 from .engine import EventEngine
 from .flows import Flow
 from .network import FlowNetwork
+from .telemetry import InstrumentedNetwork, LinkTelemetry
 
 __all__ = ["ScheduleResult", "run_schedule", "run_concurrent_schedules"]
 
@@ -64,13 +65,25 @@ def run_schedule(
     link_capacities: dict[Link, float],
     alpha_s: float = DEFAULT_ALPHA_S,
     reconfig_s: float = RECONFIG_LATENCY_S,
-) -> ScheduleResult:
+    telemetry: bool = False,
+) -> ScheduleResult | tuple[ScheduleResult, LinkTelemetry]:
     """Execute ``schedule`` alone on a network with the given capacities.
+
+    Args:
+        telemetry: when True, observe per-link rates and return
+            ``(result, LinkTelemetry)``. Observation does not perturb the
+            rate model, so the result is identical either way. The
+            telemetry timeline covers transfer time only (alpha and
+            reconfiguration are charged arithmetically, outside engine
+            time), one accumulated timeline across all phases.
 
     Raises:
         KeyError: if a transfer uses a link missing from ``link_capacities``.
     """
     engine = EventEngine()
+    link_telemetry = (
+        LinkTelemetry(capacities=dict(link_capacities)) if telemetry else None
+    )
     total_alpha = 0.0
     total_reconfig = 0.0
     phase_durations: list[float] = []
@@ -82,14 +95,19 @@ def run_schedule(
         if not flows:
             phase_durations.append(0.0)
             continue
-        network = FlowNetwork(engine, link_capacities)
+        if link_telemetry is not None:
+            network = InstrumentedNetwork(
+                engine, link_capacities, telemetry=link_telemetry
+            )
+        else:
+            network = FlowNetwork(engine, link_capacities)
         start = engine.now_s
         for flow in flows:
             network.inject(flow)
         network.run_until_idle()
         phase_durations.append(engine.now_s - start)
     transfer_time = sum(phase_durations)
-    return ScheduleResult(
+    result = ScheduleResult(
         name=schedule.name,
         duration_s=transfer_time + total_alpha + total_reconfig,
         transfer_s=transfer_time,
@@ -97,6 +115,9 @@ def run_schedule(
         reconfig_s=total_reconfig,
         phase_durations_s=tuple(phase_durations),
     )
+    if link_telemetry is not None:
+        return result, link_telemetry
+    return result
 
 
 def run_concurrent_schedules(
@@ -104,7 +125,8 @@ def run_concurrent_schedules(
     link_capacities: dict[Link, float],
     alpha_s: float = DEFAULT_ALPHA_S,
     reconfig_s: float = RECONFIG_LATENCY_S,
-) -> list[ScheduleResult]:
+    telemetry: bool = False,
+) -> list[ScheduleResult] | tuple[list[ScheduleResult], LinkTelemetry]:
     """Execute several schedules sharing one network, phase-by-phase.
 
     Each schedule advances to its next phase as soon as its previous phase
@@ -112,9 +134,20 @@ def run_concurrent_schedules(
     shared links (multi-tenant execution, the Figure 5b situation). Alpha
     and reconfiguration are charged as per-schedule dead time between
     phases.
+
+    Args:
+        telemetry: when True, observe per-link rates and return
+            ``(results, LinkTelemetry)``. Unlike :func:`run_schedule`,
+            alpha and reconfiguration here are engine-time delays, so the
+            telemetry horizon (the last schedule's finish time) includes
+            them — idle time during reconfiguration is correctly counted
+            as stranded bandwidth.
     """
     engine = EventEngine()
-    network = FlowNetwork(engine, link_capacities)
+    if telemetry:
+        network = InstrumentedNetwork(engine, link_capacities)
+    else:
+        network = FlowNetwork(engine, link_capacities)
     states = []
     results: dict[int, ScheduleResult] = {}
 
@@ -180,4 +213,7 @@ def run_concurrent_schedules(
         guard += 1
         if guard > 5_000_000:
             raise RuntimeError("simulation did not converge")
-    return [results[i] for i in range(len(schedules))]
+    ordered = [results[i] for i in range(len(schedules))]
+    if telemetry:
+        return ordered, network.telemetry
+    return ordered

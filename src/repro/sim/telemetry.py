@@ -6,6 +6,10 @@ utilization; the benches and examples similarly want per-link timelines
 story, told quantitatively). A :class:`LinkTelemetry` wraps a
 :class:`~repro.sim.network.FlowNetwork`'s rate recomputation points and
 integrates per-link carried bytes into utilization statistics.
+
+One telemetry instance can observe several networks in sequence (the
+schedule runner builds a fresh network per phase): pass it to each
+:class:`InstrumentedNetwork` and the sample timelines accumulate.
 """
 
 from __future__ import annotations
@@ -14,10 +18,15 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from .engine import EventEngine
-from .flows import Flow
 from .network import FlowNetwork
 
 __all__ = ["LinkSample", "LinkTelemetry", "InstrumentedNetwork"]
+
+#: Relative slack under which summed carried bytes count as "nothing".
+#: Carried bytes are an integral of float rate x float interval; comparing
+#: the sum against exact 0.0 would misclassify links that accumulated a
+#: few ulps of drift, so idleness is judged against the busiest link.
+IDLE_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -45,7 +54,9 @@ class LinkTelemetry:
     """Accumulates per-link carried bytes over a simulation.
 
     Attributes:
-        capacities: link capacities used for utilization ratios.
+        capacities: link capacities used for utilization ratios. This is
+            also the telemetry's link universe: recording a link absent
+            from it is an error (see :meth:`record`).
     """
 
     capacities: dict[Hashable, float]
@@ -61,13 +72,26 @@ class LinkTelemetry:
     ) -> None:
         """Record one constant-rate interval.
 
+        Links must be known (present in ``capacities``): a silently
+        dropped sample would later surface as a confusing ``KeyError``
+        from :meth:`utilization` — or worse, as a link wrongly reported
+        idle. Register the link (add it to ``capacities``) before
+        recording traffic on it.
+
         Raises:
             ValueError: on a negative-length interval.
+            KeyError: for a link without a registered capacity.
         """
         if end_s < start_s:
             raise ValueError("interval end precedes start")
         if end_s == start_s:
             return
+        unknown = [link for link in link_rates if link not in self.capacities]
+        if unknown:
+            raise KeyError(
+                f"cannot record links {unknown!r}: no registered capacity "
+                "(add them to capacities first)"
+            )
         for link, rate in link_rates.items():
             if rate <= 0:
                 continue
@@ -75,9 +99,20 @@ class LinkTelemetry:
                 LinkSample(start_s=start_s, end_s=end_s, rate_bytes_per_s=rate)
             )
 
+    def samples(self, link: Hashable) -> tuple[LinkSample, ...]:
+        """The recorded constant-rate timeline of ``link``."""
+        return tuple(self._samples.get(link, ()))
+
     def carried_bytes(self, link: Hashable) -> float:
         """Total bytes carried on ``link``."""
         return sum(s.carried_bytes for s in self._samples.get(link, ()))
+
+    def peak_rate(self, link: Hashable) -> float:
+        """Highest aggregate rate observed on ``link`` (0.0 if never used)."""
+        return max(
+            (s.rate_bytes_per_s for s in self._samples.get(link, ())),
+            default=0.0,
+        )
 
     def utilization(self, link: Hashable, horizon_s: float) -> float:
         """Mean utilization of ``link`` over ``[0, horizon_s]``.
@@ -91,6 +126,14 @@ class LinkTelemetry:
         capacity = self.capacities[link]
         return self.carried_bytes(link) / (capacity * horizon_s)
 
+    def peak_utilization(self, link: Hashable) -> float:
+        """Highest instantaneous utilization observed on ``link``.
+
+        Raises:
+            KeyError: for a link without a known capacity.
+        """
+        return self.peak_rate(link) / self.capacities[link]
+
     def busiest_links(self, top: int = 5) -> list[tuple[Hashable, float]]:
         """The ``top`` links by carried bytes, descending."""
         totals = [
@@ -99,10 +142,23 @@ class LinkTelemetry:
         totals.sort(key=lambda kv: (-kv[1], str(kv[0])))
         return totals[:top]
 
-    def idle_links(self) -> list[Hashable]:
-        """Links with capacity that carried nothing — stranded bandwidth."""
+    def idle_links(self, tolerance: float = IDLE_TOLERANCE) -> list[Hashable]:
+        """Links with capacity that carried ~nothing — stranded bandwidth.
+
+        A link is idle when its carried bytes are at most ``tolerance``
+        times the busiest link's — a relative comparison, because carried
+        bytes are summed floats and exact equality with 0.0 would flip on
+        integration drift.
+        """
+        threshold = tolerance * max(
+            (self.carried_bytes(link) for link in self.capacities), default=0.0
+        )
         return sorted(
-            (link for link in self.capacities if self.carried_bytes(link) == 0.0),
+            (
+                link
+                for link in self.capacities
+                if self.carried_bytes(link) <= threshold
+            ),
             key=str,
         )
 
@@ -122,12 +178,29 @@ class InstrumentedNetwork(FlowNetwork):
 
     Rates are piecewise-constant between flow arrivals/completions; this
     subclass snapshots the per-link aggregate rate at every change point
-    and records the elapsed interval into the telemetry.
+    and records the elapsed interval into the telemetry. It observes the
+    base class without perturbing it, so measured completion times are
+    bit-identical to an uninstrumented run.
+
+    Args:
+        telemetry: accumulate into an existing telemetry (its capacities
+            must cover this network's links) instead of starting fresh —
+            how the schedule runner stitches per-phase networks into one
+            timeline.
     """
 
-    def __init__(self, engine: EventEngine, capacities: dict[Hashable, float]):
+    def __init__(
+        self,
+        engine: EventEngine,
+        capacities: dict[Hashable, float],
+        telemetry: LinkTelemetry | None = None,
+    ):
         super().__init__(engine, capacities)
-        self.telemetry = LinkTelemetry(capacities=dict(capacities))
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else LinkTelemetry(capacities=dict(capacities))
+        )
         self._interval_start = engine.now_s
         self._current_rates: dict[Hashable, float] = {}
 

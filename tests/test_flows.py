@@ -64,6 +64,50 @@ class TestDemandCaps:
         assert rates["a"] == pytest.approx(2.0)
         assert rates["b"] == pytest.approx(3.0)
 
+    def test_zero_demand_rejected_at_construction(self):
+        # Regression: a zero cap used to slip through and freeze the flow
+        # at rate 0, later misreported as a link-capacity problem.
+        with pytest.raises(ValueError, match="non-positive demand cap"):
+            flow("a", ["l1"], demand=0.0)
+
+    def test_negative_demand_rejected_at_construction(self):
+        # A negative cap is worse than starvation: progressive filling
+        # would subtract it from remaining capacity, *crediting* the link
+        # and oversubscribing it for every other flow.
+        with pytest.raises(ValueError, match="non-positive demand cap"):
+            flow("a", ["l1"], demand=-1.0)
+
+    def test_zeroed_demand_after_construction_diagnosed(self):
+        # Flows are mutable (rates are written back), so a cap can be
+        # zeroed after Flow.__post_init__ ran; max_min_rates must still
+        # diagnose the cap, not blame the link capacities.
+        bad = flow("a", ["l1"], demand=1.0)
+        bad.demand_bytes_per_s = 0.0
+        with pytest.raises(ValueError, match="capacities are not at fault"):
+            max_min_rates([bad, flow("b", ["l1"])], {"l1": 10.0})
+
+    def test_positive_caps_never_starve_or_oversubscribe(self):
+        # Deterministic stress over mixed capped/uncapped multihop flows:
+        # with strictly positive caps every flow gets a positive rate and
+        # no link exceeds its capacity (a capped demand freezes only when
+        # it is below the bottleneck share, which per-link is at most
+        # remaining/users — so the clamp never hides a real deficit).
+        links = ["l1", "l2", "l3", "l4"]
+        caps = {"l1": 10.0, "l2": 6.0, "l3": 8.0, "l4": 2.5}
+        flows = [
+            flow("a", ["l1", "l2"], demand=0.5),
+            flow("b", ["l2", "l3"], demand=5.0),
+            flow("c", ["l1", "l3", "l4"], demand=2.4),
+            flow("d", ["l4"], demand=0.1),
+            flow("e", ["l2"]),
+            flow("f", ["l1", "l4"]),
+        ]
+        rates = max_min_rates(flows, caps)
+        assert all(rate > 0 for rate in rates.values())
+        for link in links:
+            load = sum(rates[f.flow_id] for f in flows if link in f.links)
+            assert load <= caps[link] + 1e-9
+
 
 class TestValidation:
     def test_unknown_link_rejected(self):

@@ -1,0 +1,223 @@
+"""End-to-end tests for the link-utilization telemetry pipeline.
+
+Covers the whole chain: instrumented schedule execution (ring all-reduce
+at ~100 % utilization on its links, ~0 elsewhere), the ``link_utilization``
+RunResult section and its JSON/cache round-trip, the analysis aggregation
+reproducing the Figure 5c 66 % stranded-bandwidth story, and the CLI
+surfaces (``repro utilization``, ``simulate --telemetry``) — including
+that observability is zero-cost when disabled (telemetry-off output stays
+byte-identical to the goldens).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.utilization import (
+    compare_link_utilization,
+    dimension_utilization,
+)
+from repro.api import (
+    FabricSession,
+    LinkUtilizationReport,
+    RunResult,
+    ScenarioSpec,
+    UnsupportedOutput,
+    compare,
+    run,
+    spec_key,
+    table1_slices,
+)
+from repro.collectives.primitives import Interconnect, build_reduce_scatter_schedule
+from repro.phy.constants import CHIP_EGRESS_BYTES
+from repro.sim.runner import run_schedule
+from repro.topology.slices import Slice
+from repro.topology.torus import Torus
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SIM_SPEC = ScenarioSpec(
+    fabric="electrical",
+    slices=table1_slices(),
+    mode="sim",
+    outputs=("telemetry", "link_utilization"),
+)
+
+
+class TestRingAllReduceUtilization:
+    """A congestion-free single-ring collective, fully instrumented."""
+
+    def setup_method(self):
+        rack = Torus((4, 4, 4))
+        slc = Slice(name="ring", rack=rack, offset=(0, 0, 0), shape=(4, 1, 1))
+        self.schedule = build_reduce_scatter_schedule(
+            slc, 1 << 20, Interconnect.OPTICAL
+        )
+        self.caps = {link: CHIP_EGRESS_BYTES for link in rack.links()}
+        self.rack = rack
+
+    def test_active_links_run_at_full_utilization(self):
+        result, telemetry = run_schedule(
+            self.schedule, self.caps, telemetry=True
+        )
+        used = {
+            link
+            for phase in self.schedule.phases
+            for t in phase.transfers
+            for link in t.links
+        }
+        assert used, "ring schedule moved no bytes"
+        for link in used:
+            # One ring, no contention: every used link saturates for the
+            # whole transfer window.
+            assert telemetry.utilization(
+                link, result.transfer_s
+            ) == pytest.approx(1.0)
+
+    def test_unused_links_report_zero_and_idle(self):
+        result, telemetry = run_schedule(
+            self.schedule, self.caps, telemetry=True
+        )
+        used = {
+            link
+            for phase in self.schedule.phases
+            for t in phase.transfers
+            for link in t.links
+        }
+        idle = set(telemetry.idle_links())
+        assert idle == set(self.caps) - used
+        for link in idle:
+            assert telemetry.utilization(link, result.transfer_s) == 0.0
+
+    def test_durations_byte_identical_to_telemetry_off(self):
+        plain = run_schedule(self.schedule, self.caps)
+        observed, _ = run_schedule(self.schedule, self.caps, telemetry=True)
+        # Exact equality, not approx: observation must not perturb a
+        # single bit of the measured timeline.
+        assert observed == plain
+
+
+class TestRunResultSection:
+    def test_report_shape(self):
+        result = run(SIM_SPEC)
+        report = result.link_utilization
+        assert isinstance(report, LinkUtilizationReport)
+        assert report.horizon_s > 0
+        assert len(report.links) == sum(1 for _ in Torus((4, 4, 4)).links())
+        assert report.links == tuple(
+            sorted(report.links, key=lambda li: (li.src, li.dst))
+        )
+
+    def test_telemetry_section_unchanged_by_instrumentation(self):
+        with_util = run(SIM_SPEC)
+        without = run(SIM_SPEC.with_outputs("telemetry"))
+        assert with_util.telemetry == without.telemetry
+
+    def test_json_round_trip(self):
+        result = run(SIM_SPEC)
+        restored = RunResult.from_dict(result.to_dict())
+        assert restored == result
+        assert json.dumps(restored.to_dict(), sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        )
+
+    def test_from_dict_without_section_is_backward_compatible(self):
+        # Cached JSON written before this section existed must still load.
+        data = run(SIM_SPEC.with_outputs("telemetry")).to_dict()
+        data.pop("link_utilization")
+        restored = RunResult.from_dict(data)
+        assert restored.link_utilization is None
+
+    def test_spec_key_unchanged_for_telemetry_off_specs(self):
+        # The new output only appears in keys of specs that request it,
+        # so cached telemetry-off results stay valid.
+        base = ScenarioSpec(slices=table1_slices(), outputs=("costs",))
+        assert "link_utilization" not in json.dumps(base.to_dict())
+        assert spec_key(base) != spec_key(
+            ScenarioSpec(
+                slices=table1_slices(),
+                mode="sim",
+                outputs=("costs", "link_utilization"),
+            )
+        )
+
+    def test_requires_sim_mode(self):
+        with pytest.raises(ValueError, match="link_utilization"):
+            ScenarioSpec(slices=table1_slices(), outputs=("link_utilization",))
+
+    def test_switched_fabric_unsupported(self):
+        spec = ScenarioSpec(
+            fabric="switched",
+            slices=table1_slices(),
+            mode="sim",
+            outputs=("link_utilization",),
+        )
+        with pytest.raises(UnsupportedOutput):
+            FabricSession().run(spec)
+
+
+class TestFigure5cStory:
+    def test_electrical_idle_dimension_measured(self):
+        # Slice-1 (4x2x1) cannot ring along dimension 2; the measurement
+        # must show that dimension fully idle on the electrical torus.
+        result = run(SIM_SPEC.with_outputs("link_utilization"))
+        dims = {d.dimension: d for d in dimension_utilization(result.link_utilization)}
+        assert dims[2].mean_utilization == 0.0
+        assert dims[2].idle_fraction == 1.0
+        assert dims[0].mean_utilization > 0.0
+        assert dims[1].mean_utilization > 0.0
+
+    def test_measured_loss_reproduces_66_percent(self):
+        spec = SIM_SPEC.with_outputs("link_utilization")
+        results = compare(spec, fabrics=("electrical", "photonic"))
+        comparison = compare_link_utilization(
+            results["electrical"].link_utilization,
+            results["photonic"].link_utilization,
+        )
+        # Paper Figure 5c: static electrical links strand ~66 % of
+        # Slice-1's bandwidth. Measured, not asserted.
+        assert 0.60 <= comparison.bandwidth_loss_fraction <= 0.70
+        assert comparison.speedup > 2.5
+
+
+class TestCliGolden:
+    """Telemetry-off CLI output stays byte-identical to the goldens."""
+
+    @pytest.mark.parametrize(
+        "name,argv",
+        [
+            ("simulate.txt", ["simulate"]),
+            ("sweep.json", ["sweep", "--no-cache"]),
+            ("utilization.json", ["utilization"]),
+        ],
+        ids=["simulate", "sweep", "utilization"],
+    )
+    def test_output_matches_golden(self, capsys, name, argv):
+        from repro.cli import main
+
+        golden = (GOLDEN_DIR / name).read_text()
+        assert main(argv) == 0
+        assert capsys.readouterr().out == golden
+
+    def test_simulate_telemetry_json_is_deterministic(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--telemetry"]) == 0
+        first = capsys.readouterr().out
+        assert main(["simulate", "--telemetry"]) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["link_utilization"]["links"]
+        assert payload["link_utilization"]["stranded_fraction"] > 0
+
+    def test_simulate_table_unchanged_after_telemetry_run(self, capsys):
+        # Running the instrumented variant first must not leak into the
+        # plain table path (separate spec keys, shared session).
+        from repro.cli import main
+
+        golden = (GOLDEN_DIR / "simulate.txt").read_text()
+        assert main(["simulate", "--telemetry"]) == 0
+        capsys.readouterr()
+        assert main(["simulate"]) == 0
+        assert capsys.readouterr().out == golden

@@ -70,6 +70,10 @@ class TestSharing:
 
 class TestCallbacks:
     def test_on_complete_fires_once_at_finish(self):
+        # Regression: completion callbacks are deferred to zero-delay
+        # events, and run_until_idle used to exit as soon as the last
+        # flow left _active — dropping the queued callbacks. No trailing
+        # engine.run() is allowed here; run_until_idle alone must deliver.
         engine, network = make()
         calls = []
         network.inject(
@@ -77,8 +81,38 @@ class TestCallbacks:
             on_complete=lambda record: calls.append(engine.now_s),
         )
         network.run_until_idle()
-        engine.run()
         assert calls == [pytest.approx(10.0)]
+
+    def test_run_until_idle_runs_callback_injected_flows(self):
+        engine, network = make()
+        finishes = []
+
+        def chain(record):
+            finishes.append(engine.now_s)
+            if len(finishes) < 3:
+                network.inject(
+                    Flow(f"f{len(finishes)}", ("l1",), 10.0), on_complete=chain
+                )
+
+        network.inject(Flow("f0", ("l1",), 10.0), on_complete=chain)
+        network.run_until_idle()
+        assert finishes == [
+            pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)
+        ]
+
+    def test_run_until_idle_leaves_future_events_alone(self):
+        # Draining covers only events already due (the deferred
+        # callbacks); an unrelated event the caller scheduled for later
+        # must still be pending afterwards.
+        engine, network = make()
+        later = []
+        network.inject(Flow("a", ("l1",), 100.0))
+        engine.schedule_after(99.0, lambda: later.append(engine.now_s))
+        finish = network.run_until_idle()
+        assert finish == pytest.approx(10.0)
+        assert later == []
+        engine.run()
+        assert later == [pytest.approx(99.0)]
 
     def test_callback_can_inject_next_flow(self):
         engine, network = make()
@@ -115,3 +149,14 @@ class TestValidation:
         assert network.active_flow_count() == 1
         network.run_until_idle()
         assert network.active_flow_count() == 0
+
+    def test_zeroed_demand_cap_diagnosed_accurately(self):
+        # Regression: a demand cap zeroed after construction used to
+        # freeze the flow at rate 0 and raise "starved (zero rate);
+        # check link capacities" — blaming the (perfectly fine) links.
+        # The rate model now rejects the cap itself, by name.
+        engine, network = make()
+        record = network.inject(Flow("a", ("l1",), 100.0, demand_bytes_per_s=5.0))
+        record.flow.demand_bytes_per_s = 0.0
+        with pytest.raises(ValueError, match="not at fault"):
+            network.inject(Flow("b", ("l1",), 50.0))

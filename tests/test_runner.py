@@ -103,6 +103,45 @@ class TestConcurrentSchedules:
         assert results[1].name == schedules[1].name
 
 
+class TestRunnerTelemetry:
+    def test_run_schedule_result_identical_with_telemetry(self, rack):
+        # Instrumentation is observation-only: the ScheduleResult must be
+        # exactly equal (not approx) to the uninstrumented run's.
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 2, 1))
+        schedule = build_reduce_scatter_schedule(slc, 1 << 20, Interconnect.OPTICAL)
+        caps = capacities(rack, CHIP_EGRESS_BYTES)
+        plain = run_schedule(schedule, caps)
+        observed, _ = run_schedule(schedule, caps, telemetry=True)
+        assert observed == plain
+
+    def test_run_schedule_telemetry_accounts_all_bytes(self, rack):
+        slc = Slice(name="s", rack=rack, offset=(0, 0, 0), shape=(4, 1, 1))
+        n = 1 << 20
+        schedule = build_reduce_scatter_schedule(slc, n, Interconnect.OPTICAL)
+        caps = capacities(rack, CHIP_EGRESS_BYTES)
+        _, telemetry = run_schedule(schedule, caps, telemetry=True)
+        total = sum(telemetry.carried_bytes(link) for link in caps)
+        moved = sum(
+            t.n_bytes for phase in schedule.phases for t in phase.transfers
+        )
+        assert total == pytest.approx(moved)
+
+    def test_concurrent_results_identical_with_telemetry(self, rack):
+        a = Slice(name="a", rack=rack, offset=(0, 0, 0), shape=(4, 1, 1))
+        b = Slice(name="b", rack=rack, offset=(0, 2, 2), shape=(4, 1, 1))
+        caps = capacities(rack, CHIP_EGRESS_BYTES / 3)
+        schedules = [
+            build_reduce_scatter_schedule(a, 1 << 20, Interconnect.ELECTRICAL),
+            build_reduce_scatter_schedule(b, 1 << 20, Interconnect.ELECTRICAL),
+        ]
+        plain = run_concurrent_schedules(schedules, caps)
+        observed, telemetry = run_concurrent_schedules(
+            schedules, caps, telemetry=True
+        )
+        assert observed == plain
+        assert any(telemetry.carried_bytes(link) > 0 for link in caps)
+
+
 class TestConcurrentEdgeCases:
     def test_empty_schedule_list_returns_empty(self, rack):
         caps = capacities(rack, CHIP_EGRESS_BYTES)

@@ -47,6 +47,39 @@ class TestLinkTelemetry:
         telemetry.record(0.0, 1.0, {"a": 10.0})
         assert telemetry.mean_utilization(horizon_s=1.0) == pytest.approx(0.5)
 
+    def test_record_unknown_link_raises(self):
+        # Regression: samples on links missing from `capacities` used to
+        # be dropped silently, surfacing much later as a KeyError from
+        # utilization() — or worse, as the link being reported idle.
+        telemetry = LinkTelemetry(capacities={"l1": 10.0})
+        with pytest.raises(KeyError, match="ghost"):
+            telemetry.record(0.0, 1.0, {"l1": 5.0, "ghost": 5.0})
+        # The rejected call must not have half-recorded the known link.
+        assert telemetry.carried_bytes("l1") == 0.0
+
+    def test_idle_links_tolerates_float_dust(self):
+        # Regression: idleness used to be `carried == 0.0`, so a link
+        # that accumulated a few ulps of integration drift was counted
+        # as busy. Idleness is now relative to the busiest link.
+        telemetry = LinkTelemetry(capacities={"busy": 10.0, "dusty": 10.0})
+        telemetry.record(0.0, 1.0, {"busy": 10.0})
+        telemetry.record(0.0, 1e-12, {"dusty": 1e-4})
+        assert telemetry.idle_links() == ["dusty"]
+        # An explicit zero tolerance restores exact comparison.
+        assert telemetry.idle_links(tolerance=0.0) == []
+
+    def test_idle_links_all_idle_when_nothing_recorded(self):
+        telemetry = LinkTelemetry(capacities={"a": 10.0, "b": 10.0})
+        assert telemetry.idle_links() == ["a", "b"]
+
+    def test_peak_rate_and_peak_utilization(self):
+        telemetry = LinkTelemetry(capacities={"l1": 10.0})
+        telemetry.record(0.0, 1.0, {"l1": 4.0})
+        telemetry.record(1.0, 2.0, {"l1": 8.0})
+        assert telemetry.peak_rate("l1") == pytest.approx(8.0)
+        assert telemetry.peak_utilization("l1") == pytest.approx(0.8)
+        assert telemetry.peak_rate("never-used") == 0.0
+
 
 class TestInstrumentedNetwork:
     def test_single_flow_fully_accounted(self):
@@ -85,3 +118,17 @@ class TestInstrumentedNetwork:
         network.run_until_idle()
         assert network.telemetry.carried_bytes("l1") == pytest.approx(100.0)
         assert network.telemetry.carried_bytes("l2") == pytest.approx(100.0)
+
+    def test_shared_telemetry_accumulates_across_networks(self):
+        # The schedule runner builds a fresh network per phase; handing
+        # each one the same telemetry must stitch their timelines.
+        engine = EventEngine()
+        telemetry = LinkTelemetry(capacities={"l1": 10.0})
+        first = InstrumentedNetwork(engine, {"l1": 10.0}, telemetry=telemetry)
+        first.inject(Flow("a", ("l1",), 50.0))
+        first.run_until_idle()
+        second = InstrumentedNetwork(engine, {"l1": 10.0}, telemetry=telemetry)
+        second.inject(Flow("b", ("l1",), 30.0))
+        second.run_until_idle()
+        assert second.telemetry is telemetry
+        assert telemetry.carried_bytes("l1") == pytest.approx(80.0)
