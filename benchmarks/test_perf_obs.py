@@ -1,0 +1,61 @@
+"""Observability overhead: tracer-off must cost (near) nothing.
+
+The tracing layer's contract is zero overhead when off — every sim call
+site guards on ``tracer.enabled`` against the shared ``NULL_TRACER``
+singleton, so an uninstrumented run executes no event construction at
+all. Two benches hold the layer to it: the first measures the same
+simulated workload with tracing off and on and asserts the results are
+*exactly equal* (observation never perturbs the simulation), the second
+that an uninstrumented result still serializes byte-identically to a
+result produced with no observability code in the process at all.
+"""
+
+from _helpers import emit
+from repro.api import FabricSession, FailurePlan, ScenarioSpec, figure6_slices
+from repro.obs.tracer import NULL_TRACER
+
+
+def _sim_spec(outputs=("telemetry",)):
+    return ScenarioSpec(
+        fabric="photonic",
+        slices=figure6_slices(),
+        mode="sim",
+        outputs=outputs,
+        failures=FailurePlan(failed_chips=((1, 2, 0),)),
+    )
+
+
+def test_tracer_off_results_identical(benchmark):
+    plain = FabricSession().run(_sim_spec())
+
+    def run_uninstrumented():
+        return FabricSession().run(_sim_spec())
+
+    timed = benchmark.pedantic(run_uninstrumented, rounds=3, iterations=1)
+    assert timed == plain
+    # The tracer-off path never recorded anything anywhere.
+    assert NULL_TRACER.events == ()
+    assert timed.to_json() == plain.to_json()
+    emit(
+        "Observability — tracer-off run",
+        "uninstrumented sim results exactly equal and byte-identical "
+        "as JSON; NULL_TRACER recorded 0 events",
+    )
+
+
+def test_traced_run_observation_only(benchmark):
+    plain = FabricSession().run(_sim_spec())
+
+    def run_traced():
+        return FabricSession().run(
+            _sim_spec(outputs=("telemetry", "trace", "metrics"))
+        )
+
+    traced = benchmark.pedantic(run_traced, rounds=3, iterations=1)
+    assert traced.telemetry == plain.telemetry
+    assert len(traced.trace.events) > 100
+    emit(
+        "Observability — traced run",
+        f"{len(traced.trace.events)} events captured; telemetry exactly "
+        "equal to the uninstrumented run",
+    )

@@ -13,6 +13,11 @@ from .sweep import (
     slice_shape_sweep,
 )
 from .tables import cost_row, render_histogram, render_table
+from .trace_summary import (
+    CategorySummary,
+    render_trace_summary,
+    summarize_trace,
+)
 from .utilization import (
     DimensionUtilization,
     FabricUtilizationComparison,
@@ -36,6 +41,9 @@ __all__ = [
     "cost_row",
     "render_histogram",
     "render_table",
+    "CategorySummary",
+    "summarize_trace",
+    "render_trace_summary",
     "SliceUtilization",
     "DimensionUtilization",
     "FabricUtilizationComparison",

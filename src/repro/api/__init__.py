@@ -13,6 +13,14 @@ Sweeps scale out through the batch layer: :func:`run_many` fans a list
 of specs (or a :class:`SweepPlan` grid) across worker processes and a
 persistent content-addressed :class:`DiskResultCache`, so repeated
 sweeps hit disk instead of recomputing.
+
+Observability is opt-in: request the ``"trace"`` output on a sim-mode
+spec for a Chrome-traceable event timeline (:class:`TraceReport`), the
+``"metrics"`` output for deterministic simulator counters
+(:class:`MetricsReport`), and pass a
+:class:`~repro.obs.metrics.MetricsRegistry` to :class:`FabricSession` or
+:func:`run_many` for cache/timing instrumentation. Leaving all three off
+changes nothing — results and their JSON stay byte-identical.
 """
 
 from .backends import (
@@ -37,6 +45,8 @@ from .cache import (
     default_cache_dir,
     spec_key,
 )
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import TraceEvent, Tracer
 from .result import (
     AttemptLine,
     BlastRadiusSummary,
@@ -46,6 +56,8 @@ from .result import (
     DeviceReport,
     LinkLoadLine,
     LinkUtilizationReport,
+    MetricLine,
+    MetricsReport,
     PolicyLine,
     RepairReport,
     RunResult,
@@ -53,6 +65,7 @@ from .result import (
     SliceCost,
     TelemetryLine,
     TelemetryReport,
+    TraceReport,
     UtilizationRow,
 )
 from .session import FabricSession, compare, default_session, run
@@ -125,4 +138,11 @@ __all__ = [
     "BlastRadiusSummary",
     "PolicyLine",
     "DeviceReport",
+    # observability
+    "TraceReport",
+    "TraceEvent",
+    "Tracer",
+    "MetricsReport",
+    "MetricLine",
+    "MetricsRegistry",
 ]

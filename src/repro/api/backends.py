@@ -33,11 +33,13 @@ from ..core.repair import RepairError, plan_optical_repair
 from ..core.wafer import LightpathWafer
 from ..failures.blast_radius import compare_policies, improvement_factor
 from ..failures.inject import FleetFailureModel
-from ..failures.recovery import ElectricalRecoveryAnalysis
+from ..failures.recovery import ElectricalRecoveryAnalysis, RackMigrationPolicy
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
 from ..phy.constants import CHIP_EGRESS_BYTES
 from ..phy.mzi import MziSwitchDynamics
 from ..phy.stitch_loss import StitchLossModel
-from ..sim.runner import run_concurrent_schedules
+from ..sim.runner import ScheduleResult, run_concurrent_schedules
 from ..sim.traffic import MultiTenantWorkload
 from ..topology.switched import SwitchedServer
 from ..topology.tpu import TpuCluster, TpuRack
@@ -50,12 +52,14 @@ from .result import (
     DeviceReport,
     LinkLoadLine,
     LinkUtilizationReport,
+    MetricsReport,
     PolicyLine,
     RepairReport,
     SharedLinkLine,
     SliceCost,
     TelemetryLine,
     TelemetryReport,
+    TraceReport,
 )
 from .spec import ScenarioSpec
 
@@ -137,6 +141,18 @@ class FabricBackend(Protocol):
         self, session: "FabricSession", spec: ScenarioSpec
     ) -> BlastRadiusSummary:
         """Fleet-scale recovery-policy comparison (Section 4.2)."""
+        ...
+
+    def trace(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> TraceReport:
+        """Event timeline of the scenario's execution (and recovery)."""
+        ...
+
+    def metrics(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> MetricsReport:
+        """Deterministic simulator counters for the scenario."""
         ...
 
 
@@ -260,6 +276,108 @@ class _TorusBackendBase:
             links=tuple(lines),
         )
 
+    # -- tracing and metrics ------------------------------------------------------
+
+    def _traced_run(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> tuple[list[ScheduleResult], Tracer]:
+        """Run the spec's workload with a tracer attached.
+
+        The run is identical to the one ``telemetry`` measures — tracing
+        observes without perturbing — so a trace and a telemetry report
+        of the same spec describe the same execution.
+        """
+        torus = session.torus(spec.rack_shape)
+        capacity = self.link_capacity_bytes(spec)
+        capacities = {link: capacity for link in torus.links()}
+        workload = MultiTenantWorkload(
+            slices=session.slices(spec),
+            buffer_bytes=spec.buffer_bytes,
+            interconnect=self.interconnect,
+        )
+        params = CostParameters()
+        tracer = Tracer()
+        results = run_concurrent_schedules(
+            workload.schedules(),
+            capacities,
+            params.alpha_s,
+            params.reconfig_s,
+            tracer=tracer,
+        )
+        return results, tracer
+
+    def _trace_failure(
+        self,
+        session: "FabricSession",
+        spec: ScenarioSpec,
+        tracer: Tracer,
+        t0_s: float,
+    ) -> None:
+        """Append this fabric's failure-recovery timeline at ``t0_s``."""
+        raise NotImplementedError
+
+    def trace(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> TraceReport:
+        """The scenario's full event timeline.
+
+        The workload runs traced from t = 0; when the spec injects
+        failures, the fabric's recovery story (Figures 6a/6b vs 7) is
+        appended at the workload's horizon — a chip fails the moment the
+        collectives finish, and the trace shows what recovery costs:
+        microsecond MZI reconfigurations on the photonic fabric, a rack
+        migration on the electrical one.
+        """
+        results, tracer = self._traced_run(session, spec)
+        if spec.failures.failed_chips:
+            horizon = max((r.duration_s for r in results), default=0.0)
+            self._trace_failure(session, spec, tracer, horizon)
+        return TraceReport.from_tracer(tracer)
+
+    def metrics(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> MetricsReport:
+        """Deterministic counters derived from a traced run.
+
+        Every value is simulation-derived (event counts, sim-time
+        durations) — no wall clock — so the report golden-tests cleanly.
+        """
+        results, tracer = self._traced_run(session, spec)
+        registry = MetricsRegistry()
+        events = tracer.events
+        registry.counter("sim.flows_completed").inc(
+            sum(1 for e in events if e.ph == "X" and e.cat == "flow")
+        )
+        registry.counter("sim.rate_rebalances").inc(
+            sum(1 for e in events if e.ph == "i" and e.cat == "network")
+        )
+        registry.counter("sim.phases").inc(
+            sum(1 for e in events if e.ph == "X" and e.cat == "phase")
+        )
+        registry.counter("sim.reconfig_windows").inc(
+            sum(1 for e in events if e.ph == "X" and e.cat == "reconfig")
+        )
+        registry.counter("sim.schedules").inc(len(results))
+        run_complete = [
+            e for e in events if e.ph == "i" and e.cat == "engine"
+        ]
+        if run_complete:
+            registry.counter("sim.engine_events").inc(
+                dict(run_complete[-1].args)["events_processed"]
+            )
+        registry.gauge("sim.horizon_s").set(
+            max((r.duration_s for r in results), default=0.0)
+        )
+        registry.gauge("sim.reconfig_s_total").set(
+            sum(r.reconfig_s for r in results)
+        )
+        durations = registry.histogram("sim.schedule_duration_s")
+        transfers = registry.histogram("sim.schedule_transfer_s")
+        for result in results:
+            durations.observe(result.duration_s)
+            transfers.observe(result.transfer_s)
+        return MetricsReport.from_registry(registry)
+
     # -- fleet blast radius -------------------------------------------------------
 
     def blast_radius(
@@ -373,6 +491,68 @@ class ElectricalBackend(_TorusBackendBase):
             ),
         )
 
+    def _trace_failure(
+        self,
+        session: "FabricSession",
+        spec: ScenarioSpec,
+        tracer: Tracer,
+        t0_s: float,
+    ) -> None:
+        """The Figure 6a/6b story as a timeline.
+
+        A chip fails at ``t0_s``; every free chip is evaluated as a
+        replacement (each an instant event carrying its congested-link
+        count); since none is congestion-free, the rack-migration
+        fallback runs — a span whose ~600 s duration dwarfs everything
+        else on the timeline.
+        """
+        failed = _first_failure(spec)
+        torus = session.torus(spec.rack_shape)
+        allocator = session.allocator(spec)
+        slc = session.slice_of_chip(spec, failed)
+        tracer.instant(
+            "chip-failure",
+            cat="failure",
+            ts_s=t0_s,
+            args={"chip": list(failed), "slice": slc.name},
+        )
+        analysis = ElectricalRecoveryAnalysis(
+            torus, allocator, max_hops=spec.failures.max_hops
+        )
+        attempts = analysis.evaluate_all_free_chips(slc, failed)
+        for attempt in attempts:
+            tracer.instant(
+                f"replacement-candidate {attempt.free_chip}",
+                cat="recovery",
+                ts_s=t0_s,
+                args={
+                    "free_chip": list(attempt.free_chip),
+                    "feasible": attempt.feasible,
+                    "congested_links": attempt.total_congested_links,
+                },
+            )
+        if any(a.feasible for a in attempts):
+            tracer.instant(
+                "congestion-free-replacement", cat="recovery", ts_s=t0_s
+            )
+            return
+        policy = RackMigrationPolicy()
+        latency = policy.recovery_latency_s()
+        tracer.complete(
+            "rack-migration",
+            cat="recovery",
+            start_s=t0_s,
+            end_s=t0_s + latency,
+            args={
+                "checkpoint_restore_s": policy.checkpoint_restore_s,
+                "ocs_reconfigure_s": policy.ocs_reconfigure_s,
+                "blast_radius_chips": policy.rack_chips,
+            },
+        )
+        tracer.instant(
+            "slice-recovered", cat="recovery", ts_s=t0_s + latency
+        )
+
 
 class PhotonicBackend(_TorusBackendBase):
     """The LIGHTPATH server-scale photonic fabric."""
@@ -431,6 +611,71 @@ class PhotonicBackend(_TorusBackendBase):
             setup_latency_s=plan.setup_latency_s,
             fibers_used=plan.fibers_used,
             blast_radius_chips=plan.blast_radius_chips,
+        )
+
+    def _trace_failure(
+        self,
+        session: "FabricSession",
+        spec: ScenarioSpec,
+        tracer: Tracer,
+        t0_s: float,
+    ) -> None:
+        """The Figure 7 story as a timeline.
+
+        A chip fails at ``t0_s``; the repair planner splices in a spare
+        over dedicated circuits, each an MZI reconfiguration span of the
+        paper's 3.7 us (all switched in parallel), and the slice is back
+        microseconds later — the counterpoint to the electrical rack
+        migration.
+        """
+        failed = _first_failure(spec)
+        allocator = session.allocator(spec)
+        slc = session.slice_of_chip(spec, failed)
+        tracer.instant(
+            "chip-failure",
+            cat="failure",
+            ts_s=t0_s,
+            args={"chip": list(failed), "slice": slc.name},
+        )
+        rack = TpuRack(0, shape=spec.rack_shape)
+        fabric = LightpathRackFabric(rack)
+        try:
+            plan = plan_optical_repair(
+                fabric, allocator, slc, failed,
+                replacement=spec.failures.replacement,
+            )
+        except RepairError as exc:
+            tracer.instant(
+                "repair-failed",
+                cat="recovery",
+                ts_s=t0_s,
+                args={"reason": str(exc)},
+            )
+            return
+        for circuit in plan.circuits:
+            tracer.complete(
+                f"mzi-reconfigure {circuit.src}->{circuit.dst}",
+                cat="reconfig",
+                start_s=t0_s,
+                end_s=t0_s + circuit.setup_latency_s,
+                args={"fiber_hops": circuit.fiber_hops},
+            )
+        tracer.complete(
+            "optical-repair",
+            cat="recovery",
+            start_s=t0_s,
+            end_s=t0_s + plan.setup_latency_s,
+            args={
+                "replacement": list(plan.replacement),
+                "circuits": len(plan.circuits),
+                "fibers_used": plan.fibers_used,
+                "blast_radius_chips": plan.blast_radius_chips,
+            },
+        )
+        tracer.instant(
+            "slice-recovered",
+            cat="recovery",
+            ts_s=t0_s + plan.setup_latency_s,
         )
 
     def device_report(
@@ -574,6 +819,33 @@ class SwitchedBackend:
         raise UnsupportedOutput(
             "blast-radius policies compare torus recovery strategies"
         )
+
+    def trace(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> TraceReport:
+        raise UnsupportedOutput(
+            "the switched fabric's contention model is closed-form — there "
+            'is no event timeline to trace; use the "metrics" output'
+        )
+
+    def metrics(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> MetricsReport:
+        """Contention counters from the closed-form switch model."""
+        server = self._shuffle(spec)
+        registry = MetricsRegistry()
+        registry.counter("switched.flows").inc(len(server.flows))
+        registry.gauge("switched.ports").set(server.accelerators)
+        registry.gauge("switched.aggregate_throughput_bytes").set(
+            server.aggregate_throughput_bytes()
+        )
+        registry.gauge("switched.ideal_throughput_bytes").set(
+            server.ideal_throughput_bytes()
+        )
+        registry.gauge("switched.contention_loss_fraction").set(
+            server.contention_loss_fraction()
+        )
+        return MetricsReport.from_registry(registry)
 
 
 # -- registry --------------------------------------------------------------------

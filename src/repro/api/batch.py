@@ -36,11 +36,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from ..obs.metrics import MetricsRegistry
 from .cache import (
     CacheStats,
     DiskResultCache,
     NullResultCache,
     ResultCache,
+    spec_key,
 )
 from .result import RunResult
 from .session import FabricSession
@@ -153,12 +155,15 @@ class SpecRun:
             (0.0 for duplicates folded by deduplication).
         from_cache: whether the result came from a cache instead of a
             fresh evaluation.
+        worker: OS pid of the process that evaluated the row (the parent
+            pid for serial runs and deduplicated rows).
     """
 
     spec: ScenarioSpec
     result: RunResult
     elapsed_s: float
     from_cache: bool
+    worker: int = 0
 
 
 @dataclass(frozen=True)
@@ -182,6 +187,29 @@ class SweepResult:
     def results(self) -> tuple[RunResult, ...]:
         """Just the results, in input order."""
         return tuple(row.result for row in self.runs)
+
+    def timing_records(self) -> list[dict[str, Any]]:
+        """One JSON-safe timing record per row, in input order.
+
+        This is the machine-readable form of the sweep's progress
+        reporting — the CLI emits one record per stderr line so scripts
+        can parse per-spec timing without scraping prose. Fields are
+        scalars only: spec position, fabric/mode, the content key
+        (truncated to 12 hex chars, enough to join against cache
+        entries), elapsed seconds, cache provenance and the worker pid.
+        """
+        return [
+            {
+                "spec_index": index,
+                "fabric": row.spec.fabric,
+                "mode": row.spec.mode,
+                "spec_key": spec_key(row.spec)[:12],
+                "elapsed_s": round(row.elapsed_s, 6),
+                "from_cache": row.from_cache,
+                "worker": row.worker,
+            }
+            for index, row in enumerate(self.runs)
+        ]
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -241,20 +269,26 @@ def _worker_init(cache_dir: str | None, no_cache: bool) -> None:
     )
 
 
-def _worker_eval(spec: ScenarioSpec) -> tuple[RunResult, float, bool]:
+def _worker_eval(spec: ScenarioSpec) -> tuple[RunResult, float, bool, int]:
     session = _WORKER_SESSION
     assert session is not None, "worker used without initialization"
     hits_before = session.cache_stats().hits
     started = time.perf_counter()
     result = session.run(spec)
     elapsed = time.perf_counter() - started
-    return result, elapsed, session.cache_stats().hits > hits_before
+    return (
+        result,
+        elapsed,
+        session.cache_stats().hits > hits_before,
+        os.getpid(),
+    )
 
 
 def _evaluate_serial(
     specs: Sequence[ScenarioSpec],
     session: FabricSession,
-) -> list[tuple[RunResult, float, bool]]:
+) -> list[tuple[RunResult, float, bool, int]]:
+    pid = os.getpid()
     rows = []
     for spec in specs:
         hits_before = session.cache_stats().hits
@@ -262,7 +296,7 @@ def _evaluate_serial(
         result = session.run(spec)
         elapsed = time.perf_counter() - started
         rows.append(
-            (result, elapsed, session.cache_stats().hits > hits_before)
+            (result, elapsed, session.cache_stats().hits > hits_before, pid)
         )
     return rows
 
@@ -275,6 +309,7 @@ def run_many(
     no_cache: bool = False,
     session: FabricSession | None = None,
     chunksize: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SweepResult:
     """Evaluate many specs, deduplicated, optionally in parallel + cached.
 
@@ -293,6 +328,12 @@ def run_many(
         chunksize: specs per worker dispatch; defaults to spreading the
             unique specs ~4 chunks per worker (small specs dominate, so
             chunking matters more than balance).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            the sweep reports into — spec/hit counters, per-stage
+            timing gauges (``sweep.plan_seconds``,
+            ``sweep.evaluate_seconds``, ``sweep.merge_seconds``) and a
+            ``sweep.spec_elapsed_s`` histogram. Purely observational:
+            ``None`` (the default) records nothing and changes nothing.
 
     Returns:
         A :class:`SweepResult` with one row per input spec, in input
@@ -312,6 +353,7 @@ def run_many(
     if jobs < 0:
         raise ValueError(f"jobs cannot be negative, got {jobs}")
     jobs = max(1, min(jobs, len(unique) or 1))
+    planned = time.perf_counter()
 
     if jobs == 1:
         if session is None:
@@ -338,22 +380,71 @@ def run_many(
             evaluated = list(
                 pool.map(_worker_eval, unique, chunksize=chunksize)
             )
+    evaluated_at = time.perf_counter()
 
     by_spec = dict(zip(unique, evaluated))
+    parent = os.getpid()
     runs = []
     seen: set[ScenarioSpec] = set()
     for spec in ordered:
-        result, elapsed, from_cache = by_spec[spec]
+        result, elapsed, from_cache, worker = by_spec[spec]
         if spec in seen:
             # A duplicate folded by dedup: served from the first
-            # occurrence, no additional work.
-            runs.append(SpecRun(spec, result, 0.0, True))
+            # occurrence, no additional work in any worker.
+            runs.append(SpecRun(spec, result, 0.0, True, parent))
         else:
             seen.add(spec)
-            runs.append(SpecRun(spec, result, elapsed, from_cache))
-    return SweepResult(
+            runs.append(SpecRun(spec, result, elapsed, from_cache, worker))
+    sweep = SweepResult(
         runs=tuple(runs),
         wall_clock_s=time.perf_counter() - started,
         jobs=jobs,
         unique_specs=len(unique),
     )
+    if metrics is not None:
+        _record_sweep_metrics(
+            metrics,
+            sweep,
+            plan_s=planned - started,
+            evaluate_s=evaluated_at - planned,
+            merge_s=time.perf_counter() - evaluated_at,
+        )
+    return sweep
+
+
+def _record_sweep_metrics(
+    metrics: MetricsRegistry,
+    sweep: SweepResult,
+    *,
+    plan_s: float,
+    evaluate_s: float,
+    merge_s: float,
+) -> None:
+    """Report one finished sweep into ``metrics``.
+
+    Stage gauges decompose the wall clock: planning (dedup + job
+    sizing), evaluation (serial loop or pool map — for parallel runs
+    this includes worker startup and result-queue wait), and the merge
+    back into input order. Evaluation time spent *inside* specs is the
+    ``sweep.spec_elapsed_s`` histogram; the gap between the evaluate
+    gauge and the histogram total is scheduling overhead.
+    """
+    metrics.counter("sweep.specs").inc(len(sweep.runs))
+    metrics.counter("sweep.unique_specs").inc(sweep.unique_specs)
+    stats = sweep.cache_stats
+    metrics.counter("sweep.cache_hits").inc(stats.hits)
+    metrics.counter("sweep.cache_misses").inc(stats.misses)
+    metrics.gauge("sweep.jobs").set(sweep.jobs)
+    metrics.gauge("sweep.workers_used").set(
+        len({row.worker for row in sweep.runs})
+    )
+    metrics.gauge("sweep.plan_seconds").set(plan_s)
+    metrics.gauge("sweep.evaluate_seconds").set(evaluate_s)
+    metrics.gauge("sweep.merge_seconds").set(merge_s)
+    metrics.gauge("sweep.wall_clock_s").set(sweep.wall_clock_s)
+    metrics.gauge("sweep.scheduling_overhead_s").set(
+        max(0.0, evaluate_s - sum(r.elapsed_s for r in sweep.runs))
+    )
+    spec_hist = metrics.histogram("sweep.spec_elapsed_s")
+    for row in sweep.runs:
+        spec_hist.observe(row.elapsed_s)

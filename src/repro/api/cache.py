@@ -28,7 +28,7 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
 from typing import Protocol, runtime_checkable
@@ -102,11 +102,15 @@ class CacheStats:
         hits: results served from the cache.
         misses: results that had to be evaluated.
         eval_seconds: wall-clock seconds spent evaluating misses.
+        per_backend: hit/miss counters broken out by fabric name
+            (``{"photonic": {"hits": 3, "misses": 1}, ...}``) — empty
+            when the producer doesn't track fabrics (e.g. sweep rows).
     """
 
     hits: int = 0
     misses: int = 0
     eval_seconds: float = 0.0
+    per_backend: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -119,11 +123,16 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def to_dict(self) -> dict:
+        """JSON-safe form (per-backend keys sorted for determinism)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "eval_seconds": self.eval_seconds,
             "hit_rate": self.hit_rate,
+            "per_backend": {
+                fabric: dict(counts)
+                for fabric, counts in sorted(self.per_backend.items())
+            },
         }
 
 

@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass
 from typing import Any
 
 from ..collectives.cost_model import CollectiveCost
+from ..obs.tracer import TraceEvent, Tracer
 from .spec import ScenarioSpec
 
 __all__ = [
@@ -34,6 +35,9 @@ __all__ = [
     "PolicyLine",
     "BlastRadiusSummary",
     "DeviceReport",
+    "TraceReport",
+    "MetricLine",
+    "MetricsReport",
     "RunResult",
 ]
 
@@ -645,6 +649,182 @@ class DeviceReport:
 
 
 @dataclass(frozen=True)
+class TraceReport:
+    """The scenario's event timeline (the ``"trace"`` output).
+
+    Events come from a :class:`~repro.obs.tracer.Tracer` the backend
+    threads through the simulator run, plus the failure-recovery
+    timeline when the spec injects failures. Timestamps are simulation
+    microseconds, so the report is fully deterministic and
+    golden-testable.
+
+    Attributes:
+        events: every recorded event, in emission order.
+        time_unit: timestamp unit (always ``"us"``).
+    """
+
+    events: tuple[TraceEvent, ...]
+    time_unit: str = "us"
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "TraceReport":
+        return cls(events=tracer.events)
+
+    def spans(self, cat: str | None = None) -> tuple[TraceEvent, ...]:
+        """Complete spans, optionally filtered by category."""
+        return tuple(
+            e for e in self.events
+            if e.ph == "X" and (cat is None or e.cat == cat)
+        )
+
+    def instants(self, cat: str | None = None) -> tuple[TraceEvent, ...]:
+        """Instant events, optionally filtered by category."""
+        return tuple(
+            e for e in self.events
+            if e.ph == "i" and (cat is None or e.cat == cat)
+        )
+
+    def categories(self) -> tuple[str, ...]:
+        """Event categories present, sorted (metadata excluded)."""
+        return tuple(
+            sorted({e.cat for e in self.events if e.ph != "M"})
+        )
+
+    def filtered(self, categories: set[str] | frozenset[str]) -> "TraceReport":
+        """The report restricted to ``categories`` (metadata kept)."""
+        return TraceReport(
+            events=tuple(
+                e for e in self.events
+                if e.ph == "M" or e.cat in categories
+            ),
+            time_unit=self.time_unit,
+        )
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The Chrome/Perfetto ``trace_event`` JSON object.
+
+        Events are ordered metadata-first, then by timestamp (stable on
+        ties), matching :meth:`repro.obs.tracer.Tracer.to_chrome`.
+        """
+        ordered = sorted(
+            self.events, key=lambda e: (0 if e.ph == "M" else 1, e.ts_us)
+        )
+        return {
+            "displayTimeUnit": "ns",
+            "traceEvents": [e.to_dict() for e in ordered],
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time_unit": self.time_unit,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceReport":
+        return cls(
+            events=tuple(TraceEvent.from_dict(e) for e in data["events"]),
+            time_unit=data.get("time_unit", "us"),
+        )
+
+
+@dataclass(frozen=True)
+class MetricLine:
+    """One named metric value (the rows of a :class:`MetricsReport`).
+
+    Attributes:
+        name: dotted metric name (``"sim.flows_completed"``).
+        kind: ``"counter"``, ``"gauge"`` or ``"histogram"``.
+        value: the counter total / gauge value / histogram mean.
+        count: observation count (histograms; 0 otherwise).
+    """
+
+    name: str
+    kind: str
+    value: float
+    count: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MetricLine":
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            value=data["value"],
+            count=data.get("count", 0),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    """Deterministic simulator counters (the ``"metrics"`` output).
+
+    Entries are sorted by name, and every value derives from simulation
+    state (event counts, sim-time durations) — never wall clock — so the
+    report is byte-stable across runs and machines.
+    """
+
+    entries: tuple[MetricLine, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "entries",
+            tuple(sorted(self.entries, key=lambda line: line.name)),
+        )
+
+    def value(self, name: str) -> float:
+        """The value of metric ``name``.
+
+        Raises:
+            KeyError: for an unknown metric name.
+        """
+        for line in self.entries:
+            if line.name == name:
+                return line.value
+        raise KeyError(name)
+
+    def names(self) -> tuple[str, ...]:
+        """Metric names, sorted."""
+        return tuple(line.name for line in self.entries)
+
+    @classmethod
+    def from_registry(cls, registry: Any) -> "MetricsReport":
+        """Build from a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Histograms keep their mean as the value and their observation
+        count; counters and gauges carry their value directly.
+        """
+        entries = []
+        for name, snap in registry.snapshot().items():
+            if snap["kind"] == "histogram":
+                entries.append(
+                    MetricLine(
+                        name=name,
+                        kind="histogram",
+                        value=snap["mean"],
+                        count=snap["count"],
+                    )
+                )
+            else:
+                entries.append(
+                    MetricLine(name=name, kind=snap["kind"], value=snap["value"])
+                )
+        return cls(entries=tuple(entries))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"entries": [line.to_dict() for line in self.entries]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MetricsReport":
+        return cls(
+            entries=tuple(MetricLine.from_dict(e) for e in data["entries"])
+        )
+
+
+@dataclass(frozen=True)
 class RunResult:
     """Everything one spec evaluation produced; sections not requested
     by ``spec.outputs`` are ``None``.
@@ -661,10 +841,18 @@ class RunResult:
     repair: RepairReport | None = None
     blast_radius: BlastRadiusSummary | None = None
     device: DeviceReport | None = None
+    trace: TraceReport | None = None
+    metrics: MetricsReport | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe representation; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-safe representation; inverse of :meth:`from_dict`.
+
+        The observability sections (``trace``, ``metrics``) are emitted
+        only when present: results that never requested them serialize
+        to the exact bytes they did before those sections existed, which
+        keeps the golden files (and every archived result) stable.
+        """
+        data = {
             "spec": self.spec.to_dict(),
             "fabric": self.fabric,
             "capabilities": (
@@ -691,6 +879,11 @@ class RunResult:
             ),
             "device": self.device.to_dict() if self.device else None,
         }
+        if self.trace is not None:
+            data["trace"] = self.trace.to_dict()
+        if self.metrics is not None:
+            data["metrics"] = self.metrics.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunResult":
@@ -738,6 +931,16 @@ class RunResult:
             device=(
                 DeviceReport.from_dict(data["device"])
                 if data.get("device")
+                else None
+            ),
+            trace=(
+                TraceReport.from_dict(data["trace"])
+                if data.get("trace")
+                else None
+            ),
+            metrics=(
+                MetricsReport.from_dict(data["metrics"])
+                if data.get("metrics")
                 else None
             ),
         )

@@ -29,6 +29,7 @@ from ..analysis.congestion_report import (
     analyze_rack_congestion,
 )
 from ..analysis.utilization import slice_utilization
+from ..obs.metrics import MetricsRegistry
 from ..topology.electrical import ElectricalInterconnect
 from ..topology.slices import Slice, SliceAllocator
 from ..topology.torus import Torus
@@ -54,9 +55,17 @@ class FabricSession:
             per-process :class:`~repro.api.cache.MemoryResultCache`.
         runs_executed: specs actually evaluated (cache misses) — lets
             callers verify memoization in sweeps.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            the session reports into (``session.<fabric>.cache_hits``,
+            ``.cache_misses`` counters and an ``.eval_seconds``
+            histogram per fabric). ``None`` reports nothing.
     """
 
-    def __init__(self, result_cache: ResultCache | None = None) -> None:
+    def __init__(
+        self,
+        result_cache: ResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._backends: dict[str, FabricBackend] = {}
         self._tori: dict[tuple[int, ...], Torus] = {}
         self._allocators: dict[tuple, SliceAllocator] = {}
@@ -65,10 +74,20 @@ class FabricSession:
         self.result_cache: ResultCache = (
             result_cache if result_cache is not None else MemoryResultCache()
         )
-        self._hits = 0
-        self._misses = 0
+        self.metrics = metrics
+        # Hit/miss/eval-time bookkeeping is kept per fabric so a
+        # multi-backend sweep can tell which backend's memoization is
+        # actually doing the work; cache_stats() sums for the totals.
+        self._per_fabric: dict[str, dict[str, float]] = {}
         self._eval_seconds = 0.0
         self.runs_executed = 0
+
+    def _fabric_stats(self, fabric: str) -> dict[str, float]:
+        stats = self._per_fabric.get(fabric)
+        if stats is None:
+            stats = {"hits": 0, "misses": 0, "eval_seconds": 0.0}
+            self._per_fabric[fabric] = stats
+        return stats
 
     # -- memoized artifacts --------------------------------------------------------
 
@@ -151,7 +170,11 @@ class FabricSession:
         key = spec_key(spec)
         cached = self.result_cache.get(key)
         if cached is not None:
-            self._hits += 1
+            self._fabric_stats(spec.fabric)["hits"] += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    f"session.{spec.fabric}.cache_hits"
+                ).inc()
             return cached
         backend = self.backend(spec.fabric)
         methods = {
@@ -163,6 +186,8 @@ class FabricSession:
             "repair": "repair",
             "blast_radius": "blast_radius",
             "device": "device_report",
+            "trace": "trace",
+            "metrics": "metrics",
         }
         started = time.perf_counter()
         sections: dict[str, object] = {}
@@ -178,18 +203,39 @@ class FabricSession:
                 )
             sections[output] = method(self, spec)
         result = RunResult(spec=spec, fabric=backend.name, **sections)
-        self._eval_seconds += time.perf_counter() - started
-        self._misses += 1
+        elapsed = time.perf_counter() - started
+        self._eval_seconds += elapsed
+        stats = self._fabric_stats(spec.fabric)
+        stats["misses"] += 1
+        stats["eval_seconds"] += elapsed
+        if self.metrics is not None:
+            self.metrics.counter(f"session.{spec.fabric}.cache_misses").inc()
+            self.metrics.histogram(
+                f"session.{spec.fabric}.eval_seconds"
+            ).observe(elapsed)
         self.runs_executed += 1
         self.result_cache.put(key, result)
         return result
 
     def cache_stats(self) -> CacheStats:
-        """Result-cache hit/miss counters and evaluation seconds so far."""
+        """Result-cache counters and evaluation seconds so far.
+
+        Totals sum over every fabric the session evaluated;
+        ``per_backend`` breaks hits/misses out by fabric name, so a
+        multi-backend sweep can see whose memoization is working rather
+        than one conflated counter.
+        """
         return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
+            hits=int(sum(s["hits"] for s in self._per_fabric.values())),
+            misses=int(sum(s["misses"] for s in self._per_fabric.values())),
             eval_seconds=self._eval_seconds,
+            per_backend={
+                fabric: {
+                    "hits": int(stats["hits"]),
+                    "misses": int(stats["misses"]),
+                }
+                for fabric, stats in sorted(self._per_fabric.items())
+            },
         )
 
     def _utilization(self, spec: ScenarioSpec) -> tuple[UtilizationRow, ...]:

@@ -39,6 +39,8 @@ KNOWN_OUTPUTS = (
     "repair",
     "blast_radius",
     "device",
+    "trace",
+    "metrics",
 )
 
 _MODES = ("closed_form", "sim")
@@ -194,6 +196,16 @@ class ScenarioSpec:
             raise ValueError(
                 'the "link_utilization" output requires mode="sim" '
                 "(per-link load is measured, not derived)"
+            )
+        if "trace" in self.outputs and self.mode != "sim":
+            raise ValueError(
+                'the "trace" output requires mode="sim" '
+                "(event timelines come from the discrete-event simulator)"
+            )
+        if "metrics" in self.outputs and self.mode != "sim":
+            raise ValueError(
+                'the "metrics" output requires mode="sim" '
+                "(simulator counters are measured, not derived)"
             )
         if self.buffer_bytes < 0:
             raise ValueError("buffer_bytes cannot be negative")

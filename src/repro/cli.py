@@ -12,9 +12,10 @@ Usage::
     python -m repro figure7               # optical repair plan
     python -m repro blast-radius [--days 90]
     python -m repro congestion            # cross-tenant link sharing
-    python -m repro simulate [--fabric photonic] [--telemetry]
+    python -m repro simulate [--fabric photonic] [--telemetry] [--metrics PATH]
     python -m repro sweep [--jobs 4] [--no-cache] [--cache-dir DIR] [--telemetry]
     python -m repro utilization           # measured stranded bandwidth (Fig. 5c)
+    python -m repro trace [--fabric photonic] [--out PATH]  # Chrome trace JSON
 
 Every subcommand builds a :class:`repro.api.ScenarioSpec` and routes
 through :func:`repro.api.run`, so the CLI, the benches and the examples
@@ -30,10 +31,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from . import api
 from .analysis.tables import cost_row, render_histogram, render_table
+from .analysis.trace_summary import render_trace_summary
 from .analysis.utilization import compare_link_utilization, dimension_utilization
+from .obs.metrics import MetricsRegistry
 
 __all__ = ["main", "build_parser"]
 
@@ -245,10 +249,22 @@ def _cmd_congestion(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_json(path: str, payload: dict) -> None:
+    """Write deterministic JSON (sorted keys) to ``path``, or stdout for
+    ``-``."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if path == "-":
+        sys.stdout.write(text)
+    else:
+        Path(path).write_text(text, encoding="utf-8")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     outputs = ("telemetry",)
     if args.telemetry:
         outputs = ("telemetry", "link_utilization")
+    if args.metrics:
+        outputs = outputs + ("metrics",)
     spec = api.ScenarioSpec(
         fabric=args.fabric,
         slices=api.figure5b_slices(),
@@ -257,6 +273,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         outputs=outputs,
     )
     result = api.run(spec)
+    if args.metrics:
+        # Simulator counters are sim-derived (flows, rebalances, sim
+        # horizon), so the file is deterministic and golden-able.
+        _write_json(args.metrics, result.metrics.to_dict())
     if args.telemetry:
         # Per-link observability is machine-facing: deterministic JSON
         # (sorted keys, no timing) instead of the human table.
@@ -311,13 +331,21 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
     than asserted.
     """
     slices = getattr(api, _UTILIZATION_LAYOUTS[args.layout])()
+    outputs = ("link_utilization",)
+    if args.metrics:
+        outputs = outputs + ("metrics",)
     spec = api.ScenarioSpec(
         slices=slices,
         buffer_bytes=args.buffer_mib * (1 << 20),
         mode="sim",
-        outputs=("link_utilization",),
+        outputs=outputs,
     )
     results = api.compare(spec, fabrics=("electrical", "photonic"))
+    if args.metrics:
+        _write_json(args.metrics, {
+            "electrical": results["electrical"].metrics.to_dict(),
+            "photonic": results["photonic"].metrics.to_dict(),
+        })
     electrical = results["electrical"].link_utilization
     photonic = results["photonic"].link_utilization
     comparison = compare_link_utilization(electrical, photonic)
@@ -382,7 +410,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache counters — so the output is byte-identical whether the sweep ran
     serially, on ``--jobs N`` workers, or entirely from a warm cache (CI
     diffs serial vs parallel output to hold the engine to this). Timing
-    and cache statistics go to stderr.
+    goes to stderr as one JSON object per spec (machine-parseable: spec
+    index, fabric, content key, elapsed seconds, cache provenance, worker
+    pid) followed by one human summary line; ``--metrics PATH`` addition-
+    ally writes the sweep's own stage timing as a metrics snapshot.
     """
     plan_kwargs = {}
     if args.fabrics:
@@ -412,14 +443,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir = args.cache_dir
     else:
         cache_dir = api.default_cache_dir()
+    registry = MetricsRegistry() if args.metrics else None
     sweep = api.run_many(
         plan.specs(),
         jobs=args.jobs,
         cache_dir=cache_dir,
         no_cache=args.no_cache,
+        metrics=registry,
     )
     payload = {"plan": plan.to_dict(), **sweep.to_dict(include_timing=False)}
     print(json.dumps(payload, indent=2, sort_keys=True))
+    if registry is not None:
+        # Wall-clock stage timing — reproducible in shape, not in value,
+        # so it goes to a side file rather than the deterministic stdout.
+        _write_json(args.metrics, registry.snapshot())
+    # One machine-readable timing record per spec, then one human line:
+    # scripts parse every stderr line but the last as JSON.
+    for record in sweep.timing_records():
+        print(json.dumps(record, sort_keys=True), file=sys.stderr)
     stats = sweep.cache_stats
     print(
         f"swept {plan.size} specs ({sweep.unique_specs} unique) in "
@@ -427,6 +468,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"cache: {stats.hits} hits, {stats.misses} misses",
         file=sys.stderr,
     )
+    return 0
+
+
+_TRACE_LAYOUTS = {
+    "figure6": "figure6_slices",
+    "figure5b": "figure5b_slices",
+}
+
+
+def _parse_categories(text: str) -> tuple[str, ...]:
+    """Parse a comma-separated category list."""
+    categories = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not categories:
+        raise argparse.ArgumentTypeError(
+            f"expected a category list like schedule,phase, got {text!r}"
+        )
+    return categories
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Export a simulated run as Chrome/Perfetto ``trace_event`` JSON.
+
+    The timeline tells the paper's failure-recovery story end to end: the
+    multi-tenant workload's schedules, phase boundaries and 3.7 us switch
+    reconfigurations on their own tracks, then (unless ``--no-failure``)
+    the injected chip failure and the fabric's recovery — replacement
+    attempts and rack migration on the electrical fabric (Figure 6),
+    MZI reconfigurations and the optical repair on the photonic one
+    (Figure 7). Timestamps are simulated time, so the file is
+    deterministic; open it at ``ui.perfetto.dev`` or ``chrome://tracing``.
+    A human summary goes to stderr.
+    """
+    kwargs = {}
+    if not args.no_failure:
+        kwargs["failures"] = api.FailurePlan(
+            failed_chips=(tuple(args.failed),)
+        )
+    spec = api.ScenarioSpec(
+        fabric=args.fabric,
+        slices=getattr(api, _TRACE_LAYOUTS[args.layout])(),
+        buffer_bytes=args.buffer_mib * (1 << 20),
+        mode="sim",
+        outputs=("trace",),
+        **kwargs,
+    )
+    report = api.run(spec).trace
+    if args.categories:
+        unknown = sorted(set(args.categories) - set(report.categories()))
+        if unknown:
+            raise ValueError(
+                f"unknown trace categories {unknown}; this trace has "
+                f"{list(report.categories())}"
+            )
+        report = report.filtered(args.categories)
+    _write_json(args.out, report.to_chrome())
+    where = "stdout" if args.out == "-" else args.out
+    print(
+        f"traced {spec.fabric} fabric, {args.layout} layout -> {where}",
+        file=sys.stderr,
+    )
+    print(render_trace_summary(report), file=sys.stderr)
     return 0
 
 
@@ -477,6 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also measure per-link utilization and print the full result "
         "as deterministic JSON (torus fabrics only)",
     )
+    psim.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="also compute simulator counters and write them as "
+        "deterministic JSON to PATH ('-' = stdout)",
+    )
 
     put = sub.add_parser(
         "utilization",
@@ -489,6 +596,11 @@ def build_parser() -> argparse.ArgumentParser:
         "figure5b = the four-tenant rack",
     )
     put.add_argument("--buffer-mib", type=int, default=64)
+    put.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="also write both fabrics' simulator counters as deterministic "
+        "JSON to PATH ('-' = stdout)",
+    )
 
     psw = sub.add_parser(
         "sweep",
@@ -532,6 +644,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="run on the simulator and add the telemetry + link_utilization "
         "sections to every spec",
     )
+    psw.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the sweep's own instrumentation (per-stage timing, "
+        "cache counters) as a metrics snapshot to PATH",
+    )
+
+    ptr = sub.add_parser(
+        "trace",
+        help="export a simulated failure-recovery timeline as "
+        "Chrome/Perfetto trace_event JSON",
+    )
+    ptr.add_argument("--fabric", default="photonic")
+    ptr.add_argument(
+        "--layout", choices=sorted(_TRACE_LAYOUTS), default="figure6",
+        help="tenant layout: figure6 = the repair story's three tenants, "
+        "figure5b = the four-tenant rack",
+    )
+    ptr.add_argument(
+        "--failed", type=int, nargs=3, default=[1, 2, 0],
+        help="chip whose failure + recovery to trace at the workload horizon",
+    )
+    ptr.add_argument(
+        "--no-failure", action="store_true",
+        help="trace the workload only, without failure injection",
+    )
+    ptr.add_argument("--buffer-mib", type=int, default=64)
+    ptr.add_argument(
+        "--categories", type=_parse_categories, default=None,
+        metavar="CAT[,CAT...]",
+        help="keep only these event categories (e.g. "
+        "schedule,phase,reconfig,failure,recovery); default: all",
+    )
+    ptr.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="write the trace JSON here ('-' = stdout); open in "
+        "ui.perfetto.dev or chrome://tracing",
+    )
 
     return parser
 
@@ -549,6 +698,7 @@ _HANDLERS = {
     "congestion": _cmd_congestion,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
     "utilization": _cmd_utilization,
 }
 

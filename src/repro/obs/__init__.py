@@ -1,0 +1,37 @@
+"""Observability: structured event tracing and metrics.
+
+The paper's headline claims are *timeline* claims — 3.7 us MZI
+reconfiguration windows, congestion-free failure recovery, bandwidth
+steered into the active torus dimension — and this package is where the
+stack records them as data rather than prose:
+
+* :class:`Tracer` collects structured spans and instant events from the
+  simulator (flow start/finish, rate rebalances, reconfiguration and
+  alpha windows, schedule phase boundaries) and from the fabric backends
+  (failure injection, repair circuits, rack migration), exportable as
+  Chrome/Perfetto ``trace_event`` JSON. :data:`NULL_TRACER` is the
+  zero-overhead off switch: call sites guard emission behind
+  ``tracer.enabled``, so an untraced run does no extra work and its
+  results stay byte-identical (CI enforces this against the goldens).
+* :class:`MetricsRegistry` holds counters, gauges and histograms with a
+  deterministic, name-sorted snapshot — threaded through
+  :class:`~repro.api.session.FabricSession` (per-backend memoization and
+  evaluation timing) and :func:`~repro.api.batch.run_many` (per-stage
+  and per-worker sweep statistics).
+
+Both surfaces reach the experiment API as opt-in ``trace``/``metrics``
+result sections and the CLI as ``repro trace`` and ``--metrics``.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

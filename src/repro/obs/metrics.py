@@ -1,0 +1,150 @@
+"""Counters, gauges and histograms with deterministic snapshots.
+
+A :class:`MetricsRegistry` is a flat namespace of named metrics created
+on demand (``registry.counter("session.photonic.cache_hits").inc()``),
+snapshotted as a name-sorted JSON-safe dict. Three kinds cover what the
+stack reports:
+
+* :class:`Counter` — monotonically increasing totals (cache hits, flows
+  completed, rebalances).
+* :class:`Gauge` — last-written values (sweep stage seconds, horizon).
+* :class:`Histogram` — running count/total/min/max of observations
+  (per-spec evaluation seconds) without retaining samples.
+
+Snapshot ordering is deterministic by construction (sorted names, fixed
+per-kind field sets), so sim-derived metrics can be golden-tested;
+wall-clock-derived values are deterministic in *shape* only, never in
+value — keep them out of goldens.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative).
+
+        Raises:
+            ValueError: on a negative increment — counters only go up;
+                use a :class:`Gauge` for values that move both ways.
+        """
+        if amount < 0:
+            raise ValueError(f"counter increments cannot be negative: {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A last-written value."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Running statistics of a stream of observations.
+
+    Keeps count/total/min/max rather than samples, so a sweep over
+    thousands of specs costs O(1) memory per metric.
+    """
+
+    kind = "histogram"
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on demand, snapshotted in sorted order."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {kind.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use).
+
+        Raises:
+            TypeError: when ``name`` already holds a different kind.
+        """
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered metric names, sorted."""
+        return tuple(sorted(self._metrics))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-safe view of every metric, keyed by sorted name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}

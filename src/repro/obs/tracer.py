@@ -1,0 +1,271 @@
+"""Structured event tracing, exportable as Chrome ``trace_event`` JSON.
+
+A :class:`Tracer` accumulates :class:`TraceEvent` records — complete
+spans (``ph="X"``), instant events (``ph="i"``), counter samples
+(``ph="C"``) and track-name metadata (``ph="M"``) — with timestamps in
+simulation seconds, converted to the microseconds the ``trace_event``
+format specifies only at export time. Load the exported file in
+``chrome://tracing`` or https://ui.perfetto.dev to see the timeline.
+
+Tracing must cost nothing when off: every emission site in the simulator
+guards with ``if tracer.enabled:``, and :data:`NULL_TRACER` (a shared
+:class:`_NullTracer`) reports ``enabled = False`` and ignores every
+call, so an untraced run takes the exact same code path it did before
+tracing existed. Instrumentation is observation-only either way — a
+traced run's measured results are asserted (and CI-enforced) identical
+to an untraced run's.
+
+Determinism: events carry simulation time, not wall-clock time, and
+export sorts by (metadata-first, timestamp, insertion order), so the
+same scenario always serializes to the same bytes — which is what lets
+``tests/golden/trace.json`` exist.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+
+_US_PER_S = 1e6
+
+
+def _freeze_args(args: Mapping[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    if not args:
+        return ()
+    return tuple(sorted(args.items()))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One Chrome-trace event.
+
+    Attributes:
+        name: event label (e.g. ``"flow (0, 1, 2)"``, ``"reconfigure"``).
+        cat: category (``"flow"``, ``"phase"``, ``"reconfig"``,
+            ``"failure"``, ``"recovery"``, ...) — filterable in viewers.
+        ph: trace-event phase: ``"X"`` complete span, ``"i"`` instant,
+            ``"C"`` counter, ``"M"`` metadata.
+        ts_us: start timestamp in microseconds of simulation time.
+        dur_us: span duration in microseconds (``None`` for non-spans).
+        pid: process track (0 — one simulated fabric per trace).
+        tid: thread track (0 = network, 1..N = per-schedule tracks).
+        args: extra payload as sorted ``(key, value)`` pairs (kept as a
+            tuple so the event stays frozen and hashable).
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts_us: float
+    dur_us: float | None = None
+    pid: int = 0
+    tid: int = 0
+    args: tuple[tuple[str, Any], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """The event as a ``trace_event`` JSON object."""
+        data: dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts_us,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.dur_us is not None:
+            data["dur"] = self.dur_us
+        if self.ph == "i":
+            data["s"] = "t"  # instant scope: thread
+        if self.args:
+            data["args"] = dict(self.args)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
+        return cls(
+            name=data["name"],
+            cat=data["cat"],
+            ph=data["ph"],
+            ts_us=data["ts"],
+            dur_us=data.get("dur"),
+            pid=data.get("pid", 0),
+            tid=data.get("tid", 0),
+            args=_freeze_args(data.get("args")),
+        )
+
+    @property
+    def end_us(self) -> float:
+        """Span end timestamp (start for instants)."""
+        return self.ts_us + (self.dur_us or 0.0)
+
+
+class Tracer:
+    """Collects trace events; timestamps are simulation seconds.
+
+    Attributes:
+        enabled: emission guard — call sites skip event construction
+            entirely when false (:data:`NULL_TRACER` is the off state).
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    # -- emission --------------------------------------------------------------
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start_s: float,
+        end_s: float,
+        tid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record a complete span covering ``[start_s, end_s]``."""
+        self._events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph="X",
+                ts_us=start_s * _US_PER_S,
+                dur_us=(end_s - start_s) * _US_PER_S,
+                tid=tid,
+                args=_freeze_args(args),
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts_s: float,
+        tid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record an instant event at ``ts_s``."""
+        self._events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph="i",
+                ts_us=ts_s * _US_PER_S,
+                tid=tid,
+                args=_freeze_args(args),
+            )
+        )
+
+    def counter(
+        self, name: str, cat: str, ts_s: float, value: float, tid: int = 0
+    ) -> None:
+        """Record a counter sample (rendered as a filled graph)."""
+        self._events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph="C",
+                ts_us=ts_s * _US_PER_S,
+                tid=tid,
+                args=(("value", value),),
+            )
+        )
+
+    def thread_name(self, tid: int, name: str) -> None:
+        """Label a thread track (one per schedule, tid 0 = network)."""
+        self._events.append(
+            TraceEvent(
+                name="thread_name",
+                cat="__metadata",
+                ph="M",
+                ts_us=0.0,
+                tid=tid,
+                args=(("name", name),),
+            )
+        )
+
+    # -- reading ----------------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """Every recorded event, in emission order."""
+        return tuple(self._events)
+
+    def spans(self, cat: str | None = None) -> tuple[TraceEvent, ...]:
+        """Complete spans, optionally filtered by category."""
+        return tuple(
+            e
+            for e in self._events
+            if e.ph == "X" and (cat is None or e.cat == cat)
+        )
+
+    def instants(self, cat: str | None = None) -> tuple[TraceEvent, ...]:
+        """Instant events, optionally filtered by category."""
+        return tuple(
+            e
+            for e in self._events
+            if e.ph == "i" and (cat is None or e.cat == cat)
+        )
+
+    # -- export -----------------------------------------------------------------
+
+    def _sorted_events(self) -> list[TraceEvent]:
+        # Metadata first, then timestamp, then insertion order — a total,
+        # deterministic order (Python's sort is stable, supplying the
+        # insertion tiebreak).
+        return sorted(
+            self._events,
+            key=lambda e: (0 if e.ph == "M" else 1, e.ts_us),
+        )
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The Chrome/Perfetto ``trace_event`` JSON object."""
+        return {
+            "displayTimeUnit": "ns",
+            "traceEvents": [e.to_dict() for e in self._sorted_events()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialized Chrome trace (sorted keys — byte-deterministic)."""
+        return json.dumps(self.to_chrome(), indent=indent, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the Chrome trace to ``path``; returns the path."""
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+
+class _NullTracer(Tracer):
+    """The off state: reports disabled and drops every event.
+
+    Emission methods are overridden to no-ops so even an unguarded call
+    site costs one method dispatch and nothing else; guarded sites
+    (``if tracer.enabled:``) skip argument construction too.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def complete(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def counter(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def thread_name(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+
+#: Shared no-op tracer: ``tracer or NULL_TRACER`` is the idiom modules use
+#: to accept an optional tracer argument without branching at every site.
+NULL_TRACER = _NullTracer()

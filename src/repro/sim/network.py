@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
+from ..obs.tracer import NULL_TRACER, Tracer
 from .engine import EventEngine, SimulationError
 from .flows import Flow, max_min_rates
 
@@ -50,11 +51,22 @@ class FlowNetwork:
     Attributes:
         engine: the event engine driving the simulation.
         capacities: link capacities, bytes per second.
+        tracer: where flow spans and rebalance instants are emitted;
+            defaults to the no-op :data:`~repro.obs.tracer.NULL_TRACER`,
+            and every emission site is guarded by ``tracer.enabled`` so
+            untraced runs pay nothing. Tracing observes the rate model
+            without perturbing it — results are identical either way.
     """
 
-    def __init__(self, engine: EventEngine, capacities: dict[Hashable, float]):
+    def __init__(
+        self,
+        engine: EventEngine,
+        capacities: dict[Hashable, float],
+        tracer: Tracer | None = None,
+    ):
         self.engine = engine
         self.capacities = dict(capacities)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._active: dict[Hashable, FlowRecord] = {}
         self._records: list[FlowRecord] = []
         self._completion_events: dict[Hashable, object] = {}
@@ -117,6 +129,13 @@ class FlowNetwork:
         if not flows:
             return
         max_min_rates(flows, self.capacities)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "rebalance",
+                cat="network",
+                ts_s=self.engine.now_s,
+                args={"active_flows": len(flows)},
+            )
         for record in list(self._active.values()):
             flow = record.flow
             if flow.remaining_bytes <= 0:
@@ -149,6 +168,14 @@ class FlowNetwork:
     def _complete(self, flow_id: Hashable) -> None:
         record = self._active.pop(flow_id)
         record.finish_s = self.engine.now_s
+        if self.tracer.enabled:
+            self.tracer.complete(
+                f"flow {flow_id}",
+                cat="flow",
+                start_s=record.start_s,
+                end_s=record.finish_s,
+                args={"links": len(record.flow.links)},
+            )
         event = self._completion_events.pop(flow_id, None)
         if event is not None:
             event.cancel()

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..collectives.schedule import CollectiveSchedule
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..phy.constants import DEFAULT_ALPHA_S, RECONFIG_LATENCY_S
 from ..topology.torus import Link
 from .engine import EventEngine
@@ -66,6 +67,7 @@ def run_schedule(
     alpha_s: float = DEFAULT_ALPHA_S,
     reconfig_s: float = RECONFIG_LATENCY_S,
     telemetry: bool = False,
+    tracer: Tracer | None = None,
 ) -> ScheduleResult | tuple[ScheduleResult, LinkTelemetry]:
     """Execute ``schedule`` alone on a network with the given capacities.
 
@@ -76,11 +78,21 @@ def run_schedule(
             telemetry timeline covers transfer time only (alpha and
             reconfiguration are charged arithmetically, outside engine
             time), one accumulated timeline across all phases.
+        tracer: emit flow spans, rebalance instants and phase spans into
+            this tracer. Like telemetry, tracing is observation-only —
+            the returned result is identical with it on or off. Phase
+            spans land on thread track 1; alpha/reconfiguration charges
+            are arithmetic here (not engine time), so they appear in the
+            phase span's args rather than as spans of their own.
 
     Raises:
         KeyError: if a transfer uses a link missing from ``link_capacities``.
     """
     engine = EventEngine()
+    tr = tracer if tracer is not None else NULL_TRACER
+    if tr.enabled:
+        tr.thread_name(0, "network")
+        tr.thread_name(1, schedule.name)
     link_telemetry = (
         LinkTelemetry(capacities=dict(link_capacities)) if telemetry else None
     )
@@ -97,15 +109,29 @@ def run_schedule(
             continue
         if link_telemetry is not None:
             network = InstrumentedNetwork(
-                engine, link_capacities, telemetry=link_telemetry
+                engine, link_capacities, telemetry=link_telemetry, tracer=tr
             )
         else:
-            network = FlowNetwork(engine, link_capacities)
+            network = FlowNetwork(engine, link_capacities, tracer=tr)
         start = engine.now_s
         for flow in flows:
             network.inject(flow)
         network.run_until_idle()
         phase_durations.append(engine.now_s - start)
+        if tr.enabled:
+            tr.complete(
+                phase.label or f"phase {phase_index}",
+                cat="phase",
+                start_s=start,
+                end_s=engine.now_s,
+                tid=1,
+                args={
+                    "transfers": len(flows),
+                    "reconfigurations": phase.reconfigurations,
+                    "alpha_s_charged": alpha_s,
+                    "reconfig_s_charged": phase.reconfigurations * reconfig_s,
+                },
+            )
     transfer_time = sum(phase_durations)
     result = ScheduleResult(
         name=schedule.name,
@@ -126,6 +152,7 @@ def run_concurrent_schedules(
     alpha_s: float = DEFAULT_ALPHA_S,
     reconfig_s: float = RECONFIG_LATENCY_S,
     telemetry: bool = False,
+    tracer: Tracer | None = None,
 ) -> list[ScheduleResult] | tuple[list[ScheduleResult], LinkTelemetry]:
     """Execute several schedules sharing one network, phase-by-phase.
 
@@ -142,26 +169,41 @@ def run_concurrent_schedules(
             telemetry horizon (the last schedule's finish time) includes
             them — idle time during reconfiguration is correctly counted
             as stranded bandwidth.
+        tracer: emit the run's timeline into this tracer: per-schedule
+            thread tracks (tid = index + 1, named after the schedule)
+            carrying reconfiguration windows, alpha windows, phase spans
+            and a whole-schedule span; flow spans and rebalance instants
+            land on track 0 (the shared network); a final ``run-complete``
+            instant reports the engine's processed-event count. Tracing
+            is observation-only — results are identical with it on or
+            off, which the test suite asserts structurally.
     """
     engine = EventEngine()
+    tr = tracer if tracer is not None else NULL_TRACER
     if telemetry:
-        network = InstrumentedNetwork(engine, link_capacities)
+        network = InstrumentedNetwork(engine, link_capacities, tracer=tr)
     else:
-        network = FlowNetwork(engine, link_capacities)
+        network = FlowNetwork(engine, link_capacities, tracer=tr)
     states = []
     results: dict[int, ScheduleResult] = {}
+    if tr.enabled:
+        tr.thread_name(0, "network")
 
     class _State:
         def __init__(self, index: int, schedule: CollectiveSchedule):
             self.index = index
             self.schedule = schedule
+            self.tid = index + 1
             self.phase_index = -1
             self.alpha_total = 0.0
             self.reconfig_total = 0.0
             self.phase_durations: list[float] = []
             self.phase_start = 0.0
+            self.phase_flow_count = 0
             self.outstanding = 0
             self.started_at = engine.now_s
+            if tr.enabled:
+                tr.thread_name(self.tid, schedule.name)
 
         def start_next_phase(self) -> None:
             self.phase_index += 1
@@ -175,13 +217,50 @@ def run_concurrent_schedules(
                     reconfig_s=self.reconfig_total,
                     phase_durations_s=tuple(self.phase_durations),
                 )
+                if tr.enabled:
+                    tr.complete(
+                        self.schedule.name,
+                        cat="schedule",
+                        start_s=self.started_at,
+                        end_s=engine.now_s,
+                        tid=self.tid,
+                        args={
+                            "transfer_s": transfer,
+                            "alpha_s": self.alpha_total,
+                            "reconfig_s": self.reconfig_total,
+                            "phases": len(self.phase_durations),
+                        },
+                    )
                 return
             phase = self.schedule.phases[self.phase_index]
-            delay = phase.reconfigurations * reconfig_s
-            self.reconfig_total += phase.reconfigurations * reconfig_s
+            reconfig_window = phase.reconfigurations * reconfig_s
+            delay = reconfig_window
+            self.reconfig_total += reconfig_window
             if phase.transfers:
                 delay += alpha_s
                 self.alpha_total += alpha_s
+            if tr.enabled:
+                now = engine.now_s
+                if reconfig_window > 0:
+                    tr.complete(
+                        "reconfigure",
+                        cat="reconfig",
+                        start_s=now,
+                        end_s=now + reconfig_window,
+                        tid=self.tid,
+                        args={
+                            "count": phase.reconfigurations,
+                            "per_switch_s": reconfig_s,
+                        },
+                    )
+                if phase.transfers:
+                    tr.complete(
+                        "alpha",
+                        cat="alpha",
+                        start_s=now + reconfig_window,
+                        end_s=now + delay,
+                        tid=self.tid,
+                    )
             engine.schedule_after(delay, self._inject_phase)
 
         def _inject_phase(self) -> None:
@@ -193,6 +272,7 @@ def run_concurrent_schedules(
                 self.start_next_phase()
                 return
             self.outstanding = len(flows)
+            self.phase_flow_count = len(flows)
             for flow in flows:
                 network.inject(flow, on_complete=self._flow_done)
 
@@ -200,6 +280,16 @@ def run_concurrent_schedules(
             self.outstanding -= 1
             if self.outstanding == 0:
                 self.phase_durations.append(engine.now_s - self.phase_start)
+                if tr.enabled:
+                    phase = self.schedule.phases[self.phase_index]
+                    tr.complete(
+                        phase.label or f"phase {self.phase_index}",
+                        cat="phase",
+                        start_s=self.phase_start,
+                        end_s=engine.now_s,
+                        tid=self.tid,
+                        args={"transfers": self.phase_flow_count},
+                    )
                 self.start_next_phase()
 
     for index, schedule in enumerate(schedules):
@@ -214,6 +304,16 @@ def run_concurrent_schedules(
         if guard > 5_000_000:
             raise RuntimeError("simulation did not converge")
     ordered = [results[i] for i in range(len(schedules))]
+    if tr.enabled:
+        tr.instant(
+            "run-complete",
+            cat="engine",
+            ts_s=engine.now_s,
+            args={
+                "events_processed": engine.processed,
+                "schedules": len(schedules),
+            },
+        )
     if telemetry:
         return ordered, network.telemetry
     return ordered

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
+from ..obs.tracer import Tracer
 from .engine import EventEngine
 from .network import FlowNetwork
 
@@ -194,8 +195,9 @@ class InstrumentedNetwork(FlowNetwork):
         engine: EventEngine,
         capacities: dict[Hashable, float],
         telemetry: LinkTelemetry | None = None,
+        tracer: Tracer | None = None,
     ):
-        super().__init__(engine, capacities)
+        super().__init__(engine, capacities, tracer=tracer)
         self.telemetry = (
             telemetry
             if telemetry is not None

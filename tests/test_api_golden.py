@@ -57,6 +57,44 @@ class TestCliGolden:
         assert capsys.readouterr().out == golden
 
 
+class TestObservabilityGolden:
+    """The new opt-in outputs are deterministic (sim-time only, no wall
+    clock), so they get goldens of their own — and with them switched
+    off, the seed goldens above must stay byte-identical."""
+
+    def test_trace_export_matches_golden(self, capsys):
+        golden = (GOLDEN_DIR / "trace.json").read_text()
+        assert main([
+            "trace", "--categories",
+            "schedule,phase,reconfig,alpha,failure,recovery,engine",
+        ]) == 0
+        assert capsys.readouterr().out == golden
+
+    def test_simulate_metrics_matches_golden(self, capsys):
+        golden = (GOLDEN_DIR / "metrics.json").read_text()
+        assert main(["simulate", "--metrics", "-"]) == 0
+        out = capsys.readouterr().out
+        # "-" interleaves the metrics JSON before the telemetry table.
+        assert out.startswith(golden)
+
+    def test_golden_trace_contains_the_recovery_story(self):
+        import json
+
+        events = json.loads(
+            (GOLDEN_DIR / "trace.json").read_text()
+        )["traceEvents"]
+        reconfig = [
+            e for e in events if e.get("cat") == "reconfig" and e["ph"] == "X"
+        ]
+        assert reconfig
+        assert all(abs(e["dur"] - 3.7) < 1e-9 for e in reconfig)
+        assert any(e.get("cat") == "failure" for e in events)
+        assert any(
+            e.get("cat") == "recovery" and e["name"] == "optical-repair"
+            for e in events
+        )
+
+
 class TestApiEquivalence:
     def test_table1_costs_match_direct_cost_model(self):
         session = FabricSession()

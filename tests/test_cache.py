@@ -198,6 +198,50 @@ class TestSessionCacheStats:
         assert cold.cache_stats().misses == 0
 
 
+class TestPerBackendCacheStats:
+    def test_multi_backend_breakdown(self):
+        # A comparison session touching two fabrics must report whose
+        # memoization is working, not one conflated counter.
+        session = FabricSession()
+        session.run(small_spec())                        # electrical miss
+        session.run(small_spec())                        # electrical hit
+        session.run(small_spec(fabric="photonic"))       # photonic miss
+        session.run(small_spec(fabric="photonic"))       # photonic hit
+        session.run(small_spec(fabric="photonic", buffer_bytes=1 << 20))
+        stats = session.cache_stats()
+        assert (stats.hits, stats.misses) == (2, 3)
+        assert stats.per_backend == {
+            "electrical": {"hits": 1, "misses": 1},
+            "photonic": {"hits": 1, "misses": 2},
+        }
+
+    def test_totals_always_sum_per_backend(self):
+        session = FabricSession()
+        for fabric in ("electrical", "photonic", "switched", "photonic"):
+            session.run(small_spec(fabric=fabric))
+        stats = session.cache_stats()
+        assert stats.hits == sum(
+            b["hits"] for b in stats.per_backend.values()
+        )
+        assert stats.misses == sum(
+            b["misses"] for b in stats.per_backend.values()
+        )
+
+    def test_to_dict_carries_the_breakdown_sorted(self):
+        session = FabricSession()
+        session.run(small_spec(fabric="photonic"))
+        session.run(small_spec())
+        data = session.cache_stats().to_dict()
+        assert list(data["per_backend"]) == ["electrical", "photonic"]
+        assert data["per_backend"]["photonic"] == {"hits": 0, "misses": 1}
+
+    def test_sweep_rows_have_no_fabric_breakdown(self):
+        # Sweep-level stats aggregate rows, not fabrics; the breakdown is
+        # documented as empty there.
+        sweep = run_many([small_spec()], no_cache=True)
+        assert sweep.cache_stats.per_backend == {}
+
+
 class TestNoCacheBypass:
     def test_no_cache_never_touches_the_directory(self, tmp_path):
         cache_dir = tmp_path / "cache"

@@ -1,10 +1,13 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
 
 
 class TestParser:
@@ -185,3 +188,97 @@ class TestSweepCommand:
     def test_single_chip_grid_is_a_clean_error(self, capsys):
         assert main(["sweep", "--slice-shape", "1x1x1", "--no-cache"]) == 2
         assert "single chip" in capsys.readouterr().err
+
+    def test_stderr_is_json_records_plus_summary(self, capsys):
+        # Satellite contract: every stderr line but the last is one JSON
+        # timing record; the last line is the human summary.
+        assert main(self.args()) == 0
+        lines = capsys.readouterr().err.strip().splitlines()
+        *records, summary = lines
+        assert "swept 2 specs" in summary
+        parsed = [json.loads(line) for line in records]
+        assert len(parsed) == 2
+        for index, record in enumerate(parsed):
+            assert record["spec_index"] == index
+            assert record["fabric"] in ("electrical", "photonic")
+            assert record["mode"] == "closed_form"
+            assert len(record["spec_key"]) == 12
+            assert record["elapsed_s"] >= 0
+            assert record["from_cache"] is False
+            assert record["worker"] > 0
+
+    def test_metrics_file_written(self, capsys, tmp_path):
+        out = tmp_path / "sweep-metrics.json"
+        assert main(self.args("--metrics", str(out))) == 0
+        capsys.readouterr()
+        snapshot = json.loads(out.read_text())
+        assert snapshot["sweep.specs"]["value"] == 2.0
+        assert snapshot["sweep.spec_elapsed_s"]["count"] == 2
+        for stage in ("plan", "evaluate", "merge"):
+            assert f"sweep.{stage}_seconds" in snapshot
+
+
+class TestTraceCommand:
+    def test_parses(self):
+        args = build_parser().parse_args(
+            ["trace", "--fabric", "electrical", "--layout", "figure5b",
+             "--categories", "schedule,phase", "--out", "/tmp/x.json"]
+        )
+        assert args.command == "trace"
+        assert args.categories == ("schedule", "phase")
+
+    def test_bad_categories_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--categories", ","])
+
+    def test_unknown_category_is_a_clean_error(self, capsys):
+        assert main(["trace", "--categories", "nonsense"]) == 2
+        assert "nonsense" in capsys.readouterr().err
+
+    def test_stdout_is_valid_chrome_trace(self, capsys):
+        assert main(["trace", "--categories", "reconfig,failure,recovery"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        events = payload["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X" and e["cat"] == "reconfig"]
+        assert spans and all(
+            e["dur"] == pytest.approx(3.7) for e in spans
+        )
+        assert any(e["cat"] == "failure" for e in events)
+        assert "trace:" in captured.err
+
+    def test_out_file_and_determinism(self, capsys, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["trace", "--out", str(first)]) == 0
+        assert main(["trace", "--out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_no_failure_drops_recovery_events(self, capsys):
+        assert main(["trace", "--no-failure"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        categories = {e.get("cat") for e in payload["traceEvents"]}
+        assert "failure" not in categories
+        assert "recovery" not in categories
+        assert "schedule" in categories
+
+
+class TestMetricsFlag:
+    def test_simulate_metrics_golden_and_stdout_untouched(
+        self, capsys, tmp_path
+    ):
+        out = tmp_path / "metrics.json"
+        assert main(["simulate", "--metrics", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == (GOLDEN_DIR / "simulate.txt").read_text()
+        assert out.read_text() == (GOLDEN_DIR / "metrics.json").read_text()
+
+    def test_utilization_metrics_covers_both_fabrics(self, capsys, tmp_path):
+        out = tmp_path / "util-metrics.json"
+        assert main(["utilization", "--metrics", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"electrical", "photonic"}
+        for fabric in payload.values():
+            names = [entry["name"] for entry in fabric["entries"]]
+            assert "sim.flows_completed" in names

@@ -1,0 +1,192 @@
+"""Unit tests for the observability layer: tracer and metrics registry."""
+
+import json
+
+import pytest
+
+from repro.analysis.trace_summary import (
+    render_trace_summary,
+    summarize_trace,
+)
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceEvent,
+    Tracer,
+)
+
+
+class TestTraceEvent:
+    def test_complete_event_round_trips(self):
+        event = TraceEvent(
+            name="flow 3", cat="flow", ph="X", ts_us=1.5, dur_us=2.0,
+            tid=1, args=(("links", 4),),
+        )
+        restored = TraceEvent.from_dict(event.to_dict())
+        assert restored == event
+
+    def test_instant_carries_thread_scope(self):
+        event = TraceEvent(name="x", cat="c", ph="i", ts_us=0.0)
+        assert event.to_dict()["s"] == "t"
+
+    def test_end_us(self):
+        span = TraceEvent(name="x", cat="c", ph="X", ts_us=2.0, dur_us=3.0)
+        instant = TraceEvent(name="x", cat="c", ph="i", ts_us=2.0)
+        assert span.end_us == 5.0
+        assert instant.end_us == 2.0
+
+
+class TestTracer:
+    def test_complete_converts_seconds_to_microseconds(self):
+        tracer = Tracer()
+        tracer.complete("reconfig", cat="reconfig", start_s=1e-6, end_s=4.7e-6)
+        (span,) = tracer.spans()
+        assert span.ts_us == pytest.approx(1.0)
+        assert span.dur_us == pytest.approx(3.7)
+
+    def test_instant_and_counter(self):
+        tracer = Tracer()
+        tracer.instant("rebalance", cat="network", ts_s=2e-6)
+        tracer.counter("active", cat="network", ts_s=2e-6, value=3)
+        assert len(tracer.instants()) == 1
+        assert len(tracer.events) == 2
+
+    def test_category_filters(self):
+        tracer = Tracer()
+        tracer.complete("a", cat="flow", start_s=0.0, end_s=1e-6)
+        tracer.complete("b", cat="phase", start_s=0.0, end_s=1e-6)
+        assert [s.cat for s in tracer.spans("flow")] == ["flow"]
+        assert len(tracer.spans()) == 2
+
+    def test_chrome_export_shape(self):
+        tracer = Tracer()
+        tracer.thread_name(0, "network")
+        tracer.complete("f", cat="flow", start_s=1e-6, end_s=2e-6)
+        tracer.instant("i", cat="network", ts_s=0.0)
+        chrome = tracer.to_chrome()
+        assert chrome["displayTimeUnit"] == "ns"
+        events = chrome["traceEvents"]
+        # Metadata first, then by timestamp.
+        assert events[0]["ph"] == "M"
+        assert [e["ph"] for e in events[1:]] == ["i", "X"]
+
+    def test_to_json_is_deterministic(self):
+        def build():
+            tracer = Tracer()
+            tracer.thread_name(1, "Slice-1")
+            tracer.complete(
+                "p", cat="phase", start_s=0.0, end_s=5e-6, tid=1,
+                args={"transfers": 2},
+            )
+            return tracer.to_json()
+
+        assert build() == build()
+        json.loads(build())  # valid JSON
+
+    def test_write(self, tmp_path):
+        tracer = Tracer()
+        tracer.complete("f", cat="flow", start_s=0.0, end_s=1e-6)
+        path = tmp_path / "out.trace.json"
+        tracer.write(path)
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == 1
+
+    def test_args_are_sorted_and_hashable(self):
+        tracer = Tracer()
+        tracer.instant("x", cat="c", ts_s=0.0, args={"b": 2, "a": 1})
+        (event,) = tracer.events
+        assert event.args == (("a", 1), ("b", 2))
+        hash(event)  # frozen dataclass stays hashable
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.complete("x", cat="c", start_s=0.0, end_s=1.0)
+        NULL_TRACER.instant("x", cat="c", ts_s=0.0)
+        NULL_TRACER.counter("x", cat="c", ts_s=0.0, value=1)
+        NULL_TRACER.thread_name(0, "net")
+        assert NULL_TRACER.events == ()
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(4.2)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_histogram(self):
+        hist = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["mean"] == pytest.approx(2.0)
+        assert (snap["min"], snap["max"]) == (1.0, 3.0)
+
+
+class TestMetricsRegistry:
+    def test_create_on_demand_and_reuse(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 2.0
+        assert len(registry) == 1
+        assert "a" in registry
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("zeta").set(1.0)
+        registry.counter("alpha").inc()
+        registry.histogram("mid").observe(2.0)
+        snap = registry.snapshot()
+        assert list(snap) == ["alpha", "mid", "zeta"]
+        assert snap["alpha"]["kind"] == "counter"
+        assert snap["mid"]["kind"] == "histogram"
+
+
+class TestTraceSummary:
+    def build(self):
+        tracer = Tracer()
+        tracer.thread_name(0, "network")
+        tracer.complete("f", cat="flow", start_s=0.0, end_s=2e-6)
+        tracer.complete("g", cat="flow", start_s=1e-6, end_s=4e-6)
+        tracer.instant("r", cat="network", ts_s=1e-6)
+        return tracer
+
+    def test_per_category_rollup(self):
+        flows, network = summarize_trace(self.build())
+        assert (flows.category, flows.spans, flows.instants) == ("flow", 2, 0)
+        assert flows.total_dur_us == pytest.approx(5.0)
+        assert flows.last_ts_us == pytest.approx(4.0)
+        assert (network.category, network.instants) == ("network", 1)
+
+    def test_metadata_excluded(self):
+        categories = [s.category for s in summarize_trace(self.build())]
+        assert "__metadata" not in categories
+
+    def test_render(self):
+        text = render_trace_summary(self.build())
+        assert "3 events, 2 categories" in text
+        assert "flow" in text
+
+    def test_empty(self):
+        assert render_trace_summary(Tracer()) == "trace: no events"
