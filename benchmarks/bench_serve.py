@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Load-test the evaluation service and record BENCH_serve.json.
+
+Closed-loop load generation: ``--clients`` threads each own a
+:class:`ServeClient` and fire their next request the moment the previous
+response lands. Two phases hit the same spec mix — cold (empty result
+cache, every request evaluates) and warm (every request is a disk/memory
+hit) — so the numbers bracket the service's range: batching + evaluation
+cost on one side, pure serving overhead on the other. Reports p50/p99
+request latency and throughput per phase, plus the server-side batch-size
+distribution, to ``BENCH_serve.json`` at the repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve.py [--clients 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.api import FailurePlan, ScenarioSpec, figure6_slices
+from repro.serve import ServeClient, ServerConfig, ServerThread
+
+
+def spec_mix(n: int) -> list[ScenarioSpec]:
+    """``n`` distinct repair specs — real evaluation work per cache miss,
+    so the cold phase measures batching + evaluation and the warm phase
+    isolates serving overhead."""
+    chips = [(x, y, 0) for x in range(4) for y in range(4)][: n // 2]
+    return [
+        ScenarioSpec(
+            fabric=fabric,
+            slices=figure6_slices(),
+            outputs=("repair",),
+            failures=FailurePlan(failed_chips=(chip,)),
+        )
+        for fabric in ("electrical", "photonic")
+        for chip in chips
+    ]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_phase(
+    port: int, specs: list[ScenarioSpec], clients: int, requests_per_client: int
+) -> dict:
+    """One closed-loop phase; returns latency/throughput stats."""
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def worker(worker_id: int) -> None:
+        client = ServeClient(port=port)
+        mine: list[float] = []
+        for i in range(requests_per_client):
+            spec = specs[(worker_id + i * clients) % len(specs)]
+            begin = time.perf_counter()
+            try:
+                client.evaluate_bytes(spec)
+            except Exception as exc:  # pragma: no cover - reported below
+                with lock:
+                    errors.append(repr(exc))
+                return
+            mine.append(time.perf_counter() - begin)
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=worker, args=(worker_id,))
+        for worker_id in range(clients)
+    ]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+    if errors:
+        raise RuntimeError(f"{len(errors)} request(s) failed: {errors[0]}")
+    return {
+        "requests": len(latencies),
+        "wall_clock_s": round(elapsed, 4),
+        "throughput_rps": round(len(latencies) / elapsed, 1),
+        "latency_p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "latency_p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "latency_mean_ms": round(statistics.mean(latencies) * 1e3, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests-per-client", type=int, default=4)
+    parser.add_argument("--specs", type=int, default=16)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_serve.json"),
+    )
+    args = parser.parse_args(argv)
+
+    specs = spec_mix(args.specs)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as cache_dir:
+        config = ServerConfig(
+            port=0, jobs=args.jobs, cache_dir=cache_dir, queue_limit=256
+        )
+        with ServerThread(config) as handle:
+            client = ServeClient(port=handle.port)
+            client.wait_until_ready()
+            print(
+                f"server up on :{handle.port} "
+                f"(jobs={args.jobs}, clients={args.clients})",
+                flush=True,
+            )
+            cold = run_phase(
+                handle.port, specs, args.clients, args.requests_per_client
+            )
+            print(
+                f"cold: {cold['throughput_rps']} req/s, "
+                f"p50 {cold['latency_p50_ms']} ms, "
+                f"p99 {cold['latency_p99_ms']} ms",
+                flush=True,
+            )
+            warm = run_phase(
+                handle.port, specs, args.clients, args.requests_per_client
+            )
+            print(
+                f"warm: {warm['throughput_rps']} req/s, "
+                f"p50 {warm['latency_p50_ms']} ms, "
+                f"p99 {warm['latency_p99_ms']} ms",
+                flush=True,
+            )
+            metrics = client.metrics()
+            snapshot = metrics["metrics"]
+            batch = snapshot.get("serve.batch_size", {})
+            server_side = {
+                "batches": snapshot.get("serve.batches", {}).get("value", 0),
+                "batch_size_mean": round(batch.get("mean", 0.0), 3),
+                "batch_size_max": batch.get("max", 0),
+                "requests_admitted": snapshot.get(
+                    "serve.requests_admitted", {}
+                ).get("value", 0),
+                "requests_rejected": snapshot.get(
+                    "serve.requests_rejected_full", {}
+                ).get("value", 0),
+                "cache_hit_ratio": round(
+                    snapshot.get("serve.cache_hit_ratio", {}).get("value", 0.0),
+                    4,
+                ),
+            }
+
+    if warm["latency_p50_ms"] > cold["latency_p50_ms"]:
+        print(
+            "WARNING: warm p50 exceeded cold p50 (noisy host?)",
+            file=sys.stderr,
+        )
+
+    payload = {
+        "workload": {
+            "clients": args.clients,
+            "requests_per_client": args.requests_per_client,
+            "unique_specs": len(specs),
+            "outputs": ["repair"],
+            "jobs": args.jobs,
+        },
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup_p50": round(
+            cold["latency_p50_ms"] / max(warm["latency_p50_ms"], 1e-9), 2
+        ),
+        "server": server_side,
+        "environment": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+        },
+    }
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

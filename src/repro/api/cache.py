@@ -17,7 +17,9 @@ Backends implement the tiny :class:`ResultCache` protocol:
   fingerprint so stale entries are never served across releases. Writes
   are atomic (temp file + ``os.replace``), so concurrent sweep workers
   sharing a cache directory cannot corrupt entries; corrupt or truncated
-  files read as misses and are rewritten.
+  files read as misses and are rewritten. Optional ``max_entries`` /
+  ``max_bytes`` caps prune oldest entries first on write, so a
+  long-lived server's cache stays bounded.
 * :class:`NullResultCache` — bypasses both reads and writes
   (``--no-cache``).
 """
@@ -183,10 +185,35 @@ class DiskResultCache:
     package version are invisible to another. The payload is the
     ``RunResult`` JSON that already round-trips losslessly, so a disk hit
     reproduces the evaluated result byte-for-byte when re-serialized.
+
+    A long-lived server writes into this cache forever, so it can be
+    capped: ``max_entries`` / ``max_bytes`` bound the store (across *all*
+    fingerprints — entries stranded by old code versions are the first
+    to go) with oldest-first pruning after each write. ``None`` (the
+    default) keeps the original unbounded behavior.
+
+    Attributes:
+        root: the cache directory.
+        max_entries: entry-count cap (``None`` = unbounded).
+        max_bytes: payload-byte cap (``None`` = unbounded).
+        evictions: entries pruned by this instance since construction.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.root / code_fingerprint() / key[:2] / f"{key}.json"
@@ -226,6 +253,68 @@ class DiskResultCache:
             except OSError:
                 pass
             raise
+        if self.max_entries is not None or self.max_bytes is not None:
+            self._prune()
+
+    def _entries(self) -> list[tuple[float, str, int, Path]]:
+        """Every entry as ``(mtime, path-str, bytes, path)``, oldest first.
+
+        Spans all fingerprint namespaces so stale-version entries are
+        evicted before live ones of the same age (their mtimes are
+        older). Files vanishing mid-scan (a concurrent eviction or
+        corrupt-entry drop) are simply skipped.
+        """
+        entries = []
+        for path in self.root.glob("*/*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, str(path), stat.st_size, path))
+        entries.sort()
+        return entries
+
+    def _prune(self) -> None:
+        """Evict oldest entries until both caps hold.
+
+        Runs after each write, so the just-written entry (the newest) is
+        the last candidate and survives any cap of at least one entry.
+        Concurrent pruners may race to unlink the same file; the loser's
+        unlink is a no-op and is not counted as an eviction.
+        """
+        entries = self._entries()
+        count = len(entries)
+        total = sum(size for _, _, size, _ in entries)
+        for _, _, size, path in entries:
+            over_entries = (
+                self.max_entries is not None and count > self.max_entries
+            )
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not over_entries and not over_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.evictions += 1
+            count -= 1
+            total -= size
+
+    def cache_stats(self) -> dict:
+        """Occupancy and eviction counters of the on-disk store.
+
+        Unlike :meth:`FabricSession.cache_stats`, which counts lookups,
+        this reports what is *on disk* right now — across every code
+        fingerprint — plus how many entries this instance evicted.
+        """
+        entries = self._entries()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _, _, size, _ in entries),
+            "evictions": self.evictions,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
 
     def __len__(self) -> int:
         fingerprint_dir = self.root / code_fingerprint()

@@ -16,6 +16,7 @@ Usage::
     python -m repro sweep [--jobs 4] [--no-cache] [--cache-dir DIR] [--telemetry]
     python -m repro utilization           # measured stranded bandwidth (Fig. 5c)
     python -m repro trace [--fabric photonic] [--out PATH]  # Chrome trace JSON
+    python -m repro serve [--port 8421] [--jobs 2] [--max-batch 8]
 
 Every subcommand builds a :class:`repro.api.ScenarioSpec` and routes
 through :func:`repro.api.run`, so the CLI, the benches and the examples
@@ -30,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -388,6 +390,29 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_jobs(text: str) -> int:
+    """Parse a worker count: a positive integer, or ``auto`` = all CPUs.
+
+    Validated at the argparse layer so ``--jobs 0`` and ``--jobs -4``
+    produce a usage error instead of surfacing a traceback from deep
+    inside the executor machinery.
+    """
+    if text.strip().lower() == "auto":
+        return 0  # run_many's "use every CPU" sentinel
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a positive integer (or 'auto' for all CPUs), "
+            f"got {value}"
+        )
+    return value
+
+
 def _parse_shape(text: str) -> tuple[int, ...]:
     """Parse an ``AxBxC`` extent string into an int tuple."""
     try:
@@ -532,6 +557,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio evaluation service until SIGTERM/SIGINT.
+
+    ``POST /v1/evaluate`` bodies are ``ScenarioSpec`` JSON; responses
+    are the exact ``RunResult`` JSON the CLI prints for the same spec.
+    ``GET /healthz`` and ``GET /metrics`` expose liveness and the
+    service's metrics registry. See ``repro.serve`` for the batching,
+    admission-control and drain semantics.
+    """
+    from .serve import ServerConfig, run_server
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=jobs,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+        queue_limit=args.queue_limit,
+        request_timeout_s=args.timeout_s,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        cache_max_entries=args.cache_max_entries,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+    return run_server(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -628,8 +681,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="result section to compute (repeatable; default: costs)",
     )
     psw.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes (0 = all CPUs; default: 1, serial)",
+        "--jobs", type=_parse_jobs, default=1, metavar="N",
+        help="worker processes, a positive integer or 'auto' for all "
+        "CPUs (default: 1, serial)",
     )
     psw.add_argument(
         "--no-cache", action="store_true",
@@ -682,6 +736,55 @@ def build_parser() -> argparse.ArgumentParser:
         "ui.perfetto.dev or chrome://tracing",
     )
 
+    psv = sub.add_parser(
+        "serve",
+        help="run the asyncio evaluation service (JSON over HTTP, "
+        "micro-batched, drains cleanly on SIGTERM)",
+    )
+    psv.add_argument("--host", default="127.0.0.1")
+    psv.add_argument(
+        "--port", type=int, default=8421,
+        help="TCP port (0 = ephemeral; default: 8421)",
+    )
+    psv.add_argument(
+        "--jobs", type=_parse_jobs, default=2, metavar="N",
+        help="persistent evaluation sessions, a positive integer or "
+        "'auto' for all CPUs (default: 2)",
+    )
+    psv.add_argument(
+        "--max-batch", type=int, default=8, metavar="N",
+        help="requests coalesced into one evaluation batch (default: 8)",
+    )
+    psv.add_argument(
+        "--linger-ms", type=float, default=2.0, metavar="MS",
+        help="how long the batcher waits for a batch to fill (default: 2)",
+    )
+    psv.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="admission queue bound; overflow answers 429 (default: 64)",
+    )
+    psv.add_argument(
+        "--timeout-s", type=float, default=60.0, metavar="S",
+        help="per-request evaluation deadline; exceeding it answers 504 "
+        "(default: 60)",
+    )
+    psv.add_argument(
+        "--no-cache", action="store_true",
+        help="run without the persistent result cache",
+    )
+    psv.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache location (default: ~/.cache/repro)",
+    )
+    psv.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="cap the disk cache at N entries, pruned oldest-first",
+    )
+    psv.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="cap the disk cache payload bytes, pruned oldest-first",
+    )
+
     return parser
 
 
@@ -696,6 +799,7 @@ _HANDLERS = {
     "figure7": _cmd_figure7,
     "blast-radius": _cmd_blast_radius,
     "congestion": _cmd_congestion,
+    "serve": _cmd_serve,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,

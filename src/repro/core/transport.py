@@ -241,8 +241,16 @@ class CircuitTransport:
             now += duration
             busy_s += duration
             backlog[current] -= msg.n_bytes
-            if backlog[current] < 1e-9:
+            if not queue:
+                # The queue is the ground truth; incremental float
+                # accounting can leave residue above any fixed epsilon
+                # (ulp(1e6) per op), which would make the policy serve an
+                # empty queue.
                 backlog[current] = 0.0
+            elif backlog[current] <= 0.0:
+                # Drift in the other direction would hide queued messages
+                # from the policy and drop them: rebuild the exact sum.
+                backlog[current] = sum(m.n_bytes for m in queue)
             delivered.append(
                 DeliveredMessage(message=msg, start_s=start, finish_s=now)
             )

@@ -8,7 +8,7 @@ TPUv4-scale cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -49,24 +49,29 @@ class FleetFailureModel:
     cluster: TpuCluster
     mtbf_s: float = 5 * 365 * 24 * 3600.0
     seed: int = 0
-    _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.mtbf_s <= 0:
             raise ValueError("MTBF must be positive")
-        self._rng = np.random.default_rng(self.seed)
 
     def sample_failures(self, horizon_s: float) -> list[FailureEvent]:
         """Failures occurring within ``horizon_s`` seconds, time-ordered.
 
         Each chip contributes at most one failure (chips are replaced
         offline, not restored into the model).
+
+        The draw is a pure function of ``seed`` — the generator is
+        re-derived per call rather than consumed statefully, so a
+        long-lived process (a sweep worker, the evaluation service)
+        answering the same seeded plan twice produces byte-identical
+        traces, request-to-request.
         """
         if horizon_s <= 0:
             raise ValueError("horizon must be positive")
+        rng = np.random.default_rng(self.seed)
         events = []
         for chip in self.cluster.chip_ids():
-            t = float(self._rng.exponential(self.mtbf_s))
+            t = float(rng.exponential(self.mtbf_s))
             if t <= horizon_s:
                 events.append(FailureEvent(time_s=t, chip=chip))
         return sorted(events)

@@ -1,0 +1,42 @@
+"""``repro.serve`` — the asyncio evaluation service.
+
+A long-lived JSON-over-HTTP front end to the experiment API:
+``POST /v1/evaluate`` takes a :class:`~repro.api.spec.ScenarioSpec`
+body, a micro-batcher coalesces concurrent requests into
+:func:`~repro.api.batch.run_many` calls on a pool of persistent
+:class:`~repro.api.session.FabricSession`\\ s sharing one
+:class:`~repro.api.cache.DiskResultCache`, and the response body is the
+exact ``RunResult`` JSON the CLI would print for the same spec.
+Admission is bounded (429 + ``Retry-After`` on overflow), every request
+has a deadline (504), and SIGTERM drains every accepted request before
+the process exits. ``GET /healthz`` and ``GET /metrics`` expose
+liveness and the :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Start it with ``python -m repro serve`` (see ``--help``), drive it with
+:class:`ServeClient`, or embed it in-process with :class:`ServerThread`.
+"""
+
+from .client import ServeClient, ServeError
+from .service import (
+    DEFAULT_PORT,
+    EvaluationService,
+    QueueFull,
+    ReproServer,
+    ServerConfig,
+    ServerThread,
+    ShuttingDown,
+    run_server,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ServerConfig",
+    "EvaluationService",
+    "ReproServer",
+    "ServerThread",
+    "run_server",
+    "QueueFull",
+    "ShuttingDown",
+    "ServeClient",
+    "ServeError",
+]

@@ -1,0 +1,168 @@
+"""A thin blocking client for the evaluation service.
+
+Wraps stdlib :mod:`http.client` — no dependencies, usable from tests,
+benchmarks and notebooks alike::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(port=8421)
+    result = client.evaluate(spec)          # a typed RunResult
+    raw = client.evaluate_bytes(spec)       # the exact response bytes
+
+``evaluate_bytes`` exists because the service's contract is byte-level:
+the response body is exactly the JSON the CLI would print for the same
+spec, and the tests/CI compare bytes, not parsed trees.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any
+
+from ..api.result import RunResult
+from ..api.spec import ScenarioSpec
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(RuntimeError):
+    """A non-200 answer from the service.
+
+    Attributes:
+        status: HTTP status code.
+        code: machine-readable error code from the JSON envelope
+            (``queue_full``, ``bad_spec``, ``timeout``, ...).
+        retry_after_s: parsed ``Retry-After`` header, when present.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client; one connection per call.
+
+    Attributes:
+        host: server host.
+        port: server port.
+        timeout_s: socket timeout per request.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8421,
+        timeout_s: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            fields = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, fields, payload
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _raise_for_status(
+        status: int, headers: dict[str, str], payload: bytes
+    ) -> None:
+        if status == 200:
+            return
+        code, message = "unknown", payload.decode("utf-8", "replace").strip()
+        try:
+            envelope = json.loads(payload)["error"]
+            code, message = envelope["code"], envelope["message"]
+        except (ValueError, KeyError, TypeError):
+            pass
+        retry_after = None
+        if "retry-after" in headers:
+            try:
+                retry_after = float(headers["retry-after"])
+            except ValueError:
+                pass
+        raise ServeError(status, code, message, retry_after_s=retry_after)
+
+    # -- API ---------------------------------------------------------------------
+
+    def evaluate_response(
+        self, spec: ScenarioSpec | dict[str, Any]
+    ) -> tuple[int, dict[str, str], bytes]:
+        """Raw ``POST /v1/evaluate``: status, headers, body — no raising."""
+        payload = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
+        body = json.dumps(payload, sort_keys=True).encode()
+        return self._request("POST", "/v1/evaluate", body)
+
+    def evaluate_bytes(self, spec: ScenarioSpec | dict[str, Any]) -> bytes:
+        """The exact response body for ``spec``.
+
+        Raises:
+            ServeError: on any non-200 status.
+        """
+        status, headers, payload = self.evaluate_response(spec)
+        self._raise_for_status(status, headers, payload)
+        return payload
+
+    def evaluate(self, spec: ScenarioSpec | dict[str, Any]) -> RunResult:
+        """Evaluate ``spec`` into a typed :class:`RunResult`."""
+        return RunResult.from_json(self.evaluate_bytes(spec).decode("utf-8"))
+
+    def healthz(self) -> dict[str, Any]:
+        """The ``/healthz`` payload."""
+        status, headers, payload = self._request("GET", "/healthz")
+        self._raise_for_status(status, headers, payload)
+        return json.loads(payload)
+
+    def metrics(self) -> dict[str, Any]:
+        """The ``/metrics`` payload."""
+        status, headers, payload = self._request("GET", "/metrics")
+        self._raise_for_status(status, headers, payload)
+        return json.loads(payload)
+
+    def wait_until_ready(self, deadline_s: float = 30.0) -> dict[str, Any]:
+        """Poll ``/healthz`` until the server answers.
+
+        Returns:
+            The first health payload received.
+
+        Raises:
+            TimeoutError: when the server does not answer in time.
+        """
+        deadline = time.monotonic() + deadline_s
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                last_error = exc
+                time.sleep(0.05)
+        raise TimeoutError(
+            f"server at {self.host}:{self.port} not ready after {deadline_s} s"
+        ) from last_error

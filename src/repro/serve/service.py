@@ -1,0 +1,723 @@
+"""The asyncio evaluation service: micro-batched, admission-controlled.
+
+One long-lived process answers many concurrent scenario queries against
+a shared fabric model — the multi-tenant regime the roadmap targets,
+versus the one-shot CLI that pays interpreter startup and cold caches
+per query. The moving parts:
+
+* **Admission control** — a bounded queue in front of the batcher. When
+  it is full, ``submit`` raises :class:`QueueFull` and the HTTP layer
+  answers 429 with a ``Retry-After`` header, so overload degrades into
+  fast rejections instead of unbounded latency.
+* **Micro-batching** — the batcher coalesces queued requests until the
+  batch is full (``max_batch``) or the oldest request has lingered
+  ``linger_ms``, then evaluates the batch through
+  :func:`repro.api.run_many` on a session leased from the pool.
+  Batching lets :func:`run_many` deduplicate identical concurrent specs
+  and lets one session amortize topology artifacts across the batch.
+* **A session pool** — ``jobs`` persistent
+  :class:`~repro.api.session.FabricSession` instances sharing one
+  :class:`~repro.api.cache.DiskResultCache`, so every worker sees every
+  other worker's results and a warm cache survives restarts. The
+  batcher leases a session *before* collecting a batch, which is what
+  makes the admission bound exact: when all sessions are busy, requests
+  wait in the bounded queue, not in hidden batcher state.
+* **Graceful shutdown** — ``drain()`` stops admissions (503 for new
+  requests), flushes everything already accepted through the batcher,
+  and waits for in-flight batches, so SIGTERM never drops an accepted
+  request or truncates a response.
+
+The HTTP front end (:class:`ReproServer`) frames this over
+``asyncio.start_server`` — see :mod:`repro.serve.wire` for the framing —
+and serves ``POST /v1/evaluate`` plus ``GET /healthz`` and
+``GET /metrics`` backed by a :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..api.backends import UnsupportedOutput, available_backends
+from ..api.batch import SpecRun, run_many
+from ..api.cache import (
+    CacheStats,
+    DiskResultCache,
+    NullResultCache,
+    ResultCache,
+    default_cache_dir,
+)
+from ..api.session import FabricSession
+from ..api.spec import ScenarioSpec
+from ..obs.metrics import MetricsRegistry
+from . import wire
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ServerConfig",
+    "QueueFull",
+    "ShuttingDown",
+    "EvaluationService",
+    "ReproServer",
+    "ServerThread",
+    "run_server",
+]
+
+#: Default TCP port of ``repro serve``.
+DEFAULT_PORT = 8421
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one evaluation service instance.
+
+    Attributes:
+        host: interface to bind.
+        port: TCP port to bind (0 = ephemeral; the bound port is
+            exposed as ``ReproServer.port`` / ``ServerThread.port``).
+        jobs: persistent sessions in the pool = concurrently evaluating
+            batches.
+        max_batch: requests coalesced into one batch at most.
+        linger_ms: how long the batcher waits for the batch to fill
+            before flushing a partial one.
+        queue_limit: admitted-but-unbatched requests at most; overflow
+            is rejected with 429.
+        request_timeout_s: per-request evaluation deadline; exceeding it
+            answers 504 (the batch keeps running and still warms the
+            cache).
+        retry_after_s: value of the ``Retry-After`` header on 429.
+        cache_dir: directory of the shared
+            :class:`~repro.api.cache.DiskResultCache` (``None`` =
+            :func:`~repro.api.cache.default_cache_dir`).
+        no_cache: run without any persistent result cache.
+        cache_max_entries: oldest-first eviction cap on the disk cache's
+            entry count (``None`` = unbounded).
+        cache_max_bytes: same cap in payload bytes.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    jobs: int = 2
+    max_batch: int = 8
+    linger_ms: float = 2.0
+    queue_limit: int = 64
+    request_timeout_s: float = 60.0
+    retry_after_s: float = 1.0
+    cache_dir: str | Path | None = None
+    no_cache: bool = False
+    cache_max_entries: int | None = None
+    cache_max_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.linger_ms < 0:
+            raise ValueError(f"linger_ms cannot be negative, got {self.linger_ms}")
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be positive, got {self.queue_limit}"
+            )
+        if self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be positive, got {self.request_timeout_s}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+
+
+class QueueFull(Exception):
+    """The admission queue is at ``queue_limit``; retry later (429).
+
+    Attributes:
+        retry_after_s: suggested client backoff.
+    """
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"admission queue full; retry after {retry_after_s:g} s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class ShuttingDown(Exception):
+    """The service is draining and admits no new requests (503)."""
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for its batch."""
+
+    spec: ScenarioSpec
+    future: asyncio.Future
+    admitted_at: float = field(default_factory=time.monotonic)
+
+
+def _default_evaluate_batch(
+    session: FabricSession, specs: Sequence[ScenarioSpec]
+) -> list[SpecRun]:
+    """Evaluate one batch on one pooled session (runs in the executor).
+
+    ``run_many`` with an explicit session deduplicates identical specs
+    inside the batch and returns one ordered row per request, carrying
+    cache provenance the HTTP layer surfaces as ``X-Repro-Cache``.
+    """
+    return list(run_many(specs, session=session).runs)
+
+
+class EvaluationService:
+    """Micro-batching evaluation core, independent of the HTTP framing.
+
+    Attributes:
+        config: the service tunables.
+        metrics: the registry ``/metrics`` snapshots (queue depth,
+            batch-size and latency histograms, admission counters).
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        metrics: MetricsRegistry | None = None,
+        evaluate_batch: Callable[
+            [FabricSession, Sequence[ScenarioSpec]], list[SpecRun]
+        ] | None = None,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._evaluate_batch = evaluate_batch or _default_evaluate_batch
+        self._result_cache = self._build_cache(config)
+        self._sessions = [
+            FabricSession(result_cache=self._result_cache)
+            for _ in range(config.jobs)
+        ]
+        self._queue: asyncio.Queue[_Pending] = asyncio.Queue(
+            maxsize=config.queue_limit
+        )
+        self._session_pool: asyncio.Queue[FabricSession] = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.jobs, thread_name_prefix="repro-serve"
+        )
+        self._inflight: set[asyncio.Task] = set()
+        self._batcher: asyncio.Task | None = None
+        self._draining = False
+        self._drain_wakeup = asyncio.Event()
+        self.started_at = time.monotonic()
+
+    @staticmethod
+    def _build_cache(config: ServerConfig) -> ResultCache:
+        if config.no_cache:
+            return NullResultCache()
+        root = (
+            Path(config.cache_dir).expanduser()
+            if config.cache_dir is not None
+            else default_cache_dir()
+        )
+        return DiskResultCache(
+            root,
+            max_entries=config.cache_max_entries,
+            max_bytes=config.cache_max_bytes,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the batcher; call from a running event loop."""
+        for session in self._sessions:
+            self._session_pool.put_nowait(session)
+        self._batcher = asyncio.get_running_loop().create_task(
+            self._batch_loop(), name="repro-serve-batcher"
+        )
+
+    async def drain(self) -> None:
+        """Stop admissions, flush the queue, wait for in-flight batches."""
+        self._draining = True
+        self._drain_wakeup.set()
+        if self._batcher is not None:
+            await self._batcher
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service has begun its graceful shutdown."""
+        return self._draining
+
+    # -- admission ---------------------------------------------------------------
+
+    def submit(self, spec: ScenarioSpec) -> asyncio.Future:
+        """Admit ``spec``; the future resolves to its :class:`SpecRun`.
+
+        Raises:
+            ShuttingDown: the service is draining (map to 503).
+            QueueFull: the admission queue is at its limit (map to 429).
+        """
+        if self._draining:
+            self.metrics.counter("serve.requests_rejected_draining").inc()
+            raise ShuttingDown("the service is draining")
+        future = asyncio.get_running_loop().create_future()
+        pending = _Pending(spec=spec, future=future)
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.metrics.counter("serve.requests_rejected_full").inc()
+            raise QueueFull(self.config.retry_after_s) from None
+        self.metrics.counter("serve.requests_admitted").inc()
+        self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
+        return future
+
+    # -- batching ----------------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Lease a session, collect a batch, dispatch; repeat until drained.
+
+        The session is leased *before* the first request is pulled so
+        the bounded queue is the only place requests wait — the
+        admission limit stays exact under saturation.
+        """
+        while True:
+            session = await self._session_pool.get()
+            first = await self._next_pending()
+            if first is None:
+                self._session_pool.put_nowait(session)
+                return
+            batch = [first]
+            deadline = asyncio.get_running_loop().time() + (
+                self.config.linger_ms / 1000.0
+            )
+            while len(batch) < self.config.max_batch:
+                if self._draining:
+                    # Flush fast: take whatever is already queued.
+                    try:
+                        batch.append(self._queue.get_nowait())
+                        continue
+                    except asyncio.QueueEmpty:
+                        break
+                remaining = deadline - asyncio.get_running_loop().time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
+            task = asyncio.get_running_loop().create_task(
+                self._run_batch(session, batch)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _next_pending(self) -> _Pending | None:
+        """The next admitted request, or ``None`` once drained dry."""
+        while True:
+            try:
+                return self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                if self._draining:
+                    return None
+            getter = asyncio.ensure_future(self._queue.get())
+            waker = asyncio.ensure_future(self._drain_wakeup.wait())
+            done, _ = await asyncio.wait(
+                {getter, waker}, return_when=asyncio.FIRST_COMPLETED
+            )
+            waker.cancel()
+            if getter in done:
+                return getter.result()
+            getter.cancel()
+            try:
+                await getter
+            except asyncio.CancelledError:
+                pass
+            else:  # pragma: no cover - raced an item in during cancellation
+                return getter.result()
+
+    async def _run_batch(
+        self, session: FabricSession, batch: list[_Pending]
+    ) -> None:
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.histogram("serve.batch_size").observe(len(batch))
+        specs = [pending.spec for pending in batch]
+        loop = asyncio.get_running_loop()
+        try:
+            rows = await loop.run_in_executor(
+                self._executor, self._evaluate_batch, session, specs
+            )
+        except Exception as exc:
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+        else:
+            for pending, row in zip(batch, rows):
+                if not pending.future.done():
+                    pending.future.set_result(row)
+                self.metrics.histogram("serve.request_seconds").observe(
+                    time.monotonic() - pending.admitted_at
+                )
+            self.metrics.counter("serve.requests_completed").inc(len(batch))
+        finally:
+            self._session_pool.put_nowait(session)
+            self._refresh_cache_metrics()
+
+    # -- introspection -----------------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss view summed over every pooled session."""
+        total = CacheStats()
+        for session in self._sessions:
+            stats = session.cache_stats()
+            total.hits += stats.hits
+            total.misses += stats.misses
+            total.eval_seconds += stats.eval_seconds
+            for fabric, counts in stats.per_backend.items():
+                merged = total.per_backend.setdefault(
+                    fabric, {"hits": 0, "misses": 0}
+                )
+                merged["hits"] += counts["hits"]
+                merged["misses"] += counts["misses"]
+        return total
+
+    def _refresh_cache_metrics(self) -> None:
+        stats = self.cache_stats()
+        self.metrics.gauge("serve.cache_hit_ratio").set(stats.hit_rate)
+        if isinstance(self._result_cache, DiskResultCache):
+            disk = self._result_cache.cache_stats()
+            self.metrics.gauge("serve.disk_cache_entries").set(disk["entries"])
+            self.metrics.gauge("serve.disk_cache_bytes").set(disk["bytes"])
+            self.metrics.gauge("serve.disk_cache_evictions").set(
+                disk["evictions"]
+            )
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` payload."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.config.queue_limit,
+            "sessions": self.config.jobs,
+            "inflight_batches": len(self._inflight),
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+        }
+
+    def metrics_payload(self) -> dict[str, Any]:
+        """The ``/metrics`` payload."""
+        self._refresh_cache_metrics()
+        payload: dict[str, Any] = {
+            "metrics": self.metrics.snapshot(),
+            "cache": self.cache_stats().to_dict(),
+        }
+        if isinstance(self._result_cache, DiskResultCache):
+            payload["disk_cache"] = self._result_cache.cache_stats()
+        return payload
+
+
+def _result_body(row: SpecRun) -> bytes:
+    """The evaluate response body.
+
+    Exactly the JSON the CLI prints for the same spec (``indent=2``,
+    sorted keys, trailing newline) — the byte-identity the tests and the
+    CI smoke job assert.
+    """
+    return (
+        json.dumps(row.result.to_dict(), indent=2, sort_keys=True) + "\n"
+    ).encode()
+
+
+class ReproServer:
+    """The HTTP front end over one :class:`EvaluationService`.
+
+    Attributes:
+        service: the batching core.
+        port: the bound TCP port (after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        metrics: MetricsRegistry | None = None,
+        evaluate_batch: Callable[
+            [FabricSession, Sequence[ScenarioSpec]], list[SpecRun]
+        ] | None = None,
+    ) -> None:
+        self.config = config
+        self.service = EvaluationService(
+            config, metrics=metrics, evaluate_batch=evaluate_batch
+        )
+        self._server: asyncio.Server | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self.port: int | None = None
+
+    async def start(self) -> None:
+        """Bind the listener and start the batcher."""
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful stop: close the listener, drain, finish responses."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.drain()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Run until ``stop`` is set, then shut down gracefully."""
+        await self.start()
+        await stop.wait()
+        await self.shutdown()
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            try:
+                request = await wire.read_request(reader)
+            except wire.ProtocolError as exc:
+                writer.write(
+                    wire.error_response(exc.status, "protocol_error", str(exc))
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            writer.write(await self._route(request))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(self, request: wire.Request) -> bytes:
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return self._method_not_allowed("GET")
+            return wire.json_response(200, self.service.health())
+        if request.path == "/metrics":
+            if request.method != "GET":
+                return self._method_not_allowed("GET")
+            return wire.json_response(200, self.service.metrics_payload())
+        if request.path == "/v1/evaluate":
+            if request.method != "POST":
+                return self._method_not_allowed("POST")
+            return await self._evaluate(request)
+        return wire.error_response(
+            404, "not_found", f"no route for {request.path!r}"
+        )
+
+    @staticmethod
+    def _method_not_allowed(allowed: str) -> bytes:
+        return wire.error_response(
+            405,
+            "method_not_allowed",
+            f"only {allowed} is supported on this route",
+            extra_headers=(("Allow", allowed),),
+        )
+
+    async def _evaluate(self, request: wire.Request) -> bytes:
+        try:
+            payload = request.json()
+        except wire.ProtocolError as exc:
+            return wire.error_response(exc.status, "bad_json", str(exc))
+        if isinstance(payload, dict) and isinstance(payload.get("spec"), dict):
+            payload = payload["spec"]
+        if not isinstance(payload, dict):
+            return wire.error_response(
+                400, "bad_request", "request body must be a ScenarioSpec object"
+            )
+        try:
+            spec = ScenarioSpec.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            return wire.error_response(400, "bad_spec", f"invalid spec: {exc}")
+        if spec.fabric not in available_backends():
+            return wire.error_response(
+                400,
+                "bad_spec",
+                f"unknown fabric {spec.fabric!r}; registered backends: "
+                f"{list(available_backends())}",
+            )
+        try:
+            future = self.service.submit(spec)
+        except ShuttingDown:
+            return wire.error_response(
+                503, "draining", "the service is shutting down"
+            )
+        except QueueFull as exc:
+            return wire.error_response(
+                429,
+                "queue_full",
+                str(exc),
+                extra_headers=(
+                    ("Retry-After", f"{max(1, round(exc.retry_after_s))}"),
+                ),
+            )
+        try:
+            row: SpecRun = await asyncio.wait_for(
+                future, self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.service.metrics.counter("serve.requests_timed_out").inc()
+            return wire.error_response(
+                504,
+                "timeout",
+                f"evaluation exceeded {self.config.request_timeout_s:g} s",
+            )
+        except UnsupportedOutput as exc:
+            return wire.error_response(400, "unsupported_output", str(exc))
+        except (KeyError, ValueError) as exc:
+            return wire.error_response(
+                400, "bad_spec", f"evaluation rejected the spec: {exc}"
+            )
+        except Exception as exc:  # noqa: BLE001 - the envelope must answer
+            return wire.error_response(
+                500, "internal", f"evaluation failed: {exc}"
+            )
+        return wire.response_bytes(
+            200,
+            _result_body(row),
+            extra_headers=(
+                ("X-Repro-Cache", "hit" if row.from_cache else "miss"),
+            ),
+        )
+
+
+class ServerThread:
+    """A :class:`ReproServer` on a background thread (tests, benches).
+
+    Runs its own event loop, exposes the bound port once ready, and
+    drains gracefully on :meth:`stop`. Usable as a context manager::
+
+        with ServerThread(ServerConfig(port=0)) as handle:
+            client = ServeClient(port=handle.port)
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        metrics: MetricsRegistry | None = None,
+        evaluate_batch: Callable[
+            [FabricSession, Sequence[ScenarioSpec]], list[SpecRun]
+        ] | None = None,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics
+        self._evaluate_batch = evaluate_batch
+        self.port: int | None = None
+        self.server: ReproServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread did not become ready in 30 s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Request a graceful drain and wait for the loop to finish."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        self._thread.join(timeout=60)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - surfaced in start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.server = ReproServer(
+            self.config,
+            metrics=self.metrics,
+            evaluate_batch=self._evaluate_batch,
+        )
+        self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = self.server.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+
+def run_server(config: ServerConfig) -> int:
+    """Run the service until SIGTERM/SIGINT; the ``repro serve`` body.
+
+    Returns:
+        0 after a clean drain.
+    """
+
+    async def main() -> int:
+        server = ReproServer(config)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await server.start()
+        print(
+            f"repro serve listening on http://{config.host}:{server.port} "
+            f"(jobs={config.jobs}, max_batch={config.max_batch}, "
+            f"linger={config.linger_ms:g} ms, "
+            f"queue_limit={config.queue_limit}, "
+            f"cache={'off' if config.no_cache else 'on'})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await stop.wait()
+        print("repro serve draining...", file=sys.stderr, flush=True)
+        await server.shutdown()
+        completed = server.service.metrics.counter(
+            "serve.requests_completed"
+        ).value
+        print(
+            f"repro serve drained cleanly "
+            f"({completed:g} requests completed)",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(main())

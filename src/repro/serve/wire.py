@@ -1,0 +1,176 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The evaluation service speaks JSON-over-HTTP with exactly three routes,
+so it does not need a web framework — just enough of RFC 9112 to read
+one request from a stream and write one response back: a request line,
+headers, an optional ``Content-Length`` body, and a ``Connection:
+close`` response. Keeping the framing in its own module keeps the
+service logic (batching, admission, drain) free of byte-level parsing
+and lets the tests exercise malformed input directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "Request",
+    "read_request",
+    "response_bytes",
+    "json_response",
+]
+
+#: Largest request body the server will read (a ScenarioSpec is ~1 KiB;
+#: anything near this limit is not a spec).
+MAX_BODY_BYTES = 4 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """A request the server cannot parse.
+
+    Attributes:
+        status: the HTTP status the connection should answer with.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request.
+
+    Attributes:
+        method: upper-cased request method.
+        path: request target, query string included.
+        headers: header fields, keys lower-cased (last value wins).
+        body: raw request body (empty without ``Content-Length``).
+    """
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body decoded as JSON.
+
+        Raises:
+            ProtocolError: with status 400 when the body is not valid
+                UTF-8 JSON.
+        """
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"request body is not JSON: {exc}") from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> Request | None:
+    """Read one HTTP request from ``reader``.
+
+    Returns:
+        The parsed request, or ``None`` when the peer closed the
+        connection before sending a request line.
+
+    Raises:
+        ProtocolError: on a malformed request line or header, or a body
+            beyond ``max_body`` (status 413).
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError) as exc:
+        raise ProtocolError(400, f"unreadable request line: {exc}") from exc
+    if not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(400, f"malformed request line: {line!r}")
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(
+            400, f"invalid Content-Length: {length_text!r}"
+        ) from None
+    if length < 0:
+        raise ProtocolError(400, f"invalid Content-Length: {length}")
+    if length > max_body:
+        raise ProtocolError(
+            413, f"request body of {length} bytes exceeds the {max_body} limit"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialize one complete ``Connection: close`` HTTP response."""
+    reason = _REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}"]
+    head.append(f"Content-Type: {content_type}")
+    head.append(f"Content-Length: {len(body)}")
+    for name, value in extra_headers:
+        head.append(f"{name}: {value}")
+    head.append("Connection: close")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: Any,
+    *,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """A JSON response with deterministic (sorted-key) serialization."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+    return response_bytes(status, body, extra_headers=extra_headers)
+
+
+def error_response(
+    status: int,
+    code: str,
+    message: str,
+    *,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """The service's uniform error envelope."""
+    return json_response(
+        status,
+        {"error": {"code": code, "message": message, "status": status}},
+        extra_headers=extra_headers,
+    )

@@ -1,6 +1,7 @@
 """Tests for the content-addressed result caches."""
 
 import json
+import os
 import threading
 
 import pytest
@@ -276,3 +277,107 @@ class TestCodeFingerprint:
         after = code_fingerprint()
         assert before != after
         assert len(after) == 16
+
+
+class TestDiskCacheCaps:
+    """Satellite: bounded disk cache with oldest-first eviction."""
+
+    def evaluated(self, n):
+        """``n`` distinct (key, result) pairs, cheap to produce."""
+        session = FabricSession()
+        pairs = []
+        for seed in range(n):
+            spec = small_spec(seed=seed)
+            pairs.append((spec_key(spec), session.run(spec)))
+        return pairs
+
+    @staticmethod
+    def backdate(cache, key, age_s):
+        """Push an entry's mtime into the past (mtime orders eviction)."""
+        path = cache._path(key)
+        stamp = path.stat().st_mtime - age_s
+        os.utime(path, (stamp, stamp))
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_entries": 0}, {"max_entries": -1}, {"max_bytes": 0}]
+    )
+    def test_invalid_caps_rejected(self, tmp_path, kwargs):
+        with pytest.raises(ValueError):
+            DiskResultCache(tmp_path, **kwargs)
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        for key, result in self.evaluated(5):
+            cache.put(key, result)
+        stats = cache.cache_stats()
+        assert stats["entries"] == 5
+        assert stats["evictions"] == 0
+        assert stats["max_entries"] is None
+
+    def test_max_entries_evicts_oldest_first(self, tmp_path):
+        cache = DiskResultCache(tmp_path, max_entries=3)
+        pairs = self.evaluated(5)
+        for age, (key, result) in enumerate(pairs):
+            cache.put(key, result)
+            self.backdate(cache, key, age_s=100 - 10 * age)
+        # The two oldest (earliest backdated) entries are gone...
+        assert cache.get(pairs[0][0]) is None
+        assert cache.get(pairs[1][0]) is None
+        # ...the three newest survive, and the counters agree.
+        for key, result in pairs[2:]:
+            assert cache.get(key) is not None
+        stats = cache.cache_stats()
+        assert stats["entries"] == 3
+        assert stats["evictions"] == 2
+
+    def test_max_bytes_evicts_down_to_cap(self, tmp_path):
+        pairs = self.evaluated(4)
+        entry_bytes = len(pairs[0][1].to_json().encode())
+        cache = DiskResultCache(tmp_path, max_bytes=2 * entry_bytes)
+        for age, (key, result) in enumerate(pairs):
+            cache.put(key, result)
+            self.backdate(cache, key, age_s=100 - 10 * age)
+        stats = cache.cache_stats()
+        assert stats["bytes"] <= 2 * entry_bytes
+        assert stats["evictions"] == 2
+        assert cache.get(pairs[-1][0]) is not None
+
+    def test_just_written_entry_survives_any_cap(self, tmp_path):
+        cache = DiskResultCache(tmp_path, max_entries=1)
+        pairs = self.evaluated(3)
+        for age, (key, result) in enumerate(pairs):
+            cache.put(key, result)
+            self.backdate(cache, key, age_s=100 - 10 * age)
+            assert cache.get(key) is not None  # newest always readable
+        assert cache.cache_stats()["entries"] == 1
+
+    def test_eviction_spans_code_fingerprints(self, tmp_path, monkeypatch):
+        """Entries stranded by an old code version are evicted first."""
+        pairs = self.evaluated(3)
+        monkeypatch.setattr(repro, "__version__", "0.0.1-stale")
+        stale = DiskResultCache(tmp_path)
+        stale.put(pairs[0][0], pairs[0][1])
+        self.backdate(stale, pairs[0][0], age_s=1000)
+        monkeypatch.undo()
+        cache = DiskResultCache(tmp_path, max_entries=2)
+        for key, result in pairs[1:]:
+            cache.put(key, result)
+        # The stale-fingerprint entry was the oldest; it went first.
+        assert cache.cache_stats()["entries"] == 2
+        assert cache.evictions == 1
+        for key, _ in pairs[1:]:
+            assert cache.get(key) is not None
+
+    def test_session_sees_capped_cache_transparently(self, tmp_path):
+        cache = DiskResultCache(tmp_path, max_entries=2)
+        session = FabricSession(result_cache=cache)
+        specs = [small_spec(seed=seed) for seed in range(4)]
+        for spec in specs:
+            session.run(spec)
+        assert cache.cache_stats()["entries"] <= 2
+        # Evicted specs simply re-evaluate; results are unaffected.
+        fresh = FabricSession(result_cache=cache)
+        assert (
+            fresh.run(specs[0]).to_json()
+            == FabricSession().run(specs[0]).to_json()
+        )

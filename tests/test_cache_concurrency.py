@@ -1,0 +1,124 @@
+"""Concurrent DiskResultCache access from many sessions and processes.
+
+Satellite for the serving PR: the evaluation service pools several
+persistent sessions over one cache directory, and sweep workers (or a
+second server) may hammer the same namespace from other processes. The
+atomic temp-file + rename protocol must keep every entry parseable and
+the stats consistent no matter the interleaving.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.api import (
+    DiskResultCache,
+    FabricSession,
+    ScenarioSpec,
+    SliceSpec,
+    run_many,
+    spec_key,
+)
+
+
+def grid_specs(n):
+    """``n`` distinct cheap specs every worker evaluates in its own order."""
+    return [
+        ScenarioSpec(
+            fabric="electrical",
+            slices=(SliceSpec("S", (2, 2, 1), (0, 0, 0)),),
+            outputs=("costs",),
+            seed=seed,
+        )
+        for seed in range(n)
+    ]
+
+
+def _hammer(cache_dir, worker, n_specs):
+    """One worker process: evaluate the grid against the shared cache.
+
+    Returns ``(json_by_key, stats)`` so the parent can cross-check every
+    worker observed identical bytes for every spec.
+    """
+    cache = DiskResultCache(cache_dir)
+    session = FabricSession(result_cache=cache)
+    specs = grid_specs(n_specs)
+    # Stagger the order per worker to force put/get interleavings.
+    ordered = specs[worker:] + specs[:worker]
+    payload = {}
+    for spec in ordered:
+        result = session.run(spec)
+        payload[spec_key(spec)] = result.to_json()
+    stats = session.cache_stats()
+    return payload, {"hits": stats.hits, "misses": stats.misses}
+
+
+class TestMultiProcessCache:
+    @pytest.mark.parametrize("workers", [4])
+    def test_hammering_one_namespace_stays_consistent(self, tmp_path, workers):
+        n_specs = 8
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_hammer, str(tmp_path), worker, n_specs)
+                for worker in range(workers)
+            ]
+            outcomes = [future.result(timeout=300) for future in futures]
+
+        # Every worker saw byte-identical JSON for every spec.
+        reference = outcomes[0][0]
+        assert len(reference) == n_specs
+        for payload, _ in outcomes[1:]:
+            assert payload == reference
+
+        # Stats are sane: each worker evaluated or hit every spec exactly
+        # once, and nothing was double-counted.
+        for _, stats in outcomes:
+            assert stats["hits"] + stats["misses"] == n_specs
+
+        # No torn or partial entries remain on disk: every file parses
+        # and round-trips to the bytes the workers reported.
+        cache = DiskResultCache(tmp_path)
+        on_disk = sorted(tmp_path.rglob("*.json"))
+        assert len(on_disk) == n_specs
+        assert list(tmp_path.rglob("*.tmp")) == []
+        for path in on_disk:
+            json.loads(path.read_text(encoding="utf-8"))  # parses cleanly
+        for key, expected in reference.items():
+            assert cache.get(key).to_json() == expected
+        stats = cache.cache_stats()
+        assert stats["entries"] == n_specs
+        assert stats["evictions"] == 0
+
+    def test_two_sessions_in_one_process_share_entries(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        first = FabricSession(result_cache=cache)
+        second = FabricSession(result_cache=cache)
+        specs = grid_specs(4)
+        for spec in specs:
+            first.run(spec)
+        for spec in specs:
+            second.run(spec)
+        assert first.cache_stats().misses == 4
+        assert second.cache_stats().hits == 4
+        assert second.cache_stats().misses == 0
+
+    def test_capped_cache_survives_parallel_sweep(self, tmp_path):
+        """A bounded cache under a parallel sweep stays within its cap and
+        still returns correct results (evictions force re-evaluation,
+        never corruption)."""
+        specs = grid_specs(6)
+        sweep = run_many(specs, jobs=2, cache_dir=tmp_path)
+        serial = run_many(specs, no_cache=True)
+        assert json.dumps(
+            sweep.to_dict(include_timing=False), sort_keys=True
+        ) == json.dumps(serial.to_dict(include_timing=False), sort_keys=True)
+        capped = DiskResultCache(tmp_path, max_entries=3)
+        # Re-put everything through the capped view to trigger pruning.
+        for row in sweep.runs:
+            capped.put(spec_key(row.spec), row.result)
+        assert capped.cache_stats()["entries"] <= 3
+        warm = run_many(specs, cache_dir=tmp_path)
+        assert json.dumps(
+            warm.to_dict(include_timing=False), sort_keys=True
+        ) == json.dumps(serial.to_dict(include_timing=False), sort_keys=True)

@@ -282,3 +282,53 @@ class TestMetricsFlag:
         for fabric in payload.values():
             names = [entry["name"] for entry in fabric["entries"]]
             assert "sim.flows_completed" in names
+
+
+class TestSweepJobsValidation:
+    """Satellite: ``--jobs`` rejects non-positive values at parse time."""
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-4", "1.5", "two"])
+    def test_non_positive_jobs_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["sweep", "--jobs", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "positive integer" in err
+
+    def test_auto_means_all_cpus(self):
+        args = build_parser().parse_args(["sweep", "--jobs", "auto"])
+        assert args.jobs == 0  # the run_many sentinel for "all CPUs"
+
+    def test_positive_jobs_accepted(self):
+        args = build_parser().parse_args(["sweep", "--jobs", "3"])
+        assert args.jobs == 3
+
+
+class TestServeParser:
+    def test_parses_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8421
+        assert args.queue_limit == 64
+
+    def test_all_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0", "--jobs", "4",
+            "--max-batch", "16", "--linger-ms", "5", "--queue-limit", "128",
+            "--timeout-s", "30", "--no-cache", "--cache-max-entries", "100",
+            "--cache-max-bytes", "1000000",
+        ])
+        assert args.port == 0
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_max_entries == 100
+
+    def test_serve_jobs_rejects_non_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--jobs", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_serve_jobs_auto(self):
+        args = build_parser().parse_args(["serve", "--jobs", "auto"])
+        assert args.jobs == 0

@@ -1,0 +1,471 @@
+"""Tests for ``repro.serve`` — batching core, HTTP front end, client.
+
+The service-level tests drive :class:`EvaluationService` directly inside
+``asyncio.run`` with an injected, gate-controlled evaluator, so admission
+and batching behavior is deterministic (no sleeps standing in for
+synchronization). The HTTP-level tests run a real :class:`ServerThread`
+and talk to it with :class:`ServeClient` over loopback.
+"""
+
+import asyncio
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.api import ScenarioSpec
+from repro.api.batch import SpecRun
+from repro.serve import (
+    EvaluationService,
+    QueueFull,
+    ServeClient,
+    ServeError,
+    ServerConfig,
+    ServerThread,
+    ShuttingDown,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def golden_spec() -> ScenarioSpec:
+    """The spec behind ``tests/golden/serve_evaluate.json`` (and
+    ``simulate.txt``): Figure 5b slices, sim mode, telemetry output."""
+    payload = json.loads((GOLDEN_DIR / "serve_request.json").read_text())
+    return ScenarioSpec.from_dict(payload)
+
+
+def cheap_spec(seed: int = 42) -> ScenarioSpec:
+    """A closed-form cost spec — milliseconds to evaluate, distinct per seed."""
+    return ScenarioSpec(
+        slices=(api.SliceSpec("S", (2, 2, 1), (0, 0, 0)),),
+        outputs=("costs",),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def cheap_result():
+    """One real RunResult to hand out from fake evaluators."""
+    return api.run(cheap_spec())
+
+
+def fake_rows(result, *, record=None, gate=None, delay_s=0.0):
+    """An injectable ``evaluate_batch`` with test hooks.
+
+    Args:
+        result: the RunResult every row carries.
+        record: list collecting each call's batch size.
+        gate: a ``threading.Event`` the evaluator blocks on first.
+        delay_s: extra sleep per call (timeout tests).
+    """
+
+    def evaluate(session, specs):
+        if gate is not None:
+            assert gate.wait(timeout=30), "test gate never opened"
+        if delay_s:
+            time.sleep(delay_s)
+        if record is not None:
+            record.append(len(specs))
+        return [
+            SpecRun(spec=s, result=result, elapsed_s=0.0, from_cache=False)
+            for s in specs
+        ]
+
+    return evaluate
+
+
+async def _poll(predicate, timeout_s=10.0):
+    """Await ``predicate()`` turning true without blocking the loop."""
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        await asyncio.sleep(0.005)
+
+
+class TestServerConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 0},
+            {"jobs": -2},
+            {"max_batch": 0},
+            {"linger_ms": -1.0},
+            {"queue_limit": 0},
+            {"request_timeout_s": 0.0},
+            {"port": -1},
+            {"port": 70000},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServerConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        config = ServerConfig()
+        assert config.port == 8421
+        assert config.jobs >= 1
+
+
+class TestAdmission:
+    def test_queue_full_is_exact(self, cheap_result):
+        """With one busy session and ``queue_limit`` waiters, the next
+        submit raises QueueFull — the bound is the queue, nothing hidden."""
+
+        async def main():
+            gate = threading.Event()
+            service = EvaluationService(
+                ServerConfig(
+                    jobs=1, max_batch=1, queue_limit=2, no_cache=True
+                ),
+                evaluate_batch=fake_rows(cheap_result, gate=gate),
+            )
+            service.start()
+            futures = [service.submit(cheap_spec(0))]
+            # Wait for the batcher to pull it so the queue is empty again.
+            await _poll(lambda: service._queue.qsize() == 0)
+            futures.append(service.submit(cheap_spec(1)))
+            futures.append(service.submit(cheap_spec(2)))
+            with pytest.raises(QueueFull) as excinfo:
+                service.submit(cheap_spec(3))
+            assert excinfo.value.retry_after_s > 0
+            gate.set()
+            rows = await asyncio.gather(*futures)
+            assert [r.spec.seed for r in rows] == [0, 1, 2]
+            await service.drain()
+            snapshot = service.metrics.snapshot()
+            assert snapshot["serve.requests_admitted"]["value"] == 3
+            assert snapshot["serve.requests_rejected_full"]["value"] == 1
+
+        asyncio.run(main())
+
+    def test_draining_rejects_new_submits(self, cheap_result):
+        async def main():
+            service = EvaluationService(
+                ServerConfig(jobs=1, no_cache=True),
+                evaluate_batch=fake_rows(cheap_result),
+            )
+            service.start()
+            await service.drain()
+            with pytest.raises(ShuttingDown):
+                service.submit(cheap_spec())
+
+        asyncio.run(main())
+
+
+class TestBatching:
+    def test_concurrent_requests_coalesce(self, cheap_result):
+        """Requests queued while the lone session is busy come out as one
+        batch (max_batch permitting) once the session frees up."""
+
+        async def main():
+            gate = threading.Event()
+            sizes = []
+            service = EvaluationService(
+                ServerConfig(
+                    jobs=1, max_batch=8, linger_ms=20.0, no_cache=True
+                ),
+                evaluate_batch=fake_rows(cheap_result, record=sizes, gate=gate),
+            )
+            service.start()
+            first = service.submit(cheap_spec(0))
+            # Wait past the linger window: the first batch must be
+            # dispatched (blocked on the gate) before the rest arrive.
+            await _poll(lambda: len(service._inflight) == 1)
+            rest = [service.submit(cheap_spec(i)) for i in range(1, 5)]
+            gate.set()
+            await asyncio.gather(first, *rest)
+            assert sizes == [1, 4]
+            await service.drain()
+            snapshot = service.metrics.snapshot()
+            assert snapshot["serve.batches"]["value"] == 2
+            assert snapshot["serve.batch_size"]["max"] == 4
+
+        asyncio.run(main())
+
+    def test_max_batch_splits_backlog(self, cheap_result):
+        async def main():
+            gate = threading.Event()
+            sizes = []
+            service = EvaluationService(
+                ServerConfig(
+                    jobs=1, max_batch=3, linger_ms=20.0, queue_limit=16,
+                    no_cache=True,
+                ),
+                evaluate_batch=fake_rows(cheap_result, record=sizes, gate=gate),
+            )
+            service.start()
+            first = service.submit(cheap_spec(0))
+            await _poll(lambda: len(service._inflight) == 1)
+            rest = [service.submit(cheap_spec(i)) for i in range(1, 7)]
+            gate.set()
+            await asyncio.gather(first, *rest)
+            assert sizes == [1, 3, 3]
+            await service.drain()
+
+        asyncio.run(main())
+
+
+class TestDrain:
+    def test_drain_answers_every_accepted_request(self, cheap_result):
+        """Every admitted request resolves during drain — none dropped."""
+
+        async def main():
+            gate = threading.Event()
+            service = EvaluationService(
+                ServerConfig(
+                    jobs=1, max_batch=2, queue_limit=16, no_cache=True
+                ),
+                evaluate_batch=fake_rows(cheap_result, gate=gate),
+            )
+            service.start()
+            futures = [service.submit(cheap_spec(i)) for i in range(6)]
+            drainer = asyncio.ensure_future(service.drain())
+            gate.set()
+            rows = await asyncio.gather(*futures)
+            await drainer
+            assert sorted(r.spec.seed for r in rows) == list(range(6))
+            snapshot = service.metrics.snapshot()
+            assert snapshot["serve.requests_completed"]["value"] == 6
+
+        asyncio.run(main())
+
+
+@pytest.fixture(scope="module")
+def live_server(tmp_path_factory):
+    """A real server (real evaluator, disk cache in a temp dir)."""
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    config = ServerConfig(
+        port=0, jobs=2, linger_ms=1.0, cache_dir=cache_dir
+    )
+    with ServerThread(config) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def live_client(live_server):
+    return ServeClient(port=live_server.port)
+
+
+class TestHttpEvaluate:
+    def test_response_is_byte_identical_to_cli_json(self, live_client):
+        """The served body is exactly the RunResult JSON the CLI prints —
+        asserted against both a fresh in-process run and the checked-in
+        golden."""
+        spec = golden_spec()
+        body = live_client.evaluate_bytes(spec)
+        expected = (api.run(spec).to_json(indent=2, sort_keys=True) + "\n").encode()
+        assert body == expected
+        golden = (GOLDEN_DIR / "serve_evaluate.json").read_bytes()
+        assert body == golden
+
+    def test_repeat_request_hits_cache(self, live_client):
+        spec = golden_spec()
+        first = live_client.evaluate_response(spec)
+        second = live_client.evaluate_response(spec)
+        assert first[0] == second[0] == 200
+        assert second[1]["x-repro-cache"] == "hit"
+        assert first[2] == second[2]
+
+    def test_spec_envelope_accepted(self, live_client):
+        payload = {"spec": golden_spec().to_dict()}
+        status, headers, body = live_client.evaluate_response(payload)
+        assert status == 200
+        assert body == (GOLDEN_DIR / "serve_evaluate.json").read_bytes()
+
+    def test_typed_client_round_trip(self, live_client):
+        result = live_client.evaluate(cheap_spec())
+        assert result.costs is not None
+
+
+class TestHttpErrors:
+    def test_malformed_json_is_400(self, live_client):
+        status, _, body = live_client._request(
+            "POST", "/v1/evaluate", b"{ not json"
+        )
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "bad_json"
+
+    def test_invalid_spec_is_400(self, live_client):
+        bad = golden_spec().to_dict()
+        bad["mode"] = "quantum"
+        status, _, body = live_client.evaluate_response(bad)
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "bad_spec"
+
+    def test_unknown_fabric_is_400(self, live_client):
+        bad = golden_spec().to_dict()
+        bad["fabric"] = "warpdrive"
+        status, _, body = live_client.evaluate_response(bad)
+        assert status == 400
+        envelope = json.loads(body)["error"]
+        assert envelope["code"] == "bad_spec"
+        assert "warpdrive" in envelope["message"]
+
+    def test_non_object_body_is_400(self, live_client):
+        status, _, body = live_client._request("POST", "/v1/evaluate", b"[1, 2]")
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "bad_request"
+
+    def test_unknown_route_is_404(self, live_client):
+        status, _, body = live_client._request("GET", "/v2/evaluate")
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "not_found"
+
+    def test_wrong_method_is_405_with_allow(self, live_client):
+        status, headers, body = live_client._request("GET", "/v1/evaluate")
+        assert status == 405
+        assert headers["allow"] == "POST"
+        status, headers, _ = live_client._request("POST", "/healthz", b"{}")
+        assert status == 405
+        assert headers["allow"] == "GET"
+
+    def test_oversized_body_is_413(self, live_server):
+        # The server answers 413 from the Content-Length header alone and
+        # closes without reading the body, so speak raw sockets here (a
+        # well-behaved HTTP client would die on the reset mid-upload).
+        import socket
+
+        from repro.serve import wire
+
+        with socket.create_connection(
+            ("127.0.0.1", live_server.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/evaluate HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {wire.MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+            head = sock.recv(4096).decode()
+        assert head.startswith("HTTP/1.1 413 ")
+
+    def test_client_raises_typed_error(self, live_client):
+        bad = golden_spec().to_dict()
+        bad["fabric"] = "warpdrive"
+        with pytest.raises(ServeError) as excinfo:
+            live_client.evaluate_bytes(bad)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_spec"
+
+
+class TestHttpIntrospection:
+    def test_healthz_shape(self, live_client):
+        health = live_client.healthz()
+        assert health["status"] == "ok"
+        assert health["queue_limit"] == 64
+        assert health["sessions"] == 2
+        assert health["uptime_s"] >= 0
+
+    def test_metrics_payload(self, live_client):
+        # At least one evaluation has happened by now (fixture ordering
+        # within the class does not matter — force one).
+        live_client.evaluate_bytes(cheap_spec())
+        payload = live_client.metrics()
+        metrics = payload["metrics"]
+        assert metrics["serve.requests_admitted"]["value"] >= 1
+        assert metrics["serve.batch_size"]["count"] >= 1
+        assert metrics["serve.request_seconds"]["count"] >= 1
+        assert "serve.queue_depth" in metrics
+        assert 0.0 <= metrics["serve.cache_hit_ratio"]["value"] <= 1.0
+        assert payload["cache"]["hits"] + payload["cache"]["misses"] >= 1
+        assert payload["disk_cache"]["entries"] >= 1
+        assert payload["disk_cache"]["evictions"] == 0
+
+
+class TestHttpBackpressureAndTimeout:
+    def test_timeout_answers_504(self, cheap_result):
+        config = ServerConfig(
+            port=0, jobs=1, max_batch=1, request_timeout_s=0.05, no_cache=True
+        )
+        slow = fake_rows(cheap_result, delay_s=0.5)
+        with ServerThread(config, evaluate_batch=slow) as handle:
+            client = ServeClient(port=handle.port)
+            with pytest.raises(ServeError) as excinfo:
+                client.evaluate_bytes(cheap_spec())
+            assert excinfo.value.status == 504
+            assert excinfo.value.code == "timeout"
+            metrics = client.metrics()["metrics"]
+            assert metrics["serve.requests_timed_out"]["value"] == 1
+
+    def test_overflow_answers_429_with_retry_after(self, cheap_result):
+        gate = threading.Event()
+        config = ServerConfig(
+            port=0, jobs=1, max_batch=1, queue_limit=1, no_cache=True,
+            retry_after_s=2.0,
+        )
+        with ServerThread(
+            config, evaluate_batch=fake_rows(cheap_result, gate=gate)
+        ) as handle:
+            client = ServeClient(port=handle.port)
+            statuses = []
+
+            def post(seed):
+                status, _, _ = client.evaluate_response(cheap_spec(seed))
+                statuses.append(status)
+
+            workers = [
+                threading.Thread(target=post, args=(seed,)) for seed in (0, 1)
+            ]
+            workers[0].start()
+            # Wait until request 0 is the in-flight batch...
+            deadline = time.monotonic() + 10
+            while client.healthz()["inflight_batches"] != 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            workers[1].start()
+            # ...and request 1 occupies the only queue slot.
+            while client.healthz()["queue_depth"] != 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            with pytest.raises(ServeError) as excinfo:
+                client.evaluate_bytes(cheap_spec(2))
+            assert excinfo.value.status == 429
+            assert excinfo.value.code == "queue_full"
+            assert excinfo.value.retry_after_s == 2.0
+            gate.set()
+            for worker in workers:
+                worker.join(timeout=30)
+            assert statuses == [200, 200]
+
+    def test_stop_under_load_drains_accepted_requests(self, cheap_result):
+        """A graceful stop while requests are queued answers all of them."""
+        gate = threading.Event()
+        config = ServerConfig(
+            port=0, jobs=1, max_batch=2, queue_limit=16, no_cache=True
+        )
+        handle = ServerThread(
+            config, evaluate_batch=fake_rows(cheap_result, gate=gate)
+        ).start()
+        client = ServeClient(port=handle.port)
+        statuses = []
+
+        def post(seed):
+            status, _, body = client.evaluate_response(cheap_spec(seed))
+            statuses.append((status, len(body)))
+
+        workers = [
+            threading.Thread(target=post, args=(seed,)) for seed in range(5)
+        ]
+        for worker in workers:
+            worker.start()
+        deadline = time.monotonic() + 10
+        while True:
+            admitted = client.metrics()["metrics"].get(
+                "serve.requests_admitted", {"value": 0}
+            )["value"]
+            if admitted == 5:
+                break
+            assert time.monotonic() < deadline, "requests never all admitted"
+            time.sleep(0.005)
+        stopper = threading.Thread(target=handle.stop)
+        stopper.start()
+        gate.set()
+        for worker in workers:
+            worker.join(timeout=30)
+        stopper.join(timeout=60)
+        assert [s for s, _ in statuses] == [200] * 5
+        assert all(size > 0 for _, size in statuses)
