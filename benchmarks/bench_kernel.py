@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Measure reference vs vectorized kernels, record to BENCH_kernel.json.
+
+Evaluates the BENCH_sweep repair grid (failed-chip placements in Slice-3
+of the Figure 6 rack, both fabrics) twice — once per kernel backend —
+with the result cache disabled, so every spec pays its full cold
+evaluation. Records wall-clock and per-spec latency percentiles for each
+backend, the speedup, and the vectorized backend's per-op kernel-time
+accounting, and verifies the backends' byte-identical contract on the
+way. The target is a >=5x cold-eval speedup on this grid.
+
+Run:  PYTHONPATH=src python benchmarks/bench_kernel.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro.api import FailurePlan, ScenarioSpec, figure6_slices, run_many
+from repro.kernels import KERNELS, STATS, use_kernel
+
+TARGET_SPEEDUP = 5.0
+
+
+def build_grid(placements: int) -> list[ScenarioSpec]:
+    """Failed-chip placements in Slice-3 x both fabrics, repair output."""
+    chips = [(x, y, 0) for x in range(4) for y in range(4)][:placements]
+    return [
+        ScenarioSpec(
+            fabric=fabric,
+            slices=figure6_slices(),
+            outputs=("repair",),
+            failures=FailurePlan(failed_chips=(chip,)),
+        )
+        for fabric in ("electrical", "photonic")
+        for chip in chips
+    ]
+
+
+def canonical(sweep) -> str:
+    return json.dumps(sweep.to_dict(include_timing=False), sort_keys=True)
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def spec_latency(sweep) -> dict:
+    """Per-spec cold evaluation latency percentiles, in milliseconds."""
+    evaluated = sorted(
+        row.elapsed_s for row in sweep.runs if not row.from_cache
+    )
+    return {
+        "specs": len(evaluated),
+        "p50_ms": round(percentile(evaluated, 0.50) * 1e3, 3),
+        "p90_ms": round(percentile(evaluated, 0.90) * 1e3, 3),
+        "p99_ms": round(percentile(evaluated, 0.99) * 1e3, 3),
+        "max_ms": round(evaluated[-1] * 1e3, 3),
+        "mean_ms": round(sum(evaluated) / len(evaluated) * 1e3, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--placements", type=int, default=16)
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    specs = build_grid(args.placements)
+    warmup = specs[:1] + specs[len(specs) // 2:len(specs) // 2 + 1]
+    print(f"grid: {len(specs)} repair specs per kernel", flush=True)
+
+    sweeps: dict[str, object] = {}
+    backends: dict[str, dict] = {}
+    kernel_stats: dict[str, dict] = {}
+    for kernel in KERNELS:
+        with use_kernel(kernel):
+            # Warm the per-process memoization (torus index spaces, ring
+            # geometries) both backends rely on, so neither pays one-off
+            # construction inside the timed region.
+            run_many(warmup, no_cache=True)
+            before = STATS.snapshot()
+            sweep = run_many(specs, no_cache=True)
+        sweeps[kernel] = sweep
+        backends[kernel] = {
+            "serial_s": round(sweep.wall_clock_s, 4),
+            "spec_latency": spec_latency(sweep),
+        }
+        kernel_stats[kernel] = {
+            key: {
+                "calls": stats["calls"]
+                - before.get(key, {}).get("calls", 0),
+                "seconds": round(
+                    stats["seconds"] - before.get(key, {}).get("seconds", 0.0),
+                    4,
+                ),
+            }
+            for key, stats in STATS.snapshot().items()
+            if key.startswith(f"{kernel}.")
+            and stats["calls"] > before.get(key, {}).get("calls", 0)
+        }
+        print(
+            f"{kernel:>10}: {sweep.wall_clock_s:.2f} s "
+            f"({sweep.wall_clock_s / len(specs) * 1e3:.1f} ms/spec)",
+            flush=True,
+        )
+
+    byte_identical = (
+        canonical(sweeps["reference"]) == canonical(sweeps["vectorized"])
+    )
+    if not byte_identical:
+        print("ERROR: kernels disagree on sweep output", file=sys.stderr)
+        return 1
+
+    speedup = (
+        sweeps["reference"].wall_clock_s / sweeps["vectorized"].wall_clock_s
+    )
+    print(
+        f"speedup: {speedup:.1f}x "
+        f"(target {TARGET_SPEEDUP:.0f}x"
+        f"{', MET' if speedup >= TARGET_SPEEDUP else ', MISSED'})",
+        flush=True,
+    )
+
+    payload = {
+        "grid": {
+            "specs": len(specs),
+            "placements": args.placements,
+            "fabrics": ["electrical", "photonic"],
+            "outputs": ["repair"],
+        },
+        "backends": backends,
+        "speedup": round(speedup, 2),
+        "target_speedup": TARGET_SPEEDUP,
+        "meets_target": speedup >= TARGET_SPEEDUP,
+        "byte_identical": byte_identical,
+        "kernel_stats": kernel_stats,
+        "environment": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+        },
+    }
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

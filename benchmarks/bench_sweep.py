@@ -43,6 +43,34 @@ def canonical(sweep) -> str:
     return json.dumps(sweep.to_dict(include_timing=False), sort_keys=True)
 
 
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def latency_percentiles(sweep) -> dict:
+    """Cold per-spec evaluation latency percentiles, in milliseconds.
+
+    Only rows actually evaluated in this run count (cache hits and
+    deduplicated rows report ~0 and would drag the percentiles down).
+    """
+    evaluated = sorted(
+        row.elapsed_s for row in sweep.runs if not row.from_cache
+    )
+    if not evaluated:
+        return {"specs": 0}
+    return {
+        "specs": len(evaluated),
+        "p50_ms": round(percentile(evaluated, 0.50) * 1e3, 3),
+        "p90_ms": round(percentile(evaluated, 0.90) * 1e3, 3),
+        "p99_ms": round(percentile(evaluated, 0.99) * 1e3, 3),
+        "max_ms": round(evaluated[-1] * 1e3, 3),
+        "mean_ms": round(sum(evaluated) / len(evaluated) * 1e3, 3),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4)
@@ -59,9 +87,21 @@ def main(argv: list[str] | None = None) -> int:
     serial = run_many(specs, no_cache=True)
     print(f"serial:     {serial.wall_clock_s:.2f} s", flush=True)
 
+    cpus = os.cpu_count() or 1
     parallel = run_many(specs, jobs=args.jobs, no_cache=True)
-    print(f"parallel:   {parallel.wall_clock_s:.2f} s "
-          f"({serial.wall_clock_s / parallel.wall_clock_s:.2f}x)", flush=True)
+    raw_speedup = serial.wall_clock_s / parallel.wall_clock_s
+    if cpus == 1:
+        # One CPU cannot run workers concurrently: the measured ratio is
+        # process-spawn overhead, not parallelism. Record the raw times
+        # but withhold the speedup claim rather than publish a
+        # misleading (usually < 1x) number.
+        parallel_speedup = None
+        print(f"parallel:   {parallel.wall_clock_s:.2f} s "
+              "(single CPU; speedup not meaningful)", flush=True)
+    else:
+        parallel_speedup = round(raw_speedup, 3)
+        print(f"parallel:   {parallel.wall_clock_s:.2f} s "
+              f"({raw_speedup:.2f}x)", flush=True)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
         cold = run_many(specs, jobs=args.jobs, cache_dir=cache_dir)
@@ -90,9 +130,12 @@ def main(argv: list[str] | None = None) -> int:
         "parallel_s": round(parallel.wall_clock_s, 4),
         "warm_cache_s": round(warm.wall_clock_s, 4),
         "jobs": args.jobs,
-        "parallel_speedup": round(
-            serial.wall_clock_s / parallel.wall_clock_s, 3
+        "cpus": cpus,
+        "parallel_speedup": parallel_speedup,
+        "parallel_speedup_note": (
+            "not meaningful on a single-CPU host" if cpus == 1 else None
         ),
+        "cold_spec_latency": latency_percentiles(serial),
         "warm_cache_speedup": round(
             serial.wall_clock_s / max(warm.wall_clock_s, 1e-9), 1
         ),

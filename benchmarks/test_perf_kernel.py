@@ -1,0 +1,71 @@
+"""Kernel backend performance: reference vs vectorized, byte-identical.
+
+A small slice of the BENCH_kernel grid (electrical + photonic repair for
+a few failed-chip placements) evaluated under both kernel backends with
+caching disabled. The benches time each backend's cold evaluation; the
+asserts enforce the contract that makes the vectorized backend safe to
+default to — both backends produce byte-identical sweep output.
+``benchmarks/bench_kernel.py`` records the full-grid comparison to
+``BENCH_kernel.json``.
+"""
+
+import json
+
+from _helpers import emit
+from repro.api import FailurePlan, ScenarioSpec, figure6_slices, run_many
+from repro.kernels import use_kernel
+
+PLACEMENTS = 4  # failed-chip positions; x2 fabrics = 8 specs
+
+
+def _grid(placements: int = PLACEMENTS) -> list[ScenarioSpec]:
+    chips = [(x, y, 0) for x in range(4) for y in range(4)][:placements]
+    return [
+        ScenarioSpec(
+            fabric=fabric,
+            slices=figure6_slices(),
+            outputs=("repair",),
+            failures=FailurePlan(failed_chips=(chip,)),
+        )
+        for fabric in ("electrical", "photonic")
+        for chip in chips
+    ]
+
+
+def _canonical(sweep) -> str:
+    return json.dumps(sweep.to_dict(include_timing=False), sort_keys=True)
+
+
+def _run(kernel: str):
+    with use_kernel(kernel):
+        return run_many(_grid(), no_cache=True)
+
+
+def test_kernel_reference(benchmark):
+    sweep = benchmark.pedantic(lambda: _run("reference"), rounds=1, iterations=1)
+    assert sweep.cache_stats.misses == len(sweep.runs)
+    emit(
+        "Kernels — reference backend",
+        f"{len(sweep.runs)} repair specs in {sweep.wall_clock_s:.2f} s "
+        f"({sweep.wall_clock_s / len(sweep.runs) * 1e3:.1f} ms/spec)",
+    )
+
+
+def test_kernel_vectorized(benchmark):
+    sweep = benchmark.pedantic(lambda: _run("vectorized"), rounds=1, iterations=1)
+    assert sweep.cache_stats.misses == len(sweep.runs)
+    emit(
+        "Kernels — vectorized backend",
+        f"{len(sweep.runs)} repair specs in {sweep.wall_clock_s:.2f} s "
+        f"({sweep.wall_clock_s / len(sweep.runs) * 1e3:.1f} ms/spec)",
+    )
+
+
+def test_kernels_byte_identical():
+    reference = _run("reference")
+    vectorized = _run("vectorized")
+    assert _canonical(reference) == _canonical(vectorized)
+    emit(
+        "Kernels — byte-identical contract",
+        f"{len(reference.runs)} specs agree across backends",
+    )

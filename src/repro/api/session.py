@@ -22,6 +22,7 @@ Usage::
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext as _null_context
 from typing import Iterable
 
 from ..analysis.congestion_report import (
@@ -29,6 +30,7 @@ from ..analysis.congestion_report import (
     analyze_rack_congestion,
 )
 from ..analysis.utilization import slice_utilization
+from ..kernels import KERNELS, STATS as _KERNEL_STATS, use_kernel
 from ..obs.metrics import MetricsRegistry
 from ..topology.electrical import ElectricalInterconnect
 from ..topology.slices import Slice, SliceAllocator
@@ -58,14 +60,28 @@ class FabricSession:
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
             the session reports into (``session.<fabric>.cache_hits``,
             ``.cache_misses`` counters and an ``.eval_seconds``
-            histogram per fabric). ``None`` reports nothing.
+            histogram per fabric, plus ``kernel.<backend>.<op>.calls`` /
+            ``.seconds`` counters for kernel hot-path time). ``None``
+            reports nothing.
+        kernel: evaluation kernel backend this session's runs use
+            (``"vectorized"`` or ``"reference"``); ``None`` (default)
+            follows the process-wide selection
+            (:func:`repro.kernels.active_kernel`). Results are
+            byte-identical either way — this only pins which code path
+            computes them.
     """
 
     def __init__(
         self,
         result_cache: ResultCache | None = None,
         metrics: MetricsRegistry | None = None,
+        kernel: str | None = None,
     ) -> None:
+        if kernel is not None and kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from {KERNELS}"
+            )
+        self.kernel = kernel
         self._backends: dict[str, FabricBackend] = {}
         self._tori: dict[tuple[int, ...], Torus] = {}
         self._allocators: dict[tuple, SliceAllocator] = {}
@@ -190,20 +206,28 @@ class FabricSession:
             "metrics": "metrics",
         }
         started = time.perf_counter()
+        kernel_before = (
+            _KERNEL_STATS.snapshot() if self.metrics is not None else None
+        )
         sections: dict[str, object] = {}
-        for output in spec.outputs:
-            if output == "utilization":
-                sections["utilization"] = self._utilization(spec)
-                continue
-            method = getattr(backend, methods[output], None)
-            if method is None:
-                raise UnsupportedOutput(
-                    f"backend {spec.fabric!r} does not implement the"
-                    f" {output!r} output"
-                )
-            sections[output] = method(self, spec)
+        with use_kernel(self.kernel) if self.kernel is not None else (
+            _null_context()
+        ):
+            for output in spec.outputs:
+                if output == "utilization":
+                    sections["utilization"] = self._utilization(spec)
+                    continue
+                method = getattr(backend, methods[output], None)
+                if method is None:
+                    raise UnsupportedOutput(
+                        f"backend {spec.fabric!r} does not implement the"
+                        f" {output!r} output"
+                    )
+                sections[output] = method(self, spec)
         result = RunResult(spec=spec, fabric=backend.name, **sections)
         elapsed = time.perf_counter() - started
+        if kernel_before is not None:
+            self._report_kernel_stats(kernel_before)
         self._eval_seconds += elapsed
         stats = self._fabric_stats(spec.fabric)
         stats["misses"] += 1
@@ -216,6 +240,27 @@ class FabricSession:
         self.runs_executed += 1
         self.result_cache.put(key, result)
         return result
+
+    def _report_kernel_stats(
+        self, before: dict[str, dict[str, float]]
+    ) -> None:
+        """Report kernel hot-path time spent since ``before`` into metrics.
+
+        The process-wide :data:`repro.kernels.STATS` accumulator is
+        snapshotted around each evaluation; only the *delta* is credited,
+        so concurrent sessions sharing the accumulator each report their
+        own work.
+        """
+        for key, after in _KERNEL_STATS.snapshot().items():
+            prior = before.get(key, {"calls": 0, "seconds": 0.0})
+            calls = after["calls"] - prior["calls"]
+            seconds = after["seconds"] - prior["seconds"]
+            if calls <= 0:
+                continue
+            self.metrics.counter(f"kernel.{key}.calls").inc(calls)
+            self.metrics.counter(f"kernel.{key}.seconds").inc(
+                max(0.0, seconds)
+            )
 
     def cache_stats(self) -> CacheStats:
         """Result-cache counters and evaluation seconds so far.

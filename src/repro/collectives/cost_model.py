@@ -164,11 +164,28 @@ def _bucket_stages(
     The multi-dimensional bucket algorithm [39] executes one ring per
     dimension sequentially; after the stage over a dimension of size
     ``p_d`` the live buffer shrinks by ``p_d`` (Table 2's N then N/4).
+
+    Dispatches to the vectorized all-stages-at-once kernel
+    (:func:`repro.kernels.stagecosts.bucket_stage_arrays`) unless the
+    reference backend is selected; both produce bit-identical costs.
     """
     if not dims:
         raise ValueError("need at least one dimension")
     if any(d < 2 for d in dims):
         raise ValueError(f"bucket dimensions must have >= 2 chips, got {dims}")
+    _check_ring(max(dims), bandwidth_fraction)
+    from ..kernels import active_kernel
+
+    if active_kernel() == "vectorized":
+        from ..kernels.stagecosts import bucket_stage_arrays
+
+        alphas, fractions, betas = bucket_stage_arrays(
+            tuple(dims), bandwidth_fraction
+        )
+        return [
+            (p, fraction, CollectiveCost(alpha_count=alpha, beta_factor=beta))
+            for p, alpha, fraction, beta in zip(dims, alphas, fractions, betas)
+        ]
     stages = []
     buffer_fraction = 1.0
     for p in dims:

@@ -157,6 +157,16 @@ class ElectricalRecoveryAnalysis:
                     endpoints.append(chip)
         return endpoints
 
+    def _use_path_kernel(self, slc: Slice, failed: Coordinate) -> bool:
+        """Whether the vectorized index-space repair kernel applies."""
+        from ..kernels import active_kernel
+
+        return (
+            active_kernel() == "vectorized"
+            and slc.rack.shape == self.torus.shape
+            and self.torus.contains(failed)
+        )
+
     def evaluate_free_chip(
         self,
         slc: Slice,
@@ -171,7 +181,33 @@ class ElectricalRecoveryAnalysis:
         the fewest in-use links. The attempt is feasible only if every
         endpoint found a congestion-free path and the chosen paths are
         mutually link-disjoint (they will carry traffic simultaneously).
+
+        Dispatches to the index-space kernel
+        (:func:`repro.kernels.paths.evaluate_free_chip_vectorized`)
+        unless the reference backend is selected; results are identical.
         """
+        from ..kernels import STATS
+
+        if free_chip != failed and self._use_path_kernel(slc, failed):
+            from ..kernels.paths import evaluate_free_chip_vectorized
+
+            with STATS.timed("repair"):
+                return evaluate_free_chip_vectorized(
+                    self, slc, failed, free_chip, extra_busy
+                )
+        with STATS.timed("repair"):
+            return self._evaluate_free_chip_reference(
+                slc, failed, free_chip, extra_busy
+            )
+
+    def _evaluate_free_chip_reference(
+        self,
+        slc: Slice,
+        failed: Coordinate,
+        free_chip: Coordinate,
+        extra_busy: set[Link] | None = None,
+    ) -> ReplacementAttempt:
+        """Pure-python replacement-path search (the reference backend)."""
         busy = self.busy_links(exclude=slc)
         busy |= self.surviving_ring_links(slc, failed)
         if extra_busy:
@@ -228,12 +264,26 @@ class ElectricalRecoveryAnalysis:
     def evaluate_all_free_chips(
         self, slc: Slice, failed: Coordinate
     ) -> list[ReplacementAttempt]:
-        """Evaluate every free chip in the allocator as the replacement."""
-        return [
-            self.evaluate_free_chip(slc, failed, free_chip)
-            for free_chip in self.allocator.free_chips()
-            if free_chip != failed
-        ]
+        """Evaluate every free chip in the allocator as the replacement.
+
+        Under the vectorized kernel the busy/surviving link masks and the
+        per-endpoint path enumerations are computed once and shared
+        across all candidates (the attempts are independent, so sharing
+        changes nothing but the wall clock).
+        """
+        from ..kernels import STATS
+
+        if self._use_path_kernel(slc, failed):
+            from ..kernels.paths import evaluate_all_free_chips_vectorized
+
+            with STATS.timed("repair"):
+                return evaluate_all_free_chips_vectorized(self, slc, failed)
+        with STATS.timed("repair"):
+            return [
+                self._evaluate_free_chip_reference(slc, failed, free_chip)
+                for free_chip in self.allocator.free_chips()
+                if free_chip != failed
+            ]
 
     def congestion_free_replacement_exists(
         self, slc: Slice, failed: Coordinate

@@ -14,7 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
-__all__ = ["Flow", "max_min_rates"]
+from ..kernels import STATS, active_kernel
+
+__all__ = ["Flow", "max_min_rates", "max_min_rates_reference"]
 
 
 @dataclass
@@ -52,6 +54,11 @@ def max_min_rates(
 ) -> dict[Hashable, float]:
     """Compute max-min fair rates for ``flows`` over shared links.
 
+    Dispatches to the active kernel backend (see :mod:`repro.kernels`):
+    the numpy incidence-matrix rewrite by default, or this module's
+    :func:`max_min_rates_reference` under ``REPRO_KERNEL=reference``.
+    The two are bit-identical on every input.
+
     Args:
         flows: active flows; each must only reference links present in
             ``capacity_bytes_per_s``.
@@ -67,6 +74,22 @@ def max_min_rates(
             demand cap (which would starve the flow forever and — if
             negative — credit capacity back to the link, oversubscribing
             it for everyone else).
+    """
+    with STATS.timed("waterfill"):
+        if active_kernel() == "vectorized":
+            from ..kernels.waterfill import max_min_rates_vectorized
+
+            return max_min_rates_vectorized(flows, capacity_bytes_per_s)
+        return max_min_rates_reference(flows, capacity_bytes_per_s)
+
+
+def max_min_rates_reference(
+    flows: list[Flow], capacity_bytes_per_s: dict[Hashable, float]
+) -> dict[Hashable, float]:
+    """Pure-python progressive filling — the retained reference backend.
+
+    Same contract as :func:`max_min_rates`; kept loop-for-loop as the
+    executable specification the vectorized kernel is proven against.
     """
     for link, cap in capacity_bytes_per_s.items():
         if cap <= 0:
@@ -88,7 +111,10 @@ def max_min_rates(
                 "capacities are not at fault"
             )
     remaining_cap = dict(capacity_bytes_per_s)
-    unfrozen: set[Hashable] = {f.flow_id for f in active}
+    # Insertion-ordered (dict keys, not a set) so the bottleneck tie-break
+    # and freeze order are deterministic in flow-input order — the same
+    # order the vectorized kernel reproduces bit-for-bit.
+    unfrozen: dict[Hashable, None] = {f.flow_id: None for f in active}
     rates: dict[Hashable, float] = {f.flow_id: 0.0 for f in active}
     by_id = {f.flow_id: f for f in active}
 
@@ -131,7 +157,7 @@ def max_min_rates(
                 for link in flow.links:
                     remaining_cap[link] -= rates[fid]
                     remaining_cap[link] = max(remaining_cap[link], 0.0)
-                unfrozen.discard(fid)
+                del unfrozen[fid]
             continue
         # Freeze every unfrozen flow crossing the bottleneck at the share.
         frozen_now = [
@@ -143,7 +169,7 @@ def max_min_rates(
             for link in flow.links:
                 remaining_cap[link] -= bottleneck_share
                 remaining_cap[link] = max(remaining_cap[link], 0.0)
-            unfrozen.discard(fid)
+            del unfrozen[fid]
     for flow in active:
         flow.rate_bytes_per_s = rates[flow.flow_id]
     return rates

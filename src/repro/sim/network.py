@@ -12,6 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
+import numpy as np
+
+from ..kernels import STATS, active_kernel
+from ..kernels.incidence import FlowIncidence, LinkSpace
+from ..kernels.waterfill import waterfill_rates
 from ..obs.tracer import NULL_TRACER, Tracer
 from .engine import EventEngine, SimulationError
 from .flows import Flow, max_min_rates
@@ -71,6 +76,12 @@ class FlowNetwork:
         self._records: list[FlowRecord] = []
         self._completion_events: dict[Hashable, object] = {}
         self._last_update_s = engine.now_s
+        # Vectorized-kernel state: the link index space and the per-flow
+        # link-index arrays, built lazily and only on the vectorized
+        # path. A flow's links are converted to indices once at first
+        # sight instead of hashing every link on every rebalance.
+        self._link_space: LinkSpace | None = None
+        self._flow_indices: dict[Hashable, np.ndarray] = {}
 
     # -- flow lifecycle -----------------------------------------------------------
 
@@ -110,15 +121,104 @@ class FlowNetwork:
     # -- internals ------------------------------------------------------------------
 
     def _advance_progress(self) -> None:
-        """Debit bytes transferred since the last rate change."""
+        """Debit bytes transferred since the last rate change.
+
+        On the vectorized path the debits are computed as one array
+        expression; each element performs the reference's exact float
+        sequence (``rate * elapsed``, ``remaining - sent``,
+        ``max(0.0, ...)``), so the results are bit-identical.
+        """
         elapsed = self.engine.now_s - self._last_update_s
         if elapsed > 0:
-            for record in self._active.values():
-                sent = record.flow.rate_bytes_per_s * elapsed
-                record.flow.remaining_bytes = max(
-                    0.0, record.flow.remaining_bytes - sent
+            if len(self._active) > 1 and active_kernel() == "vectorized":
+                records = list(self._active.values())
+                count = len(records)
+                remaining = np.fromiter(
+                    (r.flow.remaining_bytes for r in records),
+                    dtype=np.float64,
+                    count=count,
                 )
+                rates = np.fromiter(
+                    (r.flow.rate_bytes_per_s for r in records),
+                    dtype=np.float64,
+                    count=count,
+                )
+                debited = np.maximum(0.0, remaining - rates * elapsed).tolist()
+                for record, left in zip(records, debited):
+                    record.flow.remaining_bytes = left
+            else:
+                for record in self._active.values():
+                    sent = record.flow.rate_bytes_per_s * elapsed
+                    record.flow.remaining_bytes = max(
+                        0.0, record.flow.remaining_bytes - sent
+                    )
         self._last_update_s = self.engine.now_s
+
+    def _link_space_current(self) -> LinkSpace:
+        """The capacity index space, rebuilt when the universe changes.
+
+        Capacity *values* are re-read (and re-validated, matching the
+        reference's per-call check) on every rate computation; only the
+        link→index mapping is cached, invalidated when the set of links
+        grows or shrinks.
+        """
+        space = self._link_space
+        if space is None or len(space) != len(self.capacities):
+            self._link_space = space = LinkSpace(self.capacities)
+            self._flow_indices.clear()
+        return space
+
+    def _compute_rates(self, flows: list[Flow]) -> None:
+        """Recompute ``flows``' rates via the active kernel backend.
+
+        The vectorized path reuses cached per-flow link-index arrays and
+        skips re-validating links it has already seen (a flow's link set
+        is fixed after injection); validation messages and ordering for
+        *new* flows match :func:`~repro.sim.flows.max_min_rates`.
+        """
+        if active_kernel() != "vectorized":
+            max_min_rates(flows, self.capacities)
+            return
+        with STATS.timed("waterfill"):
+            space = self._link_space_current()
+            caps = np.fromiter(
+                self.capacities.values(), dtype=np.float64, count=len(space)
+            )
+            if not (caps > 0.0).all():
+                for link, cap in self.capacities.items():
+                    if cap <= 0:
+                        raise ValueError(
+                            f"link {link!r} has non-positive capacity {cap}"
+                        )
+            indices = self._flow_indices
+            flow_links = []
+            demand_list = []
+            for flow in flows:
+                idx = indices.get(flow.flow_id)
+                if idx is None:
+                    try:
+                        idx = space.indices(flow.links)
+                    except KeyError as exc:
+                        raise KeyError(
+                            f"flow {flow.flow_id!r} uses unknown link "
+                            f"{exc.args[0]!r}"
+                        ) from None
+                    indices[flow.flow_id] = idx
+                flow_links.append(idx)
+                demand = flow.demand_bytes_per_s
+                if demand is not None and demand <= 0:
+                    raise ValueError(
+                        f"flow {flow.flow_id!r} has a non-positive demand cap "
+                        f"({demand}) and can never make progress; the link "
+                        "capacities are not at fault"
+                    )
+                demand_list.append(np.nan if demand is None else demand)
+            demands = np.asarray(demand_list, dtype=np.float64)
+            rates = waterfill_rates(
+                caps, FlowIncidence(flow_links), demands
+            ).tolist()
+            for flow, rate in zip(flows, rates):
+                flow.rate_bytes_per_s = rate
 
     def _reschedule(self) -> None:
         """Recompute rates and (re)schedule every completion event."""
@@ -128,7 +228,7 @@ class FlowNetwork:
         flows = [r.flow for r in self._active.values()]
         if not flows:
             return
-        max_min_rates(flows, self.capacities)
+        self._compute_rates(flows)
         if self.tracer.enabled:
             self.tracer.instant(
                 "rebalance",

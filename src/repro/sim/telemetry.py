@@ -17,6 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
+import numpy as np
+
+from ..kernels import active_kernel
 from ..obs.tracer import Tracer
 from .engine import EventEngine
 from .network import FlowNetwork
@@ -64,6 +67,13 @@ class LinkTelemetry:
     _samples: dict[Hashable, list[LinkSample]] = field(
         default_factory=dict, repr=False
     )
+    # Running per-link carried-bytes totals, maintained by record() so the
+    # aggregate queries (carried_bytes / busiest_links / idle_links /
+    # mean_utilization) cost O(1) per link instead of re-summing every
+    # sample. The accumulation replays sum()'s exact float sequence —
+    # including its int-0 start for never-used links — so results are
+    # bit-identical to summing the timeline.
+    _carried: dict[Hashable, float] = field(default_factory=dict, repr=False)
 
     def record(
         self,
@@ -96,9 +106,11 @@ class LinkTelemetry:
         for link, rate in link_rates.items():
             if rate <= 0:
                 continue
-            self._samples.setdefault(link, []).append(
-                LinkSample(start_s=start_s, end_s=end_s, rate_bytes_per_s=rate)
+            sample = LinkSample(
+                start_s=start_s, end_s=end_s, rate_bytes_per_s=rate
             )
+            self._samples.setdefault(link, []).append(sample)
+            self._carried[link] = self._carried.get(link, 0) + sample.carried_bytes
 
     def samples(self, link: Hashable) -> tuple[LinkSample, ...]:
         """The recorded constant-rate timeline of ``link``."""
@@ -106,7 +118,7 @@ class LinkTelemetry:
 
     def carried_bytes(self, link: Hashable) -> float:
         """Total bytes carried on ``link``."""
-        return sum(s.carried_bytes for s in self._samples.get(link, ()))
+        return self._carried.get(link, 0)
 
     def peak_rate(self, link: Hashable) -> float:
         """Highest aggregate rate observed on ``link`` (0.0 if never used)."""
@@ -215,12 +227,54 @@ class InstrumentedNetwork(FlowNetwork):
 
     def _reschedule(self) -> None:
         super()._reschedule()
+        self._current_rates = self._aggregate_rates(self._active_records())
+        self._interval_start = self.engine.now_s
+
+    def _aggregate_rates(self, records) -> dict[Hashable, float]:
+        """Per-link aggregate rate across the active flows.
+
+        The vectorized path sums per-flow rates onto the dense link index
+        space with ``np.bincount``, reusing the flow→index arrays the rate
+        kernel already cached. ``bincount`` accumulates its weights in
+        input order, which is exactly the reference dict-accumulation
+        order, so every per-link total is bit-identical; only the dict's
+        key order differs (index order vs. first-seen), and every
+        downstream consumer sorts deterministically.
+        """
+        if active_kernel() == "vectorized" and self._link_space is not None:
+            indices = self._flow_indices
+            idx_arrays = []
+            flow_rates = []
+            lengths = []
+            for record in records:
+                idx = indices.get(record.flow.flow_id)
+                if idx is None:
+                    break  # not yet indexed; fall back to the dict loop
+                idx_arrays.append(idx)
+                flow_rates.append(record.flow.rate_bytes_per_s)
+                lengths.append(idx.size)
+            else:
+                if not idx_arrays:
+                    return {}
+                space = self._link_space
+                flat = np.concatenate(idx_arrays)
+                weights = np.repeat(
+                    np.asarray(flow_rates, dtype=np.float64), lengths
+                )
+                sums = np.bincount(
+                    flat, weights=weights, minlength=len(space)
+                ).tolist()
+                touched = np.bincount(flat, minlength=len(space))
+                links = space.links
+                return {
+                    links[i]: sums[i]
+                    for i in np.flatnonzero(touched).tolist()
+                }
         rates: dict[Hashable, float] = {}
-        for record in self._active_records():
+        for record in records:
             for link in record.flow.links:
                 rates[link] = rates.get(link, 0.0) + record.flow.rate_bytes_per_s
-        self._current_rates = rates
-        self._interval_start = self.engine.now_s
+        return rates
 
     def _active_records(self):
         return list(self._active.values())

@@ -138,6 +138,21 @@ class Slice:
             )
         )
 
+    def ring_link_indices(self, dim: int):
+        """Dense link-id array of :meth:`ring_links`, for the kernels.
+
+        Index ids live in the rack torus's link space (see
+        :meth:`repro.topology.torus.Torus.index_kernel`); the array is
+        memoized per geometry and read-only. The repair kernel's
+        busy-mask construction consumes these directly, never touching a
+        :class:`Link` object on its hot path.
+        """
+        if not 0 <= dim < self.rack.ndim:
+            raise ValueError(f"dimension {dim} out of range")
+        from ..kernels.paths import ring_link_ids
+
+        return ring_link_ids(self.rack.shape, self.offset, self.shape, dim)
+
     def physical_hop(self, a: Coordinate, b: Coordinate, dim: int) -> list[Link]:
         """Physical links realizing the logical ring hop ``a -> b``.
 

@@ -152,6 +152,18 @@ class Torus:
         """Number of directed links."""
         return sum(1 for _ in self.links())
 
+    def index_kernel(self):
+        """The memoized dense index space over this torus's nodes/links.
+
+        Returns the :class:`repro.kernels.paths.TorusKernel` for this
+        shape: neighbor tables, link-id enumeration (in :meth:`links`
+        order) and step→link-id matrices the vectorized kernels operate
+        on instead of coordinate tuples and :class:`Link` objects.
+        """
+        from ..kernels.paths import torus_kernel
+
+        return torus_kernel(self.shape)
+
     # -- rings ---------------------------------------------------------------
 
     def ring(self, dim: int, anchor: Coordinate) -> list[Coordinate]:

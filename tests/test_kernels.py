@@ -1,0 +1,533 @@
+"""The kernels layer: selection, incidence, and backend bit-identity.
+
+The vectorized backend's entire contract is "bit-identical to the
+reference, only faster" — so nearly every test here runs both backends
+on the same input and asserts *exact* equality (``==`` on floats, not
+``approx``): water-filling rates, bucket stage costs, repair attempts,
+telemetry timelines. Randomized inputs come from hypothesis; the
+degenerate corners (single flow, single link, all-capped, duplicate
+links) are pinned explicitly.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    FabricSession,
+    FailurePlan,
+    ScenarioSpec,
+    code_fingerprint,
+    figure6_slices,
+)
+from repro.collectives.cost_model import _bucket_stages
+from repro.failures.recovery import ElectricalRecoveryAnalysis
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_ENV_VAR,
+    KERNELS,
+    KernelStats,
+    STATS,
+    active_kernel,
+    set_default_kernel,
+    use_kernel,
+)
+from repro.kernels.incidence import FlowIncidence, LinkSpace
+from repro.kernels.stagecosts import bucket_stage_arrays
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.engine import EventEngine
+from repro.sim.flows import Flow, max_min_rates, max_min_rates_reference
+from repro.sim.network import FlowNetwork
+from repro.sim.telemetry import InstrumentedNetwork, LinkTelemetry
+from repro.topology.slices import SliceAllocator
+from repro.topology.torus import Torus
+
+# -- selection machinery -------------------------------------------------------
+
+
+class TestKernelSelection:
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert active_kernel() == DEFAULT_KERNEL == "vectorized"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+        assert active_kernel() == "reference"
+
+    def test_unknown_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "simd")
+        with pytest.raises(ValueError, match="unknown kernel 'simd'"):
+            active_kernel()
+
+    def test_use_kernel_overrides_and_restores(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        with use_kernel("reference"):
+            assert active_kernel() == "reference"
+            with use_kernel("vectorized"):
+                assert active_kernel() == "vectorized"
+            assert active_kernel() == "reference"
+        assert active_kernel() == DEFAULT_KERNEL
+
+    def test_use_kernel_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_kernel("reference"):
+                raise RuntimeError("boom")
+        assert active_kernel() == DEFAULT_KERNEL
+
+    def test_use_kernel_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            with use_kernel("gpu"):
+                pass  # pragma: no cover
+
+    def test_set_default_kernel_exports_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, DEFAULT_KERNEL)
+        set_default_kernel("reference")
+        assert os.environ[KERNEL_ENV_VAR] == "reference"
+        assert active_kernel() == "reference"
+
+    def test_fingerprint_differs_by_kernel(self):
+        with use_kernel("reference"):
+            reference = code_fingerprint()
+        with use_kernel("vectorized"):
+            vectorized = code_fingerprint()
+        assert reference != vectorized
+
+    def test_stats_accounting(self):
+        stats = KernelStats()
+        stats.record("waterfill", 0.5, kernel="vectorized")
+        stats.record("waterfill", 0.25, kernel="vectorized")
+        snap = stats.snapshot()
+        assert snap == {"vectorized.waterfill": {"calls": 2, "seconds": 0.75}}
+        stats.reset()
+        assert stats.snapshot() == {}
+
+
+# -- incidence building blocks -------------------------------------------------
+
+
+class TestIncidence:
+    def test_link_space_orders_by_insertion(self):
+        space = LinkSpace({"b": 1.0, "a": 2.0, "c": 3.0})
+        assert space.links == ["b", "a", "c"]
+        assert space.index == {"b": 0, "a": 1, "c": 2}
+        assert space.caps.tolist() == [1.0, 2.0, 3.0]
+        assert len(space) == 3
+
+    def test_indices_preserve_request_order(self):
+        space = LinkSpace({"b": 1.0, "a": 2.0})
+        assert space.indices(("a", "b", "a")).tolist() == [1, 0, 1]
+
+    def test_indices_raise_bare_keyerror(self):
+        space = LinkSpace({"a": 1.0})
+        with pytest.raises(KeyError):
+            space.indices(("a", "zzz"))
+
+    def test_flow_incidence_csr(self):
+        space = LinkSpace({"a": 1.0, "b": 1.0, "c": 1.0})
+        inc = FlowIncidence(
+            [space.indices(("a", "c")), space.indices(("b",))]
+        )
+        assert inc.flow_count == 2
+        assert inc.lengths.tolist() == [2, 1]
+        assert inc.flat.tolist() == [0, 2, 1]
+        assert inc.seg.tolist() == [0, 0, 1]
+
+    def test_flow_incidence_empty(self):
+        inc = FlowIncidence([])
+        assert inc.flow_count == 0
+        assert inc.flat.size == 0
+        assert inc.seg.size == 0
+
+
+# -- water-filling bit-identity ------------------------------------------------
+
+
+@st.composite
+def waterfill_problems(draw):
+    """Random capacities + flows, duplicates and demand caps included."""
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    caps = {
+        f"L{i}": draw(
+            st.floats(min_value=0.25, max_value=64.0, allow_nan=False)
+        )
+        for i in range(n_links)
+    }
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for i in range(n_flows):
+        links = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(sorted(caps)),
+                    min_size=1,
+                    max_size=2 * n_links,  # duplicates allowed
+                )
+            )
+        )
+        demand = draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.01, max_value=32.0, allow_nan=False),
+            )
+        )
+        flows.append((f"f{i}", links, demand))
+    return caps, flows
+
+
+def _build(flows):
+    return [
+        Flow(
+            flow_id=fid,
+            links=links,
+            remaining_bytes=1.0,
+            demand_bytes_per_s=demand,
+        )
+        for fid, links, demand in flows
+    ]
+
+
+def _both_backends(caps, flows):
+    """Run both backends on independent flow copies; return both results."""
+    ref_flows, vec_flows = _build(flows), _build(flows)
+    with use_kernel("reference"):
+        ref = max_min_rates(ref_flows, dict(caps))
+    with use_kernel("vectorized"):
+        vec = max_min_rates(vec_flows, dict(caps))
+    return ref, vec, ref_flows, vec_flows
+
+
+class TestWaterfillIdentity:
+    @given(waterfill_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_random_problems_bit_identical(self, problem):
+        caps, flows = problem
+        ref, vec, ref_flows, vec_flows = _both_backends(caps, flows)
+        assert ref == vec  # exact float equality, not approx
+        for a, b in zip(ref_flows, vec_flows):
+            assert a.rate_bytes_per_s == b.rate_bytes_per_s
+
+    def test_single_flow_single_link(self):
+        ref, vec, _, _ = _both_backends(
+            {"L0": 7.0}, [("f0", ("L0",), None)]
+        )
+        assert ref == vec == {"f0": 7.0}
+
+    def test_all_flows_demand_capped(self):
+        caps = {"L0": 100.0, "L1": 100.0}
+        flows = [
+            ("f0", ("L0", "L1"), 1.5),
+            ("f1", ("L1",), 2.5),
+            ("f2", ("L0",), 0.5),
+        ]
+        ref, vec, _, _ = _both_backends(caps, flows)
+        assert ref == vec == {"f0": 1.5, "f1": 2.5, "f2": 0.5}
+
+    def test_duplicate_links_within_flow(self):
+        # A flow crossing the same link twice debits it twice.
+        caps = {"L0": 6.0, "L1": 6.0}
+        flows = [("f0", ("L0", "L0", "L1"), None), ("f1", ("L0",), None)]
+        ref, vec, _, _ = _both_backends(caps, flows)
+        assert ref == vec
+
+    def test_empty_flow_list(self):
+        with use_kernel("vectorized"):
+            assert max_min_rates([], {"L0": 1.0}) == {}
+        with use_kernel("reference"):
+            assert max_min_rates([], {"L0": 1.0}) == {}
+
+    def test_dispatcher_agrees_with_reference_function(self):
+        caps = {"a": 3.0, "b": 2.0}
+        flows = [("x", ("a", "b"), None), ("y", ("b",), None)]
+        direct = max_min_rates_reference(_build(flows), dict(caps))
+        with use_kernel("vectorized"):
+            vec = max_min_rates(_build(flows), dict(caps))
+        assert direct == vec
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_unknown_link_error_parity(self, kernel):
+        flows = _build([("f0", ("L0", "mystery"), None)])
+        with use_kernel(kernel):
+            with pytest.raises(KeyError) as err:
+                max_min_rates(flows, {"L0": 1.0})
+        assert err.value.args[0] == (
+            "flow 'f0' uses unknown link 'mystery'"
+        )
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_non_positive_capacity_error_parity(self, kernel):
+        flows = _build([("f0", ("L0",), None)])
+        with use_kernel(kernel):
+            with pytest.raises(
+                ValueError, match=r"link 'L1' has non-positive capacity 0"
+            ):
+                max_min_rates(flows, {"L0": 1.0, "L1": 0.0})
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_zeroed_demand_cap_error_parity(self, kernel):
+        flows = _build([("f0", ("L0",), 1.0)])
+        flows[0].demand_bytes_per_s = 0.0  # bypass Flow's own validation
+        with use_kernel(kernel):
+            with pytest.raises(
+                ValueError, match="non-positive demand cap"
+            ):
+                max_min_rates(flows, {"L0": 1.0})
+
+
+# -- bucket stage costs --------------------------------------------------------
+
+dims_lists = st.lists(
+    st.integers(min_value=2, max_value=8), min_size=1, max_size=4
+)
+fractions = st.sampled_from([1.0, 0.5, 1.0 / 3.0, 0.7])
+
+
+class TestStageCostIdentity:
+    @given(dims_lists, fractions)
+    @settings(max_examples=100, deadline=None)
+    def test_stages_bit_identical(self, dims, fraction):
+        with use_kernel("reference"):
+            ref = _bucket_stages(list(dims), fraction)
+        with use_kernel("vectorized"):
+            vec = _bucket_stages(list(dims), fraction)
+        assert ref == vec  # CollectiveCost dataclass equality, exact floats
+
+    def test_stage_arrays_shapes(self):
+        alphas, buffer_fractions, betas = bucket_stage_arrays((4, 4, 2), 1.0)
+        assert list(alphas) == [3, 3, 1]
+        assert list(buffer_fractions) == [1.0, 0.25, 0.0625]
+        assert betas[0] == (4 - 1) / 4
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_validation_parity(self, kernel):
+        with use_kernel(kernel):
+            with pytest.raises(ValueError, match="at least one dimension"):
+                _bucket_stages([], 1.0)
+            with pytest.raises(ValueError, match=">= 2 chips"):
+                _bucket_stages([4, 1], 1.0)
+
+
+# -- repair path search --------------------------------------------------------
+
+
+def _figure6_analysis(max_hops=4):
+    torus = Torus((4, 4, 4))
+    allocator = SliceAllocator(torus)
+    allocator.allocate("Slice-A", (4, 4, 2), (0, 0, 0))
+    allocator.allocate("Slice-B", (4, 2, 2), (0, 0, 2))
+    return ElectricalRecoveryAnalysis(torus, allocator, max_hops=max_hops)
+
+
+class TestRepairIdentity:
+    def test_evaluate_all_free_chips_identical(self):
+        analysis = _figure6_analysis()
+        slc = analysis.allocator.slices[0]
+        failed = (1, 2, 0)
+        with use_kernel("reference"):
+            ref = analysis.evaluate_all_free_chips(slc, failed)
+        with use_kernel("vectorized"):
+            vec = analysis.evaluate_all_free_chips(slc, failed)
+        assert ref == vec  # dataclass equality: paths, congestion, feasibility
+
+    def test_evaluate_single_chip_identical(self):
+        analysis = _figure6_analysis()
+        slc = analysis.allocator.slices[0]
+        failed, free_chip = (1, 2, 0), (0, 2, 2)
+        with use_kernel("reference"):
+            ref = analysis.evaluate_free_chip(slc, failed, free_chip)
+        with use_kernel("vectorized"):
+            vec = analysis.evaluate_free_chip(slc, failed, free_chip)
+        assert ref == vec
+
+    def test_failed_chip_as_candidate_uses_reference_path(self):
+        # free_chip == failed is outside the kernel's contract; the
+        # dispatcher must fall back and still agree with the reference.
+        analysis = _figure6_analysis()
+        slc = analysis.allocator.slices[0]
+        failed = (1, 2, 0)
+        with use_kernel("vectorized"):
+            vec = analysis.evaluate_free_chip(slc, failed, failed)
+        ref = analysis._evaluate_free_chip_reference(slc, failed, failed)
+        assert ref == vec
+
+    def test_ring_link_indices_match_ring_links(self):
+        analysis = _figure6_analysis()
+        slc = analysis.allocator.slices[1]
+        kernel = slc.rack.index_kernel()
+        for dim in range(slc.rack.ndim):
+            ids = slc.ring_link_indices(dim)
+            assert [kernel.links[i] for i in ids] == slc.ring_links(dim)
+
+    def test_index_kernel_is_memoized(self):
+        assert Torus((4, 4, 4)).index_kernel() is Torus(
+            (4, 4, 4)
+        ).index_kernel()
+
+
+# -- fluid network + telemetry -------------------------------------------------
+
+
+def _run_schedule(kernel, instrumented):
+    with use_kernel(kernel):
+        engine = EventEngine()
+        caps = {"a": 4.0, "b": 2.0, "c": 8.0}
+        cls = InstrumentedNetwork if instrumented else FlowNetwork
+        network = cls(engine, caps)
+        network.inject(Flow("f0", ("a", "b"), 16.0))
+        network.inject(Flow("f1", ("b", "c"), 8.0, demand_bytes_per_s=0.75))
+        network.inject(
+            Flow("f2", ("a",), 12.0),
+            on_complete=lambda rec: network.inject(Flow("f3", ("c",), 4.0)),
+        )
+        network.run_until_idle()
+    return network
+
+
+class TestNetworkIdentity:
+    def test_completion_times_bit_identical(self):
+        ref = _run_schedule("reference", instrumented=False)
+        vec = _run_schedule("vectorized", instrumented=False)
+        assert [r.flow.flow_id for r in ref.records] == [
+            r.flow.flow_id for r in vec.records
+        ]
+        for a, b in zip(ref.records, vec.records):
+            assert a.start_s == b.start_s
+            assert a.finish_s == b.finish_s
+
+    def test_telemetry_timelines_bit_identical(self):
+        ref = _run_schedule("reference", instrumented=True)
+        vec = _run_schedule("vectorized", instrumented=True)
+        for link in ref.capacities:
+            assert ref.telemetry.samples(link) == vec.telemetry.samples(link)
+            assert ref.telemetry.carried_bytes(
+                link
+            ) == vec.telemetry.carried_bytes(link)
+        assert ref.telemetry.busiest_links() == vec.telemetry.busiest_links()
+        assert ref.telemetry.idle_links() == vec.telemetry.idle_links()
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_zeroed_cap_error_parity_via_network(self, kernel):
+        with use_kernel(kernel):
+            engine = EventEngine()
+            network = FlowNetwork(engine, {"a": 4.0})
+            network.inject(Flow("f0", ("a",), 8.0))
+            flow = Flow("f1", ("a",), 8.0, demand_bytes_per_s=1.0)
+            flow.demand_bytes_per_s = 0.0  # mutate past validation
+            with pytest.raises(ValueError, match="non-positive demand cap"):
+                network.inject(flow)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_unknown_link_error_parity_via_network(self, kernel):
+        with use_kernel(kernel):
+            engine = EventEngine()
+            network = FlowNetwork(engine, {"a": 4.0})
+            with pytest.raises(
+                KeyError, match="uses unknown link 'ghost'"
+            ):
+                network.inject(Flow("f0", ("a", "ghost"), 8.0))
+
+    def test_capacity_added_mid_run_is_picked_up(self):
+        # The cached LinkSpace must rebuild when the universe changes.
+        with use_kernel("vectorized"):
+            engine = EventEngine()
+            network = FlowNetwork(engine, {"a": 4.0})
+            network.inject(Flow("f0", ("a",), 4.0))
+            network.capacities["b"] = 2.0
+            network.inject(Flow("f1", ("b",), 2.0))
+            horizon = network.run_until_idle()
+        assert horizon == 1.0
+
+
+class TestLinkTelemetryRegression:
+    def test_unknown_link_record_raises(self):
+        telemetry = LinkTelemetry(capacities={"a": 1.0})
+        with pytest.raises(KeyError, match="no registered capacity"):
+            telemetry.record(0.0, 1.0, {"a": 0.5, "ghost": 1.0})
+        # The failed record must not have been partially applied.
+        assert telemetry.samples("a") == ()
+        assert telemetry.carried_bytes("a") == 0
+
+    def test_negative_interval_raises(self):
+        telemetry = LinkTelemetry(capacities={"a": 1.0})
+        with pytest.raises(ValueError, match="interval end precedes start"):
+            telemetry.record(2.0, 1.0, {"a": 0.5})
+
+    def test_zero_interval_is_noop(self):
+        telemetry = LinkTelemetry(capacities={"a": 1.0})
+        telemetry.record(1.0, 1.0, {"a": 0.5})
+        assert telemetry.samples("a") == ()
+
+    def test_unused_link_carries_int_zero(self):
+        telemetry = LinkTelemetry(capacities={"a": 1.0})
+        carried = telemetry.carried_bytes("a")
+        assert carried == 0
+        assert isinstance(carried, int)  # sum(()) == 0 semantics preserved
+
+    def test_incremental_totals_match_sample_sum(self):
+        telemetry = LinkTelemetry(capacities={"a": 1.0, "b": 2.0})
+        telemetry.record(0.0, 1.0, {"a": 0.5, "b": 1.5})
+        telemetry.record(1.0, 3.0, {"a": 0.25})
+        for link in ("a", "b"):
+            assert telemetry.carried_bytes(link) == sum(
+                s.carried_bytes for s in telemetry.samples(link)
+            )
+
+    def test_idle_links_relative_tolerance(self):
+        telemetry = LinkTelemetry(capacities={"busy": 1.0, "drift": 1.0})
+        telemetry.record(0.0, 1.0, {"busy": 1e9})
+        telemetry.record(0.0, 1.0, {"drift": 1e-12})
+        assert telemetry.idle_links() == ["drift"]
+        assert telemetry.idle_links(tolerance=1e-25) == []
+
+
+# -- session integration -------------------------------------------------------
+
+
+def _repair_spec():
+    return ScenarioSpec(
+        fabric="electrical",
+        slices=figure6_slices(),
+        outputs=("repair",),
+        failures=FailurePlan(failed_chips=((1, 2, 0),)),
+    )
+
+
+class TestSessionKernelIntegration:
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel 'simd'"):
+            FabricSession(kernel="simd")
+
+    def test_kernel_stats_reported_to_metrics(self):
+        registry = MetricsRegistry()
+        session = FabricSession(metrics=registry, kernel="vectorized")
+        session.run(_repair_spec())
+        assert "kernel.vectorized.repair.calls" in registry
+        assert "kernel.vectorized.repair.seconds" in registry
+        assert registry.counter("kernel.vectorized.repair.calls").value > 0
+
+    def test_session_kernel_pins_backend(self):
+        registry = MetricsRegistry()
+        with use_kernel("vectorized"):
+            session = FabricSession(metrics=registry, kernel="reference")
+            session.run(_repair_spec())
+        kernel_names = [n for n in registry.names() if n.startswith("kernel.")]
+        assert kernel_names  # the reference dispatcher still records time
+        assert all(n.startswith("kernel.reference.") for n in kernel_names)
+
+    def test_results_identical_across_session_kernels(self):
+        spec = _repair_spec()
+        reference = FabricSession(kernel="reference").run(spec)
+        vectorized = FabricSession(kernel="vectorized").run(spec)
+        assert reference.to_json() == vectorized.to_json()
+
+    def test_kernel_stats_global_accumulator(self):
+        before = STATS.snapshot().get(
+            "vectorized.waterfill", {"calls": 0}
+        )["calls"]
+        with use_kernel("vectorized"):
+            max_min_rates(
+                _build([("f0", ("L0",), None)]), {"L0": 1.0}
+            )
+        after = STATS.snapshot()["vectorized.waterfill"]["calls"]
+        assert after == before + 1
