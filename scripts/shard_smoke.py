@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""CI smoke test for ``repro serve --workers N``: the sharded tier.
+
+Starts the real router as a subprocess (the way an operator would, via
+``python -m repro serve --workers 2``) and asserts the tier's end-to-end
+contract:
+
+1. ``POST /v1/evaluate`` through the router returns exactly
+   ``tests/golden/serve_evaluate.json`` — the same bytes the
+   single-process service and the CLI produce — with routing provenance
+   headers (``X-Repro-Worker``, ``X-Repro-Coalesced``).
+2. ``GET /healthz`` shows two live workers; ``GET /metrics`` aggregates
+   them.
+3. SIGKILL one worker: the next request for the same spec reroutes along
+   the hash ring and answers byte-identically; the supervisor respawns
+   the dead slot.
+4. SIGTERM drains the router and its workers cleanly (exit 0, clean
+   drain message).
+
+Run:  PYTHONPATH=src python scripts/shard_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN = REPO / "tests" / "golden"
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def start_router(cache_dir: str) -> tuple[subprocess.Popen, int]:
+    """Launch the sharded tier on an ephemeral port; parse the bound port."""
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", "2", "--jobs", "1",
+            "--cache-dir", cache_dir,
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    assert process.stderr is not None
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if not line:
+            break
+        match = re.search(r"router listening on http://[\w.]+:(\d+)", line)
+        if match:
+            return process, int(match.group(1))
+    process.kill()
+    fail("router never printed its listen line")
+    raise AssertionError  # unreachable
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.serve import ServeClient
+
+    request_payload = (GOLDEN / "serve_request.json").read_bytes()
+    golden_response = (GOLDEN / "serve_evaluate.json").read_bytes()
+
+    with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as cache_dir:
+        process, port = start_router(cache_dir)
+        try:
+            client = ServeClient(port=port)
+            client.wait_until_ready()
+
+            # 1. Golden byte-identity through the sharded tier.
+            status, headers, body = client._request(
+                "POST", "/v1/evaluate", request_payload
+            )
+            if status != 200:
+                fail(f"evaluate answered {status}: {body[:200]!r}")
+            if body != golden_response:
+                fail(
+                    "routed bytes differ from tests/golden/serve_evaluate.json "
+                    f"({len(body)} vs {len(golden_response)} bytes)"
+                )
+            owner = headers.get("x-repro-worker", "")
+            if not re.fullmatch(r"w[01]", owner):
+                fail(f"missing/odd X-Repro-Worker header: {owner!r}")
+            if headers.get("x-repro-coalesced") != "leader":
+                fail(f"missing X-Repro-Coalesced header: {headers}")
+            print(
+                f"evaluate: 200 via {owner}, {len(body)} bytes, "
+                "golden-identical"
+            )
+
+            # 2. Tier introspection.
+            health = client.healthz()
+            if health["status"] != "ok" or len(health["workers"]) != 2:
+                fail(f"unexpected router health: {health}")
+            payload = client.metrics()
+            if sorted(payload.get("workers", {})) != ["w0", "w1"]:
+                fail(f"metrics missing worker payloads: {payload.keys()}")
+            print(
+                "healthz: ok (2 workers), metrics aggregate "
+                f"{payload['tier_disk_cache']['entries']} cached entries"
+            )
+
+            # 3. Kill the owner worker: reroute, byte-identical, respawn.
+            victim = next(
+                worker for worker in health["workers"]
+                if worker["name"] == owner
+            )
+            os.kill(victim["pid"], signal.SIGKILL)
+            status, headers, rerouted = client._request(
+                "POST", "/v1/evaluate", request_payload
+            )
+            if status != 200 or rerouted != golden_response:
+                fail(
+                    f"post-kill request not byte-identical: {status}, "
+                    f"{len(rerouted)} bytes"
+                )
+            print(
+                f"killed {owner} (pid {victim['pid']}): rerouted via "
+                f"{headers.get('x-repro-worker')}, bytes identical"
+            )
+            deadline = time.monotonic() + 60
+            while True:
+                workers = client.healthz()["workers"]
+                if all(worker["alive"] for worker in workers):
+                    break
+                if time.monotonic() > deadline:
+                    fail(f"worker never respawned: {workers}")
+                time.sleep(0.1)
+            restarts = sum(worker["restarts"] for worker in workers)
+            if restarts < 1:
+                fail(f"no restart recorded: {workers}")
+            print(f"supervisor respawned {owner} (restarts={restarts:g})")
+
+            # 4. SIGTERM drains the tier cleanly.
+            process.send_signal(signal.SIGTERM)
+            stderr = process.stderr.read()
+            returncode = process.wait(timeout=120)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+    if returncode != 0:
+        fail(f"router exited {returncode}; stderr tail: {stderr[-800:]}")
+    if "drained cleanly" not in stderr:
+        fail(f"no clean-drain message; stderr tail: {stderr[-800:]}")
+    print("sigterm: router and workers drained, exit 0")
+    print("shard smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

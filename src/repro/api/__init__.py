@@ -44,6 +44,7 @@ from .cache import (
     code_fingerprint,
     default_cache_dir,
     spec_key,
+    tier_cache_stats,
 )
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TraceEvent, Tracer
@@ -111,6 +112,7 @@ __all__ = [
     "spec_key",
     "code_fingerprint",
     "default_cache_dir",
+    "tier_cache_stats",
     # backends
     "FabricBackend",
     "ElectricalBackend",

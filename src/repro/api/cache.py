@@ -33,7 +33,7 @@ import tempfile
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 from .result import RunResult
 from .spec import ScenarioSpec
@@ -47,6 +47,7 @@ __all__ = [
     "MemoryResultCache",
     "DiskResultCache",
     "NullResultCache",
+    "tier_cache_stats",
 ]
 
 
@@ -197,14 +198,28 @@ class DiskResultCache:
     A long-lived server writes into this cache forever, so it can be
     capped: ``max_entries`` / ``max_bytes`` bound the store (across *all*
     fingerprints — entries stranded by old code versions are the first
-    to go) with oldest-first pruning after each write. ``None`` (the
-    default) keeps the original unbounded behavior.
+    to go) with oldest-first pruning. ``None`` (the default) keeps the
+    original unbounded behavior.
+
+    Pruning is *amortized*: the instance keeps approximate entry/byte
+    counters (seeded by one directory scan on the first capped ``put``,
+    advanced by each write) and only re-scans the directory when the
+    counters trip a cap. When a scan finds the store over a cap, it
+    evicts oldest-first down to a low watermark ``cap - max(1, cap//8)``
+    rather than exactly to the cap, so the next scan is ~cap/8 puts away
+    — put latency stays O(1) in the entry count instead of one full
+    directory scan per write (``benchmarks/test_perf_cache.py`` holds
+    this flat). The caps themselves are still never exceeded by this
+    instance's own writes. Concurrent writers sharing a directory each
+    bound their own contribution; their counters re-synchronize with
+    reality on every scan.
 
     Attributes:
         root: the cache directory.
         max_entries: entry-count cap (``None`` = unbounded).
         max_bytes: payload-byte cap (``None`` = unbounded).
         evictions: entries pruned by this instance since construction.
+        prune_scans: full directory scans this instance has paid for.
     """
 
     def __init__(
@@ -222,6 +237,10 @@ class DiskResultCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.evictions = 0
+        self.prune_scans = 0
+        # Approximate occupancy since the last scan; None = never scanned.
+        self._approx_entries: int | None = None
+        self._approx_bytes: int = 0
 
     def _path(self, key: str) -> Path:
         return self.root / code_fingerprint() / key[:2] / f"{key}.json"
@@ -248,12 +267,13 @@ class DiskResultCache:
         # Write-to-temp + atomic rename: concurrent workers computing the
         # same spec each produce a complete file; the last rename wins and
         # readers never observe a partial entry.
+        payload = result.to_json()
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(result.to_json())
+                handle.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -262,6 +282,23 @@ class DiskResultCache:
                 pass
             raise
         if self.max_entries is not None or self.max_bytes is not None:
+            self._note_put(len(payload.encode("utf-8")))
+
+    def _note_put(self, size: int) -> None:
+        """Advance the approximate counters; scan only when a cap trips."""
+        if self._approx_entries is None:
+            self._prune()  # first capped put: one scan seeds the counters
+            return
+        self._approx_entries += 1
+        self._approx_bytes += size
+        over_entries = (
+            self.max_entries is not None
+            and self._approx_entries > self.max_entries
+        )
+        over_bytes = (
+            self.max_bytes is not None and self._approx_bytes > self.max_bytes
+        )
+        if over_entries or over_bytes:
             self._prune()
 
     def _entries(self) -> list[tuple[float, str, int, Path]]:
@@ -283,30 +320,51 @@ class DiskResultCache:
         return entries
 
     def _prune(self) -> None:
-        """Evict oldest entries until both caps hold.
+        """Scan the store; if over a cap, evict oldest down to a watermark.
 
-        Runs after each write, so the just-written entry (the newest) is
-        the last candidate and survives any cap of at least one entry.
-        Concurrent pruners may race to unlink the same file; the loser's
-        unlink is a no-op and is not counted as an eviction.
+        The watermark (``cap - max(1, cap // 8)``, floored so at least
+        the newest entry survives) leaves headroom, so after a trip the
+        approximate counters take ~cap/8 more puts to trip again — the
+        scan cost amortizes instead of recurring every write. The
+        just-written entry (the newest) is the last candidate and
+        survives any entry cap. Concurrent pruners may race to unlink
+        the same file; the loser's unlink is a no-op and is not counted
+        as an eviction.
         """
         entries = self._entries()
+        self.prune_scans += 1
         count = len(entries)
         total = sum(size for _, _, size, _ in entries)
-        for _, _, size, path in entries:
-            over_entries = (
-                self.max_entries is not None and count > self.max_entries
+        over = (
+            self.max_entries is not None and count > self.max_entries
+        ) or (self.max_bytes is not None and total > self.max_bytes)
+        if over:
+            target_entries = (
+                None
+                if self.max_entries is None
+                else max(1, self.max_entries - max(1, self.max_entries // 8))
             )
-            over_bytes = self.max_bytes is not None and total > self.max_bytes
-            if not over_entries and not over_bytes:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            self.evictions += 1
-            count -= 1
-            total -= size
+            target_bytes = (
+                None
+                if self.max_bytes is None
+                else max(0, self.max_bytes - max(1, self.max_bytes // 8))
+            )
+            for _, _, size, path in entries:
+                over_entries = (
+                    target_entries is not None and count > target_entries
+                )
+                over_bytes = target_bytes is not None and total > target_bytes
+                if not over_entries and not over_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                self.evictions += 1
+                count -= 1
+                total -= size
+        self._approx_entries = count
+        self._approx_bytes = total
 
     def cache_stats(self) -> dict:
         """Occupancy and eviction counters of the on-disk store.
@@ -320,6 +378,7 @@ class DiskResultCache:
             "entries": len(entries),
             "bytes": sum(size for _, _, size, _ in entries),
             "evictions": self.evictions,
+            "prune_scans": self.prune_scans,
             "max_entries": self.max_entries,
             "max_bytes": self.max_bytes,
         }
@@ -329,3 +388,40 @@ class DiskResultCache:
         if not fingerprint_dir.is_dir():
             return 0
         return sum(1 for _ in fingerprint_dir.glob("*/*.json"))
+
+
+def tier_cache_stats(roots: Sequence[str | Path | None]) -> dict:
+    """Summed on-disk occupancy across a sharded tier's worker caches.
+
+    The shard router gives every worker slot its own cache namespace
+    (``<root>/worker-<slot>``); this rolls the per-namespace occupancy
+    up into one shared-tier view for the router's ``/metrics``. ``None``
+    entries (cacheless workers) are skipped but still counted.
+
+    Returns:
+        ``{"workers", "entries", "bytes", "per_worker": [...]}`` with
+        ``per_worker`` ordered like ``roots``.
+    """
+    per_worker = []
+    total_entries = 0
+    total_bytes = 0
+    for root in roots:
+        if root is None:
+            per_worker.append({"root": None, "entries": 0, "bytes": 0})
+            continue
+        stats = DiskResultCache(root).cache_stats()
+        per_worker.append(
+            {
+                "root": str(root),
+                "entries": stats["entries"],
+                "bytes": stats["bytes"],
+            }
+        )
+        total_entries += stats["entries"]
+        total_bytes += stats["bytes"]
+    return {
+        "workers": len(per_worker),
+        "entries": total_entries,
+        "bytes": total_bytes,
+        "per_worker": per_worker,
+    }

@@ -16,7 +16,7 @@ Usage::
     python -m repro sweep [--jobs 4] [--no-cache] [--cache-dir DIR] [--telemetry]
     python -m repro utilization           # measured stranded bandwidth (Fig. 5c)
     python -m repro trace [--fabric photonic] [--out PATH]  # Chrome trace JSON
-    python -m repro serve [--port 8421] [--jobs 2] [--max-batch 8]
+    python -m repro serve [--port 8421] [--jobs 2] [--workers N]
 
 Every subcommand builds a :class:`repro.api.ScenarioSpec` and routes
 through :func:`repro.api.run`, so the CLI, the benches and the examples
@@ -390,6 +390,24 @@ def _cmd_utilization(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workers(text: str) -> int:
+    """Parse ``serve --workers``: 0 = single-process (no router), a
+    positive integer = sharded tier size, ``auto`` = one worker per CPU."""
+    if text.strip().lower() == "auto":
+        return -1  # resolved to os.cpu_count() in _cmd_serve
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer or 'auto', got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer or 'auto', got {text!r}"
+        )
+    return value
+
+
 def _parse_jobs(text: str) -> int:
     """Parse a worker count: a positive integer, or ``auto`` = all CPUs.
 
@@ -558,15 +576,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the asyncio evaluation service until SIGTERM/SIGINT.
+    """Run the evaluation service until SIGTERM/SIGINT.
 
     ``POST /v1/evaluate`` bodies are ``ScenarioSpec`` JSON; responses
     are the exact ``RunResult`` JSON the CLI prints for the same spec.
     ``GET /healthz`` and ``GET /metrics`` expose liveness and the
-    service's metrics registry. See ``repro.serve`` for the batching,
-    admission-control and drain semantics.
+    service's metrics registry. With ``--workers N`` the process becomes
+    a shard router instead: it spawns and supervises N single-process
+    workers, routes by consistent-hashed spec key, and coalesces
+    identical in-flight specs — same routes, same bytes. See
+    ``repro.serve`` for the batching, admission-control, priority and
+    drain semantics.
     """
-    from .serve import ServerConfig, run_server
+    from .serve import ServerConfig, ShardConfig, run_server, run_sharded
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     config = ServerConfig(
@@ -576,13 +598,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         linger_ms=args.linger_ms,
         queue_limit=args.queue_limit,
+        batch_shed_fraction=args.batch_shed_fraction,
         request_timeout_s=args.timeout_s,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         cache_max_entries=args.cache_max_entries,
         cache_max_bytes=args.cache_max_bytes,
     )
-    return run_server(config)
+    workers = args.workers if args.workers >= 0 else (os.cpu_count() or 1)
+    if workers == 0:
+        return run_server(config)
+    return run_sharded(
+        ShardConfig(
+            workers=workers,
+            host=args.host,
+            port=args.port,
+            worker=config,
+        )
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -754,9 +787,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (0 = ephemeral; default: 8421)",
     )
     psv.add_argument(
+        "--workers", type=_parse_workers, default=0, metavar="N",
+        help="shard the service: spawn and supervise N worker processes "
+        "behind a consistent-hash router ('auto' = one per CPU; "
+        "default: 0 = single process, no router)",
+    )
+    psv.add_argument(
         "--jobs", type=_parse_jobs, default=2, metavar="N",
-        help="persistent evaluation sessions, a positive integer or "
-        "'auto' for all CPUs (default: 2)",
+        help="persistent evaluation sessions per process, a positive "
+        "integer or 'auto' for all CPUs (default: 2)",
     )
     psv.add_argument(
         "--max-batch", type=int, default=8, metavar="N",
@@ -769,6 +808,12 @@ def build_parser() -> argparse.ArgumentParser:
     psv.add_argument(
         "--queue-limit", type=int, default=64, metavar="N",
         help="admission queue bound; overflow answers 429 (default: 64)",
+    )
+    psv.add_argument(
+        "--batch-shed-fraction", type=float, default=0.5, metavar="F",
+        help="fraction of the queue bound past which X-Repro-Priority: "
+        "batch requests are shed with 429 while interactive ones are "
+        "still admitted (default: 0.5)",
     )
     psv.add_argument(
         "--timeout-s", type=float, default=60.0, metavar="S",

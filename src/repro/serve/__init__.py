@@ -1,4 +1,4 @@
-"""``repro.serve`` — the asyncio evaluation service.
+"""``repro.serve`` — the asyncio evaluation service, single or sharded.
 
 A long-lived JSON-over-HTTP front end to the experiment API:
 ``POST /v1/evaluate`` takes a :class:`~repro.api.spec.ScenarioSpec`
@@ -7,25 +7,48 @@ body, a micro-batcher coalesces concurrent requests into
 :class:`~repro.api.session.FabricSession`\\ s sharing one
 :class:`~repro.api.cache.DiskResultCache`, and the response body is the
 exact ``RunResult`` JSON the CLI would print for the same spec.
-Admission is bounded (429 + ``Retry-After`` on overflow), every request
-has a deadline (504), and SIGTERM drains every accepted request before
-the process exits. ``GET /healthz`` and ``GET /metrics`` expose
-liveness and the :class:`~repro.obs.metrics.MetricsRegistry`.
+Admission is bounded (429 + ``Retry-After`` on overflow) with
+``batch``-priority requests shed first under overload
+(``X-Repro-Priority``), every request has a deadline (504), and SIGTERM
+drains every accepted request before the process exits. ``GET /healthz``
+and ``GET /metrics`` expose liveness and the
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+``repro serve --workers N`` scales the same service horizontally: a
+:class:`~repro.serve.shard.ShardRouter` front end spawns and supervises
+N worker processes, routes by consistent-hashed spec key so each
+worker's caches stay hot (:class:`~repro.serve.shard.HashRing`),
+coalesces identical in-flight specs into one evaluation
+(``X-Repro-Coalesced``), and fails over along the ring when a worker is
+mid-restart — answering byte-identically to the single-process service
+throughout.
 
 Start it with ``python -m repro serve`` (see ``--help``), drive it with
-:class:`ServeClient`, or embed it in-process with :class:`ServerThread`.
+:class:`ServeClient`, or embed it in-process with :class:`ServerThread`
+/ :class:`ShardThread`.
 """
 
 from .client import ServeClient, ServeError
 from .service import (
     DEFAULT_PORT,
+    EvaluateRequestError,
     EvaluationService,
     QueueFull,
     ReproServer,
     ServerConfig,
     ServerThread,
     ShuttingDown,
+    parse_evaluate_request,
     run_server,
+)
+from .shard import (
+    HashRing,
+    ShardConfig,
+    ShardRouter,
+    ShardThread,
+    SubprocessWorkers,
+    WorkerUnavailable,
+    run_sharded,
 )
 
 __all__ = [
@@ -37,6 +60,15 @@ __all__ = [
     "run_server",
     "QueueFull",
     "ShuttingDown",
+    "EvaluateRequestError",
+    "parse_evaluate_request",
     "ServeClient",
     "ServeError",
+    "HashRing",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardThread",
+    "SubprocessWorkers",
+    "WorkerUnavailable",
+    "run_sharded",
 ]

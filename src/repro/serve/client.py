@@ -24,6 +24,7 @@ from typing import Any
 
 from ..api.result import RunResult
 from ..api.spec import ScenarioSpec
+from . import wire
 
 __all__ = ["ServeError", "ServeClient"]
 
@@ -54,10 +55,18 @@ class ServeError(RuntimeError):
 class ServeClient:
     """Blocking JSON-over-HTTP client; one connection per call.
 
+    Evaluations are deterministic and idempotent, so the client retries
+    transparently when the serving tier is mid-restart: a refused/reset
+    connection or a ``502`` from the shard router (its worker died and
+    is being respawned) is retried up to ``retries`` times with a short
+    backoff before surfacing the error.
+
     Attributes:
         host: server host.
         port: server port.
         timeout_s: socket timeout per request.
+        retries: extra attempts after a connection failure or 502.
+        retry_backoff_s: sleep between attempts.
     """
 
     def __init__(
@@ -65,30 +74,69 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int = 8421,
         timeout_s: float = 120.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.1,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
 
     # -- transport ---------------------------------------------------------------
 
-    def _request(
-        self, method: str, path: str, body: bytes | None = None
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
         try:
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
+            fields = {"Content-Type": "application/json"} if body else {}
+            fields.update(headers or {})
+            connection.request(method, path, body=body, headers=fields)
             response = connection.getresponse()
             payload = response.read()
-            fields = {
+            replied = {
                 name.lower(): value for name, value in response.getheaders()
             }
-            return response.status, fields, payload
+            return response.status, replied, payload
         finally:
             connection.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        attempts = max(0, self.retries) + 1
+        last_exc: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.retry_backoff_s)
+            try:
+                status, fields, payload = self._request_once(
+                    method, path, body, headers
+                )
+            except (ConnectionError, http.client.RemoteDisconnected) as exc:
+                last_exc = exc
+                continue
+            if status == 502 and attempt < attempts - 1:
+                # The router lost its worker mid-request; it respawns the
+                # slot in the background — the evaluation is idempotent,
+                # so just ask again.
+                continue
+            return status, fields, payload
+        raise ConnectionError(
+            f"server at {self.host}:{self.port} unreachable after "
+            f"{attempts} attempt(s)"
+        ) from last_exc
 
     @staticmethod
     def _raise_for_status(
@@ -113,26 +161,46 @@ class ServeClient:
     # -- API ---------------------------------------------------------------------
 
     def evaluate_response(
-        self, spec: ScenarioSpec | dict[str, Any]
+        self,
+        spec: ScenarioSpec | dict[str, Any],
+        priority: str | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
-        """Raw ``POST /v1/evaluate``: status, headers, body — no raising."""
+        """Raw ``POST /v1/evaluate``: status, headers, body — no raising.
+
+        ``priority`` (``interactive`` | ``batch``) is sent as the
+        ``X-Repro-Priority`` header; ``None`` sends no header and the
+        server assumes ``interactive``.
+        """
         payload = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
         body = json.dumps(payload, sort_keys=True).encode()
-        return self._request("POST", "/v1/evaluate", body)
+        headers = (
+            {wire.PRIORITY_HEADER: priority} if priority is not None else None
+        )
+        return self._request("POST", "/v1/evaluate", body, headers)
 
-    def evaluate_bytes(self, spec: ScenarioSpec | dict[str, Any]) -> bytes:
+    def evaluate_bytes(
+        self,
+        spec: ScenarioSpec | dict[str, Any],
+        priority: str | None = None,
+    ) -> bytes:
         """The exact response body for ``spec``.
 
         Raises:
             ServeError: on any non-200 status.
         """
-        status, headers, payload = self.evaluate_response(spec)
+        status, headers, payload = self.evaluate_response(spec, priority)
         self._raise_for_status(status, headers, payload)
         return payload
 
-    def evaluate(self, spec: ScenarioSpec | dict[str, Any]) -> RunResult:
+    def evaluate(
+        self,
+        spec: ScenarioSpec | dict[str, Any],
+        priority: str | None = None,
+    ) -> RunResult:
         """Evaluate ``spec`` into a typed :class:`RunResult`."""
-        return RunResult.from_json(self.evaluate_bytes(spec).decode("utf-8"))
+        return RunResult.from_json(
+            self.evaluate_bytes(spec, priority).decode("utf-8")
+        )
 
     def healthz(self) -> dict[str, Any]:
         """The ``/healthz`` payload."""

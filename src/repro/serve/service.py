@@ -65,6 +65,8 @@ __all__ = [
     "ServerConfig",
     "QueueFull",
     "ShuttingDown",
+    "EvaluateRequestError",
+    "parse_evaluate_request",
     "EvaluationService",
     "ReproServer",
     "ServerThread",
@@ -90,6 +92,11 @@ class ServerConfig:
             before flushing a partial one.
         queue_limit: admitted-but-unbatched requests at most; overflow
             is rejected with 429.
+        batch_shed_fraction: fraction of ``queue_limit`` past which
+            ``batch``-priority requests are shed with 429 while
+            ``interactive`` requests are still admitted — overload
+            degrades the background class first, keeping interactive
+            p99 bounded. ``1.0`` disables the distinction.
         request_timeout_s: per-request evaluation deadline; exceeding it
             answers 504 (the batch keeps running and still warms the
             cache).
@@ -109,6 +116,7 @@ class ServerConfig:
     max_batch: int = 8
     linger_ms: float = 2.0
     queue_limit: int = 64
+    batch_shed_fraction: float = 0.5
     request_timeout_s: float = 60.0
     retry_after_s: float = 1.0
     cache_dir: str | Path | None = None
@@ -127,12 +135,87 @@ class ServerConfig:
             raise ValueError(
                 f"queue_limit must be positive, got {self.queue_limit}"
             )
+        if not 0 < self.batch_shed_fraction <= 1:
+            raise ValueError(
+                f"batch_shed_fraction must be in (0, 1], got "
+                f"{self.batch_shed_fraction}"
+            )
         if self.request_timeout_s <= 0:
             raise ValueError(
                 f"request_timeout_s must be positive, got {self.request_timeout_s}"
             )
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
+
+    @property
+    def batch_queue_limit(self) -> int:
+        """Queue depth past which ``batch`` requests are shed (at least 1)."""
+        return max(1, int(self.queue_limit * self.batch_shed_fraction))
+
+
+class EvaluateRequestError(Exception):
+    """An evaluate request the service must reject before admission.
+
+    Attributes:
+        status: HTTP status to answer with.
+        code: machine-readable error code for the JSON envelope.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def parse_evaluate_request(
+    request: wire.Request,
+) -> tuple[ScenarioSpec, str]:
+    """Parse and validate one ``POST /v1/evaluate`` request.
+
+    Shared by the single-process front end and the shard router (which
+    must parse the spec anyway to compute its routing key).
+
+    Returns:
+        ``(spec, priority)``.
+
+    Raises:
+        EvaluateRequestError: on a malformed body, invalid spec, unknown
+            fabric, or unknown priority header.
+    """
+    try:
+        payload = request.json()
+    except wire.ProtocolError as exc:
+        raise EvaluateRequestError(exc.status, "bad_json", str(exc)) from exc
+    if isinstance(payload, dict) and isinstance(payload.get("spec"), dict):
+        payload = payload["spec"]
+    if not isinstance(payload, dict):
+        raise EvaluateRequestError(
+            400, "bad_request", "request body must be a ScenarioSpec object"
+        )
+    try:
+        spec = ScenarioSpec.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise EvaluateRequestError(
+            400, "bad_spec", f"invalid spec: {exc}"
+        ) from exc
+    if spec.fabric not in available_backends():
+        raise EvaluateRequestError(
+            400,
+            "bad_spec",
+            f"unknown fabric {spec.fabric!r}; registered backends: "
+            f"{list(available_backends())}",
+        )
+    priority = request.headers.get(
+        wire.PRIORITY_HEADER.lower(), wire.DEFAULT_PRIORITY
+    )
+    if priority not in wire.PRIORITIES:
+        raise EvaluateRequestError(
+            400,
+            "bad_priority",
+            f"unknown {wire.PRIORITY_HEADER} {priority!r}; expected one "
+            f"of {list(wire.PRIORITIES)}",
+        )
+    return spec, priority
 
 
 class QueueFull(Exception):
@@ -159,6 +242,7 @@ class _Pending:
 
     spec: ScenarioSpec
     future: asyncio.Future
+    priority: str = wire.DEFAULT_PRIORITY
     admitted_at: float = field(default_factory=time.monotonic)
 
 
@@ -254,24 +338,44 @@ class EvaluationService:
 
     # -- admission ---------------------------------------------------------------
 
-    def submit(self, spec: ScenarioSpec) -> asyncio.Future:
+    def submit(
+        self, spec: ScenarioSpec, priority: str = wire.DEFAULT_PRIORITY
+    ) -> asyncio.Future:
         """Admit ``spec``; the future resolves to its :class:`SpecRun`.
+
+        ``batch``-priority requests are held to a tighter admission
+        bound (``config.batch_queue_limit``) than ``interactive`` ones,
+        so overload sheds the background class first.
 
         Raises:
             ShuttingDown: the service is draining (map to 503).
-            QueueFull: the admission queue is at its limit (map to 429).
+            QueueFull: the admission queue is at its limit for this
+                priority class (map to 429).
+            ValueError: ``priority`` is not one of :data:`wire.PRIORITIES`.
         """
+        if priority not in wire.PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; expected one of "
+                f"{list(wire.PRIORITIES)}"
+            )
         if self._draining:
             self.metrics.counter("serve.requests_rejected_draining").inc()
             raise ShuttingDown("the service is draining")
+        if (
+            priority == "batch"
+            and self._queue.qsize() >= self.config.batch_queue_limit
+        ):
+            self.metrics.counter("serve.requests_shed_batch").inc()
+            raise QueueFull(self.config.retry_after_s)
         future = asyncio.get_running_loop().create_future()
-        pending = _Pending(spec=spec, future=future)
+        pending = _Pending(spec=spec, future=future, priority=priority)
         try:
             self._queue.put_nowait(pending)
         except asyncio.QueueFull:
             self.metrics.counter("serve.requests_rejected_full").inc()
             raise QueueFull(self.config.retry_after_s) from None
         self.metrics.counter("serve.requests_admitted").inc()
+        self.metrics.counter(f"serve.requests_admitted.{priority}").inc()
         self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
         return future
 
@@ -361,9 +465,11 @@ class EvaluationService:
             for pending, row in zip(batch, rows):
                 if not pending.future.done():
                     pending.future.set_result(row)
-                self.metrics.histogram("serve.request_seconds").observe(
-                    time.monotonic() - pending.admitted_at
-                )
+                elapsed = time.monotonic() - pending.admitted_at
+                self.metrics.histogram("serve.request_seconds").observe(elapsed)
+                self.metrics.histogram(
+                    f"serve.request_seconds.{pending.priority}"
+                ).observe(elapsed)
             self.metrics.counter("serve.requests_completed").inc(len(batch))
         finally:
             self._session_pool.put_nowait(session)
@@ -404,6 +510,7 @@ class EvaluationService:
             "status": "draining" if self._draining else "ok",
             "queue_depth": self._queue.qsize(),
             "queue_limit": self.config.queue_limit,
+            "batch_queue_limit": self.config.batch_queue_limit,
             "sessions": self.config.jobs,
             "inflight_batches": len(self._inflight),
             "uptime_s": round(time.monotonic() - self.started_at, 3),
@@ -539,28 +646,11 @@ class ReproServer:
 
     async def _evaluate(self, request: wire.Request) -> bytes:
         try:
-            payload = request.json()
-        except wire.ProtocolError as exc:
-            return wire.error_response(exc.status, "bad_json", str(exc))
-        if isinstance(payload, dict) and isinstance(payload.get("spec"), dict):
-            payload = payload["spec"]
-        if not isinstance(payload, dict):
-            return wire.error_response(
-                400, "bad_request", "request body must be a ScenarioSpec object"
-            )
+            spec, priority = parse_evaluate_request(request)
+        except EvaluateRequestError as exc:
+            return wire.error_response(exc.status, exc.code, str(exc))
         try:
-            spec = ScenarioSpec.from_dict(payload)
-        except (KeyError, TypeError, ValueError) as exc:
-            return wire.error_response(400, "bad_spec", f"invalid spec: {exc}")
-        if spec.fabric not in available_backends():
-            return wire.error_response(
-                400,
-                "bad_spec",
-                f"unknown fabric {spec.fabric!r}; registered backends: "
-                f"{list(available_backends())}",
-            )
-        try:
-            future = self.service.submit(spec)
+            future = self.service.submit(spec, priority=priority)
         except ShuttingDown:
             return wire.error_response(
                 503, "draining", "the service is shutting down"
@@ -599,7 +689,7 @@ class ReproServer:
             200,
             _result_body(row),
             extra_headers=(
-                ("X-Repro-Cache", "hit" if row.from_cache else "miss"),
+                (wire.CACHE_HEADER, "hit" if row.from_cache else "miss"),
             ),
         )
 

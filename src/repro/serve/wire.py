@@ -18,9 +18,17 @@ from typing import Any
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "PRIORITIES",
+    "DEFAULT_PRIORITY",
+    "PRIORITY_HEADER",
+    "CACHE_HEADER",
+    "COALESCED_HEADER",
+    "WORKER_HEADER",
     "ProtocolError",
     "Request",
     "read_request",
+    "read_response",
+    "request_bytes",
     "response_bytes",
     "json_response",
 ]
@@ -28,6 +36,29 @@ __all__ = [
 #: Largest request body the server will read (a ScenarioSpec is ~1 KiB;
 #: anything near this limit is not a spec).
 MAX_BODY_BYTES = 4 << 20
+
+#: Request-priority classes, most-protected first. ``interactive``
+#: requests are admitted up to the full queue limit; ``batch`` requests
+#: are shed earlier under overload (see ``ServerConfig.batch_shed_fraction``).
+PRIORITIES = ("interactive", "batch")
+
+#: Priority assumed when a request carries no priority header.
+DEFAULT_PRIORITY = "interactive"
+
+#: Request header naming the priority class (``interactive`` | ``batch``).
+PRIORITY_HEADER = "X-Repro-Priority"
+
+#: Response header: ``hit`` | ``miss`` cache provenance of the result.
+CACHE_HEADER = "X-Repro-Cache"
+
+#: Response header set by the shard router: ``leader`` for the request
+#: that triggered the (single) evaluation of its spec key, ``follower``
+#: for concurrent duplicates that coalesced onto it.
+COALESCED_HEADER = "X-Repro-Coalesced"
+
+#: Response header set by the shard router: the worker slot (``w0``,
+#: ``w1``, ...) that produced the response body.
+WORKER_HEADER = "X-Repro-Worker"
 
 _REASONS = {
     200: "OK",
@@ -37,6 +68,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -130,6 +162,72 @@ async def read_request(
         )
     body = await reader.readexactly(length) if length else b""
     return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+async def read_response(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> tuple[int, dict[str, str], bytes]:
+    """Read one HTTP response from ``reader`` (the router's proxy side).
+
+    Returns:
+        ``(status, headers, body)`` with header names lower-cased. The
+        body is read from ``Content-Length`` (every response this stack
+        emits carries one — see :func:`response_bytes`).
+
+    Raises:
+        ProtocolError: on a malformed status line, header, or body
+            length (status 502 — the upstream worker misbehaved).
+    """
+    line = await reader.readline()
+    parts = line.decode("latin-1").split(maxsplit=2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ProtocolError(502, f"malformed status line from worker: {line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise ProtocolError(
+            502, f"malformed status code from worker: {parts[1]!r}"
+        ) from None
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(502, f"malformed header from worker: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise ProtocolError(
+            502,
+            f"invalid Content-Length from worker: "
+            f"{headers['content-length']!r}",
+        ) from None
+    if not 0 <= length <= max_body:
+        raise ProtocolError(
+            502, f"implausible Content-Length from worker: {length}"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+def request_bytes(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    *,
+    headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialize one complete HTTP request (the router forwarding side)."""
+    head = [f"{method} {path} HTTP/1.1"]
+    head.append("Content-Type: application/json")
+    head.append(f"Content-Length: {len(body)}")
+    for name, value in headers:
+        head.append(f"{name}: {value}")
+    head.append("Connection: close")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
 
 
 def response_bytes(

@@ -18,6 +18,7 @@ from repro.api import (
     default_cache_dir,
     run_many,
     spec_key,
+    tier_cache_stats,
 )
 
 
@@ -362,11 +363,48 @@ class TestDiskCacheCaps:
         cache = DiskResultCache(tmp_path, max_entries=2)
         for key, result in pairs[1:]:
             cache.put(key, result)
-        # The stale-fingerprint entry was the oldest; it went first.
-        assert cache.cache_stats()["entries"] == 2
-        assert cache.evictions == 1
-        for key, _ in pairs[1:]:
-            assert cache.get(key) is not None
+        # Tripping the cap prunes to the low watermark, evicting
+        # oldest-first across fingerprints: the stale entry goes before
+        # any current-version entry, and the newest write survives.
+        assert not stale._path(pairs[0][0]).exists()
+        assert cache.cache_stats()["entries"] == 1
+        assert cache.evictions == 2
+        assert cache.get(pairs[2][0]) is not None
+
+    def test_uncapped_cache_never_scans(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        for key, result in self.evaluated(5):
+            cache.put(key, result)
+        assert cache.prune_scans == 0
+
+    def test_capped_puts_amortize_scans(self, tmp_path):
+        """The perf point: N capped puts cost ~N/(cap/8) scans, not N."""
+        _, result = self.evaluated(1)[0]
+        cache = DiskResultCache(tmp_path, max_entries=64)
+        puts = 200
+        for i in range(puts):
+            cache.put(f"{i:016x}" + "0" * 48, result)
+        # One seed scan, then one scan per ~cap/8 puts once at the cap.
+        # The old implementation scanned on every one of the 200 puts.
+        assert 1 <= cache.prune_scans <= 25
+        stats = cache.cache_stats()
+        # Occupancy oscillates between the watermark and the cap.
+        assert 56 <= stats["entries"] <= 64
+
+    def test_counters_resync_with_concurrent_writers(self, tmp_path):
+        """A second writer's entries are picked up at the next scan."""
+        _, result = self.evaluated(1)[0]
+        ours = DiskResultCache(tmp_path, max_entries=8)
+        other = DiskResultCache(tmp_path)  # unbounded co-writer
+        ours.put("a" * 64, result)  # seed scan: counters now exact
+        for i in range(16):
+            other.put(f"{i:016x}" + "b" * 48, result)
+        # Our approximate counters are stale (17 entries on disk)...
+        assert ours._approx_entries == 1
+        # ...but the next tripping put rescans and enforces the cap.
+        for i in range(8):
+            ours.put(f"{i:016x}" + "c" * 48, result)
+        assert ours.cache_stats()["entries"] <= 8
 
     def test_session_sees_capped_cache_transparently(self, tmp_path):
         cache = DiskResultCache(tmp_path, max_entries=2)
@@ -381,3 +419,32 @@ class TestDiskCacheCaps:
             fresh.run(specs[0]).to_json()
             == FabricSession().run(specs[0]).to_json()
         )
+
+
+class TestTierCacheStats:
+    """Rolled-up occupancy across a sharded tier's worker caches."""
+
+    def test_sums_across_worker_roots(self, tmp_path):
+        session = FabricSession()
+        spec = small_spec()
+        key, result = spec_key(spec), session.run(spec)
+        roots = [tmp_path / "worker-0", tmp_path / "worker-1"]
+        DiskResultCache(roots[0]).put(key, result)
+        DiskResultCache(roots[0]).put("f" * 64, result)
+        DiskResultCache(roots[1]).put(key, result)
+        stats = tier_cache_stats(roots)
+        assert stats["workers"] == 2
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert [w["entries"] for w in stats["per_worker"]] == [2, 1]
+        assert stats["per_worker"][0]["root"] == str(roots[0])
+
+    def test_cacheless_workers_counted_but_empty(self, tmp_path):
+        stats = tier_cache_stats([None, tmp_path / "worker-1"])
+        assert stats["workers"] == 2
+        assert stats["entries"] == 0
+        assert stats["per_worker"][0] == {
+            "root": None,
+            "entries": 0,
+            "bytes": 0,
+        }

@@ -1,0 +1,174 @@
+"""Tests for the consistent-hash ring behind the sharded serving tier.
+
+The properties that make :class:`~repro.serve.shard.HashRing` safe to
+route a cache-sharded tier with: placement is a pure function of the key
+bytes (no ``PYTHONHASHSEED``, identical across processes and runs),
+resizing N -> N±1 moves only ~1/N of a randomized key population (and
+*only* onto/off the changed node), load spreads evenly across nodes, and
+the failover order is a stable permutation every router agrees on.
+"""
+
+import os
+import random
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.api import ScenarioSpec, SliceSpec, spec_key
+from repro.serve import HashRing
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def nodes(n):
+    return [f"w{i}" for i in range(n)]
+
+
+def random_keys(count, seed=7):
+    """A randomized key population, shaped like spec keys (hex digests)."""
+    rng = random.Random(seed)
+    return [f"{rng.getrandbits(256):064x}" for _ in range(count)]
+
+
+def spec_keys(count):
+    """Real ``spec_key`` values — the strings the router actually routes."""
+    return [
+        spec_key(
+            ScenarioSpec(
+                fabric="electrical",
+                slices=(SliceSpec("S", (2, 2, 1), (0, 0, 0)),),
+                outputs=("costs",),
+                seed=seed,
+            )
+        )
+        for seed in range(count)
+    ]
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            HashRing(["w0", "w0"])
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing(["w0"], replicas=0)
+
+    def test_nodes_sorted_and_counted(self):
+        ring = HashRing(["w2", "w0", "w1"])
+        assert ring.nodes == ("w0", "w1", "w2")
+        assert len(ring) == 3
+
+    def test_with_nodes_keeps_replicas(self):
+        ring = HashRing(nodes(2), replicas=16)
+        assert ring.with_nodes(nodes(3)).replicas == 16
+
+
+class TestPlacement:
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["w0"])
+        assert all(ring.lookup(k) == "w0" for k in random_keys(50))
+
+    def test_lookup_is_deterministic(self):
+        ring = HashRing(nodes(4))
+        again = HashRing(nodes(4))
+        for key in random_keys(200):
+            assert ring.lookup(key) == again.lookup(key)
+
+    def test_lookup_order_is_stable_permutation(self):
+        ring = HashRing(nodes(4))
+        for key in random_keys(50):
+            order = ring.lookup_order(key)
+            assert sorted(order) == sorted(ring.nodes)
+            assert order[0] == ring.lookup(key)
+            assert order == ring.lookup_order(key)
+
+    def test_balance_within_factor_of_mean(self):
+        keys = random_keys(2000)
+        for n in (2, 3, 4, 8):
+            loads = Counter(HashRing(nodes(n)).lookup(k) for k in keys)
+            mean = len(keys) / n
+            assert len(loads) == n, "some node owns no keys"
+            assert max(loads.values()) <= 1.75 * mean
+            assert min(loads.values()) >= 0.4 * mean
+
+    def test_real_spec_keys_balance(self):
+        keys = spec_keys(200)
+        loads = Counter(HashRing(nodes(4)).lookup(k) for k in keys)
+        assert len(loads) == 4
+        assert max(loads.values()) <= 1.75 * len(keys) / 4
+
+
+class TestReshard:
+    """Growing or shrinking the tier moves ~1/N of the keys, no more."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_adding_a_node_moves_about_1_over_n(self, n):
+        keys = random_keys(2000)
+        ring = HashRing(nodes(n))
+        grown = ring.with_nodes(nodes(n + 1))
+        moved = [k for k in keys if ring.lookup(k) != grown.lookup(k)]
+        # Ideal is K/(N+1); allow 50% slack for ring-arc variance.
+        assert len(moved) <= 1.5 * len(keys) / (n + 1)
+        # Strict consistency: a moved key moved *onto* the new node.
+        assert all(grown.lookup(k) == f"w{n}" for k in moved)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_removing_a_node_moves_only_its_keys(self, n):
+        keys = random_keys(2000)
+        ring = HashRing(nodes(n + 1))
+        shrunk = ring.with_nodes(nodes(n))
+        moved = [k for k in keys if ring.lookup(k) != shrunk.lookup(k)]
+        assert len(moved) <= 1.5 * len(keys) / (n + 1)
+        # Only keys the removed node owned had to move.
+        assert all(ring.lookup(k) == f"w{n}" for k in moved)
+
+    def test_survivor_keys_keep_their_failover_owner(self):
+        """A key's post-removal owner is its pre-removal first failover —
+        the ring walk and the reshard agree, so a failover during a
+        restart warms exactly the cache that would own the key if the
+        node were gone for good."""
+        ring = HashRing(nodes(4))
+        shrunk = ring.with_nodes(nodes(3))
+        for key in random_keys(300):
+            if ring.lookup(key) != "w3":
+                continue
+            order = [n for n in ring.lookup_order(key) if n != "w3"]
+            assert shrunk.lookup(key) == order[0]
+
+
+class TestCrossProcessDeterminism:
+    def test_placement_survives_hash_randomization(self):
+        """Two fresh interpreters with different ``PYTHONHASHSEED`` agree
+        on every placement — the ring is sha256-addressed, not hash()."""
+        keys = random_keys(64)
+        script = (
+            "from repro.serve import HashRing\n"
+            "ring = HashRing(['w0', 'w1', 'w2'])\n"
+            "import sys\n"
+            "for key in sys.argv[1:]:\n"
+            "    print(ring.lookup(key))\n"
+        )
+
+        def placements(hash_seed):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+            return subprocess.run(
+                [sys.executable, "-c", script, *keys],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout.splitlines()
+
+        local = HashRing(["w0", "w1", "w2"])
+        expected = [local.lookup(k) for k in keys]
+        assert placements("0") == expected
+        assert placements("12345") == expected

@@ -156,6 +156,80 @@ class TestAdmission:
         asyncio.run(main())
 
 
+class TestPriorityAdmission:
+    def test_batch_shed_at_watermark_interactive_admitted(self, cheap_result):
+        """``batch`` hits its tighter bound (429) while ``interactive``
+        still has queue headroom at the same instant."""
+
+        async def main():
+            gate = threading.Event()
+            service = EvaluationService(
+                ServerConfig(
+                    jobs=1, max_batch=1, queue_limit=4,
+                    batch_shed_fraction=0.5, no_cache=True,
+                ),
+                evaluate_batch=fake_rows(cheap_result, gate=gate),
+            )
+            assert service.config.batch_queue_limit == 2
+            service.start()
+            futures = [service.submit(cheap_spec(0))]
+            await _poll(lambda: service._queue.qsize() == 0)
+            # Two queued requests: the batch watermark is reached...
+            futures.append(service.submit(cheap_spec(1)))
+            futures.append(service.submit(cheap_spec(2), priority="batch"))
+            with pytest.raises(QueueFull):
+                service.submit(cheap_spec(3), priority="batch")
+            # ...but interactive still gets in.
+            futures.append(service.submit(cheap_spec(3)))
+            gate.set()
+            await asyncio.gather(*futures)
+            await service.drain()
+            snapshot = service.metrics.snapshot()
+            assert snapshot["serve.requests_shed_batch"]["value"] == 1
+            assert snapshot["serve.requests_admitted.batch"]["value"] == 1
+            assert (
+                snapshot["serve.requests_admitted.interactive"]["value"] == 3
+            )
+            assert snapshot["serve.request_seconds.batch"]["count"] == 1
+
+        asyncio.run(main())
+
+    def test_unknown_priority_rejected(self, cheap_result):
+        async def main():
+            service = EvaluationService(
+                ServerConfig(jobs=1, no_cache=True),
+                evaluate_batch=fake_rows(cheap_result),
+            )
+            service.start()
+            with pytest.raises(ValueError):
+                service.submit(cheap_spec(), priority="urgent")
+            await service.drain()
+
+        asyncio.run(main())
+
+    def test_invalid_shed_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ServerConfig(batch_shed_fraction=0.0)
+        with pytest.raises(ValueError):
+            ServerConfig(batch_shed_fraction=1.5)
+
+    def test_priority_header_404s_nothing_else(self, live_client):
+        """Over HTTP: an unknown priority header is a 400 with its own
+        error code; a valid one is accepted."""
+        status, _, body = live_client.evaluate_response(
+            cheap_spec(3), priority="batch"
+        )
+        assert status == 200
+        bad_status, _, bad_body = live_client._request(
+            "POST",
+            "/v1/evaluate",
+            json.dumps(cheap_spec(3).to_dict()).encode(),
+            headers={"X-Repro-Priority": "urgent"},
+        )
+        assert bad_status == 400
+        assert json.loads(bad_body)["error"]["code"] == "bad_priority"
+
+
 class TestBatching:
     def test_concurrent_requests_coalesce(self, cheap_result):
         """Requests queued while the lone session is busy come out as one
