@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Measure fleet-simulator throughput, record to BENCH_fleet.json.
+
+Runs the ISSUE's headline workload — one simulated year of failures and
+repairs at 4096 chips — on both fabrics under every dispatch policy,
+plus a failure-dense stress configuration (10x the failure rate) that
+pushes tens of thousands of events through the engine. Records
+events/sec per run, the availability figures, and asserts the
+photonic-dominates-electrical contract along the way.
+
+Run:  PYTHONPATH=src python scripts/bench_fleet.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.fleet import POLICY_NAMES, FleetConfig, FleetStats, simulate_fleet
+
+YEAR_S = 365.0 * 24.0 * 3600.0
+
+
+def timed(config: FleetConfig, fabric: str, policy: str):
+    start = time.perf_counter()
+    stats = simulate_fleet(config, fabric, policy=policy)
+    return stats, time.perf_counter() - start
+
+
+def row(stats: FleetStats, elapsed: float) -> dict:
+    return {
+        "events": stats.events_processed,
+        "events_per_sec": round(stats.events_processed / max(elapsed, 1e-9)),
+        "wall_s": round(elapsed, 4),
+        "failures": stats.failures,
+        "repairs": stats.repairs,
+        "mean_availability": stats.mean_availability,
+        "lost_chip_hours": round(stats.lost_chip_seconds / 3600.0, 2),
+        "ttr_p99_s": stats.ttr_p99_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    year = FleetConfig(seed=args.seed)
+    stress = FleetConfig(seed=args.seed, mtbf_s=0.5 * YEAR_S)
+
+    runs: dict[str, dict] = {}
+    for label, config in (("year", year), ("stress_10x", stress)):
+        for policy in POLICY_NAMES:
+            pair = {}
+            for fabric in ("electrical", "photonic"):
+                stats, elapsed = timed(config, fabric, policy)
+                pair[fabric] = row(stats, elapsed)
+                print(
+                    f"{label:>10} {policy:>9} {fabric:>10}: "
+                    f"{stats.events_processed:>6} events in {elapsed:.3f} s "
+                    f"({stats.events_processed / max(elapsed, 1e-9):,.0f} "
+                    f"events/sec)",
+                    flush=True,
+                )
+            if (
+                pair["photonic"]["mean_availability"]
+                <= pair["electrical"]["mean_availability"]
+            ):
+                print(
+                    f"ERROR: photonic does not dominate electrical "
+                    f"({label}/{policy})",
+                    file=sys.stderr,
+                )
+                return 1
+            runs[f"{label}.{policy}"] = pair
+
+    total_events = sum(
+        fabric["events"] for pair in runs.values() for fabric in pair.values()
+    )
+    total_wall = sum(
+        fabric["wall_s"] for pair in runs.values() for fabric in pair.values()
+    )
+    payload = {
+        "workload": {
+            "chips": year.chips,
+            "horizon_days": round(year.horizon_s / 86400.0, 1),
+            "mtbf_years_year": round(year.mtbf_s / YEAR_S, 2),
+            "mtbf_years_stress": round(stress.mtbf_s / YEAR_S, 2),
+            "seed": args.seed,
+        },
+        "runs": runs,
+        "aggregate_events_per_sec": round(total_events / max(total_wall, 1e-9)),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpus": os.cpu_count(),
+        },
+    }
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"\nwrote {args.output} "
+          f"({payload['aggregate_events_per_sec']:,} events/sec aggregate)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

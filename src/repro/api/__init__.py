@@ -55,6 +55,9 @@ from .result import (
     CongestionSummary,
     CostReport,
     DeviceReport,
+    FleetPolicyReport,
+    FleetReport,
+    FleetSeriesPoint,
     LinkLoadLine,
     LinkUtilizationReport,
     MetricLine,
@@ -74,6 +77,7 @@ from .spec import (
     KNOWN_OUTPUTS,
     DeviceSpec,
     FailurePlan,
+    FleetPlan,
     ScenarioSpec,
     SliceSpec,
     figure5b_slices,
@@ -87,6 +91,7 @@ __all__ = [
     "ScenarioSpec",
     "SliceSpec",
     "FailurePlan",
+    "FleetPlan",
     "DeviceSpec",
     "KNOWN_OUTPUTS",
     "figure5b_slices",
@@ -139,6 +144,9 @@ __all__ = [
     "AttemptLine",
     "BlastRadiusSummary",
     "PolicyLine",
+    "FleetReport",
+    "FleetPolicyReport",
+    "FleetSeriesPoint",
     "DeviceReport",
     # observability
     "TraceReport",

@@ -34,6 +34,7 @@ from ..core.wafer import LightpathWafer
 from ..failures.blast_radius import compare_policies, improvement_factor
 from ..failures.inject import FleetFailureModel
 from ..failures.recovery import ElectricalRecoveryAnalysis, RackMigrationPolicy
+from ..fleet.simulator import YEAR_S, FleetConfig, FleetStats, simulate_fleet
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer
 from ..phy.constants import CHIP_EGRESS_BYTES
@@ -50,6 +51,9 @@ from .result import (
     CongestionSummary,
     CostReport,
     DeviceReport,
+    FleetPolicyReport,
+    FleetReport,
+    FleetSeriesPoint,
     LinkLoadLine,
     LinkUtilizationReport,
     MetricsReport,
@@ -141,6 +145,12 @@ class FabricBackend(Protocol):
         self, session: "FabricSession", spec: ScenarioSpec
     ) -> BlastRadiusSummary:
         """Fleet-scale recovery-policy comparison (Section 4.2)."""
+        ...
+
+    def fleet_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> FleetReport:
+        """Year-scale fleet reliability simulation (both fabrics)."""
         ...
 
     def trace(
@@ -408,6 +418,74 @@ class _TorusBackendBase:
             rack_policy=line(rack_report),
             optical_policy=line(optical_report),
             improvement_factor=improvement_factor(rack_report, optical_report),
+        )
+
+    # -- fleet reliability simulation ---------------------------------------------
+
+    def fleet_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> FleetReport:
+        """Simulate ``fleet.days`` of fleet life on both fabrics.
+
+        Both runs share the seeded renewal process and dispatch policy,
+        so the availability gap isolates the repair mechanism: rack
+        migration with a concurrency budget versus spare splicing with a
+        per-rack inventory.
+        """
+        plan = spec.fleet
+        if plan.days <= 0:
+            raise UnsupportedOutput('the "fleet" output needs fleet.days > 0')
+        config = FleetConfig(
+            racks=plan.racks,
+            horizon_s=plan.days * 24 * 3600.0,
+            mtbf_s=plan.mtbf_years * YEAR_S,
+            seed=plan.seed,
+            max_concurrent_migrations=plan.max_concurrent_migrations,
+            spare_inventory=plan.spare_inventory,
+            spare_replenish_s=plan.spare_replenish_s,
+            series_points=plan.series_points,
+        )
+
+        def run(fabric: str) -> FleetPolicyReport:
+            stats: FleetStats = simulate_fleet(
+                config,
+                fabric,
+                policy=plan.policy,
+                lazy_threshold=plan.lazy_threshold,
+                batch_interval_s=plan.batch_interval_s,
+            )
+            return FleetPolicyReport(
+                fabric=stats.fabric,
+                failures=stats.failures,
+                repairs=stats.repairs,
+                unrepaired=stats.unrepaired,
+                events_processed=stats.events_processed,
+                mean_availability=stats.mean_availability,
+                min_available_chips=stats.min_available_chips,
+                peak_failed_chips=stats.peak_failed_chips,
+                lost_chip_seconds=stats.lost_chip_seconds,
+                collateral_chip_seconds=stats.collateral_chip_seconds,
+                ttr_p50_s=stats.ttr_p50_s,
+                ttr_p90_s=stats.ttr_p90_s,
+                ttr_p99_s=stats.ttr_p99_s,
+                ttr_max_s=stats.ttr_max_s,
+                series=tuple(
+                    FleetSeriesPoint(
+                        start_s=start,
+                        end_s=end,
+                        mean_available_chips=mean,
+                    )
+                    for start, end, mean in stats.series
+                ),
+            )
+
+        return FleetReport(
+            days=plan.days,
+            chips=config.chips,
+            seed=plan.seed,
+            policy=plan.policy,
+            electrical=run("electrical"),
+            photonic=run("photonic"),
         )
 
     # -- unsupported defaults ------------------------------------------------------
@@ -818,6 +896,14 @@ class SwitchedBackend:
     ) -> BlastRadiusSummary:
         raise UnsupportedOutput(
             "blast-radius policies compare torus recovery strategies"
+        )
+
+    def fleet_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> FleetReport:
+        raise UnsupportedOutput(
+            "the fleet simulation compares torus repair mechanisms; the "
+            "switched fabric models a single server"
         )
 
     def trace(

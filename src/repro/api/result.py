@@ -34,6 +34,9 @@ __all__ = [
     "RepairReport",
     "PolicyLine",
     "BlastRadiusSummary",
+    "FleetSeriesPoint",
+    "FleetPolicyReport",
+    "FleetReport",
     "DeviceReport",
     "TraceReport",
     "MetricLine",
@@ -620,6 +623,178 @@ class BlastRadiusSummary:
 
 
 @dataclass(frozen=True)
+class FleetSeriesPoint:
+    """One bucket of the fleet availability time series.
+
+    Attributes:
+        start_s: bucket start (simulation seconds).
+        end_s: bucket end.
+        mean_available_chips: time-weighted mean capacity in the bucket.
+    """
+
+    start_s: float
+    end_s: float
+    mean_available_chips: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FleetSeriesPoint":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FleetPolicyReport:
+    """One fabric's measured year (or span) of fleet life.
+
+    Attributes:
+        fabric: ``"electrical"`` or ``"photonic"``.
+        failures: chip failures over the span.
+        repairs: failures repaired within the span.
+        unrepaired: chips still failed at the end.
+        events_processed: simulator events executed (determinism anchor).
+        mean_availability: time-averaged fraction of chips in service.
+        min_available_chips: lowest instantaneous capacity.
+        peak_failed_chips: most chips simultaneously failed.
+        lost_chip_seconds: total unavailable chip-seconds.
+        collateral_chip_seconds: the blast-radius share — healthy chips
+            taken out by rack migrations or server stalls (goodput lost
+            to blast radius).
+        ttr_p50_s / ttr_p90_s / ttr_p99_s / ttr_max_s: time-to-repair
+            percentiles, failure to capacity restored.
+        series: availability time series.
+    """
+
+    fabric: str
+    failures: int
+    repairs: int
+    unrepaired: int
+    events_processed: int
+    mean_availability: float
+    min_available_chips: int
+    peak_failed_chips: int
+    lost_chip_seconds: float
+    collateral_chip_seconds: float
+    ttr_p50_s: float
+    ttr_p90_s: float
+    ttr_p99_s: float
+    ttr_max_s: float
+    series: tuple[FleetSeriesPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mean_availability <= 1.0:
+            raise ValueError(
+                f"mean_availability {self.mean_availability} outside [0, 1]"
+            )
+        if self.min_available_chips < 0:
+            raise ValueError("min_available_chips cannot be negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["series"] = [p.to_dict() for p in self.series]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FleetPolicyReport":
+        return cls(
+            fabric=data["fabric"],
+            failures=data["failures"],
+            repairs=data["repairs"],
+            unrepaired=data["unrepaired"],
+            events_processed=data["events_processed"],
+            mean_availability=data["mean_availability"],
+            min_available_chips=data["min_available_chips"],
+            peak_failed_chips=data["peak_failed_chips"],
+            lost_chip_seconds=data["lost_chip_seconds"],
+            collateral_chip_seconds=data["collateral_chip_seconds"],
+            ttr_p50_s=data["ttr_p50_s"],
+            ttr_p90_s=data["ttr_p90_s"],
+            ttr_p99_s=data["ttr_p99_s"],
+            ttr_max_s=data["ttr_max_s"],
+            series=tuple(
+                FleetSeriesPoint.from_dict(p) for p in data["series"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Electrical vs photonic fleet reliability (the ``"fleet"`` output).
+
+    Both fabrics simulate the same seeded failure renewal process under
+    the same dispatch policy; the gap between their availabilities is the
+    year-scale version of the paper's Section 4.2 blast-radius argument.
+
+    Attributes:
+        days: simulated span.
+        chips: fleet size.
+        seed: renewal-process seed.
+        policy: dispatch policy both runs used.
+        electrical: the rack-migration fabric's measured span.
+        photonic: the LIGHTPATH fabric's measured span.
+    """
+
+    days: float
+    chips: int
+    seed: int
+    policy: str
+    electrical: FleetPolicyReport
+    photonic: FleetPolicyReport
+
+    @property
+    def availability_gap(self) -> float:
+        """Photonic minus electrical mean availability."""
+        return (
+            self.photonic.mean_availability
+            - self.electrical.mean_availability
+        )
+
+    @property
+    def downtime_reduction_factor(self) -> float:
+        """Electrical over photonic lost chip-seconds (inf when 0)."""
+        if self.photonic.lost_chip_seconds == 0:
+            return float("inf")
+        return (
+            self.electrical.lost_chip_seconds
+            / self.photonic.lost_chip_seconds
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; inverse of :meth:`from_dict`.
+
+        The derived gap figures are included for human consumption but
+        recomputed — not read back — so the round-trip stays exact
+        (``inf`` would not survive JSON anyway).
+        """
+        return {
+            "days": self.days,
+            "chips": self.chips,
+            "seed": self.seed,
+            "policy": self.policy,
+            "electrical": self.electrical.to_dict(),
+            "photonic": self.photonic.to_dict(),
+            "availability_gap": self.availability_gap,
+            "downtime_reduction_factor": (
+                None
+                if self.downtime_reduction_factor == float("inf")
+                else self.downtime_reduction_factor
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FleetReport":
+        return cls(
+            days=data["days"],
+            chips=data["chips"],
+            seed=data["seed"],
+            policy=data["policy"],
+            electrical=FleetPolicyReport.from_dict(data["electrical"]),
+            photonic=FleetPolicyReport.from_dict(data["photonic"]),
+        )
+
+
+@dataclass(frozen=True)
 class DeviceReport:
     """Physical-layer device characterization (Figures 3a/3b)."""
 
@@ -843,14 +1018,16 @@ class RunResult:
     device: DeviceReport | None = None
     trace: TraceReport | None = None
     metrics: MetricsReport | None = None
+    fleet: FleetReport | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation; inverse of :meth:`from_dict`.
 
-        The observability sections (``trace``, ``metrics``) are emitted
-        only when present: results that never requested them serialize
-        to the exact bytes they did before those sections existed, which
-        keeps the golden files (and every archived result) stable.
+        The newer sections (``trace``, ``metrics``, ``fleet``) are
+        emitted only when present: results that never requested them
+        serialize to the exact bytes they did before those sections
+        existed, which keeps the golden files (and every archived
+        result) stable.
         """
         data = {
             "spec": self.spec.to_dict(),
@@ -883,6 +1060,8 @@ class RunResult:
             data["trace"] = self.trace.to_dict()
         if self.metrics is not None:
             data["metrics"] = self.metrics.to_dict()
+        if self.fleet is not None:
+            data["fleet"] = self.fleet.to_dict()
         return data
 
     @classmethod
@@ -941,6 +1120,11 @@ class RunResult:
             metrics=(
                 MetricsReport.from_dict(data["metrics"])
                 if data.get("metrics")
+                else None
+            ),
+            fleet=(
+                FleetReport.from_dict(data["fleet"])
+                if data.get("fleet")
                 else None
             ),
         )

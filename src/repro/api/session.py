@@ -204,6 +204,7 @@ class FabricSession:
             "device": "device_report",
             "trace": "trace",
             "metrics": "metrics",
+            "fleet": "fleet_report",
         }
         started = time.perf_counter()
         kernel_before = (

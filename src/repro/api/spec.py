@@ -19,6 +19,7 @@ from typing import Any
 __all__ = [
     "SliceSpec",
     "FailurePlan",
+    "FleetPlan",
     "DeviceSpec",
     "ScenarioSpec",
     "KNOWN_OUTPUTS",
@@ -41,6 +42,7 @@ KNOWN_OUTPUTS = (
     "device",
     "trace",
     "metrics",
+    "fleet",
 )
 
 _MODES = ("closed_form", "sim")
@@ -129,6 +131,101 @@ class FailurePlan:
 
 
 @dataclass(frozen=True)
+class FleetPlan:
+    """Year-scale fleet reliability simulation (the ``"fleet"`` output).
+
+    Parameterizes :mod:`repro.fleet`: a renewal failure process over the
+    full cluster with budgeted repairs, run once per fabric so the
+    report can compare electrical and photonic availability.
+
+    Attributes:
+        days: simulated span; the ``"fleet"`` output requires it
+            positive (the backend refuses a zero-length simulation).
+        seed: base RNG seed of the renewal process.
+        policy: repair-dispatch policy (``"immediate"``, ``"lazy"``,
+            ``"batched"``).
+        lazy_threshold: pending failures that trigger a lazy dispatch.
+        batch_interval_s: cadence of the batched policy.
+        max_concurrent_migrations: electrical repair-bandwidth budget.
+        spare_inventory: spare chips stocked per rack (photonic budget).
+        spare_replenish_s: time to restock one consumed spare.
+        mtbf_years: per-chip mean time between failures.
+        racks: racks in the simulated cluster.
+        series_points: buckets in the availability time series.
+    """
+
+    days: float = 0.0
+    seed: int = 0
+    policy: str = "immediate"
+    lazy_threshold: int = 4
+    batch_interval_s: float = 21600.0
+    max_concurrent_migrations: int = 4
+    spare_inventory: int = 8
+    spare_replenish_s: float = 86400.0
+    mtbf_years: float = 5.0
+    racks: int = 64
+    series_points: int = 48
+
+    def __post_init__(self) -> None:
+        if self.days < 0:
+            raise ValueError("days cannot be negative")
+        if self.seed < 0:
+            raise ValueError("seed cannot be negative")
+        if self.policy not in ("immediate", "lazy", "batched"):
+            raise ValueError(
+                f"unknown fleet policy {self.policy!r}; "
+                'choose "immediate", "lazy" or "batched"'
+            )
+        if self.lazy_threshold < 1:
+            raise ValueError("lazy_threshold must be at least 1")
+        if self.batch_interval_s <= 0:
+            raise ValueError("batch_interval_s must be positive")
+        if self.max_concurrent_migrations < 1:
+            raise ValueError("max_concurrent_migrations must be at least 1")
+        if self.spare_inventory < 0:
+            raise ValueError("spare_inventory cannot be negative")
+        if self.spare_replenish_s <= 0:
+            raise ValueError("spare_replenish_s must be positive")
+        if self.mtbf_years <= 0:
+            raise ValueError("mtbf_years must be positive")
+        if self.racks < 1:
+            raise ValueError("racks must be at least 1")
+        if self.series_points < 1:
+            raise ValueError("series_points must be at least 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "days": self.days,
+            "seed": self.seed,
+            "policy": self.policy,
+            "lazy_threshold": self.lazy_threshold,
+            "batch_interval_s": self.batch_interval_s,
+            "max_concurrent_migrations": self.max_concurrent_migrations,
+            "spare_inventory": self.spare_inventory,
+            "spare_replenish_s": self.spare_replenish_s,
+            "mtbf_years": self.mtbf_years,
+            "racks": self.racks,
+            "series_points": self.series_points,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FleetPlan":
+        return cls(
+            days=data.get("days", 0.0),
+            seed=data.get("seed", 0),
+            policy=data.get("policy", "immediate"),
+            lazy_threshold=data.get("lazy_threshold", 4),
+            batch_interval_s=data.get("batch_interval_s", 21600.0),
+            max_concurrent_migrations=data.get("max_concurrent_migrations", 4),
+            spare_inventory=data.get("spare_inventory", 8),
+            spare_replenish_s=data.get("spare_replenish_s", 86400.0),
+            mtbf_years=data.get("mtbf_years", 5.0),
+            racks=data.get("racks", 64),
+            series_points=data.get("series_points", 48),
+        )
+
+
+@dataclass(frozen=True)
 class DeviceSpec:
     """Sampling parameters for the physical-layer device reports.
 
@@ -164,6 +261,7 @@ class ScenarioSpec:
         outputs: result sections to compute (subset of
             :data:`KNOWN_OUTPUTS`).
         failures: the failure plan, when repair/blast-radius is requested.
+        fleet: the fleet-simulation plan, when ``"fleet"`` is requested.
         device: device-model sampling parameters for ``"device"``.
         seed: RNG seed for seeded device models.
     """
@@ -176,6 +274,7 @@ class ScenarioSpec:
     mode: str = "closed_form"
     outputs: tuple[str, ...] = ("costs",)
     failures: FailurePlan = field(default_factory=FailurePlan)
+    fleet: FleetPlan = field(default_factory=FleetPlan)
     device: DeviceSpec = field(default_factory=DeviceSpec)
     seed: int = 42
 
@@ -238,7 +337,7 @@ class ScenarioSpec:
         """
         failures = self.failures
         device = self.device
-        return {
+        data = {
             "fabric": self.fabric,
             "rack_shape": list(self.rack_shape),
             "slices": [
@@ -272,6 +371,12 @@ class ScenarioSpec:
             },
             "seed": self.seed,
         }
+        # Emitted only when configured: default-fleet specs keep the
+        # exact serialization bytes (and spec keys, and golden files)
+        # they had before the fleet section existed.
+        if self.fleet != FleetPlan():
+            data["fleet"] = self.fleet.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
@@ -284,6 +389,7 @@ class ScenarioSpec:
             mode=data.get("mode", "closed_form"),
             outputs=tuple(data.get("outputs", ("costs",))),
             failures=FailurePlan.from_dict(data.get("failures", {})),
+            fleet=FleetPlan.from_dict(data.get("fleet", {})),
             device=DeviceSpec.from_dict(data.get("device", {})),
             seed=data.get("seed", 42),
         )

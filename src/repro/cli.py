@@ -11,6 +11,7 @@ Usage::
     python -m repro figure6a              # electrical replacement attempts
     python -m repro figure7               # optical repair plan
     python -m repro blast-radius [--days 90]
+    python -m repro fleet [--days 365] [--policy immediate] [--json PATH]
     python -m repro congestion            # cross-tenant link sharing
     python -m repro simulate [--fabric photonic] [--telemetry] [--metrics PATH]
     python -m repro sweep [--jobs 4] [--no-cache] [--cache-dir DIR] [--telemetry]
@@ -215,6 +216,54 @@ def _cmd_blast_radius(args: argparse.Namespace) -> int:
         title=f"Section 4.2 — blast radius over {args.days} days",
     ))
     print(f"\nimprovement: {result.blast_radius.improvement_factor:.0f}x")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """A year (or ``--days``) of fleet life, electrical vs photonic."""
+    result = api.run(api.ScenarioSpec(
+        fabric="photonic",
+        outputs=("fleet",),
+        fleet=api.FleetPlan(
+            days=args.days,
+            seed=args.seed,
+            policy=args.policy,
+            max_concurrent_migrations=args.migrations,
+            spare_inventory=args.spares,
+        ),
+    ))
+    if args.json:
+        _write_json(args.json, result.to_dict())
+        return 0
+    report = result.fleet
+    electrical, photonic = report.electrical, report.photonic
+
+    def row(metric: str, fmt) -> list[str]:
+        return [metric, fmt(electrical), fmt(photonic)]
+
+    print(render_table(
+        ["metric", "electrical", "photonic"],
+        [
+            row("failures", lambda r: str(r.failures)),
+            row("repairs", lambda r: str(r.repairs)),
+            row("mean availability",
+                lambda r: f"{r.mean_availability:.9f}"),
+            row("min available chips",
+                lambda r: str(r.min_available_chips)),
+            row("lost chip-hours",
+                lambda r: f"{r.lost_chip_seconds / 3600:.1f}"),
+            row("blast-radius chip-hours",
+                lambda r: f"{r.collateral_chip_seconds / 3600:.1f}"),
+            row("TTR p50", lambda r: f"{r.ttr_p50_s:.3g} s"),
+            row("TTR p99", lambda r: f"{r.ttr_p99_s:.3g} s"),
+        ],
+        title=(f"Fleet reliability — {report.days:g} days, "
+               f"{report.chips} chips, {report.policy} dispatch"),
+    ))
+    reduction = report.downtime_reduction_factor
+    print(f"\navailability gap: {report.availability_gap:.3e}  "
+          f"downtime reduction: "
+          f"{'inf' if reduction == float('inf') else f'{reduction:.0f}x'}")
     return 0
 
 
@@ -661,6 +710,32 @@ def build_parser() -> argparse.ArgumentParser:
     pbr.add_argument("--days", type=int, default=90)
     pbr.add_argument("--seed", type=int, default=2024)
 
+    pfl = sub.add_parser(
+        "fleet",
+        help="year-scale fleet reliability simulation, electrical vs "
+        "photonic",
+    )
+    pfl.add_argument("--days", type=float, default=365.0)
+    pfl.add_argument("--seed", type=int, default=0)
+    pfl.add_argument(
+        "--policy", choices=("immediate", "lazy", "batched"),
+        default="immediate",
+        help="repair-dispatch policy (default: immediate)",
+    )
+    pfl.add_argument(
+        "--migrations", type=int, default=4, metavar="K",
+        help="concurrent rack migrations allowed (electrical budget)",
+    )
+    pfl.add_argument(
+        "--spares", type=int, default=8, metavar="N",
+        help="spare chips stocked per rack (photonic budget)",
+    )
+    pfl.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full result as deterministic JSON to PATH "
+        "('-' = stdout) instead of the table",
+    )
+
     pcg = sub.add_parser("congestion", help="cross-tenant link sharing")
     pcg.add_argument("--fabric", default="electrical")
 
@@ -851,6 +926,7 @@ _HANDLERS = {
     "figure7": _cmd_figure7,
     "blast-radius": _cmd_blast_radius,
     "congestion": _cmd_congestion,
+    "fleet": _cmd_fleet,
     "serve": _cmd_serve,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,

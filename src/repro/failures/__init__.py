@@ -7,13 +7,19 @@ quantify how much smaller the blast radius becomes with optical repair.
 """
 
 from .availability import AvailabilityPoint, AvailabilityReport, replay_trace
+from .occupancy import UnitOccupancy, merge_windows
 from .blast_radius import (
     BlastRadiusReport,
     OpticalRepairPolicy,
     compare_policies,
     improvement_factor,
 )
-from .inject import FailureEvent, FleetFailureModel, single_failure
+from .inject import (
+    FailureEvent,
+    FleetFailureModel,
+    InvalidChipError,
+    single_failure,
+)
 from .recovery import (
     ElectricalRecoveryAnalysis,
     RackMigrationPolicy,
@@ -25,6 +31,9 @@ __all__ = [
     "AvailabilityPoint",
     "AvailabilityReport",
     "replay_trace",
+    "UnitOccupancy",
+    "merge_windows",
+    "InvalidChipError",
     "BlastRadiusReport",
     "OpticalRepairPolicy",
     "compare_policies",

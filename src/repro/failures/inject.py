@@ -15,7 +15,11 @@ import numpy as np
 from ..topology.torus import Coordinate
 from ..topology.tpu import GlobalChipId, TpuCluster
 
-__all__ = ["FailureEvent", "FleetFailureModel"]
+__all__ = ["FailureEvent", "FleetFailureModel", "InvalidChipError", "single_failure"]
+
+
+class InvalidChipError(ValueError):
+    """A failure names a chip coordinate outside its rack's torus."""
 
 
 @dataclass(frozen=True, order=True)
@@ -90,6 +94,18 @@ class FleetFailureModel:
 def single_failure(
     cluster: TpuCluster, rack: int, chip: Coordinate, time_s: float = 0.0
 ) -> FailureEvent:
-    """A deterministic single-chip failure (the Figure 6/7 scenarios)."""
-    cluster.rack(rack)  # validates the index
+    """A deterministic single-chip failure (the Figure 6/7 scenarios).
+
+    Raises:
+        IndexError: for a rack index outside the cluster.
+        InvalidChipError: for a chip coordinate outside the rack torus —
+            caught at construction rather than exploding later in
+            :meth:`FleetFailureModel.inject`.
+    """
+    target = cluster.rack(rack)  # validates the index
+    chip = tuple(chip)
+    if not target.torus.contains(chip):
+        raise InvalidChipError(
+            f"chip {chip} is outside rack {rack}'s torus {target.shape}"
+        )
     return FailureEvent(time_s=time_s, chip=GlobalChipId(rack=rack, coord=chip))

@@ -1,0 +1,87 @@
+"""Set-based outage occupancy for one blast unit.
+
+The availability replay charges every failure a *blast unit* — the whole
+rack under rack migration, the failed chip's server under optical repair.
+Summing per-event capacity deltas double-subtracts when two failures of
+the same unit overlap in time (the unit is only out once), so occupancy
+is tracked here as an interval set per unit instead: merged outage
+windows, plus the permanently-dead chips that remain after each window
+drains. :mod:`repro.failures.availability` sweeps these unit occupancies
+to build the cluster timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["merge_windows", "UnitOccupancy"]
+
+
+def merge_windows(
+    windows: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Union of half-open ``[start, end)`` windows, merged and sorted.
+
+    Touching windows (one ends exactly where the next starts) merge: the
+    unit never comes back in between.
+    """
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass
+class UnitOccupancy:
+    """Unavailable-chip step function of one blast unit.
+
+    Each outage takes the whole unit (``blast_chips``) out for its
+    window; overlapping windows merge rather than stack. Once every
+    window covering a chip's recovery has drained, that chip contributes
+    ``permanent_chips`` forever (each distinct chip at most once), capped
+    at the unit size — a unit cannot lose more chips than it has.
+
+    Attributes:
+        blast_chips: chips the unit loses while any outage is active
+            (also the unit's capacity).
+        permanent_chips: chips each distinct failed chip leaves
+            permanently out after its outage window.
+    """
+
+    blast_chips: int
+    permanent_chips: int
+    _windows: list[tuple[float, float]] = field(default_factory=list)
+    _recoveries: dict[Hashable, float] = field(default_factory=dict)
+
+    def add_outage(self, chip: Hashable, start_s: float, end_s: float) -> None:
+        """Record ``chip`` failing at ``start_s``, recovering at ``end_s``."""
+        self._windows.append((start_s, end_s))
+        first = self._recoveries.get(chip)
+        if first is None or end_s < first:
+            self._recoveries[chip] = end_s
+
+    def transitions(self) -> list[tuple[float, int]]:
+        """``(time, unavailable_chips)`` steps, time-ordered.
+
+        The function is 0 before the first window; ``blast_chips``
+        inside every merged window; and between/after windows the capped
+        permanent loss of the chips recovered so far. Recoveries strictly
+        inside a window produce no step — they are masked by the outage.
+        """
+        recoveries = sorted(self._recoveries.values())
+        steps: list[tuple[float, int]] = []
+        recovered = 0
+        for start, end in merge_windows(self._windows):
+            steps.append((start, self.blast_chips))
+            while recovered < len(recoveries) and recoveries[recovered] <= end:
+                recovered += 1
+            permanent = min(
+                self.blast_chips, self.permanent_chips * recovered
+            )
+            steps.append((end, permanent))
+        return steps

@@ -82,8 +82,8 @@ class EventEngine:
 
     @property
     def pending(self) -> int:
-        """Events still queued (including cancelled ones not yet popped)."""
-        return len(self._queue)
+        """Live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
 
     def next_event_time(self) -> float | None:
         """Fire time of the next live event, or None when none remain.
@@ -101,17 +101,27 @@ class EventEngine:
         return self._processed
 
     def step(self) -> bool:
-        """Run the next event; returns False when the queue is empty."""
+        """Run the next event; returns False when the queue is empty.
+
+        The runaway bound is checked *before* the event is popped, so
+        hitting it never consumes (and silently drops) the offending
+        event — the queue is left intact for inspection.
+
+        Raises:
+            SimulationError: when running the next event would exceed
+                the engine's ``max_events`` bound.
+        """
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+            if self._queue[0].cancelled:
+                heapq.heappop(self._queue)
                 continue
-            self.now_s = event.time_s
-            self._processed += 1
-            if self._processed > self._max_events:
+            if self._processed >= self._max_events:
                 raise SimulationError(
                     f"exceeded {self._max_events} events; runaway simulation?"
                 )
+            event = heapq.heappop(self._queue)
+            self.now_s = event.time_s
+            self._processed += 1
             event.action()
             return True
         return False

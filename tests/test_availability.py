@@ -70,3 +70,66 @@ class TestReplay:
             replay_trace([], 0, 10.0)
         with pytest.raises(ValueError):
             replay_trace([], 10, 0.0)
+
+
+class TestOverlapAccounting:
+    """Same-blast-unit overlaps must not double-count the unit's chips.
+
+    The pre-fix replay summed per-event capacity deltas, so two failures
+    in the same rack inside one migration window took 128 chips out of a
+    64-chip rack. The interval-set accounting caps each unit at its
+    blast size.
+    """
+
+    def test_same_rack_failures_inside_one_window(self):
+        # Both failures hit rack 0 within the ~600 s migration window:
+        # the rack is out once, not twice.
+        events = [event(HOUR), event(HOUR + 100.0, coord=(1, 0, 0))]
+        rack_report, _ = replay_trace(events, 4096, 24 * HOUR)
+        lowest = min(p.available_chips for p in rack_report.timeline)
+        assert lowest == 4096 - 64
+
+    def test_same_server_optical_overlap(self):
+        # (0,0,0) and (1,0,0) share a 2x2x1 server: one stall, 4 chips.
+        events = [event(HOUR), event(HOUR + 1e-6, coord=(1, 0, 0))]
+        _, optical_report = replay_trace(events, 4096, 24 * HOUR)
+        lowest = min(p.available_chips for p in optical_report.timeline)
+        assert lowest == 4096 - 4
+
+    def test_permanent_loss_capped_at_blast_size(self):
+        # Every chip of rack 0's server (0,0,0) fails; after the outage
+        # windows close the permanent loss cannot exceed the unit size.
+        events = [
+            event(HOUR, coord=(0, 0, 0)),
+            event(HOUR + 1.0, coord=(1, 0, 0)),
+            event(HOUR + 2.0, coord=(0, 1, 0)),
+            event(HOUR + 3.0, coord=(1, 1, 0)),
+        ]
+        _, optical_report = replay_trace(events, 4096, 24 * HOUR)
+        final = optical_report.timeline[-1]
+        assert final.available_chips == 4096 - 4
+        for point in optical_report.timeline:
+            assert 0 <= point.available_chips <= 4096
+
+    def test_report_constructor_rejects_invariant_violations(self):
+        from repro.failures.availability import (
+            AvailabilityPoint,
+            AvailabilityReport,
+        )
+
+        with pytest.raises(ValueError):
+            AvailabilityReport(
+                policy="x",
+                total_chips=64,
+                horizon_s=10.0,
+                timeline=(AvailabilityPoint(0.0, 10.0, -1),),
+                lost_chip_seconds=0.0,
+            )
+        with pytest.raises(ValueError):
+            AvailabilityReport(
+                policy="x",
+                total_chips=64,
+                horizon_s=10.0,
+                timeline=(AvailabilityPoint(0.0, 10.0, 64),),
+                lost_chip_seconds=-5.0,
+            )

@@ -93,3 +93,57 @@ class TestExecution:
         engine.schedule_at(1.0, lambda: engine.schedule_at(2.0, lambda: fired.append(2)))
         engine.run()
         assert fired == [2]
+
+
+class TestRunawayBound:
+    """The bound is checked before the pop: the offending event is never
+    silently consumed, and exactly ``max_events`` events run."""
+
+    def test_exactly_max_events_allowed(self):
+        engine = EventEngine(max_events=3)
+        fired = []
+        for i in range(3):
+            engine.schedule_at(float(i), lambda i=i: fired.append(i))
+        engine.run()
+        assert fired == [0, 1, 2]
+
+    def test_overflow_event_not_consumed(self):
+        engine = EventEngine(max_events=2)
+        fired = []
+        for i in range(3):
+            engine.schedule_at(float(i), lambda i=i: fired.append(i))
+        with pytest.raises(SimulationError):
+            engine.run()
+        # The first two ran; the third is still queued, not dropped.
+        assert fired == [0, 1]
+        assert engine.pending == 1
+        assert engine.next_event_time() == 2.0
+
+    def test_clock_not_advanced_past_refused_event(self):
+        engine = EventEngine(max_events=1)
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.run()
+        assert engine.now_s == 1.0
+
+
+class TestPendingCount:
+    def test_pending_excludes_cancelled(self):
+        engine = EventEngine()
+        live = engine.schedule_at(1.0, lambda: None)
+        doomed = engine.schedule_at(2.0, lambda: None)
+        assert engine.pending == 2
+        doomed.cancel()
+        assert engine.pending == 1
+        live.cancel()
+        assert engine.pending == 0
+
+    def test_cancelled_events_do_not_consume_budget(self):
+        engine = EventEngine(max_events=2)
+        for _ in range(5):
+            engine.schedule_at(1.0, lambda: None).cancel()
+        engine.schedule_at(2.0, lambda: None)
+        engine.schedule_at(3.0, lambda: None)
+        engine.run()
+        assert engine.processed == 2

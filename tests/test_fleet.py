@@ -1,0 +1,326 @@
+"""Tests for repro.fleet: renewal process, policies, simulator, API."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    FleetPlan,
+    RunResult,
+    ScenarioSpec,
+    UnsupportedOutput,
+    run,
+)
+from repro.cli import main
+from repro.fleet import (
+    BatchedPolicy,
+    FleetConfig,
+    FleetSimulator,
+    ImmediatePolicy,
+    LazyThresholdPolicy,
+    RenewalFailureProcess,
+    make_policy,
+    simulate_fleet,
+)
+from repro.sim.engine import EventEngine, SimulationError
+
+YEAR_S = 365.0 * 24.0 * 3600.0
+
+# Small, failure-dense config: exercises queues and budgets in
+# milliseconds of wall clock.
+DENSE = FleetConfig(
+    racks=2,
+    chips_per_rack=8,
+    chips_per_server=2,
+    horizon_s=30 * 24 * 3600.0,
+    mtbf_s=10 * 24 * 3600.0,
+    seed=3,
+)
+
+
+class TestRenewalProcess:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RenewalFailureProcess(0, mtbf_s=1.0)
+        with pytest.raises(ValueError):
+            RenewalFailureProcess(4, mtbf_s=0.0)
+        with pytest.raises(IndexError):
+            RenewalFailureProcess(4, mtbf_s=1.0).next_delay_s(4)
+
+    def test_draws_are_positive(self):
+        process = RenewalFailureProcess(8, mtbf_s=1e5, seed=1)
+        for chip in range(8):
+            assert process.next_delay_s(chip) > 0
+
+
+class TestPolicies:
+    def test_factory(self):
+        assert make_policy("immediate").name == "immediate"
+        assert make_policy("lazy", lazy_threshold=2).threshold == 2
+        assert make_policy("batched", batch_interval_s=5.0).interval_s == 5.0
+        with pytest.raises(ValueError):
+            make_policy("bogus")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LazyThresholdPolicy(0)
+        with pytest.raises(ValueError):
+            BatchedPolicy(0.0)
+
+    def test_immediate_dispatches_at_once(self):
+        dispatched = []
+        policy = ImmediatePolicy()
+        policy.start(EventEngine(), dispatched.append)
+        policy.on_failure(7)
+        assert dispatched == [7]
+        assert policy.held == 0
+
+    def test_lazy_holds_until_threshold(self):
+        dispatched = []
+        policy = LazyThresholdPolicy(3)
+        policy.start(EventEngine(), dispatched.append)
+        policy.on_failure(1)
+        policy.on_failure(2)
+        assert dispatched == [] and policy.held == 2
+        policy.on_failure(3)
+        assert dispatched == [1, 2, 3] and policy.held == 0
+
+    def test_batched_flushes_on_cadence(self):
+        engine = EventEngine()
+        dispatched = []
+        policy = BatchedPolicy(10.0)
+        policy.start(engine, dispatched.append)
+        engine.schedule_at(1.0, lambda: policy.on_failure(5))
+        engine.run(until_s=9.0)
+        assert dispatched == [] and policy.held == 1
+        engine.run(until_s=11.0)
+        assert dispatched == [5] and policy.held == 0
+
+
+class TestFleetConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(racks=0)
+        with pytest.raises(ValueError):
+            FleetConfig(chips_per_server=100, chips_per_rack=64)
+        with pytest.raises(ValueError):
+            FleetConfig(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            FleetConfig(max_concurrent_migrations=0)
+        with pytest.raises(ValueError):
+            FleetConfig(spare_inventory=-1)
+        with pytest.raises(ValueError):
+            FleetConfig(series_points=0)
+
+    def test_chips(self):
+        assert FleetConfig().chips == 4096
+        assert DENSE.chips == 16
+
+
+class TestSimulator:
+    def test_rejects_unknown_fabric(self):
+        with pytest.raises(ValueError):
+            FleetSimulator(DENSE, "quantum")
+
+    def test_runs_once(self):
+        simulator = FleetSimulator(DENSE, "photonic")
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    @pytest.mark.parametrize("fabric", ["electrical", "photonic"])
+    @pytest.mark.parametrize("policy", ["immediate", "lazy", "batched"])
+    def test_invariants_under_every_policy(self, fabric, policy):
+        stats = simulate_fleet(DENSE, fabric, policy=policy)
+        assert 0.0 <= stats.mean_availability <= 1.0
+        assert 0 <= stats.min_available_chips <= DENSE.chips
+        assert stats.repairs + stats.unrepaired == stats.failures
+        assert stats.lost_chip_seconds >= stats.collateral_chip_seconds >= 0
+        assert stats.ttr_p50_s <= stats.ttr_p90_s <= stats.ttr_max_s
+        assert len(stats.series) == DENSE.series_points
+        for start, end, mean in stats.series:
+            assert 0.0 <= mean <= DENSE.chips
+            assert end > start
+
+    @pytest.mark.parametrize("fabric", ["electrical", "photonic"])
+    def test_deterministic_per_seed(self, fabric):
+        assert simulate_fleet(DENSE, fabric) == simulate_fleet(DENSE, fabric)
+
+    def test_different_seeds_diverge(self):
+        other = FleetConfig(**{**DENSE.__dict__, "seed": 4})
+        assert simulate_fleet(DENSE, "electrical") != simulate_fleet(
+            other, "electrical"
+        )
+
+    def test_photonic_strictly_dominates_electrical(self):
+        config = FleetConfig(seed=7)
+        electrical = simulate_fleet(config, "electrical")
+        photonic = simulate_fleet(config, "photonic")
+        assert photonic.mean_availability > electrical.mean_availability
+        assert photonic.lost_chip_seconds < electrical.lost_chip_seconds
+        assert photonic.ttr_p50_s < electrical.ttr_p50_s
+
+    def test_migration_budget_serializes_repairs(self):
+        # One migration slot: a rack failing while the other rack's
+        # migration is active queues behind it, so the worst repair
+        # strictly exceeds a single migration window.
+        generous = FleetConfig(**{**DENSE.__dict__, "mtbf_s": 86400.0})
+        starved = FleetConfig(
+            **{**generous.__dict__, "max_concurrent_migrations": 1}
+        )
+        wide = simulate_fleet(generous, "electrical")
+        narrow = simulate_fleet(starved, "electrical")
+        assert narrow.ttr_max_s >= wide.ttr_max_s
+        assert narrow.ttr_max_s > generous.migration_s
+
+    def test_zero_spares_block_photonic_repair(self):
+        config = FleetConfig(**{**DENSE.__dict__, "spare_inventory": 0})
+        stats = simulate_fleet(config, "photonic")
+        assert stats.failures > 0
+        assert stats.repairs == 0
+        assert stats.unrepaired == stats.failures
+        assert stats.ttr_max_s == 0.0
+
+    def test_spare_exhaustion_queues_until_replenish(self):
+        # One spare per rack, fast replenish: bursts wait on inventory,
+        # so some repair takes at least a replenish cycle.
+        config = FleetConfig(
+            **{
+                **DENSE.__dict__,
+                "mtbf_s": 86400.0,
+                "spare_inventory": 1,
+                "spare_replenish_s": 3600.0,
+            }
+        )
+        stats = simulate_fleet(config, "photonic")
+        assert stats.repairs > 0
+        assert stats.ttr_max_s >= 3600.0
+
+    def test_electrical_migration_repairs_whole_rack(self):
+        # Lazy dispatch batches same-rack failures into one migration:
+        # repairs still equal failures afterwards.
+        stats = simulate_fleet(DENSE, "electrical", policy="lazy",
+                               lazy_threshold=2)
+        assert stats.repairs + stats.unrepaired == stats.failures
+
+    def test_events_processed_is_deterministic(self):
+        a = simulate_fleet(DENSE, "electrical")
+        b = simulate_fleet(DENSE, "electrical")
+        assert a.events_processed == b.events_processed > 0
+
+
+class TestFleetPlanSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetPlan(days=-1.0)
+        with pytest.raises(ValueError):
+            FleetPlan(policy="bogus")
+        with pytest.raises(ValueError):
+            FleetPlan(max_concurrent_migrations=0)
+        with pytest.raises(ValueError):
+            FleetPlan(mtbf_years=0.0)
+
+    def test_round_trip(self):
+        plan = FleetPlan(days=90.0, seed=5, policy="lazy", spare_inventory=2)
+        assert FleetPlan.from_dict(plan.to_dict()) == plan
+
+    def test_default_plan_keeps_spec_bytes(self):
+        # Pre-fleet specs must serialize to the exact same bytes, so
+        # cache keys, goldens and archived results stay valid.
+        spec = ScenarioSpec()
+        data = spec.to_dict()
+        assert "fleet" not in data
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_configured_plan_round_trips(self):
+        spec = ScenarioSpec(
+            outputs=("fleet",), fleet=FleetPlan(days=30.0, seed=9)
+        )
+        data = spec.to_dict()
+        assert data["fleet"]["days"] == 30.0
+        assert ScenarioSpec.from_dict(data) == spec
+
+
+class TestFleetOutput:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(ScenarioSpec(
+            fabric="photonic",
+            outputs=("fleet",),
+            fleet=FleetPlan(days=30.0, seed=11),
+        ))
+
+    def test_photonic_dominates(self, result):
+        report = result.fleet
+        assert report.chips == 4096
+        assert 0.0 <= report.electrical.mean_availability <= 1.0
+        assert 0.0 <= report.photonic.mean_availability <= 1.0
+        assert (
+            report.photonic.mean_availability
+            > report.electrical.mean_availability
+        )
+        assert report.availability_gap > 0
+
+    def test_json_round_trip(self, result):
+        blob = result.to_json(indent=2, sort_keys=True)
+        restored = RunResult.from_json(blob)
+        assert restored == result
+        assert restored.to_json(indent=2, sort_keys=True) == blob
+
+    def test_derived_gap_matches_sections(self, result):
+        data = result.to_dict()["fleet"]
+        assert data["availability_gap"] == pytest.approx(
+            data["photonic"]["mean_availability"]
+            - data["electrical"]["mean_availability"]
+        )
+
+    def test_zero_days_refused(self):
+        with pytest.raises(UnsupportedOutput):
+            run(ScenarioSpec(fabric="photonic", outputs=("fleet",)))
+
+    def test_switched_fabric_refused(self):
+        with pytest.raises(UnsupportedOutput):
+            run(ScenarioSpec(
+                fabric="switched",
+                outputs=("fleet",),
+                fleet=FleetPlan(days=30.0),
+            ))
+
+    def test_session_caches_fleet_runs(self, result):
+        from repro.api import FabricSession
+
+        session = FabricSession()
+        spec = ScenarioSpec(
+            fabric="photonic",
+            outputs=("fleet",),
+            fleet=FleetPlan(days=30.0, seed=11),
+        )
+        first = session.run(spec)
+        second = session.run(spec)
+        assert first == second
+        assert session.runs_executed == 1
+
+
+class TestFleetCli:
+    def test_table_output(self, capsys):
+        assert main(["fleet", "--days", "30", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet reliability" in out
+        assert "electrical" in out and "photonic" in out
+
+    def test_json_matches_golden(self, capsys, tmp_path):
+        from pathlib import Path
+
+        golden = Path(__file__).parent / "golden" / "fleet.json"
+        assert main(["fleet", "--json", "-"]) == 0
+        assert capsys.readouterr().out == golden.read_text()
+
+    def test_json_is_loadable(self, capsys):
+        assert main(["fleet", "--days", "7", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        restored = RunResult.from_dict(payload)
+        assert restored.fleet.days == 7.0
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--policy", "bogus"])

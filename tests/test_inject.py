@@ -116,3 +116,25 @@ class TestSeedPlumbing:
         assert main(["blast-radius", "--days", "30", "--seed", "8"]) == 0
         other_seed = capsys.readouterr().out
         assert other_seed != first
+
+
+class TestChipValidation:
+    def test_invalid_chip_coordinate_rejected(self):
+        from repro.failures.inject import InvalidChipError
+
+        cluster = TpuCluster()
+        with pytest.raises(InvalidChipError):
+            single_failure(cluster, rack=0, chip=(4, 0, 0))
+        with pytest.raises(InvalidChipError):
+            single_failure(cluster, rack=0, chip=(0, -1, 0))
+
+    def test_wrong_dimensionality_rejected(self):
+        from repro.failures.inject import InvalidChipError
+
+        with pytest.raises(InvalidChipError):
+            single_failure(TpuCluster(), rack=0, chip=(0, 0))
+
+    def test_invalid_chip_error_is_a_value_error(self):
+        from repro.failures.inject import InvalidChipError
+
+        assert issubclass(InvalidChipError, ValueError)
