@@ -8,10 +8,18 @@ simulated workload with tracing off and on and asserts the results are
 *exactly equal* (observation never perturbs the simulation), the second
 that an uninstrumented result still serializes byte-identically to a
 result produced with no observability code in the process at all.
+
+The wall-clock layer (``repro.obs.runtime`` + ``repro.obs.log``) makes
+the same promise for the serving tier: with no ``--trace-dir`` the
+shared ``NULL_RUNTIME_TRACER``/``NULL_LOG`` singletons report disabled,
+guarded call sites construct nothing, and an evaluation produces bytes
+identical to a session with no runtime wiring at all.
 """
 
 from _helpers import emit
 from repro.api import FabricSession, FailurePlan, ScenarioSpec, figure6_slices
+from repro.obs.log import DEBUG, NULL_LOG
+from repro.obs.runtime import NULL_RUNTIME_TRACER, RuntimeTracer
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -58,4 +66,62 @@ def test_traced_run_observation_only(benchmark):
         "Observability — traced run",
         f"{len(traced.trace.events)} events captured; telemetry exactly "
         "equal to the uninstrumented run",
+    )
+
+
+def _cost_spec(seed=0):
+    from repro.api import SliceSpec
+
+    return ScenarioSpec(
+        slices=(SliceSpec("S", (2, 2, 1), (0, 0, 0)),),
+        outputs=("costs",),
+        seed=seed,
+    )
+
+
+def test_runtime_tracer_off_bytes_identical(benchmark):
+    """A session with the default (off) runtime tracer produces the same
+    bytes as one traced with wall-clock spans — and records nothing."""
+    traced_runtime = RuntimeTracer("bench")
+    traced = FabricSession(runtime=traced_runtime).run(_cost_spec())
+
+    def run_untraced():
+        return FabricSession().run(_cost_spec())
+
+    untraced = benchmark.pedantic(run_untraced, rounds=5, iterations=1)
+    assert untraced.to_json() == traced.to_json()
+    assert NULL_RUNTIME_TRACER.events == ()
+    assert len(traced_runtime.spans("session")) >= 1
+    emit(
+        "Observability — runtime tracer off",
+        "untraced evaluation byte-identical to a traced one; "
+        "NULL_RUNTIME_TRACER recorded 0 events, traced session left "
+        f"{len(traced_runtime.spans('session'))} span(s)",
+    )
+
+
+def test_null_log_and_tracer_guards_cost_nothing(benchmark):
+    """The hot-path guards (``log.enabled_for`` / ``runtime.enabled``)
+    on the off singletons must stay nanosecond-scale — they run once or
+    twice per request through the serving tier."""
+    ITERATIONS = 100_000
+
+    def guarded_loop():
+        hits = 0
+        for _ in range(ITERATIONS):
+            if NULL_LOG.enabled_for(DEBUG):  # pragma: no cover
+                hits += 1
+            if NULL_RUNTIME_TRACER.enabled:  # pragma: no cover
+                hits += 1
+        return hits
+
+    hits = benchmark.pedantic(guarded_loop, rounds=3, iterations=1)
+    assert hits == 0
+    per_guard_ns = benchmark.stats["mean"] / (2 * ITERATIONS) * 1e9
+    # Generous ceiling: a Python attribute read + compare, not real work.
+    assert per_guard_ns < 2_000
+    emit(
+        "Observability — off-state guards",
+        f"{per_guard_ns:.0f} ns per guard check "
+        f"({2 * ITERATIONS} checks); nothing emitted",
     )

@@ -14,14 +14,22 @@ contract:
 3. SIGKILL one worker: the next request for the same spec reroutes along
    the hash ring and answers byte-identically; the supervisor respawns
    the dead slot.
-4. SIGTERM drains the router and its workers cleanly (exit 0, clean
-   drain message).
+4. A request sent with an explicit ``X-Repro-Trace-Id`` gets the id
+   echoed back, and ``GET /metrics?format=prometheus`` on the router
+   *and* on a worker passes the text-exposition parse check.
+5. SIGTERM drains the router and its workers cleanly (exit 0, clean
+   drain message), every process writes its runtime trace file, and the
+   merged timeline (``repro obs merge``) contains spans from at least
+   two processes sharing the request's trace id. The merged trace is
+   left at ``$SHARD_SMOKE_TRACE`` (default ``shard-trace.json``) as a
+   CI artifact — open it at ui.perfetto.dev.
 
 Run:  PYTHONPATH=src python scripts/shard_smoke.py
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import signal
@@ -40,7 +48,9 @@ def fail(message: str) -> None:
     raise SystemExit(1)
 
 
-def start_router(cache_dir: str) -> tuple[subprocess.Popen, int]:
+def start_router(
+    cache_dir: str, trace_dir: str
+) -> tuple[subprocess.Popen, int]:
     """Launch the sharded tier on an ephemeral port; parse the bound port."""
     env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
     process = subprocess.Popen(
@@ -48,6 +58,7 @@ def start_router(cache_dir: str) -> tuple[subprocess.Popen, int]:
             sys.executable, "-m", "repro", "serve",
             "--port", "0", "--workers", "2", "--jobs", "1",
             "--cache-dir", cache_dir,
+            "--trace-dir", trace_dir,
         ],
         env=env,
         stderr=subprocess.PIPE,
@@ -69,13 +80,21 @@ def start_router(cache_dir: str) -> tuple[subprocess.Popen, int]:
 
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.prometheus import parse_exposition
+    from repro.obs.runtime import merge_traces, write_merged
     from repro.serve import ServeClient
 
     request_payload = (GOLDEN / "serve_request.json").read_bytes()
     golden_response = (GOLDEN / "serve_evaluate.json").read_bytes()
+    trace_id = "shard-smoke-1"
+    merged_out = Path(os.environ.get("SHARD_SMOKE_TRACE", "shard-trace.json"))
 
-    with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as cache_dir:
-        process, port = start_router(cache_dir)
+    with tempfile.TemporaryDirectory(
+        prefix="repro-shard-smoke-"
+    ) as cache_dir, tempfile.TemporaryDirectory(
+        prefix="repro-shard-trace-"
+    ) as trace_dir:
+        process, port = start_router(cache_dir, trace_dir)
         try:
             client = ServeClient(port=port)
             client.wait_until_ready()
@@ -144,7 +163,31 @@ def main() -> int:
                 fail(f"no restart recorded: {workers}")
             print(f"supervisor respawned {owner} (restarts={restarts:g})")
 
-            # 4. SIGTERM drains the tier cleanly.
+            # 4. Trace-id echo + Prometheus exposition on router & worker.
+            status, headers, body = client.evaluate_response(
+                json.loads(request_payload), trace_id=trace_id
+            )
+            if status != 200 or headers.get("x-repro-trace-id") != trace_id:
+                fail(
+                    f"trace id not echoed: {status}, "
+                    f"{headers.get('x-repro-trace-id')!r}"
+                )
+            families = parse_exposition(client.metrics_text())
+            if not any(name.startswith("repro_serve_") for name in families):
+                fail(f"router exposition missing serve metrics: {families}")
+            worker_port = client.healthz()["workers"][0]["port"]
+            worker_families = parse_exposition(
+                ServeClient(port=worker_port).metrics_text()
+            )
+            if not worker_families:
+                fail("worker exposition parsed to zero families")
+            print(
+                f"trace id echoed; prometheus parse ok (router "
+                f"{len(families)} families, worker "
+                f"{len(worker_families)} families)"
+            )
+
+            # 5. SIGTERM drains the tier cleanly.
             process.send_signal(signal.SIGTERM)
             stderr = process.stderr.read()
             returncode = process.wait(timeout=120)
@@ -152,11 +195,34 @@ def main() -> int:
             if process.poll() is None:
                 process.kill()
 
-    if returncode != 0:
-        fail(f"router exited {returncode}; stderr tail: {stderr[-800:]}")
-    if "drained cleanly" not in stderr:
-        fail(f"no clean-drain message; stderr tail: {stderr[-800:]}")
-    print("sigterm: router and workers drained, exit 0")
+        if returncode != 0:
+            fail(f"router exited {returncode}; stderr tail: {stderr[-800:]}")
+        if "drained cleanly" not in stderr:
+            fail(f"no clean-drain message; stderr tail: {stderr[-800:]}")
+        print("sigterm: router and workers drained, exit 0")
+
+        # Every process left a runtime trace; the merged timeline must
+        # show the traced request crossing the router/worker boundary.
+        trace_files = sorted(Path(trace_dir).glob("*.trace.json"))
+        if len(trace_files) < 3:
+            fail(f"expected 3 trace files (router + 2 workers): {trace_files}")
+        merged = merge_traces(trace_files)
+        tagged = [
+            event for event in merged["traceEvents"]
+            if event.get("args", {}).get("trace_id") == trace_id
+        ]
+        tagged_pids = {event["pid"] for event in tagged}
+        if len(tagged_pids) < 2:
+            fail(
+                f"trace id {trace_id!r} did not cross processes: "
+                f"{len(tagged)} span(s) from pids {sorted(tagged_pids)}"
+            )
+        out, count = write_merged(trace_files, merged_out)
+        print(
+            f"runtime trace: {len(tagged)} spans for {trace_id!r} across "
+            f"{len(tagged_pids)} processes; merged {count} events -> {out}"
+        )
+
     print("shard smoke: OK")
     return 0
 

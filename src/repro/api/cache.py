@@ -35,6 +35,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Protocol, Sequence, runtime_checkable
 
+from ..obs.log import INFO as _INFO, NULL_LOG, EventLog
 from .result import RunResult
 from .spec import ScenarioSpec
 
@@ -220,6 +221,8 @@ class DiskResultCache:
         max_bytes: payload-byte cap (``None`` = unbounded).
         evictions: entries pruned by this instance since construction.
         prune_scans: full directory scans this instance has paid for.
+        log: structured event log ``cache.evict`` records go to
+            (:data:`~repro.obs.log.NULL_LOG` default drops them).
     """
 
     def __init__(
@@ -228,6 +231,7 @@ class DiskResultCache:
         *,
         max_entries: int | None = None,
         max_bytes: int | None = None,
+        log: EventLog | None = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         if max_entries is not None and max_entries < 1:
@@ -236,6 +240,7 @@ class DiskResultCache:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.log = log if log is not None else NULL_LOG
         self.evictions = 0
         self.prune_scans = 0
         # Approximate occupancy since the last scan; None = never scanned.
@@ -335,6 +340,7 @@ class DiskResultCache:
         self.prune_scans += 1
         count = len(entries)
         total = sum(size for _, _, size, _ in entries)
+        evicted_before = self.evictions
         over = (
             self.max_entries is not None and count > self.max_entries
         ) or (self.max_bytes is not None and total > self.max_bytes)
@@ -365,6 +371,11 @@ class DiskResultCache:
                 total -= size
         self._approx_entries = count
         self._approx_bytes = total
+        evicted = self.evictions - evicted_before
+        if evicted and self.log.enabled_for(_INFO):
+            self.log.info(
+                "cache.evict", evicted=evicted, entries=count, bytes=total
+            )
 
     def cache_stats(self) -> dict:
         """Occupancy and eviction counters of the on-disk store.

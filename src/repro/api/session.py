@@ -32,6 +32,7 @@ from ..analysis.congestion_report import (
 from ..analysis.utilization import slice_utilization
 from ..kernels import KERNELS, STATS as _KERNEL_STATS, use_kernel
 from ..obs.metrics import MetricsRegistry
+from ..obs.runtime import NULL_RUNTIME_TRACER, RuntimeTracer
 from ..topology.electrical import ElectricalInterconnect
 from ..topology.slices import Slice, SliceAllocator
 from ..topology.torus import Torus
@@ -69,6 +70,11 @@ class FabricSession:
             (:func:`repro.kernels.active_kernel`). Results are
             byte-identical either way — this only pins which code path
             computes them.
+        runtime: optional wall-clock
+            :class:`~repro.obs.runtime.RuntimeTracer` the session emits
+            cache-probe and evaluation spans into (the serving tier
+            passes its per-process tracer; defaults to the zero-overhead
+            :data:`~repro.obs.runtime.NULL_RUNTIME_TRACER`).
     """
 
     def __init__(
@@ -76,12 +82,14 @@ class FabricSession:
         result_cache: ResultCache | None = None,
         metrics: MetricsRegistry | None = None,
         kernel: str | None = None,
+        runtime: RuntimeTracer | None = None,
     ) -> None:
         if kernel is not None and kernel not in KERNELS:
             raise ValueError(
                 f"unknown kernel {kernel!r}; choose from {KERNELS}"
             )
         self.kernel = kernel
+        self.runtime = runtime if runtime is not None else NULL_RUNTIME_TRACER
         self._backends: dict[str, FabricBackend] = {}
         self._tori: dict[tuple[int, ...], Torus] = {}
         self._allocators: dict[tuple, SliceAllocator] = {}
@@ -184,7 +192,20 @@ class FabricSession:
             UnsupportedOutput: when the backend cannot produce a section.
         """
         key = spec_key(spec)
+        runtime = self.runtime
+        probe_start = runtime.now() if runtime.enabled else 0.0
         cached = self.result_cache.get(key)
+        if runtime.enabled:
+            runtime.complete(
+                "session.cache_probe",
+                "session",
+                probe_start,
+                runtime.now(),
+                args={
+                    "fabric": spec.fabric,
+                    "outcome": "hit" if cached is not None else "miss",
+                },
+            )
         if cached is not None:
             self._fabric_stats(spec.fabric)["hits"] += 1
             if self.metrics is not None:
@@ -207,8 +228,11 @@ class FabricSession:
             "fleet": "fleet_report",
         }
         started = time.perf_counter()
+        eval_start = runtime.now() if runtime.enabled else 0.0
         kernel_before = (
-            _KERNEL_STATS.snapshot() if self.metrics is not None else None
+            _KERNEL_STATS.snapshot()
+            if self.metrics is not None or runtime.enabled
+            else None
         )
         sections: dict[str, object] = {}
         with use_kernel(self.kernel) if self.kernel is not None else (
@@ -227,7 +251,19 @@ class FabricSession:
                 sections[output] = method(self, spec)
         result = RunResult(spec=spec, fabric=backend.name, **sections)
         elapsed = time.perf_counter() - started
-        if kernel_before is not None:
+        if runtime.enabled and kernel_before is not None:
+            runtime.complete(
+                "session.evaluate",
+                "session",
+                eval_start,
+                runtime.now(),
+                args={
+                    "fabric": spec.fabric,
+                    "outputs": len(spec.outputs),
+                    **self._kernel_deltas(kernel_before),
+                },
+            )
+        if self.metrics is not None and kernel_before is not None:
             self._report_kernel_stats(kernel_before)
         self._eval_seconds += elapsed
         stats = self._fabric_stats(spec.fabric)
@@ -241,6 +277,24 @@ class FabricSession:
         self.runs_executed += 1
         self.result_cache.put(key, result)
         return result
+
+    @staticmethod
+    def _kernel_deltas(
+        before: dict[str, dict[str, float]]
+    ) -> dict[str, float]:
+        """Per-op kernel time spent since ``before``, as flat span args
+        (``kernel.<backend>.<op>.calls`` / ``.seconds``)."""
+        deltas: dict[str, float] = {}
+        for key, after in _KERNEL_STATS.snapshot().items():
+            prior = before.get(key, {"calls": 0, "seconds": 0.0})
+            calls = after["calls"] - prior["calls"]
+            if calls <= 0:
+                continue
+            deltas[f"kernel.{key}.calls"] = calls
+            deltas[f"kernel.{key}.seconds"] = round(
+                max(0.0, after["seconds"] - prior["seconds"]), 9
+            )
+        return deltas
 
     def _report_kernel_stats(
         self, before: dict[str, dict[str, float]]

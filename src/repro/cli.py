@@ -17,7 +17,8 @@ Usage::
     python -m repro sweep [--jobs 4] [--no-cache] [--cache-dir DIR] [--telemetry]
     python -m repro utilization           # measured stranded bandwidth (Fig. 5c)
     python -m repro trace [--fabric photonic] [--out PATH]  # Chrome trace JSON
-    python -m repro serve [--port 8421] [--jobs 2] [--workers N]
+    python -m repro serve [--port 8421] [--jobs 2] [--workers N] [--trace-dir DIR]
+    python -m repro obs merge FILE... --out PATH  # merge runtime trace files
 
 Every subcommand builds a :class:`repro.api.ScenarioSpec` and routes
 through :func:`repro.api.run`, so the CLI, the benches and the examples
@@ -221,6 +222,15 @@ def _cmd_blast_radius(args: argparse.Namespace) -> int:
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     """A year (or ``--days``) of fleet life, electrical vs photonic."""
+    if args.progress:
+        # ScenarioSpec is a frozen cache key, so the progress log cannot
+        # ride on the spec — it is installed process-wide for whatever
+        # simulations this command runs. Cached results skip simulation
+        # and therefore emit no heartbeats.
+        from .fleet import set_progress_log
+        from .obs.log import EventLog
+
+        set_progress_log(EventLog(sys.stderr, level="info", source="fleet"))
     result = api.run(api.ScenarioSpec(
         fabric="photonic",
         outputs=("fleet",),
@@ -624,6 +634,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Observability utilities (currently: merge runtime trace files).
+
+    ``repro obs merge`` combines the per-process runtime trace files a
+    traced serving tier leaves behind (``router-<pid>.trace.json`` plus
+    one ``w<slot>-<pid>.trace.json`` per worker) into a single
+    Chrome/Perfetto timeline. Each process keeps its own ``pid`` track,
+    and spans carry the request's ``trace_id`` in their args, so one
+    request's router hop and worker evaluation line up side by side.
+    """
+    from .obs.runtime import write_merged
+
+    if args.action == "merge":
+        missing = [path for path in args.files if not Path(path).is_file()]
+        if missing:
+            raise ValueError(f"no such trace file: {missing[0]}")
+        out, count = write_merged(args.files, args.out)
+        print(
+            f"merged {len(args.files)} trace file(s), {count} event(s) "
+            f"-> {out}",
+            file=sys.stderr,
+        )
+        return 0
+    raise ValueError(f"unknown obs action {args.action!r}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the evaluation service until SIGTERM/SIGINT.
 
@@ -653,6 +689,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         no_cache=args.no_cache,
         cache_max_entries=args.cache_max_entries,
         cache_max_bytes=args.cache_max_bytes,
+        trace_dir=args.trace_dir,
+        trace_name=args.trace_name,
+        log_level=args.log_level,
     )
     workers = args.workers if args.workers >= 0 else (os.cpu_count() or 1)
     if workers == 0:
@@ -734,6 +773,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="write the full result as deterministic JSON to PATH "
         "('-' = stdout) instead of the table",
+    )
+    pfl.add_argument(
+        "--progress", action="store_true",
+        help="emit fleet.progress heartbeat events (JSONL on stderr) at "
+        "10 sim-time checkpoints per simulation; results stay "
+        "byte-identical",
     )
 
     pcg = sub.add_parser("congestion", help="cross-tenant link sharing")
@@ -911,6 +956,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-bytes", type=int, default=None, metavar="BYTES",
         help="cap the disk cache payload bytes, pruned oldest-first",
     )
+    psv.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="enable runtime tracing: each process writes a Chrome "
+        "trace_event JSON file here on drain (merge with 'repro obs "
+        "merge'); default: off, zero overhead",
+    )
+    psv.add_argument(
+        "--trace-name", default=None, metavar="NAME",
+        help="trace/log source name for this process (default: 'serve', "
+        "or assigned by the router for sharded workers)",
+    )
+    psv.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="structured JSONL event-log threshold on stderr "
+        "(default: info)",
+    )
+
+    pob = sub.add_parser(
+        "obs",
+        help="observability utilities for runtime traces",
+    )
+    pob.add_argument(
+        "action", choices=("merge",),
+        help="merge: combine per-process *.trace.json files into one "
+        "Perfetto timeline",
+    )
+    pob.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="runtime trace files written by 'repro serve --trace-dir'",
+    )
+    pob.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="write the merged Chrome trace_event JSON here",
+    )
 
     return parser
 
@@ -927,6 +1007,7 @@ _HANDLERS = {
     "blast-radius": _cmd_blast_radius,
     "congestion": _cmd_congestion,
     "fleet": _cmd_fleet,
+    "obs": _cmd_obs,
     "serve": _cmd_serve,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,

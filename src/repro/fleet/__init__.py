@@ -21,6 +21,7 @@ from .simulator import (
     FleetConfig,
     FleetSimulator,
     FleetStats,
+    set_progress_log,
     simulate_fleet,
 )
 
@@ -37,4 +38,5 @@ __all__ = [
     "FleetSimulator",
     "FleetStats",
     "simulate_fleet",
+    "set_progress_log",
 ]

@@ -32,12 +32,20 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..failures.recovery import RackMigrationPolicy
+from ..obs.log import INFO as _INFO, NULL_LOG, EventLog
 from ..phy.constants import CHIPS_PER_SERVER, RACKS_PER_CLUSTER, RECONFIG_LATENCY_S
 from ..sim.engine import EventEngine, SimulationError
 from .policies import RepairPolicy, make_policy
 from .process import RenewalFailureProcess
 
-__all__ = ["FleetConfig", "FleetStats", "FleetSimulator", "simulate_fleet", "FABRICS"]
+__all__ = [
+    "FleetConfig",
+    "FleetStats",
+    "FleetSimulator",
+    "simulate_fleet",
+    "set_progress_log",
+    "FABRICS",
+]
 
 #: Seconds in the simulator's year.
 YEAR_S = 365.0 * 24.0 * 3600.0
@@ -184,12 +192,19 @@ class FleetSimulator:
         config: FleetConfig,
         fabric: str,
         policy: RepairPolicy | None = None,
+        log: EventLog | None = None,
+        heartbeats: int = 10,
     ):
         if fabric not in FABRICS:
             raise ValueError(f"unknown fabric {fabric!r}; choose from {FABRICS}")
+        if heartbeats < 1:
+            raise ValueError(f"heartbeats must be positive, got {heartbeats}")
         self.config = config
         self.fabric = fabric
         self.policy = policy if policy is not None else make_policy("immediate")
+        self.log = log if log is not None else NULL_LOG
+        self.heartbeats = heartbeats
+        self._heartbeats_fired = 0
         self._engine = EventEngine()
         self._process = RenewalFailureProcess(
             chips=config.chips, mtbf_s=config.mtbf_s, seed=config.seed
@@ -243,6 +258,20 @@ class FleetSimulator:
         self._transitions.append((self._engine.now_s, available))
         if available < self._min_available:
             self._min_available = available
+
+    def _heartbeat(self) -> None:
+        """Emit one ``fleet.progress`` record at the current sim time."""
+        self._heartbeats_fired += 1
+        self.log.info(
+            "fleet.progress",
+            fabric=self.fabric,
+            t_days=round(self._engine.now_s / 86400.0, 3),
+            failures=self._failures,
+            repairs=self._repairs,
+            available=(
+                self.config.chips - self._down_failed - self._down_collateral
+            ),
+        )
 
     # -- failure renewal ----------------------------------------------------------
 
@@ -432,6 +461,17 @@ class FleetSimulator:
         self.policy.start(self._engine, dispatch)
         for chip in range(self.config.chips):
             self._schedule_failure(chip)
+        if self.log.enabled_for(_INFO):
+            # Progress heartbeats ride the sim-time event queue (so they
+            # interleave deterministically with the dynamics they report
+            # on); they only *read* state, and their event count is
+            # subtracted below so FleetStats stays byte-identical with
+            # heartbeats on or off.
+            for k in range(1, self.heartbeats + 1):
+                self._engine.schedule_at(
+                    k * self.config.horizon_s / self.heartbeats,
+                    self._heartbeat,
+                )
         self._engine.run(until_s=self.config.horizon_s)
         self._account()
         cfg = self.config
@@ -445,7 +485,7 @@ class FleetSimulator:
             failures=self._failures,
             repairs=self._repairs,
             unrepaired=len(self._fail_times),
-            events_processed=self._engine.processed,
+            events_processed=self._engine.processed - self._heartbeats_fired,
             mean_availability=(
                 1.0 - self._lost / (cfg.chips * cfg.horizon_s)
             ),
@@ -461,14 +501,34 @@ class FleetSimulator:
         )
 
 
+_PROGRESS_LOG: EventLog = NULL_LOG
+
+
+def set_progress_log(log: EventLog | None) -> None:
+    """Install a process-wide heartbeat log for runs whose call path
+    cannot thread ``log`` through (the CLI's ``repro fleet --progress``
+    goes through the spec/backend machinery, and specs are frozen cache
+    keys). ``None`` restores the silent default."""
+    global _PROGRESS_LOG
+    _PROGRESS_LOG = log if log is not None else NULL_LOG
+
+
 def simulate_fleet(
     config: FleetConfig,
     fabric: str,
     policy: str = "immediate",
     lazy_threshold: int = 4,
     batch_interval_s: float = 21600.0,
+    log: EventLog | None = None,
 ) -> FleetStats:
-    """Run one fabric's fleet simulation with a fresh policy instance."""
+    """Run one fabric's fleet simulation with a fresh policy instance.
+
+    ``log`` (when given and at ``info`` or lower) receives ten
+    ``fleet.progress`` heartbeats on the *sim-time* schedule; the
+    returned stats are byte-identical either way. A cached fleet result
+    (``repro fleet`` reuses the result cache) skips the simulation and
+    therefore emits no heartbeats.
+    """
     return FleetSimulator(
         config,
         fabric,
@@ -477,4 +537,5 @@ def simulate_fleet(
             lazy_threshold=lazy_threshold,
             batch_interval_s=batch_interval_s,
         ),
+        log=log if log is not None else _PROGRESS_LOG,
     ).run()

@@ -21,9 +21,34 @@ stack records them as data rather than prose:
 
 Both surfaces reach the experiment API as opt-in ``trace``/``metrics``
 result sections and the CLI as ``repro trace`` and ``--metrics``.
+
+The *runtime* half of the package observes the serving tier in wall
+clock rather than simulation time:
+
+* :class:`RuntimeTracer` (:mod:`repro.obs.runtime`) emits wall-clock
+  spans — admission wait, batch linger, router→worker proxy hops,
+  session evaluation, cache probes — keyed by an ``X-Repro-Trace-Id``
+  propagated across processes, with per-process trace files merged into
+  one Perfetto timeline by :func:`merge_traces` / ``repro obs merge``.
+* :class:`EventLog` (:mod:`repro.obs.log`) is the structured JSONL
+  event log the serve tier narrates itself through (request
+  admitted/shed/coalesced/failed-over, worker spawn/death/respawn,
+  cache evictions, fleet heartbeats) — leveled, schema-checked, and
+  byte-deterministic under an injected clock.
+* :mod:`repro.obs.prometheus` renders any registry as the Prometheus
+  text exposition (``GET /metrics?format=prometheus``) and re-parses it
+  for the CI validity check.
 """
 
+from .log import EVENT_FIELDS, NULL_LOG, EventLog
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .prometheus import parse_exposition, render_exposition
+from .runtime import (
+    NULL_RUNTIME_TRACER,
+    RuntimeTracer,
+    merge_traces,
+    new_trace_id,
+)
 from .tracer import NULL_TRACER, TraceEvent, Tracer
 
 __all__ = [
@@ -34,4 +59,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RuntimeTracer",
+    "NULL_RUNTIME_TRACER",
+    "merge_traces",
+    "new_trace_id",
+    "EventLog",
+    "NULL_LOG",
+    "EVENT_FIELDS",
+    "render_exposition",
+    "parse_exposition",
 ]

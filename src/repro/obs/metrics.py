@@ -9,29 +9,77 @@ stack reports:
   completed, rebalances).
 * :class:`Gauge` — last-written values (sweep stage seconds, horizon).
 * :class:`Histogram` — running count/total/min/max of observations
-  (per-spec evaluation seconds) without retaining samples.
+  (per-spec evaluation seconds) plus cumulative bucket counts and
+  nearest-rank p50/p95/p99 over a bounded window of recent samples.
 
-Snapshot ordering is deterministic by construction (sorted names, fixed
-per-kind field sets), so sim-derived metrics can be golden-tested;
-wall-clock-derived values are deterministic in *shape* only, never in
-value — keep them out of goldens.
+Every mutation takes the metric's own lock, so concurrent writers (the
+serve tier's executor threads hammering one registry) never lose an
+increment — ``tests/test_metrics_registry.py`` holds this under
+threaded load. Snapshot ordering is deterministic by construction
+(sorted names, fixed per-kind field sets), so sim-derived metrics can
+be golden-tested; wall-clock-derived values are deterministic in
+*shape* only, never in value — keep them out of goldens.
+
+The registry renders two ways: the JSON payload the serve tier has
+always answered on ``GET /metrics``, and the Prometheus text exposition
+(:mod:`repro.obs.prometheus`) behind ``?format=prometheus``.
 """
 
 from __future__ import annotations
 
+import bisect
+import math
+import threading
+from collections import deque
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "PERCENTILE_WINDOW",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "nearest_rank",
+]
+
+#: Default histogram bucket upper bounds in seconds — exponential-ish
+#: latency buckets spanning a sub-millisecond cache hit to a minute-long
+#: cold evaluation. Cumulative counts over these render directly as
+#: Prometheus ``_bucket{le="..."}`` series.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Most recent observations retained per histogram for percentile
+#: estimation. Percentiles are exact (nearest-rank over every
+#: observation) until a histogram exceeds the window, then cover the
+#: most recent window — memory stays O(1) per metric either way.
+PERCENTILE_WINDOW = 2048
+
+
+def nearest_rank(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list (0.0 if empty).
+
+    The same convention as ``repro.fleet``'s TTR percentiles, so a
+    ``/metrics`` p99 and a fleet-report p99 mean the same thing.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
 class Counter:
     """A monotonically increasing total."""
 
     kind = "counter"
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative).
@@ -42,7 +90,8 @@ class Counter:
         """
         if amount < 0:
             raise ValueError(f"counter increments cannot be negative: {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
@@ -67,31 +116,76 @@ class Gauge:
 class Histogram:
     """Running statistics of a stream of observations.
 
-    Keeps count/total/min/max rather than samples, so a sweep over
-    thousands of specs costs O(1) memory per metric.
+    Keeps count/total/min/max, cumulative counts per bucket bound, and a
+    bounded window of recent samples for nearest-rank percentiles — so a
+    sweep over thousands of specs still costs O(1) memory per metric.
     """
 
     kind = "histogram"
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = (
+        "count",
+        "total",
+        "min",
+        "max",
+        "bounds",
+        "bucket_counts",
+        "_window",
+        "_lock",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self.bounds = tuple(bounds)
+        # Non-cumulative per-bucket tallies; index len(bounds) is the
+        # +Inf overflow bucket. Snapshots accumulate them on the way out.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self._window: deque[float] = deque(maxlen=PERCENTILE_WINDOW)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            self._window.append(value)
 
     @property
     def mean(self) -> float:
         """Mean observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the retained sample window."""
+        with self._lock:
+            window = sorted(self._window)
+        return nearest_rank(window, fraction)
+
+    def cumulative_buckets(self) -> tuple[tuple[float, int], ...]:
+        """``(upper_bound, cumulative_count)`` pairs, ``inf`` last.
+
+        The cumulative form is exactly what the Prometheus exposition's
+        ``_bucket{le="..."}`` series wants; the final ``inf`` count
+        always equals :attr:`count`.
+        """
+        with self._lock:
+            counts = list(self.bucket_counts)
+        running = 0
+        rows = []
+        for bound, tally in zip((*self.bounds, math.inf), counts):
+            running += tally
+            rows.append((bound, running))
+        return tuple(rows)
+
     def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            window = sorted(self._window)
         return {
             "kind": self.kind,
             "count": self.count,
@@ -99,6 +193,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": nearest_rank(window, 0.50),
+            "p95": nearest_rank(window, 0.95),
+            "p99": nearest_rank(window, 0.99),
         }
 
 
@@ -107,13 +204,20 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, kind: type) -> Any:
         metric = self._metrics.get(name)
         if metric is None:
-            metric = kind()
-            self._metrics[name] = metric
-        elif not isinstance(metric, kind):
+            # Creation is locked so two threads racing the first use of a
+            # name agree on one instance; the double-checked read keeps
+            # the common path lock-free.
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = kind()
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
             raise TypeError(
                 f"metric {name!r} is a {metric.kind}, not a {kind.kind}"
             )
@@ -138,6 +242,10 @@ class MetricsRegistry:
     def names(self) -> tuple[str, ...]:
         """Registered metric names, sorted."""
         return tuple(sorted(self._metrics))
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric named ``name``, or ``None`` when absent."""
+        return self._metrics.get(name)
 
     def __len__(self) -> int:
         return len(self._metrics)

@@ -1,0 +1,298 @@
+"""Prometheus text exposition (version 0.0.4) for the metrics registry.
+
+:func:`render_exposition` turns :class:`~repro.obs.metrics.MetricsRegistry`
+snapshots into the ``text/plain`` format every Prometheus-compatible
+scraper ingests — the serve tier answers it on
+``GET /metrics?format=prometheus`` while the JSON payload on the bare
+path stays byte-identical to what it always was.
+
+Mapping:
+
+* counters -> ``# TYPE repro_<name> counter`` plus one sample;
+* gauges -> ``gauge`` plus one sample;
+* histograms -> the full Prometheus histogram family: cumulative
+  ``_bucket{le="..."}`` series (``+Inf`` last), ``_sum`` and
+  ``_count`` — rendered from the registry's live bucket counts, with
+  the JSON-side p50/p95/p99 left to the JSON payload (Prometheus
+  computes quantiles server-side from buckets).
+
+Dotted registry names become underscore-separated metric names
+(``serve.request_seconds`` -> ``repro_serve_request_seconds``); an
+optional label set (e.g. ``worker="w0"`` on the router's aggregated
+view) is attached to every sample. Rendering sorts by metric name, so
+the exposition is deterministic for a given snapshot.
+
+:func:`parse_exposition` is the matching stdlib-only validator: it
+re-parses an exposition, checks sample-line grammar, TYPE declarations,
+bucket monotonicity and ``+Inf``/``_count`` agreement — cheap enough to
+run in CI against live servers (``tests/test_prometheus.py``,
+``scripts/shard_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_exposition",
+    "render_snapshot",
+    "parse_exposition",
+]
+
+#: The Content-Type Prometheus scrapers expect for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    """``serve.request_seconds`` -> ``repro_serve_request_seconds``."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    full = f"{namespace}_{cleaned}" if namespace else cleaned
+    if not _NAME_OK.fullmatch(full):  # pragma: no cover - namespace abuse
+        raise ValueError(f"unrenderable metric name {name!r}")
+    return full
+
+
+def _fmt(value: float) -> str:
+    """A float as Prometheus text: ``+Inf``/``-Inf``/``NaN`` spelled out,
+    integral values without the trailing ``.0``."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):  # pragma: no cover - registries never store NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    pairs = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + pairs + "}"
+
+
+def _bucket_label(labels: Mapping[str, str] | None, le: float) -> str:
+    merged = dict(labels) if labels else {}
+    merged["le"] = _fmt(le)
+    # le must sort with the other labels for a stable line, but its
+    # value is the bound, not a string to escape.
+    pairs = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + pairs + "}"
+
+
+def render_snapshot(
+    snapshot: Mapping[str, Mapping[str, Any]],
+    *,
+    namespace: str = "repro",
+    labels: Mapping[str, str] | None = None,
+    declare_types: bool = True,
+) -> list[str]:
+    """Exposition lines for one registry *snapshot* (no trailing ``\\n``).
+
+    Works from the JSON-safe snapshot dict rather than live metric
+    objects, so the router can render worker payloads it only holds as
+    JSON. Histogram snapshots carry no bucket detail, so a snapshot
+    histogram renders as ``_sum``/``_count`` plus min/max/percentile
+    gauges; use :func:`render_exposition` on a live registry for full
+    bucket series.
+    """
+    lines: list[str] = []
+    suffix = _label_text(labels)
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap.get("kind")
+        metric = _metric_name(name, namespace)
+        if kind in ("counter", "gauge"):
+            if declare_types:
+                lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric}{suffix} {_fmt(float(snap['value']))}")
+        elif kind == "histogram":
+            if declare_types:
+                lines.append(f"# TYPE {metric} histogram")
+            lines.append(
+                f"{metric}_sum{suffix} {_fmt(float(snap['total']))}"
+            )
+            lines.append(f"{metric}_count{suffix} {_fmt(float(snap['count']))}")
+            for stat in ("min", "max", "p50", "p95", "p99"):
+                value = snap.get(stat)
+                if value is None:
+                    continue
+                lines.append(f"{metric}_{stat}{suffix} {_fmt(float(value))}")
+    return lines
+
+
+def render_exposition(
+    registry: MetricsRegistry,
+    *,
+    namespace: str = "repro",
+    labels: Mapping[str, str] | None = None,
+    extra_lines: Iterable[str] = (),
+) -> str:
+    """The full text exposition of a live registry.
+
+    ``extra_lines`` (already-rendered sample lines, e.g. the router's
+    per-worker aggregation) are appended after the registry's own
+    families. The result always ends with a newline, as the format
+    requires.
+    """
+    lines: list[str] = []
+    suffix = _label_text(labels)
+    for name in registry.names():
+        metric_obj = registry.get(name)
+        metric = _metric_name(name, namespace)
+        if isinstance(metric_obj, Counter):
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric}{suffix} {_fmt(metric_obj.value)}")
+        elif isinstance(metric_obj, Gauge):
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric}{suffix} {_fmt(metric_obj.value)}")
+        elif isinstance(metric_obj, Histogram):
+            lines.append(f"# TYPE {metric} histogram")
+            for bound, cumulative in metric_obj.cumulative_buckets():
+                lines.append(
+                    f"{metric}_bucket{_bucket_label(labels, bound)} "
+                    f"{_fmt(float(cumulative))}"
+                )
+            lines.append(f"{metric}_sum{suffix} {_fmt(metric_obj.total)}")
+            lines.append(
+                f"{metric}_count{suffix} {_fmt(float(metric_obj.count))}"
+            )
+    lines.extend(extra_lines)
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[str, dict[str, Any]]:
+    """Parse and validate an exposition; the CI parse check.
+
+    Returns:
+        ``{metric_name: {"type": ..., "samples": [(labels, value), ...]}}``
+        keyed by *family* name (bucket/sum/count samples fold into their
+        histogram's family).
+
+    Raises:
+        ValueError: on any grammar violation — a malformed sample line,
+            an unparsable value, a duplicate TYPE declaration, a
+            histogram whose cumulative buckets decrease, miss ``+Inf``,
+            or disagree with ``_count``.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family(name: str) -> dict[str, Any]:
+        return families.setdefault(name, {"type": None, "samples": []})
+
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+                _, _, name, kind = parts
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    raise ValueError(
+                        f"line {lineno}: unknown TYPE {kind!r}"
+                    )
+                entry = family(name)
+                if entry["type"] is not None:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for {name!r}"
+                    )
+                entry["type"] = kind
+            continue  # comments and HELP lines are free-form
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                pair_match = _LABEL_PAIR.match(pair.strip())
+                if pair_match is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed label {pair!r}"
+                    )
+                labels[pair_match.group(1)] = pair_match.group(2)
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf").replace(
+                "-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparsable value {raw_value!r}"
+            ) from None
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and family_base(families, name, suffix):
+                base = name[: -len(suffix)]
+                break
+        family(base)["samples"].append((name, labels, value))
+
+    _check_histograms(families)
+    return families
+
+
+def family_base(
+    families: Mapping[str, Any], name: str, suffix: str
+) -> bool:
+    """Whether ``name`` minus ``suffix`` is a declared histogram family."""
+    base = name[: -len(suffix)]
+    entry = families.get(base)
+    return entry is not None and entry["type"] == "histogram"
+
+
+def _check_histograms(families: Mapping[str, dict[str, Any]]) -> None:
+    for name, entry in families.items():
+        if entry["type"] != "histogram":
+            continue
+        # Group bucket samples by their non-le label set.
+        series: dict[tuple, list[tuple[float, float]]] = {}
+        counts: dict[tuple, float] = {}
+        for sample_name, labels, value in entry["samples"]:
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    raise ValueError(f"{name}: bucket sample without le label")
+                series.setdefault(key, []).append(
+                    (float(labels["le"].replace("+Inf", "inf")), value)
+                )
+            elif sample_name == f"{name}_count":
+                counts[key] = value
+        if not series:
+            raise ValueError(f"{name}: histogram with no bucket samples")
+        for key, buckets in series.items():
+            buckets.sort()
+            cumulative = [count for _, count in buckets]
+            if cumulative != sorted(cumulative):
+                raise ValueError(
+                    f"{name}{dict(key)}: bucket counts not cumulative"
+                )
+            if not math.isinf(buckets[-1][0]):
+                raise ValueError(f"{name}{dict(key)}: no +Inf bucket")
+            declared = counts.get(key)
+            if declared is not None and declared != buckets[-1][1]:
+                raise ValueError(
+                    f"{name}{dict(key)}: +Inf bucket {buckets[-1][1]} != "
+                    f"_count {declared}"
+                )

@@ -1,0 +1,337 @@
+"""Wall-clock request tracing across the sharded serving tier.
+
+:class:`~repro.obs.tracer.Tracer` timestamps events in *simulation*
+seconds, which is what makes sim traces golden-testable — but it cannot
+answer "where did this request's 40 ms go?" across the router, a worker,
+its batcher and the session underneath. :class:`RuntimeTracer` is the
+wall-clock companion: every span carries real time and a ``trace_id``
+minted at the router (or accepted from the ``X-Repro-Trace-Id`` request
+header) and propagated to workers over the same header, so the spans one
+request leaves in *different processes* stitch into one timeline.
+
+The export format is the same deterministic Chrome/Perfetto
+``trace_event`` JSON the sim tracer writes — each process exports its
+own file keyed by its pid (a separate process track in Perfetto), and
+:func:`merge_traces` (surfaced as ``repro obs merge``) concatenates any
+number of per-process files into one timeline, sorted by the sim
+tracer's total order.
+
+The off switch mirrors :data:`~repro.obs.tracer.NULL_TRACER`: call
+sites guard with ``if runtime.enabled:`` against the shared
+:data:`NULL_RUNTIME_TRACER`, so an untraced request constructs no
+events, takes no lock and allocates nothing — the serving tier's
+byte-identity and overhead contracts hold exactly as before.
+
+Determinism: wall-clock timestamps are obviously not golden-testable,
+but the *clock is injectable* — tests drive a fake clock and assert the
+exported bytes, and span structure (names, categories, args, ordering
+rules) is deterministic either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from .tracer import TraceEvent, _freeze_args
+
+__all__ = [
+    "TRACE_ID_PATTERN",
+    "new_trace_id",
+    "valid_trace_id",
+    "RuntimeTracer",
+    "NULL_RUNTIME_TRACER",
+    "merge_traces",
+    "write_merged",
+]
+
+_US_PER_S = 1e6
+
+#: What the tier accepts as an ``X-Repro-Trace-Id`` value. Anything else
+#: is ignored and replaced with a freshly minted id, so a hostile header
+#: cannot inject bytes into trace files or logs.
+TRACE_ID_PATTERN = re.compile(r"[A-Za-z0-9_.\-]{1,64}")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (uuid4)."""
+    return uuid.uuid4().hex
+
+
+def valid_trace_id(value: str | None) -> bool:
+    """Whether ``value`` is usable as a trace id as-is."""
+    return value is not None and TRACE_ID_PATTERN.fullmatch(value) is not None
+
+
+class RuntimeTracer:
+    """Collects wall-clock spans; one instance per process.
+
+    Attributes:
+        enabled: emission guard, same idiom as the sim tracer — call
+            sites skip span construction entirely when false.
+        name: the process track label (``"router"``, ``"w0"``, ...)
+            shown in Perfetto.
+        pid: the process id stamped on every event (defaults to
+            ``os.getpid()``), which is what keeps per-process files
+            mergeable without track collisions.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        name: str = "serve",
+        *,
+        clock: Callable[[], float] | None = None,
+        pid: int | None = None,
+    ) -> None:
+        self.name = name
+        self.pid = os.getpid() if pid is None else pid
+        self._clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._events: list[TraceEvent] = [
+            TraceEvent(
+                name="process_name",
+                cat="__metadata",
+                ph="M",
+                ts_us=0.0,
+                pid=self.pid,
+                args=(("name", name),),
+            )
+        ]
+
+    # -- emission ----------------------------------------------------------------
+
+    def now(self) -> float:
+        """The tracer's wall-clock reading in seconds."""
+        return self._clock()
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start_s: float,
+        end_s: float,
+        *,
+        trace_id: str | None = None,
+        tid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record a wall-clock span covering ``[start_s, end_s]``."""
+        payload = dict(args) if args else {}
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        event = TraceEvent(
+            name=name,
+            cat=cat,
+            ph="X",
+            ts_us=start_s * _US_PER_S,
+            dur_us=max(0.0, end_s - start_s) * _US_PER_S,
+            pid=self.pid,
+            tid=tid,
+            args=_freeze_args(payload),
+        )
+        with self._lock:
+            self._events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        *,
+        trace_id: str | None = None,
+        tid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record an instant event at the current clock reading."""
+        payload = dict(args) if args else {}
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        event = TraceEvent(
+            name=name,
+            cat=cat,
+            ph="i",
+            ts_us=self._clock() * _US_PER_S,
+            pid=self.pid,
+            tid=tid,
+            args=_freeze_args(payload),
+        )
+        with self._lock:
+            self._events.append(event)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str,
+        *,
+        trace_id: str | None = None,
+        tid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Record the enclosed block as a complete span.
+
+        Yields a mutable dict merged into the span's args at exit, so
+        the block can attach results discovered mid-flight (cache
+        provenance, status codes, kernel timings)::
+
+            with runtime.span("evaluate", "serve", trace_id=tid) as extra:
+                row = evaluate(spec)
+                extra["cache"] = "hit" if row.from_cache else "miss"
+        """
+        extra: dict[str, Any] = dict(args) if args else {}
+        start = self._clock()
+        try:
+            yield extra
+        finally:
+            self.complete(
+                name,
+                cat,
+                start,
+                self._clock(),
+                trace_id=trace_id,
+                tid=tid,
+                args=extra,
+            )
+
+    def thread_name(self, tid: int, name: str) -> None:
+        """Label a thread track of this process."""
+        event = TraceEvent(
+            name="thread_name",
+            cat="__metadata",
+            ph="M",
+            ts_us=0.0,
+            pid=self.pid,
+            tid=tid,
+            args=(("name", name),),
+        )
+        with self._lock:
+            self._events.append(event)
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """Every recorded event, in emission order."""
+        with self._lock:
+            return tuple(self._events)
+
+    def spans(self, cat: str | None = None) -> tuple[TraceEvent, ...]:
+        """Complete spans, optionally filtered by category."""
+        return tuple(
+            e
+            for e in self.events
+            if e.ph == "X" and (cat is None or e.cat == cat)
+        )
+
+    # -- export ------------------------------------------------------------------
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The Chrome/Perfetto ``trace_event`` JSON object."""
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": [e.to_dict() for e in _sorted(self.events)],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialized Chrome trace (sorted keys)."""
+        return json.dumps(self.to_chrome(), indent=indent, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the Chrome trace to ``path``; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+
+class _NullRuntimeTracer(RuntimeTracer):
+    """The off state: reports disabled and drops every event."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__("off", pid=0)
+        self._events = []
+
+    def complete(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, *args: Any, **kwargs: Any) -> Iterator[dict[str, Any]]:
+        yield {}
+
+    def thread_name(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+
+#: Shared no-op runtime tracer — the ``runtime or NULL_RUNTIME_TRACER``
+#: default for optional tracer parameters.
+NULL_RUNTIME_TRACER = _NullRuntimeTracer()
+
+
+def _sorted(events: Iterable[TraceEvent]) -> list[TraceEvent]:
+    # The sim tracer's total order, extended with (pid, tid, name) so a
+    # merge of several files is deterministic regardless of input order.
+    return sorted(
+        events,
+        key=lambda e: (
+            0 if e.ph == "M" else 1,
+            e.ts_us,
+            e.pid,
+            e.tid,
+            e.name,
+        ),
+    )
+
+
+def merge_traces(paths: Iterable[str | Path]) -> dict[str, Any]:
+    """Merge per-process ``trace_event`` JSON files into one timeline.
+
+    Every input keeps its own pid track, so a router file plus its
+    worker files render side by side in Perfetto with request spans
+    correlated by their ``trace_id`` args — the ``repro obs merge``
+    subcommand body.
+
+    Raises:
+        ValueError: when no input file contributes any events, or an
+            input is not a ``trace_event`` JSON object.
+    """
+    events: list[TraceEvent] = []
+    for path in paths:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "traceEvents" not in data:
+            raise ValueError(
+                f"{path}: not a trace_event JSON object (no traceEvents)"
+            )
+        for raw in data["traceEvents"]:
+            events.append(TraceEvent.from_dict(raw))
+    if not events:
+        raise ValueError("no events in any input trace")
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": [e.to_dict() for e in _sorted(events)],
+    }
+
+
+def write_merged(
+    paths: Iterable[str | Path], out: str | Path
+) -> tuple[Path, int]:
+    """Merge ``paths`` into ``out``; returns ``(path, event count)``."""
+    merged = merge_traces(paths)
+    target = Path(out)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target, len(merged["traceEvents"])

@@ -164,31 +164,42 @@ class ServeClient:
         self,
         spec: ScenarioSpec | dict[str, Any],
         priority: str | None = None,
+        trace_id: str | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         """Raw ``POST /v1/evaluate``: status, headers, body — no raising.
 
         ``priority`` (``interactive`` | ``batch``) is sent as the
         ``X-Repro-Priority`` header; ``None`` sends no header and the
-        server assumes ``interactive``.
+        server assumes ``interactive``. ``trace_id`` is sent as the
+        ``X-Repro-Trace-Id`` header — the server echoes it back and
+        stamps it on every span the request leaves in the tier's
+        runtime traces.
         """
         payload = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
         body = json.dumps(payload, sort_keys=True).encode()
-        headers = (
-            {wire.PRIORITY_HEADER: priority} if priority is not None else None
+        headers: dict[str, str] = {}
+        if priority is not None:
+            headers[wire.PRIORITY_HEADER] = priority
+        if trace_id is not None:
+            headers[wire.TRACE_HEADER] = trace_id
+        return self._request(
+            "POST", "/v1/evaluate", body, headers or None
         )
-        return self._request("POST", "/v1/evaluate", body, headers)
 
     def evaluate_bytes(
         self,
         spec: ScenarioSpec | dict[str, Any],
         priority: str | None = None,
+        trace_id: str | None = None,
     ) -> bytes:
         """The exact response body for ``spec``.
 
         Raises:
             ServeError: on any non-200 status.
         """
-        status, headers, payload = self.evaluate_response(spec, priority)
+        status, headers, payload = self.evaluate_response(
+            spec, priority, trace_id
+        )
         self._raise_for_status(status, headers, payload)
         return payload
 
@@ -196,10 +207,11 @@ class ServeClient:
         self,
         spec: ScenarioSpec | dict[str, Any],
         priority: str | None = None,
+        trace_id: str | None = None,
     ) -> RunResult:
         """Evaluate ``spec`` into a typed :class:`RunResult`."""
         return RunResult.from_json(
-            self.evaluate_bytes(spec, priority).decode("utf-8")
+            self.evaluate_bytes(spec, priority, trace_id).decode("utf-8")
         )
 
     def healthz(self) -> dict[str, Any]:
@@ -213,6 +225,14 @@ class ServeClient:
         status, headers, payload = self._request("GET", "/metrics")
         self._raise_for_status(status, headers, payload)
         return json.loads(payload)
+
+    def metrics_text(self) -> str:
+        """The ``/metrics?format=prometheus`` text exposition."""
+        status, headers, payload = self._request(
+            "GET", "/metrics?format=prometheus"
+        )
+        self._raise_for_status(status, headers, payload)
+        return payload.decode("utf-8")
 
     def wait_until_ready(self, deadline_s: float = 30.0) -> dict[str, Any]:
         """Poll ``/healthz`` until the server answers.

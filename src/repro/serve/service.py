@@ -57,7 +57,16 @@ from ..api.cache import (
 )
 from ..api.session import FabricSession
 from ..api.spec import ScenarioSpec
+from ..obs import log as obs_log
+from ..obs import prometheus
+from ..obs.log import NULL_LOG, EventLog
 from ..obs.metrics import MetricsRegistry
+from ..obs.runtime import (
+    NULL_RUNTIME_TRACER,
+    RuntimeTracer,
+    new_trace_id,
+    valid_trace_id,
+)
 from . import wire
 
 __all__ = [
@@ -108,6 +117,16 @@ class ServerConfig:
         cache_max_entries: oldest-first eviction cap on the disk cache's
             entry count (``None`` = unbounded).
         cache_max_bytes: same cap in payload bytes.
+        trace_dir: directory the process writes its wall-clock
+            :class:`~repro.obs.runtime.RuntimeTracer` timeline into on
+            drain (``None`` = runtime tracing off, the zero-overhead
+            default).
+        trace_name: process track label inside the trace file
+            (``None`` = ``serve``; the shard router names its workers
+            ``w0``, ``w1``, ...).
+        log_level: minimum severity of the structured JSONL event log
+            on stderr (``debug`` logs every request; the ``info``
+            default logs lifecycle only).
     """
 
     host: str = "127.0.0.1"
@@ -123,8 +142,16 @@ class ServerConfig:
     no_cache: bool = False
     cache_max_entries: int | None = None
     cache_max_bytes: int | None = None
+    trace_dir: str | Path | None = None
+    trace_name: str | None = None
+    log_level: str = "info"
 
     def __post_init__(self) -> None:
+        if self.log_level not in obs_log.LEVELS:
+            raise ValueError(
+                f"unknown log_level {self.log_level!r}; choose from "
+                f"{list(obs_log.LEVELS)}"
+            )
         if self.jobs < 1:
             raise ValueError(f"jobs must be positive, got {self.jobs}")
         if self.max_batch < 1:
@@ -238,12 +265,20 @@ class ShuttingDown(Exception):
 
 @dataclass
 class _Pending:
-    """One admitted request waiting for its batch."""
+    """One admitted request waiting for its batch.
+
+    ``trace_id``/``trace_start`` ride along here because the batcher
+    evaluates in an executor thread, where contextvars from the
+    admitting coroutine are not reliably visible — the batch maps 1:1
+    onto its pending entries, so explicit plumbing is exact.
+    """
 
     spec: ScenarioSpec
     future: asyncio.Future
     priority: str = wire.DEFAULT_PRIORITY
     admitted_at: float = field(default_factory=time.monotonic)
+    trace_id: str | None = None
+    trace_start: float = 0.0
 
 
 def _default_evaluate_batch(
@@ -265,6 +300,9 @@ class EvaluationService:
         config: the service tunables.
         metrics: the registry ``/metrics`` snapshots (queue depth,
             batch-size and latency histograms, admission counters).
+        log: the structured event log (``NULL_LOG`` when unset).
+        runtime: the wall-clock tracer (``NULL_RUNTIME_TRACER`` when
+            unset — the zero-overhead default).
     """
 
     def __init__(
@@ -274,13 +312,17 @@ class EvaluationService:
         evaluate_batch: Callable[
             [FabricSession, Sequence[ScenarioSpec]], list[SpecRun]
         ] | None = None,
+        log: EventLog | None = None,
+        runtime: RuntimeTracer | None = None,
     ) -> None:
         self.config = config
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.log = log if log is not None else NULL_LOG
+        self.runtime = runtime if runtime is not None else NULL_RUNTIME_TRACER
         self._evaluate_batch = evaluate_batch or _default_evaluate_batch
-        self._result_cache = self._build_cache(config)
+        self._result_cache = self._build_cache(config, self.log)
         self._sessions = [
-            FabricSession(result_cache=self._result_cache)
+            FabricSession(result_cache=self._result_cache, runtime=self.runtime)
             for _ in range(config.jobs)
         ]
         self._queue: asyncio.Queue[_Pending] = asyncio.Queue(
@@ -297,7 +339,7 @@ class EvaluationService:
         self.started_at = time.monotonic()
 
     @staticmethod
-    def _build_cache(config: ServerConfig) -> ResultCache:
+    def _build_cache(config: ServerConfig, log: EventLog) -> ResultCache:
         if config.no_cache:
             return NullResultCache()
         root = (
@@ -309,6 +351,7 @@ class EvaluationService:
             root,
             max_entries=config.cache_max_entries,
             max_bytes=config.cache_max_bytes,
+            log=log,
         )
 
     # -- lifecycle ---------------------------------------------------------------
@@ -339,13 +382,18 @@ class EvaluationService:
     # -- admission ---------------------------------------------------------------
 
     def submit(
-        self, spec: ScenarioSpec, priority: str = wire.DEFAULT_PRIORITY
+        self,
+        spec: ScenarioSpec,
+        priority: str = wire.DEFAULT_PRIORITY,
+        trace_id: str | None = None,
     ) -> asyncio.Future:
         """Admit ``spec``; the future resolves to its :class:`SpecRun`.
 
         ``batch``-priority requests are held to a tighter admission
         bound (``config.batch_queue_limit``) than ``interactive`` ones,
-        so overload sheds the background class first.
+        so overload sheds the background class first. ``trace_id``, when
+        given, is stamped on the spans this request leaves in the
+        runtime tracer.
 
         Raises:
             ShuttingDown: the service is draining (map to 503).
@@ -360,23 +408,47 @@ class EvaluationService:
             )
         if self._draining:
             self.metrics.counter("serve.requests_rejected_draining").inc()
+            if self.log.enabled_for(obs_log.WARNING):
+                self.log.warning(
+                    "request.shed", priority=priority, reason="draining"
+                )
             raise ShuttingDown("the service is draining")
         if (
             priority == "batch"
             and self._queue.qsize() >= self.config.batch_queue_limit
         ):
             self.metrics.counter("serve.requests_shed_batch").inc()
+            if self.log.enabled_for(obs_log.WARNING):
+                self.log.warning(
+                    "request.shed", priority=priority, reason="batch_queue_limit"
+                )
             raise QueueFull(self.config.retry_after_s)
         future = asyncio.get_running_loop().create_future()
-        pending = _Pending(spec=spec, future=future, priority=priority)
+        pending = _Pending(
+            spec=spec,
+            future=future,
+            priority=priority,
+            trace_id=trace_id,
+            trace_start=self.runtime.now() if self.runtime.enabled else 0.0,
+        )
         try:
             self._queue.put_nowait(pending)
         except asyncio.QueueFull:
             self.metrics.counter("serve.requests_rejected_full").inc()
+            if self.log.enabled_for(obs_log.WARNING):
+                self.log.warning(
+                    "request.shed", priority=priority, reason="queue_full"
+                )
             raise QueueFull(self.config.retry_after_s) from None
         self.metrics.counter("serve.requests_admitted").inc()
         self.metrics.counter(f"serve.requests_admitted.{priority}").inc()
         self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
+        if self.log.enabled_for(obs_log.DEBUG):
+            self.log.debug(
+                "request.admitted",
+                priority=priority,
+                queue_depth=self._queue.qsize(),
+            )
         return future
 
     # -- batching ----------------------------------------------------------------
@@ -453,6 +525,21 @@ class EvaluationService:
         self.metrics.histogram("serve.batch_size").observe(len(batch))
         specs = [pending.spec for pending in batch]
         loop = asyncio.get_running_loop()
+        runtime = self.runtime
+        batch_start = 0.0
+        if runtime.enabled:
+            # The linger/queue wait ends here: one span per request from
+            # its admission to the moment its batch dispatches.
+            batch_start = runtime.now()
+            for pending in batch:
+                runtime.complete(
+                    "serve.queue",
+                    "serve",
+                    pending.trace_start,
+                    batch_start,
+                    trace_id=pending.trace_id,
+                    args={"priority": pending.priority},
+                )
         try:
             rows = await loop.run_in_executor(
                 self._executor, self._evaluate_batch, session, specs
@@ -462,6 +549,27 @@ class EvaluationService:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
         else:
+            if runtime.enabled:
+                batch_end = runtime.now()
+                runtime.complete(
+                    "serve.batch",
+                    "serve",
+                    batch_start,
+                    batch_end,
+                    args={"batch_size": len(batch)},
+                )
+                for pending, row in zip(batch, rows):
+                    runtime.complete(
+                        "serve.evaluate",
+                        "serve",
+                        batch_start,
+                        batch_end,
+                        trace_id=pending.trace_id,
+                        args={
+                            "fabric": pending.spec.fabric,
+                            "cache": "hit" if row.from_cache else "miss",
+                        },
+                    )
             for pending, row in zip(batch, rows):
                 if not pending.future.done():
                     pending.future.set_result(row)
@@ -527,6 +635,11 @@ class EvaluationService:
             payload["disk_cache"] = self._result_cache.cache_stats()
         return payload
 
+    def metrics_prometheus(self) -> str:
+        """The ``/metrics?format=prometheus`` text exposition."""
+        self._refresh_cache_metrics()
+        return prometheus.render_exposition(self.metrics)
+
 
 def _result_body(row: SpecRun) -> bytes:
     """The evaluate response body.
@@ -555,10 +668,16 @@ class ReproServer:
         evaluate_batch: Callable[
             [FabricSession, Sequence[ScenarioSpec]], list[SpecRun]
         ] | None = None,
+        log: EventLog | None = None,
+        runtime: RuntimeTracer | None = None,
     ) -> None:
         self.config = config
         self.service = EvaluationService(
-            config, metrics=metrics, evaluate_batch=evaluate_batch
+            config,
+            metrics=metrics,
+            evaluate_batch=evaluate_batch,
+            log=log,
+            runtime=runtime,
         )
         self._server: asyncio.Server | None = None
         self._handlers: set[asyncio.Task] = set()
@@ -619,21 +738,39 @@ class ReproServer:
                 pass
 
     async def _route(self, request: wire.Request) -> bytes:
-        if request.path == "/healthz":
+        route = request.route
+        if route == "/healthz":
             if request.method != "GET":
                 return self._method_not_allowed("GET")
             return wire.json_response(200, self.service.health())
-        if request.path == "/metrics":
+        if route == "/metrics":
             if request.method != "GET":
                 return self._method_not_allowed("GET")
-            return wire.json_response(200, self.service.metrics_payload())
-        if request.path == "/v1/evaluate":
+            return self._metrics_response(request)
+        if route == "/v1/evaluate":
             if request.method != "POST":
                 return self._method_not_allowed("POST")
             return await self._evaluate(request)
         return wire.error_response(
             404, "not_found", f"no route for {request.path!r}"
         )
+
+    def _metrics_response(self, request: wire.Request) -> bytes:
+        fmt = request.query_params().get("format", "json")
+        if fmt == "prometheus":
+            return wire.response_bytes(
+                200,
+                self.service.metrics_prometheus().encode("utf-8"),
+                content_type=prometheus.CONTENT_TYPE,
+            )
+        if fmt != "json":
+            return wire.error_response(
+                400,
+                "bad_format",
+                f"unknown metrics format {fmt!r}; expected 'json' or "
+                f"'prometheus'",
+            )
+        return wire.json_response(200, self.service.metrics_payload())
 
     @staticmethod
     def _method_not_allowed(allowed: str) -> bytes:
@@ -645,24 +782,52 @@ class ReproServer:
         )
 
     async def _evaluate(self, request: wire.Request) -> bytes:
+        trace_id = request.headers.get(wire.TRACE_HEADER.lower())
+        if trace_id is not None and not valid_trace_id(trace_id):
+            # A hostile header must not inject bytes into traces/logs.
+            trace_id = new_trace_id()
+        runtime = self.service.runtime
+        if trace_id is None and runtime.enabled:
+            trace_id = new_trace_id()
+        trace_headers: tuple[tuple[str, str], ...] = (
+            ((wire.TRACE_HEADER, trace_id),) if trace_id else ()
+        )
+        if not runtime.enabled:
+            return await self._evaluate_traced(request, trace_id, trace_headers)
+        with runtime.span("serve.request", "serve", trace_id=trace_id):
+            return await self._evaluate_traced(request, trace_id, trace_headers)
+
+    async def _evaluate_traced(
+        self,
+        request: wire.Request,
+        trace_id: str | None,
+        trace_headers: tuple[tuple[str, str], ...],
+    ) -> bytes:
+        log = self.service.log
         try:
             spec, priority = parse_evaluate_request(request)
         except EvaluateRequestError as exc:
-            return wire.error_response(exc.status, exc.code, str(exc))
+            return wire.error_response(
+                exc.status, exc.code, str(exc), extra_headers=trace_headers
+            )
         try:
-            future = self.service.submit(spec, priority=priority)
+            future = self.service.submit(
+                spec, priority=priority, trace_id=trace_id
+            )
         except ShuttingDown:
             return wire.error_response(
-                503, "draining", "the service is shutting down"
+                503,
+                "draining",
+                "the service is shutting down",
+                extra_headers=trace_headers,
             )
         except QueueFull as exc:
             return wire.error_response(
                 429,
                 "queue_full",
                 str(exc),
-                extra_headers=(
-                    ("Retry-After", f"{max(1, round(exc.retry_after_s))}"),
-                ),
+                extra_headers=trace_headers
+                + (("Retry-After", f"{max(1, round(exc.retry_after_s))}"),),
             )
         try:
             row: SpecRun = await asyncio.wait_for(
@@ -670,27 +835,45 @@ class ReproServer:
             )
         except asyncio.TimeoutError:
             self.service.metrics.counter("serve.requests_timed_out").inc()
+            if log.enabled_for(obs_log.WARNING):
+                log.warning(
+                    "request.timeout", deadline_s=self.config.request_timeout_s
+                )
             return wire.error_response(
                 504,
                 "timeout",
                 f"evaluation exceeded {self.config.request_timeout_s:g} s",
+                extra_headers=trace_headers,
             )
         except UnsupportedOutput as exc:
-            return wire.error_response(400, "unsupported_output", str(exc))
+            return wire.error_response(
+                400, "unsupported_output", str(exc), extra_headers=trace_headers
+            )
         except (KeyError, ValueError) as exc:
             return wire.error_response(
-                400, "bad_spec", f"evaluation rejected the spec: {exc}"
+                400,
+                "bad_spec",
+                f"evaluation rejected the spec: {exc}",
+                extra_headers=trace_headers,
             )
         except Exception as exc:  # noqa: BLE001 - the envelope must answer
+            if log.enabled_for(obs_log.ERROR):
+                log.error(
+                    "request.failed", status=500, code="internal", message=str(exc)
+                )
             return wire.error_response(
-                500, "internal", f"evaluation failed: {exc}"
+                500,
+                "internal",
+                f"evaluation failed: {exc}",
+                extra_headers=trace_headers,
             )
         return wire.response_bytes(
             200,
             _result_body(row),
             extra_headers=(
                 (wire.CACHE_HEADER, "hit" if row.from_cache else "miss"),
-            ),
+            )
+            + trace_headers,
         )
 
 
@@ -711,9 +894,13 @@ class ServerThread:
         evaluate_batch: Callable[
             [FabricSession, Sequence[ScenarioSpec]], list[SpecRun]
         ] | None = None,
+        log: EventLog | None = None,
+        runtime: RuntimeTracer | None = None,
     ) -> None:
         self.config = config
         self.metrics = metrics
+        self.log = log
+        self.runtime = runtime
         self._evaluate_batch = evaluate_batch
         self.port: int | None = None
         self.server: ReproServer | None = None
@@ -758,6 +945,8 @@ class ServerThread:
             self.config,
             metrics=self.metrics,
             evaluate_batch=self._evaluate_batch,
+            log=self.log,
+            runtime=self.runtime,
         )
         self._stop = asyncio.Event()
         self._loop = asyncio.get_running_loop()
@@ -776,38 +965,59 @@ class ServerThread:
 def run_server(config: ServerConfig) -> int:
     """Run the service until SIGTERM/SIGINT; the ``repro serve`` body.
 
+    Narrates its lifecycle through the structured event log on stderr
+    (one JSON object per line). The ``serve.listening`` record carries
+    the bound URL in its payload, so readiness probes that grep stderr
+    for ``http://host:port`` keep working; ``serve.drained`` keeps the
+    ``drained cleanly`` phrase in its ``message`` for the same reason.
+
     Returns:
         0 after a clean drain.
     """
+    name = config.trace_name or "serve"
+    log = EventLog(sys.stderr, level=config.log_level, source=name)
+    runtime = (
+        RuntimeTracer(name) if config.trace_dir is not None
+        else NULL_RUNTIME_TRACER
+    )
 
     async def main() -> int:
-        server = ReproServer(config)
+        server = ReproServer(config, log=log, runtime=runtime)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(signum, stop.set)
         await server.start()
-        print(
-            f"repro serve listening on http://{config.host}:{server.port} "
-            f"(jobs={config.jobs}, max_batch={config.max_batch}, "
-            f"linger={config.linger_ms:g} ms, "
-            f"queue_limit={config.queue_limit}, "
-            f"cache={'off' if config.no_cache else 'on'})",
-            file=sys.stderr,
-            flush=True,
+        url = f"http://{config.host}:{server.port}"
+        log.info(
+            "serve.listening",
+            url=url,
+            message=(
+                f"repro serve listening on {url} "
+                f"(jobs={config.jobs}, max_batch={config.max_batch}, "
+                f"linger={config.linger_ms:g} ms, "
+                f"queue_limit={config.queue_limit}, "
+                f"cache={'off' if config.no_cache else 'on'})"
+            ),
         )
         await stop.wait()
-        print("repro serve draining...", file=sys.stderr, flush=True)
+        log.info("serve.draining")
         await server.shutdown()
-        completed = server.service.metrics.counter(
-            "serve.requests_completed"
-        ).value
-        print(
-            f"repro serve drained cleanly "
-            f"({completed:g} requests completed)",
-            file=sys.stderr,
-            flush=True,
+        completed = int(
+            server.service.metrics.counter("serve.requests_completed").value
         )
+        log.info(
+            "serve.drained",
+            requests_completed=completed,
+            message=(
+                f"repro serve drained cleanly "
+                f"({completed} requests completed)"
+            ),
+        )
+        if runtime.enabled and config.trace_dir is not None:
+            runtime.write(
+                Path(config.trace_dir) / f"{name}-{runtime.pid}.trace.json"
+            )
         return 0
 
     return asyncio.run(main())

@@ -56,7 +56,16 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from ..api.cache import default_cache_dir, spec_key, tier_cache_stats
+from ..obs import log as obs_log
+from ..obs import prometheus
+from ..obs.log import NULL_LOG, EventLog
 from ..obs.metrics import MetricsRegistry
+from ..obs.runtime import (
+    NULL_RUNTIME_TRACER,
+    RuntimeTracer,
+    new_trace_id,
+    valid_trace_id,
+)
 from . import wire
 from .service import (
     DEFAULT_PORT,
@@ -272,10 +281,14 @@ class SubprocessWorkers:
     """
 
     def __init__(
-        self, config: ShardConfig, metrics: MetricsRegistry | None = None
+        self,
+        config: ShardConfig,
+        metrics: MetricsRegistry | None = None,
+        log: EventLog | None = None,
     ) -> None:
         self.config = config
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.log = log if log is not None else NULL_LOG
         self.slots = [_WorkerSlot(index) for index in range(config.workers)]
         self._stopping = False
         self._spawn_locks = [threading.Lock() for _ in range(config.workers)]
@@ -294,7 +307,13 @@ class SubprocessWorkers:
             "--queue-limit", str(worker.queue_limit),
             "--batch-shed-fraction", str(worker.batch_shed_fraction),
             "--timeout-s", str(worker.request_timeout_s),
+            "--log-level", worker.log_level,
         ]
+        if worker.trace_dir is not None:
+            command.extend(
+                ["--trace-dir", str(worker.trace_dir), "--trace-name",
+                 f"w{slot}"]
+            )
         cache_dir = self.config.worker_cache_dir(slot)
         if cache_dir is None:
             command.append("--no-cache")
@@ -367,6 +386,10 @@ class SubprocessWorkers:
             ).start()
             slot.process = process
             slot.port = port
+            if self.log.enabled_for(obs_log.INFO):
+                self.log.info(
+                    "worker.spawn", slot=slot.index, port=port, pid=process.pid
+                )
 
     @staticmethod
     def _drain_stderr(process: subprocess.Popen, tail: deque) -> None:
@@ -398,12 +421,19 @@ class SubprocessWorkers:
         for slot in dead:
             slot.restarts += 1
             self.metrics.counter("serve.worker_restarts").inc()
+            if self.log.enabled_for(obs_log.WARNING):
+                self.log.warning(
+                    "worker.death", slot=slot.index, restarts=slot.restarts
+                )
         await asyncio.gather(
             *(
                 loop.run_in_executor(None, self._spawn_sync, slot)
                 for slot in dead
             )
         )
+        if self.log.enabled_for(obs_log.INFO):
+            for slot in dead:
+                self.log.info("worker.respawn", slot=slot.index)
         return len(dead)
 
     def _terminate_sync(self) -> None:
@@ -509,13 +539,17 @@ class ShardRouter:
         config: ShardConfig,
         metrics: MetricsRegistry | None = None,
         workers: Any | None = None,
+        log: EventLog | None = None,
+        runtime: RuntimeTracer | None = None,
     ) -> None:
         self.config = config
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.log = log if log is not None else NULL_LOG
+        self.runtime = runtime if runtime is not None else NULL_RUNTIME_TRACER
         self.workers = (
             workers
             if workers is not None
-            else SubprocessWorkers(config, self.metrics)
+            else SubprocessWorkers(config, self.metrics, log=self.log)
         )
         self.ring = HashRing(
             [f"w{index}" for index in range(config.workers)],
@@ -577,11 +611,8 @@ class ShardRouter:
                 await self.workers.ensure_alive()
             except Exception as exc:  # noqa: BLE001 - keep supervising
                 self.metrics.counter("serve.worker_respawn_failures").inc()
-                self._log(f"worker respawn failed: {exc}")
-
-    @staticmethod
-    def _log(message: str) -> None:
-        print(f"repro serve router: {message}", file=sys.stderr, flush=True)
+                if self.log.enabled_for(obs_log.ERROR):
+                    self.log.error("worker.respawn_failed", error=str(exc))
 
     # -- connection handling -----------------------------------------------------
 
@@ -615,15 +646,30 @@ class ShardRouter:
                 pass
 
     async def _route(self, request: wire.Request) -> bytes:
-        if request.path == "/healthz":
+        route = request.route
+        if route == "/healthz":
             if request.method != "GET":
                 return self._method_not_allowed("GET")
             return wire.json_response(200, self.health())
-        if request.path == "/metrics":
+        if route == "/metrics":
             if request.method != "GET":
                 return self._method_not_allowed("GET")
+            fmt = request.query_params().get("format", "json")
+            if fmt == "prometheus":
+                return wire.response_bytes(
+                    200,
+                    (await self.metrics_prometheus()).encode("utf-8"),
+                    content_type=prometheus.CONTENT_TYPE,
+                )
+            if fmt != "json":
+                return wire.error_response(
+                    400,
+                    "bad_format",
+                    f"unknown metrics format {fmt!r}; expected 'json' or "
+                    f"'prometheus'",
+                )
             return wire.json_response(200, await self.metrics_payload())
-        if request.path == "/v1/evaluate":
+        if route == "/v1/evaluate":
             if request.method != "POST":
                 return self._method_not_allowed("POST")
             return await self._evaluate(request)
@@ -643,14 +689,32 @@ class ShardRouter:
     # -- evaluation: admission, single-flight, routing ---------------------------
 
     async def _evaluate(self, request: wire.Request) -> bytes:
+        trace_id = request.headers.get(wire.TRACE_HEADER.lower())
+        if trace_id is not None and not valid_trace_id(trace_id):
+            # A hostile header must not inject bytes into traces/logs.
+            trace_id = new_trace_id()
+        if trace_id is None and self.runtime.enabled:
+            trace_id = new_trace_id()
+        trace_headers: tuple[tuple[str, str], ...] = (
+            ((wire.TRACE_HEADER, trace_id),) if trace_id else ()
+        )
         try:
             spec, priority = parse_evaluate_request(request)
         except EvaluateRequestError as exc:
-            return wire.error_response(exc.status, exc.code, str(exc))
+            return wire.error_response(
+                exc.status, exc.code, str(exc), extra_headers=trace_headers
+            )
         if self._draining:
             self.metrics.counter("serve.requests_rejected_draining").inc()
+            if self.log.enabled_for(obs_log.WARNING):
+                self.log.warning(
+                    "request.shed", priority=priority, reason="draining"
+                )
             return wire.error_response(
-                503, "draining", "the service is shutting down"
+                503,
+                "draining",
+                "the service is shutting down",
+                extra_headers=trace_headers,
             )
         limit = (
             self.config.admission_limit
@@ -664,23 +728,39 @@ class ShardRouter:
                 else "serve.requests_rejected_full"
             )
             self.metrics.counter(counter).inc()
+            if self.log.enabled_for(obs_log.WARNING):
+                self.log.warning(
+                    "request.shed",
+                    priority=priority,
+                    reason="router_admission_limit",
+                )
             retry_after = self.config.worker.retry_after_s
             return wire.error_response(
                 429,
                 "queue_full",
                 f"router admission limit reached for {priority!r} requests; "
                 f"retry after {retry_after:g} s",
-                extra_headers=(
-                    ("Retry-After", f"{max(1, round(retry_after))}"),
-                ),
+                extra_headers=trace_headers
+                + (("Retry-After", f"{max(1, round(retry_after))}"),),
             )
         self._active += 1
         self.metrics.counter("serve.requests_admitted").inc()
         self.metrics.counter(f"serve.requests_admitted.{priority}").inc()
         self.metrics.gauge("serve.active_requests").set(self._active)
+        if self.log.enabled_for(obs_log.DEBUG):
+            self.log.debug("request.admitted", priority=priority)
         began = time.monotonic()
         try:
-            return await self._evaluate_admitted(request, spec, priority, began)
+            if not self.runtime.enabled:
+                return await self._evaluate_admitted(
+                    request, spec, priority, began, trace_id, trace_headers
+                )
+            with self.runtime.span(
+                "router.request", "router", trace_id=trace_id
+            ):
+                return await self._evaluate_admitted(
+                    request, spec, priority, began, trace_id, trace_headers
+                )
         finally:
             self._active -= 1
             self.metrics.gauge("serve.active_requests").set(self._active)
@@ -691,19 +771,30 @@ class ShardRouter:
         spec: Any,
         priority: str,
         began: float,
+        trace_id: str | None,
+        trace_headers: tuple[tuple[str, str], ...],
     ) -> bytes:
         key = spec_key(spec)
         task = self._inflight.get(key)
         if task is None:
             role = "leader"
             task = asyncio.get_running_loop().create_task(
-                self._forward_with_failover(key, request)
+                self._forward_with_failover(key, request, trace_id)
             )
             self._inflight[key] = task
             task.add_done_callback(self._discard_inflight(key, task))
         else:
             role = "follower"
             self.metrics.counter("serve.requests_coalesced").inc()
+            if self.log.enabled_for(obs_log.DEBUG):
+                self.log.debug("request.coalesced", role=role, key=key[:16])
+        if self.runtime.enabled:
+            self.runtime.instant(
+                "router.singleflight",
+                "router",
+                trace_id=trace_id,
+                args={"role": role, "key": key[:16]},
+            )
         try:
             # shield(): a waiter's deadline (or disconnect) must not
             # cancel the shared evaluation other waiters ride on.
@@ -712,15 +803,29 @@ class ShardRouter:
             )
         except asyncio.TimeoutError:
             self.metrics.counter("serve.requests_timed_out").inc()
+            if self.log.enabled_for(obs_log.WARNING):
+                self.log.warning(
+                    "request.timeout",
+                    deadline_s=self.config.worker.request_timeout_s,
+                )
             return wire.error_response(
                 504,
                 "timeout",
                 f"evaluation exceeded "
                 f"{self.config.worker.request_timeout_s:g} s",
+                extra_headers=trace_headers,
             )
         except WorkerUnavailable as exc:
+            if self.log.enabled_for(obs_log.ERROR):
+                self.log.error(
+                    "request.failed", status=502, code="no_worker",
+                    message=str(exc),
+                )
             return wire.error_response(
-                502, "no_worker", f"no worker could serve the request: {exc}"
+                502,
+                "no_worker",
+                f"no worker could serve the request: {exc}",
+                extra_headers=trace_headers,
             )
         elapsed = time.monotonic() - began
         self.metrics.histogram("serve.request_seconds").observe(elapsed)
@@ -738,6 +843,7 @@ class ShardRouter:
             (wire.WORKER_HEADER, headers.get(wire.WORKER_HEADER.lower(), "?"))
         )
         passthrough.append((wire.COALESCED_HEADER, role))
+        passthrough.extend(trace_headers)
         return wire.response_bytes(
             status, body, extra_headers=tuple(passthrough)
         )
@@ -752,13 +858,16 @@ class ShardRouter:
         return callback
 
     async def _forward_with_failover(
-        self, key: str, request: wire.Request
+        self, key: str, request: wire.Request, trace_id: str | None = None
     ) -> tuple[int, dict[str, str], bytes]:
         """Forward to the key's owner; fail over along the ring if down.
 
         Results are deterministic, so a failover answer is byte-identical
         to the owner's — the ring order only decides whose cache gets
         warmed. The supervisor respawns the dead owner in the background.
+        The leader's ``trace_id`` is forwarded over
+        :data:`~repro.serve.wire.TRACE_HEADER`, so the worker's spans
+        join the router's timeline.
         """
         forwarded = (
             (
@@ -768,17 +877,43 @@ class ShardRouter:
                 ),
             ),
         )
+        if trace_id is not None:
+            forwarded += ((wire.TRACE_HEADER, trace_id),)
+        runtime = self.runtime
         last: WorkerUnavailable | None = None
         for node in self.ring.lookup_order(key):
             slot = int(node[1:])
+            hop_start = runtime.now() if runtime.enabled else 0.0
             try:
                 status, headers, body = await self.workers.forward(
                     slot, "POST", "/v1/evaluate", request.body, forwarded
                 )
             except WorkerUnavailable as exc:
+                if runtime.enabled:
+                    runtime.complete(
+                        "router.proxy",
+                        "router",
+                        hop_start,
+                        runtime.now(),
+                        trace_id=trace_id,
+                        args={"worker": node, "outcome": "unavailable"},
+                    )
                 self.metrics.counter("serve.router_failovers").inc()
+                if self.log.enabled_for(obs_log.WARNING):
+                    self.log.warning(
+                        "request.failover", slot=slot, key=key[:16]
+                    )
                 last = exc
                 continue
+            if runtime.enabled:
+                runtime.complete(
+                    "router.proxy",
+                    "router",
+                    hop_start,
+                    runtime.now(),
+                    trace_id=trace_id,
+                    args={"worker": node, "status": status},
+                )
             headers[wire.WORKER_HEADER.lower()] = node
             return status, headers, body
         raise WorkerUnavailable(f"all {len(self.ring)} workers down: {last}")
@@ -806,35 +941,43 @@ class ShardRouter:
             "uptime_s": round(time.monotonic() - self.started_at, 3),
         }
 
-    async def metrics_payload(self) -> dict[str, Any]:
-        """The router's ``/metrics``: own registry + per-worker payloads
-        + shared-tier cache totals."""
-        payload: dict[str, Any] = {"metrics": self.metrics.snapshot()}
-        worker_payloads: dict[str, Any] = {}
+    async def _fetch_worker_metrics(self) -> list[dict[str, Any]]:
+        """Every worker's ``/metrics`` payload, fetched concurrently.
 
-        async def fetch(slot: int, name: str) -> None:
+        ``asyncio.gather`` preserves input order, so the result list is
+        in slot-numeric order — ``w10`` never sorts before ``w2`` the
+        way a lexical key sort would put it.
+        """
+
+        async def fetch(slot: int) -> dict[str, Any]:
             try:
                 status, _, body = await self.workers.forward(
                     slot, "GET", "/metrics"
                 )
                 if status == 200:
-                    worker_payloads[name] = json.loads(body)
-                else:
-                    worker_payloads[name] = {"error": f"HTTP {status}"}
+                    return json.loads(body)
+                return {"error": f"HTTP {status}"}
             except WorkerUnavailable as exc:
-                worker_payloads[name] = {"error": str(exc)}
+                return {"error": str(exc)}
 
-        await asyncio.gather(
-            *(
-                fetch(index, f"w{index}")
-                for index in range(self.config.workers)
+        return list(
+            await asyncio.gather(
+                *(fetch(index) for index in range(self.config.workers))
             )
         )
+
+    async def metrics_payload(self) -> dict[str, Any]:
+        """The router's ``/metrics``: own registry + per-worker payloads
+        + shared-tier cache totals (workers keyed ``w0``..``wN`` in slot
+        order)."""
+        payload: dict[str, Any] = {"metrics": self.metrics.snapshot()}
+        worker_payloads = await self._fetch_worker_metrics()
         payload["workers"] = {
-            name: worker_payloads[name] for name in sorted(worker_payloads)
+            f"w{index}": worker_payload
+            for index, worker_payload in enumerate(worker_payloads)
         }
         tier = {"hits": 0, "misses": 0, "eval_seconds": 0.0}
-        for worker_payload in worker_payloads.values():
+        for worker_payload in worker_payloads:
             cache = worker_payload.get("cache")
             if isinstance(cache, dict):
                 tier["hits"] += cache.get("hits", 0)
@@ -853,6 +996,30 @@ class ShardRouter:
             )
         return payload
 
+    async def metrics_prometheus(self) -> str:
+        """The router's ``/metrics?format=prometheus`` exposition.
+
+        The router's own registry renders with full histogram bucket
+        series; each worker's snapshot (held only as JSON) renders as
+        additional ``{worker="wN"}``-labeled samples without TYPE
+        re-declarations, so the combined text stays parseable.
+        """
+        extra: list[str] = []
+        for index, worker_payload in enumerate(
+            await self._fetch_worker_metrics()
+        ):
+            snapshot = worker_payload.get("metrics")
+            if not isinstance(snapshot, dict):
+                continue
+            extra.extend(
+                prometheus.render_snapshot(
+                    snapshot,
+                    labels={"worker": f"w{index}"},
+                    declare_types=False,
+                )
+            )
+        return prometheus.render_exposition(self.metrics, extra_lines=extra)
+
 
 class ShardThread:
     """A :class:`ShardRouter` on a background thread (tests, benches).
@@ -867,9 +1034,13 @@ class ShardThread:
         config: ShardConfig,
         metrics: MetricsRegistry | None = None,
         workers: Any | None = None,
+        log: EventLog | None = None,
+        runtime: RuntimeTracer | None = None,
     ) -> None:
         self.config = config
         self.metrics = metrics
+        self.log = log
+        self.runtime = runtime
         self._workers = workers
         self.port: int | None = None
         self.router: ShardRouter | None = None
@@ -915,7 +1086,11 @@ class ShardThread:
 
     async def _main(self) -> None:
         self.router = ShardRouter(
-            self.config, metrics=self.metrics, workers=self._workers
+            self.config,
+            metrics=self.metrics,
+            workers=self._workers,
+            log=self.log,
+            runtime=self.runtime,
         )
         self._stop = asyncio.Event()
         self._loop = asyncio.get_running_loop()
@@ -943,33 +1118,50 @@ def run_sharded(config: ShardConfig) -> int:
         0 after a clean drain.
     """
 
+    log = EventLog(sys.stderr, level=config.worker.log_level, source="router")
+    runtime = (
+        RuntimeTracer("router") if config.worker.trace_dir is not None
+        else NULL_RUNTIME_TRACER
+    )
+
     async def main() -> int:
-        router = ShardRouter(config)
+        router = ShardRouter(config, log=log, runtime=runtime)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(signum, stop.set)
         await router.start()
-        print(
-            f"repro serve router listening on "
-            f"http://{config.host}:{router.port} "
-            f"(workers={config.workers}, jobs={config.worker.jobs}, "
-            f"queue_limit={config.admission_limit}, "
-            f"batch_limit={config.batch_admission_limit}, "
-            f"cache={'off' if config.worker.no_cache else 'on'})",
-            file=sys.stderr,
-            flush=True,
+        url = f"http://{config.host}:{router.port}"
+        log.info(
+            "serve.listening",
+            url=url,
+            message=(
+                f"repro serve router listening on {url} "
+                f"(workers={config.workers}, jobs={config.worker.jobs}, "
+                f"queue_limit={config.admission_limit}, "
+                f"batch_limit={config.batch_admission_limit}, "
+                f"cache={'off' if config.worker.no_cache else 'on'})"
+            ),
         )
         await stop.wait()
-        print("repro serve router draining...", file=sys.stderr, flush=True)
+        log.info("serve.draining")
         await router.shutdown()
-        completed = router.metrics.counter("serve.requests_completed").value
-        print(
-            f"repro serve router drained cleanly "
-            f"({completed:g} requests completed)",
-            file=sys.stderr,
-            flush=True,
+        completed = int(
+            router.metrics.counter("serve.requests_completed").value
         )
+        log.info(
+            "serve.drained",
+            requests_completed=completed,
+            message=(
+                f"repro serve router drained cleanly "
+                f"({completed} requests completed)"
+            ),
+        )
+        if runtime.enabled and config.worker.trace_dir is not None:
+            runtime.write(
+                Path(config.worker.trace_dir)
+                / f"router-{runtime.pid}.trace.json"
+            )
         return 0
 
     return asyncio.run(main())

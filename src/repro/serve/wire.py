@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -24,6 +25,7 @@ __all__ = [
     "CACHE_HEADER",
     "COALESCED_HEADER",
     "WORKER_HEADER",
+    "TRACE_HEADER",
     "ProtocolError",
     "Request",
     "read_request",
@@ -59,6 +61,13 @@ COALESCED_HEADER = "X-Repro-Coalesced"
 #: Response header set by the shard router: the worker slot (``w0``,
 #: ``w1``, ...) that produced the response body.
 WORKER_HEADER = "X-Repro-Worker"
+
+#: Request *and* response header carrying the request's trace id. A
+#: client may send one (it is validated, echoed, and stamped on every
+#: span the request leaves); otherwise the router mints one when
+#: runtime tracing is enabled and forwards it to the worker, so router
+#: and worker trace files merge into a single per-request timeline.
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 _REASONS = {
     200: "OK",
@@ -101,6 +110,22 @@ class Request:
     path: str
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+
+    @property
+    def route(self) -> str:
+        """The path with any query string stripped (``/metrics?x`` ->
+        ``/metrics``)."""
+        return self.path.partition("?")[0]
+
+    def query_params(self) -> dict[str, str]:
+        """Query-string parameters, first value per key."""
+        query = self.path.partition("?")[2]
+        if not query:
+            return {}
+        return {
+            key: values[0]
+            for key, values in urllib.parse.parse_qs(query).items()
+        }
 
     def json(self) -> Any:
         """The body decoded as JSON.

@@ -136,6 +136,35 @@ class TestMetrics:
         assert snap["mean"] == pytest.approx(2.0)
         assert (snap["min"], snap["max"]) == (1.0, 3.0)
 
+    def test_histogram_snapshot_percentiles_nearest_rank(self):
+        hist = Histogram()
+        for v in range(1, 101):  # 1..100
+            hist.observe(float(v))
+        snap = hist.snapshot()
+        # Nearest-rank over n=100: rank = ceil(f * 100).
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+        assert snap["p99"] == 99.0
+        assert hist.percentile(0.50) == 50.0
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        snap = Histogram().snapshot()
+        assert (snap["p50"], snap["p95"], snap["p99"]) == (0.0, 0.0, 0.0)
+
+    def test_histogram_cumulative_buckets(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        for v in (0.5, 1.5, 99.0):
+            hist.observe(v)
+        assert hist.cumulative_buckets() == (
+            (1.0, 1), (2.0, 2), (float("inf"), 3)
+        )
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
 
 class TestMetricsRegistry:
     def test_create_on_demand_and_reuse(self):
@@ -161,6 +190,51 @@ class TestMetricsRegistry:
         assert list(snap) == ["alpha", "mid", "zeta"]
         assert snap["alpha"]["kind"] == "counter"
         assert snap["mid"]["kind"] == "histogram"
+
+
+class TestMetricsRegistryConcurrency:
+    """The registry and its metrics are shared across the server's event
+    loop and executor threads — increments must not be lost."""
+
+    THREADS = 8
+    ITERATIONS = 500
+
+    def hammer(self, work):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+
+        def loop():
+            barrier.wait()
+            for _ in range(self.ITERATIONS):
+                work()
+
+        threads = [
+            threading.Thread(target=loop) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_increments_not_lost(self):
+        registry = MetricsRegistry()
+        self.hammer(lambda: registry.counter("hits").inc())
+        assert registry.counter("hits").value == self.THREADS * self.ITERATIONS
+
+    def test_histogram_observations_not_lost(self):
+        registry = MetricsRegistry()
+        self.hammer(lambda: registry.histogram("lat").observe(0.01))
+        hist = registry.histogram("lat")
+        expected = self.THREADS * self.ITERATIONS
+        assert hist.count == expected
+        assert hist.total == pytest.approx(expected * 0.01)
+        assert hist.cumulative_buckets()[-1][1] == expected
+
+    def test_concurrent_get_or_create_single_instance(self):
+        registry = MetricsRegistry()
+        self.hammer(lambda: registry.counter("same").inc())
+        assert len(registry) == 1
 
 
 class TestTraceSummary:

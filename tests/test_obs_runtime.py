@@ -1,0 +1,195 @@
+"""Tests for wall-clock request tracing (``repro.obs.runtime``).
+
+The tracer's clock is injectable, so everything here is deterministic:
+a scripted clock drives spans to exact microsecond timestamps and the
+exported Chrome JSON is asserted byte-for-byte stable across runs.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.runtime import (
+    NULL_RUNTIME_TRACER,
+    RuntimeTracer,
+    merge_traces,
+    new_trace_id,
+    valid_trace_id,
+    write_merged,
+)
+
+
+class FakeClock:
+    """A scripted clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, start=100.0, step=0.25):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_tracer(name="router", pid=4242, **clock_kwargs):
+    return RuntimeTracer(name, clock=FakeClock(**clock_kwargs), pid=pid)
+
+
+class TestTraceIds:
+    def test_minted_ids_are_valid_and_distinct(self):
+        first, second = new_trace_id(), new_trace_id()
+        assert valid_trace_id(first)
+        assert valid_trace_id(second)
+        assert first != second
+        assert len(first) == 32
+
+    @pytest.mark.parametrize(
+        "value", ["abc", "Trace-1", "a.b_c-d", "x" * 64]
+    )
+    def test_accepts_header_safe_ids(self, value):
+        assert valid_trace_id(value)
+
+    @pytest.mark.parametrize(
+        "value",
+        [None, "", "x" * 65, "has space", "semi;colon", "new\nline",
+         "quote\"", "ünïcode"],
+    )
+    def test_rejects_hostile_ids(self, value):
+        assert not valid_trace_id(value)
+
+
+class TestRuntimeTracer:
+    def test_seeds_process_name_metadata(self):
+        tracer = make_tracer(name="w3", pid=77)
+        (meta,) = tracer.events
+        assert meta.ph == "M"
+        assert meta.name == "process_name"
+        assert meta.pid == 77
+        assert dict(meta.args) == {"name": "w3"}
+
+    def test_complete_records_wall_clock_span(self):
+        tracer = make_tracer()
+        tracer.complete(
+            "router.proxy", "router", 100.0, 100.5,
+            trace_id="t-1", args={"worker": "w0"},
+        )
+        (span,) = tracer.spans()
+        assert span.ts_us == pytest.approx(100.0 * 1e6)
+        assert span.dur_us == pytest.approx(0.5 * 1e6)
+        assert span.pid == 4242
+        assert dict(span.args) == {"worker": "w0", "trace_id": "t-1"}
+
+    def test_complete_clamps_negative_duration(self):
+        tracer = make_tracer()
+        tracer.complete("x", "c", 5.0, 4.0)
+        (span,) = tracer.spans()
+        assert span.dur_us == 0.0
+
+    def test_span_contextmanager_uses_clock_and_extra_args(self):
+        tracer = make_tracer(start=10.0, step=1.0)
+        with tracer.span("serve.request", "serve", trace_id="t-2") as extra:
+            extra["cache"] = "hit"
+        (span,) = tracer.spans("serve")
+        assert span.ts_us == pytest.approx(10.0 * 1e6)
+        assert span.dur_us == pytest.approx(1.0 * 1e6)
+        assert dict(span.args) == {"cache": "hit", "trace_id": "t-2"}
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing", "serve"):
+                raise RuntimeError("boom")
+        assert len(tracer.spans()) == 1
+
+    def test_instant_stamps_current_clock(self):
+        tracer = make_tracer(start=7.0, step=0.0)
+        tracer.instant("router.singleflight", "router", trace_id="t-3",
+                       args={"role": "follower"})
+        instant = [e for e in tracer.events if e.ph == "i"][0]
+        assert instant.ts_us == pytest.approx(7.0 * 1e6)
+        assert dict(instant.args) == {"role": "follower", "trace_id": "t-3"}
+
+    def test_export_bytes_deterministic(self):
+        def build():
+            tracer = make_tracer()
+            tracer.thread_name(0, "event-loop")
+            tracer.complete("b", "c", 100.0, 101.0, trace_id="t")
+            tracer.complete("a", "c", 100.0, 101.0, trace_id="t")
+            return tracer.to_json()
+
+        first, second = build(), build()
+        assert first == second
+        names = [
+            e["name"] for e in json.loads(first)["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        # Same-timestamp spans sort by name: the merge total order.
+        assert names == ["a", "b"]
+
+    def test_write_round_trips(self, tmp_path):
+        tracer = make_tracer()
+        tracer.complete("x", "c", 1.0, 2.0)
+        path = tracer.write(tmp_path / "sub" / "t.trace.json")
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert len(data["traceEvents"]) == 2  # metadata + span
+
+
+class TestNullRuntimeTracer:
+    def test_disabled_and_dropping(self):
+        assert NULL_RUNTIME_TRACER.enabled is False
+        NULL_RUNTIME_TRACER.complete("x", "c", 0.0, 1.0)
+        NULL_RUNTIME_TRACER.instant("x", "c")
+        NULL_RUNTIME_TRACER.thread_name(0, "x")
+        with NULL_RUNTIME_TRACER.span("x", "c") as extra:
+            extra["ignored"] = True
+        assert NULL_RUNTIME_TRACER.events == ()
+
+
+class TestMergeTraces:
+    def _write(self, tmp_path, name, pid, spans):
+        tracer = RuntimeTracer(name, clock=FakeClock(), pid=pid)
+        for span_name, start, end, trace_id in spans:
+            tracer.complete(span_name, "serve", start, end,
+                            trace_id=trace_id)
+        return tracer.write(tmp_path / f"{name}-{pid}.trace.json")
+
+    def test_merges_processes_into_one_timeline(self, tmp_path):
+        router = self._write(
+            tmp_path, "router", 1, [("router.request", 0.0, 3.0, "t-9")]
+        )
+        worker = self._write(
+            tmp_path, "w0", 2, [("serve.evaluate", 1.0, 2.0, "t-9")]
+        )
+        merged = merge_traces([router, worker])
+        events = merged["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {1, 2}
+        assert {e["args"]["trace_id"] for e in spans} == {"t-9"}
+        # Metadata rows first, then spans in timestamp order.
+        assert [e["ph"] for e in events] == ["M", "M", "X", "X"]
+
+    def test_merge_is_input_order_independent(self, tmp_path):
+        a = self._write(tmp_path, "router", 1, [("r", 0.0, 1.0, None)])
+        b = self._write(tmp_path, "w0", 2, [("w", 0.5, 0.9, None)])
+        assert merge_traces([a, b]) == merge_traces([b, a])
+
+    def test_rejects_non_trace_json(self, tmp_path):
+        bogus = tmp_path / "not-a-trace.json"
+        bogus.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError, match="traceEvents"):
+            merge_traces([bogus])
+
+    def test_rejects_empty_inputs(self, tmp_path):
+        empty = tmp_path / "empty.trace.json"
+        empty.write_text('{"traceEvents": []}')
+        with pytest.raises(ValueError, match="no events"):
+            merge_traces([empty])
+
+    def test_write_merged_reports_count(self, tmp_path):
+        router = self._write(tmp_path, "router", 1, [("r", 0.0, 1.0, None)])
+        out, count = write_merged([router], tmp_path / "out" / "m.json")
+        assert out.exists()
+        assert count == 2
+        assert json.loads(out.read_text())["displayTimeUnit"] == "ms"

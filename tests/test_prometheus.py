@@ -1,0 +1,146 @@
+"""Tests for the Prometheus text exposition (``repro.obs.prometheus``)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    parse_exposition,
+    render_exposition,
+    render_snapshot,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.requests_completed").inc(3)
+    registry.gauge("serve.active_requests").set(2)
+    latency = registry.histogram("serve.request_seconds")
+    for value in (0.0005, 0.003, 0.03, 0.4, 7.0):
+        latency.observe(value)
+    return registry
+
+
+class TestRenderExposition:
+    def test_content_type_pin(self):
+        assert CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    def test_counter_gauge_histogram_families(self):
+        text = render_exposition(populated_registry())
+        families = parse_exposition(text)
+        assert families["repro_serve_requests_completed"]["type"] == "counter"
+        assert families["repro_serve_active_requests"]["type"] == "gauge"
+        assert families["repro_serve_request_seconds"]["type"] == "histogram"
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_exposition(populated_registry())
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_serve_request_seconds_bucket")
+        ]
+        counts = [float(line.split()[-1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert bucket_lines[-1].endswith(" 5")
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert "repro_serve_request_seconds_sum" in text
+        assert "repro_serve_request_seconds_count 5" in text
+
+    def test_ends_with_newline_and_is_deterministic(self):
+        registry = populated_registry()
+        first = render_exposition(registry)
+        assert first.endswith("\n")
+        assert first == render_exposition(registry)
+
+    def test_labels_attached_to_every_sample(self):
+        text = render_exposition(populated_registry(),
+                                 labels={"worker": "w0"})
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert 'worker="w0"' in line
+        parse_exposition(text)
+
+    def test_extra_lines_appended(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests_completed").inc()
+        extra = ['repro_custom_total{worker="w1"} 4']
+        text = render_exposition(registry, extra_lines=extra)
+        assert text.splitlines()[-1] == extra[0]
+        parse_exposition(text)
+
+    def test_dotted_names_become_underscores(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.router_failovers").inc()
+        text = render_exposition(registry)
+        assert "repro_serve_router_failovers 1" in text
+
+
+class TestRenderSnapshot:
+    def test_histogram_snapshot_renders_summary_stats(self):
+        lines = render_snapshot(
+            populated_registry().snapshot(),
+            labels={"worker": "w3"},
+            declare_types=False,
+        )
+        joined = "\n".join(lines)
+        assert not any(line.startswith("#") for line in lines)
+        for stat in ("_sum", "_count", "_min", "_max", "_p50", "_p95",
+                     "_p99"):
+            assert f"repro_serve_request_seconds{stat}" in joined
+        assert all('worker="w3"' in line for line in lines)
+
+    def test_counter_and_gauge_snapshots(self):
+        lines = render_snapshot(populated_registry().snapshot())
+        assert "# TYPE repro_serve_requests_completed counter" in lines
+        assert "repro_serve_requests_completed 3" in lines
+        assert "repro_serve_active_requests 2" in lines
+
+
+class TestParseExposition:
+    def test_rejects_missing_trailing_newline(self):
+        with pytest.raises(ValueError, match="newline"):
+            parse_exposition("repro_x 1")
+
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_exposition("this is ! not a sample\n")
+
+    def test_rejects_unparsable_value(self):
+        with pytest.raises(ValueError, match="unparsable value"):
+            parse_exposition("repro_x elephants\n")
+
+    def test_rejects_duplicate_type(self):
+        text = "# TYPE repro_x counter\n# TYPE repro_x counter\nrepro_x 1\n"
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_exposition(text)
+
+    def test_rejects_noncumulative_histogram(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_exposition(text)
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        text = "# TYPE repro_h histogram\n" 'repro_h_bucket{le="1"} 5\n'
+        with pytest.raises(ValueError, match=r"no \+Inf bucket"):
+            parse_exposition(text)
+
+    def test_rejects_count_disagreement(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_count 7\n"
+        )
+        with pytest.raises(ValueError, match="!= _count"):
+            parse_exposition(text)
+
+    def test_folds_histogram_series_into_family(self):
+        families = parse_exposition(render_exposition(populated_registry()))
+        entry = families["repro_serve_request_seconds"]
+        names = {name for name, _, _ in entry["samples"]}
+        assert "repro_serve_request_seconds_bucket" in names
+        assert "repro_serve_request_seconds_sum" in names
+        assert "repro_serve_request_seconds_count" in names
