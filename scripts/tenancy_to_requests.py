@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Convert a tenancy arrival trace into a timed serve-tier request schedule.
+
+Bridges the tenancy simulator's workload model to the serving tier: the
+same seeded job stream that drives ``repro tenancy`` becomes a JSON
+schedule of ``/v1/evaluate`` requests — one per job, fired at the job's
+(time-scaled) arrival instant, carrying a spec whose tenant slice is the
+job's shape and a priority class mapped from the job's
+(``production`` -> ``interactive``, ``best-effort`` -> ``batch``, the
+classes the router's admission control sheds by). A load generator
+replays the schedule against ``python -m repro serve`` to see the
+serving tier under the *same* churn the placement policies saw.
+
+Each request's spec gets a distinct seed (the job index), so every
+request is a cache miss unless ``--shared-seed`` collapses them into
+the single-flight/coalescing regime.
+
+Run:  PYTHONPATH=src python scripts/tenancy_to_requests.py --out schedule.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.api import ScenarioSpec, SliceSpec
+from repro.tenancy import generate_jobs
+
+#: Tenancy priority class -> serve-tier priority header value.
+PRIORITY_MAP = {"production": "interactive", "best-effort": "batch"}
+
+
+def job_spec(job, shared_seed: int | None) -> ScenarioSpec:
+    """The ``/v1/evaluate`` spec standing in for one tenant job."""
+    return ScenarioSpec(
+        fabric="photonic",
+        slices=(
+            SliceSpec(name=job.name, shape=job.shape, offset=(0,) * len(job.shape)),
+        ),
+        outputs=("costs",),
+        seed=job.index if shared_seed is None else shared_seed,
+    )
+
+
+def build_schedule(
+    days: float,
+    arrivals_per_day: float,
+    profile: str,
+    seed: int,
+    time_scale: float,
+    shared_seed: int | None,
+) -> dict:
+    jobs = generate_jobs(
+        horizon_s=days * 86400.0,
+        arrivals_per_day=arrivals_per_day,
+        profile=profile,
+        seed=seed,
+    )
+    return {
+        "workload": {
+            "days": days,
+            "arrivals_per_day": arrivals_per_day,
+            "profile": profile,
+            "seed": seed,
+            "time_scale": time_scale,
+            "jobs": len(jobs),
+        },
+        "requests": [
+            {
+                "at_s": job.arrival_s * time_scale,
+                "name": job.name,
+                "priority": PRIORITY_MAP[job.priority],
+                "chips": job.chips,
+                "spec": job_spec(job, shared_seed).to_dict(),
+            }
+            for job in jobs
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=1.0)
+    parser.add_argument("--arrivals-per-day", type=float, default=1500.0)
+    parser.add_argument(
+        "--profile", choices=("poisson", "burst", "trace"), default="poisson"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--time-scale", type=float, default=1e-3,
+        help="multiply arrival times by this factor (default 1e-3: a "
+        "day of arrivals replays in ~86 s)",
+    )
+    parser.add_argument(
+        "--shared-seed", type=int, default=None, metavar="SEED",
+        help="give every request the same spec seed (exercises the "
+        "router's single-flight coalescing instead of cold evaluation)",
+    )
+    parser.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="write the schedule JSON to PATH ('-' = stdout)",
+    )
+    args = parser.parse_args(argv)
+    if args.time_scale <= 0:
+        parser.error("--time-scale must be positive")
+
+    schedule = build_schedule(
+        days=args.days,
+        arrivals_per_day=args.arrivals_per_day,
+        profile=args.profile,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        shared_seed=args.shared_seed,
+    )
+    text = json.dumps(schedule, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(
+            f"wrote {args.out}: {schedule['workload']['jobs']} requests "
+            f"over {schedule['requests'][-1]['at_s']:.1f} s (scaled)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,9 @@ from .result import (
     SliceCost,
     TelemetryLine,
     TelemetryReport,
+    TenancyPolicyReport,
+    TenancyReport,
+    TenancySeriesPoint,
     TraceReport,
     UtilizationRow,
 )
@@ -79,6 +82,7 @@ from .spec import (
     FailurePlan,
     FleetPlan,
     ScenarioSpec,
+    TenancyPlan,
     SliceSpec,
     figure5b_slices,
     figure6_slices,
@@ -92,6 +96,7 @@ __all__ = [
     "SliceSpec",
     "FailurePlan",
     "FleetPlan",
+    "TenancyPlan",
     "DeviceSpec",
     "KNOWN_OUTPUTS",
     "figure5b_slices",
@@ -147,6 +152,9 @@ __all__ = [
     "FleetReport",
     "FleetPolicyReport",
     "FleetSeriesPoint",
+    "TenancyReport",
+    "TenancyPolicyReport",
+    "TenancySeriesPoint",
     "DeviceReport",
     # observability
     "TraceReport",

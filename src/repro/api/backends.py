@@ -35,6 +35,7 @@ from ..failures.blast_radius import compare_policies, improvement_factor
 from ..failures.inject import FleetFailureModel
 from ..failures.recovery import ElectricalRecoveryAnalysis, RackMigrationPolicy
 from ..fleet.simulator import YEAR_S, FleetConfig, FleetStats, simulate_fleet
+from ..tenancy.simulator import TenancyConfig, TenancyStats, simulate_tenancy
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer
 from ..phy.constants import CHIP_EGRESS_BYTES
@@ -63,6 +64,9 @@ from .result import (
     SliceCost,
     TelemetryLine,
     TelemetryReport,
+    TenancyPolicyReport,
+    TenancyReport,
+    TenancySeriesPoint,
     TraceReport,
 )
 from .spec import ScenarioSpec
@@ -151,6 +155,12 @@ class FabricBackend(Protocol):
         self, session: "FabricSession", spec: ScenarioSpec
     ) -> FleetReport:
         """Year-scale fleet reliability simulation (both fabrics)."""
+        ...
+
+    def tenancy_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> TenancyReport:
+        """Multi-tenant churn simulation (both fabrics)."""
         ...
 
     def trace(
@@ -484,6 +494,86 @@ class _TorusBackendBase:
             chips=config.chips,
             seed=plan.seed,
             policy=plan.policy,
+            electrical=run("electrical"),
+            photonic=run("photonic"),
+        )
+
+    # -- multi-tenant churn simulation ---------------------------------------------
+
+    def tenancy_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> TenancyReport:
+        """Simulate ``tenancy.days`` of tenant churn on both fabrics.
+
+        Both runs place the same seeded job stream with the same base
+        policy over a cluster of the spec's ``rack_shape`` tori; only
+        the photonic run may steer wavelengths (when the plan allows),
+        so the gaps isolate what reconfigurable reach is worth under
+        fragmentation.
+        """
+        plan = spec.tenancy
+        if plan.days <= 0:
+            raise UnsupportedOutput('the "tenancy" output needs tenancy.days > 0')
+        config = TenancyConfig(
+            rack_shape=spec.rack_shape,
+            racks=plan.racks,
+            horizon_s=plan.days * 24 * 3600.0,
+            arrivals_per_day=plan.arrivals_per_day,
+            profile=plan.profile,
+            seed=plan.seed,
+            mean_duration_s=plan.mean_duration_s,
+            max_queue_wait_s=plan.max_queue_wait_s,
+            steer_circuits=plan.steer_circuits,
+            series_points=plan.series_points,
+        )
+
+        def run(fabric: str) -> TenancyPolicyReport:
+            stats: TenancyStats = simulate_tenancy(
+                config,
+                fabric,
+                policy=plan.policy,
+                steering=plan.steering and fabric == "photonic",
+            )
+            return TenancyPolicyReport(
+                fabric=stats.fabric,
+                steering=stats.steering,
+                arrivals=stats.arrivals,
+                placed=stats.placed,
+                steered_placements=stats.steered_placements,
+                rejected=stats.rejected,
+                completed=stats.completed,
+                running_at_horizon=stats.running_at_horizon,
+                queued_at_horizon=stats.queued_at_horizon,
+                defrag_moves=stats.defrag_moves,
+                events_processed=stats.events_processed,
+                mean_occupancy=stats.mean_occupancy,
+                queue_delay_mean_s=stats.queue_delay_mean_s,
+                queue_delay_p50_s=stats.queue_delay_p50_s,
+                queue_delay_p90_s=stats.queue_delay_p90_s,
+                queue_delay_p99_s=stats.queue_delay_p99_s,
+                queue_delay_max_s=stats.queue_delay_max_s,
+                rejection_rate=stats.rejection_rate,
+                stranded_chip_seconds=stats.stranded_chip_seconds,
+                stranded_fraction=stats.stranded_fraction,
+                circuits_peak=stats.circuits_peak,
+                series=tuple(
+                    TenancySeriesPoint(
+                        start_s=start,
+                        end_s=end,
+                        mean_occupied_chips=mean,
+                        largest_allocatable_chips=largest,
+                        free_chips=free,
+                    )
+                    for start, end, mean, largest, free in stats.series
+                ),
+            )
+
+        return TenancyReport(
+            days=plan.days,
+            chips=config.total_chips,
+            seed=plan.seed,
+            policy=plan.policy,
+            profile=plan.profile,
             electrical=run("electrical"),
             photonic=run("photonic"),
         )
@@ -903,6 +993,14 @@ class SwitchedBackend:
     ) -> FleetReport:
         raise UnsupportedOutput(
             "the fleet simulation compares torus repair mechanisms; the "
+            "switched fabric models a single server"
+        )
+
+    def tenancy_report(
+        self, session: "FabricSession", spec: ScenarioSpec
+    ) -> TenancyReport:
+        raise UnsupportedOutput(
+            "the tenancy simulation places slices on torus racks; the "
             "switched fabric models a single server"
         )
 

@@ -37,6 +37,9 @@ __all__ = [
     "FleetSeriesPoint",
     "FleetPolicyReport",
     "FleetReport",
+    "TenancySeriesPoint",
+    "TenancyPolicyReport",
+    "TenancyReport",
     "DeviceReport",
     "TraceReport",
     "MetricLine",
@@ -795,6 +798,218 @@ class FleetReport:
 
 
 @dataclass(frozen=True)
+class TenancySeriesPoint:
+    """One bucket of the tenancy occupancy/fragmentation time series.
+
+    Attributes:
+        start_s: bucket start (simulation seconds).
+        end_s: bucket end.
+        mean_occupied_chips: time-weighted mean allocated capacity.
+        largest_allocatable_chips: chips of the largest catalog shape
+            still placeable contiguously at the bucket's end (the
+            electrical view of free capacity).
+        free_chips: total free chips at the bucket's end (what a
+            steering fabric can still use).
+    """
+
+    start_s: float
+    end_s: float
+    mean_occupied_chips: float
+    largest_allocatable_chips: int
+    free_chips: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TenancySeriesPoint":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TenancyPolicyReport:
+    """One fabric's measured span of multi-tenant churn.
+
+    Attributes:
+        fabric: ``"electrical"`` or ``"photonic"``.
+        steering: whether wavelength steering was available.
+        arrivals: jobs submitted.
+        placed: jobs that got a slice.
+        steered_placements: placements assembled from scattered chips.
+        rejected: jobs that timed out in the queue.
+        completed: jobs that finished inside the horizon.
+        running_at_horizon / queued_at_horizon: jobs still in flight.
+        defrag_moves: survivor relocations the policy performed.
+        events_processed: simulator events executed (determinism anchor).
+        mean_occupancy: time-averaged fraction of chips allocated.
+        queue_delay_mean_s: mean placement delay over placed jobs.
+        queue_delay_p50_s / p90 / p99 / max_s: delay percentiles.
+        rejection_rate: rejected / arrivals.
+        stranded_chip_seconds: chip-seconds of bandwidth the fabric
+            could not deliver to the tenants holding the chips.
+        stranded_fraction: stranded share of occupied chip-seconds.
+        circuits_peak: most wavelength circuits simultaneously lit.
+        series: occupancy/fragmentation time series.
+    """
+
+    fabric: str
+    steering: bool
+    arrivals: int
+    placed: int
+    steered_placements: int
+    rejected: int
+    completed: int
+    running_at_horizon: int
+    queued_at_horizon: int
+    defrag_moves: int
+    events_processed: int
+    mean_occupancy: float
+    queue_delay_mean_s: float
+    queue_delay_p50_s: float
+    queue_delay_p90_s: float
+    queue_delay_p99_s: float
+    queue_delay_max_s: float
+    rejection_rate: float
+    stranded_chip_seconds: float
+    stranded_fraction: float
+    circuits_peak: int
+    series: tuple[TenancySeriesPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mean_occupancy <= 1.0:
+            raise ValueError(
+                f"mean_occupancy {self.mean_occupancy} outside [0, 1]"
+            )
+        if not 0.0 <= self.rejection_rate <= 1.0:
+            raise ValueError(
+                f"rejection_rate {self.rejection_rate} outside [0, 1]"
+            )
+        if self.stranded_chip_seconds < 0:
+            raise ValueError("stranded_chip_seconds cannot be negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["series"] = [p.to_dict() for p in self.series]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TenancyPolicyReport":
+        return cls(
+            fabric=data["fabric"],
+            steering=data["steering"],
+            arrivals=data["arrivals"],
+            placed=data["placed"],
+            steered_placements=data["steered_placements"],
+            rejected=data["rejected"],
+            completed=data["completed"],
+            running_at_horizon=data["running_at_horizon"],
+            queued_at_horizon=data["queued_at_horizon"],
+            defrag_moves=data["defrag_moves"],
+            events_processed=data["events_processed"],
+            mean_occupancy=data["mean_occupancy"],
+            queue_delay_mean_s=data["queue_delay_mean_s"],
+            queue_delay_p50_s=data["queue_delay_p50_s"],
+            queue_delay_p90_s=data["queue_delay_p90_s"],
+            queue_delay_p99_s=data["queue_delay_p99_s"],
+            queue_delay_max_s=data["queue_delay_max_s"],
+            rejection_rate=data["rejection_rate"],
+            stranded_chip_seconds=data["stranded_chip_seconds"],
+            stranded_fraction=data["stranded_fraction"],
+            circuits_peak=data["circuits_peak"],
+            series=tuple(
+                TenancySeriesPoint.from_dict(p) for p in data["series"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TenancyReport:
+    """Electrical vs photonic scheduling quality (``"tenancy"`` output).
+
+    Both fabrics place the same seeded job stream under the same base
+    policy; only the photonic run may steer wavelengths. The gaps are
+    the dynamic version of the paper's Section 4.1 provisioning
+    argument: flexibility converts fragmentation into placements.
+
+    Attributes:
+        days: simulated span.
+        chips: cluster size.
+        seed: workload seed.
+        policy: base placement policy both runs used.
+        profile: arrival profile.
+        electrical: the static fabric's measured span.
+        photonic: the steerable fabric's measured span.
+    """
+
+    days: float
+    chips: int
+    seed: int
+    policy: str
+    profile: str
+    electrical: TenancyPolicyReport
+    photonic: TenancyPolicyReport
+
+    @property
+    def queue_delay_gap_s(self) -> float:
+        """Electrical minus photonic mean queueing delay."""
+        return (
+            self.electrical.queue_delay_mean_s
+            - self.photonic.queue_delay_mean_s
+        )
+
+    @property
+    def rejection_gap(self) -> float:
+        """Electrical minus photonic rejection rate."""
+        return self.electrical.rejection_rate - self.photonic.rejection_rate
+
+    @property
+    def stranded_reduction_factor(self) -> float:
+        """Electrical over photonic stranded chip-seconds (inf when 0)."""
+        if self.photonic.stranded_chip_seconds == 0:
+            return float("inf")
+        return (
+            self.electrical.stranded_chip_seconds
+            / self.photonic.stranded_chip_seconds
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; inverse of :meth:`from_dict`.
+
+        The derived gap figures are included for human consumption but
+        recomputed — not read back — so the round-trip stays exact
+        (``inf`` would not survive JSON anyway).
+        """
+        return {
+            "days": self.days,
+            "chips": self.chips,
+            "seed": self.seed,
+            "policy": self.policy,
+            "profile": self.profile,
+            "electrical": self.electrical.to_dict(),
+            "photonic": self.photonic.to_dict(),
+            "queue_delay_gap_s": self.queue_delay_gap_s,
+            "rejection_gap": self.rejection_gap,
+            "stranded_reduction_factor": (
+                None
+                if self.stranded_reduction_factor == float("inf")
+                else self.stranded_reduction_factor
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TenancyReport":
+        return cls(
+            days=data["days"],
+            chips=data["chips"],
+            seed=data["seed"],
+            policy=data["policy"],
+            profile=data["profile"],
+            electrical=TenancyPolicyReport.from_dict(data["electrical"]),
+            photonic=TenancyPolicyReport.from_dict(data["photonic"]),
+        )
+
+
+@dataclass(frozen=True)
 class DeviceReport:
     """Physical-layer device characterization (Figures 3a/3b)."""
 
@@ -1019,6 +1234,7 @@ class RunResult:
     trace: TraceReport | None = None
     metrics: MetricsReport | None = None
     fleet: FleetReport | None = None
+    tenancy: TenancyReport | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation; inverse of :meth:`from_dict`.
@@ -1062,6 +1278,8 @@ class RunResult:
             data["metrics"] = self.metrics.to_dict()
         if self.fleet is not None:
             data["fleet"] = self.fleet.to_dict()
+        if self.tenancy is not None:
+            data["tenancy"] = self.tenancy.to_dict()
         return data
 
     @classmethod
@@ -1125,6 +1343,11 @@ class RunResult:
             fleet=(
                 FleetReport.from_dict(data["fleet"])
                 if data.get("fleet")
+                else None
+            ),
+            tenancy=(
+                TenancyReport.from_dict(data["tenancy"])
+                if data.get("tenancy")
                 else None
             ),
         )

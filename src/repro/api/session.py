@@ -226,6 +226,7 @@ class FabricSession:
             "trace": "trace",
             "metrics": "metrics",
             "fleet": "fleet_report",
+            "tenancy": "tenancy_report",
         }
         started = time.perf_counter()
         eval_start = runtime.now() if runtime.enabled else 0.0

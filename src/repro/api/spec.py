@@ -20,6 +20,7 @@ __all__ = [
     "SliceSpec",
     "FailurePlan",
     "FleetPlan",
+    "TenancyPlan",
     "DeviceSpec",
     "ScenarioSpec",
     "KNOWN_OUTPUTS",
@@ -43,6 +44,7 @@ KNOWN_OUTPUTS = (
     "trace",
     "metrics",
     "fleet",
+    "tenancy",
 )
 
 _MODES = ("closed_form", "sim")
@@ -226,6 +228,108 @@ class FleetPlan:
 
 
 @dataclass(frozen=True)
+class TenancyPlan:
+    """Multi-tenant churn simulation (the ``"tenancy"`` output).
+
+    Parameterizes :mod:`repro.tenancy`: a seeded stream of tenant jobs
+    placed by a pluggable policy over a multi-rack cluster of the spec's
+    ``rack_shape`` tori, run once per fabric so the report can compare
+    electrical and photonic scheduling quality (queueing delay,
+    rejections, fragmentation, stranded bandwidth).
+
+    Attributes:
+        days: simulated span; the ``"tenancy"`` output requires it
+            positive (the backend refuses a zero-length simulation).
+        seed: base RNG seed of the workload generator.
+        arrivals_per_day: mean job arrival rate.
+        profile: arrival profile (``"poisson"``, ``"burst"``,
+            ``"trace"``).
+        policy: placement policy both fabrics run (``"first-fit"``,
+            ``"best-fit"``, ``"defrag"``); wavelength steering is the
+            *photonic upgrade*, controlled separately.
+        steering: let the photonic run steer wavelengths (ring closure
+            plus scattered-chip placements). The electrical run never
+            steers.
+        mean_duration_s: mean job run time.
+        max_queue_wait_s: queueing patience before rejection.
+        racks: racks in the simulated cluster.
+        steer_circuits: wavelength circuits per rack.
+        series_points: buckets in the occupancy/fragmentation series.
+    """
+
+    days: float = 0.0
+    seed: int = 0
+    arrivals_per_day: float = 1500.0
+    profile: str = "poisson"
+    policy: str = "first-fit"
+    steering: bool = True
+    mean_duration_s: float = 1200.0
+    max_queue_wait_s: float = 3600.0
+    racks: int = 4
+    steer_circuits: int = 64
+    series_points: int = 24
+
+    def __post_init__(self) -> None:
+        if self.days < 0:
+            raise ValueError("days cannot be negative")
+        if self.seed < 0:
+            raise ValueError("seed cannot be negative")
+        if self.arrivals_per_day <= 0:
+            raise ValueError("arrivals_per_day must be positive")
+        if self.profile not in ("poisson", "burst", "trace"):
+            raise ValueError(
+                f"unknown arrival profile {self.profile!r}; "
+                'choose "poisson", "burst" or "trace"'
+            )
+        if self.policy not in ("first-fit", "best-fit", "defrag"):
+            raise ValueError(
+                f"unknown tenancy policy {self.policy!r}; "
+                'choose "first-fit", "best-fit" or "defrag"'
+            )
+        if self.mean_duration_s <= 0:
+            raise ValueError("mean_duration_s must be positive")
+        if self.max_queue_wait_s <= 0:
+            raise ValueError("max_queue_wait_s must be positive")
+        if self.racks < 1:
+            raise ValueError("racks must be at least 1")
+        if self.steer_circuits < 0:
+            raise ValueError("steer_circuits cannot be negative")
+        if self.series_points < 1:
+            raise ValueError("series_points must be at least 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "days": self.days,
+            "seed": self.seed,
+            "arrivals_per_day": self.arrivals_per_day,
+            "profile": self.profile,
+            "policy": self.policy,
+            "steering": self.steering,
+            "mean_duration_s": self.mean_duration_s,
+            "max_queue_wait_s": self.max_queue_wait_s,
+            "racks": self.racks,
+            "steer_circuits": self.steer_circuits,
+            "series_points": self.series_points,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TenancyPlan":
+        return cls(
+            days=data.get("days", 0.0),
+            seed=data.get("seed", 0),
+            arrivals_per_day=data.get("arrivals_per_day", 1500.0),
+            profile=data.get("profile", "poisson"),
+            policy=data.get("policy", "first-fit"),
+            steering=data.get("steering", True),
+            mean_duration_s=data.get("mean_duration_s", 1200.0),
+            max_queue_wait_s=data.get("max_queue_wait_s", 3600.0),
+            racks=data.get("racks", 4),
+            steer_circuits=data.get("steer_circuits", 64),
+            series_points=data.get("series_points", 24),
+        )
+
+
+@dataclass(frozen=True)
 class DeviceSpec:
     """Sampling parameters for the physical-layer device reports.
 
@@ -262,6 +366,7 @@ class ScenarioSpec:
             :data:`KNOWN_OUTPUTS`).
         failures: the failure plan, when repair/blast-radius is requested.
         fleet: the fleet-simulation plan, when ``"fleet"`` is requested.
+        tenancy: the tenant-churn plan, when ``"tenancy"`` is requested.
         device: device-model sampling parameters for ``"device"``.
         seed: RNG seed for seeded device models.
     """
@@ -275,6 +380,7 @@ class ScenarioSpec:
     outputs: tuple[str, ...] = ("costs",)
     failures: FailurePlan = field(default_factory=FailurePlan)
     fleet: FleetPlan = field(default_factory=FleetPlan)
+    tenancy: TenancyPlan = field(default_factory=TenancyPlan)
     device: DeviceSpec = field(default_factory=DeviceSpec)
     seed: int = 42
 
@@ -376,6 +482,8 @@ class ScenarioSpec:
         # they had before the fleet section existed.
         if self.fleet != FleetPlan():
             data["fleet"] = self.fleet.to_dict()
+        if self.tenancy != TenancyPlan():
+            data["tenancy"] = self.tenancy.to_dict()
         return data
 
     @classmethod
@@ -390,6 +498,7 @@ class ScenarioSpec:
             outputs=tuple(data.get("outputs", ("costs",))),
             failures=FailurePlan.from_dict(data.get("failures", {})),
             fleet=FleetPlan.from_dict(data.get("fleet", {})),
+            tenancy=TenancyPlan.from_dict(data.get("tenancy", {})),
             device=DeviceSpec.from_dict(data.get("device", {})),
             seed=data.get("seed", 42),
         )

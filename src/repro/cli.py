@@ -12,6 +12,7 @@ Usage::
     python -m repro figure7               # optical repair plan
     python -m repro blast-radius [--days 90]
     python -m repro fleet [--days 365] [--policy immediate] [--json PATH]
+    python -m repro tenancy [--days 7] [--policy first-fit] [--json PATH]
     python -m repro congestion            # cross-tenant link sharing
     python -m repro simulate [--fabric photonic] [--telemetry] [--metrics PATH]
     python -m repro sweep [--jobs 4] [--no-cache] [--cache-dir DIR] [--telemetry]
@@ -274,6 +275,65 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"\navailability gap: {report.availability_gap:.3e}  "
           f"downtime reduction: "
           f"{'inf' if reduction == float('inf') else f'{reduction:.0f}x'}")
+    return 0
+
+
+def _cmd_tenancy(args: argparse.Namespace) -> int:
+    """Days of multi-tenant churn, electrical vs photonic."""
+    if args.progress:
+        # ScenarioSpec is a frozen cache key, so the progress log cannot
+        # ride on the spec — it is installed process-wide for whatever
+        # simulations this command runs. Cached results skip simulation
+        # and therefore emit no heartbeats.
+        from .obs.log import EventLog
+        from .tenancy import set_progress_log
+
+        set_progress_log(EventLog(sys.stderr, level="info", source="tenancy"))
+    result = api.run(api.ScenarioSpec(
+        fabric="photonic",
+        outputs=("tenancy",),
+        tenancy=api.TenancyPlan(
+            days=args.days,
+            seed=args.seed,
+            arrivals_per_day=args.arrivals_per_day,
+            profile=args.profile,
+            policy=args.policy,
+            steering=not args.no_steering,
+        ),
+    ))
+    if args.json:
+        _write_json(args.json, result.to_dict())
+        return 0
+    report = result.tenancy
+    electrical, photonic = report.electrical, report.photonic
+
+    def row(metric: str, fmt) -> list[str]:
+        return [metric, fmt(electrical), fmt(photonic)]
+
+    print(render_table(
+        ["metric", "electrical", "photonic"],
+        [
+            row("arrivals", lambda r: str(r.arrivals)),
+            row("placed", lambda r: str(r.placed)),
+            row("steered placements", lambda r: str(r.steered_placements)),
+            row("rejected", lambda r: str(r.rejected)),
+            row("rejection rate", lambda r: f"{r.rejection_rate:.4f}"),
+            row("queue delay mean", lambda r: f"{r.queue_delay_mean_s:.1f} s"),
+            row("queue delay p99", lambda r: f"{r.queue_delay_p99_s:.1f} s"),
+            row("mean occupancy", lambda r: f"{r.mean_occupancy:.3f}"),
+            row("stranded fraction", lambda r: f"{r.stranded_fraction:.3f}"),
+            row("stranded chip-hours",
+                lambda r: f"{r.stranded_chip_seconds / 3600:.1f}"),
+            row("peak circuits", lambda r: str(r.circuits_peak)),
+        ],
+        title=(f"Tenant churn — {report.days:g} days, {report.chips} chips, "
+               f"{report.policy} placement, {report.profile} arrivals"),
+    ))
+    factor = report.stranded_reduction_factor
+    print(f"\nqueue delay gap: {report.queue_delay_gap_s:.1f} s  "
+          f"rejection gap: {report.rejection_gap:.4f}  "
+          f"stranded reduction: "
+          f"{'inf' if factor == float('inf') else f'{factor:.1f}x'}")
     return 0
 
 
@@ -781,6 +841,45 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-identical",
     )
 
+    ptn = sub.add_parser(
+        "tenancy",
+        help="multi-tenant churn simulation (job arrivals, placement, "
+        "fragmentation), electrical vs photonic",
+    )
+    ptn.add_argument("--days", type=float, default=7.0)
+    ptn.add_argument("--seed", type=int, default=0)
+    ptn.add_argument(
+        "--arrivals-per-day", type=float, default=1500.0, metavar="RATE",
+        help="mean job arrival rate (default: 1500)",
+    )
+    ptn.add_argument(
+        "--profile", choices=("poisson", "burst", "trace"),
+        default="poisson",
+        help="arrival profile (default: poisson)",
+    )
+    ptn.add_argument(
+        "--policy", choices=("first-fit", "best-fit", "defrag"),
+        default="first-fit",
+        help="placement policy both fabrics run (default: first-fit); "
+        "wavelength steering upgrades the photonic run on top",
+    )
+    ptn.add_argument(
+        "--no-steering", action="store_true",
+        help="disable the photonic run's wavelength steering (isolates "
+        "the placement policy from the fabric's flexibility)",
+    )
+    ptn.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full result as deterministic JSON to PATH "
+        "('-' = stdout) instead of the table",
+    )
+    ptn.add_argument(
+        "--progress", action="store_true",
+        help="emit tenancy.progress heartbeat events (JSONL on stderr) at "
+        "10 sim-time checkpoints per simulation; results stay "
+        "byte-identical",
+    )
+
     pcg = sub.add_parser("congestion", help="cross-tenant link sharing")
     pcg.add_argument("--fabric", default="electrical")
 
@@ -1007,6 +1106,7 @@ _HANDLERS = {
     "blast-radius": _cmd_blast_radius,
     "congestion": _cmd_congestion,
     "fleet": _cmd_fleet,
+    "tenancy": _cmd_tenancy,
     "obs": _cmd_obs,
     "serve": _cmd_serve,
     "simulate": _cmd_simulate,

@@ -80,6 +80,10 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "cache.evict": ("evicted", "entries", "bytes"),
     # -- year-scale fleet simulation heartbeats --
     "fleet.progress": ("fabric", "t_days", "failures", "repairs", "available"),
+    # -- multi-tenant churn simulation heartbeats --
+    "tenancy.progress": (
+        "fabric", "t_days", "arrivals", "running", "queued", "rejected",
+    ),
 }
 
 
@@ -231,6 +235,15 @@ def demo_events(log: EventLog) -> None:
         failures=12,
         repairs=11,
         available=4094,
+    )
+    log.info(
+        "tenancy.progress",
+        fabric="photonic",
+        t_days=3.5,
+        arrivals=5286,
+        running=18,
+        queued=2,
+        rejected=24,
     )
     log.info("serve.draining")
     log.info(

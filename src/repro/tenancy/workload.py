@@ -1,0 +1,219 @@
+"""Deterministic tenant-job workload generation.
+
+A tenancy simulation is driven by a stream of training jobs: each job
+asks for a slice shape from the catalog below, runs for a sampled
+duration, and carries a priority class. The three arrival profiles model
+the operational spectrum the ROADMAP's Morphlux direction calls out:
+
+* ``"poisson"`` — memoryless arrivals at a constant rate (steady
+  multi-tenant churn).
+* ``"burst"`` — a piecewise-constant intensity that spikes by
+  :data:`BURST_FACTOR` for the first :data:`BURST_FRACTION` of every
+  :data:`BURST_PERIOD_S` window (submission waves after standups or
+  preemption storms), time-rescaled so the seeded draws stay exponential.
+* ``"trace"`` — a replayed schedule: arrivals evenly spaced at the
+  configured rate (the recorded-trace stand-in; shapes/durations stay
+  seeded).
+
+Determinism follows :class:`~repro.fleet.process.RenewalFailureProcess`:
+every random quantity draws from its own ``default_rng((seed, stream))``
+substream, so adding a new sampled attribute never perturbs existing
+ones, and the same seed always yields the same job list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TenantJob",
+    "JOB_CATALOG",
+    "PROFILES",
+    "PRIORITIES",
+    "MIN_DURATION_S",
+    "generate_jobs",
+]
+
+#: Arrival profiles :func:`generate_jobs` understands.
+PROFILES = ("poisson", "burst", "trace")
+
+#: Priority classes, highest first. High-priority jobs jump the queue.
+PRIORITIES = ("production", "best-effort")
+
+#: The slice-shape catalog with mix weights: the paper's named slices
+#: (Slice-1 = 4x2x1, Slice-3 = 4x4x1, Slice-4 = 4x4x2) plus the small
+#: ad-hoc shapes that fragment a rack, weighted toward small jobs the
+#: way real multi-tenant queues are.
+JOB_CATALOG: tuple[tuple[tuple[int, int, int], int], ...] = (
+    ((4, 4, 4), 2),
+    ((4, 4, 2), 6),
+    ((4, 4, 1), 10),
+    ((4, 2, 1), 18),
+    ((2, 2, 2), 14),
+    ((2, 2, 1), 22),
+    ((2, 1, 1), 14),
+    ((1, 1, 1), 14),
+)
+
+#: Burst-profile shape: every 4 h window opens with a 30 min spike.
+BURST_PERIOD_S = 4 * 3600.0
+BURST_FRACTION = 0.125
+BURST_FACTOR = 6.0
+
+#: Substream indices (the RNG key is ``(seed, stream)``).
+_ARRIVALS, _SHAPES, _DURATIONS, _PRIORITIES = 0, 1, 2, 3
+
+#: Shortest job the generator emits; durations are exponential above it.
+MIN_DURATION_S = 60.0
+
+#: Fraction of jobs in the ``"production"`` priority class.
+PRODUCTION_FRACTION = 0.2
+
+
+@dataclass(frozen=True)
+class TenantJob:
+    """One tenant training job.
+
+    Attributes:
+        index: position in the arrival stream (names the job).
+        arrival_s: submission time, simulation seconds.
+        duration_s: run time once placed.
+        shape: requested slice extent per rack-torus dimension.
+        priority: ``"production"`` or ``"best-effort"``.
+    """
+
+    index: int
+    arrival_s: float
+    duration_s: float
+    shape: tuple[int, ...]
+    priority: str
+
+    @property
+    def name(self) -> str:
+        """The allocation name the cluster tracks the job under."""
+        return f"job-{self.index}"
+
+    @property
+    def chips(self) -> int:
+        """Chips the job occupies."""
+        count = 1
+        for ext in self.shape:
+            count *= ext
+        return count
+
+
+def _burst_intensity_scale(t: float) -> float:
+    """Relative arrival intensity at ``t`` under the burst profile.
+
+    Normalized so the *mean* intensity over a period equals 1 — the
+    burst profile redistributes the same offered load into spikes.
+    """
+    mean = BURST_FACTOR * BURST_FRACTION + (1.0 - BURST_FRACTION)
+    phase = (t % BURST_PERIOD_S) / BURST_PERIOD_S
+    return (BURST_FACTOR if phase < BURST_FRACTION else 1.0) / mean
+
+
+def _arrival_times(
+    profile: str, horizon_s: float, rate_per_s: float, seed: int
+) -> list[float]:
+    if profile == "trace":
+        # A replayed schedule: deterministic even spacing, first arrival
+        # one gap in (an empty cluster at t=0 tells nothing).
+        gap = 1.0 / rate_per_s
+        count = int(horizon_s * rate_per_s)
+        return [gap * (i + 1) for i in range(count) if gap * (i + 1) <= horizon_s]
+    rng = np.random.default_rng((seed, _ARRIVALS))
+    times: list[float] = []
+    t = 0.0
+    if profile == "poisson":
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_s))
+            if t > horizon_s:
+                return times
+            times.append(t)
+    # burst: time-rescaling of a unit Poisson process through the
+    # piecewise-constant intensity — exact, no thinning rejections.
+    while True:
+        budget = float(rng.exponential(1.0))
+        while budget > 0.0:
+            scale = _burst_intensity_scale(t)
+            intensity = rate_per_s * scale
+            # Time until the current window's intensity changes.
+            phase = t % BURST_PERIOD_S
+            boundary = (
+                BURST_FRACTION * BURST_PERIOD_S
+                if phase < BURST_FRACTION * BURST_PERIOD_S
+                else BURST_PERIOD_S
+            )
+            window = boundary - phase
+            if intensity * window >= budget:
+                t += budget / intensity
+                budget = 0.0
+            else:
+                budget -= intensity * window
+                t += window
+        if t > horizon_s:
+            return times
+        times.append(t)
+
+
+def generate_jobs(
+    horizon_s: float,
+    arrivals_per_day: float,
+    profile: str = "poisson",
+    seed: int = 0,
+    mean_duration_s: float = 1200.0,
+) -> tuple[TenantJob, ...]:
+    """The seeded job stream for one simulation horizon.
+
+    Args:
+        horizon_s: span to cover; the last arrival lands inside it.
+        arrivals_per_day: mean offered arrival rate.
+        profile: one of :data:`PROFILES`.
+        seed: base RNG seed (substreamed per attribute).
+        mean_duration_s: mean job run time (exponential above the
+            :data:`MIN_DURATION_S` floor).
+
+    Raises:
+        ValueError: on an unknown profile, a non-positive rate/horizon,
+            or a mean duration at or below the floor.
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown arrival profile {profile!r}; choose from {PROFILES}"
+        )
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    if arrivals_per_day <= 0:
+        raise ValueError("arrivals_per_day must be positive")
+    if mean_duration_s <= MIN_DURATION_S:
+        raise ValueError(
+            f"mean_duration_s must exceed the {MIN_DURATION_S:g} s floor"
+        )
+    times = _arrival_times(profile, horizon_s, arrivals_per_day / 86400.0, seed)
+    count = len(times)
+    shapes_rng = np.random.default_rng((seed, _SHAPES))
+    weights = np.array([w for _, w in JOB_CATALOG], dtype=float)
+    picks = shapes_rng.choice(
+        len(JOB_CATALOG), size=count, p=weights / weights.sum()
+    )
+    durations = np.random.default_rng((seed, _DURATIONS)).exponential(
+        mean_duration_s - MIN_DURATION_S, size=count
+    )
+    priority_draws = np.random.default_rng((seed, _PRIORITIES)).random(count)
+    return tuple(
+        TenantJob(
+            index=i,
+            arrival_s=times[i],
+            duration_s=MIN_DURATION_S + float(durations[i]),
+            shape=JOB_CATALOG[int(picks[i])][0],
+            priority=(
+                PRIORITIES[0]
+                if priority_draws[i] < PRODUCTION_FRACTION
+                else PRIORITIES[1]
+            ),
+        )
+        for i in range(count)
+    )

@@ -18,7 +18,15 @@ from .placement import (
     score_placement,
     utilization_aware_placement,
 )
-from .slices import AllocationError, Slice, SliceAllocator
+from .slices import (
+    AllocationError,
+    NoContiguousPlacementError,
+    ShapeTooLargeError,
+    Slice,
+    SliceAllocator,
+    SliceOverlapError,
+    WavelengthBudgetError,
+)
 from .switched import SwitchedServer, SwitchFlow
 from .torus import Coordinate, Link, Torus
 from .tpu import GlobalChipId, TpuCluster, TpuRack
@@ -38,6 +46,10 @@ __all__ = [
     "utilization_aware_placement",
     "PortBusy",
     "AllocationError",
+    "SliceOverlapError",
+    "ShapeTooLargeError",
+    "NoContiguousPlacementError",
+    "WavelengthBudgetError",
     "Slice",
     "SliceAllocator",
     "SwitchedServer",

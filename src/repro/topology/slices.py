@@ -18,11 +18,50 @@ from functools import lru_cache
 
 from .torus import Coordinate, Link, Torus
 
-__all__ = ["Slice", "SliceAllocator", "AllocationError"]
+__all__ = [
+    "Slice",
+    "SliceAllocator",
+    "AllocationError",
+    "SliceOverlapError",
+    "ShapeTooLargeError",
+    "NoContiguousPlacementError",
+    "WavelengthBudgetError",
+]
 
 
 class AllocationError(RuntimeError):
-    """Raised when a slice cannot be placed on the requested rack region."""
+    """Raised when a slice cannot be placed on the requested rack region.
+
+    The concrete subclasses name *which* constraint failed; callers that
+    only care about "it did not fit" keep catching this base class.
+    """
+
+
+class SliceOverlapError(AllocationError):
+    """A requested chip is already owned by another slice."""
+
+
+class ShapeTooLargeError(AllocationError, ValueError):
+    """The requested shape exceeds the rack torus in some dimension.
+
+    Also a :class:`ValueError` — the shape is invalid for the rack no
+    matter what is currently allocated, and pre-existing callers caught
+    the geometry violation as ``ValueError``.
+    """
+
+
+class NoContiguousPlacementError(AllocationError):
+    """The shape fits the torus, but no contiguous offset is free."""
+
+
+class WavelengthBudgetError(AllocationError):
+    """A steered placement would exceed the rack's circuit budget.
+
+    Raised by the tenancy layer (:mod:`repro.tenancy.cluster`) when the
+    wavelength circuits needed to steer a non-contiguous slice exceed
+    the per-rack inventory; declared here so every placement failure
+    shares the :class:`AllocationError` root.
+    """
 
 
 @dataclass(frozen=True)
@@ -50,7 +89,7 @@ class Slice:
             if not 0 <= off < rack_ext:
                 raise ValueError(f"offset {self.offset} outside rack")
             if ext > rack_ext:
-                raise ValueError(
+                raise ShapeTooLargeError(
                     f"slice extent {ext} exceeds rack extent {rack_ext}"
                 )
 
@@ -273,13 +312,14 @@ class SliceAllocator:
         """Place a slice of ``shape`` at ``offset``.
 
         Raises:
-            AllocationError: if any requested chip is already allocated.
+            ShapeTooLargeError: if the shape exceeds the rack torus.
+            SliceOverlapError: if any requested chip is already allocated.
         """
         candidate = Slice(name=name, rack=self.rack, offset=offset, shape=shape)
         taken = self._occupied()
         overlap = [chip for chip in candidate.chips() if chip in taken]
         if overlap:
-            raise AllocationError(
+            raise SliceOverlapError(
                 f"slice {name} overlaps {len(overlap)} allocated chips, "
                 f"e.g. {overlap[0]}"
             )
@@ -290,15 +330,27 @@ class SliceAllocator:
         """Place a slice at the first lexicographic offset that fits.
 
         Raises:
-            AllocationError: if no placement exists.
+            ShapeTooLargeError: if the shape exceeds the rack torus (no
+                offset could ever host it).
+            NoContiguousPlacementError: if the shape fits the torus but
+                every contiguous placement collides with a live slice.
         """
+        for ext, rack_ext in zip(shape, self.rack.shape):
+            if ext > rack_ext:
+                raise ShapeTooLargeError(
+                    f"slice {name} shape {shape} exceeds the rack "
+                    f"torus {self.rack.shape}"
+                )
         taken = self._occupied()
         for offset in self.rack.nodes():
             candidate = Slice(name=name, rack=self.rack, offset=offset, shape=shape)
             if all(chip not in taken for chip in candidate.chips()):
                 self.slices.append(candidate)
                 return candidate
-        raise AllocationError(f"no placement for slice {name} of shape {shape}")
+        raise NoContiguousPlacementError(
+            f"no contiguous placement for slice {name} of shape {shape}: "
+            f"{len(taken)}/{self.rack.node_count} chips allocated"
+        )
 
     def release(self, name: str) -> None:
         """Remove the slice called ``name``.

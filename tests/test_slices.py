@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.topology.slices import AllocationError, Slice, SliceAllocator
+from repro.topology.slices import (
+    AllocationError,
+    NoContiguousPlacementError,
+    ShapeTooLargeError,
+    Slice,
+    SliceAllocator,
+    SliceOverlapError,
+    WavelengthBudgetError,
+)
 from repro.topology.torus import Link, Torus
 
 
@@ -165,3 +173,50 @@ class TestAllocator:
         slc = allocator.allocate("a", (4, 4, 1), (0, 0, 0))
         assert allocator.slice_of((1, 1, 0)) is slc
         assert allocator.slice_of((1, 1, 3)) is None
+
+
+class TestNamedAllocationErrors:
+    """Every placement failure names its constraint via a subclass, and
+    pre-existing ``except AllocationError`` / ``except ValueError``
+    call sites keep working."""
+
+    def test_oversized_shape_from_construction(self, rack):
+        with pytest.raises(ShapeTooLargeError):
+            make_slice(rack, shape=(5, 1, 1))
+        with pytest.raises(AllocationError):
+            make_slice(rack, shape=(5, 1, 1))
+        with pytest.raises(ValueError):
+            make_slice(rack, shape=(5, 1, 1))
+
+    def test_oversized_shape_from_allocate(self, rack):
+        allocator = SliceAllocator(rack)
+        with pytest.raises(ShapeTooLargeError):
+            allocator.allocate("a", (1, 1, 8), (0, 0, 0))
+
+    def test_overlap_is_named(self, rack):
+        allocator = SliceAllocator(rack)
+        allocator.allocate("a", (4, 4, 1), (0, 0, 0))
+        with pytest.raises(SliceOverlapError) as excinfo:
+            allocator.allocate("b", (2, 2, 2), (0, 0, 0))
+        assert isinstance(excinfo.value, AllocationError)
+
+    def test_full_rack_is_named(self, rack):
+        allocator = SliceAllocator(rack)
+        allocator.allocate("a", (4, 4, 4), (0, 0, 0))
+        with pytest.raises(NoContiguousPlacementError) as excinfo:
+            allocator.allocate_first_fit("b", (1, 1, 1))
+        assert isinstance(excinfo.value, AllocationError)
+
+    def test_wavelength_budget_shares_the_root(self):
+        assert issubclass(WavelengthBudgetError, AllocationError)
+        assert not issubclass(WavelengthBudgetError, ValueError)
+
+    def test_subclasses_are_distinct(self, rack):
+        # An overlap must not masquerade as a geometry violation: the
+        # ValueError mixin belongs to ShapeTooLargeError alone.
+        allocator = SliceAllocator(rack)
+        allocator.allocate("a", (4, 4, 4), (0, 0, 0))
+        with pytest.raises(SliceOverlapError):
+            allocator.allocate("b", (1, 1, 1), (2, 2, 2))
+        assert not issubclass(SliceOverlapError, ValueError)
+        assert not issubclass(NoContiguousPlacementError, ValueError)

@@ -1,0 +1,144 @@
+"""Property-based tests for the tenancy cluster state and defrag policy.
+
+Two guarantees, each over randomized operation sequences:
+
+1. *Consistency*: any interleaving of box placements, steered placements
+   and releases leaves :class:`ClusterState` internally consistent — the
+   incremental occupancy sets match the allocators chip for chip, freed
+   capacity is fully reusable, and released circuits return to the pool.
+2. *Defrag monotonicity*: a departure-time compaction pass never
+   regresses the fragmentation metric (the largest catalog shape still
+   contiguously allocatable), for any reachable cluster state — the
+   guarded-move construction, checked against arbitrary histories
+   rather than one scripted scenario.
+"""
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is a CI dependency
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.tenancy import ClusterState, JOB_CATALOG, make_placement_policy
+from repro.tenancy.policies import CATALOG_SHAPES
+from repro.topology import (
+    NoContiguousPlacementError,
+    ShapeTooLargeError,
+    WavelengthBudgetError,
+)
+
+RACKS = 2
+
+# One operation: (kind, selector, rack). kind 0/1 = box placement,
+# 2 = steered placement, 3 = release; the selector picks the catalog
+# shape (or, for releases, which live job departs).
+operations = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 63),
+        st.integers(0, RACKS - 1),
+    ),
+    max_size=40,
+)
+
+
+def _apply(cluster: ClusterState, ops) -> list[str]:
+    """Drive the cluster through ``ops``; returns the live job names."""
+    live: list[str] = []
+    counter = 0
+    for kind, selector, rack in ops:
+        if kind == 3:
+            if live:
+                cluster.release(live.pop(selector % len(live)))
+            continue
+        shape = JOB_CATALOG[selector % len(JOB_CATALOG)][0]
+        name = f"job-{counter}"
+        counter += 1
+        try:
+            if kind == 2:
+                cluster.allocate_steered(name, shape, rack)
+            else:
+                offset = cluster.find_offset(rack, shape)
+                if offset is None:
+                    continue
+                cluster.allocate_box(name, shape, rack, offset)
+        except (
+            ShapeTooLargeError,
+            NoContiguousPlacementError,
+            WavelengthBudgetError,
+        ):
+            continue
+        live.append(name)
+    return live
+
+
+class TestClusterConsistency:
+    @given(operations)
+    @settings(max_examples=150, deadline=None)
+    def test_any_history_stays_consistent(self, ops):
+        cluster = ClusterState(racks=RACKS, steer_circuits=16)
+        live = _apply(cluster, ops)
+        cluster.check_consistent()
+        assert set(cluster.allocations) == set(live)
+        assert cluster.occupied_chips() == sum(
+            cluster.allocations[name].chip_count for name in live
+        )
+
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_released_capacity_is_fully_reusable(self, ops):
+        cluster = ClusterState(racks=RACKS, steer_circuits=16)
+        for name in _apply(cluster, ops):
+            cluster.release(name)
+        cluster.check_consistent()
+        assert cluster.total_free() == cluster.total_chips
+        assert all(
+            cluster.circuits_used(rack) == 0 for rack in range(RACKS)
+        )
+        # An empty cluster hosts the full-rack shape again — no residue.
+        assert cluster.largest_allocatable(CATALOG_SHAPES) == (
+            cluster.rack_chips
+        )
+
+    @given(operations, st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_release_order_is_immaterial(self, ops, rotation):
+        forward = ClusterState(racks=RACKS, steer_circuits=16)
+        names = _apply(forward, ops)
+        rotated = names[rotation % len(names):] + names[: rotation % len(names)] if names else []
+        for name in rotated:
+            forward.release(name)
+        forward.check_consistent()
+        assert forward.total_free() == forward.total_chips
+
+
+class TestDefragMonotonicity:
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_compaction_never_regresses_fragmentation(self, ops):
+        cluster = ClusterState(racks=RACKS, steer_circuits=16)
+        live = _apply(cluster, ops)
+        policy = make_placement_policy("defrag")
+        # Run the pass after a departure from each rack in turn (the
+        # simulator's trigger); the metric must be monotone every time.
+        for rack in range(RACKS):
+            departed = next(
+                (
+                    name
+                    for name in live
+                    if cluster.allocations[name].rack == rack
+                ),
+                None,
+            )
+            if departed is not None:
+                cluster.release(departed)
+                live.remove(departed)
+            before = cluster.largest_allocatable(CATALOG_SHAPES)
+            policy.on_departure(cluster, rack)
+            after = cluster.largest_allocatable(CATALOG_SHAPES)
+            assert after >= before
+            cluster.check_consistent()
+        # Compaction relocates jobs, never creates or destroys them.
+        assert set(cluster.allocations) == set(live)
